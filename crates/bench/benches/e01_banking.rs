@@ -1,0 +1,70 @@
+//! E1 — Examples 2.1–2.2: nested banking transactions.
+//!
+//! Measures: transfer latency; cost of relative commit (rollback of a
+//! committed-then-doomed withdraw); serializable concurrent transfers vs.
+//! transfer count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::report_row;
+use td_engine::Engine;
+use td_workflow::{serializable_transfers, transfer_goal, Bank};
+
+fn bench(c: &mut Criterion) {
+    let bank = Bank::new(&[("acct1", 1_000_000), ("acct2", 1_000_000)]);
+    let scenario = bank.scenario();
+    let engine = Engine::new(scenario.program.clone());
+
+    c.bench_function("e01/transfer_commit", |b| {
+        let goal = transfer_goal(10, "acct1", "acct2");
+        b.iter(|| {
+            let out = engine.solve(&goal, &scenario.db).unwrap();
+            assert!(out.is_success());
+        });
+    });
+
+    c.bench_function("e01/transfer_rollback", |b| {
+        // Deposit target does not exist: withdraw executes, then the whole
+        // nested transaction rolls back (Example 2.2's relative commit).
+        let goal = transfer_goal(10, "acct1", "ghost");
+        b.iter(|| {
+            let out = engine.solve(&goal, &scenario.db).unwrap();
+            assert!(!out.is_success());
+        });
+    });
+
+    let mut group = c.benchmark_group("e01/serializable_transfers");
+    for n in [1usize, 2, 4, 8] {
+        let transfers: Vec<(i64, &str, &str)> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (5, "acct1", "acct2")
+                } else {
+                    (5, "acct2", "acct1")
+                }
+            })
+            .collect();
+        let goal = serializable_transfers(&transfers);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &goal, |b, goal| {
+            b.iter(|| {
+                let out = engine.solve(goal, &scenario.db).unwrap();
+                assert!(out.is_success());
+            });
+        });
+        let out = engine.solve(&goal, &scenario.db).unwrap();
+        report_row(
+            "E1",
+            &format!("transfers={n}"),
+            "search steps",
+            out.stats().steps as f64,
+            "steps",
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E2 — Example 3.1: workflow specification.
+//!
+//! Measures: single-instance execution latency of the paper's workflow vs.
+//! task count and vs. concurrent width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::{report_row, run_ok};
+use td_workflow::{Node, WorkflowSpec};
+
+fn linear(n: usize) -> WorkflowSpec {
+    WorkflowSpec::new(
+        "wf",
+        Node::Seq((1..=n).map(|i| Node::task(&format!("t{i}"))).collect()),
+    )
+}
+
+fn wide(n: usize) -> WorkflowSpec {
+    WorkflowSpec::new(
+        "wf",
+        Node::Par((1..=n).map(|i| Node::task(&format!("t{i}"))).collect()),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e02/example_3_1", |b| {
+        let scenario = WorkflowSpec::example_3_1().compile(&["w1".to_owned()]);
+        b.iter(|| run_ok(&scenario));
+    });
+
+    let mut group = c.benchmark_group("e02/serial_tasks");
+    for n in [4usize, 8, 16, 32] {
+        let scenario = linear(n).compile(&["w1".to_owned()]);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
+            b.iter(|| run_ok(s));
+        });
+        let out = run_ok(&scenario);
+        report_row("E2", &format!("serial tasks={n}"), "steps", out.stats().steps as f64, "steps");
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e02/parallel_tasks");
+    for n in [4usize, 8, 16, 32] {
+        let scenario = wide(n).compile(&["w1".to_owned()]);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
+            b.iter(|| run_ok(s));
+        });
+        let out = run_ok(&scenario);
+        report_row("E2", &format!("parallel tasks={n}"), "steps", out.stats().steps as f64, "steps");
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E4 — Example 3.3: shared resources (qualified agents).
+//!
+//! Measures: completion time of N concurrent instances vs. size of the
+//! agent pool — the paper's point that agents "limit the number of
+//! instances that can be active at one time".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::{report_row, run_ok};
+use td_workflow::{AgentScenarioConfig, Node, WorkflowSpec};
+
+fn spec() -> WorkflowSpec {
+    WorkflowSpec::new(
+        "wf",
+        Node::Seq(vec![Node::task("prep"), Node::task("process")]),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let items: Vec<String> = (1..=4).map(|i| format!("w{i}")).collect();
+
+    let mut group = c.benchmark_group("e04/agent_pool");
+    for agents in [1usize, 2, 4] {
+        let cfg = AgentScenarioConfig::universal_pool(spec(), items.clone(), agents);
+        let scenario = cfg.compile();
+        group.bench_with_input(BenchmarkId::from_parameter(agents), &scenario, |b, s| {
+            b.iter(|| run_ok(s));
+        });
+        let out = run_ok(&scenario);
+        report_row(
+            "E4",
+            &format!("items=4 agents={agents}"),
+            "steps",
+            out.stats().steps as f64,
+            "steps",
+        );
+        report_row(
+            "E4",
+            &format!("items=4 agents={agents}"),
+            "backtracks",
+            out.stats().backtracks as f64,
+            "",
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e04/instances");
+    for n in [2usize, 4, 6] {
+        let items: Vec<String> = (1..=n).map(|i| format!("w{i}")).collect();
+        let cfg = AgentScenarioConfig::universal_pool(spec(), items, 2);
+        let scenario = cfg.compile();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
+            b.iter(|| run_ok(s));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

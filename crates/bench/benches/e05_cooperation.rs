@@ -1,0 +1,52 @@
+//! E5 — Example 3.4: networks of cooperating workflows.
+//!
+//! Measures: rendezvous cost vs. number of synchronization points (the
+//! genome-map two-subflow shape of [26]); producer/consumer pipeline cost
+//! vs. item count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::{report_row, run_ok};
+use td_workflow::{Pipeline, SyncPair};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e05/sync_points");
+    for k in [1usize, 2, 4, 8] {
+        let scenario = SyncPair::new(k).compile();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &scenario, |b, s| {
+            b.iter(|| run_ok(s));
+        });
+        let out = run_ok(&scenario);
+        report_row(
+            "E5",
+            &format!("sync points={k}"),
+            "steps",
+            out.stats().steps as f64,
+            "steps",
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e05/pipeline_items");
+    for n in [2usize, 4, 8] {
+        let scenario = Pipeline::new(n).compile();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
+            b.iter(|| run_ok(s));
+        });
+        let out = run_ok(&scenario);
+        report_row(
+            "E5",
+            &format!("pipeline items={n}"),
+            "steps",
+            out.stats().steps as f64,
+            "steps",
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! E6 — §4 / Corollary 4.6: RE-completeness via three concurrent processes.
+//!
+//! The construction: a 2-counter machine as control + two counter processes
+//! over a constant-size database. Measures: TD execution time vs. direct
+//! machine simulation as the computation length grows — while the database
+//! stays O(1) (reported as a table row), demonstrating that unbounded
+//! computation comes from process recursion, not data growth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::report_row;
+use td_engine::EngineConfig;
+use td_machines::{palindrome_tm, Counter, MinskyMachine, RunResult, StackMachine};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e06/doubling_td");
+    for n in [1u64, 2, 4, 8] {
+        let machine = MinskyMachine::doubling().with_input(Counter::C0, n);
+        let scenario = machine.to_td();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
+            b.iter(|| {
+                let out = s
+                    .run_with(EngineConfig::default().with_max_steps(10_000_000))
+                    .unwrap();
+                assert!(out.is_success());
+            });
+        });
+        let out = scenario
+            .run_with(EngineConfig::default().with_max_steps(10_000_000))
+            .unwrap();
+        let sol = out.solution().unwrap();
+        report_row("E6", &format!("double n={n}"), "TD steps", sol.stats.steps as f64, "steps");
+        report_row(
+            "E6",
+            &format!("double n={n}"),
+            "final DB tuples",
+            sol.db.total_tuples() as f64,
+            "tuples (stays O(1))",
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e06/doubling_direct");
+    for n in [1u64, 2, 4, 8] {
+        let machine = MinskyMachine::doubling().with_input(Counter::C0, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &machine, |b, m| {
+            b.iter(|| {
+                assert!(matches!(m.run(0, 0, 1_000_000), RunResult::Halted { .. }));
+            });
+        });
+    }
+    group.finish();
+
+    // The paper's own proof object: a 2-stack machine moving a word between
+    // the stacks, as 3 concurrent TD processes.
+    let mut group = c.benchmark_group("e06/stack_reverser_td");
+    for len in [1usize, 2, 4] {
+        let word: Vec<td_machines::stack::Sym> =
+            (0..len).map(|i| td_machines::stack::Sym((i % 2) as u8)).collect();
+        let scenario = StackMachine::reverser(&word).to_td();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &scenario, |b, s| {
+            b.iter(|| {
+                let out = s
+                    .run_with(EngineConfig::default().with_max_steps(10_000_000))
+                    .unwrap();
+                assert!(out.is_success());
+            });
+        });
+    }
+    group.finish();
+
+    // Full chain: Turing machine -> 2-stack machine -> TD, on accepting
+    // palindromes.
+    let mut group = c.benchmark_group("e06/tm_chain_td");
+    for word in ["0", "11", "010"] {
+        let input: Vec<u8> = word.bytes().map(|b| b - b'0' + 1).collect();
+        let scenario = palindrome_tm().to_stack_machine(&input).to_td();
+        group.bench_with_input(BenchmarkId::from_parameter(word), &scenario, |b, s| {
+            b.iter(|| {
+                let out = s
+                    .run_with(EngineConfig::default().with_max_steps(50_000_000))
+                    .unwrap();
+                assert!(out.is_success());
+            });
+        });
+        let out = scenario
+            .run_with(EngineConfig::default().with_max_steps(50_000_000))
+            .unwrap();
+        report_row(
+            "E6",
+            &format!("TM palindrome {word:?}"),
+            "TD steps (TM->stacks->TD)",
+            out.stats().steps as f64,
+            "steps",
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

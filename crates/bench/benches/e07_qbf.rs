@@ -1,0 +1,136 @@
+//! E7 — Theorem 4.5: the alternation mechanism of sequential TD.
+//!
+//! QBF evaluation through sequential composition re-executing subgoals.
+//! Measures: TD execution time vs. quantifier count (expected ~2^k growth —
+//! the exponential that lifts sequential TD to EXPTIME) against the direct
+//! recursive evaluator on the same instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::report_row;
+use td_engine::{decider, EngineConfig};
+use td_machines::Qbf;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e07/qbf_td");
+    for vars in [2usize, 4, 6, 8] {
+        // Use a satisfiable-by-construction tautological matrix so TD
+        // explores the full ∀ tree and succeeds: (xᵢ ∨ ¬xᵢ) clauses.
+        let qbf = Qbf {
+            quants: (0..vars)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        td_machines::Quant::Forall
+                    } else {
+                        td_machines::Quant::Exists
+                    }
+                })
+                .collect(),
+            clauses: (0..vars)
+                .map(|i| {
+                    vec![
+                        td_machines::qbf::Lit { var: i, positive: true },
+                        td_machines::qbf::Lit { var: i, positive: false },
+                    ]
+                })
+                .collect(),
+        };
+        assert!(qbf.eval());
+        let scenario = qbf.to_td();
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &scenario, |b, s| {
+            b.iter(|| {
+                let out = s
+                    .run_with(EngineConfig::default().with_max_steps(50_000_000))
+                    .unwrap();
+                assert!(out.is_success());
+            });
+        });
+        let out = scenario
+            .run_with(EngineConfig::default().with_max_steps(50_000_000))
+            .unwrap();
+        report_row(
+            "E7",
+            &format!("quantified vars={vars}"),
+            "TD steps (~2^k)",
+            out.stats().steps as f64,
+            "steps",
+        );
+        // The memoizing decider shares subtrees: configurations grow far
+        // more slowly than interpreter steps.
+        let d = decider::decide(
+            &scenario.program,
+            &scenario.goal,
+            &scenario.db,
+            decider::DeciderConfig::default(),
+        )
+        .unwrap();
+        report_row(
+            "E7",
+            &format!("quantified vars={vars}"),
+            "decider configs",
+            d.configs as f64,
+            "configs",
+        );
+    }
+    group.finish();
+
+    // Theorem 4.5 proper: the instance lives in the DATABASE, the
+    // sequential-TD evaluator program is fixed — data complexity.
+    let mut group = c.benchmark_group("e07/qbf_td_data");
+    for vars in [2usize, 4, 6] {
+        let qbf = Qbf {
+            quants: (0..vars)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        td_machines::Quant::Forall
+                    } else {
+                        td_machines::Quant::Exists
+                    }
+                })
+                .collect(),
+            clauses: (0..vars)
+                .map(|i| {
+                    vec![
+                        td_machines::qbf::Lit { var: i, positive: true },
+                        td_machines::qbf::Lit { var: i, positive: false },
+                    ]
+                })
+                .collect(),
+        };
+        let scenario = qbf.to_td_data();
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &scenario, |b, s| {
+            b.iter(|| {
+                let out = s
+                    .run_with(EngineConfig::default().with_max_steps(50_000_000))
+                    .unwrap();
+                assert!(out.is_success());
+            });
+        });
+        let out = scenario
+            .run_with(EngineConfig::default().with_max_steps(50_000_000))
+            .unwrap();
+        report_row(
+            "E7",
+            &format!("db vars={vars}"),
+            "fixed-program steps",
+            out.stats().steps as f64,
+            "steps",
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e07/qbf_direct");
+    for vars in [2usize, 4, 6, 8] {
+        let qbf = Qbf::random(vars, vars + 2, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &qbf, |b, q| {
+            b.iter(|| q.eval());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

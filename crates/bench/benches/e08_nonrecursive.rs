@@ -1,0 +1,61 @@
+//! E8 — Theorem 4.7: nonrecursive TD collapses below PTIME.
+//!
+//! Measures: k-hop query/transaction time vs. database size (polynomial
+//! growth) and vs. hop count at fixed data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::{report_row, run_ok};
+use td_machines::nonrec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e08/db_size");
+    for nodes in [10usize, 20, 40, 80] {
+        let edges = nodes * 4;
+        let scenario = nonrec::khop(nodes, edges, 3, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &scenario, |b, s| {
+            b.iter(|| run_ok(s));
+        });
+        let out = run_ok(&scenario);
+        report_row(
+            "E8",
+            &format!("|V|={nodes} |E|={edges} k=3"),
+            "steps",
+            out.stats().steps as f64,
+            "steps",
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e08/hops");
+    for k in [1usize, 2, 3, 4] {
+        let scenario = nonrec::khop(20, 80, k, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &scenario, |b, s| {
+            b.iter(|| run_ok(s));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e08/update_width");
+    for w in [4usize, 8, 16] {
+        let scenario = nonrec::promote_pipeline(w, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(w), &scenario, |b, s| {
+            b.iter(|| run_ok(s));
+        });
+        let out = run_ok(&scenario);
+        report_row(
+            "E8",
+            &format!("update width={w}"),
+            "steps",
+            out.stats().steps as f64,
+            "steps",
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

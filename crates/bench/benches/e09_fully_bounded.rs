@@ -1,0 +1,90 @@
+//! E9 — §5: fully bounded TD, the practical blend.
+//!
+//! Two measurements:
+//!
+//! 1. the 3SAT guess-and-check encoding (tail recursion + choice) vs. the
+//!    DPLL baseline — NP-shaped worst case in the formula, polynomial in
+//!    the database;
+//! 2. the iterated laboratory protocol (tail recursion = iteration): cost
+//!    grows linearly with the iteration count, and the decider's
+//!    configuration space stays small — the "substantial reduction" of §5
+//!    compared with the RE/EXPTIME fragments of E6/E7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::{report_row, run_ok};
+use td_engine::{decider, EngineConfig};
+use td_machines::Cnf;
+use td_workflow::RepeatProtocol;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e09/3sat_td");
+    for vars in [3usize, 5, 7] {
+        // Easy-satisfiable instances (few clauses) so the success path
+        // dominates; hardness sweeps live in the DPLL comparison below.
+        let cnf = Cnf::random_3sat(vars, vars, 5);
+        if !cnf.dpll() {
+            continue;
+        }
+        let scenario = cnf.to_td();
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &scenario, |b, s| {
+            b.iter(|| {
+                let out = s
+                    .run_with(EngineConfig::default().with_max_steps(10_000_000))
+                    .unwrap();
+                assert!(out.is_success());
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e09/3sat_dpll");
+    for vars in [3usize, 5, 7] {
+        let cnf = Cnf::random_3sat(vars, vars, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &cnf, |b, f| {
+            b.iter(|| f.dpll());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e09/iterated_protocol");
+    for attempts in [2i64, 4, 8, 16] {
+        let scenario = RepeatProtocol::new(2, attempts).compile();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(attempts),
+            &scenario,
+            |b, s| {
+                b.iter(|| run_ok(s));
+            },
+        );
+        let out = run_ok(&scenario);
+        report_row(
+            "E9",
+            &format!("protocol attempts={attempts}"),
+            "steps (linear)",
+            out.stats().steps as f64,
+            "steps",
+        );
+        let d = decider::decide(
+            &scenario.program,
+            &scenario.goal,
+            &scenario.db,
+            decider::DeciderConfig::default(),
+        )
+        .unwrap();
+        report_row(
+            "E9",
+            &format!("protocol attempts={attempts}"),
+            "decider configs",
+            d.configs as f64,
+            "configs",
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E10 — the LabFlow-style genome-laboratory throughput benchmark
+//! ([26, 24, 25]: "database performance became a bottleneck in workflow
+//! throughput").
+//!
+//! Measures: pipeline completion time (and derived items/sec) vs. number of
+//! samples and vs. pipeline depth; insert-only history growth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use td_bench::{report_row, run_ok};
+use td_workflow::LabFlowConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10/samples");
+    for samples in [2usize, 4, 8, 16] {
+        let scenario = LabFlowConfig::new(samples, 4).compile();
+        group.throughput(Throughput::Elements(samples as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &scenario, |b, s| {
+            b.iter(|| run_ok(s));
+        });
+        let out = run_ok(&scenario);
+        report_row(
+            "E10",
+            &format!("samples={samples} stages=4"),
+            "steps",
+            out.stats().steps as f64,
+            "steps",
+        );
+        report_row(
+            "E10",
+            &format!("samples={samples} stages=4"),
+            "history tuples",
+            out.solution().unwrap().db.total_tuples() as f64,
+            "tuples",
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e10/stages");
+    for stages in [2usize, 4, 8, 16] {
+        let scenario = LabFlowConfig::new(4, stages).compile();
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &scenario, |b, s| {
+            b.iter(|| run_ok(s));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E12 — §2: isolation and serializability.
+//!
+//! Measures: (a) the execution-time overhead of wrapping concurrent agent
+//! claims in `iso { … }` vs. leaving them free; (b) the *anomaly count* —
+//! double-claims of one agent — observable in committed runs of the
+//! unisolated variant under randomized schedules, and always zero under
+//! isolation. This is the paper's `⊙t₁ | ⊙t₂ | … | ⊙tₙ` serializability
+//! guarantee made measurable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use td_bench::{report_row, run_ok_with};
+use td_engine::{EngineConfig, Strategy};
+use td_workflow::{double_claims, AgentScenarioConfig, Node, WorkflowSpec};
+
+fn spec() -> WorkflowSpec {
+    WorkflowSpec::new("wf", Node::Seq(vec![Node::task("t1"), Node::task("t2")]))
+}
+
+fn config_with(atomic: bool) -> AgentScenarioConfig {
+    let items: Vec<String> = (1..=3).map(|i| format!("w{i}")).collect();
+    let mut cfg = AgentScenarioConfig::universal_pool(spec(), items, 2);
+    cfg.atomic_claim = atomic;
+    cfg
+}
+
+fn bench(c: &mut Criterion) {
+    let isolated = config_with(true).compile();
+    let free = config_with(false).compile();
+
+    c.bench_function("e12/isolated_claims", |b| {
+        b.iter(|| run_ok_with(&isolated, EngineConfig::default()));
+    });
+    c.bench_function("e12/free_claims", |b| {
+        b.iter(|| run_ok_with(&free, EngineConfig::default()));
+    });
+
+    // Anomaly measurement across randomized (but complete) schedules.
+    let mut iso_anomalies = 0usize;
+    let mut free_anomalies = 0usize;
+    let runs = 25;
+    for seed in 0..runs {
+        let cfg = EngineConfig::default().with_strategy(Strategy::ExhaustiveRandom(seed));
+        let out = run_ok_with(&isolated, cfg.clone());
+        iso_anomalies += double_claims(&out.solution().unwrap().delta);
+        let out = run_ok_with(&free, cfg);
+        free_anomalies += double_claims(&out.solution().unwrap().delta);
+    }
+    report_row(
+        "E12",
+        &format!("{runs} random schedules"),
+        "double-claims (iso)",
+        iso_anomalies as f64,
+        "anomalies (must be 0)",
+    );
+    report_row(
+        "E12",
+        &format!("{runs} random schedules"),
+        "double-claims (free)",
+        free_anomalies as f64,
+        "anomalies",
+    );
+    assert_eq!(iso_anomalies, 0, "isolation must prevent double-claims");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

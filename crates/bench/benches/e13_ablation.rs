@@ -1,0 +1,98 @@
+//! E13 — ablations of the engine's design choices (DESIGN.md §engine).
+//!
+//! Not a paper experiment: this quantifies the two implementation decisions
+//! the reproduction hinges on.
+//!
+//! 1. **Refuted-configuration memoization.** Without it, a persistently
+//!    failing guard inside one concurrent branch is re-refuted under every
+//!    interleaving of the others — exponential. With it, the interleaving
+//!    lattice is merged.
+//! 2. **Scheduling strategy.** Exhaustive (complete, leftmost-first) vs.
+//!    randomized-exhaustive vs. round-robin (fair, incomplete) on a
+//!    confluent workflow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::report_row;
+use td_engine::{EngineConfig, Strategy};
+use td_workflow::{RepeatProtocol, Scenario, WorkflowSpec};
+
+fn run(scenario: &Scenario, cfg: EngineConfig) -> td_engine::Stats {
+    let out = scenario.run_with(cfg).expect("no fault");
+    assert!(out.is_success());
+    out.stats()
+}
+
+fn bench(c: &mut Criterion) {
+    // --- memoization ablation on the iterated protocol -------------------
+    // (guard `Q >= k` fails every round in every concurrent instance)
+    let mut group = c.benchmark_group("e13/memo");
+    for (label, memo) in [("on", true), ("off", false)] {
+        // Keep the instance small enough that memo-off terminates.
+        let scenario = RepeatProtocol::new(2, 3).compile();
+        let cfg = EngineConfig {
+            memo_failures: memo,
+            ..EngineConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(scenario, cfg),
+            |b, (s, cfg)| {
+                b.iter(|| run(s, cfg.clone()));
+            },
+        );
+    }
+    group.finish();
+
+    // Step-count blowup as the instance grows, memo off vs on.
+    for attempts in [2i64, 3, 4] {
+        let scenario = RepeatProtocol::new(2, attempts).compile();
+        let on = run(&scenario, EngineConfig::default());
+        let cfg_off = EngineConfig {
+            memo_failures: false,
+            ..EngineConfig::default().with_max_steps(50_000_000)
+        };
+        let off = run(&scenario, cfg_off);
+        report_row(
+            "E13",
+            &format!("protocol attempts={attempts}"),
+            "steps memo=on",
+            on.steps as f64,
+            "steps",
+        );
+        report_row(
+            "E13",
+            &format!("protocol attempts={attempts}"),
+            "steps memo=off",
+            off.steps as f64,
+            "steps",
+        );
+    }
+
+    // --- strategy ablation on a confluent multi-instance workflow --------
+    let spec = WorkflowSpec::example_3_1();
+    let items: Vec<String> = (1..=3).map(|i| format!("w{i}")).collect();
+    let scenario = spec.compile(&items);
+    let mut group = c.benchmark_group("e13/strategy");
+    for (label, strat) in [
+        ("exhaustive", Strategy::Exhaustive),
+        ("random", Strategy::ExhaustiveRandom(7)),
+        ("round_robin", Strategy::RoundRobin),
+    ] {
+        let cfg = EngineConfig::default().with_strategy(strat);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(scenario.clone(), cfg),
+            |b, (s, cfg)| {
+                b.iter(|| run(s, cfg.clone()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Summarize `cargo bench` output as markdown.
+//!
+//! ```sh
+//! cargo bench --workspace 2>&1 | tee bench_output.txt
+//! cargo run -p td-bench --bin bench_report < bench_output.txt > BENCH_SUMMARY.md
+//! ```
+
+use std::io::Read;
+
+fn main() {
+    let mut text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .expect("read stdin");
+    let (benches, metrics) = td_bench::parse_bench_output(&text);
+    print!("{}", td_bench::render_markdown(&benches, &metrics));
+    eprintln!(
+        "parsed {} benchmarks, {} metric rows",
+        benches.len(),
+        metrics.len()
+    );
+}

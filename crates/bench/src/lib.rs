@@ -1,0 +1,199 @@
+//! Shared helpers for the benchmark harness (`crates/bench/benches/`).
+//!
+//! Each bench target regenerates one experiment from EXPERIMENTS.md. The
+//! helpers here run scenarios to completion and extract the secondary
+//! measurements (search steps, configuration counts, anomaly counts) that
+//! accompany the wall-clock numbers Criterion reports.
+
+use td_engine::{EngineConfig, Outcome};
+use td_workflow::Scenario;
+
+/// Run a scenario, asserting success, returning the outcome.
+pub fn run_ok(scenario: &Scenario) -> Outcome {
+    run_ok_with(scenario, EngineConfig::default())
+}
+
+/// Run with a config, asserting success.
+pub fn run_ok_with(scenario: &Scenario, config: EngineConfig) -> Outcome {
+    let out = scenario
+        .run_with(config)
+        .expect("benchmark scenario must not fault");
+    assert!(
+        out.is_success(),
+        "benchmark scenario must be executable:\n{}",
+        scenario.source
+    );
+    out
+}
+
+/// Print one row of a paper-style results table to stderr (so it survives
+/// Criterion's stdout capture).
+pub fn report_row(experiment: &str, params: &str, series: &str, value: f64, unit: &str) {
+    eprintln!("[{experiment}] {params:<28} {series:<22} {value:>12.2} {unit}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_workflow::LabFlowConfig;
+
+    #[test]
+    fn run_ok_runs_a_small_scenario() {
+        let s = LabFlowConfig::new(2, 2).compile();
+        let out = run_ok(&s);
+        assert!(out.stats().steps > 0);
+    }
+}
+
+/// Parsed benchmark result: Criterion id and midpoint estimate.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BenchRow {
+    pub id: String,
+    pub midpoint: String,
+}
+
+/// A `report_row` line parsed back.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MetricRow {
+    pub experiment: String,
+    pub params: String,
+    pub series: String,
+    pub value: f64,
+    pub unit: String,
+}
+
+/// Parse `cargo bench` output: Criterion timings and `[En]` metric rows.
+pub fn parse_bench_output(text: &str) -> (Vec<BenchRow>, Vec<MetricRow>) {
+    let mut benches = Vec::new();
+    let mut metrics = Vec::new();
+    let mut pending_id: Option<String> = None;
+    for line in text.lines() {
+        let trimmed = line.trim_end();
+        // Metric rows: [E7] params   series   value unit
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            if let Some((exp, rest)) = rest.split_once(']') {
+                let rest = rest.trim();
+                // params is padded to 28, series to 22, value right-aligned 12.
+                if rest.len() > 28 + 22 {
+                    let params = rest[..28].trim().to_string();
+                    let series = rest[28..28 + 22].trim().to_string();
+                    let tail = rest[28 + 22..].trim();
+                    let mut parts = tail.splitn(2, ' ');
+                    if let Some(v) = parts.next().and_then(|v| v.parse::<f64>().ok()) {
+                        metrics.push(MetricRow {
+                            experiment: exp.to_string(),
+                            params,
+                            series,
+                            value: v,
+                            unit: parts.next().unwrap_or("").trim().to_string(),
+                        });
+                        continue;
+                    }
+                }
+            }
+        }
+        // Criterion: either "id   time: [lo mid hi]" on one line, or the id
+        // alone followed by an indented "time:" line.
+        if let Some(idx) = trimmed.find("time:") {
+            let id_part = trimmed[..idx].trim();
+            let id = if id_part.is_empty() {
+                pending_id.take()
+            } else {
+                Some(id_part.to_string())
+            };
+            if let Some(id) = id {
+                if let Some(bracket) = trimmed[idx..].find('[') {
+                    let inner = &trimmed[idx + bracket + 1..];
+                    let inner = inner.split(']').next().unwrap_or("");
+                    let toks: Vec<&str> = inner.split_whitespace().collect();
+                    if toks.len() >= 4 {
+                        benches.push(BenchRow {
+                            id,
+                            midpoint: format!("{} {}", toks[2], toks[3]),
+                        });
+                    }
+                }
+            }
+            continue;
+        }
+        // A candidate id line: "e07/qbf_td/8" style.
+        if !trimmed.is_empty()
+            && !trimmed.starts_with(' ')
+            && trimmed.contains('/')
+            && !trimmed.contains(' ')
+        {
+            pending_id = Some(trimmed.to_string());
+        }
+    }
+    (benches, metrics)
+}
+
+/// Render the parsed results as a markdown summary grouped by experiment
+/// prefix (`e01`, `e02`, …).
+pub fn render_markdown(benches: &[BenchRow], metrics: &[MetricRow]) -> String {
+    use std::collections::BTreeMap;
+    let mut by_exp: BTreeMap<String, Vec<&BenchRow>> = BTreeMap::new();
+    for b in benches {
+        let exp = b.id.split('/').next().unwrap_or("misc").to_string();
+        by_exp.entry(exp).or_default().push(b);
+    }
+    let mut out = String::new();
+    out.push_str("# Benchmark summary\n");
+    for (exp, rows) in &by_exp {
+        out.push_str(&format!("\n## {exp}\n\n| benchmark | time |\n|---|---|\n"));
+        for r in rows {
+            out.push_str(&format!("| {} | {} |\n", r.id, r.midpoint));
+        }
+        let related: Vec<&MetricRow> = metrics
+            .iter()
+            .filter(|m| m.experiment.to_lowercase() == exp.replace("e0", "e"))
+            .collect();
+        if !related.is_empty() {
+            out.push_str("\n| parameters | series | value |\n|---|---|---|\n");
+            for m in related {
+                out.push_str(&format!(
+                    "| {} | {} | {} {} |\n",
+                    m.params, m.series, m.value, m.unit
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod parse_tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+e01/transfer_commit     time:   [10.177 µs 10.245 µs 10.313 µs]
+Benchmarking e07/qbf_td/8
+e07/qbf_td/8
+                        time:   [1.5625 ms 1.5708 ms 1.5832 ms]
+[E7] quantified vars=8             TD steps (~2^k)               597.00 steps
+Found 1 outliers among 10 measurements (10.00%)
+";
+
+    #[test]
+    fn parses_single_line_and_split_line_timings() {
+        let (benches, metrics) = parse_bench_output(SAMPLE);
+        assert_eq!(benches.len(), 2);
+        assert_eq!(benches[0].id, "e01/transfer_commit");
+        assert_eq!(benches[0].midpoint, "10.245 µs");
+        assert_eq!(benches[1].id, "e07/qbf_td/8");
+        assert_eq!(benches[1].midpoint, "1.5708 ms");
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].experiment, "E7");
+        assert_eq!(metrics[0].value, 597.0);
+        assert_eq!(metrics[0].series, "TD steps (~2^k)");
+    }
+
+    #[test]
+    fn renders_markdown_tables() {
+        let (benches, metrics) = parse_bench_output(SAMPLE);
+        let md = render_markdown(&benches, &metrics);
+        assert!(md.contains("## e01"));
+        assert!(md.contains("| e07/qbf_td/8 | 1.5708 ms |"));
+        assert!(md.contains("597 steps"));
+    }
+}

@@ -1,0 +1,271 @@
+//! `td` — command-line runner for Transaction Datalog programs.
+//!
+//! ```text
+//! td run <file.td>        execute each ?- goal in the file, print outcomes
+//! td trace <file.td>      like run, but print the committed execution trace
+//! td fragment <file.td>   classify the program into the paper's sublanguages
+//! td decide <file.td>     decide executability with the memoizing decider
+//! td repl <file.td>       load the file, read goals interactively
+//!
+//! options (before the file):
+//!   --strategy=exhaustive|random|round-robin|leftmost
+//!   --seed=N               seed for --strategy=random
+//!   --max-steps=N          step budget (default 10000000)
+//! ```
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use td_core::{FragmentReport, Goal, Program};
+use td_db::Database;
+use td_engine::{decider, load_init, Engine, EngineConfig, Outcome, Strategy};
+use td_parser::{parse_goal, parse_program};
+
+fn parse_options(args: &[String]) -> Result<(EngineConfig, Vec<&String>), String> {
+    let mut config = EngineConfig::default();
+    let mut seed: u64 = 0;
+    let mut strategy: Option<&str> = None;
+    let mut rest = Vec::new();
+    for a in args {
+        if let Some(v) = a.strip_prefix("--strategy=") {
+            strategy = Some(match v {
+                "exhaustive" | "random" | "round-robin" | "leftmost" => v,
+                other => return Err(format!("unknown strategy `{other}`")),
+            });
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+        } else if let Some(v) = a.strip_prefix("--max-steps=") {
+            config.max_steps = v.parse().map_err(|_| format!("bad step budget `{v}`"))?;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown option `{a}`"));
+        } else {
+            rest.push(a);
+        }
+    }
+    config.strategy = match strategy {
+        None | Some("exhaustive") => Strategy::Exhaustive,
+        Some("random") => Strategy::ExhaustiveRandom(seed),
+        Some("round-robin") => Strategy::RoundRobin,
+        Some("leftmost") => Strategy::Leftmost,
+        Some(_) => unreachable!("validated above"),
+    };
+    Ok((config, rest))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, positional) = match parse_options(&args) {
+        Ok(x) => x,
+        Err(msg) => {
+            eprintln!("td: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let (cmd, file) = match positional.as_slice() {
+        [cmd, file] => (cmd.as_str(), file.as_str()),
+        _ => {
+            eprintln!(
+                "usage: td [--strategy=S] [--seed=N] [--max-steps=N] \
+       <run|trace|fragment|decide|repl> <file.td>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("td: cannot read `{file}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let parsed = match parse_program(&src) {
+        Ok(p) => p,
+        Err(errs) => {
+            eprintln!("{}", errs.render(&src));
+            return ExitCode::FAILURE;
+        }
+    };
+    let db = Database::with_schema_of(&parsed.program);
+    let db = match load_init(&db, &parsed.init) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("td: loading init facts: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd {
+        "run" => run(&parsed, db, config),
+        "trace" => trace(&parsed, db, config),
+        "fragment" => fragment(&parsed),
+        "decide" => decide(&parsed, db),
+        "repl" => repl(&parsed, db, config),
+        other => {
+            eprintln!("td: unknown command `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn trace(parsed: &td_parser::ParsedProgram, mut db: Database, config: EngineConfig) -> ExitCode {
+    if parsed.goals.is_empty() {
+        eprintln!("td: no ?- goals in file");
+        return ExitCode::FAILURE;
+    }
+    let engine = Engine::with_config(parsed.program.clone(), config.with_trace());
+    let mut ok = true;
+    for g in &parsed.goals {
+        println!(
+            "?- {}",
+            td_core::rule::render_goal_with_names(&g.goal, &g.var_names)
+        );
+        match engine.solve(&g.goal, &db) {
+            Ok(Outcome::Success(sol)) => {
+                print!("{}", sol.trace);
+                println!("  yes  ({})", sol.stats);
+                db = sol.db.clone();
+            }
+            Ok(Outcome::Failure { stats }) => {
+                println!("  no   ({stats})");
+                ok = false;
+            }
+            Err(e) => {
+                println!("  error: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run(parsed: &td_parser::ParsedProgram, mut db: Database, config: EngineConfig) -> ExitCode {
+    if parsed.goals.is_empty() {
+        eprintln!("td: no ?- goals in file");
+        return ExitCode::FAILURE;
+    }
+    let engine = Engine::with_config(parsed.program.clone(), config);
+    let mut ok = true;
+    for g in &parsed.goals {
+        println!(
+            "?- {}",
+            td_core::rule::render_goal_with_names(&g.goal, &g.var_names)
+        );
+        match engine.solve(&g.goal, &db) {
+            Ok(Outcome::Success(sol)) => {
+                for (i, name) in g.var_names.iter().enumerate() {
+                    println!("  {name} = {}", sol.answer[i]);
+                }
+                println!("  yes  ({})", sol.stats);
+                println!("  db = {}", sol.db);
+                db = sol.db.clone(); // goals run in sequence, like the prototype
+            }
+            Ok(Outcome::Failure { stats }) => {
+                println!("  no   ({stats})");
+                ok = false;
+            }
+            Err(e) => {
+                println!("  error: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fragment(parsed: &td_parser::ParsedProgram) -> ExitCode {
+    let goal = parsed
+        .goals
+        .first()
+        .map(|g| g.goal.clone())
+        .unwrap_or(Goal::True);
+    let report = FragmentReport::classify(&parsed.program, &goal);
+    println!("{report}");
+    for l in td_core::validate::unsafe_rules(&parsed.program) {
+        println!("lint: {l}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn decide(parsed: &td_parser::ParsedProgram, db: Database) -> ExitCode {
+    if parsed.goals.is_empty() {
+        eprintln!("td: no ?- goals in file");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for g in &parsed.goals {
+        match decider::decide(
+            &parsed.program,
+            &g.goal,
+            &db,
+            decider::DeciderConfig::default(),
+        ) {
+            Ok(d) => {
+                println!(
+                    "executable: {}{}  (configurations: {})",
+                    d.executable,
+                    if d.truncated { " (truncated)" } else { "" },
+                    d.configs
+                );
+                ok &= d.executable;
+            }
+            Err(e) => {
+                println!("error: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn repl(parsed: &td_parser::ParsedProgram, mut db: Database, config: EngineConfig) -> ExitCode {
+    let program: Program = parsed.program.clone();
+    let engine = Engine::with_config(program.clone(), config);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!("Transaction Datalog repl — enter goals, `:db` to show state, ^D to exit");
+    loop {
+        print!("td> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => return ExitCode::SUCCESS,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":db" {
+            println!("{db}");
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            return ExitCode::SUCCESS;
+        }
+        match parse_goal(line, &program) {
+            Err(e) => println!("{}", e.render(line)),
+            Ok(g) => match engine.solve(&g.goal, &db) {
+                Ok(Outcome::Success(sol)) => {
+                    for (i, name) in g.var_names.iter().enumerate() {
+                        println!("  {name} = {}", sol.answer[i]);
+                    }
+                    println!("  yes");
+                    db = sol.db.clone();
+                }
+                Ok(Outcome::Failure { .. }) => println!("  no"),
+                Err(e) => println!("  error: {e}"),
+            },
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Integration tests for the `td` binary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn td() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_td"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("td-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn run_executes_goals_and_prints_answers() {
+    let f = write_temp(
+        "run_ok.td",
+        "base item/1. init item(w1).\n?- item(X) * del.item(X).\n",
+    );
+    let out = td().args(["run"]).arg(&f).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("X = w1"), "{stdout}");
+    assert!(stdout.contains("yes"), "{stdout}");
+    assert!(stdout.contains("db = {}"), "{stdout}");
+}
+
+#[test]
+fn run_reports_failure_with_nonzero_exit() {
+    let f = write_temp("run_fail.td", "base t/0.\n?- t.\n");
+    let out = td().args(["run"]).arg(&f).output().unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("no"), "{stdout}");
+}
+
+#[test]
+fn goals_run_in_sequence_sharing_state() {
+    let f = write_temp(
+        "run_seq.td",
+        "base t/1.\n?- ins.t(1).\n?- t(1) * ins.t(2).\n",
+    );
+    let out = td().args(["run"]).arg(&f).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("db = {t(1), t(2)}"), "{stdout}");
+}
+
+#[test]
+fn parse_errors_are_rendered_with_location() {
+    let f = write_temp("bad.td", "base t/0.\nr <- ins.\n");
+    let out = td().args(["run"]).arg(&f).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("expected"), "{stderr}");
+    assert!(stderr.contains('^'), "{stderr}");
+}
+
+#[test]
+fn fragment_classifies_programs() {
+    let f = write_temp(
+        "frag.td",
+        "base t/0.\nsim <- step | sim.\nstep <- ins.t.\n?- sim.\n",
+    );
+    let out = td().args(["fragment"]).arg(&f).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("full TD"), "{stdout}");
+    assert!(stdout.contains("RE-complete"), "{stdout}");
+}
+
+#[test]
+fn decide_reports_configuration_counts() {
+    let f = write_temp(
+        "decide.td",
+        "base t/0.\nloop <- { ins.t or loop }.\n?- loop.\n",
+    );
+    let out = td().args(["decide"]).arg(&f).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("executable: true"), "{stdout}");
+    assert!(stdout.contains("configurations:"), "{stdout}");
+}
+
+#[test]
+fn repl_answers_interactive_goals() {
+    let f = write_temp("repl.td", "base t/1. init t(7).\n");
+    let mut child = td()
+        .args(["repl"])
+        .arg(&f)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"t(X)\n:db\n:quit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("X = 7"), "{stdout}");
+    assert!(stdout.contains("{t(7)}"), "{stdout}");
+}
+
+#[test]
+fn missing_file_and_bad_usage_exit_2() {
+    let out = td().args(["run", "/nonexistent/x.td"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = td().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let f = write_temp("ok.td", "base t/0.");
+    let out = td().args(["bogus"]).arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn trace_prints_the_committed_story() {
+    let f = write_temp(
+        "trace.td",
+        "base t/1.\nput <- ins.t(1) * t(X) * del.t(X).\n?- put.\n",
+    );
+    let out = td().args(["trace"]).arg(&f).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("unfold put"), "{stdout}");
+    assert!(stdout.contains("ins.t(1)"), "{stdout}");
+    assert!(stdout.contains("del.t(1)"), "{stdout}");
+}
+
+#[test]
+fn strategy_and_budget_flags() {
+    let f = write_temp(
+        "flags.td",
+        "base done/1.\nw(X) <- ins.done(X).\n?- w(a) | w(b).\n",
+    );
+    let out = td()
+        .args(["--strategy=round-robin", "run"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    // A tiny budget turns divergence into a clean error.
+    let g = write_temp("diverge.td", "loop <- loop.\n?- loop.\n");
+    let out = td()
+        .args(["--max-steps=100", "run"])
+        .arg(&g)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("step budget exhausted"), "{stdout}");
+
+    // Unknown options are rejected.
+    let out = td().args(["--bogus", "run"]).arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,126 @@
+//! Predicates and atoms.
+
+use crate::symbol::Symbol;
+use crate::term::{Term, Value, Var};
+use std::fmt;
+
+/// A predicate identity: interned name plus arity.
+///
+/// TD distinguishes *base* predicates (stored in the database, targets of
+/// `ins`/`del` and tuple tests) from *derived* predicates (defined by rules).
+/// That classification lives in [`crate::program::Program`] and the database
+/// schema; `Pred` itself is just the name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Pred {
+    pub name: Symbol,
+    pub arity: u32,
+}
+
+impl Pred {
+    /// Predicate with the given name and arity.
+    pub fn new(name: &str, arity: u32) -> Pred {
+        Pred {
+            name: Symbol::intern(name),
+            arity,
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// An atom: predicate applied to terms, e.g. `task(W, a1)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    pub pred: Pred,
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom; the predicate arity is taken from `args.len()`.
+    pub fn new(name: &str, args: Vec<Term>) -> Atom {
+        let arity = u32::try_from(args.len()).expect("atom arity overflow");
+        Atom {
+            pred: Pred::new(name, arity),
+            args,
+        }
+    }
+
+    /// A zero-ary (propositional) atom.
+    pub fn prop(name: &str) -> Atom {
+        Atom::new(name, Vec::new())
+    }
+
+    /// True iff every argument is ground.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+
+    /// The ground argument values, if the atom is ground.
+    pub fn ground_args(&self) -> Option<Vec<Value>> {
+        self.args.iter().map(Term::as_value).collect()
+    }
+
+    /// Iterate over the variables occurring in the atom (with repeats).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(Term::as_var)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pred.name)?;
+        if !self.args.is_empty() {
+            write!(f, "(")?;
+            for (i, t) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pred_identity_includes_arity() {
+        assert_ne!(Pred::new("p", 1), Pred::new("p", 2));
+        assert_eq!(Pred::new("p", 1), Pred::new("p", 1));
+    }
+
+    #[test]
+    fn atom_arity_tracks_args() {
+        let a = Atom::new("task", vec![Term::sym("w1"), Term::var(0)]);
+        assert_eq!(a.pred.arity, 2);
+        assert!(!a.is_ground());
+        assert_eq!(a.vars().collect::<Vec<_>>(), vec![Var(0)]);
+    }
+
+    #[test]
+    fn ground_args_only_when_ground() {
+        let g = Atom::new("p", vec![Term::sym("a"), Term::int(3)]);
+        assert_eq!(
+            g.ground_args(),
+            Some(vec![Value::sym("a"), Value::Int(3)])
+        );
+        let ng = Atom::new("p", vec![Term::var(1)]);
+        assert_eq!(ng.ground_args(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Atom::prop("go").to_string(), "go");
+        let a = Atom::new("balance", vec![Term::sym("acct1"), Term::var(2)]);
+        assert_eq!(a.to_string(), "balance(acct1, _V2)");
+        assert_eq!(Pred::new("p", 3).to_string(), "p/3");
+    }
+}

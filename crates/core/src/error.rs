@@ -1,0 +1,101 @@
+//! Error types for program construction and validation.
+
+use crate::atom::Pred;
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// Result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors raised while building or validating TD programs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CoreError {
+    /// The same predicate name is used with two different arities in a
+    /// context where that is disallowed (base-predicate declarations).
+    ArityMismatch {
+        name: Symbol,
+        expected: u32,
+        found: u32,
+    },
+    /// A rule's head predicate is declared as a base predicate; base
+    /// predicates may only be changed by `ins`/`del`.
+    HeadIsBase { pred: Pred },
+    /// `ins`/`del` applied to a predicate that is not a declared base
+    /// predicate (e.g. a derived predicate or an undeclared name).
+    UpdateOnNonBase { pred: Pred },
+    /// `not` applied to a non-base predicate.
+    NegationOnNonBase { pred: Pred },
+    /// An atom refers to a predicate that is neither base nor derived.
+    UnknownPredicate { pred: Pred },
+    /// A head variable does not occur in the rule body (range restriction /
+    /// safety): such a rule could bind head arguments to arbitrary domain
+    /// elements.
+    UnsafeHeadVar { pred: Pred, var: Symbol },
+    /// A builtin was constructed with the wrong number of arguments.
+    BuiltinArity { op: &'static str, expected: usize, found: usize },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate `{name}` used with arity {found}, but declared with arity {expected}"
+            ),
+            CoreError::HeadIsBase { pred } => write!(
+                f,
+                "rule head `{pred}` is a base predicate; base relations change only via ins/del"
+            ),
+            CoreError::UpdateOnNonBase { pred } => {
+                write!(f, "ins/del applied to non-base predicate `{pred}`")
+            }
+            CoreError::NegationOnNonBase { pred } => {
+                write!(f, "`not` applied to non-base predicate `{pred}`")
+            }
+            CoreError::UnknownPredicate { pred } => {
+                write!(f, "predicate `{pred}` is neither a base relation nor defined by any rule")
+            }
+            CoreError::UnsafeHeadVar { pred, var } => write!(
+                f,
+                "unsafe rule for `{pred}`: head variable `{var}` does not occur in the body"
+            ),
+            CoreError::BuiltinArity {
+                op,
+                expected,
+                found,
+            } => write!(
+                f,
+                "builtin `{op}` takes {expected} arguments, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_readably() {
+        let e = CoreError::UpdateOnNonBase {
+            pred: Pred::new("workflow", 1),
+        };
+        assert_eq!(
+            e.to_string(),
+            "ins/del applied to non-base predicate `workflow/1`"
+        );
+        let e = CoreError::ArityMismatch {
+            name: Symbol::intern("p"),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("arity 3"));
+        assert!(e.to_string().contains("arity 2"));
+    }
+}

@@ -1,0 +1,272 @@
+//! The paper's sublanguage (fragment) classification.
+//!
+//! §4–§5 of the paper map the data complexity of workflow executability
+//! across restrictions of TD:
+//!
+//! | fragment | restriction | data complexity |
+//! |---|---|---|
+//! | full TD | none | RE-complete |
+//! | sequential rulebase | `\|` only in the top-level goal | RE-complete (3 processes suffice — Cor. 4.6) |
+//! | sequential TD | no `\|` at all | EXPTIME-complete (Thm. 4.5) |
+//! | nonrecursive TD | no recursion | inside PTIME (Thm. 4.7) |
+//! | fully bounded TD | bounded process width + sequential tail recursion | the paper's "practical blend" — see below |
+//!
+//! **Fully bounded TD** (§5, reconstructed): TD is already *data*-bounded —
+//! it is safe, so the domain and schema are fixed and the database stays
+//! polynomial. What remains unbounded are the *process* features: concurrent
+//! width (recursion through `|` creates processes at runtime, Example 3.2)
+//! and the recursion stack (non-tail sequential recursion simulates
+//! alternation, Thm. 4.5). Fully bounded TD removes both: recursion may not
+//! pass through `|` (process width is then a program constant) and every
+//! recursive call must be a tail call (iteration, like the repeated
+//! laboratory protocol of \[26\]). Both workflow idioms the paper needs —
+//! iterated protocols and a fixed network of cooperating workflows — remain
+//! expressible; what is lost is exactly the machinery of the hardness
+//! proofs.
+
+use crate::analysis::{structure_facts, StructureFacts};
+use crate::goal::Goal;
+use crate::program::Program;
+use std::fmt;
+
+/// The paper's named TD sublanguages, most restrictive applicable first.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Fragment {
+    /// No recursion at all. Data complexity inside PTIME (Thm. 4.7).
+    Nonrecursive,
+    /// No concurrent composition anywhere. EXPTIME-complete (Thm. 4.5).
+    Sequential,
+    /// Bounded process width and only sequential tail recursion (§5).
+    FullyBounded,
+    /// `|` occurs only in the top-level goal, not in rule bodies; with
+    /// unrestricted recursion this is still RE-complete (Cor. 4.6).
+    SequentialRulebase,
+    /// Unrestricted TD. RE-complete (§4).
+    Full,
+}
+
+impl Fragment {
+    /// The complexity class the paper proves for this fragment (data
+    /// complexity of the executability problem).
+    pub fn complexity(self) -> &'static str {
+        match self {
+            Fragment::Nonrecursive => "inside PTIME",
+            Fragment::Sequential => "EXPTIME-complete",
+            Fragment::FullyBounded => "PSPACE (bounded configuration space)",
+            Fragment::SequentialRulebase => "RE-complete",
+            Fragment::Full => "RE-complete",
+        }
+    }
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Fragment::Nonrecursive => "nonrecursive TD",
+            Fragment::Sequential => "sequential TD",
+            Fragment::FullyBounded => "fully bounded TD",
+            Fragment::SequentialRulebase => "TD with sequential rulebase",
+            Fragment::Full => "full TD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classification result: the fragment plus the structural facts that
+/// produced it, for reporting (`td fragment <file>` in the CLI).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FragmentReport {
+    pub fragment: Fragment,
+    pub facts: StructureFacts,
+}
+
+impl FragmentReport {
+    /// Classify `program` with entry `goal`.
+    pub fn classify(program: &Program, goal: &Goal) -> FragmentReport {
+        let facts = structure_facts(program, goal);
+        let fragment = if !facts.recursive {
+            Fragment::Nonrecursive
+        } else if !facts.par_in_rules && !facts.par_in_goal {
+            Fragment::Sequential
+        } else if !facts.recursion_through_par
+            && !facts.recursion_through_iso
+            && facts.tail_recursion_only
+        {
+            Fragment::FullyBounded
+        } else if !facts.par_in_rules {
+            Fragment::SequentialRulebase
+        } else {
+            Fragment::Full
+        };
+        FragmentReport { fragment, facts }
+    }
+
+    /// True if executability is decidable for this fragment (everything
+    /// except the RE-complete fragments).
+    pub fn decidable(&self) -> bool {
+        !matches!(
+            self.fragment,
+            Fragment::Full | Fragment::SequentialRulebase
+        )
+    }
+}
+
+impl fmt::Display for FragmentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fragment: {} ({})", self.fragment, self.fragment.complexity())?;
+        writeln!(f, "  recursive:              {}", self.facts.recursive)?;
+        writeln!(f, "  | in rule bodies:       {}", self.facts.par_in_rules)?;
+        writeln!(f, "  | in top-level goal:    {}", self.facts.par_in_goal)?;
+        writeln!(f, "  recursion through |:    {}", self.facts.recursion_through_par)?;
+        writeln!(f, "  recursion through iso:  {}", self.facts.recursion_through_iso)?;
+        writeln!(f, "  tail recursion only:    {}", self.facts.tail_recursion_only)?;
+        write!(f, "  max | width:            {}", self.facts.max_par_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::term::Term;
+
+    fn classify(rules: Vec<(Atom, Goal)>, base: &[(&str, u32)], goal: Goal) -> Fragment {
+        let mut b = Program::builder().base_preds(base);
+        for (h, g) in rules {
+            b = b.rule_parts(h, g);
+        }
+        let p = b.build_unchecked();
+        FragmentReport::classify(&p, &goal).fragment
+    }
+
+    #[test]
+    fn nonrecursive_program() {
+        let f = classify(
+            vec![
+                (Atom::prop("a"), Goal::prop("b")),
+                (Atom::prop("b"), Goal::ins("t", vec![])),
+            ],
+            &[("t", 0)],
+            Goal::prop("a"),
+        );
+        assert_eq!(f, Fragment::Nonrecursive);
+    }
+
+    #[test]
+    fn nonrecursive_wins_even_with_par() {
+        // Thm 4.7: eliminating recursion collapses complexity regardless of |.
+        let f = classify(
+            vec![(Atom::prop("a"), Goal::par(vec![Goal::ins("t", vec![]), Goal::ins("u", vec![])]))],
+            &[("t", 0), ("u", 0)],
+            Goal::prop("a"),
+        );
+        assert_eq!(f, Fragment::Nonrecursive);
+    }
+
+    #[test]
+    fn sequential_td() {
+        let f = classify(
+            vec![(
+                Atom::prop("loop"),
+                Goal::choice(vec![
+                    Goal::seq(vec![Goal::prop("loop"), Goal::prop("loop")]),
+                    Goal::ins("t", vec![]),
+                ]),
+            )],
+            &[("t", 0)],
+            Goal::prop("loop"),
+        );
+        // Non-tail recursion but no | at all → sequential TD.
+        assert_eq!(f, Fragment::Sequential);
+    }
+
+    #[test]
+    fn fully_bounded_tail_iteration_with_static_par() {
+        // Two fixed cooperating workflows, each a tail-recursive loop:
+        // exactly the §5 "practical blend".
+        let loop_a = (
+            Atom::prop("wf_a"),
+            Goal::choice(vec![
+                Goal::seq(vec![Goal::ins("a", vec![]), Goal::prop("wf_a")]),
+                Goal::True,
+            ]),
+        );
+        let loop_b = (
+            Atom::prop("wf_b"),
+            Goal::choice(vec![
+                Goal::seq(vec![Goal::atom("a", vec![]), Goal::ins("b", vec![]), Goal::prop("wf_b")]),
+                Goal::True,
+            ]),
+        );
+        let f = classify(
+            vec![loop_a, loop_b],
+            &[("a", 0), ("b", 0)],
+            Goal::par(vec![Goal::prop("wf_a"), Goal::prop("wf_b")]),
+        );
+        assert_eq!(f, Fragment::FullyBounded);
+    }
+
+    #[test]
+    fn sequential_rulebase_when_recursion_is_not_tail() {
+        // Non-tail recursion + | only in the goal → Cor 4.6 territory.
+        let f = classify(
+            vec![(
+                Atom::prop("r"),
+                Goal::choice(vec![
+                    Goal::seq(vec![Goal::prop("r"), Goal::ins("t", vec![])]),
+                    Goal::True,
+                ]),
+            )],
+            &[("t", 0)],
+            Goal::par(vec![Goal::prop("r"), Goal::prop("r"), Goal::prop("r")]),
+        );
+        assert_eq!(f, Fragment::SequentialRulebase);
+    }
+
+    #[test]
+    fn full_td_for_recursion_through_par() {
+        // Example 3.2's simulate pattern.
+        let f = classify(
+            vec![
+                (
+                    Atom::prop("simulate"),
+                    Goal::par(vec![
+                        Goal::atom("workflow", vec![Term::var(0)]),
+                        Goal::prop("simulate"),
+                    ]),
+                ),
+                (
+                    Atom::new("workflow", vec![Term::var(0)]),
+                    Goal::del("item", vec![Term::var(0)]),
+                ),
+            ],
+            &[("item", 1)],
+            Goal::prop("simulate"),
+        );
+        assert_eq!(f, Fragment::Full);
+    }
+
+    #[test]
+    fn decidability_flags() {
+        let p = Program::builder().base_pred("t", 0).build().unwrap();
+        let r = FragmentReport::classify(&p, &Goal::ins("t", vec![]));
+        assert_eq!(r.fragment, Fragment::Nonrecursive);
+        assert!(r.decidable());
+    }
+
+    #[test]
+    fn complexity_strings() {
+        assert_eq!(Fragment::Full.complexity(), "RE-complete");
+        assert_eq!(Fragment::Sequential.complexity(), "EXPTIME-complete");
+        assert!(Fragment::Nonrecursive.complexity().contains("PTIME"));
+    }
+
+    #[test]
+    fn report_display_mentions_fragment() {
+        let p = Program::builder().base_pred("t", 0).build().unwrap();
+        let r = FragmentReport::classify(&p, &Goal::ins("t", vec![]));
+        let s = r.to_string();
+        assert!(s.contains("nonrecursive TD"));
+        assert!(s.contains("recursive:              false"));
+    }
+}

@@ -1,0 +1,59 @@
+//! # td-core — the Transaction Datalog language
+//!
+//! This crate defines the abstract syntax and static analysis of
+//! *Transaction Datalog* (TD), the concurrent transactional extension of
+//! Datalog introduced by Bonner (PODS'99, DBPL'97) and Bonner & Kifer
+//! (JICSLP'96).
+//!
+//! TD extends classical Datalog with:
+//!
+//! * **elementary database operations** — tuple testing `p(t̄)`, tuple
+//!   insertion `ins.p(t̄)` and tuple deletion `del.p(t̄)`;
+//! * **serial composition** `a ⊗ b` — execute `a`, then `b`;
+//! * **concurrent composition** `a | b` — interleave the executions of `a`
+//!   and `b`, which communicate through the shared database;
+//! * **isolation** `⊙a` — execute `a` atomically, without interference from
+//!   concurrent siblings;
+//! * **rules** `head ← body` — named, parameterized transactions and
+//!   processes, with full Datalog recursion.
+//!
+//! The crate provides:
+//!
+//! * interned [`Symbol`]s and the term language ([`Term`], [`Value`]);
+//! * predicate identities ([`Pred`]) and atoms ([`Atom`]);
+//! * the goal AST ([`Goal`]) and rules/programs ([`Rule`], [`Program`]);
+//! * unification and substitutions ([`unify`], [`subst`]);
+//! * static analysis: predicate dependency graphs, recursion and
+//!   tail-recursion detection, and the **fragment classifier**
+//!   ([`fragment::Fragment`]) implementing the sublanguages whose complexity
+//!   the paper maps (full TD, sequential TD, nonrecursive TD, fully bounded
+//!   TD, …);
+//! * validation (arity checking, base/derived separation) and safety lints;
+//! * source-to-source transformations ([`transform`]): algebraic goal
+//!   normalization and non-recursive predicate inlining.
+//!
+//! Execution lives in `td-engine`; the concrete syntax in `td-parser`.
+
+pub mod analysis;
+pub mod atom;
+pub mod error;
+pub mod fragment;
+pub mod goal;
+pub mod program;
+pub mod rule;
+pub mod subst;
+pub mod symbol;
+pub mod term;
+pub mod transform;
+pub mod unify;
+pub mod validate;
+
+pub use atom::{Atom, Pred};
+pub use error::{CoreError, CoreResult};
+pub use fragment::{Fragment, FragmentReport};
+pub use goal::{Builtin, Goal};
+pub use program::{Program, ProgramBuilder};
+pub use rule::{Rule, RuleId};
+pub use subst::Bindings;
+pub use symbol::Symbol;
+pub use term::{Term, Value, Var};

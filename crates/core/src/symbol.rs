@@ -1,0 +1,195 @@
+//! Global string interner.
+//!
+//! Predicate and constant names occur everywhere — in rules, tuples, traces —
+//! so they are interned once into a process-wide table. A [`Symbol`] carries
+//! both a dense id (identity: `Eq`/`Hash` are integer operations) and the
+//! leaked `&'static str` itself, so resolution, display and *ordering* never
+//! touch the interner lock — ordering in particular sits on the engine's hot
+//! path through the `BTreeMap`-keyed database.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Cheap to copy, compare and hash.
+///
+/// Equality and hashing use the dense id; ordering is *textual* (not
+/// interning order), so sorted containers and displays are deterministic
+/// across runs regardless of interning sequence.
+#[derive(Clone, Copy)]
+pub struct Symbol {
+    id: u32,
+    text: &'static str,
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Symbol {}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Symbol) -> std::cmp::Ordering {
+        if self.id == other.id {
+            std::cmp::Ordering::Equal
+        } else {
+            self.text.cmp(other.text)
+        }
+    }
+}
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `s`, returning its symbol. Repeated calls with equal strings
+    /// return equal symbols.
+    pub fn intern(s: &str) -> Symbol {
+        let mut int = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = int.map.get(s) {
+            return Symbol {
+                id,
+                text: int.strings[id as usize],
+            };
+        }
+        let id = u32::try_from(int.strings.len()).expect("interner overflow");
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        int.strings.push(leaked);
+        int.map.insert(leaked, id);
+        Symbol { id, text: leaked }
+    }
+
+    /// The interned text (allocation- and lock-free).
+    pub fn as_str(self) -> &'static str {
+        self.text
+    }
+
+    /// Raw id, stable within a process run. Useful for dense tables.
+    pub fn id(self) -> u32 {
+        self.id
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("workflow");
+        let b = Symbol::intern("workflow");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "workflow");
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::intern("ins");
+        let b = Symbol::intern("del");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "ins");
+        assert_eq!(b.as_str(), "del");
+    }
+
+    #[test]
+    fn from_str_matches_intern() {
+        let a: Symbol = "task".into();
+        assert_eq!(a, Symbol::intern("task"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let a = Symbol::intern("genome_lab");
+        assert_eq!(a.to_string(), "genome_lab");
+    }
+
+    #[test]
+    fn empty_string_is_internable() {
+        let a = Symbol::intern("");
+        assert_eq!(a.as_str(), "");
+        assert_eq!(a, Symbol::intern(""));
+    }
+
+    #[test]
+    fn ordering_is_textual() {
+        // Intern in reverse lexicographic order; comparison must be textual.
+        let z = Symbol::intern("zzz_sym_order");
+        let a = Symbol::intern("aaa_sym_order");
+        assert!(a < z);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn hash_and_eq_by_identity() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Symbol::intern("x1"));
+        set.insert(Symbol::intern("x1"));
+        set.insert(Symbol::intern("x2"));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn many_symbols_stay_distinct() {
+        let syms: Vec<Symbol> = (0..1000).map(|i| Symbol::intern(&format!("s{i}"))).collect();
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(s.as_str(), format!("s{i}"));
+        }
+    }
+
+    #[test]
+    fn symbols_are_usable_across_threads() {
+        let a = Symbol::intern("shared");
+        let handle = std::thread::spawn(move || {
+            assert_eq!(a.as_str(), "shared");
+            Symbol::intern("from-thread")
+        });
+        let b = handle.join().unwrap();
+        assert_eq!(b.as_str(), "from-thread");
+    }
+}

@@ -1,0 +1,334 @@
+//! Snapshot databases.
+//!
+//! A [`Database`] is an immutable value: updates return new versions, and the
+//! engine keeps old versions on its choicepoint stack (TD transactions are
+//! all-or-nothing, so a failed execution must restore the pre-state exactly —
+//! here that is free). Relations share structure between versions, so a
+//! snapshot costs one small map clone.
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use std::collections::BTreeMap;
+use std::fmt;
+use td_core::{Atom, Pred, Value};
+
+/// Errors raised by database operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DbError {
+    /// Tuple arity does not match the relation arity.
+    ArityMismatch {
+        pred: Pred,
+        expected: usize,
+        found: usize,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => write!(
+                f,
+                "tuple of arity {found} for relation `{pred}` (arity {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// An immutable snapshot of the whole database.
+///
+/// The relation map is a `BTreeMap` so iteration (and therefore digests and
+/// display) is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Database {
+    rels: BTreeMap<Pred, Relation>,
+}
+
+impl Database {
+    /// An empty database with no declared relations.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// A database with empty relations for every base predicate of a
+    /// program.
+    pub fn with_schema_of(program: &td_core::Program) -> Database {
+        let mut db = Database::new();
+        for p in program.base_preds() {
+            db = db.declare(p);
+        }
+        db
+    }
+
+    /// Declare a relation for `pred` (empty if not present). Idempotent.
+    pub fn declare(&self, pred: Pred) -> Database {
+        if self.rels.contains_key(&pred) {
+            return self.clone();
+        }
+        let mut rels = self.rels.clone();
+        rels.insert(pred, Relation::new(pred.arity as usize));
+        Database { rels }
+    }
+
+    /// The relation for `pred`, if declared.
+    pub fn relation(&self, pred: Pred) -> Option<&Relation> {
+        self.rels.get(&pred)
+    }
+
+    /// Declared predicates, in sorted order.
+    pub fn preds(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.rels.keys().copied()
+    }
+
+    /// Does the database contain the tuple?
+    pub fn contains(&self, pred: Pred, t: &Tuple) -> bool {
+        self.rels.get(&pred).is_some_and(|r| r.contains(t))
+    }
+
+    /// Insert a tuple, returning the new database and whether it changed.
+    /// Auto-declares unknown relations (the schema check happens upstream in
+    /// program validation).
+    pub fn insert(&self, pred: Pred, t: &Tuple) -> Result<(Database, bool), DbError> {
+        let rel = match self.rels.get(&pred) {
+            Some(r) => r.clone(),
+            None => Relation::new(pred.arity as usize),
+        };
+        if t.arity() != rel.arity() {
+            return Err(DbError::ArityMismatch {
+                pred,
+                expected: rel.arity(),
+                found: t.arity(),
+            });
+        }
+        let (rel, grew) = rel.insert(t);
+        if !grew && self.rels.contains_key(&pred) {
+            return Ok((self.clone(), false));
+        }
+        let mut rels = self.rels.clone();
+        rels.insert(pred, rel);
+        Ok((Database { rels }, grew))
+    }
+
+    /// Delete a tuple, returning the new database and whether it changed.
+    /// Deleting an absent tuple succeeds with no change (TD's `del` is a
+    /// "make it absent" operation).
+    pub fn delete(&self, pred: Pred, t: &Tuple) -> Result<(Database, bool), DbError> {
+        let Some(rel) = self.rels.get(&pred) else {
+            return Ok((self.clone(), false));
+        };
+        if t.arity() != rel.arity() {
+            return Err(DbError::ArityMismatch {
+                pred,
+                expected: rel.arity(),
+                found: t.arity(),
+            });
+        }
+        let (rel, shrank) = rel.remove(t);
+        if !shrank {
+            return Ok((self.clone(), false));
+        }
+        let mut rels = self.rels.clone();
+        rels.insert(pred, rel);
+        Ok((Database { rels }, true))
+    }
+
+    /// Check whether a *ground* atom holds.
+    pub fn holds(&self, atom: &Atom) -> bool {
+        match atom.ground_args() {
+            Some(vals) => self.contains(atom.pred, &Tuple::new(vals)),
+            None => false,
+        }
+    }
+
+    /// Total number of tuples across relations.
+    pub fn total_tuples(&self) -> usize {
+        self.rels.values().map(Relation::len).sum()
+    }
+
+    /// Deterministic digest of the database contents, usable for config-space
+    /// memoization. Combines each relation's commutative digest with its
+    /// predicate.
+    pub fn digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for (p, r) in &self.rels {
+            if r.is_empty() {
+                continue; // empty relations don't affect content identity
+            }
+            p.hash(&mut h);
+            r.digest().hash(&mut h);
+            r.len().hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// The active domain: every value occurring in some stored tuple.
+    pub fn active_domain(&self) -> std::collections::BTreeSet<Value> {
+        let mut out = std::collections::BTreeSet::new();
+        for r in self.rels.values() {
+            r.for_each(|t| {
+                for v in t.values() {
+                    out.insert(*v);
+                }
+            });
+        }
+        out
+    }
+
+    /// Content equality ignoring which empty relations are declared.
+    pub fn same_content(&self, other: &Database) -> bool {
+        let nonempty = |db: &Database| -> Vec<(Pred, Relation)> {
+            db.rels
+                .iter()
+                .filter(|(_, r)| !r.is_empty())
+                .map(|(p, r)| (*p, r.clone()))
+                .collect()
+        };
+        nonempty(self) == nonempty(other)
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "{{")?;
+        for (p, r) in &self.rels {
+            let mut tuples = r.to_vec();
+            tuples.sort();
+            for t in tuples {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                if t.arity() == 0 {
+                    write!(f, "{}", p.name)?;
+                } else {
+                    write!(f, "{}{}", p.name, t)?;
+                }
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn p(name: &str, arity: u32) -> Pred {
+        Pred::new(name, arity)
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let db = Database::new();
+        let (db, changed) = db.insert(p("item", 1), &tuple!("w1")).unwrap();
+        assert!(changed);
+        assert!(db.contains(p("item", 1), &tuple!("w1")));
+        assert!(!db.contains(p("item", 1), &tuple!("w2")));
+        assert!(!db.contains(p("other", 1), &tuple!("w1")));
+    }
+
+    #[test]
+    fn delete_absent_is_noop_success() {
+        let db = Database::new();
+        let (db2, changed) = db.delete(p("item", 1), &tuple!("w1")).unwrap();
+        assert!(!changed);
+        assert!(db2.same_content(&db));
+    }
+
+    #[test]
+    fn arity_mismatch_errors() {
+        let db = Database::new().declare(p("r", 2));
+        let err = db.insert(p("r", 2), &tuple!("only-one")).unwrap_err();
+        assert!(matches!(err, DbError::ArityMismatch { found: 1, .. }));
+    }
+
+    #[test]
+    fn snapshots_are_cheap_and_independent() {
+        let (db1, _) = Database::new().insert(p("a", 1), &tuple!(1)).unwrap();
+        let snap = db1.clone();
+        let (db2, _) = db1.insert(p("a", 1), &tuple!(2)).unwrap();
+        let (db3, _) = db2.delete(p("a", 1), &tuple!(1)).unwrap();
+        assert_eq!(snap.relation(p("a", 1)).unwrap().len(), 1);
+        assert_eq!(db2.relation(p("a", 1)).unwrap().len(), 2);
+        assert_eq!(db3.relation(p("a", 1)).unwrap().len(), 1);
+        assert!(db3.contains(p("a", 1), &tuple!(2)));
+        assert!(!db3.contains(p("a", 1), &tuple!(1)));
+    }
+
+    #[test]
+    fn holds_checks_ground_atoms() {
+        use td_core::Term;
+        let (db, _) = Database::new()
+            .insert(p("task", 2), &tuple!("w1", "t1"))
+            .unwrap();
+        let ground = Atom::new("task", vec![Term::sym("w1"), Term::sym("t1")]);
+        let nonground = Atom::new("task", vec![Term::sym("w1"), Term::var(0)]);
+        assert!(db.holds(&ground));
+        assert!(!db.holds(&nonground));
+    }
+
+    #[test]
+    fn digest_ignores_declared_empty_relations() {
+        let a = Database::new().declare(p("x", 1));
+        let b = Database::new();
+        assert_eq!(a.digest(), b.digest());
+        assert!(a.same_content(&b));
+    }
+
+    #[test]
+    fn digest_tracks_content_roundtrip() {
+        let db = Database::new();
+        let d0 = db.digest();
+        let (db1, _) = db.insert(p("q", 1), &tuple!(5)).unwrap();
+        assert_ne!(db1.digest(), d0);
+        let (db2, _) = db1.delete(p("q", 1), &tuple!(5)).unwrap();
+        assert_eq!(db2.digest(), d0);
+    }
+
+    #[test]
+    fn active_domain_collects_values() {
+        let (db, _) = Database::new().insert(p("e", 2), &tuple!("a", 1)).unwrap();
+        let (db, _) = db.insert(p("e", 2), &tuple!("b", 1)).unwrap();
+        let dom = db.active_domain();
+        assert_eq!(dom.len(), 3);
+        assert!(dom.contains(&Value::sym("a")));
+        assert!(dom.contains(&Value::Int(1)));
+    }
+
+    #[test]
+    fn display_is_sorted_and_readable() {
+        let (db, _) = Database::new().insert(p("b", 1), &tuple!(2)).unwrap();
+        let (db, _) = db.insert(p("a", 0), &Tuple::unit()).unwrap();
+        let (db, _) = db.insert(p("b", 1), &tuple!(1)).unwrap();
+        assert_eq!(db.to_string(), "{a, b(1), b(2)}");
+    }
+
+    #[test]
+    fn with_schema_of_declares_base_relations() {
+        let prog = td_core::Program::builder()
+            .base_pred("item", 1)
+            .base_pred("busy", 2)
+            .build()
+            .unwrap();
+        let db = Database::with_schema_of(&prog);
+        assert_eq!(db.preds().count(), 2);
+        assert!(db.relation(p("item", 1)).is_some());
+    }
+
+    #[test]
+    fn total_tuples_sums_relations() {
+        let (db, _) = Database::new().insert(p("a", 1), &tuple!(1)).unwrap();
+        let (db, _) = db.insert(p("b", 1), &tuple!(1)).unwrap();
+        let (db, _) = db.insert(p("b", 1), &tuple!(2)).unwrap();
+        assert_eq!(db.total_tuples(), 3);
+    }
+}

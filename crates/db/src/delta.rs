@@ -1,0 +1,172 @@
+//! Update logs (deltas).
+//!
+//! The engine and the workflow monitor record the elementary updates an
+//! execution performs — the paper emphasizes "monitoring, tracking and
+//! querying the status of workflow activities" (§3, citing \[36, 42, 26\]).
+//! A [`Delta`] is that record: an ordered log of applied `ins`/`del`
+//! operations that can be replayed onto a database or inverted.
+
+use crate::database::{Database, DbError};
+use crate::tuple::Tuple;
+use std::fmt;
+use td_core::Pred;
+
+/// One applied elementary update.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DeltaOp {
+    /// Tuple was inserted (and was previously absent).
+    Ins(Pred, Tuple),
+    /// Tuple was deleted (and was previously present).
+    Del(Pred, Tuple),
+}
+
+impl DeltaOp {
+    /// The inverse operation.
+    pub fn inverse(&self) -> DeltaOp {
+        match self {
+            DeltaOp::Ins(p, t) => DeltaOp::Del(*p, t.clone()),
+            DeltaOp::Del(p, t) => DeltaOp::Ins(*p, t.clone()),
+        }
+    }
+
+    /// Apply to a database.
+    pub fn apply(&self, db: &Database) -> Result<Database, DbError> {
+        match self {
+            DeltaOp::Ins(p, t) => Ok(db.insert(*p, t)?.0),
+            DeltaOp::Del(p, t) => Ok(db.delete(*p, t)?.0),
+        }
+    }
+}
+
+impl fmt::Display for DeltaOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaOp::Ins(p, t) => write!(f, "ins.{}{}", p.name, t),
+            DeltaOp::Del(p, t) => write!(f, "del.{}{}", p.name, t),
+        }
+    }
+}
+
+/// An ordered log of applied updates.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Delta {
+    ops: Vec<DeltaOp>,
+}
+
+impl Delta {
+    /// Empty log.
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// Record an operation.
+    pub fn push(&mut self, op: DeltaOp) {
+        self.ops.push(op);
+    }
+
+    /// The recorded operations, oldest first.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replay the log onto `db`, oldest first.
+    pub fn replay(&self, db: &Database) -> Result<Database, DbError> {
+        let mut cur = db.clone();
+        for op in &self.ops {
+            cur = op.apply(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Undo the log from `db`, newest first. If `db` was produced by
+    /// replaying this delta onto some `d0`, this returns a database with the
+    /// content of `d0` (provided every op recorded an actual change).
+    pub fn undo(&self, db: &Database) -> Result<Database, DbError> {
+        let mut cur = db.clone();
+        for op in self.ops.iter().rev() {
+            cur = op.inverse().apply(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Counts of insertions and deletions.
+    pub fn counts(&self) -> (usize, usize) {
+        let ins = self
+            .ops
+            .iter()
+            .filter(|o| matches!(o, DeltaOp::Ins(..)))
+            .count();
+        (ins, self.ops.len() - ins)
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn p(name: &str, arity: u32) -> Pred {
+        Pred::new(name, arity)
+    }
+
+    #[test]
+    fn replay_and_undo_round_trip() {
+        let d0 = Database::new();
+        let mut delta = Delta::new();
+        delta.push(DeltaOp::Ins(p("a", 1), tuple!(1)));
+        delta.push(DeltaOp::Ins(p("a", 1), tuple!(2)));
+        delta.push(DeltaOp::Del(p("a", 1), tuple!(1)));
+        let d1 = delta.replay(&d0).unwrap();
+        assert!(d1.contains(p("a", 1), &tuple!(2)));
+        assert!(!d1.contains(p("a", 1), &tuple!(1)));
+        let back = delta.undo(&d1).unwrap();
+        assert!(back.same_content(&d0));
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_identity() {
+        let op = DeltaOp::Ins(p("x", 1), tuple!("v"));
+        assert_eq!(op.inverse().inverse(), op);
+    }
+
+    #[test]
+    fn counts_split_ins_del() {
+        let mut d = Delta::new();
+        d.push(DeltaOp::Ins(p("a", 0), Tuple::unit()));
+        d.push(DeltaOp::Del(p("a", 0), Tuple::unit()));
+        d.push(DeltaOp::Ins(p("a", 0), Tuple::unit()));
+        assert_eq!(d.counts(), (2, 1));
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn display_renders_ops() {
+        let mut d = Delta::new();
+        d.push(DeltaOp::Ins(p("item", 1), tuple!("w1")));
+        d.push(DeltaOp::Del(p("busy", 2), tuple!("a1", "t2")));
+        assert_eq!(d.to_string(), "[ins.item(w1), del.busy(a1, t2)]");
+    }
+}

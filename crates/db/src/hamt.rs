@@ -1,0 +1,634 @@
+//! A persistent hash set (hash array mapped trie).
+//!
+//! The TD engine backtracks over database states constantly: every
+//! choicepoint snapshots the database, and isolation blocks roll whole
+//! sub-executions back. Copying relations eagerly would make backtracking
+//! O(database); this HAMT makes a snapshot a pointer copy and each
+//! insert/remove O(log n) with structural sharing between versions.
+//!
+//! Layout: 64-bit hashes consumed 5 bits per level (fanout 32, max depth 13);
+//! full-collision buckets at the bottom. Nodes are `Arc`-shared between
+//! versions.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+const BITS: u32 = 5;
+const FANOUT: usize = 1 << BITS; // 32
+const MASK: u64 = (FANOUT as u64) - 1;
+const MAX_SHIFT: u32 = 60; // beyond this, fall into collision buckets
+
+fn hash_of<T: Hash>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[derive(Clone, Debug)]
+enum Node<T> {
+    /// One or more entries whose hashes agree on all consumed bits.
+    /// `entries` is non-empty; more than one entry means a hash collision.
+    Leaf { hash: u64, entries: Vec<T> },
+    /// Sparse interior node: `bitmap` marks which of the 32 slots are
+    /// populated; `children[i]` is the child for the i-th set bit.
+    Branch {
+        bitmap: u32,
+        children: Vec<Arc<Node<T>>>,
+    },
+}
+
+impl<T: Clone + Eq + Hash> Node<T> {
+    fn contains(&self, hash: u64, value: &T, shift: u32) -> bool {
+        match self {
+            Node::Leaf { hash: h, entries } => *h == hash && entries.contains(value),
+            Node::Branch { bitmap, children } => {
+                let idx = ((hash >> shift) & MASK) as u32;
+                let bit = 1u32 << idx;
+                if bitmap & bit == 0 {
+                    return false;
+                }
+                let pos = (bitmap & (bit - 1)).count_ones() as usize;
+                children[pos].contains(hash, value, shift + BITS)
+            }
+        }
+    }
+
+    /// Insert, returning the new node and whether the set grew.
+    fn insert(&self, hash: u64, value: &T, shift: u32) -> (Node<T>, bool) {
+        match self {
+            Node::Leaf { hash: h, entries } => {
+                if *h == hash {
+                    if entries.contains(value) {
+                        (self.clone(), false)
+                    } else {
+                        let mut entries = entries.clone();
+                        entries.push(value.clone());
+                        (
+                            Node::Leaf {
+                                hash,
+                                entries,
+                            },
+                            true,
+                        )
+                    }
+                } else if shift > MAX_SHIFT {
+                    // Exhausted hash bits with different hashes: impossible —
+                    // 64 bits / 5 leaves residue at shift 60..64 distinct.
+                    // Treat as collision bucket for safety.
+                    let mut entries = entries.clone();
+                    entries.push(value.clone());
+                    (Node::Leaf { hash: *h, entries }, true)
+                } else {
+                    // Split: push the existing leaf down and insert.
+                    let old_idx = ((*h >> shift) & MASK) as u32;
+                    let new_idx = ((hash >> shift) & MASK) as u32;
+                    if old_idx == new_idx {
+                        let (child, grew) = self.insert(hash, value, shift + BITS);
+                        (
+                            Node::Branch {
+                                bitmap: 1 << old_idx,
+                                children: vec![Arc::new(child)],
+                            },
+                            grew,
+                        )
+                    } else {
+                        let new_leaf = Node::Leaf {
+                            hash,
+                            entries: vec![value.clone()],
+                        };
+                        let (bitmap, children) = if old_idx < new_idx {
+                            (
+                                (1 << old_idx) | (1 << new_idx),
+                                vec![Arc::new(self.clone()), Arc::new(new_leaf)],
+                            )
+                        } else {
+                            (
+                                (1 << old_idx) | (1 << new_idx),
+                                vec![Arc::new(new_leaf), Arc::new(self.clone())],
+                            )
+                        };
+                        (Node::Branch { bitmap, children }, true)
+                    }
+                }
+            }
+            Node::Branch { bitmap, children } => {
+                let idx = ((hash >> shift) & MASK) as u32;
+                let bit = 1u32 << idx;
+                let pos = (bitmap & (bit - 1)).count_ones() as usize;
+                if bitmap & bit != 0 {
+                    let (child, grew) = children[pos].insert(hash, value, shift + BITS);
+                    if !grew {
+                        return (self.clone(), false);
+                    }
+                    let mut children = children.clone();
+                    children[pos] = Arc::new(child);
+                    (
+                        Node::Branch {
+                            bitmap: *bitmap,
+                            children,
+                        },
+                        true,
+                    )
+                } else {
+                    let mut children = children.clone();
+                    children.insert(
+                        pos,
+                        Arc::new(Node::Leaf {
+                            hash,
+                            entries: vec![value.clone()],
+                        }),
+                    );
+                    (
+                        Node::Branch {
+                            bitmap: bitmap | bit,
+                            children,
+                        },
+                        true,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Remove, returning the new node (None if the subtree became empty) and
+    /// whether the set shrank.
+    fn remove(&self, hash: u64, value: &T, shift: u32) -> (Option<Node<T>>, bool) {
+        match self {
+            Node::Leaf { hash: h, entries } => {
+                if *h != hash || !entries.contains(value) {
+                    return (Some(self.clone()), false);
+                }
+                if entries.len() == 1 {
+                    (None, true)
+                } else {
+                    let entries = entries.iter().filter(|e| *e != value).cloned().collect();
+                    (Some(Node::Leaf { hash: *h, entries }), true)
+                }
+            }
+            Node::Branch { bitmap, children } => {
+                let idx = ((hash >> shift) & MASK) as u32;
+                let bit = 1u32 << idx;
+                if bitmap & bit == 0 {
+                    return (Some(self.clone()), false);
+                }
+                let pos = (bitmap & (bit - 1)).count_ones() as usize;
+                let (child, shrank) = children[pos].remove(hash, value, shift + BITS);
+                if !shrank {
+                    return (Some(self.clone()), false);
+                }
+                match child {
+                    Some(c) => {
+                        let mut children = children.clone();
+                        children[pos] = Arc::new(c);
+                        // Collapse a single-leaf branch upward.
+                        if children.len() == 1 {
+                            if let Node::Leaf { .. } = &*children[0] {
+                                return (Some((*children[0]).clone()), true);
+                            }
+                        }
+                        (
+                            Some(Node::Branch {
+                                bitmap: *bitmap,
+                                children,
+                            }),
+                            true,
+                        )
+                    }
+                    None => {
+                        if children.len() == 1 {
+                            (None, true)
+                        } else {
+                            let mut children = children.clone();
+                            children.remove(pos);
+                            let bitmap = bitmap & !bit;
+                            if children.len() == 1 {
+                                if let Node::Leaf { .. } = &*children[0] {
+                                    return (Some((*children[0]).clone()), true);
+                                }
+                            }
+                            (Some(Node::Branch { bitmap, children }), true)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn for_each(&self, f: &mut impl FnMut(&T)) {
+        match self {
+            Node::Leaf { entries, .. } => {
+                for e in entries {
+                    f(e);
+                }
+            }
+            Node::Branch { children, .. } => {
+                for c in children {
+                    c.for_each(f);
+                }
+            }
+        }
+    }
+}
+
+/// A persistent (immutable, structurally shared) hash set.
+///
+/// `clone()` is O(1); [`Set::insert`] and [`Set::remove`] return new versions
+/// sharing all untouched structure with the original.
+#[derive(Clone, Debug)]
+pub struct Set<T> {
+    root: Option<Arc<Node<T>>>,
+    len: usize,
+    /// Commutative (xor) hash of all member hashes; lets two versions be
+    /// compared or hashed in O(1).
+    sethash: u64,
+}
+
+impl<T> Default for Set<T> {
+    fn default() -> Set<T> {
+        Set {
+            root: None,
+            len: 0,
+            sethash: 0,
+        }
+    }
+}
+
+impl<T: Clone + Eq + Hash> Set<T> {
+    /// The empty set.
+    pub fn new() -> Set<T> {
+        Set::default()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The commutative member-hash digest. Equal sets have equal digests;
+    /// unequal sets collide with probability ~2⁻⁶⁴ per comparison.
+    pub fn digest(&self) -> u64 {
+        self.sethash
+    }
+
+    /// Membership test.
+    pub fn contains(&self, value: &T) -> bool {
+        match &self.root {
+            None => false,
+            Some(root) => root.contains(hash_of(value), value, 0),
+        }
+    }
+
+    /// Insert, returning the new set and whether it grew.
+    pub fn insert(&self, value: &T) -> (Set<T>, bool) {
+        let h = hash_of(value);
+        match &self.root {
+            None => (
+                Set {
+                    root: Some(Arc::new(Node::Leaf {
+                        hash: h,
+                        entries: vec![value.clone()],
+                    })),
+                    len: 1,
+                    sethash: h,
+                },
+                true,
+            ),
+            Some(root) => {
+                let (node, grew) = root.insert(h, value, 0);
+                if grew {
+                    (
+                        Set {
+                            root: Some(Arc::new(node)),
+                            len: self.len + 1,
+                            sethash: self.sethash ^ h,
+                        },
+                        true,
+                    )
+                } else {
+                    (self.clone(), false)
+                }
+            }
+        }
+    }
+
+    /// Remove, returning the new set and whether it shrank.
+    pub fn remove(&self, value: &T) -> (Set<T>, bool) {
+        let h = hash_of(value);
+        match &self.root {
+            None => (self.clone(), false),
+            Some(root) => {
+                let (node, shrank) = root.remove(h, value, 0);
+                if shrank {
+                    (
+                        Set {
+                            root: node.map(Arc::new),
+                            len: self.len - 1,
+                            sethash: self.sethash ^ h,
+                        },
+                        true,
+                    )
+                } else {
+                    (self.clone(), false)
+                }
+            }
+        }
+    }
+
+    /// Visit every member (unspecified order).
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        if let Some(root) = &self.root {
+            root.for_each(&mut f);
+        }
+    }
+
+    /// Collect members into a vector (unspecified order).
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(|t| out.push(t.clone()));
+        out
+    }
+
+    /// Iterate over members (unspecified order) without collecting.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            stack: self.root.iter().map(|r| (&**r, 0)).collect(),
+        }
+    }
+}
+
+/// Borrowing iterator over a [`Set`], depth-first over the trie.
+pub struct Iter<'a, T> {
+    /// (node, next index into its children/entries)
+    stack: Vec<(&'a Node<T>, usize)>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        while let Some((node, idx)) = self.stack.pop() {
+            match node {
+                Node::Leaf { entries, .. } => {
+                    if idx < entries.len() {
+                        if idx + 1 < entries.len() {
+                            self.stack.push((node, idx + 1));
+                        }
+                        return Some(&entries[idx]);
+                    }
+                }
+                Node::Branch { children, .. } => {
+                    if idx < children.len() {
+                        self.stack.push((node, idx + 1));
+                        self.stack.push((&children[idx], 0));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<'a, T: Clone + Eq + Hash> IntoIterator for &'a Set<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<T: Clone + Eq + Hash> PartialEq for Set<T> {
+    fn eq(&self, other: &Set<T>) -> bool {
+        if self.len != other.len || self.sethash != other.sethash {
+            return false;
+        }
+        if let (Some(a), Some(b)) = (&self.root, &other.root) {
+            if Arc::ptr_eq(a, b) {
+                return true;
+            }
+        }
+        // Verify structurally: every member of self is in other.
+        let mut equal = true;
+        self.for_each(|t| {
+            if equal && !other.contains(t) {
+                equal = false;
+            }
+        });
+        equal
+    }
+}
+
+impl<T: Clone + Eq + Hash> Eq for Set<T> {}
+
+impl<T: Clone + Eq + Hash> FromIterator<T> for Set<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Set<T> {
+        let mut s = Set::new();
+        for v in iter {
+            s = s.insert(&v).0;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn empty_set() {
+        let s: Set<u64> = Set::new();
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert!(!s.contains(&1));
+        assert_eq!(s.digest(), 0);
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let s = Set::new();
+        let (s, grew) = s.insert(&42u64);
+        assert!(grew);
+        assert!(s.contains(&42));
+        assert!(!s.contains(&43));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let (s, _) = Set::new().insert(&7u64);
+        let (s2, grew) = s.insert(&7);
+        assert!(!grew);
+        assert_eq!(s2.len(), 1);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn remove_present_and_absent() {
+        let (s, _) = Set::new().insert(&1u64);
+        let (s, _) = s.insert(&2);
+        let (s2, shrank) = s.remove(&1);
+        assert!(shrank);
+        assert!(!s2.contains(&1));
+        assert!(s2.contains(&2));
+        let (s3, shrank) = s2.remove(&99);
+        assert!(!shrank);
+        assert_eq!(s3.len(), 1);
+    }
+
+    #[test]
+    fn versions_are_independent() {
+        let (v1, _) = Set::new().insert(&10u64);
+        let (v2, _) = v1.insert(&20);
+        let (v3, _) = v1.remove(&10);
+        assert!(v1.contains(&10) && !v1.contains(&20));
+        assert!(v2.contains(&10) && v2.contains(&20));
+        assert!(v3.is_empty());
+    }
+
+    #[test]
+    fn many_inserts_then_removes() {
+        let mut s: Set<u64> = Set::new();
+        for i in 0..2000 {
+            let (next, grew) = s.insert(&i);
+            assert!(grew);
+            s = next;
+        }
+        assert_eq!(s.len(), 2000);
+        for i in 0..2000 {
+            assert!(s.contains(&i), "missing {i}");
+        }
+        for i in (0..2000).step_by(2) {
+            let (next, shrank) = s.remove(&i);
+            assert!(shrank);
+            s = next;
+        }
+        assert_eq!(s.len(), 1000);
+        for i in 0..2000u64 {
+            assert_eq!(s.contains(&i), i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn digest_is_order_independent() {
+        let a: Set<u64> = [1, 2, 3].into_iter().collect();
+        let b: Set<u64> = [3, 1, 2].into_iter().collect();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn digest_returns_after_insert_remove_cycle() {
+        let a: Set<u64> = [1, 2, 3].into_iter().collect();
+        let d = a.digest();
+        let (b, _) = a.insert(&99);
+        assert_ne!(b.digest(), d);
+        let (c, _) = b.remove(&99);
+        assert_eq!(c.digest(), d);
+        assert_eq!(c, a);
+    }
+
+    /// A type with a pathological hash, to exercise collision buckets.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct Collider(u32);
+    impl Hash for Collider {
+        fn hash<H: Hasher>(&self, state: &mut H) {
+            // Everything collides.
+            0u64.hash(state);
+        }
+    }
+
+    #[test]
+    fn full_hash_collisions_are_handled() {
+        let mut s: Set<Collider> = Set::new();
+        for i in 0..50 {
+            s = s.insert(&Collider(i)).0;
+        }
+        assert_eq!(s.len(), 50);
+        for i in 0..50 {
+            assert!(s.contains(&Collider(i)));
+        }
+        for i in 0..50 {
+            let (next, shrank) = s.remove(&Collider(i));
+            assert!(shrank);
+            s = next;
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iterator_visits_every_member_once() {
+        let s: Set<u64> = (0..300).collect();
+        let mut seen = HashSet::new();
+        for v in &s {
+            assert!(seen.insert(*v), "duplicate {v}");
+        }
+        assert_eq!(seen.len(), 300);
+        assert_eq!(s.iter().count(), 300);
+        // collision buckets iterate fully too
+        let mut c: Set<Collider> = Set::new();
+        for i in 0..10 {
+            c = c.insert(&Collider(i)).0;
+        }
+        assert_eq!(c.iter().count(), 10);
+    }
+
+    #[test]
+    fn for_each_visits_every_member_once() {
+        let s: Set<u64> = (0..500).collect();
+        let mut seen = HashSet::new();
+        s.for_each(|v| {
+            assert!(seen.insert(*v), "duplicate visit of {v}");
+        });
+        assert_eq!(seen.len(), 500);
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_std_hashset(ops in proptest::collection::vec((any::<bool>(), 0u64..200), 0..400)) {
+            let mut model: HashSet<u64> = HashSet::new();
+            let mut s: Set<u64> = Set::new();
+            for (is_insert, v) in ops {
+                if is_insert {
+                    let (next, grew) = s.insert(&v);
+                    prop_assert_eq!(grew, model.insert(v));
+                    s = next;
+                } else {
+                    let (next, shrank) = s.remove(&v);
+                    prop_assert_eq!(shrank, model.remove(&v));
+                    s = next;
+                }
+                prop_assert_eq!(s.len(), model.len());
+            }
+            for v in 0..200u64 {
+                prop_assert_eq!(s.contains(&v), model.contains(&v));
+            }
+            let expected: Set<u64> = model.iter().copied().collect();
+            prop_assert_eq!(s.digest(), expected.digest());
+            prop_assert_eq!(s, expected);
+        }
+
+        #[test]
+        fn snapshot_isolation(base in proptest::collection::hash_set(0u64..100, 0..50),
+                              extra in proptest::collection::vec(0u64..100, 0..50)) {
+            let snapshot: Set<u64> = base.iter().copied().collect();
+            let mut working = snapshot.clone();
+            for v in &extra {
+                working = working.insert(v).0;
+                working = working.remove(&(v / 2)).0;
+            }
+            // The snapshot must be unaffected by later edits.
+            prop_assert_eq!(snapshot.len(), base.len());
+            for v in &base {
+                prop_assert!(snapshot.contains(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # td-db — the deductive-database substrate
+//!
+//! Transaction Datalog interleaves many concurrent processes over one shared
+//! database, and its all-or-nothing transaction semantics means failed
+//! executions must roll back exactly. This crate provides the storage layer
+//! shaped by those two demands:
+//!
+//! * [`Database`] — an immutable **snapshot** database: updates return new
+//!   versions; old versions stay valid. The engine's choicepoints and
+//!   isolation blocks are therefore O(1) to establish and to roll back.
+//! * [`Relation`] — a persistent tuple set (hash array mapped trie,
+//!   [`hamt`]), with structural sharing across versions.
+//! * [`Tuple`] — immutable ground tuples (see also the [`tuple!`] macro).
+//! * [`Delta`] — ordered update logs for monitoring and replay.
+//!
+//! TD is a *safe* language: the schema and domain are fixed by the program
+//! and initial database, so the store never needs schema evolution, and
+//! database size stays polynomial in the input (§4 of the paper).
+
+pub mod database;
+pub mod delta;
+pub mod hamt;
+pub mod relation;
+pub mod tuple;
+
+pub use database::{Database, DbError};
+pub use delta::{Delta, DeltaOp};
+pub use relation::Relation;
+pub use tuple::Tuple;

@@ -1,0 +1,174 @@
+//! A single stored relation: a persistent set of tuples of fixed arity.
+
+use crate::hamt;
+use crate::tuple::Tuple;
+use td_core::Value;
+
+/// A persistent relation. Like [`crate::Database`], relations are immutable
+/// values: `insert`/`remove` return new versions sharing structure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    arity: usize,
+    tuples: hamt::Set<Tuple>,
+}
+
+impl Relation {
+    /// Empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            tuples: hamt::Set::new(),
+        }
+    }
+
+    /// The arity every member tuple must have.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Commutative digest of the tuple set (see [`hamt::Set::digest`]).
+    pub fn digest(&self) -> u64 {
+        self.tuples.digest()
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    /// Debug-asserts the tuple arity.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        debug_assert_eq!(t.arity(), self.arity);
+        self.tuples.contains(t)
+    }
+
+    /// Insert; returns the new relation and whether it grew.
+    pub fn insert(&self, t: &Tuple) -> (Relation, bool) {
+        debug_assert_eq!(t.arity(), self.arity);
+        let (tuples, grew) = self.tuples.insert(t);
+        (
+            Relation {
+                arity: self.arity,
+                tuples,
+            },
+            grew,
+        )
+    }
+
+    /// Remove; returns the new relation and whether it shrank.
+    pub fn remove(&self, t: &Tuple) -> (Relation, bool) {
+        debug_assert_eq!(t.arity(), self.arity);
+        let (tuples, shrank) = self.tuples.remove(t);
+        (
+            Relation {
+                arity: self.arity,
+                tuples,
+            },
+            shrank,
+        )
+    }
+
+    /// All tuples matching a binding pattern (`None` = free position),
+    /// in unspecified order.
+    ///
+    /// Fully bound patterns short-circuit to a membership test (O(log n)
+    /// instead of a scan) — the common case for ground queries and for the
+    /// handshake tuples of process encodings.
+    pub fn select(&self, pattern: &[Option<Value>]) -> Vec<Tuple> {
+        debug_assert_eq!(pattern.len(), self.arity);
+        if pattern.iter().all(Option::is_some) {
+            let t = Tuple::new(pattern.iter().map(|v| v.expect("all bound")).collect());
+            return if self.tuples.contains(&t) {
+                vec![t]
+            } else {
+                Vec::new()
+            };
+        }
+        let mut out = Vec::new();
+        self.tuples.for_each(|t| {
+            if t.matches(pattern) {
+                out.push(t.clone());
+            }
+        });
+        out
+    }
+
+    /// Visit every tuple.
+    pub fn for_each(&self, f: impl FnMut(&Tuple)) {
+        self.tuples.for_each(f);
+    }
+
+    /// All tuples (unspecified order).
+    pub fn to_vec(&self) -> Vec<Tuple> {
+        self.tuples.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn insert_remove_contains() {
+        let r = Relation::new(2);
+        let (r, grew) = r.insert(&tuple!("a", 1));
+        assert!(grew);
+        assert!(r.contains(&tuple!("a", 1)));
+        let (r, grew) = r.insert(&tuple!("a", 1));
+        assert!(!grew);
+        assert_eq!(r.len(), 1);
+        let (r, shrank) = r.remove(&tuple!("a", 1));
+        assert!(shrank);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn select_with_patterns() {
+        let mut r = Relation::new(2);
+        for (s, i) in [("w1", 1), ("w1", 2), ("w2", 1)] {
+            r = r.insert(&tuple!(s, i)).0;
+        }
+        assert_eq!(r.select(&[None, None]).len(), 3);
+        let w1 = r.select(&[Some(Value::sym("w1")), None]);
+        assert_eq!(w1.len(), 2);
+        let one = r.select(&[None, Some(Value::Int(1))]);
+        assert_eq!(one.len(), 2);
+        let exact = r.select(&[Some(Value::sym("w2")), Some(Value::Int(1))]);
+        assert_eq!(exact, vec![tuple!("w2", 1)]);
+        assert!(r
+            .select(&[Some(Value::sym("w3")), None])
+            .is_empty());
+    }
+
+    #[test]
+    fn persistence_across_versions() {
+        let r0 = Relation::new(1);
+        let (r1, _) = r0.insert(&tuple!("x"));
+        let (r2, _) = r1.remove(&tuple!("x"));
+        assert!(r0.is_empty());
+        assert!(r1.contains(&tuple!("x")));
+        assert!(r2.is_empty());
+        assert_eq!(r0.digest(), r2.digest());
+        assert_eq!(r0, r2);
+    }
+
+    #[test]
+    fn zero_ary_relation_acts_as_flag() {
+        let r = Relation::new(0);
+        assert!(!r.contains(&Tuple::unit()));
+        let (r, _) = r.insert(&Tuple::unit());
+        assert!(r.contains(&Tuple::unit()));
+        assert_eq!(r.len(), 1);
+        let (r, _) = r.insert(&Tuple::unit());
+        assert_eq!(r.len(), 1, "flag cannot be set twice");
+    }
+}

@@ -1,0 +1,149 @@
+//! Model-based property tests: the persistent [`Database`] against a plain
+//! `BTreeMap<Pred, BTreeSet<Tuple>>` reference model, including snapshot
+//! semantics (old versions must never observe later edits — the property
+//! the engine's backtracking depends on).
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use td_core::{Pred, Value};
+use td_db::{Database, Tuple};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Ins(u8, Vec<i64>),
+    Del(u8, Vec<i64>),
+    Snapshot,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0u8..3), proptest::collection::vec(0i64..5, 2)).prop_map(|(p, t)| Op::Ins(p, t)),
+        ((0u8..3), proptest::collection::vec(0i64..5, 2)).prop_map(|(p, t)| Op::Del(p, t)),
+        Just(Op::Snapshot),
+    ]
+}
+
+fn pred(i: u8) -> Pred {
+    Pred::new(&format!("r{i}"), 2)
+}
+
+fn tuple(vals: &[i64]) -> Tuple {
+    Tuple::new(vals.iter().map(|v| Value::Int(*v)).collect())
+}
+
+type Model = BTreeMap<Pred, BTreeSet<Tuple>>;
+
+fn assert_matches_model(db: &Database, model: &Model) {
+    for i in 0..3u8 {
+        let p = pred(i);
+        let expected = model.get(&p).cloned().unwrap_or_default();
+        let actual: BTreeSet<Tuple> = db
+            .relation(p)
+            .map(|r| r.to_vec().into_iter().collect())
+            .unwrap_or_default();
+        assert_eq!(actual, expected, "relation {p} diverged");
+        // Membership queries agree too.
+        for t in &expected {
+            assert!(db.contains(p, t));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn database_behaves_like_model(ops in proptest::collection::vec(arb_op(), 0..120)) {
+        let mut db = Database::new();
+        let mut model: Model = BTreeMap::new();
+        // (snapshot, model at snapshot time)
+        let mut snapshots: Vec<(Database, Model)> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Ins(p, vals) => {
+                    let t = tuple(&vals);
+                    let (next, changed) = db.insert(pred(p), &t).unwrap();
+                    let model_changed = model.entry(pred(p)).or_default().insert(t);
+                    prop_assert_eq!(changed, model_changed);
+                    db = next;
+                }
+                Op::Del(p, vals) => {
+                    let t = tuple(&vals);
+                    let (next, changed) = db.delete(pred(p), &t).unwrap();
+                    let model_changed = model
+                        .get_mut(&pred(p))
+                        .is_some_and(|s| s.remove(&t));
+                    prop_assert_eq!(changed, model_changed);
+                    db = next;
+                }
+                Op::Snapshot => {
+                    snapshots.push((db.clone(), model.clone()));
+                }
+            }
+        }
+
+        assert_matches_model(&db, &model);
+        // Every snapshot still reflects its own point in time.
+        for (snap, snap_model) in &snapshots {
+            assert_matches_model(snap, snap_model);
+        }
+    }
+
+    #[test]
+    fn digest_agrees_iff_content_agrees(
+        ops_a in proptest::collection::vec(arb_op(), 0..40),
+        ops_b in proptest::collection::vec(arb_op(), 0..40),
+    ) {
+        let apply = |ops: &[Op]| {
+            let mut db = Database::new();
+            for op in ops {
+                match op {
+                    Op::Ins(p, vals) => db = db.insert(pred(*p), &tuple(vals)).unwrap().0,
+                    Op::Del(p, vals) => db = db.delete(pred(*p), &tuple(vals)).unwrap().0,
+                    Op::Snapshot => {}
+                }
+            }
+            db
+        };
+        let a = apply(&ops_a);
+        let b = apply(&ops_b);
+        if a.same_content(&b) {
+            prop_assert_eq!(a.digest(), b.digest());
+        }
+        // (The converse can fail only with ~2⁻⁶⁴ probability; not asserted.)
+    }
+
+    #[test]
+    fn delta_undo_inverts_any_committed_run(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        use td_db::{Delta, DeltaOp};
+        let d0 = Database::new();
+        let mut db = d0.clone();
+        let mut delta = Delta::new();
+        for op in ops {
+            match op {
+                Op::Ins(p, vals) => {
+                    let t = tuple(&vals);
+                    let (next, changed) = db.insert(pred(p), &t).unwrap();
+                    if changed {
+                        delta.push(DeltaOp::Ins(pred(p), t));
+                    }
+                    db = next;
+                }
+                Op::Del(p, vals) => {
+                    let t = tuple(&vals);
+                    let (next, changed) = db.delete(pred(p), &t).unwrap();
+                    if changed {
+                        delta.push(DeltaOp::Del(pred(p), t));
+                    }
+                    db = next;
+                }
+                Op::Snapshot => {}
+            }
+        }
+        let back = delta.undo(&db).unwrap();
+        prop_assert!(back.same_content(&d0));
+        let forward = delta.replay(&d0).unwrap();
+        prop_assert!(forward.same_content(&db));
+    }
+}

@@ -1,0 +1,216 @@
+//! Engine configuration, errors, and execution statistics.
+
+use std::fmt;
+
+/// How the engine explores interleavings of concurrent branches.
+///
+/// TD's concurrent composition `a | b` means *some* interleaving of `a` and
+/// `b` executes; a goal is executable if at least one interleaving (together
+/// with rule and tuple choices) succeeds. The strategy controls the order in
+/// which interleavings are explored and whether scheduling decisions are
+/// backtrackable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Default)]
+pub enum Strategy {
+    /// Depth-first over all scheduling choices, leftmost branch first.
+    /// Complete for finite search spaces — this matches the Prolog prototype
+    /// the paper's examples were tested on (\[55, 72\]).
+    #[default]
+    Exhaustive,
+    /// Depth-first over all scheduling choices, but branch order is shuffled
+    /// per step with the given seed. Complete, and gives every interleaving
+    /// a chance — useful for randomized simulation runs that must still find
+    /// a successful schedule (Examples 3.2–3.4).
+    ExhaustiveRandom(u64),
+    /// Fair round-robin rotation over concurrent branches with **no**
+    /// backtracking on schedule (rule/tuple choices still backtrack). Fast
+    /// for confluent workflow simulations, but incomplete: a goal that only
+    /// succeeds under a specific schedule may fail.
+    RoundRobin,
+    /// Always step the leftmost live branch. Effectively serializes `|`
+    /// left-to-right; used as an ablation baseline in the benchmarks.
+    Leftmost,
+}
+
+impl Strategy {
+    /// Does this strategy create scheduling choicepoints?
+    pub fn backtracks_schedule(self) -> bool {
+        matches!(self, Strategy::Exhaustive | Strategy::ExhaustiveRandom(_))
+    }
+}
+
+
+/// Engine limits and options.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Interleaving exploration strategy.
+    pub strategy: Strategy,
+    /// Abort after this many elementary steps (full TD is RE-complete —
+    /// Theorem 4.1 — so a budget is the only way to guarantee termination).
+    pub max_steps: u64,
+    /// Abort if the choicepoint stack exceeds this depth.
+    pub max_stack: usize,
+    /// Record an execution trace (costs memory proportional to trace).
+    pub trace: bool,
+    /// Memoize refuted configurations (canonical process tree + database
+    /// digest). When a configuration's whole search subtree has been
+    /// explored without success, re-reaching it through a different
+    /// interleaving fails immediately. This merges the interleaving lattice
+    /// (many schedules pass through the same configurations) and is what
+    /// keeps failure-heavy concurrent searches polynomial instead of
+    /// exponential. Costs O(tree) per step and memory per refuted
+    /// configuration. With `solutions(limit > 1)` it additionally
+    /// deduplicates solutions that arise from re-reaching an already
+    /// exhausted configuration.
+    pub memo_failures: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            strategy: Strategy::Exhaustive,
+            max_steps: 10_000_000,
+            max_stack: 1_000_000,
+            trace: false,
+            memo_failures: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with a step budget.
+    pub fn with_max_steps(mut self, n: u64) -> EngineConfig {
+        self.max_steps = n;
+        self
+    }
+
+    /// Config with a strategy.
+    pub fn with_strategy(mut self, s: Strategy) -> EngineConfig {
+        self.strategy = s;
+        self
+    }
+
+    /// Config with tracing enabled.
+    pub fn with_trace(mut self) -> EngineConfig {
+        self.trace = true;
+        self
+    }
+}
+
+/// Fatal execution errors (distinct from *failure*, which is a normal
+/// outcome meaning "no successful execution exists on the explored space").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// An update, negation or builtin needed a ground term but got an
+    /// unbound variable (a *floundering* execution — the program violates
+    /// its intended modes).
+    Instantiation { context: String },
+    /// A comparison or arithmetic builtin was applied to a non-integer.
+    Type { context: String },
+    /// Integer overflow in an arithmetic builtin.
+    Overflow { context: String },
+    /// The step budget was exhausted before the search concluded.
+    StepBudget { steps: u64 },
+    /// The choicepoint stack exceeded its limit.
+    StackBudget { depth: usize },
+    /// Storage-level error (arity mismatch reaching the database layer —
+    /// indicates a validation gap upstream).
+    Db(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Instantiation { context } => {
+                write!(f, "unbound variable where a ground term is required: {context}")
+            }
+            EngineError::Type { context } => write!(f, "type error: {context}"),
+            EngineError::Overflow { context } => write!(f, "integer overflow: {context}"),
+            EngineError::StepBudget { steps } => {
+                write!(f, "step budget exhausted after {steps} steps")
+            }
+            EngineError::StackBudget { depth } => {
+                write!(f, "choicepoint stack exceeded {depth} entries")
+            }
+            EngineError::Db(msg) => write!(f, "database error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Counters for one execution/search.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Stats {
+    /// Elementary steps taken (including backtracked ones).
+    pub steps: u64,
+    /// Backtracks performed.
+    pub backtracks: u64,
+    /// Choicepoints pushed.
+    pub choicepoints: u64,
+    /// Rule unfoldings.
+    pub unfolds: u64,
+    /// Database updates applied (including backtracked ones).
+    pub db_ops: u64,
+    /// Maximum choicepoint stack depth observed.
+    pub max_stack: usize,
+    /// Isolation blocks entered.
+    pub iso_enters: u64,
+    /// Steps avoided because the configuration was already refuted.
+    pub memo_hits: u64,
+    /// Peak number of concurrently schedulable actions (the paper's
+    /// "number of processes": Example 3.2 grows this at runtime).
+    pub peak_processes: usize,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "steps={} backtracks={} choicepoints={} unfolds={} db_ops={} max_stack={} iso={} memo_hits={}",
+            self.steps,
+            self.backtracks,
+            self.choicepoints,
+            self.unfolds,
+            self.db_ops,
+            self.max_stack,
+            self.iso_enters,
+            self.memo_hits
+        )?;
+        write!(f, " peak_procs={}", self.peak_processes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_backtracking_classification() {
+        assert!(Strategy::Exhaustive.backtracks_schedule());
+        assert!(Strategy::ExhaustiveRandom(7).backtracks_schedule());
+        assert!(!Strategy::RoundRobin.backtracks_schedule());
+        assert!(!Strategy::Leftmost.backtracks_schedule());
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = EngineConfig::default()
+            .with_max_steps(500)
+            .with_strategy(Strategy::RoundRobin)
+            .with_trace();
+        assert_eq!(c.max_steps, 500);
+        assert_eq!(c.strategy, Strategy::RoundRobin);
+        assert!(c.trace);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = EngineError::StepBudget { steps: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = EngineError::Instantiation {
+            context: "ins.p(_V3)".into(),
+        };
+        assert!(e.to_string().contains("ins.p(_V3)"));
+    }
+}

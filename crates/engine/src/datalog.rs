@@ -1,0 +1,594 @@
+//! Classical bottom-up Datalog evaluation (semi-naive).
+//!
+//! §6 of the paper observes that the update-free core of TD *is* classical
+//! Datalog — queries with a least-fixpoint semantics — "so well-known
+//! optimization techniques (such as magic sets or tabling) can be applied".
+//! This module provides that classical engine: a semi-naive bottom-up
+//! evaluator over the same `td-core` rule representation, used
+//!
+//! * as the baseline in experiment E11 (TD top-down execution vs. bottom-up
+//!   evaluation on reachability workloads), and
+//! * as a fast oracle for update-free goals in tests.
+//!
+//! A program is *Datalog-evaluable* if every rule body is a serial
+//! composition of atoms, builtins and base-relation absence tests
+//! (`not p(t̄)`) — no updates, no `|`, no `iso`, no `or`. Negation needs no
+//! stratification here because the language restricts `not` to *base*
+//! relations (extensional data), which no rule can derive into.
+//! [`is_datalog`] checks this.
+
+
+use std::collections::{HashMap, HashSet};
+use td_core::goal::Builtin;
+use td_core::unify::unify_terms;
+use td_core::{Atom, Bindings, Goal, Pred, Program, Rule, Term, Value};
+use td_db::{Database, Tuple};
+
+/// Why a program is not Datalog-evaluable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NotDatalog {
+    pub reason: String,
+}
+
+impl std::fmt::Display for NotDatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "not a Datalog program: {}", self.reason)
+    }
+}
+
+impl std::error::Error for NotDatalog {}
+
+/// One body literal of a flattened Datalog rule.
+#[derive(Clone, Debug)]
+enum Lit {
+    Atom(Atom),
+    /// Absence test on a base relation; all arguments must be bound by the
+    /// literals to its left.
+    NegAtom(Atom),
+    Builtin(Builtin, Vec<Term>),
+}
+
+/// A rule flattened to `head <- lit₁, …, litₙ`.
+#[derive(Clone, Debug)]
+struct FlatRule {
+    head: Atom,
+    body: Vec<Lit>,
+    num_vars: u32,
+}
+
+/// Check that every rule of `program` is Datalog-evaluable.
+pub fn is_datalog(program: &Program) -> Result<(), NotDatalog> {
+    for r in program.rules() {
+        flatten_rule(r)?;
+    }
+    Ok(())
+}
+
+fn flatten_rule(rule: &Rule) -> Result<FlatRule, NotDatalog> {
+    let mut body = Vec::new();
+    flatten_goal(&rule.body, &mut body)?;
+    Ok(FlatRule {
+        head: rule.head.clone(),
+        body,
+        num_vars: rule.num_vars(),
+    })
+}
+
+fn flatten_goal(goal: &Goal, out: &mut Vec<Lit>) -> Result<(), NotDatalog> {
+    match goal {
+        Goal::True => Ok(()),
+        Goal::Atom(a) => {
+            out.push(Lit::Atom(a.clone()));
+            Ok(())
+        }
+        Goal::NotAtom(a) => {
+            out.push(Lit::NegAtom(a.clone()));
+            Ok(())
+        }
+        Goal::Builtin(b, ts) => {
+            out.push(Lit::Builtin(*b, ts.clone()));
+            Ok(())
+        }
+        Goal::Seq(gs) => {
+            for g in gs {
+                flatten_goal(g, out)?;
+            }
+            Ok(())
+        }
+        other => Err(NotDatalog {
+            reason: format!("body contains `{other}` (updates, |, iso, or are not Datalog)"),
+        }),
+    }
+}
+
+/// The least fixpoint: every derivable fact of every derived predicate.
+#[derive(Clone, Debug, Default)]
+pub struct Fixpoint {
+    facts: HashMap<Pred, HashSet<Tuple>>,
+    /// Semi-naive iterations until convergence.
+    pub iterations: usize,
+    /// Facts derived (including duplicates suppressed).
+    pub derivations: u64,
+}
+
+impl Fixpoint {
+    /// All facts of `pred`.
+    pub fn facts_of(&self, pred: Pred) -> impl Iterator<Item = &Tuple> {
+        self.facts.get(&pred).into_iter().flatten()
+    }
+
+    /// Does the ground atom hold in the fixpoint?
+    pub fn holds(&self, atom: &Atom) -> bool {
+        match atom.ground_args() {
+            Some(vals) => self
+                .facts
+                .get(&atom.pred)
+                .is_some_and(|s| s.contains(&Tuple::new(vals))),
+            None => false,
+        }
+    }
+
+    /// Total number of derived facts.
+    pub fn len(&self) -> usize {
+        self.facts.values().map(HashSet::len).sum()
+    }
+
+    /// True if no derived facts exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Compute the least fixpoint of `program` over `db` by semi-naive
+/// iteration.
+pub fn evaluate(program: &Program, db: &Database) -> Result<Fixpoint, NotDatalog> {
+    let rules: Vec<FlatRule> = program
+        .rules()
+        .iter()
+        .map(flatten_rule)
+        .collect::<Result<_, _>>()?;
+
+    let mut fix = Fixpoint::default();
+    // delta = facts new in the previous round.
+    let mut delta: HashMap<Pred, HashSet<Tuple>>;
+
+    // Round 0: rules evaluated with all derived atoms ranging over the
+    // (empty) total — only rules whose derived prefix is empty fire.
+    let mut first = eval_round(&rules, program, db, &fix.facts, None, &mut fix.derivations);
+    loop {
+        fix.iterations += 1;
+        let mut new_delta: HashMap<Pred, HashSet<Tuple>> = HashMap::new();
+        for (pred, tuples) in first.drain() {
+            for t in tuples {
+                let entry = fix.facts.entry(pred).or_default();
+                if entry.insert(t.clone()) {
+                    new_delta.entry(pred).or_default().insert(t);
+                }
+            }
+        }
+        if new_delta.is_empty() {
+            break;
+        }
+        delta = new_delta;
+        first = eval_round(
+            &rules,
+            program,
+            db,
+            &fix.facts,
+            Some(&delta),
+            &mut fix.derivations,
+        );
+    }
+    Ok(fix)
+}
+
+/// All answers to a (possibly non-ground) atom: tuples of the predicate
+/// matching the atom's bound positions, drawn from the fixpoint for derived
+/// predicates or the database for base predicates.
+pub fn query(program: &Program, db: &Database, atom: &Atom) -> Result<Vec<Tuple>, NotDatalog> {
+    let pattern: Vec<Option<Value>> = atom.args.iter().map(|t| t.as_value()).collect();
+    if program.is_base(atom.pred) {
+        let mut out = db
+            .relation(atom.pred)
+            .map(|r| r.select(&pattern))
+            .unwrap_or_default();
+        out.sort();
+        return Ok(out);
+    }
+    let fix = evaluate(program, db)?;
+    let mut out: Vec<Tuple> = fix
+        .facts_of(atom.pred)
+        .filter(|t| t.matches(&pattern))
+        .cloned()
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// Evaluate every rule once. With `delta`, semi-naive: at least one derived
+/// body atom must come from `delta`.
+fn eval_round(
+    rules: &[FlatRule],
+    program: &Program,
+    db: &Database,
+    total: &HashMap<Pred, HashSet<Tuple>>,
+    delta: Option<&HashMap<Pred, HashSet<Tuple>>>,
+    derivations: &mut u64,
+) -> HashMap<Pred, HashSet<Tuple>> {
+    let mut out: HashMap<Pred, HashSet<Tuple>> = HashMap::new();
+    for rule in rules {
+        let derived_positions: Vec<usize> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| match l {
+                Lit::Atom(a) if program.is_derived(a.pred) => Some(i),
+                _ => None,
+            })
+            .collect();
+        match delta {
+            None => {
+                eval_rule(rule, program, db, total, None, &mut out, derivations);
+            }
+            Some(d) => {
+                if derived_positions.is_empty() {
+                    // Already produced in round 0; nothing new can arise.
+                    continue;
+                }
+                for &pos in &derived_positions {
+                    eval_rule(rule, program, db, total, Some((pos, d)), &mut out, derivations);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Nested-loop join over the body, in order; `delta_at` forces one position
+/// to range over the delta.
+fn eval_rule(
+    rule: &FlatRule,
+    program: &Program,
+    db: &Database,
+    total: &HashMap<Pred, HashSet<Tuple>>,
+    delta_at: Option<(usize, &HashMap<Pred, HashSet<Tuple>>)>,
+    out: &mut HashMap<Pred, HashSet<Tuple>>,
+    derivations: &mut u64,
+) {
+    let mut bindings = Bindings::new();
+    bindings.alloc(rule.num_vars);
+    join(
+        rule,
+        0,
+        program,
+        db,
+        total,
+        delta_at,
+        &mut bindings,
+        out,
+        derivations,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join(
+    rule: &FlatRule,
+    idx: usize,
+    program: &Program,
+    db: &Database,
+    total: &HashMap<Pred, HashSet<Tuple>>,
+    delta_at: Option<(usize, &HashMap<Pred, HashSet<Tuple>>)>,
+    bindings: &mut Bindings,
+    out: &mut HashMap<Pred, HashSet<Tuple>>,
+    derivations: &mut u64,
+) {
+    if idx == rule.body.len() {
+        // Emit the head fact.
+        let values: Option<Vec<Value>> = rule
+            .head
+            .args
+            .iter()
+            .map(|t| bindings.value_of(*t))
+            .collect();
+        if let Some(values) = values {
+            *derivations += 1;
+            out.entry(rule.head.pred)
+                .or_default()
+                .insert(Tuple::new(values));
+        }
+        // Unbound head vars: the rule is range-restricted, so this only
+        // happens when a builtin failed to bind; skip silently.
+        return;
+    }
+    match &rule.body[idx] {
+        Lit::Atom(atom) => {
+            let resolved: Vec<Term> = atom.args.iter().map(|t| bindings.resolve(*t)).collect();
+            let candidates: Vec<Tuple> = if program.is_base(atom.pred) {
+                let pattern: Vec<Option<Value>> =
+                    resolved.iter().map(|t| t.as_value()).collect();
+                db.relation(atom.pred)
+                    .map(|r| r.select(&pattern))
+                    .unwrap_or_default()
+            } else {
+                let source = match delta_at {
+                    Some((pos, d)) if pos == idx => d.get(&atom.pred),
+                    _ => total.get(&atom.pred),
+                };
+                source
+                    .map(|s| s.iter().cloned().collect())
+                    .unwrap_or_default()
+            };
+            for t in candidates {
+                let mark = bindings.mark();
+                let ok = resolved
+                    .iter()
+                    .zip(t.values())
+                    .all(|(a, v)| unify_terms(bindings, *a, Term::Val(*v)));
+                if ok {
+                    join(
+                        rule,
+                        idx + 1,
+                        program,
+                        db,
+                        total,
+                        delta_at,
+                        bindings,
+                        out,
+                        derivations,
+                    );
+                }
+                bindings.undo_to(mark);
+            }
+        }
+        Lit::NegAtom(atom) => {
+            // All args must be bound here (left-to-right safety); an
+            // unresolved variable means the rule is not evaluable in this
+            // order — treat as no match, like a failing filter.
+            let values: Option<Vec<Value>> = atom
+                .args
+                .iter()
+                .map(|t| bindings.value_of(*t))
+                .collect();
+            if let Some(values) = values {
+                let absent = !db.contains(atom.pred, &Tuple::new(values));
+                if absent {
+                    join(
+                        rule,
+                        idx + 1,
+                        program,
+                        db,
+                        total,
+                        delta_at,
+                        bindings,
+                        out,
+                        derivations,
+                    );
+                }
+            }
+        }
+        Lit::Builtin(op, terms) => {
+            let mark = bindings.mark();
+            // Builtins in the bottom-up setting are filters/functions; an
+            // instantiation fault means the rule isn't evaluable in this
+            // order — treat as no match (it would be rejected top-down too).
+            let ok = matches!(
+                crate::machine::eval_builtin_pub(bindings, *op, terms),
+                Ok(true)
+            );
+            if ok {
+                join(
+                    rule,
+                    idx + 1,
+                    program,
+                    db,
+                    total,
+                    delta_at,
+                    bindings,
+                    out,
+                    derivations,
+                );
+            }
+            bindings.undo_to(mark);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::load_init;
+    use td_db::tuple;
+    use td_parser::parse_program;
+
+    fn setup(src: &str) -> (Program, Database) {
+        let parsed = parse_program(src).expect("parses");
+        let db = Database::with_schema_of(&parsed.program);
+        let db = load_init(&db, &parsed.init).expect("init");
+        (parsed.program, db)
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let (p, db) = setup(
+            "base e/2.
+             init e(a, b). init e(b, c). init e(c, d).
+             path(X, Y) <- e(X, Y).
+             path(X, Z) <- e(X, Y) * path(Y, Z).",
+        );
+        let fix = evaluate(&p, &db).unwrap();
+        let path = Pred::new("path", 2);
+        assert!(fix.holds(&Atom::new(
+            "path",
+            vec![Term::sym("a"), Term::sym("d")]
+        )));
+        assert_eq!(fix.facts_of(path).count(), 6);
+    }
+
+    #[test]
+    fn query_filters_by_pattern() {
+        let (p, db) = setup(
+            "base e/2.
+             init e(a, b). init e(b, c).
+             path(X, Y) <- e(X, Y).
+             path(X, Z) <- e(X, Y) * path(Y, Z).",
+        );
+        let ans = query(&p, &db, &Atom::new("path", vec![Term::sym("a"), Term::var(0)])).unwrap();
+        assert_eq!(ans.len(), 2);
+        let base = query(&p, &db, &Atom::new("e", vec![Term::var(0), Term::var(1)])).unwrap();
+        assert_eq!(base.len(), 2);
+    }
+
+    #[test]
+    fn builtins_as_filters_and_functions() {
+        let (p, db) = setup(
+            "base n/1.
+             init n(1). init n(2). init n(3).
+             big(X) <- n(X) * X > 1.
+             double(Y) <- n(X) * Y is X + X.",
+        );
+        let fix = evaluate(&p, &db).unwrap();
+        assert_eq!(fix.facts_of(Pred::new("big", 1)).count(), 2);
+        let mut doubles: Vec<Tuple> = fix.facts_of(Pred::new("double", 1)).cloned().collect();
+        doubles.sort();
+        assert_eq!(doubles, vec![tuple!(2), tuple!(4), tuple!(6)]);
+    }
+
+    #[test]
+    fn mutual_recursion_converges() {
+        let (p, db) = setup(
+            "base start/1. base e/2.
+             init start(a). init e(a, b). init e(b, a).
+             even(X) <- start(X).
+             even(X) <- odd(Y) * e(Y, X).
+             odd(X) <- even(Y) * e(Y, X).",
+        );
+        let fix = evaluate(&p, &db).unwrap();
+        assert!(fix.holds(&Atom::new("even", vec![Term::sym("a")])));
+        assert!(fix.holds(&Atom::new("odd", vec![Term::sym("b")])));
+        assert!(fix.holds(&Atom::new("even", vec![Term::sym("a")])));
+        assert!(fix.iterations < 10);
+    }
+
+    #[test]
+    fn non_datalog_rules_rejected() {
+        let (p, _) = setup("base t/0. r <- ins.t.");
+        assert!(is_datalog(&p).is_err());
+        let (p, _) = setup("base a/0. base b/0. r <- a | b.");
+        assert!(is_datalog(&p).is_err());
+        let (p, _) = setup("base a/0. r <- iso { a }.");
+        assert!(is_datalog(&p).is_err());
+    }
+
+    #[test]
+    fn pure_query_programs_accepted() {
+        let (p, _) = setup("base e/2. path(X, Y) <- e(X, Y). path(X, Z) <- e(X, Y) * path(Y, Z).");
+        assert!(is_datalog(&p).is_ok());
+    }
+
+    #[test]
+    fn empty_program_fixpoint_is_empty() {
+        let (p, db) = setup("base e/2.");
+        let fix = evaluate(&p, &db).unwrap();
+        assert!(fix.is_empty());
+    }
+
+    #[test]
+    fn agreement_with_interpreter_on_queries() {
+        // A pure-query goal must succeed top-down iff the fact is in the
+        // bottom-up fixpoint.
+        let src = "base e/2.
+             init e(a, b). init e(b, c). init e(c, d).
+             path(X, Y) <- e(X, Y).
+             path(X, Z) <- e(X, Y) * path(Y, Z).";
+        let (p, db) = setup(src);
+        let fix = evaluate(&p, &db).unwrap();
+        let engine = crate::Engine::new(p.clone());
+        for x in ["a", "b", "c", "d"] {
+            for y in ["a", "b", "c", "d"] {
+                let atom = Atom::new("path", vec![Term::sym(x), Term::sym(y)]);
+                let goal = Goal::Atom(atom.clone());
+                let eng = engine.executable(&goal, &db).unwrap();
+                assert_eq!(eng, fix.holds(&atom), "path({x},{y})");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod negation_tests {
+    use super::*;
+    use crate::engine::load_init;
+    use td_parser::parse_program;
+
+    fn setup(src: &str) -> (Program, Database) {
+        let parsed = parse_program(src).unwrap();
+        let db = Database::with_schema_of(&parsed.program);
+        let db = load_init(&db, &parsed.init).unwrap();
+        (parsed.program, db)
+    }
+
+    #[test]
+    fn absence_tests_filter_bottom_up() {
+        let (p, db) = setup(
+            "base node/1. base broken/1.
+             init node(a). init node(b). init node(c).
+             init broken(b).
+             healthy(X) <- node(X) * not broken(X).",
+        );
+        let fix = evaluate(&p, &db).unwrap();
+        let mut names: Vec<String> = fix
+            .facts_of(Pred::new("healthy", 1))
+            .map(|t| t.to_string())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["(a)", "(c)"]);
+    }
+
+    #[test]
+    fn negation_inside_recursion() {
+        // Reachability avoiding blocked nodes.
+        let (p, db) = setup(
+            "base e/2. base blocked/1.
+             init e(a, b). init e(b, c). init e(c, d).
+             init blocked(c).
+             reach(X) <- e(a, X) * not blocked(X).
+             reach(Y) <- reach(X) * e(X, Y) * not blocked(Y).",
+        );
+        let fix = evaluate(&p, &db).unwrap();
+        assert!(fix.holds(&Atom::new("reach", vec![Term::sym("b")])));
+        assert!(!fix.holds(&Atom::new("reach", vec![Term::sym("c")])));
+        assert!(
+            !fix.holds(&Atom::new("reach", vec![Term::sym("d")])),
+            "d is only reachable through blocked c"
+        );
+    }
+
+    #[test]
+    fn tabled_and_bottom_up_agree_with_negation() {
+        let src = "base e/2. base blocked/1.
+             init e(a, b). init e(b, c). init e(b, a).
+             init blocked(c).
+             reach(X) <- e(a, X) * not blocked(X).
+             reach(Y) <- reach(X) * e(X, Y) * not blocked(Y).";
+        let (p, db) = setup(src);
+        let q = Atom::new("reach", vec![Term::var(0)]);
+        let naive = query(&p, &db, &q).unwrap();
+        let (tabled, _) = crate::tabling::query_tabled(&p, &db, &q).unwrap();
+        assert_eq!(naive, tabled);
+        let (magic, _) = crate::magic::answer(&p, &db, &q).unwrap();
+        assert_eq!(naive, magic);
+    }
+
+    #[test]
+    fn engine_agrees_on_negation_queries() {
+        let src = "base node/1. base broken/1.
+             init node(a). init node(b). init broken(b).
+             healthy(X) <- node(X) * not broken(X).";
+        let (p, db) = setup(src);
+        let engine = crate::Engine::new(p.clone());
+        for (n, expect) in [("a", true), ("b", false)] {
+            let g = Goal::atom("healthy", vec![Term::sym(n)]);
+            assert_eq!(engine.executable(&g, &db).unwrap(), expect, "{n}");
+        }
+    }
+}

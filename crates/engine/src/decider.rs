@@ -1,0 +1,788 @@
+//! Explicit-state decision procedure for executability.
+//!
+//! The paper's complexity results (§4–§5) concern the *decision problem*
+//! "is goal φ executable on database D?". For the decidable fragments —
+//! sequential TD (Thm 4.5), nonrecursive TD (Thm 4.7) and fully bounded TD
+//! (§5) — the space of reachable configurations `(process state, database)`
+//! is finite, so executability is decidable by memoized graph search. This
+//! module is that procedure.
+//!
+//! Unlike the backtracking [`crate::Engine`] (which re-explores shared
+//! subspaces and may diverge on RE-hard programs), the decider visits each
+//! distinct configuration once. The number of distinct configurations it
+//! explores is exactly the quantity whose asymptotic growth the theorems
+//! bound, and the benchmark harness reports it for each fragment
+//! (EXPERIMENTS.md, E7–E9).
+//!
+//! Configurations are canonicalized up to variable renaming: free variables
+//! are renumbered densely in first-occurrence order, so α-equivalent
+//! process states memoize together. Databases are keyed by content digest
+//! (64-bit; collisions are possible in principle but have probability
+//! ~2⁻⁶⁴ per pair).
+
+use crate::config::EngineError;
+use crate::tree::{frontier, leaf_at, make_node, rewrite, to_goal, PTree};
+use std::collections::HashSet;
+use std::sync::Arc;
+use td_core::goal::Builtin;
+use td_core::unify::{unify_args, unify_terms};
+use td_core::{Bindings, Goal, Program, Term, Value, Var};
+use td_db::{Database, Tuple};
+
+/// Limits for a decision run.
+#[derive(Clone, Copy, Debug)]
+pub struct DeciderConfig {
+    /// Stop after this many distinct configurations.
+    pub max_configs: usize,
+    /// Explore the whole reachable space even after finding success
+    /// (needed when the *size* of the space is the measurement).
+    pub exhaustive: bool,
+}
+
+impl Default for DeciderConfig {
+    fn default() -> DeciderConfig {
+        DeciderConfig {
+            max_configs: 1_000_000,
+            exhaustive: false,
+        }
+    }
+}
+
+/// The result of a decision run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Some successful execution exists (within the explored space).
+    pub executable: bool,
+    /// Distinct configurations visited.
+    pub configs: usize,
+    /// The budget was hit: `executable == false` then means "not found",
+    /// not "impossible".
+    pub truncated: bool,
+}
+
+/// Decide whether `goal` is executable on `db` under `program`.
+///
+/// ```
+/// use td_engine::decider::{decide, DeciderConfig};
+/// use td_parser::parse_program;
+/// use td_db::Database;
+///
+/// // `loop <- loop` diverges in the interpreter, but the decider sees one
+/// // repeated configuration and refutes it.
+/// let parsed = parse_program("loop <- loop. ?- loop.").unwrap();
+/// let db = Database::with_schema_of(&parsed.program);
+/// let d = decide(&parsed.program, &parsed.goals[0].goal, &db, DeciderConfig::default()).unwrap();
+/// assert!(!d.executable);
+/// assert!(!d.truncated);
+/// ```
+pub fn decide(
+    program: &Program,
+    goal: &Goal,
+    db: &Database,
+    config: DeciderConfig,
+) -> Result<Decision, EngineError> {
+    let mut search = Search {
+        program,
+        config,
+        visited: HashSet::new(),
+        truncated: false,
+    };
+    let executable = search.explore(make_node(goal), db.clone())?;
+    Ok(Decision {
+        executable,
+        configs: search.visited.len(),
+        truncated: search.truncated,
+    })
+}
+
+/// All final databases reachable by complete executions of `goal` on `db`
+/// (deduplicated by content). Used for isolation blocks and by tests that
+/// compare against the interpreter.
+pub fn final_states(
+    program: &Program,
+    goal: &Goal,
+    db: &Database,
+    config: DeciderConfig,
+) -> Result<Vec<Database>, EngineError> {
+    let mut search = Search {
+        program,
+        config,
+        visited: HashSet::new(),
+        truncated: false,
+    };
+    let mut finals = Vec::new();
+    search.collect_finals(make_node(goal), db.clone(), &mut finals)?;
+    Ok(finals)
+}
+
+/// The minimum number of elementary steps in any successful execution of
+/// `goal` on `db`, found by breadth-first search over configurations —
+/// `None` if the goal is unexecutable (within `config.max_configs`). A
+/// useful workflow metric: the critical-path length of the shortest
+/// schedule.
+pub fn shortest_execution(
+    program: &Program,
+    goal: &Goal,
+    db: &Database,
+    config: DeciderConfig,
+) -> Result<Option<usize>, EngineError> {
+    let mut search = Search {
+        program,
+        config,
+        visited: HashSet::new(),
+        truncated: false,
+    };
+    let mut frontier: Vec<(Option<Arc<PTree>>, Database)> =
+        vec![(make_node(goal), db.clone())];
+    let mut depth = 0usize;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for (tree, db) in frontier {
+            let Some(tree) = tree else {
+                return Ok(Some(depth));
+            };
+            if !search.mark_visited(&tree, &db) {
+                continue;
+            }
+            if search.visited.len() >= search.config.max_configs {
+                return Ok(None);
+            }
+            next.extend(search.successors(&tree, &db)?);
+        }
+        frontier = next;
+        depth += 1;
+    }
+    Ok(None)
+}
+
+struct Search<'p> {
+    program: &'p Program,
+    config: DeciderConfig,
+    visited: HashSet<(Goal, u64)>,
+    truncated: bool,
+}
+
+/// A configuration: live process tree (None = complete) + database.
+type Config = (Option<Arc<PTree>>, Database);
+
+impl<'p> Search<'p> {
+    /// DFS for any complete execution. Returns true as soon as one is found
+    /// (unless `exhaustive`).
+    fn explore(&mut self, tree: Option<Arc<PTree>>, db: Database) -> Result<bool, EngineError> {
+        let mut stack: Vec<Config> = vec![(tree, db)];
+        let mut found = false;
+        while let Some((tree, db)) = stack.pop() {
+            let Some(tree) = tree else {
+                found = true;
+                if self.config.exhaustive {
+                    continue;
+                }
+                return Ok(true);
+            };
+            if !self.mark_visited(&tree, &db) {
+                continue;
+            }
+            if self.visited.len() >= self.config.max_configs {
+                self.truncated = true;
+                return Ok(found);
+            }
+            let succs = self.successors(&tree, &db)?;
+            stack.extend(succs);
+        }
+        Ok(found)
+    }
+
+    /// DFS collecting every distinct final database.
+    fn collect_finals(
+        &mut self,
+        tree: Option<Arc<PTree>>,
+        db: Database,
+        finals: &mut Vec<Database>,
+    ) -> Result<(), EngineError> {
+        let mut stack: Vec<Config> = vec![(tree, db)];
+        while let Some((tree, db)) = stack.pop() {
+            let Some(tree) = tree else {
+                if !finals.iter().any(|d| d.same_content(&db)) {
+                    finals.push(db);
+                }
+                continue;
+            };
+            if !self.mark_visited(&tree, &db) {
+                continue;
+            }
+            if self.visited.len() >= self.config.max_configs {
+                self.truncated = true;
+                return Ok(());
+            }
+            let succs = self.successors(&tree, &db)?;
+            stack.extend(succs);
+        }
+        Ok(())
+    }
+
+    fn mark_visited(&mut self, tree: &Arc<PTree>, db: &Database) -> bool {
+        let key = (canonical_goal(&to_goal(tree)), db.digest());
+        self.visited.insert(key)
+    }
+
+    /// Every configuration reachable in one elementary step, across all
+    /// schedules and all nondeterministic choices.
+    fn successors(
+        &mut self,
+        tree: &Arc<PTree>,
+        db: &Database,
+    ) -> Result<Vec<Config>, EngineError> {
+        let mut out = Vec::new();
+        for path in frontier(tree) {
+            let leaf = leaf_at(tree, &path).clone();
+            match leaf {
+                Goal::Fail => {}
+                Goal::True | Goal::Seq(_) | Goal::Par(_) => {
+                    unreachable!("structural goals expanded by make_node")
+                }
+                Goal::Atom(atom) if self.program.is_base(atom.pred) => {
+                    let Some(rel) = db.relation(atom.pred) else {
+                        continue;
+                    };
+                    let pattern: Vec<Option<Value>> =
+                        atom.args.iter().map(|t| t.as_value()).collect();
+                    let mut tuples = rel.select(&pattern);
+                    tuples.sort();
+                    for t in tuples {
+                        if let Some(new_tree) = apply_unification(tree, &path, None, |b| {
+                            atom.args
+                                .iter()
+                                .zip(t.values())
+                                .all(|(a, v)| unify_terms(b, *a, Term::Val(*v)))
+                        }) {
+                            out.push((new_tree, db.clone()));
+                        }
+                    }
+                }
+                Goal::Atom(atom) => {
+                    for &rid in self.program.rules_for(atom.pred) {
+                        let rule = self.program.rule(rid);
+                        let base = num_vars_in_tree(tree);
+                        let (head, body) = rule.rename_apart(base);
+                        let replacement = make_node(&body);
+                        if let Some(new_tree) = apply_unification_n(
+                            tree,
+                            &path,
+                            replacement,
+                            base + rule.num_vars(),
+                            |b| unify_args(b, &atom.args, &head.args),
+                        ) {
+                            out.push((new_tree, db.clone()));
+                        }
+                    }
+                }
+                Goal::NotAtom(atom) => {
+                    if !atom.is_ground() {
+                        return Err(EngineError::Instantiation {
+                            context: format!("not {atom}"),
+                        });
+                    }
+                    if !db.holds(&atom) {
+                        out.push((rewrite(tree, &path, None), db.clone()));
+                    }
+                }
+                Goal::Ins(atom) | Goal::Del(atom) => {
+                    let is_ins = matches!(leaf_at(tree, &path), Goal::Ins(_));
+                    let Some(values) = atom.ground_args() else {
+                        return Err(EngineError::Instantiation {
+                            context: format!("update on {atom}"),
+                        });
+                    };
+                    let t = Tuple::new(values);
+                    let next = if is_ins {
+                        db.insert(atom.pred, &t)
+                    } else {
+                        db.delete(atom.pred, &t)
+                    }
+                    .map_err(|e| EngineError::Db(e.to_string()))?
+                    .0;
+                    out.push((rewrite(tree, &path, None), next));
+                }
+                Goal::Builtin(op, terms) => match eval_ground_builtin(op, &terms)? {
+                    BuiltinOut::Fails => {}
+                    BuiltinOut::Succeeds => {
+                        out.push((rewrite(tree, &path, None), db.clone()));
+                    }
+                    BuiltinOut::Binds(v, val) => {
+                        let new_tree =
+                            rewrite(tree, &path, None).map(|t| subst_tree(&t, v, val));
+                        out.push((new_tree, db.clone()));
+                    }
+                },
+                Goal::Choice(branches) => {
+                    for b in &branches {
+                        out.push((rewrite(tree, &path, make_node(b)), db.clone()));
+                    }
+                }
+                Goal::Iso(inner) => {
+                    // Isolated block: committing to start it means nothing
+                    // else runs until it completes — i.e. the whole
+                    // remaining tree is sequenced after it. (Schedules
+                    // where the block starts later arise from stepping the
+                    // other frontier actions first.) Variable bindings made
+                    // inside the block flow to the continuation because it
+                    // is one tree.
+                    let rest = rewrite(tree, &path, None);
+                    out.push((crate::tree::sequence(make_node(&inner), rest), db.clone()));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Unify under a scratch binding store sized for the tree's variables, then
+/// substitute the solution through the rewritten tree.
+pub(crate) fn apply_unification(
+    tree: &Arc<PTree>,
+    path: &[usize],
+    replacement: Option<Arc<PTree>>,
+    unifier: impl FnOnce(&mut Bindings) -> bool,
+) -> Option<Option<Arc<PTree>>> {
+    let n = num_vars_in_tree(tree);
+    apply_unification_n(tree, path, replacement, n, unifier)
+}
+
+pub(crate) fn apply_unification_n(
+    tree: &Arc<PTree>,
+    path: &[usize],
+    replacement: Option<Arc<PTree>>,
+    nvars: u32,
+    unifier: impl FnOnce(&mut Bindings) -> bool,
+) -> Option<Option<Arc<PTree>>> {
+    let mut b = Bindings::new();
+    b.alloc(nvars);
+    if !unifier(&mut b) {
+        return None;
+    }
+    let rewritten = rewrite(tree, path, replacement);
+    Some(rewritten.map(|t| apply_bindings_tree(&t, &b)))
+}
+
+/// Variables in a tree: max id + 1.
+pub(crate) fn num_vars_in_tree(tree: &Arc<PTree>) -> u32 {
+    to_goal(tree)
+        .vars()
+        .into_iter()
+        .map(|Var(i)| i + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+fn apply_bindings_tree(tree: &Arc<PTree>, b: &Bindings) -> Arc<PTree> {
+    map_tree(tree, &mut |t| b.resolve(t))
+}
+
+pub(crate) fn subst_tree(tree: &Arc<PTree>, v: Var, val: Term) -> Arc<PTree> {
+    map_tree(tree, &mut |t| if t == Term::Var(v) { val } else { t })
+}
+
+fn map_tree(tree: &Arc<PTree>, f: &mut impl FnMut(Term) -> Term) -> Arc<PTree> {
+    match &**tree {
+        PTree::Lit(g) => Arc::new(PTree::Lit(g.map_terms(f))),
+        PTree::Seq(cs) => Arc::new(PTree::Seq(cs.iter().map(|c| map_tree(c, f)).collect())),
+        PTree::Par(cs) => Arc::new(PTree::Par(cs.iter().map(|c| map_tree(c, f)).collect())),
+    }
+}
+
+pub(crate) enum BuiltinOut {
+    Fails,
+    Succeeds,
+    Binds(Var, Term),
+}
+
+/// Builtins in the decider work over (mostly) ground configurations:
+/// comparisons demand ground integers; `=` may bind one free variable;
+/// arithmetic may bind its output.
+pub(crate) fn eval_ground_builtin(op: Builtin, terms: &[Term]) -> Result<BuiltinOut, EngineError> {
+    let ground_int = |t: Term| -> Result<i64, EngineError> {
+        match t {
+            Term::Val(Value::Int(i)) => Ok(i),
+            Term::Val(v) => Err(EngineError::Type {
+                context: format!("`{v}` in `{}`", op.op_str()),
+            }),
+            Term::Var(v) => Err(EngineError::Instantiation {
+                context: format!("`{v}` in `{}`", op.op_str()),
+            }),
+        }
+    };
+    match op {
+        Builtin::Eq => match (terms[0], terms[1]) {
+            (Term::Val(a), Term::Val(b)) => Ok(if a == b {
+                BuiltinOut::Succeeds
+            } else {
+                BuiltinOut::Fails
+            }),
+            (Term::Var(v), t @ Term::Val(_)) | (t @ Term::Val(_), Term::Var(v)) => {
+                Ok(BuiltinOut::Binds(v, t))
+            }
+            (Term::Var(a), Term::Var(b)) => {
+                if a == b {
+                    Ok(BuiltinOut::Succeeds)
+                } else {
+                    Ok(BuiltinOut::Binds(a, Term::Var(b)))
+                }
+            }
+        },
+        Builtin::Ne => match (terms[0], terms[1]) {
+            (Term::Val(a), Term::Val(b)) => Ok(if a != b {
+                BuiltinOut::Succeeds
+            } else {
+                BuiltinOut::Fails
+            }),
+            (a, b) => Err(EngineError::Instantiation {
+                context: format!("`{a} != {b}`"),
+            }),
+        },
+        Builtin::Lt | Builtin::Le | Builtin::Gt | Builtin::Ge => {
+            let a = ground_int(terms[0])?;
+            let b = ground_int(terms[1])?;
+            let ok = match op {
+                Builtin::Lt => a < b,
+                Builtin::Le => a <= b,
+                Builtin::Gt => a > b,
+                Builtin::Ge => a >= b,
+                _ => unreachable!(),
+            };
+            Ok(if ok {
+                BuiltinOut::Succeeds
+            } else {
+                BuiltinOut::Fails
+            })
+        }
+        Builtin::Add | Builtin::Sub | Builtin::Mul => {
+            let a = ground_int(terms[0])?;
+            let b = ground_int(terms[1])?;
+            let r = match op {
+                Builtin::Add => a.checked_add(b),
+                Builtin::Sub => a.checked_sub(b),
+                Builtin::Mul => a.checked_mul(b),
+                _ => unreachable!(),
+            }
+            .ok_or_else(|| EngineError::Overflow {
+                context: format!("{a} {} {b}", op.op_str()),
+            })?;
+            match terms[2] {
+                Term::Var(v) => Ok(BuiltinOut::Binds(v, Term::int(r))),
+                Term::Val(c) => Ok(if c == Value::Int(r) {
+                    BuiltinOut::Succeeds
+                } else {
+                    BuiltinOut::Fails
+                }),
+            }
+        }
+    }
+}
+
+/// Rename variables densely in first-occurrence order, making α-equivalent
+/// goals structurally equal.
+pub fn canonical_goal(goal: &Goal) -> Goal {
+    let mut map: Vec<(Var, u32)> = Vec::new();
+    goal.map_terms(&mut |t| match t {
+        Term::Var(v) => {
+            let id = match map.iter().find(|(w, _)| *w == v) {
+                Some((_, id)) => *id,
+                None => {
+                    let id = u32::try_from(map.len()).expect("var count overflow");
+                    map.push((v, id));
+                    id
+                }
+            };
+            Term::var(id)
+        }
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::load_init;
+    use td_parser::parse_program;
+
+    fn setup(src: &str) -> (td_core::Program, Database, Vec<Goal>) {
+        let parsed = parse_program(src).expect("parses");
+        let db = Database::with_schema_of(&parsed.program);
+        let db = load_init(&db, &parsed.init).expect("init");
+        let goals = parsed.goals.iter().map(|g| g.goal.clone()).collect();
+        (parsed.program, db, goals)
+    }
+
+    fn run(src: &str) -> Decision {
+        let (p, db, goals) = setup(src);
+        decide(&p, &goals[0], &db, DeciderConfig::default()).expect("decides")
+    }
+
+    #[test]
+    fn trivial_success_and_failure() {
+        assert!(run("base t/0. ?- ins.t.").executable);
+        assert!(!run("base t/0. ?- t.").executable);
+        assert!(!run("base t/0. ?- fail.").executable);
+    }
+
+    #[test]
+    fn serial_order_is_respected() {
+        assert!(!run("base t/0. ?- t * ins.t.").executable);
+        assert!(run("base t/0. ?- ins.t * t.").executable);
+    }
+
+    #[test]
+    fn concurrent_communication_found() {
+        let d = run("base m/0. base d/0. c <- m * ins.d. p <- ins.m. ?- c | p.");
+        assert!(d.executable);
+    }
+
+    #[test]
+    fn isolation_semantics_match_engine() {
+        let src = "
+            base flag/0. base saw/0.
+            right <- flag * ins.saw.
+            ?- iso { ins.flag * del.flag } | right.
+        ";
+        assert!(!run(src).executable);
+        let src2 = "
+            base flag/0. base saw/0.
+            right <- flag * ins.saw.
+            ?- (ins.flag * del.flag) | right.
+        ";
+        assert!(run(src2).executable);
+    }
+
+    #[test]
+    fn nonterminating_recursion_is_decided_by_memoization() {
+        // loop <- loop diverges in the interpreter, but the decider sees a
+        // single repeated configuration and terminates with "not executable".
+        let d = run("loop <- loop. ?- loop.");
+        assert!(!d.executable);
+        assert!(!d.truncated);
+        assert!(d.configs <= 3, "tiny configuration space, got {}", d.configs);
+    }
+
+    #[test]
+    fn tail_recursive_loop_with_exit_is_executable() {
+        let d = run(
+            "base t/0.
+             loop <- { ins.t or loop }.
+             ?- loop.",
+        );
+        assert!(d.executable);
+        assert!(!d.truncated);
+    }
+
+    #[test]
+    fn countdown_explores_linear_space() {
+        let src = |n: i64| {
+            format!(
+                "base n/1. init n({n}).
+                 down <- n(0).
+                 down <- n(X) * X > 0 * del.n(X) * Y is X - 1 * ins.n(Y) * down.
+                 ?- down."
+            )
+        };
+        let d5 = run(&src(5));
+        let d10 = run(&src(10));
+        assert!(d5.executable && d10.executable);
+        assert!(d10.configs > d5.configs);
+        // Linear-ish growth: doubling n should not square the space.
+        assert!(d10.configs < d5.configs * 4);
+    }
+
+    #[test]
+    fn exhaustive_mode_counts_the_whole_space() {
+        let (p, db, goals) = setup("base a/0. base b/0. ?- ins.a | ins.b.");
+        let d = decide(
+            &p,
+            &goals[0],
+            &db,
+            DeciderConfig {
+                exhaustive: true,
+                ..DeciderConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(d.executable);
+        assert!(d.configs >= 3, "got {}", d.configs);
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let (p, db, goals) = setup(
+            "base n/1. init n(100).
+             down <- n(0).
+             down <- n(X) * X > 0 * del.n(X) * Y is X - 1 * ins.n(Y) * down.
+             ?- down.",
+        );
+        let d = decide(
+            &p,
+            &goals[0],
+            &db,
+            DeciderConfig {
+                max_configs: 10,
+                exhaustive: false,
+            },
+        )
+        .unwrap();
+        assert!(d.truncated);
+        assert!(!d.executable);
+    }
+
+    #[test]
+    fn final_states_enumerates_outcomes() {
+        let (p, db, goals) = setup(
+            "base t/1.
+             pick <- { ins.t(1) or ins.t(2) }.
+             ?- pick.",
+        );
+        let finals = final_states(&p, &goals[0], &db, DeciderConfig::default()).unwrap();
+        assert_eq!(finals.len(), 2);
+    }
+
+    #[test]
+    fn canonical_goal_identifies_alpha_equivalent() {
+        let g1 = Goal::atom("p", vec![Term::var(3), Term::var(7), Term::var(3)]);
+        let g2 = Goal::atom("p", vec![Term::var(9), Term::var(2), Term::var(9)]);
+        assert_eq!(canonical_goal(&g1), canonical_goal(&g2));
+        let g3 = Goal::atom("p", vec![Term::var(1), Term::var(2), Term::var(2)]);
+        assert_ne!(canonical_goal(&g1), canonical_goal(&g3));
+    }
+
+    #[test]
+    fn agreement_with_interpreter_on_small_programs() {
+        let cases = [
+            "base t/0. ?- ins.t * del.t * not t.",
+            "base a/0. base b/0. ?- (a | ins.a) * b.",
+            "base a/0. base b/0. ?- (a | ins.a) * ins.b * b.",
+            "base a/0. p <- a. p <- ins.a. ?- p * a.",
+            "base a/0. base b/0. ?- iso { ins.a * del.a } * a.",
+            "base m/0. base d/0. c <- m * ins.d. ?- c | ins.m.",
+        ];
+        for src in cases {
+            let (p, db, goals) = setup(src);
+            let engine = crate::Engine::new(p.clone());
+            let eng = engine.executable(&goals[0], &db).unwrap();
+            let dec = decide(&p, &goals[0], &db, DeciderConfig::default())
+                .unwrap()
+                .executable;
+            assert_eq!(eng, dec, "mismatch on: {src}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod shortest_tests {
+    use super::*;
+    use crate::engine::load_init;
+    use td_parser::parse_program;
+
+    fn shortest(src: &str) -> Option<usize> {
+        let parsed = parse_program(src).unwrap();
+        let db = Database::with_schema_of(&parsed.program);
+        let db = load_init(&db, &parsed.init).unwrap();
+        shortest_execution(
+            &parsed.program,
+            &parsed.goals[0].goal,
+            &db,
+            DeciderConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_elementary_steps() {
+        assert_eq!(shortest("base t/0. ?- ins.t."), Some(1));
+        assert_eq!(shortest("base t/0. ?- ins.t * t * del.t."), Some(3));
+        assert_eq!(shortest("base t/0. ?- t."), None);
+    }
+
+    #[test]
+    fn choice_takes_the_shorter_branch() {
+        // One branch needs 1 step, the other 3: BFS reports 2 (choice
+        // resolution is itself a step).
+        let n = shortest(
+            "base t/1.
+             ?- { ins.t(1) or (ins.t(1) * ins.t(2) * ins.t(3)) }.",
+        );
+        assert_eq!(n, Some(2));
+    }
+
+    #[test]
+    fn concurrent_steps_still_count_individually() {
+        // Interleaving does not shorten total work: 2 inserts = 2 steps.
+        assert_eq!(shortest("base a/0. base b/0. ?- ins.a | ins.b."), Some(2));
+    }
+
+    #[test]
+    fn unfolds_count_as_steps() {
+        // call -> unfold (1) -> ins (1)
+        assert_eq!(shortest("base t/0. p <- ins.t. ?- p."), Some(2));
+    }
+
+    #[test]
+    fn workflow_critical_path() {
+        // Example 3.1-shaped: unfoldings + queries + 5 inserts; the exact
+        // number is stable and small.
+        let n = shortest(
+            "base item/1. base done/2.
+             init item(w1).
+             wf(W) <- t1(W) * (t2(W) | t3(W)).
+             t1(W) <- item(W) * ins.done(W, a).
+             t2(W) <- ins.done(W, b).
+             t3(W) <- ins.done(W, c).
+             ?- wf(w1).",
+        );
+        // wf unfold + t1 unfold + item query + ins + t2/t3 unfolds + 2 ins = 8
+        assert_eq!(n, Some(8));
+    }
+}
+
+#[cfg(test)]
+mod state_space_tests {
+    use super::*;
+    use crate::engine::load_init;
+    use td_parser::parse_program;
+
+    fn explore(src: &str) -> Decision {
+        let parsed = parse_program(src).unwrap();
+        let db = load_init(
+            &Database::with_schema_of(&parsed.program),
+            &parsed.init,
+        )
+        .unwrap();
+        decide(
+            &parsed.program,
+            &parsed.goals[0].goal,
+            &db,
+            DeciderConfig {
+                exhaustive: true,
+                ..DeciderConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn configuration_space_is_exactly_3n_minus_1_for_toggle_products() {
+        // n independent insert/delete toggles: each branch contributes 3
+        // live configurations (about to insert / about to delete / done),
+        // and the product minus the all-done terminal gives 3^n - 1 — the
+        // state explosion the paper's complexity results quantify, here in
+        // closed form.
+        let cfg = |n: usize| {
+            let branches: Vec<String> = (0..n)
+                .map(|i| format!("(ins.f{i} * del.f{i})"))
+                .collect();
+            let decls: Vec<String> = (0..n).map(|i| format!("base f{i}/0.")).collect();
+            format!("{}\n?- {}.", decls.join("\n"), branches.join(" | "))
+        };
+        for n in 1..=5usize {
+            let d = explore(&cfg(n));
+            assert_eq!(d.configs, 3usize.pow(n as u32) - 1, "n={n}");
+            assert!(d.executable);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Public execution API.
+
+use crate::config::{EngineConfig, EngineError, Stats};
+use crate::machine::{Ctx, Solver};
+use crate::tree::make_node;
+use td_core::{Goal, Program, Term, Var};
+use td_db::{Database, Delta};
+
+/// A successful execution: the final database, answer bindings for the
+/// goal's variables, the applied update log, and search statistics.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Database at commit.
+    pub db: Database,
+    /// Resolved term for each goal variable `0..n` (a `Term::Var` entry
+    /// means the execution left that variable unconstrained).
+    pub answer: Vec<Term>,
+    /// The elementary updates the successful execution applied, in order.
+    pub delta: Delta,
+    /// Search statistics up to (and including) this solution.
+    pub stats: Stats,
+    /// Committed-path trace (empty unless `EngineConfig::trace`).
+    pub trace: crate::trace::Trace,
+}
+
+/// The result of asking for one execution.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// A successful execution was found; the transaction commits.
+    Success(Box<Solution>),
+    /// The whole search space was explored without success; the transaction
+    /// aborts and the database is unchanged.
+    Failure { stats: Stats },
+}
+
+impl Outcome {
+    /// True if the execution committed.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Success(_))
+    }
+
+    /// The solution, if successful.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            Outcome::Success(s) => Some(s),
+            Outcome::Failure { .. } => None,
+        }
+    }
+
+    /// Statistics either way.
+    pub fn stats(&self) -> Stats {
+        match self {
+            Outcome::Success(s) => s.stats,
+            Outcome::Failure { stats } => *stats,
+        }
+    }
+}
+
+/// The Transaction Datalog interpreter.
+///
+/// ```
+/// use td_engine::Engine;
+/// use td_parser::parse_program;
+/// use td_db::Database;
+///
+/// let parsed = parse_program(
+///     "base money/1. init money(5).
+///      spend <- money(X) * X >= 1 * del.money(X) * Y is X - 1 * ins.money(Y).",
+/// ).unwrap();
+/// let mut db = Database::with_schema_of(&parsed.program);
+/// for atom in &parsed.init {
+///     let t = td_db::Tuple::new(atom.ground_args().unwrap());
+///     db = db.insert(atom.pred, &t).unwrap().0;
+/// }
+/// let engine = Engine::new(parsed.program.clone());
+/// let goal = td_core::Goal::prop("spend");
+/// let outcome = engine.solve(&goal, &db).unwrap();
+/// assert!(outcome.is_success());
+/// let sol = outcome.solution().unwrap();
+/// assert!(sol.db.contains(td_core::Pred::new("money", 1), &td_db::tuple!(4)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine {
+    program: Program,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Engine with default configuration.
+    pub fn new(program: Program) -> Engine {
+        Engine {
+            program,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(program: Program, config: EngineConfig) -> Engine {
+        Engine { program, config }
+    }
+
+    /// The program this engine executes.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Execute `goal` against `db`, returning the first successful
+    /// execution (the committed transaction) or failure.
+    pub fn solve(&self, goal: &Goal, db: &Database) -> Result<Outcome, EngineError> {
+        let mut found = self.solutions(goal, db, 1)?;
+        match found.solutions.pop() {
+            Some(s) => Ok(Outcome::Success(Box::new(s))),
+            None => Ok(Outcome::Failure {
+                stats: found.stats,
+            }),
+        }
+    }
+
+    /// Is `goal` executable on `db`? (The paper's decision problem.)
+    pub fn executable(&self, goal: &Goal, db: &Database) -> Result<bool, EngineError> {
+        Ok(self.solve(goal, db)?.is_success())
+    }
+
+    /// Up to `limit` distinct successful executions, in search order.
+    ///
+    /// Distinctness is by search path, not final state: two different
+    /// interleavings reaching the same database count twice.
+    pub fn solutions(
+        &self,
+        goal: &Goal,
+        db: &Database,
+        limit: usize,
+    ) -> Result<Solutions, EngineError> {
+        let nvars = goal_num_vars(goal);
+        let mut ctx = Ctx::new(&self.program, &self.config);
+        ctx.bindings.alloc(nvars);
+        let mut solver = Solver::new(make_node(goal), db.clone());
+        let mut out = Vec::new();
+        let mut first = true;
+        while out.len() < limit {
+            let found = if first {
+                first = false;
+                solver.run(&mut ctx)?
+            } else {
+                solver.resume(&mut ctx)?
+            };
+            if !found {
+                break;
+            }
+            let answer = (0..nvars).map(|i| ctx.bindings.resolve(Term::var(i))).collect();
+            let mut delta = Delta::new();
+            for op in &ctx.delta {
+                delta.push(op.clone());
+            }
+            out.push(Solution {
+                db: solver.db.clone(),
+                answer,
+                delta,
+                stats: ctx.stats,
+                trace: crate::trace::Trace {
+                    events: ctx.trace.clone(),
+                },
+            });
+        }
+        Ok(Solutions {
+            solutions: out,
+            stats: ctx.stats,
+        })
+    }
+}
+
+/// The collected solutions of a bounded search.
+#[derive(Clone, Debug)]
+pub struct Solutions {
+    /// Solutions in search order (up to the requested limit).
+    pub solutions: Vec<Solution>,
+    /// Statistics for the whole search.
+    pub stats: Stats,
+}
+
+/// Number of variables a goal mentions (max id + 1 — goals produced by the
+/// parser use dense ids starting at 0).
+pub fn goal_num_vars(goal: &Goal) -> u32 {
+    goal.vars()
+        .into_iter()
+        .map(|Var(i)| i + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Load `init` facts (ground atoms) into a database that already has the
+/// program's schema.
+pub fn load_init(db: &Database, init: &[td_core::Atom]) -> Result<Database, EngineError> {
+    let mut cur = db.clone();
+    for atom in init {
+        let Some(values) = atom.ground_args() else {
+            return Err(EngineError::Instantiation {
+                context: format!("init {atom}"),
+            });
+        };
+        cur = cur
+            .insert(atom.pred, &td_db::Tuple::new(values))
+            .map_err(|e| EngineError::Db(e.to_string()))?
+            .0;
+    }
+    Ok(cur)
+}

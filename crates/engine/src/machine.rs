@@ -1,0 +1,875 @@
+//! The backtracking interpreter.
+//!
+//! A [`Solver`] searches for a *successful execution* of a process tree: a
+//! sequence of elementary steps (one per schedulable frontier action) ending
+//! with the tree fully reduced. Nondeterminism — which concurrent branch
+//! steps next, which rule a call unfolds to, which tuple a query matches,
+//! which `or`-branch runs — is explored depth-first through a choicepoint
+//! stack. Failure restores the database (snapshots), the variable bindings
+//! (trail) and the update log (truncation): TD transactions are
+//! all-or-nothing, so a failed execution leaves no residue.
+//!
+//! Isolation `iso { g }` runs `g` as a *nested* solver from the current
+//! database: its steps occupy a contiguous block of the overall execution,
+//! which is exactly the paper's ⊙ semantics. The nested solver stays alive
+//! inside the choicepoint, so backtracking can pull further solutions out of
+//! the isolated block.
+
+use crate::config::{EngineConfig, EngineError, Stats, Strategy};
+use crate::trace::TraceEvent;
+use crate::tree::{frontier, leaf_at, make_node, rewrite, to_goal, Path, PTree};
+use std::collections::HashSet;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+use td_core::goal::Builtin;
+use td_core::subst::TrailMark;
+use td_core::unify::{unify_args, unify_terms};
+use td_core::{Atom, Bindings, Goal, Program, RuleId, Term, Value};
+use td_db::{Database, DeltaOp, Tuple};
+
+/// Shared execution context: program, config, bindings, statistics, logs.
+/// One `Ctx` serves the top-level solver and every nested (isolation)
+/// solver, so budgets and the trail are global to the execution.
+pub(crate) struct Ctx<'p> {
+    pub program: &'p Program,
+    pub config: &'p EngineConfig,
+    pub bindings: Bindings,
+    pub stats: Stats,
+    pub delta: Vec<DeltaOp>,
+    /// Committed-path trace events (only populated when `config.trace`).
+    pub trace: Vec<TraceEvent>,
+    /// Refuted configurations: (canonical resolved process tree, db digest).
+    /// Only populated/consulted under complete strategies (see
+    /// `EngineConfig::memo_failures`).
+    failed: HashSet<(Goal, u64)>,
+    rng: Option<StdRng>,
+    rr_counter: u64,
+}
+
+impl<'p> Ctx<'p> {
+    pub fn new(program: &'p Program, config: &'p EngineConfig) -> Ctx<'p> {
+        let rng = match config.strategy {
+            Strategy::ExhaustiveRandom(seed) => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        Ctx {
+            program,
+            config,
+            bindings: Bindings::new(),
+            stats: Stats::default(),
+            delta: Vec::new(),
+            trace: Vec::new(),
+            failed: HashSet::new(),
+            rng,
+            rr_counter: 0,
+        }
+    }
+
+    /// Record a trace event (no-op unless tracing is enabled).
+    fn record(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if self.config.trace {
+            let ev = f();
+            self.trace.push(ev);
+        }
+    }
+
+    /// Is failure memoization active? Requires a complete strategy: under
+    /// an incomplete scheduler a failure does not refute the configuration.
+    fn memo_active(&self) -> bool {
+        self.config.memo_failures && self.config.strategy.backtracks_schedule()
+    }
+
+    /// Canonical key of a configuration under the current bindings.
+    fn config_key(&self, tree: &Arc<PTree>, db: &Database) -> (Goal, u64) {
+        let resolved = to_goal(tree).map_terms(&mut |t| self.bindings.resolve(t));
+        (crate::decider::canonical_goal(&resolved), db.digest())
+    }
+
+    fn order_paths(&mut self, paths: &mut [Path]) {
+        match self.config.strategy {
+            Strategy::Exhaustive | Strategy::Leftmost => {}
+            Strategy::ExhaustiveRandom(_) => {
+                if let Some(rng) = &mut self.rng {
+                    paths.shuffle(rng);
+                }
+            }
+            Strategy::RoundRobin => {
+                let n = paths.len();
+                if n > 1 {
+                    let k = (self.rr_counter as usize) % n;
+                    paths.rotate_left(k);
+                }
+                self.rr_counter += 1;
+            }
+        }
+    }
+}
+
+/// Why a step did not complete normally.
+enum StepErr {
+    /// Normal failure: backtrack.
+    Fail,
+    /// Fatal: abort the whole execution.
+    Fatal(EngineError),
+}
+
+type StepResult = Result<(), StepErr>;
+
+fn fatal(e: EngineError) -> StepErr {
+    StepErr::Fatal(e)
+}
+
+/// Alternatives remaining at a choicepoint.
+enum Alts {
+    /// Scheduling: other frontier actions to try for this step.
+    Sched { paths: Vec<Path>, next: usize },
+    /// Other tuples a base-predicate query may match.
+    Tuples {
+        path: Path,
+        atom: Atom,
+        tuples: Vec<Tuple>,
+        next: usize,
+    },
+    /// Other rules a call may unfold to.
+    Rules {
+        path: Path,
+        atom: Atom,
+        rules: Vec<RuleId>,
+        next: usize,
+    },
+    /// Other `or`-branches.
+    Branches {
+        path: Path,
+        branches: Vec<Goal>,
+        next: usize,
+    },
+    /// A live isolated sub-execution that may yield further solutions.
+    Iso {
+        path: Path,
+        solver: Box<Solver>,
+        yield_mark: TrailMark,
+        yield_delta: usize,
+        yield_trace: usize,
+    },
+}
+
+struct Choicepoint {
+    /// When set, this is the *first* choicepoint pushed for its step: once
+    /// it is exhausted, the whole subtree under the pre-step configuration
+    /// has been refuted and the key is recorded in `Ctx::failed` — unless a
+    /// success was yielded through this subtree in the meantime (see
+    /// `successes_at_push`), in which case exhaustion only means "no more
+    /// solutions".
+    state_key: Option<(Goal, u64)>,
+    /// `Solver::successes` at push time; compared at pop to decide whether
+    /// the subtree was success-free (refuted) or merely drained.
+    successes_at_push: u64,
+    /// Process tree before the step this choicepoint belongs to.
+    tree: Arc<PTree>,
+    /// Database before the step.
+    db: Database,
+    /// Trail position before the step.
+    mark: TrailMark,
+    /// Update-log length before the step.
+    delta_len: usize,
+    /// Trace length before the step.
+    trace_len: usize,
+    alts: Alts,
+}
+
+/// A depth-first search for successful executions of one process tree.
+pub(crate) struct Solver {
+    /// `None` = fully reduced (a solution state).
+    state: Option<Arc<PTree>>,
+    /// Current database.
+    pub db: Database,
+    stack: Vec<Choicepoint>,
+    /// Key of the configuration the in-flight step started from; consumed
+    /// by the first choicepoint that step pushes.
+    pending_key: Option<(Goal, u64)>,
+    /// Number of solutions this solver has yielded. Used to distinguish
+    /// refuted choicepoint subtrees from drained ones.
+    successes: u64,
+}
+
+impl Solver {
+    pub fn new(tree: Option<Arc<PTree>>, db: Database) -> Solver {
+        Solver {
+            state: tree,
+            db,
+            stack: Vec::new(),
+            pending_key: None,
+            successes: 0,
+        }
+    }
+
+    /// Search until the next solution. `Ok(true)`: the solver's `db` is a
+    /// solution state. `Ok(false)`: search space exhausted.
+    pub fn run(&mut self, ctx: &mut Ctx) -> Result<bool, EngineError> {
+        loop {
+            let Some(tree) = self.state.clone() else {
+                self.successes += 1;
+                return Ok(true);
+            };
+            ctx.stats.steps += 1;
+            if ctx.stats.steps > ctx.config.max_steps {
+                return Err(EngineError::StepBudget {
+                    steps: ctx.stats.steps,
+                });
+            }
+            match self.step(ctx, tree) {
+                Ok(()) => {}
+                Err(StepErr::Fail) => {
+                    if !self.backtrack(ctx)? {
+                        return Ok(false);
+                    }
+                }
+                Err(StepErr::Fatal(e)) => return Err(e),
+            }
+        }
+    }
+
+    /// After a success, search for the next distinct solution.
+    pub fn resume(&mut self, ctx: &mut Ctx) -> Result<bool, EngineError> {
+        if !self.backtrack(ctx)? {
+            return Ok(false);
+        }
+        self.run(ctx)
+    }
+
+    fn push_cp(&mut self, ctx: &mut Ctx, mut cp: Choicepoint) -> Result<(), StepErr> {
+        if self.stack.len() >= ctx.config.max_stack {
+            return Err(fatal(EngineError::StackBudget {
+                depth: self.stack.len(),
+            }));
+        }
+        cp.state_key = self.pending_key.take();
+        cp.successes_at_push = self.successes;
+        self.stack.push(cp);
+        ctx.stats.choicepoints += 1;
+        ctx.stats.max_stack = ctx.stats.max_stack.max(self.stack.len());
+        Ok(())
+    }
+
+    /// One elementary step: pick a frontier action per strategy, execute it.
+    fn step(&mut self, ctx: &mut Ctx, tree: Arc<PTree>) -> StepResult {
+        if ctx.memo_active() {
+            let key = ctx.config_key(&tree, &self.db);
+            if ctx.failed.contains(&key) {
+                ctx.stats.memo_hits += 1;
+                return Err(StepErr::Fail);
+            }
+            self.pending_key = Some(key);
+        }
+        let stack_before = self.stack.len();
+        let mut paths = frontier(&tree);
+        debug_assert!(!paths.is_empty(), "non-None state must have a frontier");
+        ctx.stats.peak_processes = ctx.stats.peak_processes.max(paths.len());
+        ctx.order_paths(&mut paths);
+        if paths.len() > 1 && ctx.config.strategy.backtracks_schedule() {
+            self.push_cp(
+                ctx,
+                Choicepoint {
+                    state_key: None,
+                    successes_at_push: 0,
+                    tree: tree.clone(),
+                    db: self.db.clone(),
+                    mark: ctx.bindings.mark(),
+                    delta_len: ctx.delta.len(),
+                    trace_len: ctx.trace.len(),
+                    alts: Alts::Sched { paths: paths.clone(), next: 1 },
+                },
+            )?;
+        }
+        let path = paths.swap_remove(0);
+        let result = self.execute(ctx, &tree, path);
+        if matches!(result, Err(StepErr::Fail)) && self.stack.len() == stack_before {
+            // The step failed with no alternatives: the configuration is
+            // refuted outright.
+            if let Some(key) = self.pending_key.take() {
+                ctx.failed.insert(key);
+            }
+        }
+        self.pending_key = None;
+        result
+    }
+
+    /// Execute the action leaf at `path` in `tree`.
+    fn execute(&mut self, ctx: &mut Ctx, tree: &Arc<PTree>, path: Path) -> StepResult {
+        let goal = leaf_at(tree, &path).clone();
+        match goal {
+            Goal::Fail => Err(StepErr::Fail),
+            Goal::Atom(atom) => {
+                let resolved = resolve_atom(&ctx.bindings, &atom);
+                if ctx.program.is_base(resolved.pred) {
+                    self.exec_query(ctx, tree, path, resolved)
+                } else {
+                    self.exec_call(ctx, tree, path, resolved)
+                }
+            }
+            Goal::NotAtom(atom) => {
+                let resolved = resolve_atom(&ctx.bindings, &atom);
+                if !resolved.is_ground() {
+                    return Err(fatal(EngineError::Instantiation {
+                        context: format!("not {resolved}"),
+                    }));
+                }
+                if self.db.holds(&resolved) {
+                    Err(StepErr::Fail)
+                } else {
+                    ctx.record(|| TraceEvent::Absent { query: resolved });
+                    self.state = rewrite(tree, &path, None);
+                    Ok(())
+                }
+            }
+            Goal::Ins(atom) => self.exec_update(ctx, tree, path, atom, true),
+            Goal::Del(atom) => self.exec_update(ctx, tree, path, atom, false),
+            Goal::Builtin(op, terms) => {
+                match eval_builtin(&mut ctx.bindings, op, &terms) {
+                    Ok(true) => {
+                        ctx.record(|| TraceEvent::Builtin {
+                            rendered: Goal::Builtin(op, terms.clone()).to_string(),
+                        });
+                        self.state = rewrite(tree, &path, None);
+                        Ok(())
+                    }
+                    Ok(false) => Err(StepErr::Fail),
+                    Err(e) => Err(fatal(e)),
+                }
+            }
+            Goal::Choice(branches) => {
+                if branches.is_empty() {
+                    return Err(StepErr::Fail);
+                }
+                if branches.len() > 1 {
+                    self.push_cp(
+                        ctx,
+                        Choicepoint {
+                            state_key: None,
+                            successes_at_push: 0,
+                            tree: tree.clone(),
+                            db: self.db.clone(),
+                            mark: ctx.bindings.mark(),
+                            delta_len: ctx.delta.len(),
+                    trace_len: ctx.trace.len(),
+                            alts: Alts::Branches {
+                                path: path.clone(),
+                                branches: branches.clone(),
+                                next: 1,
+                            },
+                        },
+                    )?;
+                }
+                ctx.record(|| TraceEvent::Choice { index: 0 });
+                self.state = rewrite(tree, &path, make_node(&branches[0]));
+                Ok(())
+            }
+            Goal::Iso(inner) => {
+                ctx.stats.iso_enters += 1;
+                let pre_mark = ctx.bindings.mark();
+                let pre_delta = ctx.delta.len();
+                let pre_trace = ctx.trace.len();
+                let pre_db = self.db.clone();
+                ctx.record(|| TraceEvent::IsoEnter);
+                let mut solver = Box::new(Solver::new(make_node(&inner), self.db.clone()));
+                match solver.run(ctx) {
+                    Ok(true) => {
+                        ctx.record(|| TraceEvent::IsoExit);
+                        let yield_mark = ctx.bindings.mark();
+                        let yield_delta = ctx.delta.len();
+                        let yield_trace = ctx.trace.len();
+                        self.db = solver.db.clone();
+                        self.state = rewrite(tree, &path, None);
+                        self.push_cp(
+                            ctx,
+                            Choicepoint {
+                                state_key: None,
+                                successes_at_push: 0,
+                                tree: tree.clone(),
+                                db: pre_db,
+                                mark: pre_mark,
+                                delta_len: pre_delta,
+                                trace_len: pre_trace,
+                                alts: Alts::Iso {
+                                    path,
+                                    solver,
+                                    yield_mark,
+                                    yield_delta,
+                                    yield_trace,
+                                },
+                            },
+                        )?;
+                        Ok(())
+                    }
+                    Ok(false) => {
+                        // Clean up whatever the failed sub-search left.
+                        ctx.bindings.undo_to(pre_mark);
+                        ctx.delta.truncate(pre_delta);
+                        ctx.trace.truncate(pre_trace);
+                        Err(StepErr::Fail)
+                    }
+                    Err(e) => Err(fatal(e)),
+                }
+            }
+            Goal::True | Goal::Seq(_) | Goal::Par(_) => {
+                unreachable!("structural goals are expanded by make_node")
+            }
+        }
+    }
+
+    fn exec_query(
+        &mut self,
+        ctx: &mut Ctx,
+        tree: &Arc<PTree>,
+        path: Path,
+        atom: Atom,
+    ) -> StepResult {
+        let tuples = matching_tuples(&self.db, &atom);
+        if tuples.is_empty() {
+            return Err(StepErr::Fail);
+        }
+        if tuples.len() > 1 {
+            self.push_cp(
+                ctx,
+                Choicepoint {
+                    state_key: None,
+                    successes_at_push: 0,
+                    tree: tree.clone(),
+                    db: self.db.clone(),
+                    mark: ctx.bindings.mark(),
+                    delta_len: ctx.delta.len(),
+                    trace_len: ctx.trace.len(),
+                    alts: Alts::Tuples {
+                        path: path.clone(),
+                        atom: atom.clone(),
+                        tuples: tuples.clone(),
+                        next: 1,
+                    },
+                },
+            )?;
+        }
+        if !bind_tuple(&mut ctx.bindings, &atom, &tuples[0]) {
+            return Err(StepErr::Fail);
+        }
+        ctx.record(|| TraceEvent::Match {
+            query: atom.clone(),
+            tuple: tuples[0].clone(),
+        });
+        self.state = rewrite(tree, &path, None);
+        Ok(())
+    }
+
+    fn exec_call(
+        &mut self,
+        ctx: &mut Ctx,
+        tree: &Arc<PTree>,
+        path: Path,
+        atom: Atom,
+    ) -> StepResult {
+        let rules: Vec<RuleId> = ctx.program.rules_for(atom.pred).to_vec();
+        if rules.is_empty() {
+            return Err(StepErr::Fail);
+        }
+        if rules.len() > 1 {
+            self.push_cp(
+                ctx,
+                Choicepoint {
+                    state_key: None,
+                    successes_at_push: 0,
+                    tree: tree.clone(),
+                    db: self.db.clone(),
+                    mark: ctx.bindings.mark(),
+                    delta_len: ctx.delta.len(),
+                    trace_len: ctx.trace.len(),
+                    alts: Alts::Rules {
+                        path: path.clone(),
+                        atom: atom.clone(),
+                        rules: rules.clone(),
+                        next: 1,
+                    },
+                },
+            )?;
+        }
+        match unfold(ctx, &atom, rules[0]) {
+            Some(body) => {
+                self.state = rewrite(tree, &path, make_node(&body));
+                Ok(())
+            }
+            None => Err(StepErr::Fail),
+        }
+    }
+
+    fn exec_update(
+        &mut self,
+        ctx: &mut Ctx,
+        tree: &Arc<PTree>,
+        path: Path,
+        atom: Atom,
+        is_ins: bool,
+    ) -> StepResult {
+        let resolved = resolve_atom(&ctx.bindings, &atom);
+        let Some(values) = resolved.ground_args() else {
+            let op = if is_ins { "ins" } else { "del" };
+            return Err(fatal(EngineError::Instantiation {
+                context: format!("{op}.{resolved}"),
+            }));
+        };
+        let t = Tuple::new(values);
+        let result = if is_ins {
+            self.db.insert(resolved.pred, &t)
+        } else {
+            self.db.delete(resolved.pred, &t)
+        };
+        match result {
+            Ok((db, changed)) => {
+                self.db = db;
+                ctx.stats.db_ops += 1;
+                let pred = resolved.pred;
+                ctx.record(|| {
+                    if is_ins {
+                        TraceEvent::Ins { pred, tuple: t.clone(), changed }
+                    } else {
+                        TraceEvent::Del { pred, tuple: t.clone(), changed }
+                    }
+                });
+                ctx.delta.push(if is_ins {
+                    DeltaOp::Ins(resolved.pred, t)
+                } else {
+                    DeltaOp::Del(resolved.pred, t)
+                });
+                self.state = rewrite(tree, &path, None);
+                Ok(())
+            }
+            Err(e) => Err(fatal(EngineError::Db(e.to_string()))),
+        }
+    }
+
+    /// Pop/advance choicepoints until an alternative applies. `Ok(false)` =
+    /// stack exhausted (overall failure).
+    fn backtrack(&mut self, ctx: &mut Ctx) -> Result<bool, EngineError> {
+        loop {
+            if self.stack.is_empty() {
+                return Ok(false);
+            }
+            ctx.stats.backtracks += 1;
+            let idx = self.stack.len() - 1;
+
+            // Phase 1: under a mutable borrow of the CP, restore shared
+            // state and pick the next alternative (as data).
+            enum Decision {
+                Exhausted,
+                Retry { tree: Arc<PTree>, path: Path, action: Retry },
+            }
+            enum Retry {
+                Sched,
+                Tuple(Atom, Tuple),
+                Rule(Atom, RuleId),
+                Branch(usize, Goal),
+                IsoYield(Database),
+                IsoDead,
+            }
+
+            let decision = {
+                let cp = &mut self.stack[idx];
+                match &mut cp.alts {
+                    Alts::Sched { paths, next } => {
+                        if *next < paths.len() {
+                            ctx.bindings.undo_to(cp.mark);
+                            ctx.delta.truncate(cp.delta_len);
+                            ctx.trace.truncate(cp.trace_len);
+                            self.db = cp.db.clone();
+                            let p = paths[*next].clone();
+                            *next += 1;
+                            Decision::Retry {
+                                tree: cp.tree.clone(),
+                                path: p,
+                                action: Retry::Sched,
+                            }
+                        } else {
+                            Decision::Exhausted
+                        }
+                    }
+                    Alts::Tuples {
+                        path,
+                        atom,
+                        tuples,
+                        next,
+                    } => {
+                        if *next < tuples.len() {
+                            ctx.bindings.undo_to(cp.mark);
+                            ctx.delta.truncate(cp.delta_len);
+                            ctx.trace.truncate(cp.trace_len);
+                            self.db = cp.db.clone();
+                            let t = tuples[*next].clone();
+                            *next += 1;
+                            Decision::Retry {
+                                tree: cp.tree.clone(),
+                                path: path.clone(),
+                                action: Retry::Tuple(atom.clone(), t),
+                            }
+                        } else {
+                            Decision::Exhausted
+                        }
+                    }
+                    Alts::Rules {
+                        path,
+                        atom,
+                        rules,
+                        next,
+                    } => {
+                        if *next < rules.len() {
+                            ctx.bindings.undo_to(cp.mark);
+                            ctx.delta.truncate(cp.delta_len);
+                            ctx.trace.truncate(cp.trace_len);
+                            self.db = cp.db.clone();
+                            let r = rules[*next];
+                            *next += 1;
+                            Decision::Retry {
+                                tree: cp.tree.clone(),
+                                path: path.clone(),
+                                action: Retry::Rule(atom.clone(), r),
+                            }
+                        } else {
+                            Decision::Exhausted
+                        }
+                    }
+                    Alts::Branches {
+                        path,
+                        branches,
+                        next,
+                    } => {
+                        if *next < branches.len() {
+                            ctx.bindings.undo_to(cp.mark);
+                            ctx.delta.truncate(cp.delta_len);
+                            ctx.trace.truncate(cp.trace_len);
+                            self.db = cp.db.clone();
+                            let b = branches[*next].clone();
+                            let idx = *next;
+                            *next += 1;
+                            Decision::Retry {
+                                tree: cp.tree.clone(),
+                                path: path.clone(),
+                                action: Retry::Branch(idx, b),
+                            }
+                        } else {
+                            Decision::Exhausted
+                        }
+                    }
+                    Alts::Iso {
+                        path,
+                        solver,
+                        yield_mark,
+                        yield_delta,
+                        yield_trace,
+                    } => {
+                        // Drop bindings/updates the outer execution made
+                        // after the last yield, then ask the nested solver
+                        // for another solution.
+                        ctx.bindings.undo_to(*yield_mark);
+                        ctx.delta.truncate(*yield_delta);
+                        ctx.trace.truncate(*yield_trace);
+                        match solver.resume(ctx)? {
+                            true => {
+                                ctx.record(|| TraceEvent::IsoExit);
+                                *yield_mark = ctx.bindings.mark();
+                                *yield_delta = ctx.delta.len();
+                                *yield_trace = ctx.trace.len();
+                                Decision::Retry {
+                                    tree: cp.tree.clone(),
+                                    path: path.clone(),
+                                    action: Retry::IsoYield(solver.db.clone()),
+                                }
+                            }
+                            false => {
+                                ctx.bindings.undo_to(cp.mark);
+                                ctx.delta.truncate(cp.delta_len);
+                            ctx.trace.truncate(cp.trace_len);
+                                self.db = cp.db.clone();
+                                Decision::Retry {
+                                    tree: cp.tree.clone(),
+                                    path: path.clone(),
+                                    action: Retry::IsoDead,
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+
+            // Phase 2: apply the decision without holding the CP borrow.
+            match decision {
+                Decision::Exhausted => {
+                    if let Some(cp) = self.stack.pop() {
+                        if let Some(key) = cp.state_key {
+                            if cp.successes_at_push == self.successes {
+                                ctx.failed.insert(key);
+                            }
+                        }
+                    }
+                    continue;
+                }
+                Decision::Retry { tree, path, action } => match action {
+                    Retry::Sched => match self.execute(ctx, &tree, path) {
+                        Ok(()) => return Ok(true),
+                        Err(StepErr::Fail) => continue,
+                        Err(StepErr::Fatal(e)) => return Err(e),
+                    },
+                    Retry::Tuple(atom, tuple) => {
+                        if bind_tuple(&mut ctx.bindings, &atom, &tuple) {
+                            ctx.record(|| TraceEvent::Match { query: atom, tuple });
+                            self.state = rewrite(&tree, &path, None);
+                            return Ok(true);
+                        }
+                        continue;
+                    }
+                    Retry::Rule(atom, rule) => match unfold(ctx, &atom, rule) {
+                        Some(body) => {
+                            self.state = rewrite(&tree, &path, make_node(&body));
+                            return Ok(true);
+                        }
+                        None => continue,
+                    },
+                    Retry::Branch(index, branch) => {
+                        ctx.record(|| TraceEvent::Choice { index });
+                        self.state = rewrite(&tree, &path, make_node(&branch));
+                        return Ok(true);
+                    }
+                    Retry::IsoYield(db) => {
+                        self.db = db;
+                        self.state = rewrite(&tree, &path, None);
+                        return Ok(true);
+                    }
+                    Retry::IsoDead => {
+                        if let Some(cp) = self.stack.pop() {
+                            if let Some(key) = cp.state_key {
+                                if cp.successes_at_push == self.successes {
+                                    ctx.failed.insert(key);
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Apply current bindings to an atom's arguments.
+fn resolve_atom(bindings: &Bindings, atom: &Atom) -> Atom {
+    Atom {
+        pred: atom.pred,
+        args: atom.args.iter().map(|t| bindings.resolve(*t)).collect(),
+    }
+}
+
+/// Tuples of `db` matching the (resolved) query atom's bound positions,
+/// sorted for deterministic exploration order.
+fn matching_tuples(db: &Database, atom: &Atom) -> Vec<Tuple> {
+    let Some(rel) = db.relation(atom.pred) else {
+        return Vec::new();
+    };
+    let pattern: Vec<Option<Value>> = atom.args.iter().map(|t| t.as_value()).collect();
+    let mut tuples = rel.select(&pattern);
+    tuples.sort();
+    tuples
+}
+
+/// Unify a query atom's arguments with a tuple. Returns false on clash
+/// (possible with repeated variables, e.g. `p(X, X)`); the caller's
+/// choicepoint mark cleans up partial bindings.
+fn bind_tuple(bindings: &mut Bindings, atom: &Atom, tuple: &Tuple) -> bool {
+    atom.args
+        .iter()
+        .zip(tuple.values())
+        .all(|(arg, val)| unify_terms(bindings, *arg, Term::Val(*val)))
+}
+
+/// Rename a rule apart and unify its head with the call. Returns the renamed
+/// body on success.
+fn unfold(ctx: &mut Ctx, atom: &Atom, rule_id: RuleId) -> Option<Goal> {
+    let rule = ctx.program.rule(rule_id);
+    let base = ctx.bindings.alloc(rule.num_vars());
+    let (head, body) = rule.rename_apart(base);
+    if !unify_args(&mut ctx.bindings, &atom.args, &head.args) {
+        return None;
+    }
+    ctx.stats.unfolds += 1;
+    ctx.record(|| TraceEvent::Unfold {
+        call: atom.clone(),
+        rule: rule_id,
+    });
+    Some(body)
+}
+
+/// Evaluate a builtin. `Ok(true)` = succeeds (possibly binding), `Ok(false)`
+/// = fails, `Err` = fatal (instantiation/type/overflow).
+fn eval_builtin(
+    bindings: &mut Bindings,
+    op: Builtin,
+    terms: &[Term],
+) -> Result<bool, EngineError> {
+    let resolved: Vec<Term> = terms.iter().map(|t| bindings.resolve(*t)).collect();
+    let ground_int = |t: Term| -> Result<i64, EngineError> {
+        match t {
+            Term::Val(Value::Int(i)) => Ok(i),
+            Term::Val(v) => Err(EngineError::Type {
+                context: format!("`{v}` is not an integer in `{}`", op.op_str()),
+            }),
+            Term::Var(v) => Err(EngineError::Instantiation {
+                context: format!("`{v}` in `{}`", op.op_str()),
+            }),
+        }
+    };
+    match op {
+        Builtin::Eq => Ok(unify_terms(bindings, resolved[0], resolved[1])),
+        Builtin::Ne => {
+            let (a, b) = (resolved[0], resolved[1]);
+            match (a, b) {
+                (Term::Val(x), Term::Val(y)) => Ok(x != y),
+                _ => Err(EngineError::Instantiation {
+                    context: format!("`{a} != {b}`"),
+                }),
+            }
+        }
+        Builtin::Lt | Builtin::Le | Builtin::Gt | Builtin::Ge => {
+            let a = ground_int(resolved[0])?;
+            let b = ground_int(resolved[1])?;
+            Ok(match op {
+                Builtin::Lt => a < b,
+                Builtin::Le => a <= b,
+                Builtin::Gt => a > b,
+                Builtin::Ge => a >= b,
+                _ => unreachable!(),
+            })
+        }
+        Builtin::Add | Builtin::Sub | Builtin::Mul => {
+            let a = ground_int(resolved[0])?;
+            let b = ground_int(resolved[1])?;
+            let r = match op {
+                Builtin::Add => a.checked_add(b),
+                Builtin::Sub => a.checked_sub(b),
+                Builtin::Mul => a.checked_mul(b),
+                _ => unreachable!(),
+            };
+            let Some(r) = r else {
+                return Err(EngineError::Overflow {
+                    context: format!("{a} {} {b}", op.op_str()),
+                });
+            };
+            Ok(unify_terms(bindings, resolved[2], Term::int(r)))
+        }
+    }
+}
+
+/// Crate-internal re-export of the builtin evaluator for the bottom-up
+/// Datalog module (same semantics as the interpreter's builtins).
+pub(crate) fn eval_builtin_pub(
+    bindings: &mut Bindings,
+    op: Builtin,
+    terms: &[Term],
+) -> Result<bool, EngineError> {
+    eval_builtin(bindings, op, terms)
+}

@@ -1,0 +1,419 @@
+//! Tabled evaluation of Datalog queries (the "tabling" of §6).
+//!
+//! §6 names two classical optimizations applicable to TD's update-free
+//! core: magic sets ([`crate::magic`]) and *tabling* — memoizing calls so
+//! that repeated and cyclically-recursive subgoals are answered from a
+//! table instead of re-derived. Tabling is what the paper's own XSB
+//! citation (\[69\]) provides, and it is exactly what the plain top-down
+//! engine lacks: on cyclic data, untabled resolution of
+//! `path(X,Z) <- e(X,Y) * path(Y,Z)` loops forever, while tabled
+//! resolution terminates (see E11).
+//!
+//! The implementation is call-pattern tabling run to a global fixpoint:
+//!
+//! * a **table** per distinct call pattern (predicate + bound-argument
+//!   shape, α-canonicalized), holding the answers derived so far;
+//! * rule bodies are resolved left-to-right; *derived* body atoms consume
+//!   answers from their callee's table (registering the callee as a new
+//!   table if unseen) rather than recursing;
+//! * passes repeat until no table gains an answer and no new call pattern
+//!   appears.
+//!
+//! This is sound and complete for the positive-Datalog subset (what
+//! [`crate::datalog::is_datalog`] accepts) because the Herbrand base is
+//! finite and every pass is monotone.
+
+use crate::datalog::NotDatalog;
+use std::collections::{HashMap, HashSet};
+use td_core::goal::Builtin;
+use td_core::unify::unify_terms;
+use td_core::{Atom, Bindings, Goal, Program, Rule, Term, Value};
+use td_db::{Database, Tuple};
+
+/// Statistics of a tabled evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TablingStats {
+    /// Distinct call patterns tabled.
+    pub tables: usize,
+    /// Total answers across tables.
+    pub answers: usize,
+    /// Global fixpoint passes.
+    pub passes: usize,
+}
+
+/// A call pattern: the predicate with bound arguments kept and free
+/// positions erased. Two calls share a table iff their patterns agree.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CallKey {
+    pred: td_core::Pred,
+    bound: Vec<Option<Value>>,
+}
+
+impl CallKey {
+    fn of(atom: &Atom, bindings: &Bindings) -> CallKey {
+        CallKey {
+            pred: atom.pred,
+            bound: atom
+                .args
+                .iter()
+                .map(|t| bindings.resolve(*t).as_value())
+                .collect(),
+        }
+    }
+}
+
+/// Answer a (possibly non-ground) query atom with tabled resolution.
+/// Returns the matching tuples (full argument tuples of the predicate),
+/// sorted, plus statistics.
+///
+/// ```
+/// use td_engine::tabling::query_tabled;
+/// use td_parser::parse_program;
+/// use td_core::{Atom, Term};
+/// use td_db::Database;
+///
+/// // Cyclic data: plain top-down resolution would loop; tabling terminates.
+/// let parsed = parse_program(
+///     "base e/2. init e(a, b). init e(b, a).
+///      path(X, Y) <- e(X, Y).
+///      path(X, Z) <- e(X, Y) * path(Y, Z).",
+/// ).unwrap();
+/// let db = td_engine::load_init(&Database::with_schema_of(&parsed.program), &parsed.init).unwrap();
+/// let q = Atom::new("path", vec![Term::sym("a"), Term::var(0)]);
+/// let (answers, _) = query_tabled(&parsed.program, &db, &q).unwrap();
+/// assert_eq!(answers.len(), 2); // a reaches a and b
+/// ```
+pub fn query_tabled(
+    program: &Program,
+    db: &Database,
+    query: &Atom,
+) -> Result<(Vec<Tuple>, TablingStats), NotDatalog> {
+    crate::datalog::is_datalog(program)?;
+    if !program.is_derived(query.pred) {
+        // Base predicate: read the store.
+        let pattern: Vec<Option<Value>> = query.args.iter().map(|t| t.as_value()).collect();
+        let mut out = db
+            .relation(query.pred)
+            .map(|r| r.select(&pattern))
+            .unwrap_or_default();
+        out.sort();
+        return Ok((
+            out,
+            TablingStats {
+                tables: 0,
+                answers: 0,
+                passes: 0,
+            },
+        ));
+    }
+
+    let mut engine = Tables {
+        program,
+        db,
+        tables: HashMap::new(),
+        dirty: true,
+        passes: 0,
+    };
+    let empty = Bindings::new();
+    let root = CallKey::of(query, &empty);
+    engine.register(root.clone());
+    engine.run();
+
+    let pattern: Vec<Option<Value>> = query.args.iter().map(|t| t.as_value()).collect();
+    let mut out: Vec<Tuple> = engine.tables[&root]
+        .iter()
+        .filter(|t| t.matches(&pattern))
+        .cloned()
+        .collect();
+    out.sort();
+    let stats = TablingStats {
+        tables: engine.tables.len(),
+        answers: engine.tables.values().map(HashSet::len).sum(),
+        passes: engine.passes,
+    };
+    Ok((out, stats))
+}
+
+struct Tables<'a> {
+    program: &'a Program,
+    db: &'a Database,
+    tables: HashMap<CallKey, HashSet<Tuple>>,
+    dirty: bool,
+    passes: usize,
+}
+
+impl Tables<'_> {
+    fn register(&mut self, key: CallKey) {
+        if !self.tables.contains_key(&key) {
+            self.tables.insert(key, HashSet::new());
+            self.dirty = true;
+        }
+    }
+
+    fn run(&mut self) {
+        while self.dirty {
+            self.dirty = false;
+            self.passes += 1;
+            let keys: Vec<CallKey> = self.tables.keys().cloned().collect();
+            for key in keys {
+                self.resolve_key(&key);
+            }
+        }
+    }
+
+    /// One resolution pass for one call pattern: try every rule.
+    fn resolve_key(&mut self, key: &CallKey) {
+        let rules: Vec<Rule> = self
+            .program
+            .rules_for(key.pred)
+            .iter()
+            .map(|&rid| self.program.rule(rid).clone())
+            .collect();
+        for rule in rules {
+            let mut bindings = Bindings::new();
+            bindings.alloc(rule.num_vars());
+            // Bind head positions to the call pattern's constants.
+            let ok = rule
+                .head
+                .args
+                .iter()
+                .zip(&key.bound)
+                .all(|(h, b)| match b {
+                    Some(v) => unify_terms(&mut bindings, *h, Term::Val(*v)),
+                    None => true,
+                });
+            if !ok {
+                continue;
+            }
+            let mut lits = Vec::new();
+            flatten(&rule.body, &mut lits);
+            let head = rule.head.clone();
+            self.join(key, &head, &lits, 0, &mut bindings);
+        }
+    }
+
+    fn join(
+        &mut self,
+        key: &CallKey,
+        head: &Atom,
+        lits: &[Goal],
+        idx: usize,
+        bindings: &mut Bindings,
+    ) {
+        if idx == lits.len() {
+            let values: Option<Vec<Value>> =
+                head.args.iter().map(|t| bindings.value_of(*t)).collect();
+            if let Some(values) = values {
+                let t = Tuple::new(values);
+                let table = self.tables.get_mut(key).expect("registered");
+                if table.insert(t) {
+                    self.dirty = true;
+                }
+            }
+            return;
+        }
+        match &lits[idx] {
+            Goal::Atom(a) if self.program.is_base(a.pred) => {
+                let pattern: Vec<Option<Value>> = a
+                    .args
+                    .iter()
+                    .map(|t| bindings.resolve(*t).as_value())
+                    .collect();
+                let candidates = self
+                    .db
+                    .relation(a.pred)
+                    .map(|r| r.select(&pattern))
+                    .unwrap_or_default();
+                for t in candidates {
+                    let mark = bindings.mark();
+                    if a.args
+                        .iter()
+                        .zip(t.values())
+                        .all(|(arg, v)| unify_terms(bindings, *arg, Term::Val(*v)))
+                    {
+                        self.join(key, head, lits, idx + 1, bindings);
+                    }
+                    bindings.undo_to(mark);
+                }
+            }
+            Goal::Atom(a) => {
+                // Derived: consume the callee's current table.
+                let sub = CallKey::of(a, bindings);
+                self.register(sub.clone());
+                let answers: Vec<Tuple> =
+                    self.tables[&sub].iter().cloned().collect();
+                for t in answers {
+                    let mark = bindings.mark();
+                    if a.args
+                        .iter()
+                        .zip(t.values())
+                        .all(|(arg, v)| unify_terms(bindings, *arg, Term::Val(*v)))
+                    {
+                        self.join(key, head, lits, idx + 1, bindings);
+                    }
+                    bindings.undo_to(mark);
+                }
+            }
+            Goal::NotAtom(a) => {
+                let values: Option<Vec<Value>> =
+                    a.args.iter().map(|t| bindings.value_of(*t)).collect();
+                if let Some(values) = values {
+                    if !self.db.contains(a.pred, &Tuple::new(values)) {
+                        self.join(key, head, lits, idx + 1, bindings);
+                    }
+                }
+            }
+            Goal::Builtin(op, terms) => {
+                let mark = bindings.mark();
+                if matches!(eval(bindings, *op, terms), Ok(true)) {
+                    self.join(key, head, lits, idx + 1, bindings);
+                }
+                bindings.undo_to(mark);
+            }
+            other => unreachable!("non-datalog literal {other} after is_datalog"),
+        }
+    }
+}
+
+fn flatten(goal: &Goal, out: &mut Vec<Goal>) {
+    match goal {
+        Goal::True => {}
+        Goal::Seq(gs) => {
+            for g in gs {
+                flatten(g, out);
+            }
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+fn eval(bindings: &mut Bindings, op: Builtin, terms: &[Term]) -> Result<bool, ()> {
+    crate::machine::eval_builtin_pub(bindings, op, terms).map_err(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::load_init;
+    use td_parser::parse_program;
+
+    fn setup(src: &str) -> (Program, Database) {
+        let parsed = parse_program(src).unwrap();
+        let db = Database::with_schema_of(&parsed.program);
+        let db = load_init(&db, &parsed.init).unwrap();
+        (parsed.program, db)
+    }
+
+    const TC: &str = "path(X, Y) <- e(X, Y).\npath(X, Z) <- e(X, Y) * path(Y, Z).\n";
+
+    #[test]
+    fn terminates_on_cyclic_data() {
+        // The case where the untabled top-down engine diverges.
+        let (p, db) = setup(&format!(
+            "base e/2.\ninit e(a, b). init e(b, a). init e(b, c).\n{TC}"
+        ));
+        let query = Atom::new("path", vec![Term::sym("a"), Term::var(0)]);
+        let (ans, stats) = query_tabled(&p, &db, &query).unwrap();
+        assert_eq!(ans.len(), 3, "a reaches a, b, c");
+        assert!(stats.passes < 20);
+    }
+
+    #[test]
+    fn agrees_with_bottom_up_on_chains() {
+        let mut src = String::from("base e/2.\n");
+        for i in 0..10 {
+            src.push_str(&format!("init e(n{i}, n{}).\n", i + 1));
+        }
+        src.push_str(TC);
+        let (p, db) = setup(&src);
+        for q in [
+            Atom::new("path", vec![Term::sym("n0"), Term::var(0)]),
+            Atom::new("path", vec![Term::var(0), Term::sym("n5")]),
+            Atom::new("path", vec![Term::sym("n3"), Term::sym("n7")]),
+            Atom::new("path", vec![Term::var(0), Term::var(1)]),
+        ] {
+            let naive = crate::datalog::query(&p, &db, &q).unwrap();
+            let (tabled, _) = query_tabled(&p, &db, &q).unwrap();
+            assert_eq!(naive, tabled, "query {q}");
+        }
+    }
+
+    #[test]
+    fn bound_calls_table_fewer_answers_than_the_full_fixpoint() {
+        let mut src = String::from("base e/2.\n");
+        for i in 0..20 {
+            src.push_str(&format!("init e(n{i}, n{}).\n", i + 1));
+        }
+        src.push_str(TC);
+        let (p, db) = setup(&src);
+        let q = Atom::new("path", vec![Term::sym("n17"), Term::var(0)]);
+        let (ans, stats) = query_tabled(&p, &db, &q).unwrap();
+        assert_eq!(ans.len(), 3, "n17 reaches n18, n19, n20");
+        let full = crate::datalog::evaluate(&p, &db).unwrap();
+        assert!(
+            stats.answers < full.len(),
+            "tabled {} vs full fixpoint {}",
+            stats.answers,
+            full.len()
+        );
+    }
+
+    #[test]
+    fn mutual_recursion_with_cycles() {
+        let (p, db) = setup(
+            "base start/1. base e/2.
+             init start(a). init e(a, b). init e(b, a).
+             even(X) <- start(X).
+             even(X) <- odd(Y) * e(Y, X).
+             odd(X) <- even(Y) * e(Y, X).",
+        );
+        let (evens, _) =
+            query_tabled(&p, &db, &Atom::new("even", vec![Term::var(0)])).unwrap();
+        let (odds, _) =
+            query_tabled(&p, &db, &Atom::new("odd", vec![Term::var(0)])).unwrap();
+        assert_eq!(evens, vec![td_db::tuple!("a")]);
+        assert_eq!(odds, vec![td_db::tuple!("b")]);
+    }
+
+    #[test]
+    fn builtins_inside_tabled_rules() {
+        let (p, db) = setup(
+            "base n/1.
+             init n(1). init n(2). init n(3).
+             double(Y) <- n(X) * Y is X + X.",
+        );
+        let (ans, _) =
+            query_tabled(&p, &db, &Atom::new("double", vec![Term::var(0)])).unwrap();
+        assert_eq!(ans.len(), 3);
+    }
+
+    #[test]
+    fn base_predicate_queries_read_the_store() {
+        let (p, db) = setup("base e/2. init e(a, b). path(X, Y) <- e(X, Y).");
+        let (ans, stats) =
+            query_tabled(&p, &db, &Atom::new("e", vec![Term::var(0), Term::var(1)])).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(stats.tables, 0);
+    }
+
+    #[test]
+    fn non_datalog_rejected() {
+        let (p, db) = setup("base t/0. r <- ins.t.");
+        assert!(query_tabled(&p, &db, &Atom::prop("r")).is_err());
+    }
+
+    #[test]
+    fn agreement_with_magic_sets_on_cyclic_graphs() {
+        let (p, db) = setup(&format!(
+            "base e/2.
+             init e(a, b). init e(b, c). init e(c, a). init e(c, d). init e(x, x).\n{TC}"
+        ));
+        for (from, expect) in [("a", 4usize), ("x", 1), ("d", 0)] {
+            let q = Atom::new("path", vec![Term::sym(from), Term::var(0)]);
+            let (tabled, _) = query_tabled(&p, &db, &q).unwrap();
+            let (magic, _) = crate::magic::answer(&p, &db, &q).unwrap();
+            assert_eq!(tabled, magic, "from {from}");
+            assert_eq!(tabled.len(), expect, "from {from}");
+        }
+    }
+}

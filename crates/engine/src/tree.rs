@@ -1,0 +1,427 @@
+//! The runtime process tree.
+//!
+//! A running TD goal is a tree of sequential and concurrent regions over
+//! *action leaves* (atoms, updates, builtins, choices, isolation blocks).
+//! The tree is persistent — children are `Arc`-shared — so a choicepoint
+//! snapshot is a single pointer clone, and each rewrite rebuilds only the
+//! path from the root to the rewritten leaf.
+//!
+//! Invariants maintained by [`make_node`] and [`rewrite`]:
+//!
+//! * `Seq`/`Par` nodes have ≥ 2 children (singletons collapse to the child);
+//! * no `Seq` directly under `Seq`, no `Par` directly under `Par` (spliced);
+//! * leaves are *actions*: never `Goal::True`/`Seq`/`Par` (expanded away).
+//!
+//! In a `Seq` only the first child is runnable; in a `Par` every child is.
+//! The executable leaves of a tree are therefore its *frontier* — the
+//! schedulable actions the paper's interleaving semantics chooses among.
+
+use std::sync::Arc;
+use td_core::Goal;
+
+/// A node of the runtime process tree.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PTree {
+    /// An action leaf: `Atom`, `NotAtom`, `Ins`, `Del`, `Builtin`, `Choice`,
+    /// `Iso`, or `Fail` (never `True`/`Seq`/`Par`).
+    Lit(Goal),
+    /// Serial region: children run left to right.
+    Seq(Vec<Arc<PTree>>),
+    /// Concurrent region: children interleave.
+    Par(Vec<Arc<PTree>>),
+}
+
+/// Path from the root to a node: child index at each `Seq`/`Par` level.
+pub type Path = Vec<usize>;
+
+/// Convert a goal into a (possibly absent) process tree, expanding
+/// structural composition eagerly. `None` means the goal is already
+/// complete (`True`, or compositions of `True`).
+pub fn make_node(goal: &Goal) -> Option<Arc<PTree>> {
+    match goal {
+        Goal::True => None,
+        Goal::Seq(gs) => {
+            let children = splice_children(gs, /*seq*/ true);
+            normalized(true, children)
+        }
+        Goal::Par(gs) => {
+            let children = splice_children(gs, /*seq*/ false);
+            normalized(false, children)
+        }
+        other => Some(Arc::new(PTree::Lit(other.clone()))),
+    }
+}
+
+fn splice_children(goals: &[Goal], seq: bool) -> Vec<Arc<PTree>> {
+    let mut out = Vec::with_capacity(goals.len());
+    for g in goals {
+        match make_node(g) {
+            None => {}
+            Some(node) => push_spliced(&mut out, node, seq),
+        }
+    }
+    out
+}
+
+fn push_spliced(out: &mut Vec<Arc<PTree>>, node: Arc<PTree>, seq: bool) {
+    match (&*node, seq) {
+        (PTree::Seq(inner), true) | (PTree::Par(inner), false) => {
+            out.extend(inner.iter().cloned())
+        }
+        _ => out.push(node),
+    }
+}
+
+fn normalized(seq: bool, mut children: Vec<Arc<PTree>>) -> Option<Arc<PTree>> {
+    match children.len() {
+        0 => None,
+        1 => children.pop(),
+        _ => Some(Arc::new(if seq {
+            PTree::Seq(children)
+        } else {
+            PTree::Par(children)
+        })),
+    }
+}
+
+/// Enumerate the frontier: paths to every runnable action leaf, left to
+/// right. In a `Seq` only child 0 is runnable; in a `Par` all children are.
+pub fn frontier(tree: &Arc<PTree>) -> Vec<Path> {
+    let mut out = Vec::new();
+    let mut prefix = Vec::new();
+    collect_frontier(tree, &mut prefix, &mut out);
+    out
+}
+
+fn collect_frontier(tree: &Arc<PTree>, prefix: &mut Path, out: &mut Vec<Path>) {
+    match &**tree {
+        PTree::Lit(_) => out.push(prefix.clone()),
+        PTree::Seq(children) => {
+            prefix.push(0);
+            collect_frontier(&children[0], prefix, out);
+            prefix.pop();
+        }
+        PTree::Par(children) => {
+            for (i, c) in children.iter().enumerate() {
+                prefix.push(i);
+                collect_frontier(c, prefix, out);
+                prefix.pop();
+            }
+        }
+    }
+}
+
+/// The action goal at `path` (must point at a `Lit` leaf).
+pub fn leaf_at<'t>(tree: &'t Arc<PTree>, path: &[usize]) -> &'t Goal {
+    match (&**tree, path.split_first()) {
+        (PTree::Lit(g), None) => g,
+        (PTree::Seq(cs), Some((&i, rest))) | (PTree::Par(cs), Some((&i, rest))) => {
+            leaf_at(&cs[i], rest)
+        }
+        _ => panic!("leaf_at: path does not reach a leaf"),
+    }
+}
+
+/// Replace the leaf at `path` with `replacement` (`None` = the action
+/// completed), renormalizing along the way. Returns the new tree (`None` =
+/// the whole execution completed).
+pub fn rewrite(
+    tree: &Arc<PTree>,
+    path: &[usize],
+    replacement: Option<Arc<PTree>>,
+) -> Option<Arc<PTree>> {
+    match (&**tree, path.split_first()) {
+        (PTree::Lit(_), None) => replacement,
+        (PTree::Seq(cs), Some((&i, rest))) => {
+            let new_child = rewrite(&cs[i], rest, replacement);
+            rebuild(cs, i, new_child, true)
+        }
+        (PTree::Par(cs), Some((&i, rest))) => {
+            let new_child = rewrite(&cs[i], rest, replacement);
+            rebuild(cs, i, new_child, false)
+        }
+        _ => panic!("rewrite: path does not reach a leaf"),
+    }
+}
+
+fn rebuild(
+    children: &[Arc<PTree>],
+    i: usize,
+    new_child: Option<Arc<PTree>>,
+    seq: bool,
+) -> Option<Arc<PTree>> {
+    let mut out: Vec<Arc<PTree>> = Vec::with_capacity(children.len() + 2);
+    for (j, c) in children.iter().enumerate() {
+        if j == i {
+            if let Some(nc) = &new_child {
+                push_spliced(&mut out, nc.clone(), seq);
+            }
+        } else {
+            out.push(c.clone());
+        }
+    }
+    normalized(seq, out)
+}
+
+/// Sequence two (possibly absent) trees: the result runs `first` to
+/// completion, then `rest`. Used by the decider and the entailment oracle
+/// to give `iso { g }` its contiguity semantics: stepping an isolation leaf
+/// commits to running `g`'s block *now*, before anything else — which is
+/// exactly `Seq[g, rest-of-tree]`.
+pub fn sequence(
+    first: Option<Arc<PTree>>,
+    rest: Option<Arc<PTree>>,
+) -> Option<Arc<PTree>> {
+    let mut children = Vec::new();
+    if let Some(f) = first {
+        push_spliced(&mut children, f, true);
+    }
+    if let Some(r) = rest {
+        push_spliced(&mut children, r, true);
+    }
+    normalized(true, children)
+}
+
+/// Total number of action leaves (running process count, in the paper's
+/// sense: each leaf is an activity some process is about to perform).
+pub fn leaf_count(tree: &Arc<PTree>) -> usize {
+    match &**tree {
+        PTree::Lit(_) => 1,
+        PTree::Seq(cs) | PTree::Par(cs) => cs.iter().map(leaf_count).sum(),
+    }
+}
+
+/// Render the tree back into a goal (for tracing, memoization and tests).
+pub fn to_goal(tree: &Arc<PTree>) -> Goal {
+    match &**tree {
+        PTree::Lit(g) => g.clone(),
+        PTree::Seq(cs) => Goal::seq(cs.iter().map(to_goal).collect()),
+        PTree::Par(cs) => Goal::par(cs.iter().map(to_goal).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::Term;
+
+    fn a(name: &str) -> Goal {
+        Goal::prop(name)
+    }
+
+    #[test]
+    fn true_makes_no_node() {
+        assert!(make_node(&Goal::True).is_none());
+        assert!(make_node(&Goal::seq(vec![Goal::True, Goal::True])).is_none());
+    }
+
+    #[test]
+    fn actions_make_leaves() {
+        let t = make_node(&Goal::ins("p", vec![])).unwrap();
+        assert_eq!(*t, PTree::Lit(Goal::ins("p", vec![])));
+        assert_eq!(leaf_count(&t), 1);
+    }
+
+    #[test]
+    fn nested_seq_splices_flat() {
+        let g = Goal::Seq(vec![
+            a("x"),
+            Goal::Seq(vec![a("y"), a("z")]),
+        ]);
+        let t = make_node(&g).unwrap();
+        let PTree::Seq(cs) = &*t else { panic!() };
+        assert_eq!(cs.len(), 3);
+    }
+
+    #[test]
+    fn frontier_of_seq_is_first_only() {
+        let t = make_node(&Goal::seq(vec![a("x"), a("y")])).unwrap();
+        assert_eq!(frontier(&t), vec![vec![0]]);
+        assert_eq!(*leaf_at(&t, &[0]), a("x"));
+    }
+
+    #[test]
+    fn frontier_of_par_is_all() {
+        let t = make_node(&Goal::par(vec![a("x"), a("y"), a("z")])).unwrap();
+        assert_eq!(frontier(&t), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn mixed_frontier() {
+        // (x * y) | z : frontier = {x, z}
+        let t = make_node(&Goal::par(vec![
+            Goal::seq(vec![a("x"), a("y")]),
+            a("z"),
+        ]))
+        .unwrap();
+        let f = frontier(&t);
+        assert_eq!(f.len(), 2);
+        assert_eq!(*leaf_at(&t, &f[0]), a("x"));
+        assert_eq!(*leaf_at(&t, &f[1]), a("z"));
+    }
+
+    #[test]
+    fn rewrite_completion_pops_seq_head() {
+        let t = make_node(&Goal::seq(vec![a("x"), a("y")])).unwrap();
+        let t2 = rewrite(&t, &[0], None).unwrap();
+        // Seq of one collapses to the leaf itself.
+        assert_eq!(*t2, PTree::Lit(a("y")));
+        let t3 = rewrite(&t2, &[], None);
+        assert!(t3.is_none(), "everything completed");
+    }
+
+    #[test]
+    fn rewrite_replacement_splices_into_seq() {
+        // x completes and is replaced by (p * q): Seq[x, y] -> Seq[p, q, y]
+        let t = make_node(&Goal::seq(vec![a("x"), a("y")])).unwrap();
+        let rep = make_node(&Goal::seq(vec![a("p"), a("q")]));
+        let t2 = rewrite(&t, &[0], rep).unwrap();
+        let PTree::Seq(cs) = &*t2 else { panic!() };
+        assert_eq!(cs.len(), 3);
+        assert_eq!(*leaf_at(&t2, &[0]), a("p"));
+    }
+
+    #[test]
+    fn rewrite_par_branch_completion() {
+        let t = make_node(&Goal::par(vec![a("x"), a("y")])).unwrap();
+        let t2 = rewrite(&t, &[0], None).unwrap();
+        assert_eq!(*t2, PTree::Lit(a("y")));
+    }
+
+    #[test]
+    fn par_replacement_splices() {
+        // simulate <- w | simulate: replacing the `simulate` leaf inside a
+        // Par with another Par splices, keeping the tree flat.
+        let t = make_node(&Goal::par(vec![a("w"), a("simulate")])).unwrap();
+        let rep = make_node(&Goal::par(vec![a("w"), a("simulate")]));
+        let t2 = rewrite(&t, &[1], rep).unwrap();
+        let PTree::Par(cs) = &*t2 else { panic!() };
+        assert_eq!(cs.len(), 3, "flattened to [w, w, simulate]");
+    }
+
+    #[test]
+    fn snapshots_are_shared() {
+        let t = make_node(&Goal::par(vec![a("x"), Goal::seq(vec![a("y"), a("z")])])).unwrap();
+        let snap = t.clone();
+        let t2 = rewrite(&t, &[0], None).unwrap();
+        // snapshot unchanged
+        assert_eq!(frontier(&snap).len(), 2);
+        assert_eq!(frontier(&t2).len(), 1);
+        // the untouched subtree is literally shared
+        let PTree::Par(orig) = &*snap else { panic!() };
+        assert!(Arc::ptr_eq(&orig[1], &t2));
+    }
+
+    #[test]
+    fn to_goal_round_trips_structure() {
+        let g = Goal::par(vec![
+            Goal::seq(vec![a("x"), a("y")]),
+            Goal::iso(a("z")),
+        ]);
+        let t = make_node(&g).unwrap();
+        assert_eq!(to_goal(&t), g);
+    }
+
+    #[test]
+    fn choice_and_iso_stay_as_leaves() {
+        let g = Goal::choice(vec![a("x"), a("y")]);
+        let t = make_node(&g).unwrap();
+        assert!(matches!(&*t, PTree::Lit(Goal::Choice(_))));
+        let g = Goal::iso(Goal::seq(vec![a("x"), a("y")]));
+        let t = make_node(&g).unwrap();
+        assert!(matches!(&*t, PTree::Lit(Goal::Iso(_))));
+    }
+
+    #[test]
+    fn leaf_count_counts_processes() {
+        let t = make_node(&Goal::par(vec![
+            a("a"),
+            Goal::seq(vec![a("b"), a("c")]),
+            Goal::par(vec![a("d"), a("e")]),
+        ]))
+        .unwrap();
+        assert_eq!(leaf_count(&t), 5);
+    }
+
+    #[test]
+    fn vars_survive_tree_building() {
+        let g = Goal::atom("p", vec![Term::var(3)]);
+        let t = make_node(&g).unwrap();
+        assert_eq!(*leaf_at(&t, &[]), g);
+    }
+}
+
+#[cfg(test)]
+mod normal_form_properties {
+    use super::*;
+    use proptest::prelude::*;
+    use td_core::Goal;
+
+    fn arb_goal(depth: u32) -> impl Strategy<Value = Goal> {
+        let leaf = prop_oneof![
+            (0u8..3).prop_map(|i| Goal::ins(&format!("p{i}"), vec![])),
+            (0u8..3).prop_map(|i| Goal::prop(&format!("p{i}"))),
+            Just(Goal::True),
+            Just(Goal::Fail),
+        ];
+        leaf.prop_recursive(depth, 24, 3, |inner| {
+            prop_oneof![
+                // Raw constructors on purpose: make_node must normalize
+                // arbitrary nesting, including 0- and 1-ary Seq/Par.
+                proptest::collection::vec(inner.clone(), 0..3).prop_map(Goal::Seq),
+                proptest::collection::vec(inner.clone(), 0..3).prop_map(Goal::Par),
+                proptest::collection::vec(inner.clone(), 1..3).prop_map(Goal::Choice),
+                inner.prop_map(Goal::iso),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn trees_are_normal_forms(g in arb_goal(3)) {
+            // Round-tripping a built tree through its goal rendering is the
+            // identity: built trees are fixed points of make_node.
+            if let Some(t) = make_node(&g) {
+                let back = make_node(&to_goal(&t)).expect("non-empty stays non-empty");
+                prop_assert_eq!(&*back, &*t);
+            }
+        }
+
+        #[test]
+        fn frontier_paths_all_reach_action_leaves(g in arb_goal(3)) {
+            if let Some(t) = make_node(&g) {
+                let paths = frontier(&t);
+                prop_assert!(!paths.is_empty());
+                for p in &paths {
+                    let leaf = leaf_at(&t, p);
+                    prop_assert!(
+                        !matches!(leaf, Goal::True | Goal::Seq(_) | Goal::Par(_)),
+                        "structural goal at frontier: {leaf}"
+                    );
+                }
+                prop_assert!(paths.len() <= leaf_count(&t));
+            }
+        }
+
+        #[test]
+        fn completing_every_leaf_empties_the_tree(g in arb_goal(2)) {
+            // Repeatedly remove the first frontier leaf; the tree must reach
+            // None in exactly leaf_count steps (no leaf lost or duplicated).
+            if let Some(mut t) = make_node(&g) {
+                let mut removed = 0;
+                let total = leaf_count(&t);
+                loop {
+                    let path = frontier(&t)[0].clone();
+                    removed += 1;
+                    match rewrite(&t, &path, None) {
+                        Some(next) => t = next,
+                        None => break,
+                    }
+                }
+                prop_assert_eq!(removed, total);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # td-machines — the complexity-theorem constructions
+//!
+//! §4–§5 of the paper map the data complexity of workflow executability
+//! across TD fragments. Complexity classes cannot be measured directly, but
+//! the *constructions in the proofs are executable programs*, and their
+//! resource growth is observable. This crate builds each construction plus
+//! a directly-implemented baseline to validate against:
+//!
+//! | module | theorem | construction | baseline |
+//! |---|---|---|---|
+//! | [`minsky`] | §4 RE-completeness, Cor. 4.6 | 2-counter machine as 3 concurrent sequential TD processes, constant-size DB | direct Minsky simulator |
+//! | [`stack`] | Cor. 4.6 (the proof's own object) | 2-stack machine, stack frames as process activations | direct simulator + Minsky compiler |
+//! | [`turing`] | §4's Turing-machine framing | single-tape TM compiled to 2 stacks (tape = two stacks), then to TD | direct TM simulator |
+//! | [`qbf`] | Thm. 4.5 (sequential TD / alternation) | QBF via sequential composition re-executing subgoals | recursive QBF evaluator |
+//! | [`sat`] | §5 (fully bounded TD) | 3SAT via tail-recursive guess-and-check | DPLL + brute force |
+//! | [`nonrec`] | Thm. 4.7 (nonrecursive TD) | k-hop joins and fixed-width update transactions | — (polynomial by inspection) |
+
+pub mod minsky;
+pub mod nonrec;
+pub mod stack;
+pub mod turing;
+pub mod qbf;
+pub mod sat;
+
+pub use minsky::{Counter, Instr, MinskyMachine, RunResult};
+pub use qbf::{Qbf, Quant};
+pub use sat::Cnf;
+pub use stack::{StackMachine, StackRun};
+pub use turing::{palindrome_tm, successor_tm, TmRun, TuringMachine};

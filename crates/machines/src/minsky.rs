@@ -1,0 +1,375 @@
+//! Two-counter (Minsky) machines and their Transaction Datalog encoding.
+//!
+//! §4 of the paper proves full TD **RE-complete** — with a *fixed* data
+//! domain and a *fixed* database schema, so the database stays constant-size
+//! while the computation is unbounded. Corollary 4.6 sharpens this: "three
+//! sequential processes executing concurrently" suffice, where two processes
+//! encode unbounded storage and the third the finite control (the paper uses
+//! a 2-stack machine; we use the equivalent 2-counter Minsky machine \[52\]).
+//!
+//! The encoding here follows that proof shape exactly:
+//!
+//! * each **counter** is a recursive sequential process whose *recursion
+//!   depth* is the counter value — storage lives in the process structure,
+//!   not the database (this is what lets TD beat the PSPACE ceiling of safe
+//!   flat-transaction languages);
+//! * the **control** process walks the instruction list;
+//! * the three processes communicate through a constant-size set of
+//!   handshake tuples (`cmd/2`, `ack/1`, `yes/1`, `no/1`, `halted/0`).
+//!
+//! The goal `?- control | counter(c0) | counter(c1)` is executable iff the
+//! machine halts — undecidable in general, which is why the engine's step
+//! budget exists.
+
+use std::fmt::Write as _;
+use td_workflow::Scenario;
+
+/// One of the two counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Counter {
+    C0,
+    C1,
+}
+
+impl Counter {
+    fn name(self) -> &'static str {
+        match self {
+            Counter::C0 => "c0",
+            Counter::C1 => "c1",
+        }
+    }
+}
+
+/// A Minsky-machine instruction. Program addresses are indices into
+/// [`MinskyMachine::instrs`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Instr {
+    /// Increment the counter, go to the next address.
+    Inc(Counter, usize),
+    /// If the counter is zero go to the second address; otherwise decrement
+    /// and go to the first.
+    DecJz(Counter, usize, usize),
+    /// Accept.
+    Halt,
+    /// Reject (no successful execution from here).
+    Reject,
+}
+
+/// A two-counter machine.
+#[derive(Clone, Debug, Default)]
+pub struct MinskyMachine {
+    pub instrs: Vec<Instr>,
+}
+
+/// Result of a direct simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunResult {
+    /// Halted (accepted) after this many instruction steps, with final
+    /// counter values.
+    Halted { steps: u64, c0: u64, c1: u64 },
+    /// Hit a `Reject` instruction.
+    Rejected { steps: u64 },
+    /// Step budget exhausted without halting.
+    OutOfFuel,
+}
+
+impl MinskyMachine {
+    /// Run the machine directly (the reference semantics).
+    pub fn run(&self, mut c0: u64, mut c1: u64, max_steps: u64) -> RunResult {
+        let mut pc = 0usize;
+        let mut steps = 0u64;
+        loop {
+            if steps >= max_steps {
+                return RunResult::OutOfFuel;
+            }
+            steps += 1;
+            match self.instrs.get(pc) {
+                None | Some(Instr::Halt) => {
+                    return RunResult::Halted { steps, c0, c1 };
+                }
+                Some(Instr::Reject) => return RunResult::Rejected { steps },
+                Some(Instr::Inc(c, next)) => {
+                    match c {
+                        Counter::C0 => c0 += 1,
+                        Counter::C1 => c1 += 1,
+                    }
+                    pc = *next;
+                }
+                Some(Instr::DecJz(c, next, if_zero)) => {
+                    let v = match c {
+                        Counter::C0 => &mut c0,
+                        Counter::C1 => &mut c1,
+                    };
+                    if *v == 0 {
+                        pc = *if_zero;
+                    } else {
+                        *v -= 1;
+                        pc = *next;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Prefix the program with `n` increments of `counter` (the standard way
+    /// to supply input to a counter machine).
+    pub fn with_input(&self, counter: Counter, n: u64) -> MinskyMachine {
+        let shift = n as usize;
+        let mut instrs: Vec<Instr> = (0..shift)
+            .map(|i| Instr::Inc(counter, i + 1))
+            .collect();
+        for ins in &self.instrs {
+            instrs.push(match *ins {
+                Instr::Inc(c, j) => Instr::Inc(c, j + shift),
+                Instr::DecJz(c, j, k) => Instr::DecJz(c, j + shift, k + shift),
+                other => other,
+            });
+        }
+        MinskyMachine { instrs }
+    }
+
+    /// The machine that moves `c0` into `c1` (c1 += c0; c0 = 0) then halts.
+    pub fn transfer() -> MinskyMachine {
+        MinskyMachine {
+            instrs: vec![
+                Instr::DecJz(Counter::C0, 1, 2),
+                Instr::Inc(Counter::C1, 0),
+                Instr::Halt,
+            ],
+        }
+    }
+
+    /// The machine computing `c1 = 2 * c0` (destroying `c0`), then halting.
+    pub fn doubling() -> MinskyMachine {
+        MinskyMachine {
+            instrs: vec![
+                Instr::DecJz(Counter::C0, 1, 3),
+                Instr::Inc(Counter::C1, 2),
+                Instr::Inc(Counter::C1, 0),
+                Instr::Halt,
+            ],
+        }
+    }
+
+    /// Accepts iff `c0` is even (the parity decider): repeatedly subtract 2;
+    /// landing on 0 accepts, landing on 1 rejects.
+    pub fn parity() -> MinskyMachine {
+        MinskyMachine {
+            instrs: vec![
+                Instr::DecJz(Counter::C0, 1, 2), // even so far → accept on 0
+                Instr::DecJz(Counter::C0, 0, 3), // odd remainder → reject on 0
+                Instr::Halt,
+                Instr::Reject,
+            ],
+        }
+    }
+
+    /// A machine that never halts (counts up forever). Its TD encoding
+    /// diverges — the RE witness.
+    pub fn diverging() -> MinskyMachine {
+        MinskyMachine {
+            instrs: vec![Instr::Inc(Counter::C0, 0)],
+        }
+    }
+
+    /// Encode into TD: three concurrent sequential processes over a
+    /// constant-size database (Cor. 4.6 shape). The goal is executable iff
+    /// the machine (with empty initial counters) halts.
+    pub fn to_td(&self) -> Scenario {
+        let mut src = String::new();
+        let _ = writeln!(src, "% 2-counter machine as 3 concurrent TD processes");
+        let _ = writeln!(src, "base cmd/2.");
+        let _ = writeln!(src, "base ack/1.");
+        let _ = writeln!(src, "base yes/1.");
+        let _ = writeln!(src, "base no/1.");
+        let _ = writeln!(src, "base halted/0.");
+
+        // --- counter processes -------------------------------------------
+        // A counter at value 0 runs `czero(C)`; at value k ≥ 1 it runs
+        // inside k nested activations of `cpos(C)`. Unwinding on `halted`
+        // terminates every level.
+        let _ = writeln!(src, "czero(C) <- halted.");
+        let _ = writeln!(
+            src,
+            "czero(C) <- cmd(C, Cmd) * del.cmd(C, Cmd) * handle0(C, Cmd)."
+        );
+        let _ = writeln!(
+            src,
+            "handle0(C, inc) <- ins.ack(C) * cpos(C) * czero(C)."
+        );
+        let _ = writeln!(src, "handle0(C, zerop) <- ins.yes(C) * czero(C).");
+        let _ = writeln!(src, "cpos(C) <- halted.");
+        let _ = writeln!(
+            src,
+            "cpos(C) <- cmd(C, Cmd) * del.cmd(C, Cmd) * handlep(C, Cmd)."
+        );
+        let _ = writeln!(
+            src,
+            "handlep(C, inc) <- ins.ack(C) * cpos(C) * cpos(C)."
+        );
+        let _ = writeln!(src, "handlep(C, dec) <- ins.ack(C).");
+        let _ = writeln!(src, "handlep(C, zerop) <- ins.no(C) * cpos(C).");
+
+        // --- control process ---------------------------------------------
+        for (i, ins) in self.instrs.iter().enumerate() {
+            match *ins {
+                Instr::Inc(c, next) => {
+                    let _ = writeln!(
+                        src,
+                        "st{i} <- ins.cmd({c}, inc) * ack({c}) * del.ack({c}) * st{next}.",
+                        c = c.name()
+                    );
+                }
+                Instr::DecJz(c, next, if_zero) => {
+                    let c = c.name();
+                    let _ = writeln!(
+                        src,
+                        "st{i} <- ins.cmd({c}, zerop) * {{ \
+                         (yes({c}) * del.yes({c}) * st{if_zero}) or \
+                         (no({c}) * del.no({c}) * ins.cmd({c}, dec) \
+                          * ack({c}) * del.ack({c}) * st{next}) }}."
+                    );
+                }
+                Instr::Halt => {
+                    let _ = writeln!(src, "st{i} <- ins.halted.");
+                }
+                Instr::Reject => {
+                    let _ = writeln!(src, "st{i} <- fail.");
+                }
+            }
+        }
+        // Falling off the end of the program is a halt.
+        let end = self.instrs.len();
+        let _ = writeln!(src, "st{end} <- ins.halted.");
+
+        let _ = writeln!(src, "?- st0 | czero(c0) | czero(c1).");
+        Scenario::from_source(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::{Fragment, FragmentReport};
+    use td_engine::{EngineConfig, EngineError};
+
+    #[test]
+    fn direct_simulation_of_samples() {
+        match MinskyMachine::doubling().with_input(Counter::C0, 5).run(0, 0, 1000) {
+            RunResult::Halted { c0, c1, .. } => {
+                assert_eq!(c0, 0);
+                assert_eq!(c1, 10);
+            }
+            other => panic!("expected halt, got {other:?}"),
+        }
+        match MinskyMachine::transfer().run(7, 2, 1000) {
+            RunResult::Halted { c0, c1, .. } => {
+                assert_eq!((c0, c1), (0, 9));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parity_machine_decides_parity() {
+        for n in 0..8u64 {
+            let r = MinskyMachine::parity().run(n, 0, 1000);
+            if n % 2 == 0 {
+                assert!(matches!(r, RunResult::Halted { .. }), "n={n}");
+            } else {
+                assert!(matches!(r, RunResult::Rejected { .. }), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn diverging_machine_runs_out_of_fuel() {
+        assert_eq!(
+            MinskyMachine::diverging().run(0, 0, 500),
+            RunResult::OutOfFuel
+        );
+    }
+
+    #[test]
+    fn td_encoding_accepts_exactly_when_machine_halts() {
+        // Accepting runs: the depth-first interpreter finds the witness
+        // interleaving quickly. Rejecting runs require refuting *every*
+        // interleaving, which is exponential for the interpreter — there the
+        // memoizing decider is the right procedure (its configuration space
+        // for the parity machine is polynomial in n).
+        use td_engine::decider::{decide, DeciderConfig};
+        for n in 0..5u64 {
+            let machine = MinskyMachine::parity().with_input(Counter::C0, n);
+            let scenario = machine.to_td();
+            let direct_accepts =
+                matches!(machine.run(0, 0, 10_000), RunResult::Halted { .. });
+            if direct_accepts {
+                let out = scenario
+                    .run_with(EngineConfig::default().with_max_steps(2_000_000))
+                    .unwrap();
+                assert!(out.is_success(), "n={n}: interpreter should accept");
+            }
+            let d = decide(
+                &scenario.program,
+                &scenario.goal,
+                &scenario.db,
+                DeciderConfig::default(),
+            )
+            .unwrap();
+            assert!(!d.truncated, "n={n}: decider should finish");
+            assert_eq!(d.executable, direct_accepts, "n={n}: decider disagrees");
+        }
+    }
+
+    #[test]
+    fn td_encoding_halts_on_doubling() {
+        let machine = MinskyMachine::doubling().with_input(Counter::C0, 3);
+        let out = machine
+            .to_td()
+            .run_with(EngineConfig::default().with_max_steps(2_000_000))
+            .unwrap();
+        assert!(out.is_success());
+    }
+
+    #[test]
+    fn database_stays_constant_size_while_computation_grows() {
+        // The paper's point: fixed schema, fixed domain — the DB never
+        // grows with the computation; storage lives in process recursion.
+        let machine = MinskyMachine::doubling().with_input(Counter::C0, 4);
+        let out = machine
+            .to_td()
+            .run_with(EngineConfig::default().with_max_steps(2_000_000))
+            .unwrap();
+        let sol = out.solution().unwrap();
+        // At commit only `halted` remains (all handshakes consumed).
+        assert!(sol.db.total_tuples() <= 3, "db stays O(1): {}", sol.db);
+        assert!(sol.stats.steps > 50, "yet the computation was long");
+    }
+
+    #[test]
+    fn td_encoding_of_diverging_machine_exhausts_budget() {
+        let scenario = MinskyMachine::diverging().to_td();
+        let err = scenario
+            .run_with(EngineConfig::default().with_max_steps(5_000))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::StepBudget { .. }));
+    }
+
+    #[test]
+    fn encoding_is_sequential_rulebase_fragment() {
+        // Cor 4.6: | appears only in the top-level goal; rule bodies are
+        // sequential; recursion is unrestricted → RE-complete fragment.
+        let scenario = MinskyMachine::parity().to_td();
+        let rep = FragmentReport::classify(&scenario.program, &scenario.goal);
+        assert_eq!(rep.fragment, Fragment::SequentialRulebase);
+        assert!(!rep.decidable());
+    }
+
+    #[test]
+    fn with_input_shifts_addresses_correctly() {
+        let m = MinskyMachine::parity().with_input(Counter::C0, 2);
+        assert_eq!(m.instrs.len(), 6);
+        assert_eq!(m.instrs[0], Instr::Inc(Counter::C0, 1));
+        assert_eq!(m.instrs[2], Instr::DecJz(Counter::C0, 3, 4));
+    }
+}

@@ -1,0 +1,157 @@
+//! Nonrecursive TD workloads (Theorem 4.7).
+//!
+//! "If we eliminate recursion altogether, then data complexity plummets
+//! from RE to less than PTIME" (§4, Thm 4.7). These generators produce
+//! nonrecursive-TD families whose *data* size scales while the program
+//! stays fixed, so benchmarks can observe the polynomial growth:
+//!
+//! * [`khop`] — a k-hop join query over a random edge relation (pure
+//!   queries);
+//! * [`promote_pipeline`] — a nonrecursive *transaction*: test a tuple,
+//!   derive a value, update two relations — run over every matching tuple
+//!   by a fixed-width concurrent goal.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use td_workflow::Scenario;
+
+/// A random directed graph on `nodes` vertices with `edges` edges,
+/// as `init edge(ni, nj).` facts.
+fn random_edges(nodes: usize, edges: usize, seed: u64, src: &mut String) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut placed = 0;
+    while placed < edges {
+        let a = rng.random_range(0..nodes);
+        let b = rng.random_range(0..nodes);
+        if seen.insert((a, b)) {
+            let _ = writeln!(src, "init edge(n{a}, n{b}).");
+            placed += 1;
+        }
+        if seen.len() >= nodes * nodes {
+            break;
+        }
+    }
+}
+
+/// A k-hop reachability query (`hop_k(X, Y)` = path of exactly k edges)
+/// over a random graph. Nonrecursive: the program is a chain of k rules.
+/// The goal asks for any k-hop pair and marks it.
+pub fn khop(nodes: usize, edges: usize, k: usize, seed: u64) -> Scenario {
+    assert!(k >= 1);
+    let mut src = String::new();
+    let _ = writeln!(src, "% nonrecursive k-hop query: k={k}, |V|={nodes}, |E|={edges}");
+    let _ = writeln!(src, "base edge/2.");
+    let _ = writeln!(src, "base found/2.");
+    random_edges(nodes, edges, seed, &mut src);
+    let _ = writeln!(src, "hop1(X, Y) <- edge(X, Y).");
+    for i in 2..=k {
+        let prev = i - 1;
+        let _ = writeln!(src, "hop{i}(X, Z) <- edge(X, Y) * hop{prev}(Y, Z).");
+    }
+    let _ = writeln!(src, "?- hop{k}(X, Y) * ins.found(X, Y).");
+    Scenario::from_source(src)
+}
+
+/// A nonrecursive update transaction applied to `width` work tuples by a
+/// fixed-width concurrent goal: each branch tests `pending(i, N)`, computes
+/// `N+1`, deletes the pending tuple and inserts a processed one.
+pub fn promote_pipeline(width: usize, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut src = String::new();
+    let _ = writeln!(src, "% nonrecursive update transaction, width {width}");
+    let _ = writeln!(src, "base pending/2.");
+    let _ = writeln!(src, "base processed/2.");
+    for i in 0..width {
+        let n: i64 = rng.random_range(0..1000);
+        let _ = writeln!(src, "init pending(w{i}, {n}).");
+    }
+    let _ = writeln!(
+        src,
+        "promote(W) <- pending(W, N) * del.pending(W, N) * M is N + 1 * ins.processed(W, M)."
+    );
+    if width == 0 {
+        let _ = writeln!(src, "?- ().");
+    } else {
+        let branches: Vec<String> = (0..width).map(|i| format!("promote(w{i})")).collect();
+        let _ = writeln!(src, "?- {}.", branches.join(" | "));
+    }
+    Scenario::from_source(src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::{Fragment, FragmentReport, Pred};
+
+    #[test]
+    fn khop_finds_paths_on_a_dense_graph() {
+        // Dense enough that a 3-hop path certainly exists.
+        let scenario = khop(10, 60, 3, 7);
+        let out = scenario.run().unwrap();
+        let sol = out.solution().expect("some 3-hop path exists");
+        assert_eq!(sol.db.relation(Pred::new("found", 2)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn khop_fails_on_edgeless_graph() {
+        let scenario = khop(5, 0, 2, 0);
+        assert!(!scenario.run().unwrap().is_success());
+    }
+
+    #[test]
+    fn khop_is_nonrecursive() {
+        let scenario = khop(6, 10, 4, 1);
+        let rep = FragmentReport::classify(&scenario.program, &scenario.goal);
+        assert_eq!(rep.fragment, Fragment::Nonrecursive);
+    }
+
+    #[test]
+    fn promote_processes_every_tuple() {
+        let scenario = promote_pipeline(5, 3);
+        let out = scenario.run().unwrap();
+        let sol = out.solution().expect("all branches promote");
+        assert!(sol.db.relation(Pred::new("pending", 2)).unwrap().is_empty());
+        assert_eq!(sol.db.relation(Pred::new("processed", 2)).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn promote_increments_the_value() {
+        let scenario = promote_pipeline(1, 11);
+        // Find the initial value from the db.
+        let pending = scenario
+            .db
+            .relation(Pred::new("pending", 2))
+            .unwrap()
+            .to_vec();
+        let n = pending[0].values()[1].as_int().unwrap();
+        let out = scenario.run().unwrap();
+        let processed = out
+            .solution()
+            .unwrap()
+            .db
+            .relation(Pred::new("processed", 2))
+            .unwrap()
+            .to_vec();
+        assert_eq!(processed[0].values()[1].as_int().unwrap(), n + 1);
+    }
+
+    #[test]
+    fn promote_is_nonrecursive_despite_concurrency() {
+        let scenario = promote_pipeline(3, 0);
+        let rep = FragmentReport::classify(&scenario.program, &scenario.goal);
+        assert_eq!(rep.fragment, Fragment::Nonrecursive);
+        assert!(rep.facts.par_in_goal);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(khop(8, 20, 2, 5).source, khop(8, 20, 2, 5).source);
+        assert_eq!(
+            promote_pipeline(4, 9).source,
+            promote_pipeline(4, 9).source
+        );
+    }
+}

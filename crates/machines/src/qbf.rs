@@ -1,0 +1,401 @@
+//! Quantified Boolean formulas in sequential TD (Theorem 4.5).
+//!
+//! Theorem 4.5: *sequential* TD (no `|`) is data complete for **EXPTIME**,
+//! and "the extra power of sequential TD comes from an ability to simulate
+//! alternating PSPACE machines \[30\]. … the ability to alternate comes from
+//! the combination of recursive subroutines and sequential composition."
+//!
+//! QBF evaluation is the canonical alternation workload. The encoding uses
+//! exactly the mechanism the proof isolates — sequential composition
+//! re-executing a subgoal under different database states:
+//!
+//! ```text
+//! q_i <- { (ins.tru(i) * q_{i+1} * del.tru(i)) or q_{i+1} }.       % ∃xᵢ
+//! q_i <- ins.tru(i) * q_{i+1} * del.tru(i) * q_{i+1}.              % ∀xᵢ
+//! q_{n} <- clause_1 * clause_2 * … * clause_m.                     % matrix
+//! clause_j <- { lit or lit or lit }.
+//! ```
+//!
+//! A `∀` level runs its continuation **twice in sequence** — once with the
+//! variable true, once false — which is precisely how sequential
+//! composition plus subroutines yields exponential work over a
+//! polynomial-size state (the assignment relation `tru/1`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use td_workflow::Scenario;
+
+/// Quantifier kinds, outermost first.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Quant {
+    Exists,
+    Forall,
+}
+
+/// A literal: variable index (0-based) and polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Lit {
+    pub var: usize,
+    pub positive: bool,
+}
+
+/// A prenex-CNF QBF: `Q₀x₀ Q₁x₁ … . clauses`.
+#[derive(Clone, Debug)]
+pub struct Qbf {
+    pub quants: Vec<Quant>,
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Qbf {
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.quants.len()
+    }
+
+    /// Direct recursive evaluation (the reference semantics).
+    pub fn eval(&self) -> bool {
+        let mut assignment = vec![false; self.num_vars()];
+        self.eval_from(0, &mut assignment)
+    }
+
+    fn eval_from(&self, level: usize, assignment: &mut Vec<bool>) -> bool {
+        if level == self.quants.len() {
+            return self.clauses.iter().all(|clause| {
+                clause
+                    .iter()
+                    .any(|l| assignment[l.var] == l.positive)
+            });
+        }
+        match self.quants[level] {
+            Quant::Exists => {
+                for v in [true, false] {
+                    assignment[level] = v;
+                    if self.eval_from(level + 1, assignment) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Quant::Forall => {
+                for v in [true, false] {
+                    assignment[level] = v;
+                    if !self.eval_from(level + 1, assignment) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// A random QBF with alternating quantifiers (∀ first), `vars`
+    /// variables and `clauses` random 3-literal clauses.
+    pub fn random(vars: usize, clauses: usize, seed: u64) -> Qbf {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let quants = (0..vars)
+            .map(|i| if i % 2 == 0 { Quant::Forall } else { Quant::Exists })
+            .collect();
+        let clauses = (0..clauses)
+            .map(|_| {
+                (0..3)
+                    .map(|_| Lit {
+                        var: rng.random_range(0..vars),
+                        positive: rng.random_bool(0.5),
+                    })
+                    .collect()
+            })
+            .collect();
+        Qbf { quants, clauses }
+    }
+
+    /// Encode the formula **into the database** and evaluate it with a
+    /// *fixed* sequential-TD program — the data-complexity regime of
+    /// Theorem 4.5 proper (the theorem is about data complexity; the
+    /// program below never changes, only the instance relations do).
+    ///
+    /// Schema: `qvar(I, Kind)` quantifiers (1-based, `e`/`a`),
+    /// `lit(C, I, P)` clause literals (`P` = 1 positive / 0 negated),
+    /// `nv(N)` variable count, `nc(M)` clause count, `tru(I)` the working
+    /// assignment. The recursion through sequential composition
+    /// (`eval`'s ∀ case runs `eval(J)` twice) is exactly the alternation
+    /// mechanism the proof isolates.
+    pub fn to_td_data(&self) -> Scenario {
+        let mut src = String::new();
+        let _ = writeln!(src, "% QBF instance in the DATABASE; fixed sequential-TD evaluator");
+        let _ = writeln!(src, "base qvar/2.");
+        let _ = writeln!(src, "base lit/3.");
+        let _ = writeln!(src, "base nv/1.");
+        let _ = writeln!(src, "base nc/1.");
+        let _ = writeln!(src, "base tru/1.");
+        let _ = writeln!(src, "init nv({}).", self.num_vars());
+        let _ = writeln!(src, "init nc({}).", self.clauses.len());
+        for (i, q) in self.quants.iter().enumerate() {
+            let kind = match q {
+                Quant::Exists => "e",
+                Quant::Forall => "a",
+            };
+            let _ = writeln!(src, "init qvar({}, {kind}).", i + 1);
+        }
+        for (c, clause) in self.clauses.iter().enumerate() {
+            for l in clause {
+                let _ = writeln!(
+                    src,
+                    "init lit({}, {}, {}).",
+                    c + 1,
+                    l.var + 1,
+                    i64::from(l.positive)
+                );
+            }
+        }
+        // The fixed evaluator.
+        let _ = writeln!(src, "eval(I) <- nv(N) * I > N * nc(M) * chk(1, M).");
+        let _ = writeln!(
+            src,
+            "eval(I) <- qvar(I, e) * J is I + 1 * {{ (ins.tru(I) * eval(J) * del.tru(I)) or eval(J) }}."
+        );
+        let _ = writeln!(
+            src,
+            "eval(I) <- qvar(I, a) * J is I + 1 * ins.tru(I) * eval(J) * del.tru(I) * eval(J)."
+        );
+        let _ = writeln!(src, "chk(C, M) <- C > M.");
+        let _ = writeln!(src, "chk(C, M) <- C <= M * sat(C) * C2 is C + 1 * chk(C2, M).");
+        let _ = writeln!(src, "sat(C) <- lit(C, I, 1) * tru(I).");
+        let _ = writeln!(src, "sat(C) <- lit(C, I, 0) * not tru(I).");
+        let _ = writeln!(src, "?- eval(1).");
+        Scenario::from_source(src)
+    }
+
+    /// Encode into sequential TD. The goal `?- q0.` is executable iff the
+    /// formula is true.
+    pub fn to_td(&self) -> Scenario {
+        let n = self.num_vars();
+        let mut src = String::new();
+        let _ = writeln!(src, "% QBF with {n} vars / {} clauses in sequential TD", self.clauses.len());
+        let _ = writeln!(src, "base tru/1.");
+        for (i, q) in self.quants.iter().enumerate() {
+            let next = i + 1;
+            match q {
+                Quant::Exists => {
+                    let _ = writeln!(
+                        src,
+                        "q{i} <- {{ (ins.tru({i}) * q{next} * del.tru({i})) or q{next} }}."
+                    );
+                }
+                Quant::Forall => {
+                    let _ = writeln!(
+                        src,
+                        "q{i} <- ins.tru({i}) * q{next} * del.tru({i}) * q{next}."
+                    );
+                }
+            }
+        }
+        if self.clauses.is_empty() {
+            let _ = writeln!(src, "q{n} <- ().");
+        } else {
+            let checks: Vec<String> = (0..self.clauses.len())
+                .map(|j| format!("cl{j}"))
+                .collect();
+            let _ = writeln!(src, "q{n} <- {}.", checks.join(" * "));
+            for (j, clause) in self.clauses.iter().enumerate() {
+                let lits: Vec<String> = clause
+                    .iter()
+                    .map(|l| {
+                        if l.positive {
+                            format!("tru({})", l.var)
+                        } else {
+                            format!("not tru({})", l.var)
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(src, "cl{j} <- {{ {} }}.", lits.join(" or "));
+            }
+        }
+        let _ = writeln!(src, "?- q0.");
+        Scenario::from_source(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::{Fragment, FragmentReport};
+    use td_engine::EngineConfig;
+
+    fn lit(var: usize, positive: bool) -> Lit {
+        Lit { var, positive }
+    }
+
+    #[test]
+    fn direct_eval_tautology_and_contradiction() {
+        // ∀x. (x ∨ ¬x)
+        let taut = Qbf {
+            quants: vec![Quant::Forall],
+            clauses: vec![vec![lit(0, true), lit(0, false)]],
+        };
+        assert!(taut.eval());
+        // ∀x. x
+        let contra = Qbf {
+            quants: vec![Quant::Forall],
+            clauses: vec![vec![lit(0, true)]],
+        };
+        assert!(!contra.eval());
+        // ∃x. x
+        let sat = Qbf {
+            quants: vec![Quant::Exists],
+            clauses: vec![vec![lit(0, true)]],
+        };
+        assert!(sat.eval());
+    }
+
+    #[test]
+    fn forall_exists_dependency() {
+        // ∀x ∃y. (x ↔ y) as CNF: (¬x ∨ y) ∧ (x ∨ ¬y) — true.
+        let f = Qbf {
+            quants: vec![Quant::Forall, Quant::Exists],
+            clauses: vec![
+                vec![lit(0, false), lit(1, true)],
+                vec![lit(0, true), lit(1, false)],
+            ],
+        };
+        assert!(f.eval());
+        // ∃y ∀x. (x ↔ y) — false.
+        let g = Qbf {
+            quants: vec![Quant::Exists, Quant::Forall],
+            clauses: vec![
+                vec![lit(1, false), lit(0, true)],
+                vec![lit(1, true), lit(0, false)],
+            ],
+        };
+        assert!(!g.eval());
+    }
+
+    #[test]
+    fn td_encoding_agrees_with_direct_eval_on_random_instances() {
+        for seed in 0..12 {
+            let qbf = Qbf::random(4, 5, seed);
+            let scenario = qbf.to_td();
+            let out = scenario
+                .run_with(EngineConfig::default().with_max_steps(5_000_000))
+                .unwrap();
+            assert_eq!(
+                out.is_success(),
+                qbf.eval(),
+                "seed {seed}: TD disagrees with direct evaluation\n{}",
+                scenario.source
+            );
+        }
+    }
+
+    #[test]
+    fn td_encoding_handles_dependency_ordering() {
+        let f = Qbf {
+            quants: vec![Quant::Forall, Quant::Exists],
+            clauses: vec![
+                vec![lit(0, false), lit(1, true)],
+                vec![lit(0, true), lit(1, false)],
+            ],
+        };
+        assert!(f.to_td().run().unwrap().is_success());
+        let g = Qbf {
+            quants: vec![Quant::Exists, Quant::Forall],
+            clauses: vec![
+                vec![lit(1, false), lit(0, true)],
+                vec![lit(1, true), lit(0, false)],
+            ],
+        };
+        assert!(!g.to_td().run().unwrap().is_success());
+    }
+
+    #[test]
+    fn encoding_is_strictly_sequential() {
+        let qbf = Qbf::random(3, 3, 0);
+        let scenario = qbf.to_td();
+        let rep = FragmentReport::classify(&scenario.program, &scenario.goal);
+        // No | anywhere, no recursion (the chain is finite) → the
+        // tractable-by-memoization side of Thm 4.5's language; the
+        // exponential work is in the ∀ re-execution.
+        assert_eq!(rep.fragment, Fragment::Nonrecursive);
+        assert!(!rep.facts.par_in_rules && !rep.facts.par_in_goal);
+    }
+
+    #[test]
+    fn empty_matrix_is_true() {
+        let f = Qbf {
+            quants: vec![Quant::Forall, Quant::Forall],
+            clauses: vec![],
+        };
+        assert!(f.eval());
+        assert!(f.to_td().run().unwrap().is_success());
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = Qbf::random(5, 7, 42);
+        let b = Qbf::random(5, 7, 42);
+        assert_eq!(a.clauses, b.clauses);
+        assert_eq!(a.quants, b.quants);
+    }
+}
+
+#[cfg(test)]
+mod data_encoding_tests {
+    use super::*;
+    use td_core::{Fragment, FragmentReport};
+    use td_engine::EngineConfig;
+
+    #[test]
+    fn fixed_program_agrees_with_direct_eval() {
+        for seed in 0..10 {
+            let qbf = Qbf::random(4, 5, seed);
+            let scenario = qbf.to_td_data();
+            let out = scenario
+                .run_with(EngineConfig::default().with_max_steps(20_000_000))
+                .unwrap();
+            assert_eq!(out.is_success(), qbf.eval(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn the_program_is_fixed_across_instances() {
+        // Data complexity: the rulebase must not depend on the instance.
+        let a = Qbf::random(3, 4, 1).to_td_data();
+        let b = Qbf::random(6, 9, 2).to_td_data();
+        assert_eq!(a.program.to_source(), b.program.to_source());
+    }
+
+    #[test]
+    fn classified_as_sequential_td() {
+        let rep_src = Qbf::random(3, 3, 0).to_td_data();
+        let rep = FragmentReport::classify(&rep_src.program, &rep_src.goal);
+        assert_eq!(rep.fragment, Fragment::Sequential);
+        assert!(rep.facts.recursive, "eval/chk recurse");
+        assert!(
+            !rep.facts.tail_recursion_only,
+            "the ∀ rule's first eval(J) call is non-tail — the alternation engine"
+        );
+    }
+
+    #[test]
+    fn dependency_pairs_through_the_fixed_program() {
+        let lit = |var: usize, positive: bool| Lit { var, positive };
+        // ∀x ∃y. x ↔ y (true) vs ∃y ∀x. x ↔ y (false).
+        let t = Qbf {
+            quants: vec![Quant::Forall, Quant::Exists],
+            clauses: vec![
+                vec![lit(0, false), lit(1, true)],
+                vec![lit(0, true), lit(1, false)],
+            ],
+        };
+        assert!(t.to_td_data().run().unwrap().is_success());
+        let f = Qbf {
+            quants: vec![Quant::Exists, Quant::Forall],
+            clauses: vec![
+                vec![lit(1, false), lit(0, true)],
+                vec![lit(1, true), lit(0, false)],
+            ],
+        };
+        assert!(!f.to_td_data().run().unwrap().is_success());
+    }
+}

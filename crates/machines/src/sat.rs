@@ -1,0 +1,265 @@
+//! 3SAT in fully bounded TD (§5).
+//!
+//! Fully bounded TD keeps the *process* features bounded: recursion must be
+//! sequential **tail** recursion and may not pass through `|`. That is
+//! still enough to express guess-and-check over the database:
+//!
+//! ```text
+//! assign(0) <- check.
+//! assign(V) <- V > 0 * { ins.tru(V) or () } * V2 is V - 1 * assign(V2).
+//! check <- cl1 * cl2 * … * clm.
+//! clj <- { lit or lit or lit }.
+//! ```
+//!
+//! `assign/1` iterates over the variables by tail recursion (the iterated-
+//! protocol idiom of §3/\[26\]) and nondeterministically inserts assignment
+//! tuples; `check` is a plain query conjunction. Executability of
+//! `?- assign(n)` is exactly satisfiability — NP-hard, which locates the
+//! fully bounded fragment *above* plain Datalog but far below the EXPTIME /
+//! RE cliffs of the unrestricted languages; the decider's configuration
+//! space stays singly exponential in the variable count and polynomial in
+//! the database.
+//!
+//! A DPLL solver with unit propagation serves as the baseline.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use td_workflow::Scenario;
+
+/// A literal: 0-based variable index and polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Lit {
+    pub var: usize,
+    pub positive: bool,
+}
+
+/// A CNF formula.
+#[derive(Clone, Debug)]
+pub struct Cnf {
+    pub num_vars: usize,
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Random 3SAT at the given clause count.
+    pub fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> Cnf {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clauses = (0..num_clauses)
+            .map(|_| {
+                (0..3)
+                    .map(|_| Lit {
+                        var: rng.random_range(0..num_vars),
+                        positive: rng.random_bool(0.5),
+                    })
+                    .collect()
+            })
+            .collect();
+        Cnf {
+            num_vars,
+            clauses,
+        }
+    }
+
+    /// DPLL with unit propagation (the baseline solver).
+    pub fn dpll(&self) -> bool {
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        self.dpll_rec(&mut assignment)
+    }
+
+    fn dpll_rec(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation to a fixpoint.
+        let mut trail: Vec<usize> = Vec::new();
+        loop {
+            let mut propagated = false;
+            for clause in &self.clauses {
+                let mut unassigned: Option<Lit> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for l in clause {
+                    match assignment[l.var] {
+                        Some(v) if v == l.positive => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(*l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => {
+                        // Conflict: undo and fail.
+                        for v in trail {
+                            assignment[v] = None;
+                        }
+                        return false;
+                    }
+                    1 => {
+                        let l = unassigned.expect("one unassigned literal");
+                        assignment[l.var] = Some(l.positive);
+                        trail.push(l.var);
+                        propagated = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !propagated {
+                break;
+            }
+        }
+        // Branch on the first unassigned variable.
+        match assignment.iter().position(Option::is_none) {
+            None => true, // all assigned, no conflict: satisfied
+            Some(v) => {
+                for value in [true, false] {
+                    assignment[v] = Some(value);
+                    if self.dpll_rec(assignment) {
+                        return true;
+                    }
+                    assignment[v] = None;
+                }
+                for v in trail {
+                    assignment[v] = None;
+                }
+                false
+            }
+        }
+    }
+
+    /// Brute-force evaluation (for cross-checking small instances).
+    pub fn brute_force(&self) -> bool {
+        if self.num_vars > 24 {
+            panic!("brute force limited to 24 variables");
+        }
+        (0u64..(1 << self.num_vars)).any(|bits| {
+            self.clauses.iter().all(|clause| {
+                clause
+                    .iter()
+                    .any(|l| ((bits >> l.var) & 1 == 1) == l.positive)
+            })
+        })
+    }
+
+    /// Encode into fully bounded TD: `?- assign(n)` is executable iff the
+    /// formula is satisfiable.
+    pub fn to_td(&self) -> Scenario {
+        let mut src = String::new();
+        let _ = writeln!(
+            src,
+            "% 3SAT in fully bounded TD: {} vars / {} clauses",
+            self.num_vars,
+            self.clauses.len()
+        );
+        let _ = writeln!(src, "base tru/1.");
+        let _ = writeln!(src, "assign(0) <- check.");
+        let _ = writeln!(
+            src,
+            "assign(V) <- V > 0 * {{ ins.tru(V) or () }} * V2 is V - 1 * assign(V2)."
+        );
+        if self.clauses.is_empty() {
+            let _ = writeln!(src, "check <- ().");
+        } else {
+            let names: Vec<String> = (0..self.clauses.len()).map(|j| format!("cl{j}")).collect();
+            let _ = writeln!(src, "check <- {}.", names.join(" * "));
+            for (j, clause) in self.clauses.iter().enumerate() {
+                let lits: Vec<String> = clause
+                    .iter()
+                    .map(|l| {
+                        // Variable v is TD constant v+1 (1-based, since
+                        // assign counts down to 0).
+                        let v = l.var + 1;
+                        if l.positive {
+                            format!("tru({v})")
+                        } else {
+                            format!("not tru({v})")
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(src, "cl{j} <- {{ {} }}.", lits.join(" or "));
+            }
+        }
+        let _ = writeln!(src, "?- assign({}).", self.num_vars);
+        Scenario::from_source(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::FragmentReport;
+    use td_engine::EngineConfig;
+
+    fn lit(var: usize, positive: bool) -> Lit {
+        Lit { var, positive }
+    }
+
+    #[test]
+    fn dpll_on_tiny_instances() {
+        let sat = Cnf {
+            num_vars: 2,
+            clauses: vec![vec![lit(0, true), lit(1, true)], vec![lit(0, false)]],
+        };
+        assert!(sat.dpll());
+        let unsat = Cnf {
+            num_vars: 1,
+            clauses: vec![vec![lit(0, true)], vec![lit(0, false)]],
+        };
+        assert!(!unsat.dpll());
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force_on_random_instances() {
+        for seed in 0..30 {
+            let cnf = Cnf::random_3sat(6, 14, seed);
+            assert_eq!(cnf.dpll(), cnf.brute_force(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn td_encoding_agrees_with_dpll() {
+        for seed in 0..10 {
+            let cnf = Cnf::random_3sat(5, 12, seed);
+            let out = cnf
+                .to_td()
+                .run_with(EngineConfig::default().with_max_steps(5_000_000))
+                .unwrap();
+            assert_eq!(out.is_success(), cnf.dpll(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_formula_fails_in_td() {
+        let unsat = Cnf {
+            num_vars: 1,
+            clauses: vec![vec![lit(0, true)], vec![lit(0, false)]],
+        };
+        assert!(!unsat.to_td().run().unwrap().is_success());
+    }
+
+    #[test]
+    fn encoding_uses_only_tail_recursion() {
+        let cnf = Cnf::random_3sat(4, 6, 1);
+        let scenario = cnf.to_td();
+        let rep = FragmentReport::classify(&scenario.program, &scenario.goal);
+        assert!(rep.facts.tail_recursion_only);
+        assert!(!rep.facts.recursion_through_par);
+        assert!(rep.decidable());
+    }
+
+    #[test]
+    fn empty_formula_is_satisfiable() {
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![],
+        };
+        assert!(cnf.dpll());
+        assert!(cnf.to_td().run().unwrap().is_success());
+    }
+}

@@ -1,0 +1,156 @@
+//! Parse errors with source snippets.
+
+use crate::token::Span;
+use std::fmt;
+
+/// What went wrong.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseErrorKind {
+    /// A character the lexer does not recognize.
+    UnexpectedChar(char),
+    /// Integer literal outside `i64`.
+    IntOutOfRange(String),
+    /// The parser expected something else here.
+    Expected { expected: String, found: String },
+    /// `is` expressions take exactly `term op term`.
+    MalformedArith,
+    /// Goal nesting exceeds the parser's depth limit.
+    TooDeep { limit: usize },
+    /// A program-level validation error (from `td-core`), attached to the
+    /// statement that triggered it.
+    Invalid(String),
+}
+
+/// A parse error at a source location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    pub kind: ParseErrorKind,
+    pub span: Span,
+}
+
+impl ParseError {
+    pub fn new(kind: ParseErrorKind, span: Span) -> ParseError {
+        ParseError { kind, span }
+    }
+
+    /// Render with a source snippet and caret, e.g.
+    ///
+    /// ```text
+    /// 3:9: expected `.`, found `)`
+    ///   task(W <- p(W).
+    ///         ^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("{}:{}: {}", self.span.line, self.span.col, self);
+        // An end-of-input error can point one line past the last; clamp so
+        // the snippet still shows where the input ended.
+        let (line, col) = match src.lines().nth(self.span.line as usize - 1) {
+            Some(line) => (Some(line), self.span.col as usize),
+            None => {
+                let last = src.lines().last();
+                (last, last.map_or(1, |l| l.chars().count() + 1))
+            }
+        };
+        if let Some(line) = line {
+            out.push_str(&format!("\n  {line}\n  "));
+            for _ in 1..col {
+                out.push(' ');
+            }
+            out.push('^');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            ParseErrorKind::IntOutOfRange(s) => {
+                write!(f, "integer literal `{s}` does not fit in 64 bits")
+            }
+            ParseErrorKind::Expected { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseErrorKind::MalformedArith => {
+                write!(f, "`is` takes exactly `Var is Term op Term`")
+            }
+            ParseErrorKind::TooDeep { limit } => {
+                write!(f, "goal nesting deeper than {limit} levels")
+            }
+            ParseErrorKind::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// All errors found in one source file (the parser recovers at statement
+/// boundaries and keeps going).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseErrors {
+    pub errors: Vec<ParseError>,
+}
+
+impl ParseErrors {
+    /// Render every error with its snippet.
+    pub fn render(&self, src: &str) -> String {
+        self.errors
+            .iter()
+            .map(|e| e.render(src))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for ParseErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{}:{}: {}", e.span.line, e.span.col, e)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseErrors {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_column() {
+        let src = "abc def\nghi jkl";
+        let err = ParseError::new(
+            ParseErrorKind::Expected {
+                expected: "`.`".into(),
+                found: "`jkl`".into(),
+            },
+            Span {
+                start: 12,
+                end: 15,
+                line: 2,
+                col: 5,
+            },
+        );
+        let r = err.render(src);
+        assert!(r.contains("2:5: expected `.`, found `jkl`"));
+        assert!(r.contains("\n  ghi jkl\n      ^"));
+    }
+
+    #[test]
+    fn multi_error_display() {
+        let e1 = ParseError::new(ParseErrorKind::MalformedArith, Span::zero());
+        let e2 = ParseError::new(ParseErrorKind::UnexpectedChar('~'), Span::zero());
+        let all = ParseErrors {
+            errors: vec![e1, e2],
+        };
+        let s = all.to_string();
+        assert!(s.contains("is"));
+        assert!(s.contains('~'));
+        assert_eq!(s.lines().count(), 2);
+    }
+}

@@ -1,0 +1,568 @@
+//! Recursive-descent parser for `.td` programs.
+//!
+//! A program is a sequence of statements, each ended by `.`:
+//!
+//! ```text
+//! base item/1.                          % declare a base relation
+//! init item(w1).                        % initial database tuple
+//! workflow(W) <- t1(W) * (t2(W) | t3(W)) * t4(W).
+//! t1(W) <- ins.done(W, t1).            % rules
+//! ready.                                % derived fact: ready <- ().
+//! ?- workflow(w1).                      % goal to execute
+//! ```
+//!
+//! The parser recovers at statement boundaries, so one file can report many
+//! errors in a single pass.
+
+use crate::error::{ParseError, ParseErrorKind, ParseErrors};
+use crate::lexer::Lexer;
+use crate::token::{Span, Tok, Token};
+use td_core::{Atom, Builtin, Goal, Program, Rule, Symbol, Term};
+
+/// A goal together with the names of its free variables (display names for
+/// answer bindings).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParsedGoal {
+    pub goal: Goal,
+    pub var_names: Vec<Symbol>,
+    pub span: Span,
+}
+
+/// The result of parsing a `.td` file.
+#[derive(Clone, Debug)]
+pub struct ParsedProgram {
+    /// The validated program (base declarations + rules).
+    pub program: Program,
+    /// `init` statements: ground atoms to load into the initial database.
+    pub init: Vec<Atom>,
+    /// `?-` statements, in order.
+    pub goals: Vec<ParsedGoal>,
+}
+
+/// Names that cannot be used as predicates or constants.
+const RESERVED: &[&str] = &["base", "init", "ins", "del", "iso", "not", "fail", "or", "is"];
+
+/// Parse a complete `.td` source file.
+pub fn parse_program(src: &str) -> Result<ParsedProgram, ParseErrors> {
+    let tokens = Lexer::new(src).tokenize().map_err(|e| ParseErrors {
+        errors: vec![e],
+    })?;
+    let mut p = Parser::new(tokens);
+    p.program()
+}
+
+/// Parse a standalone goal (e.g. CLI input), validating it against
+/// `program`.
+pub fn parse_goal(src: &str, program: &Program) -> Result<ParsedGoal, ParseErrors> {
+    let tokens = Lexer::new(src).tokenize().map_err(|e| ParseErrors {
+        errors: vec![e],
+    })?;
+    let mut p = Parser::new(tokens);
+    let mut scope = VarScope::default();
+    let start = p.span();
+    let goal = p.goal(&mut scope).map_err(|e| ParseErrors { errors: vec![e] })?;
+    // Optional trailing `.`
+    if p.peek() == &Tok::Dot {
+        p.bump();
+    }
+    if p.peek() != &Tok::Eof {
+        return Err(ParseErrors {
+            errors: vec![p.unexpected("end of goal")],
+        });
+    }
+    td_core::validate::validate_goal(program, &goal).map_err(|e| ParseErrors {
+        errors: vec![ParseError::new(ParseErrorKind::Invalid(e.to_string()), start)],
+    })?;
+    Ok(ParsedGoal {
+        goal,
+        var_names: scope.names,
+        span: start,
+    })
+}
+
+#[derive(Default)]
+struct VarScope {
+    names: Vec<Symbol>,
+    anon: u32,
+}
+
+impl VarScope {
+    fn lookup(&mut self, name: &str) -> Term {
+        if name == "_" {
+            // Each bare underscore is a fresh variable.
+            let id = u32::try_from(self.names.len()).expect("too many variables");
+            self.anon += 1;
+            self.names.push(Symbol::intern(&format!("_{}", self.anon)));
+            return Term::var(id);
+        }
+        let sym = Symbol::intern(name);
+        if let Some(i) = self.names.iter().position(|n| *n == sym) {
+            Term::var(u32::try_from(i).expect("too many variables"))
+        } else {
+            let id = u32::try_from(self.names.len()).expect("too many variables");
+            self.names.push(sym);
+            Term::var(id)
+        }
+    }
+}
+
+/// Maximum bracket/operator nesting depth. Recursive descent uses the call
+/// stack; beyond this we report a clean error instead of overflowing.
+const MAX_DEPTH: usize = 128;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    depth: usize,
+}
+
+/// The outcome of parsing a primary item: either definitely a goal, or a
+/// bare term that may become the left side of a builtin.
+enum Primary {
+    Goal(Goal),
+    /// A term; `goal_form` is `Some(goal)` if the term could also stand
+    /// alone as a goal (a bare identifier is a 0-ary atom).
+    Term(Term, Option<Goal>),
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser {
+            tokens,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(ParseError::new(
+                ParseErrorKind::TooDeep { limit: MAX_DEPTH },
+                self.span(),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<Token, ParseError> {
+        if self.peek() == &tok {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::new(
+            ParseErrorKind::Expected {
+                expected: expected.to_owned(),
+                found: self.peek().to_string(),
+            },
+            self.span(),
+        )
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
+        match self.peek() {
+            Tok::Ident(_) => {
+                let span = self.span();
+                let Tok::Ident(s) = self.bump().tok else {
+                    unreachable!()
+                };
+                Ok((s, span))
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn check_not_reserved(&self, name: &str, span: Span) -> Result<(), ParseError> {
+        if RESERVED.contains(&name) {
+            Err(ParseError::new(
+                ParseErrorKind::Expected {
+                    expected: "a predicate or constant name".to_owned(),
+                    found: format!("reserved word `{name}`"),
+                },
+                span,
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Skip to just past the next `.` (statement recovery).
+    fn sync(&mut self) {
+        loop {
+            match self.peek() {
+                Tok::Dot => {
+                    self.bump();
+                    return;
+                }
+                Tok::Eof => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn program(&mut self) -> Result<ParsedProgram, ParseErrors> {
+        let mut errors = Vec::new();
+        let mut builder = Program::builder();
+        let mut init: Vec<Atom> = Vec::new();
+        let mut goals: Vec<ParsedGoal> = Vec::new();
+        let mut init_spans: Vec<Span> = Vec::new();
+        let mut goal_spans: Vec<Span> = Vec::new();
+
+        while self.peek() != &Tok::Eof {
+            match self.statement() {
+                Ok(Stmt::Base(name, arity)) => {
+                    builder = builder.base_pred(&name, arity);
+                }
+                Ok(Stmt::Init(atom, span)) => {
+                    init.push(atom);
+                    init_spans.push(span);
+                }
+                Ok(Stmt::Rule(rule)) => {
+                    builder = builder.rule(rule);
+                }
+                Ok(Stmt::Goal(g)) => {
+                    goal_spans.push(g.span);
+                    goals.push(g);
+                }
+                Err(e) => {
+                    errors.push(e);
+                    self.sync();
+                }
+            }
+        }
+
+        // Build & validate the program.
+        let program = match builder.build() {
+            Ok(p) => p,
+            Err(e) => {
+                errors.push(ParseError::new(
+                    ParseErrorKind::Invalid(e.to_string()),
+                    Span::zero(),
+                ));
+                return Err(ParseErrors { errors });
+            }
+        };
+
+        // Validate init atoms: ground, base predicate.
+        for (atom, span) in init.iter().zip(&init_spans) {
+            if !program.is_base(atom.pred) {
+                errors.push(ParseError::new(
+                    ParseErrorKind::Invalid(format!(
+                        "init tuple for `{}` which is not a base relation",
+                        atom.pred
+                    )),
+                    *span,
+                ));
+            } else if !atom.is_ground() {
+                errors.push(ParseError::new(
+                    ParseErrorKind::Invalid(format!("init tuple `{atom}` is not ground")),
+                    *span,
+                ));
+            }
+        }
+
+        // Validate goals.
+        for (g, span) in goals.iter().zip(&goal_spans) {
+            if let Err(e) = td_core::validate::validate_goal(&program, &g.goal) {
+                errors.push(ParseError::new(
+                    ParseErrorKind::Invalid(e.to_string()),
+                    *span,
+                ));
+            }
+        }
+
+        if errors.is_empty() {
+            Ok(ParsedProgram {
+                program,
+                init,
+                goals,
+            })
+        } else {
+            Err(ParseErrors { errors })
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s == "base" && matches!(self.peek2(), Tok::Ident(_)) => {
+                self.bump();
+                let (name, span) = self.ident("a relation name")?;
+                self.check_not_reserved(&name, span)?;
+                self.expect(Tok::Slash, "`/` and an arity")?;
+                let arity = match self.peek() {
+                    Tok::Int(n) if *n >= 0 => {
+                        let n = *n;
+                        self.bump();
+                        u32::try_from(n).map_err(|_| self.unexpected("a small arity"))?
+                    }
+                    _ => return Err(self.unexpected("an arity")),
+                };
+                self.expect(Tok::Dot, "`.`")?;
+                Ok(Stmt::Base(name, arity))
+            }
+            Tok::Ident(s) if s == "init" && matches!(self.peek2(), Tok::Ident(_)) => {
+                self.bump();
+                let span = self.span();
+                let mut scope = VarScope::default();
+                let atom = self.atom(&mut scope)?;
+                self.expect(Tok::Dot, "`.`")?;
+                Ok(Stmt::Init(atom, span))
+            }
+            Tok::Query => {
+                self.bump();
+                let span = self.span();
+                let mut scope = VarScope::default();
+                let goal = self.goal(&mut scope)?;
+                self.expect(Tok::Dot, "`.`")?;
+                Ok(Stmt::Goal(ParsedGoal {
+                    goal,
+                    var_names: scope.names,
+                    span,
+                }))
+            }
+            _ => {
+                // Rule or derived fact.
+                let mut scope = VarScope::default();
+                let head = self.atom(&mut scope)?;
+                let body = if self.peek() == &Tok::Arrow {
+                    self.bump();
+                    self.goal(&mut scope)?
+                } else {
+                    Goal::True
+                };
+                self.expect(Tok::Dot, "`.`")?;
+                Ok(Stmt::Rule(Rule::with_var_names(head, body, scope.names)))
+            }
+        }
+    }
+
+    fn atom(&mut self, scope: &mut VarScope) -> Result<Atom, ParseError> {
+        let (name, span) = self.ident("a predicate name")?;
+        self.check_not_reserved(&name, span)?;
+        let mut args = Vec::new();
+        if self.peek() == &Tok::LParen {
+            self.bump();
+            loop {
+                args.push(self.term(scope)?);
+                match self.peek() {
+                    Tok::Comma => {
+                        self.bump();
+                    }
+                    Tok::RParen => {
+                        self.bump();
+                        break;
+                    }
+                    _ => return Err(self.unexpected("`,` or `)`")),
+                }
+            }
+        }
+        Ok(Atom::new(&name, args))
+    }
+
+    fn term(&mut self, scope: &mut VarScope) -> Result<Term, ParseError> {
+        match self.peek().clone() {
+            Tok::Var(name) => {
+                self.bump();
+                Ok(scope.lookup(&name))
+            }
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Term::int(n))
+            }
+            Tok::Ident(name) => {
+                let span = self.span();
+                self.check_not_reserved(&name, span)?;
+                self.bump();
+                Ok(Term::sym(&name))
+            }
+            _ => Err(self.unexpected("a term")),
+        }
+    }
+
+    fn goal(&mut self, scope: &mut VarScope) -> Result<Goal, ParseError> {
+        // par := seq ('|' seq)*
+        self.enter()?;
+        let result = (|| {
+            let mut branches = vec![self.seq(scope)?];
+            while self.peek() == &Tok::Pipe {
+                self.bump();
+                branches.push(self.seq(scope)?);
+            }
+            Ok(Goal::par(branches))
+        })();
+        self.leave();
+        result
+    }
+
+    fn seq(&mut self, scope: &mut VarScope) -> Result<Goal, ParseError> {
+        let mut steps = vec![self.unary(scope)?];
+        while self.peek() == &Tok::Star {
+            self.bump();
+            steps.push(self.unary(scope)?);
+        }
+        Ok(Goal::seq(steps))
+    }
+
+    fn unary(&mut self, scope: &mut VarScope) -> Result<Goal, ParseError> {
+        let primary = self.primary(scope)?;
+        // A term (or term-like atom) may continue as a builtin.
+        match primary {
+            Primary::Goal(g) => Ok(g),
+            Primary::Term(t, goal_form) => {
+                match self.peek() {
+                    Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge => {
+                        let op = match self.bump().tok {
+                            Tok::Eq => Builtin::Eq,
+                            Tok::Ne => Builtin::Ne,
+                            Tok::Lt => Builtin::Lt,
+                            Tok::Le => Builtin::Le,
+                            Tok::Gt => Builtin::Gt,
+                            Tok::Ge => Builtin::Ge,
+                            _ => unreachable!(),
+                        };
+                        let rhs = self.term(scope)?;
+                        Ok(Goal::Builtin(op, vec![t, rhs]))
+                    }
+                    Tok::Ident(s) if s == "is" => {
+                        self.bump();
+                        let a = self.term(scope)?;
+                        let op = match self.peek() {
+                            Tok::Plus => Builtin::Add,
+                            Tok::Minus => Builtin::Sub,
+                            Tok::Star => Builtin::Mul,
+                            _ => {
+                                return Err(ParseError::new(
+                                    ParseErrorKind::MalformedArith,
+                                    self.span(),
+                                ))
+                            }
+                        };
+                        self.bump();
+                        let b = self.term(scope)?;
+                        Ok(Goal::Builtin(op, vec![a, b, t]))
+                    }
+                    _ => goal_form.ok_or_else(|| self.unexpected("a goal (found a bare term)")),
+                }
+            }
+        }
+    }
+
+    fn primary(&mut self, scope: &mut VarScope) -> Result<Primary, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if (s == "ins" || s == "del") && self.peek2() == &Tok::Dot => {
+                self.bump(); // ins/del
+                self.bump(); // .
+                let atom = self.atom(scope)?;
+                Ok(Primary::Goal(if s == "ins" {
+                    Goal::Ins(atom)
+                } else {
+                    Goal::Del(atom)
+                }))
+            }
+            Tok::Ident(s) if s == "iso" && self.peek2() == &Tok::LBrace => {
+                self.bump();
+                self.bump();
+                let inner = self.goal_or_choice(scope)?;
+                self.expect(Tok::RBrace, "`}`")?;
+                Ok(Primary::Goal(Goal::iso(inner)))
+            }
+            Tok::Ident(s) if s == "not" => {
+                self.bump();
+                let atom = self.atom(scope)?;
+                Ok(Primary::Goal(Goal::NotAtom(atom)))
+            }
+            Tok::Ident(s) if s == "fail" => {
+                self.bump();
+                Ok(Primary::Goal(Goal::Fail))
+            }
+            Tok::Ident(_) => {
+                let atom = self.atom(scope)?;
+                if atom.args.is_empty() {
+                    // Bare identifier: 0-ary atom, or a constant term if an
+                    // operator follows.
+                    let name = atom.pred.name;
+                    Ok(Primary::Term(
+                        Term::Val(td_core::Value::Sym(name)),
+                        Some(Goal::Atom(atom)),
+                    ))
+                } else {
+                    Ok(Primary::Goal(Goal::Atom(atom)))
+                }
+            }
+            Tok::Var(name) => {
+                self.bump();
+                Ok(Primary::Term(scope.lookup(&name), None))
+            }
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Primary::Term(Term::int(n), None))
+            }
+            Tok::LParen => {
+                self.bump();
+                if self.peek() == &Tok::RParen {
+                    self.bump();
+                    return Ok(Primary::Goal(Goal::True));
+                }
+                let inner = self.goal(scope)?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(Primary::Goal(inner))
+            }
+            Tok::LBrace => {
+                self.bump();
+                let inner = self.goal_or_choice(scope)?;
+                self.expect(Tok::RBrace, "`}`")?;
+                Ok(Primary::Goal(inner))
+            }
+            _ => Err(self.unexpected("a goal")),
+        }
+    }
+
+    /// Inside braces: `goal (or goal)*`.
+    fn goal_or_choice(&mut self, scope: &mut VarScope) -> Result<Goal, ParseError> {
+        let mut branches = vec![self.goal(scope)?];
+        while matches!(self.peek(), Tok::Ident(s) if s == "or") {
+            self.bump();
+            branches.push(self.goal(scope)?);
+        }
+        Ok(Goal::choice(branches))
+    }
+}
+
+enum Stmt {
+    Base(String, u32),
+    Init(Atom, Span),
+    Rule(Rule),
+    Goal(ParsedGoal),
+}

@@ -1,0 +1,217 @@
+//! Shared resources: agents assigned to tasks (Example 3.3).
+//!
+//! "Typically, each task in a workflow is performed by an *agent* (e.g., a
+//! machine or a person), only a fixed number of agents is available, and
+//! only qualified agents can be assigned to each task. … the agents are
+//! resources that must be shared by the various workflow instances" (§3,
+//! citing \[42\]). The paper's Example 3.3 refines `task_i(W)` to acquire a
+//! qualified agent from the database, perform the work, and release it —
+//! which both limits concurrency and leaves an audit trail.
+//!
+//! This module generates that refinement:
+//!
+//! ```text
+//! task_i(W) <- iso { avail(A) * qual(A, task_i) * del.avail(A) }
+//!              * ins.did(W, task_i, A) * ins.avail(A).
+//! ```
+//!
+//! The acquisition is isolated so that checking availability and claiming
+//! the agent is atomic. With `atomic_claim = false` the `iso` is dropped —
+//! the racy variant used by experiment E12 to demonstrate why isolation
+//! matters (two instances can then claim the same agent concurrently;
+//! [`crate::metrics::double_claims`] detects it from the committed delta).
+
+use crate::scenario::Scenario;
+use crate::spec::WorkflowSpec;
+use std::fmt::Write as _;
+
+/// An agent and the tasks it is qualified to perform.
+#[derive(Clone, Debug)]
+pub struct Agent {
+    pub name: String,
+    pub qualified_for: Vec<String>,
+}
+
+/// Configuration for an agent-constrained workflow scenario.
+#[derive(Clone, Debug)]
+pub struct AgentScenarioConfig {
+    /// The workflow shape (tasks are refined to acquire agents).
+    pub spec: WorkflowSpec,
+    /// Work items to process (one concurrent instance each).
+    pub work_items: Vec<String>,
+    /// The agent pool.
+    pub agents: Vec<Agent>,
+    /// Wrap agent acquisition in `iso { … }` (Example 3.3 done right).
+    pub atomic_claim: bool,
+}
+
+impl AgentScenarioConfig {
+    /// A pool of `n` interchangeable agents qualified for every task of the
+    /// spec.
+    pub fn universal_pool(spec: WorkflowSpec, work_items: Vec<String>, n: usize) -> Self {
+        let tasks: Vec<String> = spec.body.tasks().into_iter().collect();
+        let agents = (1..=n)
+            .map(|i| Agent {
+                name: format!("agent{i}"),
+                qualified_for: tasks.clone(),
+            })
+            .collect();
+        AgentScenarioConfig {
+            spec,
+            work_items,
+            agents,
+            atomic_claim: true,
+        }
+    }
+
+    /// Compile to a runnable scenario.
+    pub fn compile(&self) -> Scenario {
+        let mut src = String::new();
+        let _ = writeln!(src, "% Example 3.3: shared agents");
+        let _ = writeln!(src, "base item/1.");
+        let _ = writeln!(src, "base avail/1.");
+        let _ = writeln!(src, "base qual/2.");
+        let _ = writeln!(src, "base did/3.");
+        for w in &self.work_items {
+            let _ = writeln!(src, "init item({w}).");
+        }
+        for a in &self.agents {
+            let _ = writeln!(src, "init avail({}).", a.name);
+            for t in &a.qualified_for {
+                let _ = writeln!(src, "init qual({}, {t}).", a.name);
+            }
+        }
+        // Entry + sub-workflow rules come from the spec; only the task
+        // rules change.
+        let mut subs = Vec::new();
+        let body = self.spec.body.render(&mut subs);
+        let _ = writeln!(src, "{}(W) <- {body}.", self.spec.name);
+        for (name, rendered) in subs {
+            let _ = writeln!(src, "{name}(W) <- {rendered}.");
+        }
+        for t in self.spec.body.tasks() {
+            let claim = format!("avail(A) * qual(A, {t}) * del.avail(A)");
+            let claim = if self.atomic_claim {
+                format!("iso {{ {claim} }}")
+            } else {
+                claim
+            };
+            let _ = writeln!(
+                src,
+                "{t}(W) <- item(W) * {claim} * ins.did(W, {t}, A) * ins.avail(A)."
+            );
+        }
+        let parts: Vec<String> = self
+            .work_items
+            .iter()
+            .map(|w| format!("{}({w})", self.spec.name))
+            .collect();
+        let _ = writeln!(src, "?- {}.", parts.join(" | "));
+        Scenario::from_source(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Node;
+    use td_core::Pred;
+    use td_engine::EngineConfig;
+
+    fn linear_spec(tasks: usize) -> WorkflowSpec {
+        WorkflowSpec::new(
+            "wf",
+            Node::Seq((1..=tasks).map(|i| Node::task(&format!("t{i}"))).collect()),
+        )
+    }
+
+    #[test]
+    fn single_agent_serializes_but_completes() {
+        let cfg = AgentScenarioConfig::universal_pool(
+            linear_spec(2),
+            vec!["w1".into(), "w2".into()],
+            1,
+        );
+        let scenario = cfg.compile();
+        let out = scenario.run().unwrap();
+        let sol = out.solution().expect("completes with one agent");
+        assert_eq!(
+            sol.db.relation(Pred::new("did", 3)).unwrap().len(),
+            4,
+            "2 items × 2 tasks recorded"
+        );
+        // Agent must be available again at the end.
+        assert_eq!(sol.db.relation(Pred::new("avail", 1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unqualified_agents_block_the_task() {
+        let spec = linear_spec(1);
+        let cfg = AgentScenarioConfig {
+            spec,
+            work_items: vec!["w1".into()],
+            agents: vec![Agent {
+                name: "a1".into(),
+                qualified_for: vec!["other_task".into()],
+            }],
+            atomic_claim: true,
+        };
+        assert!(!cfg.compile().run().unwrap().is_success());
+    }
+
+    #[test]
+    fn audit_trail_names_the_agent() {
+        let cfg =
+            AgentScenarioConfig::universal_pool(linear_spec(1), vec!["w1".into()], 1);
+        let out = cfg.compile().run().unwrap();
+        let sol = out.solution().unwrap();
+        assert!(sol
+            .db
+            .contains(Pred::new("did", 3), &td_db::tuple!("w1", "t1", "agent1")));
+    }
+
+    #[test]
+    fn racy_variant_compiles_and_runs() {
+        let mut cfg = AgentScenarioConfig::universal_pool(
+            linear_spec(1),
+            vec!["w1".into(), "w2".into()],
+            2,
+        );
+        cfg.atomic_claim = false;
+        let scenario = cfg.compile();
+        assert!(!scenario.source.contains("iso {"));
+        assert!(scenario.run().unwrap().is_success());
+    }
+
+    #[test]
+    fn more_agents_than_items_still_works() {
+        let cfg =
+            AgentScenarioConfig::universal_pool(linear_spec(2), vec!["w1".into()], 5);
+        let out = cfg.compile().run().unwrap();
+        assert!(out.is_success());
+        assert_eq!(
+            out.solution()
+                .unwrap()
+                .db
+                .relation(Pred::new("avail", 1))
+                .unwrap()
+                .len(),
+            5
+        );
+    }
+
+    #[test]
+    fn round_robin_with_ample_agents() {
+        // A fair scheduler with enough agents processes everything.
+        let cfg = AgentScenarioConfig::universal_pool(
+            linear_spec(1),
+            vec!["w1".into(), "w2".into()],
+            2,
+        );
+        let scenario = cfg.compile();
+        let out = scenario
+            .run_with(EngineConfig::default().with_strategy(td_engine::Strategy::Exhaustive))
+            .unwrap();
+        assert!(out.is_success());
+    }
+}

@@ -1,0 +1,140 @@
+//! Graphviz (DOT) export of workflow specifications.
+//!
+//! Workflow systems are conventionally presented as graphs (the paper's
+//! related work compiles CTR constraints "into workflow graphs specified in
+//! TD" \[34\]); this module renders a [`WorkflowSpec`]'s control flow as a
+//! DOT digraph for inspection — serial edges in order, concurrent regions
+//! as fork/join pairs, sub-workflows as labeled clusters.
+
+use crate::spec::{Node, WorkflowSpec};
+use std::fmt::Write as _;
+
+/// Render the spec as a DOT digraph.
+pub fn to_dot(spec: &WorkflowSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", spec.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    let _ = writeln!(out, "  start [shape=circle, label=\"\"];");
+    let _ = writeln!(out, "  end [shape=doublecircle, label=\"\"];");
+    let mut r = Renderer {
+        out: &mut out,
+        next_id: 0,
+    };
+    let (entry, exit) = r.node(&spec.body);
+    let _ = writeln!(out, "  start -> {entry};");
+    let _ = writeln!(out, "  {exit} -> end;");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+struct Renderer<'a> {
+    out: &'a mut String,
+    next_id: u32,
+}
+
+impl Renderer<'_> {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.next_id += 1;
+        format!("{prefix}{}", self.next_id)
+    }
+
+    /// Emit a node/subgraph; returns (entry, exit) DOT node names.
+    fn node(&mut self, n: &Node) -> (String, String) {
+        match n {
+            Node::Task(t) => {
+                let id = self.fresh("t");
+                let _ = writeln!(self.out, "  {id} [label=\"{t}\"];");
+                (id.clone(), id)
+            }
+            Node::Sub(name, body) => {
+                let cluster = self.fresh("cluster_");
+                let _ = writeln!(self.out, "  subgraph {cluster} {{");
+                let _ = writeln!(self.out, "    label=\"{name}\";");
+                let (entry, exit) = self.node(body);
+                let _ = writeln!(self.out, "  }}");
+                (entry, exit)
+            }
+            Node::Seq(ns) => {
+                let mut entry = None;
+                let mut prev_exit: Option<String> = None;
+                for sub in ns {
+                    let (e, x) = self.node(sub);
+                    if entry.is_none() {
+                        entry = Some(e.clone());
+                    }
+                    if let Some(p) = prev_exit {
+                        let _ = writeln!(self.out, "  {p} -> {e};");
+                    }
+                    prev_exit = Some(x);
+                }
+                let entry = entry.unwrap_or_else(|| self.empty());
+                let exit = prev_exit.unwrap_or_else(|| entry.clone());
+                (entry, exit)
+            }
+            Node::Par(ns) => {
+                let fork = self.fresh("fork");
+                let join = self.fresh("join");
+                let _ = writeln!(
+                    self.out,
+                    "  {fork} [shape=diamond, label=\"|\"]; {join} [shape=diamond, label=\"|\"];"
+                );
+                for sub in ns {
+                    let (e, x) = self.node(sub);
+                    let _ = writeln!(self.out, "  {fork} -> {e};");
+                    let _ = writeln!(self.out, "  {x} -> {join};");
+                }
+                (fork, join)
+            }
+        }
+    }
+
+    fn empty(&mut self) -> String {
+        let id = self.fresh("nop");
+        let _ = writeln!(self.out, "  {id} [shape=point];");
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3_1_renders_fork_join() {
+        let dot = to_dot(&WorkflowSpec::example_3_1());
+        assert!(dot.starts_with("digraph workflow {"));
+        assert!(dot.contains("label=\"task1\""));
+        assert!(dot.contains("label=\"subflow\""));
+        assert!(dot.contains("shape=diamond"), "fork/join present");
+        assert!(dot.contains("start ->"));
+        assert!(dot.contains("-> end;"));
+        // tasks 3 and 4 are serial inside the subflow
+        assert!(dot.contains("label=\"task3\""));
+        assert!(dot.contains("label=\"task4\""));
+    }
+
+    #[test]
+    fn single_task_is_start_to_end() {
+        let spec = WorkflowSpec::new("w", Node::task("only"));
+        let dot = to_dot(&spec);
+        assert!(dot.contains("start -> t1;"));
+        assert!(dot.contains("t1 -> end;"));
+    }
+
+    #[test]
+    fn nested_par_in_seq_wires_through_forks() {
+        let spec = WorkflowSpec::new(
+            "w",
+            Node::Seq(vec![
+                Node::task("a"),
+                Node::Par(vec![Node::task("b"), Node::task("c")]),
+                Node::task("d"),
+            ]),
+        );
+        let dot = to_dot(&spec);
+        // a feeds the fork, the join feeds d
+        assert!(dot.contains("t1 -> fork"), "{dot}");
+        assert!(dot.contains("join3 -> t"), "{dot}");
+    }
+}

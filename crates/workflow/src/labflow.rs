@@ -1,0 +1,234 @@
+//! LabFlow: the genome-laboratory workload (the paper's motivating
+//! application, §1 and §3; LabFlow-1 benchmark \[26, 24, 25\]).
+//!
+//! The Whitehead/MIT genome center organizes "tens of millions of
+//! experiments … into a network of factory-like production lines" where
+//! "experimental results are accumulated in the database, and queried by
+//! analysis programs, but never deleted or altered" (\[25, 73\], quoted in
+//! §6). Two generators model that workload:
+//!
+//! * [`LabFlowConfig`] — a factory pipeline: `samples` DNA samples flow
+//!   through `stages` experiment stations; each stage *appends* a result
+//!   tuple (insert-only history) and marks progress. Used by the
+//!   throughput benchmark (E10).
+//! * [`RepeatProtocol`] — the iterated protocol of \[26\]: "an experimental
+//!   protocol may be repeated until a conclusive result is achieved" —
+//!   a tail-recursive loop that retries an experiment until its quality
+//!   passes a threshold. This is exactly the *sequential tail recursion*
+//!   that fully bounded TD permits (§5).
+
+use crate::scenario::Scenario;
+use std::fmt::Write as _;
+
+/// A factory-line pipeline of experiment stages over many samples.
+#[derive(Clone, Copy, Debug)]
+pub struct LabFlowConfig {
+    /// Number of DNA samples (work items).
+    pub samples: usize,
+    /// Number of pipeline stages each sample passes through.
+    pub stages: usize,
+}
+
+impl LabFlowConfig {
+    pub fn new(samples: usize, stages: usize) -> LabFlowConfig {
+        LabFlowConfig { samples, stages }
+    }
+
+    /// Compile to a runnable scenario. Stage `i` moves a sample from
+    /// station `i-1` to station `i` and appends `result(W, stage_i)`;
+    /// results are never deleted (insert-only history). All samples run
+    /// concurrently.
+    pub fn compile(&self) -> Scenario {
+        let mut src = String::new();
+        let _ = writeln!(src, "% LabFlow-style genome pipeline: {} samples x {} stages",
+            self.samples, self.stages);
+        let _ = writeln!(src, "base at/2.");
+        let _ = writeln!(src, "base result/2.");
+        for i in 1..=self.samples {
+            let _ = writeln!(src, "init at(s{i}, 0).");
+        }
+        for stage in 1..=self.stages {
+            let prev = stage - 1;
+            let _ = writeln!(
+                src,
+                "stage{stage}(W) <- at(W, {prev}) * del.at(W, {prev}) \
+                 * ins.result(W, {stage}) * ins.at(W, {stage})."
+            );
+        }
+        let chain: Vec<String> = (1..=self.stages).map(|i| format!("stage{i}(W)")).collect();
+        if self.stages == 0 {
+            let _ = writeln!(src, "process(W) <- at(W, 0).");
+        } else {
+            let _ = writeln!(src, "process(W) <- {}.", chain.join(" * "));
+        }
+        let instances: Vec<String> = (1..=self.samples)
+            .map(|i| format!("process(s{i})"))
+            .collect();
+        if self.samples == 0 {
+            let _ = writeln!(src, "?- ().");
+        } else {
+            let _ = writeln!(src, "?- {}.", instances.join(" | "));
+        }
+        Scenario::from_source(src)
+    }
+}
+
+/// The iterated protocol of \[26\]: repeat an experiment until conclusive.
+#[derive(Clone, Copy, Debug)]
+pub struct RepeatProtocol {
+    /// Number of samples.
+    pub samples: usize,
+    /// Attempts needed before a sample's result is conclusive.
+    pub attempts_needed: i64,
+}
+
+impl RepeatProtocol {
+    pub fn new(samples: usize, attempts_needed: i64) -> RepeatProtocol {
+        RepeatProtocol {
+            samples,
+            attempts_needed,
+        }
+    }
+
+    /// Compile: each sample starts at quality 0; `protocol(W)` re-runs the
+    /// experiment (appending to the insert-only `result` history) until
+    /// quality reaches the threshold, then declares the sample mapped.
+    pub fn compile(&self) -> Scenario {
+        let mut src = String::new();
+        let _ = writeln!(src, "% iterated protocol ([26]): repeat until conclusive");
+        let _ = writeln!(src, "base quality/2.");
+        let _ = writeln!(src, "base result/2.");
+        let _ = writeln!(src, "base mapped/1.");
+        for i in 1..=self.samples {
+            let _ = writeln!(src, "init quality(s{i}, 0).");
+        }
+        let k = self.attempts_needed;
+        let _ = writeln!(
+            src,
+            "protocol(W) <- quality(W, Q) * Q >= {k} * ins.mapped(W)."
+        );
+        let _ = writeln!(
+            src,
+            "protocol(W) <- quality(W, Q) * Q < {k} * del.quality(W, Q) \
+             * Q2 is Q + 1 * ins.quality(W, Q2) * ins.result(W, Q2) * protocol(W)."
+        );
+        let instances: Vec<String> = (1..=self.samples)
+            .map(|i| format!("protocol(s{i})"))
+            .collect();
+        if self.samples == 0 {
+            let _ = writeln!(src, "?- ().");
+        } else {
+            let _ = writeln!(src, "?- {}.", instances.join(" | "));
+        }
+        Scenario::from_source(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::{Fragment, FragmentReport, Pred};
+    use td_db::tuple;
+
+    #[test]
+    fn pipeline_moves_all_samples_to_the_end() {
+        let scenario = LabFlowConfig::new(3, 4).compile();
+        let out = scenario.run().unwrap();
+        let sol = out.solution().expect("pipeline completes");
+        let at = Pred::new("at", 2);
+        for i in 1..=3 {
+            assert!(sol.db.contains(at, &tuple!(format!("s{i}").as_str(), 4)));
+        }
+        // Insert-only history: one result per (sample, stage).
+        assert_eq!(sol.db.relation(Pred::new("result", 2)).unwrap().len(), 12);
+    }
+
+    #[test]
+    fn history_is_append_only() {
+        let scenario = LabFlowConfig::new(2, 3).compile();
+        let out = scenario.run().unwrap();
+        let delta = out.solution().unwrap().delta.clone();
+        assert!(
+            delta
+                .ops()
+                .iter()
+                .all(|op| !op.to_string().starts_with("del.result")),
+            "results are never deleted"
+        );
+    }
+
+    #[test]
+    fn repeat_protocol_retries_until_threshold() {
+        let scenario = RepeatProtocol::new(2, 3).compile();
+        let out = scenario.run().unwrap();
+        let sol = out.solution().expect("protocol concludes");
+        assert_eq!(sol.db.relation(Pred::new("mapped", 1)).unwrap().len(), 2);
+        // 3 attempts per sample recorded in the history.
+        assert_eq!(sol.db.relation(Pred::new("result", 2)).unwrap().len(), 6);
+        assert!(sol.db.contains(Pred::new("quality", 2), &tuple!("s1", 3)));
+    }
+
+    #[test]
+    fn repeat_protocol_is_fully_bounded_td() {
+        // Tail recursion + static concurrency = the §5 fragment.
+        let scenario = RepeatProtocol::new(2, 2).compile();
+        let rep = FragmentReport::classify(&scenario.program, &scenario.goal);
+        assert_eq!(rep.fragment, Fragment::FullyBounded);
+    }
+
+    #[test]
+    fn pipeline_is_nonrecursive_td() {
+        let scenario = LabFlowConfig::new(2, 2).compile();
+        let rep = FragmentReport::classify(&scenario.program, &scenario.goal);
+        assert_eq!(rep.fragment, Fragment::Nonrecursive);
+    }
+
+    #[test]
+    fn zero_threshold_maps_immediately() {
+        let scenario = RepeatProtocol::new(1, 0).compile();
+        let out = scenario.run().unwrap();
+        let sol = out.solution().unwrap();
+        assert!(sol.db.contains(Pred::new("mapped", 1), &tuple!("s1")));
+        assert!(sol.db.relation(Pred::new("result", 2)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_configs_succeed() {
+        assert!(LabFlowConfig::new(0, 3).compile().run().unwrap().is_success());
+        assert!(LabFlowConfig::new(3, 0).compile().run().unwrap().is_success());
+        assert!(RepeatProtocol::new(0, 2).compile().run().unwrap().is_success());
+    }
+}
+
+#[cfg(test)]
+mod scale_tests {
+    use super::*;
+    use td_core::Pred;
+    use td_engine::{EngineConfig, Strategy};
+
+    #[test]
+    fn fifty_samples_under_round_robin() {
+        // Scale check: 50 concurrent instances × 4 stages complete under the
+        // fair scheduler in bounded work (the workload is confluent).
+        let scenario = LabFlowConfig::new(50, 4).compile();
+        let out = scenario
+            .run_with(
+                EngineConfig::default()
+                    .with_strategy(Strategy::RoundRobin)
+                    .with_max_steps(2_000_000),
+            )
+            .unwrap();
+        let sol = out.solution().expect("all 50 complete");
+        assert_eq!(sol.db.relation(Pred::new("result", 2)).unwrap().len(), 200);
+        assert!(sol.stats.peak_processes >= 50);
+    }
+
+    #[test]
+    fn fifty_samples_under_exhaustive_with_memo() {
+        let scenario = LabFlowConfig::new(50, 2).compile();
+        let out = scenario
+            .run_with(EngineConfig::default().with_max_steps(2_000_000))
+            .unwrap();
+        assert!(out.is_success());
+    }
+}

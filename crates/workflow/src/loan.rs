@@ -1,0 +1,241 @@
+//! A business-process workflow: loan applications.
+//!
+//! The paper's §3 motivates production workflow with "insurance claims,
+//! loan applications, and laboratory samples" as typical work items. This
+//! module is the loan-application instance: a pipeline with data-dependent
+//! branching (`or` + comparisons), a shared pool of loan officers, and a
+//! funds ledger updated transactionally — so approval of more loans than
+//! the bank can fund is not just rejected but *unexecutable*.
+//!
+//! ```text
+//! process(W) <- intake(W) * assess(W) * settle(W).
+//! assess(W)  <- application(W, Amt) * Amt <= 500 * ins.assessed(W, small).
+//! assess(W)  <- application(W, Amt) * Amt > 500 * officer_review(W).
+//! settle(W)  <- { approve(W) or reject(W) }.
+//! approve(W) <- ... funds check + debit ... (isolated)
+//! ```
+
+use crate::scenario::Scenario;
+use std::fmt::Write as _;
+
+/// One loan application: a work item and the requested amount.
+#[derive(Clone, Debug)]
+pub struct Application {
+    pub id: String,
+    pub amount: i64,
+}
+
+/// Configuration for the loan workflow scenario.
+#[derive(Clone, Debug)]
+pub struct LoanConfig {
+    pub applications: Vec<Application>,
+    /// Total funds available for approvals.
+    pub funds: i64,
+    /// Amounts above this threshold need an officer review.
+    pub review_threshold: i64,
+    /// Number of loan officers (shared agents for reviews).
+    pub officers: usize,
+}
+
+impl LoanConfig {
+    /// `n` applications with the given amounts, a shared officer pool.
+    pub fn new(amounts: &[i64], funds: i64) -> LoanConfig {
+        LoanConfig {
+            applications: amounts
+                .iter()
+                .enumerate()
+                .map(|(i, a)| Application {
+                    id: format!("app{}", i + 1),
+                    amount: *a,
+                })
+                .collect(),
+            funds,
+            review_threshold: 500,
+            officers: 1,
+        }
+    }
+
+    /// Compile to a runnable scenario: all applications processed
+    /// concurrently; the goal requires every application settled (approved
+    /// or rejected) — and approvals are only executable while funds last.
+    pub fn compile(&self) -> Scenario {
+        let mut src = String::new();
+        let _ = writeln!(src, "% loan-application workflow (production workflow, §3)");
+        let _ = writeln!(src, "base application/2.");
+        let _ = writeln!(src, "base funds/1.");
+        let _ = writeln!(src, "base officer/1.");
+        let _ = writeln!(src, "base assessed/2.");
+        let _ = writeln!(src, "base approved/1.");
+        let _ = writeln!(src, "base rejected/1.");
+        for app in &self.applications {
+            let _ = writeln!(src, "init application({}, {}).", app.id, app.amount);
+        }
+        let _ = writeln!(src, "init funds({}).", self.funds);
+        for i in 1..=self.officers {
+            let _ = writeln!(src, "init officer(o{i}).");
+        }
+        let t = self.review_threshold;
+        let _ = writeln!(src, "process(W) <- assess(W) * settle(W).");
+        // Small loans: automatic assessment.
+        let _ = writeln!(
+            src,
+            "assess(W) <- application(W, Amt) * Amt <= {t} * ins.assessed(W, auto)."
+        );
+        // Large loans: a shared officer performs the review (isolated claim,
+        // like Example 3.3's agents).
+        let _ = writeln!(
+            src,
+            "assess(W) <- application(W, Amt) * Amt > {t} \
+             * iso {{ officer(O) * del.officer(O) }} \
+             * ins.assessed(W, O) * ins.officer(O)."
+        );
+        // Settlement: approve if funds remain (transactional debit under
+        // isolation), otherwise reject. The `or` makes the choice angelic:
+        // the engine approves when it can.
+        let _ = writeln!(
+            src,
+            "settle(W) <- {{ approve(W) or ins.rejected(W) }}."
+        );
+        let _ = writeln!(
+            src,
+            "approve(W) <- application(W, Amt) * iso {{ funds(F) * F >= Amt \
+             * del.funds(F) * G is F - Amt * ins.funds(G) }} * ins.approved(W)."
+        );
+        let parts: Vec<String> = self
+            .applications
+            .iter()
+            .map(|a| format!("process({})", a.id))
+            .collect();
+        if parts.is_empty() {
+            let _ = writeln!(src, "?- ().");
+        } else {
+            let _ = writeln!(src, "?- {}.", parts.join(" | "));
+        }
+        Scenario::from_source(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::Pred;
+    use td_db::{tuple, Tuple};
+    use td_engine::Outcome;
+
+    fn approved(out: &Outcome) -> Vec<Tuple> {
+        let mut v = out
+            .solution()
+            .unwrap()
+            .db
+            .relation(Pred::new("approved", 1))
+            .unwrap()
+            .to_vec();
+        v.sort();
+        v
+    }
+
+    fn rejected_count(out: &Outcome) -> usize {
+        out.solution()
+            .unwrap()
+            .db
+            .relation(Pred::new("rejected", 1))
+            .unwrap()
+            .len()
+    }
+
+    #[test]
+    fn ample_funds_approve_everything() {
+        let out = LoanConfig::new(&[100, 200, 300], 10_000).compile().run().unwrap();
+        assert_eq!(approved(&out).len(), 3);
+        assert_eq!(rejected_count(&out), 0);
+    }
+
+    #[test]
+    fn funds_limit_forces_rejections() {
+        // 3 × 400 requested, 800 available: at most 2 approvals.
+        let out = LoanConfig::new(&[400, 400, 400], 800).compile().run().unwrap();
+        assert_eq!(approved(&out).len() + rejected_count(&out), 3);
+        assert!(approved(&out).len() <= 2);
+        // The DFS approves greedily, so it finds the 2-approval settlement.
+        assert_eq!(approved(&out).len(), 2);
+        // Ledger is consistent: remaining funds = 800 - approved total.
+        let funds = out
+            .solution()
+            .unwrap()
+            .db
+            .relation(Pred::new("funds", 1))
+            .unwrap()
+            .to_vec();
+        assert_eq!(funds, vec![tuple!(0)]);
+    }
+
+    #[test]
+    fn zero_funds_reject_all_but_still_settle() {
+        let out = LoanConfig::new(&[50, 60], 0).compile().run().unwrap();
+        assert_eq!(approved(&out).len(), 0);
+        assert_eq!(rejected_count(&out), 2);
+    }
+
+    #[test]
+    fn large_loans_consume_officer_reviews() {
+        let mut cfg = LoanConfig::new(&[1000, 2000], 10_000);
+        cfg.officers = 1;
+        let out = cfg.compile().run().unwrap();
+        let assessed = out
+            .solution()
+            .unwrap()
+            .db
+            .relation(Pred::new("assessed", 2))
+            .unwrap()
+            .to_vec();
+        assert_eq!(assessed.len(), 2);
+        for t in assessed {
+            assert_eq!(t.values()[1], td_core::Value::sym("o1"));
+        }
+        // Officer returned to the pool.
+        assert_eq!(
+            out.solution()
+                .unwrap()
+                .db
+                .relation(Pred::new("officer", 1))
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn small_loans_skip_review() {
+        let out = LoanConfig::new(&[100], 10_000).compile().run().unwrap();
+        assert!(out
+            .solution()
+            .unwrap()
+            .db
+            .contains(Pred::new("assessed", 2), &tuple!("app1", "auto")));
+    }
+
+    #[test]
+    fn ledger_never_goes_negative() {
+        // Even with adversarial amounts, every committed state respects the
+        // funds invariant because the debit is guarded and isolated.
+        for funds in [0i64, 100, 450, 900] {
+            let out = LoanConfig::new(&[300, 300, 300], funds).compile().run().unwrap();
+            let ledger = out
+                .solution()
+                .unwrap()
+                .db
+                .relation(Pred::new("funds", 1))
+                .unwrap()
+                .to_vec();
+            let remaining = ledger[0].values()[0].as_int().unwrap();
+            assert!(remaining >= 0, "funds={funds} left {remaining}");
+            let spent = approved(&out).len() as i64 * 300;
+            assert_eq!(remaining, funds - spent);
+        }
+    }
+
+    #[test]
+    fn empty_config_succeeds() {
+        assert!(LoanConfig::new(&[], 100).compile().run().unwrap().is_success());
+    }
+}

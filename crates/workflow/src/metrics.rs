@@ -1,0 +1,178 @@
+//! Workflow monitoring: metrics extracted from committed executions.
+//!
+//! The paper stresses "monitoring, tracking and querying the status of
+//! workflow activities" (§3, citing \[36, 42, 26\]). Because TD records
+//! everything in the database and every committed execution carries its
+//! update log, monitoring is a pure function of the [`Solution`]: these
+//! helpers compute task counts, per-item progress, and — for experiment E12
+//! — concurrency anomalies in the unisolated agent-claim protocol.
+
+use std::collections::{BTreeMap, HashSet};
+use td_core::{Pred, Value};
+use td_db::{Delta, DeltaOp};
+use td_engine::Solution;
+
+/// Summary of a committed workflow execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkflowMetrics {
+    /// Completion records in `done/2` (item, task).
+    pub tasks_completed: usize,
+    /// Completion records per work item.
+    pub per_item: BTreeMap<String, usize>,
+    /// Updates applied on the committed path.
+    pub updates: usize,
+    /// Elementary steps the search spent (including backtracked work).
+    pub search_steps: u64,
+    /// Backtracks the search performed.
+    pub backtracks: u64,
+}
+
+impl WorkflowMetrics {
+    /// Compute from a solution whose program uses the `done/2` convention
+    /// of [`crate::spec::WorkflowSpec`].
+    pub fn from_solution(sol: &Solution) -> WorkflowMetrics {
+        let done = Pred::new("done", 2);
+        let mut per_item: BTreeMap<String, usize> = BTreeMap::new();
+        let mut tasks_completed = 0;
+        if let Some(rel) = sol.db.relation(done) {
+            rel.for_each(|t| {
+                tasks_completed += 1;
+                if let Value::Sym(s) = t.values()[0] {
+                    *per_item.entry(s.as_str().to_owned()).or_default() += 1;
+                }
+            });
+        }
+        WorkflowMetrics {
+            tasks_completed,
+            per_item,
+            updates: sol.delta.len(),
+            search_steps: sol.stats.steps,
+            backtracks: sol.stats.backtracks,
+        }
+    }
+}
+
+/// Count double-claims of shared agents in a committed update log: a
+/// `del.avail(A)` (claim) while `A` is already claimed and not yet released
+/// by `ins.avail(A)`. With the isolated claim protocol of
+/// [`crate::agents`], this is always 0; without isolation, interleavings
+/// that assign one agent to two tasks at once become committable — the
+/// anomaly experiment E12 measures.
+pub fn double_claims(delta: &Delta) -> usize {
+    let avail = Pred::new("avail", 1);
+    let mut held: HashSet<Value> = HashSet::new();
+    let mut anomalies = 0;
+    for op in delta.ops() {
+        match op {
+            DeltaOp::Del(p, t) if *p == avail => {
+                let agent = t.values()[0];
+                if !held.insert(agent) {
+                    anomalies += 1;
+                }
+            }
+            DeltaOp::Ins(p, t) if *p == avail => {
+                held.remove(&t.values()[0]);
+            }
+            _ => {}
+        }
+    }
+    anomalies
+}
+
+/// Maximum number of agents simultaneously claimed over the committed log.
+pub fn peak_agents_in_use(delta: &Delta) -> usize {
+    let avail = Pred::new("avail", 1);
+    let mut held: HashSet<Value> = HashSet::new();
+    let mut peak = 0;
+    for op in delta.ops() {
+        match op {
+            DeltaOp::Del(p, t) if *p == avail => {
+                held.insert(t.values()[0]);
+                peak = peak.max(held.len());
+            }
+            DeltaOp::Ins(p, t) if *p == avail => {
+                held.remove(&t.values()[0]);
+            }
+            _ => {}
+        }
+    }
+    peak
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::AgentScenarioConfig;
+    use crate::spec::{Node, WorkflowSpec};
+    use td_db::tuple;
+
+    fn delta_of(ops: &[DeltaOp]) -> Delta {
+        let mut d = Delta::new();
+        for op in ops {
+            d.push(op.clone());
+        }
+        d
+    }
+
+    #[test]
+    fn metrics_from_example_31() {
+        let spec = WorkflowSpec::example_3_1();
+        let scenario = spec.compile(&["w1".to_owned(), "w2".to_owned()]);
+        let out = scenario.run().unwrap();
+        let m = WorkflowMetrics::from_solution(out.solution().unwrap());
+        assert_eq!(m.tasks_completed, 10);
+        assert_eq!(m.per_item.get("w1"), Some(&5));
+        assert_eq!(m.per_item.get("w2"), Some(&5));
+        assert_eq!(m.updates, 10);
+        assert!(m.search_steps > 0);
+    }
+
+    #[test]
+    fn double_claims_detects_overlap() {
+        let avail = Pred::new("avail", 1);
+        // claim a1; claim a1 again before release → 1 anomaly
+        let d = delta_of(&[
+            DeltaOp::Del(avail, tuple!("a1")),
+            DeltaOp::Del(avail, tuple!("a1")),
+            DeltaOp::Ins(avail, tuple!("a1")),
+        ]);
+        assert_eq!(double_claims(&d), 1);
+        // proper claim/release pairs → 0
+        let d = delta_of(&[
+            DeltaOp::Del(avail, tuple!("a1")),
+            DeltaOp::Ins(avail, tuple!("a1")),
+            DeltaOp::Del(avail, tuple!("a1")),
+            DeltaOp::Ins(avail, tuple!("a1")),
+        ]);
+        assert_eq!(double_claims(&d), 0);
+    }
+
+    #[test]
+    fn peak_usage_tracks_concurrent_holds() {
+        let avail = Pred::new("avail", 1);
+        let d = delta_of(&[
+            DeltaOp::Del(avail, tuple!("a1")),
+            DeltaOp::Del(avail, tuple!("a2")),
+            DeltaOp::Ins(avail, tuple!("a1")),
+            DeltaOp::Del(avail, tuple!("a3")),
+            DeltaOp::Ins(avail, tuple!("a2")),
+            DeltaOp::Ins(avail, tuple!("a3")),
+        ]);
+        assert_eq!(peak_agents_in_use(&d), 2);
+    }
+
+    #[test]
+    fn isolated_claims_have_no_anomalies() {
+        let cfg = AgentScenarioConfig::universal_pool(
+            WorkflowSpec::new(
+                "wf",
+                Node::Seq(vec![Node::task("t1"), Node::task("t2")]),
+            ),
+            vec!["w1".into(), "w2".into()],
+            2,
+        );
+        let out = cfg.compile().run().unwrap();
+        let delta = out.solution().unwrap().delta.clone();
+        assert_eq!(double_claims(&delta), 0);
+    }
+}

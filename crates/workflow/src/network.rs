@@ -1,0 +1,248 @@
+//! Networks of cooperating workflows (Example 3.4).
+//!
+//! "Typically, one workflow needs information produced by another workflow,
+//! and may have to wait for this information to become available before it
+//! can continue. This is the case … in the workflow described in \[26\], in
+//! which the work items are DNA samples, and the purpose of the workflow is
+//! to construct a physical genome map" — that workflow "consists of two
+//! concurrent sub-workflows that synchronize themselves at several points"
+//! (§3, Example 3.4).
+//!
+//! Two generators:
+//!
+//! * [`SyncPair`] — the genome-map shape: two concurrent workflows that
+//!   rendezvous at `k` synchronization points through the database;
+//! * [`Pipeline`] — a producer workflow feeding a consumer workflow one
+//!   work item at a time through an `info/1` relation.
+
+use crate::scenario::Scenario;
+use std::fmt::Write as _;
+
+/// Two cooperating workflows synchronizing at `sync_points` barriers.
+///
+/// Workflow A performs a step and publishes `sync(i)`; workflow B waits for
+/// `sync(i)` before performing its own step — for each stage `i`.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncPair {
+    pub sync_points: usize,
+}
+
+impl SyncPair {
+    pub fn new(sync_points: usize) -> SyncPair {
+        SyncPair { sync_points }
+    }
+
+    pub fn compile(&self) -> Scenario {
+        let mut src = String::new();
+        let _ = writeln!(src, "% Example 3.4: two workflows, {} sync points", self.sync_points);
+        let _ = writeln!(src, "base sync/1.");
+        let _ = writeln!(src, "base adone/1.");
+        let _ = writeln!(src, "base bdone/1.");
+        let a_steps: Vec<String> = (1..=self.sync_points)
+            .map(|i| format!("ins.adone({i}) * ins.sync({i})"))
+            .collect();
+        let b_steps: Vec<String> = (1..=self.sync_points)
+            .map(|i| format!("sync({i}) * ins.bdone({i})"))
+            .collect();
+        if self.sync_points == 0 {
+            let _ = writeln!(src, "wf_a <- ().");
+            let _ = writeln!(src, "wf_b <- ().");
+        } else {
+            let _ = writeln!(src, "wf_a <- {}.", a_steps.join(" * "));
+            let _ = writeln!(src, "wf_b <- {}.", b_steps.join(" * "));
+        }
+        let _ = writeln!(src, "?- wf_a | wf_b.");
+        Scenario::from_source(src)
+    }
+}
+
+/// A producer workflow feeding a consumer through the database, one work
+/// item at a time.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    pub items: Vec<String>,
+}
+
+impl Pipeline {
+    pub fn new(n: usize) -> Pipeline {
+        Pipeline {
+            items: (1..=n).map(|i| format!("s{i}")).collect(),
+        }
+    }
+
+    pub fn compile(&self) -> Scenario {
+        let mut src = String::new();
+        let _ = writeln!(src, "% producer/consumer workflow network");
+        let _ = writeln!(src, "base item/1.");
+        let _ = writeln!(src, "base info/1.");
+        let _ = writeln!(src, "base used/1.");
+        for w in &self.items {
+            let _ = writeln!(src, "init item({w}).");
+        }
+        let _ = writeln!(
+            src,
+            "producer <- item(W) * del.item(W) * ins.info(W) * producer."
+        );
+        let _ = writeln!(src, "producer <- ().");
+        let _ = writeln!(
+            src,
+            "consumer <- info(W) * del.info(W) * ins.used(W) * consumer."
+        );
+        let _ = writeln!(src, "consumer <- ().");
+        // The consumer can only finish its work if the producer has
+        // published; success requires all items used.
+        let used: Vec<String> = self.items.iter().map(|w| format!("used({w})")).collect();
+        if self.items.is_empty() {
+            let _ = writeln!(src, "all_used <- ().");
+        } else {
+            let _ = writeln!(src, "all_used <- {}.", used.join(" * "));
+        }
+        let _ = writeln!(src, "?- (producer | consumer) * all_used.");
+        Scenario::from_source(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::Pred;
+
+    #[test]
+    fn sync_pair_completes_and_orders_barriers() {
+        let scenario = SyncPair::new(3).compile();
+        let out = scenario.run().unwrap();
+        let sol = out.solution().expect("both workflows complete");
+        assert_eq!(sol.db.relation(Pred::new("adone", 1)).unwrap().len(), 3);
+        assert_eq!(sol.db.relation(Pred::new("bdone", 1)).unwrap().len(), 3);
+        // In the committed run, b's step i must come after a's sync(i).
+        let delta = out.solution().unwrap().delta.clone();
+        let pos = |needle: &str| {
+            delta
+                .ops()
+                .iter()
+                .position(|op| op.to_string() == needle)
+                .unwrap_or(usize::MAX)
+        };
+        for i in 1..=3 {
+            assert!(
+                pos(&format!("ins.sync({i})")) < pos(&format!("ins.bdone({i})")),
+                "sync({i}) must precede bdone({i})"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sync_points_trivially_succeeds() {
+        assert!(SyncPair::new(0).compile().run().unwrap().is_success());
+    }
+
+    #[test]
+    fn pipeline_moves_every_item_through() {
+        let scenario = Pipeline::new(4).compile();
+        let out = scenario.run().unwrap();
+        let sol = out.solution().expect("pipeline drains");
+        assert_eq!(sol.db.relation(Pred::new("used", 1)).unwrap().len(), 4);
+        assert!(sol.db.relation(Pred::new("item", 1)).unwrap().is_empty());
+        assert!(sol.db.relation(Pred::new("info", 1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pipeline_consumption_follows_production_per_item() {
+        let scenario = Pipeline::new(2).compile();
+        let out = scenario.run().unwrap();
+        let delta = out.solution().unwrap().delta.clone();
+        let pos = |needle: &str| {
+            delta
+                .ops()
+                .iter()
+                .position(|op| op.to_string() == needle)
+                .unwrap_or(usize::MAX)
+        };
+        for w in ["s1", "s2"] {
+            assert!(pos(&format!("ins.info({w})")) < pos(&format!("ins.used({w})")));
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_succeeds() {
+        assert!(Pipeline::new(0).compile().run().unwrap().is_success());
+    }
+}
+
+/// A grid of `n` workflows in a ring, each producing the token its right
+/// neighbour consumes — a larger cooperating-network stress shape
+/// generalizing Example 3.4 beyond a pair.
+#[derive(Clone, Copy, Debug)]
+pub struct Ring {
+    pub members: usize,
+}
+
+impl Ring {
+    pub fn new(members: usize) -> Ring {
+        Ring { members }
+    }
+
+    /// Member 1 starts with its token available; each member waits for its
+    /// own token, does its work, and hands a token to the next; success =
+    /// the token returns to the start.
+    pub fn compile(&self) -> Scenario {
+        assert!(self.members >= 2, "a ring needs at least two members");
+        let n = self.members;
+        let mut src = String::new();
+        let _ = writeln!(src, "% ring of {n} cooperating workflows (Example 3.4 generalized)");
+        let _ = writeln!(src, "base token/1.");
+        let _ = writeln!(src, "base worked/1.");
+        let _ = writeln!(src, "init token(1).");
+        for i in 1..=n {
+            let next = if i == n { 1 } else { i + 1 };
+            let _ = writeln!(
+                src,
+                "m{i} <- token({i}) * del.token({i}) * ins.worked({i}) * ins.token({next})."
+            );
+        }
+        let members: Vec<String> = (1..=n).map(|i| format!("m{i}")).collect();
+        let _ = writeln!(src, "?- ({}) * token(1).", members.join(" | "));
+        Scenario::from_source(src)
+    }
+}
+
+#[cfg(test)]
+mod ring_tests {
+    use super::*;
+    use td_core::Pred;
+
+    #[test]
+    fn token_travels_the_whole_ring() {
+        for n in [2usize, 3, 6] {
+            let out = Ring::new(n).compile().run().unwrap();
+            let sol = out.solution().unwrap_or_else(|| panic!("ring {n} completes"));
+            assert_eq!(
+                sol.db.relation(Pred::new("worked", 1)).unwrap().len(),
+                n,
+                "every member worked"
+            );
+            // Exactly the start token remains.
+            assert_eq!(sol.db.relation(Pred::new("token", 1)).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn work_order_follows_the_ring() {
+        let out = Ring::new(4).compile().run().unwrap();
+        let delta = out.solution().unwrap().delta.clone();
+        let pos = |needle: &str| {
+            delta
+                .ops()
+                .iter()
+                .position(|op| op.to_string() == needle)
+                .unwrap()
+        };
+        for i in 1..4 {
+            assert!(
+                pos(&format!("ins.worked({i})")) < pos(&format!("ins.worked({})", i + 1)),
+                "member {i} before member {}",
+                i + 1
+            );
+        }
+    }
+}

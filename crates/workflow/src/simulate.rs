@@ -1,0 +1,153 @@
+//! Workflow simulation: unbounded instance creation (Example 3.2).
+//!
+//! Example 3.2 of the paper simulates the *operation* of a workflow system:
+//! a recursive process picks up work items and spawns a workflow instance
+//! for each, concurrently —
+//!
+//! ```text
+//! simulate <- item(W) * del.item(W) * (workflow(W) | simulate).
+//! simulate <- ().
+//! ```
+//!
+//! The recursion through `|` creates processes at runtime, one per work
+//! item — the pattern that §4 shows makes full TD RE-complete. The
+//! *environment* is modeled as just another process that inserts new work
+//! items (§3, citing the process-algebra tradition \[62, 51\]):
+//! `?- simulate | environment`.
+
+use crate::scenario::Scenario;
+use std::fmt::Write as _;
+
+/// How the environment delivers work items.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EnvironmentMode {
+    /// All items are inserted before simulation starts
+    /// (`?- environment * simulate.`).
+    Upfront,
+    /// The environment runs concurrently with the simulation
+    /// (`?- simulate | environment.` — the paper's formulation).
+    Concurrent,
+}
+
+/// Configuration for an Example 3.2 simulation scenario.
+#[derive(Clone, Debug)]
+pub struct SimulationConfig {
+    /// Number of work items the environment delivers.
+    pub items: usize,
+    /// Length of the (linear) workflow each instance performs.
+    pub tasks_per_item: usize,
+    pub environment: EnvironmentMode,
+}
+
+impl SimulationConfig {
+    pub fn new(items: usize, tasks_per_item: usize) -> SimulationConfig {
+        SimulationConfig {
+            items,
+            tasks_per_item,
+            environment: EnvironmentMode::Upfront,
+        }
+    }
+
+    /// Compile to a runnable scenario.
+    pub fn compile(&self) -> Scenario {
+        let mut src = String::new();
+        let _ = writeln!(src, "% Example 3.2: simulation of workflow operation");
+        let _ = writeln!(src, "base item/1.");
+        let _ = writeln!(src, "base done/2.");
+        // The workflow each instance runs (tasks do not re-check item/1:
+        // simulate consumed the item when it spawned the instance).
+        let chain: Vec<String> = (1..=self.tasks_per_item)
+            .map(|i| format!("t{i}(W)"))
+            .collect();
+        let _ = writeln!(src, "workflow(W) <- {}.", chain.join(" * "));
+        for i in 1..=self.tasks_per_item {
+            let _ = writeln!(src, "t{i}(W) <- ins.done(W, t{i}).");
+        }
+        // The simulation loop: spawn an instance per item, concurrently.
+        let _ = writeln!(
+            src,
+            "simulate <- item(W) * del.item(W) * (workflow(W) | simulate)."
+        );
+        let _ = writeln!(src, "simulate <- ().");
+        // The environment delivers the items.
+        if self.items > 0 {
+            let inserts: Vec<String> = (1..=self.items)
+                .map(|i| format!("ins.item(w{i})"))
+                .collect();
+            let _ = writeln!(src, "environment <- {}.", inserts.join(" * "));
+        } else {
+            let _ = writeln!(src, "environment <- ().");
+        }
+        let goal = match self.environment {
+            EnvironmentMode::Upfront => "?- environment * simulate.",
+            EnvironmentMode::Concurrent => "?- simulate | environment.",
+        };
+        let _ = writeln!(src, "{goal}");
+        Scenario::from_source(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::{Fragment, FragmentReport, Pred};
+
+    #[test]
+    fn upfront_simulation_processes_every_item() {
+        let cfg = SimulationConfig::new(4, 2);
+        let scenario = cfg.compile();
+        let out = scenario.run().unwrap();
+        let sol = out.solution().expect("simulation completes");
+        // The depth-first engine prefers the spawning rule while items
+        // remain, so everything gets processed.
+        assert_eq!(
+            sol.db.relation(Pred::new("done", 2)).unwrap().len(),
+            8,
+            "4 items × 2 tasks"
+        );
+        assert!(sol.db.relation(Pred::new("item", 1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_environment_also_succeeds() {
+        let cfg = SimulationConfig {
+            items: 3,
+            tasks_per_item: 1,
+            environment: EnvironmentMode::Concurrent,
+        };
+        let out = cfg.compile().run().unwrap();
+        assert!(out.is_success());
+    }
+
+    #[test]
+    fn zero_items_terminates_immediately() {
+        let cfg = SimulationConfig::new(0, 3);
+        let out = cfg.compile().run().unwrap();
+        let sol = out.solution().unwrap();
+        assert_eq!(sol.db.total_tuples(), 0);
+    }
+
+    #[test]
+    fn simulation_is_full_td() {
+        // Recursion through | — the RE-complete pattern of §4.
+        let scenario = SimulationConfig::new(1, 1).compile();
+        let rep = FragmentReport::classify(&scenario.program, &scenario.goal);
+        assert_eq!(rep.fragment, Fragment::Full);
+        assert!(rep.facts.recursion_through_par);
+    }
+
+    #[test]
+    fn instances_interleave_in_the_committed_run() {
+        // With ≥2 items and ≥2 tasks the committed delta may interleave
+        // instances; at minimum, all work appears exactly once.
+        let cfg = SimulationConfig::new(3, 3);
+        let out = cfg.compile().run().unwrap();
+        let delta = out.solution().unwrap().delta.clone();
+        let done_ops = delta
+            .ops()
+            .iter()
+            .filter(|op| op.to_string().contains("done"))
+            .count();
+        assert_eq!(done_ops, 9);
+    }
+}

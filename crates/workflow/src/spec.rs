@@ -1,0 +1,291 @@
+//! Workflow specification (Example 3.1).
+//!
+//! The paper's Example 3.1 defines a workflow as rules over tasks and
+//! sub-workflows:
+//!
+//! ```text
+//! workflow(W) <- task1(W) * (task2(W) | subflow(W)) * task5(W).
+//! subflow(W)  <- task3(W) * task4(W).
+//! task_i(W)   <- ... * ins.done(W, task_i).
+//! ```
+//!
+//! [`Node`] is the control-flow algebra (tasks composed serially and
+//! concurrently, with named sub-workflows); [`WorkflowSpec::compile`] emits
+//! exactly that rule shape. Each task records its completion in the
+//! `done/2` relation, which is how later tasks, monitors and the test suite
+//! observe progress — "monitoring, tracking and querying the status of
+//! workflow activities" (§3).
+
+use crate::scenario::Scenario;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Control flow of a workflow over named tasks.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Node {
+    /// An atomic task, named by a lowercase identifier.
+    Task(String),
+    /// A named sub-workflow with its own body (compiled to its own rule,
+    /// like `subflow` in Example 3.1).
+    Sub(String, Box<Node>),
+    /// Serial composition.
+    Seq(Vec<Node>),
+    /// Concurrent composition.
+    Par(Vec<Node>),
+}
+
+impl Node {
+    /// Leaf task helper.
+    pub fn task(name: &str) -> Node {
+        Node::Task(name.to_owned())
+    }
+
+    /// Named sub-workflow helper.
+    pub fn sub(name: &str, body: Node) -> Node {
+        Node::Sub(name.to_owned(), Box::new(body))
+    }
+
+    /// All task names in the node (sorted, deduplicated).
+    pub fn tasks(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_tasks(&mut out);
+        out
+    }
+
+    fn collect_tasks(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Node::Task(t) => {
+                out.insert(t.clone());
+            }
+            Node::Sub(_, body) => body.collect_tasks(out),
+            Node::Seq(ns) | Node::Par(ns) => {
+                for n in ns {
+                    n.collect_tasks(out);
+                }
+            }
+        }
+    }
+
+    /// Render as a TD goal over `W`, collecting sub-workflow rules.
+    pub(crate) fn render(&self, subs: &mut Vec<(String, String)>) -> String {
+        match self {
+            Node::Task(t) => format!("{t}(W)"),
+            Node::Sub(name, body) => {
+                let rendered = body.render(subs);
+                subs.push((name.clone(), rendered));
+                format!("{name}(W)")
+            }
+            Node::Seq(ns) => {
+                let parts: Vec<String> = ns.iter().map(|n| n.render_paren(subs, true)).collect();
+                parts.join(" * ")
+            }
+            Node::Par(ns) => {
+                let parts: Vec<String> = ns.iter().map(|n| n.render_paren(subs, false)).collect();
+                parts.join(" | ")
+            }
+        }
+    }
+
+    fn render_paren(&self, subs: &mut Vec<(String, String)>, in_seq: bool) -> String {
+        let needs_paren = matches!(self, Node::Par(_)) && in_seq;
+        let s = self.render(subs);
+        if needs_paren {
+            format!("({s})")
+        } else {
+            s
+        }
+    }
+}
+
+/// A workflow specification: a name plus its control flow.
+#[derive(Clone, Debug)]
+pub struct WorkflowSpec {
+    pub name: String,
+    pub body: Node,
+}
+
+impl WorkflowSpec {
+    /// Specification with the given entry-rule name.
+    pub fn new(name: &str, body: Node) -> WorkflowSpec {
+        WorkflowSpec {
+            name: name.to_owned(),
+            body,
+        }
+    }
+
+    /// The paper's Example 3.1 workflow: five tasks, one sub-workflow,
+    /// one concurrent region.
+    pub fn example_3_1() -> WorkflowSpec {
+        WorkflowSpec::new(
+            "workflow",
+            Node::Seq(vec![
+                Node::task("task1"),
+                Node::Par(vec![
+                    Node::task("task2"),
+                    Node::sub(
+                        "subflow",
+                        Node::Seq(vec![Node::task("task3"), Node::task("task4")]),
+                    ),
+                ]),
+                Node::task("task5"),
+            ]),
+        )
+    }
+
+    /// Emit the `.td` source: entry rule, sub-workflow rules, and one rule
+    /// per task that checks the work item exists and records completion:
+    ///
+    /// ```text
+    /// task_i(W) <- item(W) * ins.done(W, task_i).
+    /// ```
+    ///
+    /// `work_items` become `init item(..)` facts and the goal runs the
+    /// workflow on each item concurrently (one workflow instance per item —
+    /// the multi-instance execution of §3).
+    pub fn compile(&self, work_items: &[String]) -> Scenario {
+        let mut src = String::new();
+        let _ = writeln!(src, "% workflow `{}` (Example 3.1 shape)", self.name);
+        let _ = writeln!(src, "base item/1.");
+        let _ = writeln!(src, "base done/2.");
+        for w in work_items {
+            let _ = writeln!(src, "init item({w}).");
+        }
+        let mut subs = Vec::new();
+        let body = self.body.render(&mut subs);
+        let _ = writeln!(src, "{}(W) <- {body}.", self.name);
+        for (name, rendered) in subs {
+            let _ = writeln!(src, "{name}(W) <- {rendered}.");
+        }
+        for t in self.body.tasks() {
+            let _ = writeln!(src, "{t}(W) <- item(W) * ins.done(W, {t}).");
+        }
+        let goal = if work_items.is_empty() {
+            "?- ().".to_owned()
+        } else {
+            let parts: Vec<String> = work_items
+                .iter()
+                .map(|w| format!("{}({w})", self.name))
+                .collect();
+            format!("?- {}.", parts.join(" | "))
+        };
+        let _ = writeln!(src, "{goal}");
+        Scenario::from_source(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::{Fragment, FragmentReport, Pred};
+    use td_db::tuple;
+
+    #[test]
+    fn example_3_1_compiles_to_the_papers_rules() {
+        let spec = WorkflowSpec::example_3_1();
+        let scenario = spec.compile(&["w1".to_owned()]);
+        assert!(scenario
+            .source
+            .contains("workflow(W) <- task1(W) * (task2(W) | subflow(W)) * task5(W)."));
+        assert!(scenario.source.contains("subflow(W) <- task3(W) * task4(W)."));
+        assert!(scenario
+            .source
+            .contains("task3(W) <- item(W) * ins.done(W, task3)."));
+    }
+
+    #[test]
+    fn example_3_1_executes_all_tasks() {
+        let spec = WorkflowSpec::example_3_1();
+        let scenario = spec.compile(&["w1".to_owned()]);
+        let out = scenario.run().unwrap();
+        let sol = out.solution().expect("workflow completes");
+        let done = Pred::new("done", 2);
+        for t in ["task1", "task2", "task3", "task4", "task5"] {
+            assert!(
+                sol.db.contains(done, &tuple!("w1", t)),
+                "{t} should have completed"
+            );
+        }
+    }
+
+    #[test]
+    fn task_order_respects_serial_composition() {
+        // task5 must come after task1 in the committed delta.
+        let spec = WorkflowSpec::example_3_1();
+        let scenario = spec.compile(&["w1".to_owned()]);
+        let out = scenario.run().unwrap();
+        let delta = out.solution().unwrap().delta.clone();
+        let pos = |task: &str| {
+            delta
+                .ops()
+                .iter()
+                .position(|op| op.to_string().contains(task))
+                .unwrap_or(usize::MAX)
+        };
+        assert!(pos("task1") < pos("task2"));
+        assert!(pos("task1") < pos("task3"));
+        assert!(pos("task3") < pos("task4"));
+        assert!(pos("task2") < pos("task5"));
+        assert!(pos("task4") < pos("task5"));
+    }
+
+    #[test]
+    fn multiple_instances_run_concurrently() {
+        let spec = WorkflowSpec::example_3_1();
+        let items: Vec<String> = (1..=3).map(|i| format!("w{i}")).collect();
+        let scenario = spec.compile(&items);
+        let out = scenario.run().unwrap();
+        let sol = out.solution().expect("all instances complete");
+        assert_eq!(
+            sol.db.relation(Pred::new("done", 2)).unwrap().len(),
+            15,
+            "3 items × 5 tasks"
+        );
+    }
+
+    #[test]
+    fn missing_work_item_fails_the_instance() {
+        let spec = WorkflowSpec::example_3_1();
+        let mut scenario = spec.compile(&["w1".to_owned()]);
+        // Ask for an item that was never inserted.
+        scenario.goal = td_parser::parse_goal("workflow(ghost)", &scenario.program)
+            .unwrap()
+            .goal;
+        assert!(!scenario.run().unwrap().is_success());
+    }
+
+    #[test]
+    fn compiled_workflows_are_nonrecursive_fragment() {
+        let spec = WorkflowSpec::example_3_1();
+        let scenario = spec.compile(&["w1".to_owned()]);
+        let rep = FragmentReport::classify(&scenario.program, &scenario.goal);
+        assert_eq!(rep.fragment, Fragment::Nonrecursive);
+    }
+
+    #[test]
+    fn deep_nesting_compiles() {
+        let spec = WorkflowSpec::new(
+            "wf",
+            Node::Seq(vec![
+                Node::task("a"),
+                Node::sub(
+                    "inner",
+                    Node::Par(vec![
+                        Node::task("b"),
+                        Node::sub("deepest", Node::Seq(vec![Node::task("c"), Node::task("d")])),
+                    ]),
+                ),
+            ]),
+        );
+        let scenario = spec.compile(&["x".to_owned()]);
+        assert!(scenario.run().unwrap().is_success());
+    }
+
+    #[test]
+    fn tasks_collects_all_names() {
+        let spec = WorkflowSpec::example_3_1();
+        let tasks = spec.body.tasks();
+        assert_eq!(tasks.len(), 5);
+        assert!(tasks.contains("task1"));
+        assert!(tasks.contains("task5"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Timeline rendering of committed executions.
+//!
+//! Turns a committed update log into a step-by-step text timeline grouped
+//! by work item — the human-readable face of "monitoring, tracking and
+//! querying the status of workflow activities" (§3). Each `done/2` (or
+//! `did/3`) record becomes a lane event; lanes are work items; columns are
+//! commit order.
+//!
+//! ```text
+//! step  1  w1 ▶ task1
+//! step  2  w2 ▶ task1
+//! step  3  w1 ▶ task3
+//! ...
+//! lane w1: task1 ── task3 ── task2 ── task4 ── task5
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use td_core::{Pred, Value};
+use td_db::{Delta, DeltaOp};
+
+/// One event on the timeline.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Position in the committed log.
+    pub step: usize,
+    /// The work item (first argument of the completion record).
+    pub item: String,
+    /// The task (second argument).
+    pub task: String,
+    /// The executing agent, when the record is `did/3`.
+    pub agent: Option<String>,
+}
+
+/// Extract the completion events (`done/2` and `did/3` inserts) from a log.
+pub fn events(delta: &Delta) -> Vec<Event> {
+    let done = Pred::new("done", 2);
+    let did = Pred::new("did", 3);
+    let mut out = Vec::new();
+    for (step, op) in delta.ops().iter().enumerate() {
+        let DeltaOp::Ins(p, t) = op else { continue };
+        let sym = |v: Value| match v {
+            Value::Sym(s) => Some(s.as_str().to_owned()),
+            Value::Int(i) => Some(i.to_string()),
+        };
+        if *p == done {
+            if let (Some(item), Some(task)) = (sym(t.values()[0]), sym(t.values()[1])) {
+                out.push(Event {
+                    step,
+                    item,
+                    task,
+                    agent: None,
+                });
+            }
+        } else if *p == did {
+            if let (Some(item), Some(task), Some(agent)) = (
+                sym(t.values()[0]),
+                sym(t.values()[1]),
+                sym(t.values()[2]),
+            ) {
+                out.push(Event {
+                    step,
+                    item,
+                    task,
+                    agent: Some(agent),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render the full timeline: the event stream followed by per-item lanes.
+pub fn render(delta: &Delta) -> String {
+    let evs = events(delta);
+    let mut out = String::new();
+    for e in &evs {
+        let _ = write!(out, "step {:>3}  {} ▶ {}", e.step + 1, e.item, e.task);
+        if let Some(a) = &e.agent {
+            let _ = write!(out, "  [{a}]");
+        }
+        out.push('\n');
+    }
+    let mut lanes: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for e in &evs {
+        lanes.entry(e.item.clone()).or_default().push(e.task.clone());
+    }
+    if !lanes.is_empty() {
+        out.push('\n');
+    }
+    for (item, tasks) in lanes {
+        let _ = writeln!(out, "lane {item}: {}", tasks.join(" ── "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkflowSpec;
+
+    #[test]
+    fn renders_example_3_1_lanes() {
+        let scenario = WorkflowSpec::example_3_1().compile(&["w1".to_owned(), "w2".to_owned()]);
+        let out = scenario.run().unwrap();
+        let delta = out.solution().unwrap().delta.clone();
+        let rendered = render(&delta);
+        assert!(rendered.contains("lane w1:"));
+        assert!(rendered.contains("lane w2:"));
+        assert!(rendered.contains("w1 ▶ task1"));
+        // Each lane lists all five tasks.
+        for line in rendered.lines().filter(|l| l.starts_with("lane")) {
+            assert_eq!(line.matches("task").count(), 5, "{line}");
+        }
+    }
+
+    #[test]
+    fn did_records_show_the_agent() {
+        let cfg = crate::agents::AgentScenarioConfig::universal_pool(
+            WorkflowSpec::new(
+                "wf",
+                crate::spec::Node::Seq(vec![crate::spec::Node::task("t1")]),
+            ),
+            vec!["w1".into()],
+            1,
+        );
+        let out = cfg.compile().run().unwrap();
+        let rendered = render(&out.solution().unwrap().delta);
+        assert!(rendered.contains("[agent1]"), "{rendered}");
+    }
+
+    #[test]
+    fn events_preserve_commit_order() {
+        let scenario = WorkflowSpec::example_3_1().compile(&["w1".to_owned()]);
+        let out = scenario.run().unwrap();
+        let evs = events(&out.solution().unwrap().delta);
+        assert_eq!(evs.len(), 5);
+        assert!(evs.windows(2).all(|w| w[0].step < w[1].step));
+        assert_eq!(evs[0].task, "task1");
+        assert_eq!(evs[4].task, "task5");
+    }
+
+    #[test]
+    fn empty_delta_renders_empty() {
+        assert!(render(&Delta::new()).is_empty());
+    }
+}

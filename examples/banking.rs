@@ -1,0 +1,59 @@
+//! Nested banking transactions (the paper's Examples 2.1–2.2).
+//!
+//! Demonstrates the three behaviours the paper uses to motivate TD over the
+//! flat transaction model: relative commit (a failed deposit un-commits the
+//! withdraw), serializability *within* a transaction via `iso`, and
+//! all-or-nothing failure.
+//!
+//! ```sh
+//! cargo run --example banking
+//! ```
+
+use transaction_datalog::workflow::{serializable_transfers, transfer_goal, Bank};
+use transaction_datalog::prelude::*;
+
+fn main() {
+    let bank = Bank::new(&[("alice", 120), ("bob", 30)]);
+    let scenario = bank.scenario();
+    println!("--- banking program ---\n{}", scenario.source);
+    let engine = Engine::new(scenario.program.clone());
+
+    // 1. A successful transfer.
+    let out = engine
+        .solve(&transfer_goal(50, "alice", "bob"), &scenario.db)
+        .unwrap();
+    let sol = out.solution().expect("sufficient funds");
+    println!(
+        "transfer 50 alice→bob: alice={:?}, bob={:?}",
+        Bank::balance_in(&sol.db, "alice"),
+        Bank::balance_in(&sol.db, "bob")
+    );
+
+    // 2. Relative commit: the withdraw succeeds, the deposit fails (no such
+    //    account), and the withdraw is rolled back with it.
+    let out = engine
+        .solve(&transfer_goal(50, "alice", "mallory"), &scenario.db)
+        .unwrap();
+    assert!(!out.is_success());
+    println!("transfer 50 alice→mallory: aborted as a unit (no `mallory` account)");
+
+    // 3. Insufficient funds: the precondition Bal >= Amt fails.
+    let out = engine
+        .solve(&transfer_goal(500, "bob", "alice"), &scenario.db)
+        .unwrap();
+    assert!(!out.is_success());
+    println!("transfer 500 bob→alice: aborted (insufficient funds)");
+
+    // 4. Serializable concurrent transfers: ⊙t1 | ⊙t2 | ⊙t3.
+    let goal = serializable_transfers(&[
+        (10, "alice", "bob"),
+        (20, "bob", "alice"),
+        (30, "alice", "bob"),
+    ]);
+    let out = engine.solve(&goal, &scenario.db).unwrap();
+    let sol = out.solution().expect("serializable schedule exists");
+    let a = Bank::balance_in(&sol.db, "alice").unwrap();
+    let b = Bank::balance_in(&sol.db, "bob").unwrap();
+    println!("3 concurrent isolated transfers: alice={a}, bob={b} (total {})", a + b);
+    assert_eq!(a + b, 150, "money is conserved");
+}

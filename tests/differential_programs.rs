@@ -1,0 +1,122 @@
+//! Differential testing over randomly generated *programs* (not just
+//! goals): the interpreter, the decider, and the entailment oracle must
+//! agree on executability and committed runs for arbitrary small rulebases
+//! with choice, recursion-free call graphs, and updates.
+
+use proptest::prelude::*;
+use transaction_datalog::prelude::{Database, Engine, EngineConfig, Goal, Outcome};
+use td_core::{Atom, Program};
+
+/// Strategy for a rule body over base flags f0..f2 and derived preds
+/// d0..dk (callees restricted to *lower* indices, so programs are
+/// nonrecursive by construction and the decider always terminates).
+fn arb_body(callee_limit: usize, depth: u32) -> BoxedStrategy<Goal> {
+    let flag = (0u8..3).prop_map(|i| format!("f{i}"));
+    let mut leaves = vec![
+        flag.clone().prop_map(|f| Goal::ins(&f, vec![])).boxed(),
+        flag.clone().prop_map(|f| Goal::del(&f, vec![])).boxed(),
+        flag.clone().prop_map(|f| Goal::prop(&f)).boxed(),
+        flag.prop_map(|f| Goal::NotAtom(Atom::prop(&f))).boxed(),
+        Just(Goal::True).boxed(),
+    ];
+    if callee_limit > 0 {
+        leaves.push(
+            (0..callee_limit)
+                .prop_map(|i| Goal::prop(&format!("d{i}")))
+                .boxed(),
+        );
+    }
+    let leaf = proptest::strategy::Union::new(leaves).boxed();
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::seq),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::par),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::choice),
+            inner.prop_map(Goal::iso),
+        ]
+        .boxed()
+    })
+    .boxed()
+}
+
+/// A program of `n` derived predicates (each 1–2 rules) plus a goal.
+fn arb_program() -> impl Strategy<Value = (Program, Goal)> {
+    let rules = (0usize..3).prop_flat_map(|n| {
+        let mut rule_strats = Vec::new();
+        for i in 0..n {
+            rule_strats.push(proptest::collection::vec(arb_body(i, 1), 1..3));
+        }
+        (Just(n), rule_strats)
+    });
+    (rules, arb_body(0, 2)).prop_map(|((n, bodies), goal_tail)| {
+        let mut b = Program::builder().base_preds(&[("f0", 0), ("f1", 0), ("f2", 0)]);
+        for (i, rule_bodies) in bodies.iter().enumerate() {
+            for body in rule_bodies {
+                b = b.rule_parts(Atom::prop(&format!("d{i}")), body.clone());
+            }
+        }
+        let program = b.build_unchecked();
+        // Goal: call the top predicate (if any) then the random tail.
+        let goal = if bodies.is_empty() {
+            goal_tail
+        } else {
+            Goal::seq(vec![
+                Goal::prop(&format!("d{}", bodies.len() - 1)),
+                goal_tail,
+            ])
+        };
+        let _ = n;
+        (program, goal)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn engine_decider_and_entailment_agree((program, goal) in arb_program()) {
+        let db = Database::with_schema_of(&program);
+        let engine = Engine::with_config(
+            program.clone(),
+            EngineConfig::default().with_max_steps(500_000),
+        );
+        let outcome = engine.solve(&goal, &db).expect("within budget");
+        let decision = td_engine::decider::decide(
+            &program,
+            &goal,
+            &db,
+            td_engine::decider::DeciderConfig::default(),
+        )
+        .expect("decider runs");
+        prop_assert!(!decision.truncated);
+        prop_assert_eq!(outcome.is_success(), decision.executable);
+
+        if let Outcome::Success(sol) = outcome {
+            prop_assert!(
+                td_engine::entail::entails_via_delta(&program, &db, &sol.delta, &goal)
+                    .expect("entailment runs"),
+                "committed delta not entailed"
+            );
+        }
+    }
+
+    #[test]
+    fn simplify_and_inline_preserve_program_behaviour((program, goal) in arb_program()) {
+        let db = Database::with_schema_of(&program);
+        let run = |p: &Program, g: &Goal| {
+            Engine::with_config(p.clone(), EngineConfig::default().with_max_steps(500_000))
+                .executable(g, &db)
+                .expect("within budget")
+        };
+        let base = run(&program, &goal);
+
+        let simplified_goal = td_core::transform::simplify(&goal);
+        prop_assert_eq!(base, run(&program, &simplified_goal));
+
+        let simplified_prog = td_core::transform::simplify_program(&program);
+        prop_assert_eq!(base, run(&simplified_prog, &goal));
+
+        let inlined = td_core::transform::inline(&program);
+        prop_assert_eq!(base, run(&inlined, &goal));
+    }
+}

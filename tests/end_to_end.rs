@@ -1,0 +1,243 @@
+//! End-to-end integration: source text → parser → engine → database,
+//! spanning every crate through the umbrella's public API.
+
+use transaction_datalog::prelude::*;
+
+fn run_first_goal(src: &str) -> (Outcome, Program) {
+    let parsed = parse_program(src).expect("program parses");
+    let db = Database::with_schema_of(&parsed.program);
+    let db = td_engine::load_init(&db, &parsed.init).expect("init loads");
+    let engine = Engine::new(parsed.program.clone());
+    let out = engine.solve(&parsed.goals[0].goal, &db).expect("no fault");
+    (out, parsed.program)
+}
+
+#[test]
+fn paper_section_2_overview_formulas() {
+    // The paper's §2 example judgments, as executions:
+    // {a,b} can run (del.a * del.b) | (ins.c * ins.d) ending in {c,d}.
+    let src = "
+        base a/0. base b/0. base c/0. base d/0.
+        init a. init b.
+        ?- (del.a * del.b) | (ins.c * ins.d).
+    ";
+    let (out, _) = run_first_goal(src);
+    let sol = out.solution().expect("the paper's §2 goal executes");
+    assert_eq!(sol.db.to_string(), "{c, d}");
+}
+
+#[test]
+fn paper_example_3_1_full_workflow_source() {
+    // Example 3.1 as printed in the paper (task numbering preserved).
+    let src = "
+        base item/1.
+        base done/2.
+        init item(w1).
+
+        workflow(W) <- task1(W) * (task2(W) | subflow(W)) * task5(W).
+        subflow(W)  <- task3(W) * task4(W).
+        task1(W) <- item(W) * ins.done(W, t1).
+        task2(W) <- ins.done(W, t2).
+        task3(W) <- ins.done(W, t3).
+        task4(W) <- ins.done(W, t4).
+        task5(W) <- done(W, t2) * done(W, t4) * ins.done(W, t5).
+
+        ?- workflow(w1).
+    ";
+    let (out, program) = run_first_goal(src);
+    let sol = out.solution().expect("workflow completes");
+    assert_eq!(sol.db.relation(Pred::new("done", 2)).unwrap().len(), 5);
+    // task5's preconditions make the serial order observable.
+    let ops: Vec<String> = sol.delta.ops().iter().map(|o| o.to_string()).collect();
+    let idx = |needle: &str| ops.iter().position(|o| o.contains(needle)).unwrap();
+    assert!(idx("t1") < idx("t5"));
+    assert!(idx("t2") < idx("t5"));
+    assert!(idx("t4") < idx("t5"));
+    // And the fragment is the tractable one.
+    let goal = Goal::atom("workflow", vec![Term::sym("w1")]);
+    assert_eq!(
+        FragmentReport::classify(&program, &goal).fragment,
+        Fragment::Nonrecursive
+    );
+}
+
+#[test]
+fn committed_runs_are_entailed_by_the_declarative_semantics() {
+    // Interpreter commits a path; the executional-entailment oracle
+    // re-judges the goal against that exact state sequence.
+    let src = "
+        base item/1. base done/2. base sync/1.
+        init item(w1). init item(w2).
+        wf(W) <- item(W) * del.item(W) * ins.done(W, a) * ins.done(W, b).
+        ?- wf(w1) | wf(w2) | (done(w1, a) * ins.sync(ok)).
+    ";
+    let parsed = parse_program(src).unwrap();
+    let db = Database::with_schema_of(&parsed.program);
+    let db = td_engine::load_init(&db, &parsed.init).unwrap();
+    let engine = Engine::new(parsed.program.clone());
+    let goal = &parsed.goals[0].goal;
+    let sol = engine.solve(goal, &db).unwrap();
+    let delta = sol.solution().unwrap().delta.clone();
+    assert!(
+        td_engine::entail::entails_via_delta(&parsed.program, &db, &delta, goal).unwrap()
+    );
+}
+
+#[test]
+fn engine_and_decider_agree_across_example_programs() {
+    let cases = [
+        // communication through the database
+        "base m/0. base d/0. c <- m * ins.d. p <- ins.m. ?- c | p.",
+        // isolation hides intermediate states
+        "base f/0. base s/0. r <- f * ins.s. ?- iso { ins.f * del.f } | r.",
+        // choice + updates
+        "base t/1. pick <- { ins.t(1) or ins.t(2) }. ?- pick * t(2).",
+        // tail-recursive countdown
+        "base n/1. init n(3).
+         down <- n(0).
+         down <- n(X) * X > 0 * del.n(X) * Y is X - 1 * ins.n(Y) * down.
+         ?- down.",
+        // unexecutable: wrong serial order
+        "base t/0. ?- t * ins.t.",
+    ];
+    for src in cases {
+        let parsed = parse_program(src).unwrap();
+        let db = Database::with_schema_of(&parsed.program);
+        let db = td_engine::load_init(&db, &parsed.init).unwrap();
+        let engine = Engine::new(parsed.program.clone());
+        let goal = &parsed.goals[0].goal;
+        let eng = engine.executable(goal, &db).unwrap();
+        let dec = td_engine::decider::decide(
+            &parsed.program,
+            goal,
+            &db,
+            td_engine::decider::DeciderConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(eng, dec.executable, "engine vs decider on: {src}");
+    }
+}
+
+#[test]
+fn workflow_generators_round_trip_through_the_parser() {
+    use transaction_datalog::workflow::{LabFlowConfig, SyncPair, WorkflowSpec};
+    let sources = [
+        WorkflowSpec::example_3_1().compile(&["w1".to_owned()]).source,
+        SyncPair::new(2).compile().source,
+        LabFlowConfig::new(2, 3).compile().source,
+    ];
+    for src in sources {
+        let parsed = parse_program(&src).expect("generated source parses");
+        // ...and the program's own rendering parses again.
+        let rendered = parsed.program.to_source();
+        parse_program(&rendered).expect("re-rendered source parses");
+    }
+}
+
+#[test]
+fn machines_cross_validate_against_baselines() {
+    use transaction_datalog::machines::{Cnf, Qbf};
+    for seed in 0..4 {
+        let qbf = Qbf::random(3, 4, seed);
+        let s = qbf.to_td();
+        let out = s
+            .run_with(EngineConfig::default().with_max_steps(5_000_000))
+            .unwrap();
+        assert_eq!(out.is_success(), qbf.eval(), "qbf seed {seed}");
+
+        let cnf = Cnf::random_3sat(4, 9, seed);
+        let s = cnf.to_td();
+        let out = s
+            .run_with(EngineConfig::default().with_max_steps(5_000_000))
+            .unwrap();
+        assert_eq!(out.is_success(), cnf.dpll(), "sat seed {seed}");
+    }
+}
+
+#[test]
+fn fragment_classification_spans_the_paper_table() {
+    use transaction_datalog::machines::MinskyMachine;
+    use transaction_datalog::workflow::{RepeatProtocol, SimulationConfig, WorkflowSpec};
+
+    // Nonrecursive (Thm 4.7)
+    let s = WorkflowSpec::example_3_1().compile(&["w".to_owned()]);
+    assert_eq!(
+        FragmentReport::classify(&s.program, &s.goal).fragment,
+        Fragment::Nonrecursive
+    );
+    // Fully bounded (§5)
+    let s = RepeatProtocol::new(2, 2).compile();
+    assert_eq!(
+        FragmentReport::classify(&s.program, &s.goal).fragment,
+        Fragment::FullyBounded
+    );
+    // Sequential rulebase, RE-complete (Cor 4.6)
+    let s = MinskyMachine::parity().to_td();
+    assert_eq!(
+        FragmentReport::classify(&s.program, &s.goal).fragment,
+        Fragment::SequentialRulebase
+    );
+    // Full TD (Example 3.2's spawning recursion)
+    let s = SimulationConfig::new(1, 1).compile();
+    assert_eq!(
+        FragmentReport::classify(&s.program, &s.goal).fragment,
+        Fragment::Full
+    );
+}
+
+#[test]
+fn failed_transactions_leave_the_database_value_untouched() {
+    // The all-or-nothing property across a deep nested structure.
+    let src = "
+        base log/1. base ok/0.
+        stepper(N) <- ins.log(N).
+        doomed <- stepper(1) * stepper(2) * iso { stepper(3) * stepper(4) } * fail.
+        ?- doomed.
+    ";
+    let parsed = parse_program(src).unwrap();
+    let db = Database::with_schema_of(&parsed.program);
+    let engine = Engine::new(parsed.program.clone());
+    let out = engine.solve(&parsed.goals[0].goal, &db).unwrap();
+    assert!(!out.is_success());
+}
+
+#[test]
+fn inlining_preserves_workflow_behaviour() {
+    // The Example 3.1 workflow inlines heavily (every task is single-rule,
+    // nonrecursive); the inlined program must produce the same final state.
+    use transaction_datalog::workflow::WorkflowSpec;
+    let scenario = WorkflowSpec::example_3_1().compile(&["w1".to_owned()]);
+    let inlined = td_core::transform::inline(&scenario.program);
+    let engine_orig = Engine::new(scenario.program.clone());
+    let engine_inl = Engine::new(inlined);
+    let a = engine_orig.solve(&scenario.goal, &scenario.db).unwrap();
+    let b = engine_inl.solve(&scenario.goal, &scenario.db).unwrap();
+    assert!(a.is_success() && b.is_success());
+    assert!(a
+        .solution()
+        .unwrap()
+        .db
+        .same_content(&b.solution().unwrap().db));
+    // Inlining removes unfolding work at run time.
+    assert!(b.solution().unwrap().stats.unfolds <= a.solution().unwrap().stats.unfolds);
+}
+
+#[test]
+fn magic_sets_agree_with_engine_on_reachability() {
+    let src = "
+        base e/2.
+        init e(a, b). init e(b, c). init e(c, d). init e(x, y).
+        path(X, Y) <- e(X, Y).
+        path(X, Z) <- e(X, Y) * path(Y, Z).
+    ";
+    let parsed = parse_program(src).unwrap();
+    let db = Database::with_schema_of(&parsed.program);
+    let db = td_engine::load_init(&db, &parsed.init).unwrap();
+    let engine = Engine::new(parsed.program.clone());
+    for (from, to) in [("a", "d"), ("a", "y"), ("x", "y"), ("d", "a")] {
+        let atom = Atom::new("path", vec![Term::sym(from), Term::sym(to)]);
+        let via_engine = engine.executable(&Goal::Atom(atom.clone()), &db).unwrap();
+        let (answers, _) = td_engine::magic::answer(&parsed.program, &db, &atom).unwrap();
+        assert_eq!(via_engine, !answers.is_empty(), "path({from},{to})");
+    }
+}

@@ -1,0 +1,282 @@
+//! Property-based integration tests: algebraic laws of TD's composition
+//! operators, validated through the engine on randomly generated programs.
+//!
+//! The laws come from the equational theory of the paper's semantics
+//! ([17, 20]): `⊗` is associative with unit `()`; `|` is associative and
+//! commutative with unit `()`; `⊙` is idempotent on already-isolated goals;
+//! and executability is invariant under these rewrites.
+
+use proptest::prelude::*;
+use transaction_datalog::prelude::{
+    Atom, Database, Engine, EngineConfig, Goal, Outcome, Program,
+};
+
+/// A small random ground goal over flags f0..f3: ins/del/test/not
+/// compositions. Depth-bounded.
+fn arb_goal(depth: u32) -> impl Strategy<Value = Goal> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(|i| Goal::ins(&format!("f{i}"), vec![])),
+        (0u8..4).prop_map(|i| Goal::del(&format!("f{i}"), vec![])),
+        (0u8..4).prop_map(|i| Goal::prop(&format!("f{i}"))),
+        (0u8..4).prop_map(|i| Goal::NotAtom(Atom::prop(&format!("f{i}")))),
+        Just(Goal::True),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Goal::seq),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::par),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::choice),
+            inner.prop_map(Goal::iso),
+        ]
+    })
+}
+
+fn program() -> Program {
+    Program::builder()
+        .base_preds(&[("f0", 0), ("f1", 0), ("f2", 0), ("f3", 0)])
+        .build()
+        .unwrap()
+}
+
+fn executable(program: &Program, goal: &Goal) -> bool {
+    let db = Database::with_schema_of(program);
+    let engine = Engine::with_config(
+        program.clone(),
+        EngineConfig::default().with_max_steps(200_000),
+    );
+    engine
+        .executable(goal, &db)
+        .expect("ground goals cannot fault within budget")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn seq_associativity(a in arb_goal(2), b in arb_goal(2), c in arb_goal(2)) {
+        let p = program();
+        let left = Goal::seq(vec![Goal::Seq(vec![a.clone(), b.clone()]), c.clone()]);
+        let right = Goal::seq(vec![a, Goal::Seq(vec![b, c])]);
+        prop_assert_eq!(executable(&p, &left), executable(&p, &right));
+    }
+
+    #[test]
+    fn par_commutativity(a in arb_goal(2), b in arb_goal(2)) {
+        let p = program();
+        let ab = Goal::par(vec![a.clone(), b.clone()]);
+        let ba = Goal::par(vec![b, a]);
+        prop_assert_eq!(executable(&p, &ab), executable(&p, &ba));
+    }
+
+    #[test]
+    fn units_are_neutral(a in arb_goal(3)) {
+        let p = program();
+        let bare = executable(&p, &a);
+        prop_assert_eq!(bare, executable(&p, &Goal::seq(vec![a.clone(), Goal::True])));
+        prop_assert_eq!(bare, executable(&p, &Goal::seq(vec![Goal::True, a.clone()])));
+        prop_assert_eq!(bare, executable(&p, &Goal::par(vec![a.clone(), Goal::True])));
+    }
+
+    #[test]
+    fn choice_is_angelic(a in arb_goal(2), b in arb_goal(2)) {
+        // { a or b } executable iff a executable or b executable.
+        let p = program();
+        let either = executable(&p, &Goal::choice(vec![a.clone(), b.clone()]));
+        prop_assert_eq!(either, executable(&p, &a) || executable(&p, &b));
+    }
+
+    #[test]
+    fn iso_is_idempotent(a in arb_goal(2)) {
+        let p = program();
+        let once = Goal::iso(a.clone());
+        let twice = Goal::iso(Goal::iso(a));
+        prop_assert_eq!(executable(&p, &once), executable(&p, &twice));
+    }
+
+    #[test]
+    fn iso_refines_free_interleaving(a in arb_goal(2), b in arb_goal(2)) {
+        // Any isolated success is also a free success: iso{a} | iso{b}
+        // executable implies a | b executable (serial schedules are a
+        // subset of interleavings).
+        let p = program();
+        let isolated = Goal::par(vec![Goal::iso(a.clone()), Goal::iso(b.clone())]);
+        if executable(&p, &isolated) {
+            prop_assert!(executable(&p, &Goal::par(vec![a, b])));
+        }
+    }
+
+    #[test]
+    fn failure_leaves_search_but_not_outcome(a in arb_goal(2)) {
+        // a * fail is never executable, whatever a is.
+        let p = program();
+        prop_assert!(!executable(&p, &Goal::seq(vec![a, Goal::Fail])));
+    }
+
+    #[test]
+    fn engine_agrees_with_decider(a in arb_goal(2)) {
+        let p = program();
+        let db = Database::with_schema_of(&p);
+        let eng = executable(&p, &a);
+        let dec = td_engine::decider::decide(
+            &p,
+            &a,
+            &db,
+            td_engine::decider::DeciderConfig::default(),
+        ).unwrap();
+        prop_assert!(!dec.truncated);
+        prop_assert_eq!(eng, dec.executable);
+    }
+
+    #[test]
+    fn simplify_preserves_executability(a in arb_goal(3)) {
+        let p = program();
+        let simplified = td_core::transform::simplify(&a);
+        prop_assert_eq!(executable(&p, &a), executable(&p, &simplified));
+        // and it is idempotent
+        prop_assert_eq!(td_core::transform::simplify(&simplified).clone(), simplified);
+    }
+
+    #[test]
+    fn committed_delta_is_entailed(a in arb_goal(2)) {
+        let p = program();
+        let db = Database::with_schema_of(&p);
+        let engine = Engine::with_config(
+            p.clone(),
+            EngineConfig::default().with_max_steps(200_000),
+        );
+        if let Outcome::Success(sol) = engine.solve(&a, &db).unwrap() {
+            prop_assert!(td_engine::entail::entails_via_delta(&p, &db, &sol.delta, &a).unwrap());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn par_associativity(a in arb_goal(2), b in arb_goal(2), c in arb_goal(2)) {
+        let p = program();
+        let left = Goal::par(vec![Goal::Par(vec![a.clone(), b.clone()]), c.clone()]);
+        let right = Goal::par(vec![a, Goal::Par(vec![b, c])]);
+        prop_assert_eq!(executable(&p, &left), executable(&p, &right));
+    }
+
+    #[test]
+    fn serial_refines_concurrent(a in arb_goal(2), b in arb_goal(2)) {
+        // a * b executable ⇒ a | b executable (the serial order is one of
+        // the interleavings).
+        let p = program();
+        if executable(&p, &Goal::seq(vec![a.clone(), b.clone()])) {
+            prop_assert!(executable(&p, &Goal::par(vec![a, b])));
+        }
+    }
+
+    #[test]
+    fn choice_distributes_over_seq_prefix(a in arb_goal(2), b in arb_goal(2), c in arb_goal(2)) {
+        // (a or b) * c  ≡  (a * c) or (b * c)   (executability)
+        let p = program();
+        let lhs = Goal::seq(vec![Goal::choice(vec![a.clone(), b.clone()]), c.clone()]);
+        let rhs = Goal::choice(vec![
+            Goal::seq(vec![a, c.clone()]),
+            Goal::seq(vec![b, c]),
+        ]);
+        prop_assert_eq!(executable(&p, &lhs), executable(&p, &rhs));
+    }
+}
+
+/// Random workflow control-flow trees for audit properties. Task names are
+/// uniquified after generation: the audit's conventions assume each task
+/// appears once in the spec (as the paper's examples do).
+fn arb_node(depth: u32) -> impl Strategy<Value = transaction_datalog::workflow::Node> {
+    use transaction_datalog::workflow::Node;
+    fn uniquify(n: &Node, counter: &mut u32) -> Node {
+        match n {
+            Node::Task(_) => {
+                *counter += 1;
+                Node::Task(format!("t{counter}"))
+            }
+            Node::Sub(name, body) => {
+                Node::Sub(name.clone(), Box::new(uniquify(body, counter)))
+            }
+            Node::Seq(ns) => Node::Seq(ns.iter().map(|c| uniquify(c, counter)).collect()),
+            Node::Par(ns) => Node::Par(ns.iter().map(|c| uniquify(c, counter)).collect()),
+        }
+    }
+    let leaf = Just(Node::Task("t".to_owned()));
+    leaf.prop_recursive(depth, 12, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Node::Seq),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Node::Par),
+        ]
+    })
+    .prop_map(|n| {
+        let mut counter = 0;
+        uniquify(&n, &mut counter)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn committed_workflow_runs_always_pass_the_audit(body in arb_node(3)) {
+        use transaction_datalog::workflow::{audit, WorkflowSpec};
+        let spec = WorkflowSpec::new("wf", body);
+        let items = vec!["w1".to_owned(), "w2".to_owned()];
+        let scenario = spec.compile(&items);
+        let out = scenario
+            .run_with(EngineConfig::default().with_max_steps(500_000))
+            .expect("within budget");
+        let sol = out.solution().expect("generated workflows complete");
+        let violations = audit(&spec, &sol.delta);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn complete_strategies_agree_on_executability(a in arb_goal(3)) {
+        // Exhaustive and randomized-exhaustive are both complete: whatever
+        // the exploration order, executability is a property of the goal.
+        let p = program();
+        let db = Database::with_schema_of(&p);
+        let reference = executable(&p, &a);
+        for seed in 0..3u64 {
+            let engine = Engine::with_config(
+                p.clone(),
+                EngineConfig::default()
+                    .with_max_steps(400_000)
+                    .with_strategy(td_engine::Strategy::ExhaustiveRandom(seed)),
+            );
+            prop_assert_eq!(
+                engine.executable(&a, &db).expect("within budget"),
+                reference,
+                "seed {} disagrees", seed
+            );
+        }
+    }
+
+    #[test]
+    fn incomplete_strategies_never_invent_success(a in arb_goal(3)) {
+        // RoundRobin/Leftmost may miss successes but must not fabricate
+        // them: any success they find is a real execution.
+        let p = program();
+        let db = Database::with_schema_of(&p);
+        for strat in [td_engine::Strategy::RoundRobin, td_engine::Strategy::Leftmost] {
+            let engine = Engine::with_config(
+                p.clone(),
+                EngineConfig::default()
+                    .with_max_steps(400_000)
+                    .with_strategy(strat),
+            );
+            if let Outcome::Success(sol) = engine.solve(&a, &db).expect("within budget") {
+                prop_assert!(
+                    td_engine::entail::entails_via_delta(&p, &db, &sol.delta, &a).unwrap(),
+                    "{strat:?} committed a non-execution"
+                );
+            }
+        }
+    }
+}
