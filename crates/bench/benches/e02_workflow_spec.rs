@@ -34,7 +34,13 @@ fn bench(c: &mut Criterion) {
             b.iter(|| run_ok(s));
         });
         let out = run_ok(&scenario);
-        report_row("E2", &format!("serial tasks={n}"), "steps", out.stats().steps as f64, "steps");
+        report_row(
+            "E2",
+            &format!("serial tasks={n}"),
+            "steps",
+            out.stats().steps as f64,
+            "steps",
+        );
     }
     group.finish();
 
@@ -45,7 +51,13 @@ fn bench(c: &mut Criterion) {
             b.iter(|| run_ok(s));
         });
         let out = run_ok(&scenario);
-        report_row("E2", &format!("parallel tasks={n}"), "steps", out.stats().steps as f64, "steps");
+        report_row(
+            "E2",
+            &format!("parallel tasks={n}"),
+            "steps",
+            out.stats().steps as f64,
+            "steps",
+        );
     }
     group.finish();
 }

@@ -28,7 +28,13 @@ fn bench(c: &mut Criterion) {
             .run_with(EngineConfig::default().with_max_steps(10_000_000))
             .unwrap();
         let sol = out.solution().unwrap();
-        report_row("E6", &format!("double n={n}"), "TD steps", sol.stats.steps as f64, "steps");
+        report_row(
+            "E6",
+            &format!("double n={n}"),
+            "TD steps",
+            sol.stats.steps as f64,
+            "steps",
+        );
         report_row(
             "E6",
             &format!("double n={n}"),
@@ -54,8 +60,9 @@ fn bench(c: &mut Criterion) {
     // the stacks, as 3 concurrent TD processes.
     let mut group = c.benchmark_group("e06/stack_reverser_td");
     for len in [1usize, 2, 4] {
-        let word: Vec<td_machines::stack::Sym> =
-            (0..len).map(|i| td_machines::stack::Sym((i % 2) as u8)).collect();
+        let word: Vec<td_machines::stack::Sym> = (0..len)
+            .map(|i| td_machines::stack::Sym((i % 2) as u8))
+            .collect();
         let scenario = StackMachine::reverser(&word).to_td();
         group.bench_with_input(BenchmarkId::from_parameter(len), &scenario, |b, s| {
             b.iter(|| {

@@ -28,8 +28,14 @@ fn bench(c: &mut Criterion) {
             clauses: (0..vars)
                 .map(|i| {
                     vec![
-                        td_machines::qbf::Lit { var: i, positive: true },
-                        td_machines::qbf::Lit { var: i, positive: false },
+                        td_machines::qbf::Lit {
+                            var: i,
+                            positive: true,
+                        },
+                        td_machines::qbf::Lit {
+                            var: i,
+                            positive: false,
+                        },
                     ]
                 })
                 .collect(),
@@ -90,8 +96,14 @@ fn bench(c: &mut Criterion) {
             clauses: (0..vars)
                 .map(|i| {
                     vec![
-                        td_machines::qbf::Lit { var: i, positive: true },
-                        td_machines::qbf::Lit { var: i, positive: false },
+                        td_machines::qbf::Lit {
+                            var: i,
+                            positive: true,
+                        },
+                        td_machines::qbf::Lit {
+                            var: i,
+                            positive: false,
+                        },
                     ]
                 })
                 .collect(),

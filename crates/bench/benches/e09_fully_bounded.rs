@@ -49,13 +49,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e09/iterated_protocol");
     for attempts in [2i64, 4, 8, 16] {
         let scenario = RepeatProtocol::new(2, attempts).compile();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(attempts),
-            &scenario,
-            |b, s| {
-                b.iter(|| run_ok(s));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(attempts), &scenario, |b, s| {
+            b.iter(|| run_ok(s));
+        });
         let out = run_ok(&scenario);
         report_row(
             "E9",

@@ -21,7 +21,11 @@ use td_core::{Atom, Goal, Term};
 use td_engine::{datalog, Engine};
 use td_parser::parse_program;
 
-fn chain_program(nodes: usize, extra_edges: usize, seed: u64) -> (td_core::Program, td_db::Database) {
+fn chain_program(
+    nodes: usize,
+    extra_edges: usize,
+    seed: u64,
+) -> (td_core::Program, td_db::Database) {
     // A connected chain plus random extra *forward* edges (acyclic, so the
     // untabled top-down engine terminates).
     let mut src = String::from("base e/2.\n");

@@ -10,11 +10,19 @@
 //! 2. **Scheduling strategy.** Exhaustive (complete, leftmost-first) vs.
 //!    randomized-exhaustive vs. round-robin (fair, incomplete) on a
 //!    confluent workflow.
+//! 3. **Search backend.** Sequential backtracking vs. the work-stealing
+//!    parallel backend at 1/2/4/8 workers, on three workload shapes:
+//!    E1 serializable transfers (finds a witness fast — measures overhead),
+//!    E6 RE-machine doubling (deep serial recursion — no parallelism to
+//!    mine), and a failure-heavy concurrent goal (the space must be
+//!    exhausted — where the shared claim table and extra workers pay off).
+//!    Pipe `cargo bench` output through `bench_report` for the
+//!    sequential-baseline speedup column.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use td_bench::report_row;
-use td_engine::{EngineConfig, Strategy};
-use td_workflow::{RepeatProtocol, Scenario, WorkflowSpec};
+use td_engine::{EngineConfig, SearchBackend, Strategy};
+use td_workflow::{serializable_transfers, Bank, RepeatProtocol, Scenario, WorkflowSpec};
 
 fn run(scenario: &Scenario, cfg: EngineConfig) -> td_engine::Stats {
     let out = scenario.run_with(cfg).expect("no fault");
@@ -88,6 +96,134 @@ fn bench(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // --- search-backend ablation ------------------------------------------
+    let backends: [(&str, SearchBackend); 5] = [
+        ("seq", SearchBackend::Sequential),
+        ("t1", par(1)),
+        ("t2", par(2)),
+        ("t4", par(4)),
+        ("t8", par(8)),
+    ];
+
+    // (a) E1 serializable transfers: iso-wrapped, a witness exists and the
+    // leftmost schedule finds it — measures backend overhead on the happy path.
+    let bank = Bank::new(&[("acct1", 1_000), ("acct2", 1_000)]);
+    let mut scenario = bank.scenario();
+    let transfers: Vec<(i64, &str, &str)> = (0..4)
+        .map(|i| {
+            if i % 2 == 0 {
+                (5, "acct1", "acct2")
+            } else {
+                (5, "acct2", "acct1")
+            }
+        })
+        .collect();
+    scenario.goal = serializable_transfers(&transfers);
+    let mut group = c.benchmark_group("e13/backend_transfers");
+    for (label, backend) in backends {
+        let cfg = EngineConfig::default().with_backend(backend);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(scenario.clone(), cfg),
+            |b, (s, cfg)| {
+                b.iter(|| run(s, cfg.clone()));
+            },
+        );
+        let stats = run(&scenario, EngineConfig::default().with_backend(backend));
+        report_row(
+            "E13",
+            "transfers n=4",
+            &format!("steps {label}"),
+            stats.steps as f64,
+            "steps",
+        );
+    }
+    group.finish();
+
+    // (b) E6 RE-machine: one deeply serial recursion — an adversarial shape
+    // for the parallel backend (nothing to steal; pure scheduler overhead).
+    let machine = td_machines::MinskyMachine::doubling().with_input(td_machines::Counter::C0, 4);
+    let scenario = machine.to_td();
+    let mut group = c.benchmark_group("e13/backend_machine");
+    for (label, backend) in backends {
+        let cfg = EngineConfig::default()
+            .with_max_steps(10_000_000)
+            .with_backend(backend);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(scenario.clone(), cfg),
+            |b, (s, cfg)| {
+                b.iter(|| run(s, cfg.clone()));
+            },
+        );
+    }
+    group.finish();
+
+    // (c) Failure-heavy: concurrent non-isolated transfers where one leg
+    // overdraws in every schedule — the whole interleaving space must be
+    // refuted. The parallel backend's shared claim table expands each
+    // distinct configuration once, so it does strictly less search work.
+    let scenario = refutation_scenario(2);
+    let mut group = c.benchmark_group("e13/backend_refute");
+    for (label, backend) in backends {
+        let cfg = EngineConfig::default()
+            .with_max_steps(100_000_000)
+            .with_backend(backend);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(scenario.clone(), cfg.clone()),
+            |b, (s, cfg)| {
+                b.iter(|| {
+                    let out = s.run_with(cfg.clone()).expect("no fault");
+                    assert!(!out.is_success());
+                });
+            },
+        );
+        let out = scenario.run_with(cfg).expect("no fault");
+        report_row(
+            "E13",
+            "refute transfers n=2",
+            &format!("steps {label}"),
+            out.stats().steps as f64,
+            "steps",
+        );
+    }
+    group.finish();
+}
+
+fn par(threads: usize) -> SearchBackend {
+    SearchBackend::Parallel {
+        threads,
+        deterministic: false,
+    }
+}
+
+/// `n` feasible concurrent transfers plus one that overdraws everywhere:
+/// inexecutable, so every backend must exhaust the interleaving space.
+fn refutation_scenario(n: usize) -> Scenario {
+    use td_core::{Goal, Term};
+    let bank = Bank::new(&[("acct1", 30), ("acct2", 30), ("acct3", 30)]);
+    let mut scenario = bank.scenario();
+    let mut legs: Vec<Goal> = (0..n)
+        .map(|i| {
+            let (from, to) = if i % 2 == 0 {
+                ("acct1", "acct2")
+            } else {
+                ("acct2", "acct1")
+            };
+            Goal::atom(
+                "transfer",
+                vec![Term::int(5), Term::sym(from), Term::sym(to)],
+            )
+        })
+        .collect();
+    legs.push(Goal::atom(
+        "transfer",
+        vec![Term::int(1_000), Term::sym("acct3"), Term::sym("acct1")],
+    ));
+    scenario.goal = Goal::par(legs);
+    scenario
 }
 
 criterion_group! {

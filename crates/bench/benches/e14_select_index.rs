@@ -1,0 +1,84 @@
+//! E14 — micro-benchmark for the indexed `Relation::select` fast paths.
+//!
+//! Not a paper experiment: this quantifies the three-regime selection in
+//! `td-db` (DESIGN.md §database). Relations store tuples in a persistent
+//! ordered tree, so a bound prefix is answered by a range probe and a fully
+//! bound pattern by a membership test — both O(log n + answer) — where a
+//! naive implementation scans all n tuples. The `scan` series measures that
+//! baseline (a `for_each` + `matches` filter over the same relation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::report_row;
+use td_core::Value;
+use td_db::{Relation, Tuple};
+
+/// `edge/2` with `fanout` successors for each of `n / fanout` sources.
+fn edges(n: u64, fanout: u64) -> Relation {
+    let mut rel = Relation::new(2);
+    for src in 0..n / fanout {
+        for dst in 0..fanout {
+            let t = Tuple::new(vec![
+                Value::Int(src as i64),
+                Value::Int((src * fanout + dst) as i64),
+            ]);
+            rel = rel.insert(&t).0;
+        }
+    }
+    rel
+}
+
+/// The pre-index behaviour: filter every stored tuple against the pattern.
+fn scan(rel: &Relation, pattern: &[Option<Value>]) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    rel.for_each(|t| {
+        if t.matches(pattern) {
+            out.push(t.clone());
+        }
+    });
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    const FANOUT: u64 = 8;
+    for n in [1_000u64, 10_000, 100_000] {
+        let rel = edges(n, FANOUT);
+        let probe_key = Value::Int((n / FANOUT / 2) as i64);
+        let prefix = [Some(probe_key), None];
+        let member = [Some(probe_key), Some(Value::Int((n / 2) as i64))];
+        assert_eq!(rel.select(&prefix).len(), FANOUT as usize);
+        let mut scanned = scan(&rel, &prefix);
+        scanned.sort();
+        assert_eq!(rel.select(&prefix), scanned);
+        assert_eq!(rel.select(&member), scan(&rel, &member));
+
+        let mut group = c.benchmark_group(&format!("e14/select_n{n}"));
+        group.bench_with_input(BenchmarkId::from_parameter("prefix_probe"), &rel, |b, r| {
+            b.iter(|| r.select(&prefix));
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("prefix_scan"), &rel, |b, r| {
+            b.iter(|| scan(r, &prefix));
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("member_probe"), &rel, |b, r| {
+            b.iter(|| r.select(&member));
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("member_scan"), &rel, |b, r| {
+            b.iter(|| scan(r, &member));
+        });
+        group.finish();
+
+        report_row(
+            "E14",
+            &format!("tuples={n}"),
+            "probe answer size",
+            FANOUT as f64,
+            "tuples (independent of n)",
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(1000));
+    targets = bench
+}
+criterion_main!(benches);

@@ -128,8 +128,39 @@ pub fn parse_bench_output(text: &str) -> (Vec<BenchRow>, Vec<MetricRow>) {
     (benches, metrics)
 }
 
+/// Parse a Criterion time like `"10.245 µs"` into nanoseconds.
+pub fn parse_time_ns(s: &str) -> Option<f64> {
+    let mut parts = s.split_whitespace();
+    let value: f64 = parts.next()?.parse().ok()?;
+    let scale = match parts.next()? {
+        "ns" => 1.0,
+        "µs" | "us" => 1e3,
+        "ms" => 1e6,
+        "s" => 1e9,
+        _ => return None,
+    };
+    Some(value * scale)
+}
+
+/// The sequential-baseline speedup for `id`: when a sibling benchmark
+/// `<group>/seq` exists (same id up to the last `/`), the ratio of its time
+/// to this row's time — >1 means faster than the sequential backend.
+fn speedup_vs_seq(
+    id: &str,
+    ns: Option<f64>,
+    seq_ns: &std::collections::BTreeMap<&str, f64>,
+) -> Option<f64> {
+    let (group, leaf) = id.rsplit_once('/')?;
+    if leaf == "seq" {
+        return None; // the baseline itself
+    }
+    Some(seq_ns.get(group)? / ns?)
+}
+
 /// Render the parsed results as a markdown summary grouped by experiment
-/// prefix (`e01`, `e02`, …).
+/// prefix (`e01`, `e02`, …). Benchmark groups that contain a `…/seq` row
+/// (the sequential-backend baseline) gain a speedup column for their other
+/// rows.
 pub fn render_markdown(benches: &[BenchRow], metrics: &[MetricRow]) -> String {
     use std::collections::BTreeMap;
     let mut by_exp: BTreeMap<String, Vec<&BenchRow>> = BTreeMap::new();
@@ -137,12 +168,25 @@ pub fn render_markdown(benches: &[BenchRow], metrics: &[MetricRow]) -> String {
         let exp = b.id.split('/').next().unwrap_or("misc").to_string();
         by_exp.entry(exp).or_default().push(b);
     }
+    let mut seq_ns: BTreeMap<&str, f64> = BTreeMap::new();
+    for b in benches {
+        if let Some((group, "seq")) = b.id.rsplit_once('/') {
+            if let Some(ns) = parse_time_ns(&b.midpoint) {
+                seq_ns.insert(group, ns);
+            }
+        }
+    }
     let mut out = String::new();
     out.push_str("# Benchmark summary\n");
     for (exp, rows) in &by_exp {
-        out.push_str(&format!("\n## {exp}\n\n| benchmark | time |\n|---|---|\n"));
+        out.push_str(&format!(
+            "\n## {exp}\n\n| benchmark | time | vs seq |\n|---|---|---|\n"
+        ));
         for r in rows {
-            out.push_str(&format!("| {} | {} |\n", r.id, r.midpoint));
+            let ratio = speedup_vs_seq(&r.id, parse_time_ns(&r.midpoint), &seq_ns)
+                .map(|x| format!("{x:.2}×"))
+                .unwrap_or_default();
+            out.push_str(&format!("| {} | {} | {} |\n", r.id, r.midpoint, ratio));
         }
         let related: Vec<&MetricRow> = metrics
             .iter()
@@ -186,6 +230,30 @@ Found 1 outliers among 10 measurements (10.00%)
         assert_eq!(metrics[0].experiment, "E7");
         assert_eq!(metrics[0].value, 597.0);
         assert_eq!(metrics[0].series, "TD steps (~2^k)");
+    }
+
+    #[test]
+    fn speedup_column_uses_the_seq_sibling_as_baseline() {
+        let backend = "\
+e13/backend_refute/seq  time:   [9.0 ms 10.0 ms 11.0 ms]
+e13/backend_refute/t4   time:   [4.0 ms 5.0 ms 6.0 ms]
+e13/backend_machine/t4  time:   [1.0 ms 2.0 ms 3.0 ms]
+";
+        let (benches, metrics) = parse_bench_output(backend);
+        let md = render_markdown(&benches, &metrics);
+        assert!(md.contains("| e13/backend_refute/t4 | 5.0 ms | 2.00× |"));
+        // the baseline row and rows without a seq sibling get no ratio
+        assert!(md.contains("| e13/backend_refute/seq | 10.0 ms |  |"));
+        assert!(md.contains("| e13/backend_machine/t4 | 2.0 ms |  |"));
+    }
+
+    #[test]
+    fn parses_time_units() {
+        assert_eq!(parse_time_ns("10.5 ns"), Some(10.5));
+        assert_eq!(parse_time_ns("2 µs"), Some(2000.0));
+        assert_eq!(parse_time_ns("3 ms"), Some(3e6));
+        assert_eq!(parse_time_ns("1.5 s"), Some(1.5e9));
+        assert_eq!(parse_time_ns("oops"), None);
     }
 
     #[test]

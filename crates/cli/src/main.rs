@@ -11,19 +11,25 @@
 //!   --strategy=exhaustive|random|round-robin|leftmost
 //!   --seed=N               seed for --strategy=random
 //!   --max-steps=N          step budget (default 10000000)
+//!   --threads=N            parallel search with N workers (exhaustive
+//!                          strategy only; N<=1 keeps the sequential engine)
+//!   --deterministic        with --threads: report the same witness as the
+//!                          sequential engine
 //! ```
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use td_core::{FragmentReport, Goal, Program};
 use td_db::Database;
-use td_engine::{decider, load_init, Engine, EngineConfig, Outcome, Strategy};
+use td_engine::{decider, load_init, Engine, EngineConfig, Outcome, SearchBackend, Strategy};
 use td_parser::{parse_goal, parse_program};
 
 fn parse_options(args: &[String]) -> Result<(EngineConfig, Vec<&String>), String> {
     let mut config = EngineConfig::default();
     let mut seed: u64 = 0;
     let mut strategy: Option<&str> = None;
+    let mut threads: usize = 1;
+    let mut deterministic = false;
     let mut rest = Vec::new();
     for a in args {
         if let Some(v) = a.strip_prefix("--strategy=") {
@@ -35,6 +41,10 @@ fn parse_options(args: &[String]) -> Result<(EngineConfig, Vec<&String>), String
             seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
         } else if let Some(v) = a.strip_prefix("--max-steps=") {
             config.max_steps = v.parse().map_err(|_| format!("bad step budget `{v}`"))?;
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
+        } else if a == "--deterministic" {
+            deterministic = true;
         } else if a.starts_with("--") {
             return Err(format!("unknown option `{a}`"));
         } else {
@@ -48,6 +58,17 @@ fn parse_options(args: &[String]) -> Result<(EngineConfig, Vec<&String>), String
         Some("leftmost") => Strategy::Leftmost,
         Some(_) => unreachable!("validated above"),
     };
+    if threads > 1 {
+        if config.strategy != Strategy::Exhaustive {
+            return Err("--threads requires --strategy=exhaustive".into());
+        }
+        config.backend = SearchBackend::Parallel {
+            threads,
+            deterministic,
+        };
+    } else if deterministic {
+        return Err("--deterministic only applies with --threads=N (N > 1)".into());
+    }
     Ok((config, rest))
 }
 
@@ -64,8 +85,8 @@ fn main() -> ExitCode {
         [cmd, file] => (cmd.as_str(), file.as_str()),
         _ => {
             eprintln!(
-                "usage: td [--strategy=S] [--seed=N] [--max-steps=N] \
-       <run|trace|fragment|decide|repl> <file.td>"
+                "usage: td [--strategy=S] [--seed=N] [--max-steps=N] [--threads=N] \
+       [--deterministic] <run|trace|fragment|decide|repl> <file.td>"
             );
             return ExitCode::from(2);
         }
@@ -96,7 +117,7 @@ fn main() -> ExitCode {
     match cmd {
         "run" => run(&parsed, db, config),
         "trace" => trace(&parsed, db, config),
-        "fragment" => fragment(&parsed),
+        "fragment" => fragment(&parsed, &config),
         "decide" => decide(&parsed, db),
         "repl" => repl(&parsed, db, config),
         other => {
@@ -179,7 +200,7 @@ fn run(parsed: &td_parser::ParsedProgram, mut db: Database, config: EngineConfig
     }
 }
 
-fn fragment(parsed: &td_parser::ParsedProgram) -> ExitCode {
+fn fragment(parsed: &td_parser::ParsedProgram, config: &EngineConfig) -> ExitCode {
     let goal = parsed
         .goals
         .first()
@@ -187,6 +208,16 @@ fn fragment(parsed: &td_parser::ParsedProgram) -> ExitCode {
         .unwrap_or(Goal::True);
     let report = FragmentReport::classify(&parsed.program, &goal);
     println!("{report}");
+    match config.backend {
+        SearchBackend::Sequential => println!("search backend: sequential"),
+        SearchBackend::Parallel {
+            threads,
+            deterministic,
+        } => println!(
+            "search backend: parallel ({threads} threads{})",
+            if deterministic { ", deterministic" } else { "" }
+        ),
+    }
     for l in td_core::validate::unsafe_rules(&parsed.program) {
         println!("lint: {l}");
     }

@@ -35,24 +35,16 @@ pub fn call_sites(p: &Program, goal: &Goal) -> Vec<CallSite> {
     out
 }
 
-fn walk(
-    p: &Program,
-    g: &Goal,
-    tail: bool,
-    in_par: bool,
-    in_iso: bool,
-    out: &mut Vec<CallSite>,
-) {
+fn walk(p: &Program, g: &Goal, tail: bool, in_par: bool, in_iso: bool, out: &mut Vec<CallSite>) {
     match g {
-        Goal::Atom(a)
-            if p.is_derived(a.pred) => {
-                out.push(CallSite {
-                    pred: a.pred,
-                    tail: tail && !in_par && !in_iso,
-                    in_par,
-                    in_iso,
-                });
-            }
+        Goal::Atom(a) if p.is_derived(a.pred) => {
+            out.push(CallSite {
+                pred: a.pred,
+                tail: tail && !in_par && !in_iso,
+                in_par,
+                in_iso,
+            });
+        }
         Goal::Seq(gs) => {
             for (i, sub) in gs.iter().enumerate() {
                 let last = i + 1 == gs.len();
@@ -119,7 +111,10 @@ impl DepGraph {
         let n = nodes.len();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, p) in nodes.iter().enumerate() {
-            let mut cs: Vec<usize> = self.callees(*p).filter_map(|q| index_of.get(&q).copied()).collect();
+            let mut cs: Vec<usize> = self
+                .callees(*p)
+                .filter_map(|q| index_of.get(&q).copied())
+                .collect();
             cs.sort_unstable();
             adj[i] = cs;
         }
@@ -263,7 +258,8 @@ pub fn structure_facts(program: &Program, goal: &Goal) -> StructureFacts {
             // and reaches the caller" is approximated by: callee is
             // recursive and caller is in the same SCC. We use the precise
             // test below.
-            let is_rec = recursive.contains(&site.pred) && in_same_scc(&graph, r.head.pred, site.pred);
+            let is_rec =
+                recursive.contains(&site.pred) && in_same_scc(&graph, r.head.pred, site.pred);
             if is_rec {
                 if site.in_par {
                     recursion_through_par = true;
@@ -320,7 +316,10 @@ mod tests {
     fn call_sites_distinguish_tail_positions() {
         let p = prog(
             vec![
-                (Atom::prop("loop"), Goal::seq(vec![Goal::prop("step"), Goal::prop("loop")])),
+                (
+                    Atom::prop("loop"),
+                    Goal::seq(vec![Goal::prop("step"), Goal::prop("loop")]),
+                ),
                 (Atom::prop("step"), Goal::ins("t", vec![])),
             ],
             &[("t", 0)],
@@ -328,8 +327,14 @@ mod tests {
         let r = &p.rules()[0];
         let sites = call_sites(&p, &r.body);
         assert_eq!(sites.len(), 2);
-        let step = sites.iter().find(|s| s.pred == Pred::new("step", 0)).unwrap();
-        let rec = sites.iter().find(|s| s.pred == Pred::new("loop", 0)).unwrap();
+        let step = sites
+            .iter()
+            .find(|s| s.pred == Pred::new("step", 0))
+            .unwrap();
+        let rec = sites
+            .iter()
+            .find(|s| s.pred == Pred::new("loop", 0))
+            .unwrap();
         assert!(!step.tail);
         assert!(rec.tail);
     }
@@ -356,12 +361,10 @@ mod tests {
     #[test]
     fn choice_branches_preserve_tailness() {
         let p = prog(
-            vec![
-                (
-                    Atom::prop("loop"),
-                    Goal::choice(vec![Goal::prop("loop"), Goal::ins("t", vec![])]),
-                ),
-            ],
+            vec![(
+                Atom::prop("loop"),
+                Goal::choice(vec![Goal::prop("loop"), Goal::ins("t", vec![])]),
+            )],
             &[("t", 0)],
         );
         let sites = call_sites(&p, &p.rules()[0].body);
@@ -490,8 +493,14 @@ mod tests {
     fn mutual_tail_recursion_counts_as_tail() {
         let p = prog(
             vec![
-                (Atom::prop("a"), Goal::seq(vec![Goal::prop("s"), Goal::prop("b")])),
-                (Atom::prop("b"), Goal::seq(vec![Goal::prop("s"), Goal::prop("a")])),
+                (
+                    Atom::prop("a"),
+                    Goal::seq(vec![Goal::prop("s"), Goal::prop("b")]),
+                ),
+                (
+                    Atom::prop("b"),
+                    Goal::seq(vec![Goal::prop("s"), Goal::prop("a")]),
+                ),
                 (Atom::prop("s"), Goal::ins("t", vec![])),
             ],
             &[("t", 0)],
@@ -511,7 +520,10 @@ mod tests {
                     Atom::prop("main"),
                     Goal::seq(vec![Goal::prop("loop"), Goal::prop("after")]),
                 ),
-                (Atom::prop("loop"), Goal::choice(vec![Goal::prop("loop"), Goal::True])),
+                (
+                    Atom::prop("loop"),
+                    Goal::choice(vec![Goal::prop("loop"), Goal::True]),
+                ),
                 (Atom::prop("after"), Goal::ins("t", vec![])),
             ],
             &[("t", 0)],
@@ -562,9 +574,7 @@ mod scc_properties {
                 .collect();
             while let Some(x) = stack.pop() {
                 if seen.insert(x) {
-                    stack.extend(
-                        edges.iter().filter(|(a, _)| *a == x).map(|(_, b)| *b),
-                    );
+                    stack.extend(edges.iter().filter(|(a, _)| *a == x).map(|(_, b)| *b));
                 }
             }
             seen

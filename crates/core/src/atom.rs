@@ -108,10 +108,7 @@ mod tests {
     #[test]
     fn ground_args_only_when_ground() {
         let g = Atom::new("p", vec![Term::sym("a"), Term::int(3)]);
-        assert_eq!(
-            g.ground_args(),
-            Some(vec![Value::sym("a"), Value::Int(3)])
-        );
+        assert_eq!(g.ground_args(), Some(vec![Value::sym("a"), Value::Int(3)]));
         let ng = Atom::new("p", vec![Term::var(1)]);
         assert_eq!(ng.ground_args(), None);
     }

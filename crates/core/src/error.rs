@@ -32,7 +32,11 @@ pub enum CoreError {
     /// elements.
     UnsafeHeadVar { pred: Pred, var: Symbol },
     /// A builtin was constructed with the wrong number of arguments.
-    BuiltinArity { op: &'static str, expected: usize, found: usize },
+    BuiltinArity {
+        op: &'static str,
+        expected: usize,
+        found: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -57,7 +61,10 @@ impl fmt::Display for CoreError {
                 write!(f, "`not` applied to non-base predicate `{pred}`")
             }
             CoreError::UnknownPredicate { pred } => {
-                write!(f, "predicate `{pred}` is neither a base relation nor defined by any rule")
+                write!(
+                    f,
+                    "predicate `{pred}` is neither a base relation nor defined by any rule"
+                )
             }
             CoreError::UnsafeHeadVar { pred, var } => write!(
                 f,

@@ -104,22 +104,36 @@ impl FragmentReport {
     /// True if executability is decidable for this fragment (everything
     /// except the RE-complete fragments).
     pub fn decidable(&self) -> bool {
-        !matches!(
-            self.fragment,
-            Fragment::Full | Fragment::SequentialRulebase
-        )
+        !matches!(self.fragment, Fragment::Full | Fragment::SequentialRulebase)
     }
 }
 
 impl fmt::Display for FragmentReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "fragment: {} ({})", self.fragment, self.fragment.complexity())?;
+        writeln!(
+            f,
+            "fragment: {} ({})",
+            self.fragment,
+            self.fragment.complexity()
+        )?;
         writeln!(f, "  recursive:              {}", self.facts.recursive)?;
         writeln!(f, "  | in rule bodies:       {}", self.facts.par_in_rules)?;
         writeln!(f, "  | in top-level goal:    {}", self.facts.par_in_goal)?;
-        writeln!(f, "  recursion through |:    {}", self.facts.recursion_through_par)?;
-        writeln!(f, "  recursion through iso:  {}", self.facts.recursion_through_iso)?;
-        writeln!(f, "  tail recursion only:    {}", self.facts.tail_recursion_only)?;
+        writeln!(
+            f,
+            "  recursion through |:    {}",
+            self.facts.recursion_through_par
+        )?;
+        writeln!(
+            f,
+            "  recursion through iso:  {}",
+            self.facts.recursion_through_iso
+        )?;
+        writeln!(
+            f,
+            "  tail recursion only:    {}",
+            self.facts.tail_recursion_only
+        )?;
         write!(f, "  max | width:            {}", self.facts.max_par_width)
     }
 }
@@ -156,7 +170,10 @@ mod tests {
     fn nonrecursive_wins_even_with_par() {
         // Thm 4.7: eliminating recursion collapses complexity regardless of |.
         let f = classify(
-            vec![(Atom::prop("a"), Goal::par(vec![Goal::ins("t", vec![]), Goal::ins("u", vec![])]))],
+            vec![(
+                Atom::prop("a"),
+                Goal::par(vec![Goal::ins("t", vec![]), Goal::ins("u", vec![])]),
+            )],
             &[("t", 0), ("u", 0)],
             Goal::prop("a"),
         );
@@ -194,7 +211,11 @@ mod tests {
         let loop_b = (
             Atom::prop("wf_b"),
             Goal::choice(vec![
-                Goal::seq(vec![Goal::atom("a", vec![]), Goal::ins("b", vec![]), Goal::prop("wf_b")]),
+                Goal::seq(vec![
+                    Goal::atom("a", vec![]),
+                    Goal::ins("b", vec![]),
+                    Goal::prop("wf_b"),
+                ]),
                 Goal::True,
             ]),
         );

@@ -364,11 +364,7 @@ mod tests {
 
     #[test]
     fn seq_flattens_and_drops_units() {
-        let g = Goal::seq(vec![
-            a("p"),
-            Goal::True,
-            Goal::seq(vec![a("q"), a("r")]),
-        ]);
+        let g = Goal::seq(vec![a("p"), Goal::True, Goal::seq(vec![a("q"), a("r")])]);
         assert_eq!(g, Goal::Seq(vec![a("p"), a("q"), a("r")]));
     }
 
@@ -454,10 +450,7 @@ mod tests {
     fn builtin_display() {
         let g = Goal::Builtin(Builtin::Lt, vec![Term::var(0), Term::int(5)]);
         assert_eq!(g.to_string(), "_V0 < 5");
-        let h = Goal::Builtin(
-            Builtin::Sub,
-            vec![Term::var(0), Term::int(1), Term::var(1)],
-        );
+        let h = Goal::Builtin(Builtin::Sub, vec![Term::var(0), Term::int(1), Term::var(1)]);
         assert_eq!(h.to_string(), "_V1 is _V0 - 1");
     }
 }

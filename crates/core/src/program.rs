@@ -279,10 +279,7 @@ mod tests {
                 Atom::prop("go"),
                 Goal::seq(vec![
                     Goal::atom("p", vec![Term::sym("a"), Term::int(3)]),
-                    Goal::Builtin(
-                        crate::goal::Builtin::Lt,
-                        vec![Term::int(3), Term::int(5)],
-                    ),
+                    Goal::Builtin(crate::goal::Builtin::Lt, vec![Term::int(3), Term::int(5)]),
                 ]),
             )
             .build()

@@ -52,9 +52,7 @@ impl Rule {
             }
             _ => {}
         });
-        let var_names = (0..max)
-            .map(|i| Symbol::intern(&format!("X{i}")))
-            .collect();
+        let var_names = (0..max).map(|i| Symbol::intern(&format!("X{i}"))).collect();
         Rule {
             head,
             body,

@@ -34,8 +34,7 @@ impl Bindings {
     /// The engine calls this when renaming a rule apart.
     pub fn alloc(&mut self, n: u32) -> u32 {
         let base = u32::try_from(self.slots.len()).expect("variable id overflow");
-        self.slots
-            .resize(self.slots.len() + n as usize, None);
+        self.slots.resize(self.slots.len() + n as usize, None);
         base
     }
 
@@ -78,10 +77,7 @@ impl Bindings {
     /// Callers must pass a variable that is currently unbound (i.e. the
     /// result of [`Bindings::resolve`]); debug builds assert this.
     pub fn bind(&mut self, v: Var, t: Term) {
-        debug_assert!(
-            self.slot(v).is_none(),
-            "bind called on already-bound {v:?}"
-        );
+        debug_assert!(self.slot(v).is_none(), "bind called on already-bound {v:?}");
         debug_assert!(
             (v.0 as usize) < self.slots.len(),
             "bind called on unallocated {v:?}"

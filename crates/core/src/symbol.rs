@@ -2,20 +2,31 @@
 //!
 //! Predicate and constant names occur everywhere — in rules, tuples, traces —
 //! so they are interned once into a process-wide table. A [`Symbol`] carries
-//! both a dense id (identity: `Eq`/`Hash` are integer operations) and the
+//! both a unique id (identity: `Eq`/`Hash` are integer operations) and the
 //! leaked `&'static str` itself, so resolution, display and *ordering* never
-//! touch the interner lock — ordering in particular sits on the engine's hot
-//! path through the `BTreeMap`-keyed database.
+//! touch the interner at all — ordering in particular sits on the engine's
+//! hot path through the `BTreeMap`-keyed database.
+//!
+//! The table is sharded: each string hashes to one of [`SHARDS`] independent
+//! `RwLock`-protected maps, and the overwhelmingly common case — interning a
+//! string that already exists — takes only a read lock on one shard. This
+//! keeps the interner off the contention profile of the parallel search
+//! backend, where every worker thread interns during parsing-free operation
+//! only rarely, but many threads may still race on warm-up. Symbols are
+//! `Copy + Send + Sync`; everything they point at is immortal.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string. Cheap to copy, compare and hash.
 ///
-/// Equality and hashing use the dense id; ordering is *textual* (not
+/// Equality and hashing use the unique id; ordering is *textual* (not
 /// interning order), so sorted containers and displays are deterministic
-/// across runs regardless of interning sequence.
+/// across runs regardless of interning sequence — which matters doubly now
+/// that concurrent threads may intern in nondeterministic order.
 #[derive(Clone, Copy)]
 pub struct Symbol {
     id: u32,
@@ -30,8 +41,8 @@ impl PartialEq for Symbol {
 
 impl Eq for Symbol {}
 
-impl std::hash::Hash for Symbol {
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+impl Hash for Symbol {
+    fn hash<H: Hasher>(&self, state: &mut H) {
         self.id.hash(state);
     }
 }
@@ -52,37 +63,51 @@ impl Ord for Symbol {
     }
 }
 
+/// Shard count; a power of two so shard selection is a mask.
+const SHARDS: usize = 16;
+
 struct Interner {
-    map: HashMap<&'static str, u32>,
-    strings: Vec<&'static str>,
+    shards: [RwLock<HashMap<&'static str, Symbol>>; SHARDS],
+    next_id: AtomicU32,
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
-            map: HashMap::new(),
-            strings: Vec::new(),
-        })
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        next_id: AtomicU32::new(0),
     })
+}
+
+fn shard_of(s: &str) -> usize {
+    // FNV-1a over the bytes; only shard selection uses this hash.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h as usize) & (SHARDS - 1)
 }
 
 impl Symbol {
     /// Intern `s`, returning its symbol. Repeated calls with equal strings
-    /// return equal symbols.
+    /// return equal symbols, from any thread.
     pub fn intern(s: &str) -> Symbol {
-        let mut int = interner().lock().expect("symbol interner poisoned");
-        if let Some(&id) = int.map.get(s) {
-            return Symbol {
-                id,
-                text: int.strings[id as usize],
-            };
+        let shard = &interner().shards[shard_of(s)];
+        if let Some(&sym) = shard.read().expect("symbol interner poisoned").get(s) {
+            return sym;
         }
-        let id = u32::try_from(int.strings.len()).expect("interner overflow");
+        let mut map = shard.write().expect("symbol interner poisoned");
+        // Double-check: another thread may have interned between the locks.
+        if let Some(&sym) = map.get(s) {
+            return sym;
+        }
+        let id = interner().next_id.fetch_add(1, Ordering::Relaxed);
+        assert!(id != u32::MAX, "interner overflow");
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        int.strings.push(leaked);
-        int.map.insert(leaked, id);
-        Symbol { id, text: leaked }
+        let sym = Symbol { id, text: leaked };
+        map.insert(leaked, sym);
+        sym
     }
 
     /// The interned text (allocation- and lock-free).
@@ -90,7 +115,8 @@ impl Symbol {
         self.text
     }
 
-    /// Raw id, stable within a process run. Useful for dense tables.
+    /// Raw id, stable within a process run. Useful for dense tables. Ids are
+    /// unique but not contiguous in interning order once threads race.
     pub fn id(self) -> u32 {
         self.id
     }
@@ -176,7 +202,9 @@ mod tests {
 
     #[test]
     fn many_symbols_stay_distinct() {
-        let syms: Vec<Symbol> = (0..1000).map(|i| Symbol::intern(&format!("s{i}"))).collect();
+        let syms: Vec<Symbol> = (0..1000)
+            .map(|i| Symbol::intern(&format!("s{i}")))
+            .collect();
         for (i, s) in syms.iter().enumerate() {
             assert_eq!(s.as_str(), format!("s{i}"));
         }
@@ -191,5 +219,36 @@ mod tests {
         });
         let b = handle.join().unwrap();
         assert_eq!(b.as_str(), "from-thread");
+    }
+
+    #[test]
+    fn symbol_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Symbol>();
+    }
+
+    #[test]
+    fn concurrent_interning_agrees_on_identity() {
+        // Many threads intern overlapping string sets; all must agree.
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| Symbol::intern(&format!("race_{}", (i + t) % 100)))
+                        .map(|s| (s.as_str(), s.id()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut by_text: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+        for run in &results {
+            for (text, id) in run {
+                let prev = by_text.insert(text, *id);
+                if let Some(prev) = prev {
+                    assert_eq!(prev, *id, "{text} interned to two ids");
+                }
+            }
+        }
     }
 }

@@ -143,10 +143,7 @@ pub fn inline_once(p: &Program) -> Program {
         let body = inline_goal(&r.body, &inlinable, &mut next_var);
         let mut names = r.var_names.clone();
         while (names.len() as u32) < next_var {
-            names.push(crate::symbol::Symbol::intern(&format!(
-                "_I{}",
-                names.len()
-            )));
+            names.push(crate::symbol::Symbol::intern(&format!("_I{}", names.len())));
         }
         b = b.rule(Rule::with_var_names(r.head.clone(), body, names));
     }
@@ -164,7 +161,9 @@ fn inline_goal(
                 // Map head vars to call args; fresh ids for body locals.
                 let mut map: HashMap<Var, Term> = HashMap::new();
                 for (h, actual) in rule.head.args.iter().zip(&a.args) {
-                    let Term::Var(v) = h else { unreachable!("checked distinct vars") };
+                    let Term::Var(v) = h else {
+                        unreachable!("checked distinct vars")
+                    };
                     map.insert(*v, *actual);
                 }
                 let body = rule.body.map_terms(&mut |t| match t {
@@ -179,11 +178,21 @@ fn inline_goal(
             }
             _ => goal.clone(),
         },
-        Goal::Seq(gs) => Goal::seq(gs.iter().map(|g| inline_goal(g, inlinable, next_var)).collect()),
-        Goal::Par(gs) => Goal::par(gs.iter().map(|g| inline_goal(g, inlinable, next_var)).collect()),
-        Goal::Choice(gs) => {
-            Goal::choice(gs.iter().map(|g| inline_goal(g, inlinable, next_var)).collect())
-        }
+        Goal::Seq(gs) => Goal::seq(
+            gs.iter()
+                .map(|g| inline_goal(g, inlinable, next_var))
+                .collect(),
+        ),
+        Goal::Par(gs) => Goal::par(
+            gs.iter()
+                .map(|g| inline_goal(g, inlinable, next_var))
+                .collect(),
+        ),
+        Goal::Choice(gs) => Goal::choice(
+            gs.iter()
+                .map(|g| inline_goal(g, inlinable, next_var))
+                .collect(),
+        ),
         Goal::Iso(g) => Goal::iso(inline_goal(g, inlinable, next_var)),
         other => other.clone(),
     }
@@ -268,24 +277,24 @@ mod tests {
     fn choice_drops_failing_branches() {
         let g = Goal::choice(vec![Goal::Fail, a("p"), Goal::Fail]);
         assert_eq!(simplify(&g), a("p"));
-        assert_eq!(simplify(&Goal::choice(vec![Goal::Fail, Goal::Fail])), Goal::Fail);
-    }
-
-    #[test]
-    fn nested_choice_flattens() {
-        let g = Goal::Choice(vec![
-            a("p"),
-            Goal::Choice(vec![a("q"), a("r")]),
-        ]);
         assert_eq!(
-            simplify(&g),
-            Goal::Choice(vec![a("p"), a("q"), a("r")])
+            simplify(&Goal::choice(vec![Goal::Fail, Goal::Fail])),
+            Goal::Fail
         );
     }
 
     #[test]
+    fn nested_choice_flattens() {
+        let g = Goal::Choice(vec![a("p"), Goal::Choice(vec![a("q"), a("r")])]);
+        assert_eq!(simplify(&g), Goal::Choice(vec![a("p"), a("q"), a("r")]));
+    }
+
+    #[test]
     fn iso_of_elementary_action_is_dropped() {
-        assert_eq!(simplify(&Goal::iso(Goal::ins("t", vec![]))), Goal::ins("t", vec![]));
+        assert_eq!(
+            simplify(&Goal::iso(Goal::ins("t", vec![]))),
+            Goal::ins("t", vec![])
+        );
         assert_eq!(simplify(&Goal::iso(Goal::True)), Goal::True);
         let composite = Goal::seq(vec![a("p"), a("q")]);
         assert_eq!(
@@ -311,7 +320,10 @@ mod tests {
         ]);
         let once = simplify(&g);
         assert_eq!(simplify(&once), once);
-        assert_eq!(once, Goal::seq(vec![a("p"), Goal::par(vec![a("q"), a("r")])]));
+        assert_eq!(
+            once,
+            Goal::seq(vec![a("p"), Goal::par(vec![a("q"), a("r")])])
+        );
     }
 
     #[test]
@@ -404,10 +416,7 @@ mod tests {
     fn constants_in_call_args_substitute() {
         let p = Program::builder()
             .base_pred("t", 1)
-            .rule_parts(
-                Atom::prop("main"),
-                Goal::atom("put", vec![Term::int(7)]),
-            )
+            .rule_parts(Atom::prop("main"), Goal::atom("put", vec![Term::int(7)]))
             .rule_parts(
                 Atom::new("put", vec![Term::var(0)]),
                 Goal::ins("t", vec![Term::var(0)]),
@@ -438,10 +447,7 @@ mod tests {
     fn inline_then_dce_shrinks_the_program() {
         let p = Program::builder()
             .base_pred("t", 1)
-            .rule_parts(
-                Atom::prop("main"),
-                Goal::atom("helper", vec![Term::int(1)]),
-            )
+            .rule_parts(Atom::prop("main"), Goal::atom("helper", vec![Term::int(1)]))
             .rule_parts(
                 Atom::new("helper", vec![Term::var(0)]),
                 Goal::ins("t", vec![Term::var(0)]),

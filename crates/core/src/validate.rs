@@ -8,7 +8,6 @@
 //! which itself must be bound at runtime — or the output of an arithmetic
 //! builtin).
 
-
 use crate::error::{CoreError, CoreResult};
 use crate::goal::Goal;
 use crate::program::Program;
@@ -92,26 +91,22 @@ fn check_goal(p: &Program, goal: &Goal) -> CoreResult<()> {
             return;
         }
         match g {
-            Goal::Atom(a)
-                if !p.is_base(a.pred) && !p.is_derived(a.pred) => {
-                    err = Some(CoreError::UnknownPredicate { pred: a.pred });
-                }
-            Goal::NotAtom(a)
-                if !p.is_base(a.pred) => {
-                    err = Some(CoreError::NegationOnNonBase { pred: a.pred });
-                }
-            Goal::Ins(a) | Goal::Del(a)
-                if !p.is_base(a.pred) => {
-                    err = Some(CoreError::UpdateOnNonBase { pred: a.pred });
-                }
-            Goal::Builtin(b, ts)
-                if ts.len() != b.arity() => {
-                    err = Some(CoreError::BuiltinArity {
-                        op: b.op_str(),
-                        expected: b.arity(),
-                        found: ts.len(),
-                    });
-                }
+            Goal::Atom(a) if !p.is_base(a.pred) && !p.is_derived(a.pred) => {
+                err = Some(CoreError::UnknownPredicate { pred: a.pred });
+            }
+            Goal::NotAtom(a) if !p.is_base(a.pred) => {
+                err = Some(CoreError::NegationOnNonBase { pred: a.pred });
+            }
+            Goal::Ins(a) | Goal::Del(a) if !p.is_base(a.pred) => {
+                err = Some(CoreError::UpdateOnNonBase { pred: a.pred });
+            }
+            Goal::Builtin(b, ts) if ts.len() != b.arity() => {
+                err = Some(CoreError::BuiltinArity {
+                    op: b.op_str(),
+                    expected: b.arity(),
+                    found: ts.len(),
+                });
+            }
             _ => {}
         }
     });
@@ -274,10 +269,7 @@ mod tests {
                 Atom::new("r", vec![Term::var(1)]),
                 Goal::seq(vec![
                     Goal::atom("p", vec![Term::var(0)]),
-                    Goal::Builtin(
-                        Builtin::Add,
-                        vec![Term::var(0), Term::int(1), Term::var(1)],
-                    ),
+                    Goal::Builtin(Builtin::Add, vec![Term::var(0), Term::int(1), Term::var(1)]),
                 ]),
             )
             .build();

@@ -64,13 +64,7 @@ impl<T: Clone + Eq + Hash> Node<T> {
                     } else {
                         let mut entries = entries.clone();
                         entries.push(value.clone());
-                        (
-                            Node::Leaf {
-                                hash,
-                                entries,
-                            },
-                            true,
-                        )
+                        (Node::Leaf { hash, entries }, true)
                     }
                 } else if shift > MAX_SHIFT {
                     // Exhausted hash bits with different hashes: impossible —

@@ -20,6 +20,7 @@
 pub mod database;
 pub mod delta;
 pub mod hamt;
+pub mod ord;
 pub mod relation;
 pub mod tuple;
 
@@ -27,3 +28,17 @@ pub use database::{Database, DbError};
 pub use delta::{Delta, DeltaOp};
 pub use relation::Relation;
 pub use tuple::Tuple;
+
+/// The parallel search backend shares snapshots across worker threads, so
+/// every storage type must be `Send + Sync`. Compile-time proof; a regression
+/// (e.g. an `Rc` or `Cell` slipping into a node type) fails the build here.
+#[allow(dead_code)]
+fn _assert_storage_is_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<Relation>();
+    assert_send_sync::<Tuple>();
+    assert_send_sync::<Delta>();
+    assert_send_sync::<hamt::Set<Tuple>>();
+    assert_send_sync::<ord::OrdSet<Tuple>>();
+}

@@ -1,0 +1,364 @@
+//! A persistent ordered set (treap) used as the sorted secondary index on
+//! relations.
+//!
+//! [`crate::hamt::Set`] answers membership in O(log n) but can only *scan*
+//! for pattern matches. Selection with a bound prefix of columns — the
+//! engine's per-step hot path when resolving atoms against base relations —
+//! wants a *range probe*: tuples sort lexicographically, so all tuples
+//! sharing a bound prefix are contiguous in sorted order. This treap provides
+//! that probe persistently: insert/remove are O(log n) path-copying
+//! operations sharing structure between versions, exactly like the HAMT, so
+//! database snapshots stay O(1).
+//!
+//! Priorities are derived by hashing the item, not drawn from an RNG, so a
+//! given set of items always produces one canonical tree shape regardless of
+//! insertion order. That keeps the structure deterministic across engine
+//! strategies and across threads of the parallel search backend.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+fn priority_of<T: Hash>(item: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    // Fixed tweak so treap priorities differ from the HAMT's hash stream.
+    0x7d5f_u16.hash(&mut h);
+    item.hash(&mut h);
+    h.finish()
+}
+
+#[derive(Debug)]
+struct Node<T> {
+    item: T,
+    prio: u64,
+    left: Option<Arc<Node<T>>>,
+    right: Option<Arc<Node<T>>>,
+}
+
+type Link<T> = Option<Arc<Node<T>>>;
+
+/// A persistent sorted set with structural sharing between versions.
+#[derive(Clone, Debug)]
+pub struct OrdSet<T> {
+    root: Link<T>,
+    len: usize,
+}
+
+impl<T> Default for OrdSet<T> {
+    fn default() -> OrdSet<T> {
+        OrdSet { root: None, len: 0 }
+    }
+}
+
+impl<T: Clone + Ord + Hash> OrdSet<T> {
+    /// Empty set.
+    pub fn new() -> OrdSet<T> {
+        OrdSet::default()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, item: &T) -> bool {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match item.cmp(&n.item) {
+                Ordering::Less => cur = n.left.as_deref(),
+                Ordering::Greater => cur = n.right.as_deref(),
+                Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Insert; returns the new set and whether it grew.
+    pub fn insert(&self, item: &T) -> (OrdSet<T>, bool) {
+        let (root, grew) = insert_node(&self.root, item);
+        (
+            OrdSet {
+                root,
+                len: self.len + usize::from(grew),
+            },
+            grew,
+        )
+    }
+
+    /// Remove; returns the new set and whether it shrank.
+    pub fn remove(&self, item: &T) -> (OrdSet<T>, bool) {
+        let (root, shrank) = remove_node(&self.root, item);
+        (
+            OrdSet {
+                root,
+                len: self.len - usize::from(shrank),
+            },
+            shrank,
+        )
+    }
+
+    /// Visit, in sorted order, every item the comparator maps to
+    /// [`Ordering::Equal`]. The comparator must be monotone over the set's
+    /// order — `Less` for items below the range, `Equal` inside it,
+    /// `Greater` above it — which makes this a two-sided binary descent:
+    /// O(log n + matches) rather than a scan.
+    pub fn for_each_in_range(&self, cmp: impl Fn(&T) -> Ordering, mut f: impl FnMut(&T)) {
+        range_visit(&self.root, &cmp, &mut f);
+    }
+
+    /// Visit every item in sorted order.
+    pub fn for_each(&self, mut f: impl FnMut(&T)) {
+        in_order(&self.root, &mut f);
+    }
+
+    /// All items in sorted order.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(|t| out.push(t.clone()));
+        out
+    }
+}
+
+impl<T: Clone + Ord + Hash> FromIterator<T> for OrdSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> OrdSet<T> {
+        let mut s = OrdSet::new();
+        for item in iter {
+            s = s.insert(&item).0;
+        }
+        s
+    }
+}
+
+fn leaf<T>(item: T, prio: u64, left: Link<T>, right: Link<T>) -> Link<T> {
+    Some(Arc::new(Node {
+        item,
+        prio,
+        left,
+        right,
+    }))
+}
+
+fn insert_node<T: Clone + Ord + Hash>(link: &Link<T>, item: &T) -> (Link<T>, bool) {
+    let Some(n) = link else {
+        return (leaf(item.clone(), priority_of(item), None, None), true);
+    };
+    match item.cmp(&n.item) {
+        Ordering::Equal => (link.clone(), false),
+        Ordering::Less => {
+            let (new_left, grew) = insert_node(&n.left, item);
+            if !grew {
+                return (link.clone(), false);
+            }
+            // Restore the heap property: a higher-priority child rotates up.
+            let l = new_left.as_ref().expect("insert returns a node");
+            if l.prio > n.prio {
+                // Right rotation: left child becomes the root.
+                let rotated = leaf(n.item.clone(), n.prio, l.right.clone(), n.right.clone());
+                (leaf(l.item.clone(), l.prio, l.left.clone(), rotated), true)
+            } else {
+                (
+                    leaf(n.item.clone(), n.prio, new_left, n.right.clone()),
+                    true,
+                )
+            }
+        }
+        Ordering::Greater => {
+            let (new_right, grew) = insert_node(&n.right, item);
+            if !grew {
+                return (link.clone(), false);
+            }
+            let r = new_right.as_ref().expect("insert returns a node");
+            if r.prio > n.prio {
+                // Left rotation: right child becomes the root.
+                let rotated = leaf(n.item.clone(), n.prio, n.left.clone(), r.left.clone());
+                (leaf(r.item.clone(), r.prio, rotated, r.right.clone()), true)
+            } else {
+                (
+                    leaf(n.item.clone(), n.prio, n.left.clone(), new_right),
+                    true,
+                )
+            }
+        }
+    }
+}
+
+/// Merge two treaps where every item of `a` precedes every item of `b`.
+fn merge<T: Clone + Ord + Hash>(a: &Link<T>, b: &Link<T>) -> Link<T> {
+    match (a, b) {
+        (None, _) => b.clone(),
+        (_, None) => a.clone(),
+        (Some(x), Some(y)) => {
+            if x.prio >= y.prio {
+                leaf(x.item.clone(), x.prio, x.left.clone(), merge(&x.right, b))
+            } else {
+                leaf(y.item.clone(), y.prio, merge(a, &y.left), y.right.clone())
+            }
+        }
+    }
+}
+
+fn remove_node<T: Clone + Ord + Hash>(link: &Link<T>, item: &T) -> (Link<T>, bool) {
+    let Some(n) = link else {
+        return (None, false);
+    };
+    match item.cmp(&n.item) {
+        Ordering::Equal => (merge(&n.left, &n.right), true),
+        Ordering::Less => {
+            let (new_left, shrank) = remove_node(&n.left, item);
+            if !shrank {
+                return (link.clone(), false);
+            }
+            (
+                leaf(n.item.clone(), n.prio, new_left, n.right.clone()),
+                true,
+            )
+        }
+        Ordering::Greater => {
+            let (new_right, shrank) = remove_node(&n.right, item);
+            if !shrank {
+                return (link.clone(), false);
+            }
+            (
+                leaf(n.item.clone(), n.prio, n.left.clone(), new_right),
+                true,
+            )
+        }
+    }
+}
+
+fn in_order<T>(link: &Link<T>, f: &mut impl FnMut(&T)) {
+    if let Some(n) = link {
+        in_order(&n.left, f);
+        f(&n.item);
+        in_order(&n.right, f);
+    }
+}
+
+fn range_visit<T>(link: &Link<T>, cmp: &impl Fn(&T) -> Ordering, f: &mut impl FnMut(&T)) {
+    if let Some(n) = link {
+        match cmp(&n.item) {
+            // Node below the range: everything left of it is below too.
+            Ordering::Less => range_visit(&n.right, cmp, f),
+            // Node above the range: prune the right subtree.
+            Ordering::Greater => range_visit(&n.left, cmp, f),
+            Ordering::Equal => {
+                range_visit(&n.left, cmp, f);
+                f(&n.item);
+                range_visit(&n.right, cmp, f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let s: OrdSet<u64> = OrdSet::new();
+        let (s, grew) = s.insert(&5);
+        assert!(grew);
+        let (s, grew) = s.insert(&5);
+        assert!(!grew);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&5));
+        let (s, shrank) = s.remove(&5);
+        assert!(shrank);
+        assert!(s.is_empty());
+        let (_, shrank) = s.remove(&5);
+        assert!(!shrank);
+    }
+
+    #[test]
+    fn iterates_in_sorted_order() {
+        let items = [9u64, 3, 7, 1, 8, 2, 6, 0, 5, 4];
+        let s: OrdSet<u64> = items.iter().copied().collect();
+        assert_eq!(s.to_vec(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shape_is_canonical_regardless_of_insertion_order() {
+        let a: OrdSet<u64> = (0..200).collect();
+        let b: OrdSet<u64> = (0..200).rev().collect();
+        // Same canonical shape means identical in-order AND identical
+        // pre-order traversals.
+        fn pre_order(link: &Link<u64>, out: &mut Vec<u64>) {
+            if let Some(n) = link {
+                out.push(n.item);
+                pre_order(&n.left, out);
+                pre_order(&n.right, out);
+            }
+        }
+        let (mut pa, mut pb) = (Vec::new(), Vec::new());
+        pre_order(&a.root, &mut pa);
+        pre_order(&b.root, &mut pb);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn snapshots_are_isolated() {
+        let base: OrdSet<u64> = (0..50).collect();
+        let snapshot = base.clone();
+        let mut working = base;
+        for v in 50..100 {
+            working = working.insert(&v).0;
+            working = working.remove(&(v - 50)).0;
+        }
+        assert_eq!(snapshot.len(), 50);
+        assert_eq!(snapshot.to_vec(), (0..50).collect::<Vec<_>>());
+        assert_eq!(working.to_vec(), (50..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_probe_visits_exactly_the_range() {
+        let s: OrdSet<(u64, u64)> = (0..10).flat_map(|a| (0..10).map(move |b| (a, b))).collect();
+        let mut seen = Vec::new();
+        s.for_each_in_range(|&(a, _)| a.cmp(&4), |t| seen.push(*t));
+        assert_eq!(seen, (0..10).map(|b| (4, b)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_probe_on_empty_range_is_empty() {
+        let s: OrdSet<u64> = (0..10).map(|v| v * 2).collect();
+        let mut seen = Vec::new();
+        s.for_each_in_range(|v| v.cmp(&7), |t| seen.push(*t));
+        assert!(seen.is_empty());
+    }
+
+    #[test]
+    fn behaves_like_btreeset_under_random_ops() {
+        use std::collections::BTreeSet;
+        // Deterministic pseudo-random op stream.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        let mut s: OrdSet<u64> = OrdSet::new();
+        for _ in 0..2000 {
+            let v = next() % 100;
+            if next() % 2 == 0 {
+                let (ns, grew) = s.insert(&v);
+                assert_eq!(grew, model.insert(v));
+                s = ns;
+            } else {
+                let (ns, shrank) = s.remove(&v);
+                assert_eq!(shrank, model.remove(&v));
+                s = ns;
+            }
+            assert_eq!(s.len(), model.len());
+        }
+        assert_eq!(s.to_vec(), model.iter().copied().collect::<Vec<_>>());
+    }
+}

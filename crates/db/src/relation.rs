@@ -1,16 +1,37 @@
 //! A single stored relation: a persistent set of tuples of fixed arity.
 
 use crate::hamt;
+use crate::ord::OrdSet;
 use crate::tuple::Tuple;
+use std::cmp::Ordering;
 use td_core::Value;
 
 /// A persistent relation. Like [`crate::Database`], relations are immutable
 /// values: `insert`/`remove` return new versions sharing structure.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Two structures are maintained per relation, both persistent:
+/// - a HAMT ([`hamt::Set`]) carrying membership, the commutative digest, and
+///   unordered iteration;
+/// - a sorted treap ([`OrdSet`]) over the same tuples, the *binding-pattern
+///   index*: tuples order lexicographically, so every pattern that binds a
+///   contiguous prefix of columns selects a contiguous sorted range, and
+///   [`Relation::select`] answers it with a range probe instead of a scan.
+#[derive(Clone, Debug)]
 pub struct Relation {
     arity: usize,
     tuples: hamt::Set<Tuple>,
+    index: OrdSet<Tuple>,
 }
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        // The index is derived data over the same tuple set; comparing it
+        // would be redundant work.
+        self.arity == other.arity && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// Empty relation of the given arity.
@@ -18,6 +39,7 @@ impl Relation {
         Relation {
             arity,
             tuples: hamt::Set::new(),
+            index: OrdSet::new(),
         }
     }
 
@@ -54,10 +76,16 @@ impl Relation {
     pub fn insert(&self, t: &Tuple) -> (Relation, bool) {
         debug_assert_eq!(t.arity(), self.arity);
         let (tuples, grew) = self.tuples.insert(t);
+        let index = if grew {
+            self.index.insert(t).0
+        } else {
+            self.index.clone()
+        };
         (
             Relation {
                 arity: self.arity,
                 tuples,
+                index,
             },
             grew,
         )
@@ -67,21 +95,32 @@ impl Relation {
     pub fn remove(&self, t: &Tuple) -> (Relation, bool) {
         debug_assert_eq!(t.arity(), self.arity);
         let (tuples, shrank) = self.tuples.remove(t);
+        let index = if shrank {
+            self.index.remove(t).0
+        } else {
+            self.index.clone()
+        };
         (
             Relation {
                 arity: self.arity,
                 tuples,
+                index,
             },
             shrank,
         )
     }
 
-    /// All tuples matching a binding pattern (`None` = free position),
-    /// in unspecified order.
+    /// All tuples matching a binding pattern (`None` = free position).
     ///
-    /// Fully bound patterns short-circuit to a membership test (O(log n)
-    /// instead of a scan) — the common case for ground queries and for the
-    /// handshake tuples of process encodings.
+    /// Three regimes, fastest applicable first:
+    /// - fully bound: a membership test, O(log n);
+    /// - a bound contiguous prefix of ≥ 1 column: a sorted-range probe on
+    ///   the index, O(log n + candidates), with any bound columns *after*
+    ///   the first free one filtered per candidate;
+    /// - otherwise (first column free): a full scan.
+    ///
+    /// Range-probe results come back in sorted (lexicographic) order; scan
+    /// results in unspecified order.
     pub fn select(&self, pattern: &[Option<Value>]) -> Vec<Tuple> {
         debug_assert_eq!(pattern.len(), self.arity);
         if pattern.iter().all(Option::is_some) {
@@ -92,12 +131,38 @@ impl Relation {
                 Vec::new()
             };
         }
+        let prefix_len = pattern.iter().take_while(|v| v.is_some()).count();
+        if prefix_len > 0 {
+            return self.select_by_prefix(pattern, prefix_len);
+        }
         let mut out = Vec::new();
         self.tuples.for_each(|t| {
             if t.matches(pattern) {
                 out.push(t.clone());
             }
         });
+        out
+    }
+
+    /// Range probe: tuples sort lexicographically, so tuples whose first
+    /// `prefix_len` fields equal the bound prefix are contiguous.
+    fn select_by_prefix(&self, pattern: &[Option<Value>], prefix_len: usize) -> Vec<Tuple> {
+        let prefix: Vec<Value> = pattern[..prefix_len]
+            .iter()
+            .map(|v| v.expect("prefix is bound"))
+            .collect();
+        // Whether any bound column remains after the free gap; if not, every
+        // tuple in the range matches and the per-candidate filter is skipped.
+        let fully_covered = pattern[prefix_len..].iter().all(Option::is_none);
+        let mut out = Vec::new();
+        self.index.for_each_in_range(
+            |t| compare_prefix(t.values(), &prefix),
+            |t| {
+                if fully_covered || t.matches(pattern) {
+                    out.push(t.clone());
+                }
+            },
+        );
         out
     }
 
@@ -110,6 +175,24 @@ impl Relation {
     pub fn to_vec(&self) -> Vec<Tuple> {
         self.tuples.to_vec()
     }
+
+    /// All tuples in sorted (lexicographic) order, via the index.
+    pub fn to_sorted_vec(&self) -> Vec<Tuple> {
+        self.index.to_vec()
+    }
+}
+
+/// Compare a tuple's leading fields against a bound prefix, as the range
+/// comparator for the index probe: `Less`/`Greater` when the tuple sorts
+/// before/after every tuple carrying the prefix, `Equal` when it carries it.
+fn compare_prefix(values: &[Value], prefix: &[Value]) -> Ordering {
+    for (v, p) in values.iter().zip(prefix.iter()) {
+        match v.cmp(p) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
 }
 
 #[cfg(test)]
@@ -144,9 +227,7 @@ mod tests {
         assert_eq!(one.len(), 2);
         let exact = r.select(&[Some(Value::sym("w2")), Some(Value::Int(1))]);
         assert_eq!(exact, vec![tuple!("w2", 1)]);
-        assert!(r
-            .select(&[Some(Value::sym("w3")), None])
-            .is_empty());
+        assert!(r.select(&[Some(Value::sym("w3")), None]).is_empty());
     }
 
     #[test]
@@ -170,5 +251,82 @@ mod tests {
         assert_eq!(r.len(), 1);
         let (r, _) = r.insert(&Tuple::unit());
         assert_eq!(r.len(), 1, "flag cannot be set twice");
+    }
+
+    #[test]
+    fn prefix_probe_agrees_with_scan_on_every_pattern_shape() {
+        let mut r = Relation::new(3);
+        for a in 0..4i64 {
+            for b in 0..4i64 {
+                for c in 0..4i64 {
+                    if (a + b + c) % 2 == 0 {
+                        r = r.insert(&tuple!(a, b, c)).0;
+                    }
+                }
+            }
+        }
+        let vals: Vec<Option<Value>> = vec![None, Some(Value::Int(2))];
+        for p0 in &vals {
+            for p1 in &vals {
+                for p2 in &vals {
+                    let pattern = [*p0, *p1, *p2];
+                    let mut got = r.select(&pattern);
+                    got.sort();
+                    let mut expected: Vec<Tuple> = Vec::new();
+                    r.for_each(|t| {
+                        if t.matches(&pattern) {
+                            expected.push(t.clone());
+                        }
+                    });
+                    expected.sort();
+                    assert_eq!(got, expected, "pattern {pattern:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_probe_returns_sorted_tuples() {
+        let mut r = Relation::new(2);
+        for i in [5i64, 1, 4, 2, 3] {
+            r = r.insert(&tuple!("k", i)).0;
+            r = r.insert(&tuple!("other", i)).0;
+        }
+        let got = r.select(&[Some(Value::sym("k")), None]);
+        let keys: Vec<i64> = got
+            .iter()
+            .map(|t| match t.values()[1] {
+                Value::Int(i) => i,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn index_survives_removal() {
+        let mut r = Relation::new(2);
+        for i in 0..10i64 {
+            r = r.insert(&tuple!("a", i)).0;
+        }
+        for i in (0..10i64).step_by(2) {
+            r = r.remove(&tuple!("a", i)).0;
+        }
+        let got = r.select(&[Some(Value::sym("a")), None]);
+        assert_eq!(got.len(), 5);
+        assert!(got
+            .iter()
+            .all(|t| matches!(t.values()[1], Value::Int(i) if i % 2 == 1)));
+    }
+
+    #[test]
+    fn gap_pattern_filters_trailing_bound_columns() {
+        let mut r = Relation::new(3);
+        for b in 0..5i64 {
+            r = r.insert(&tuple!("x", b, b % 2)).0;
+        }
+        // Bound prefix "x", free middle, bound tail 0.
+        let got = r.select(&[Some(Value::sym("x")), None, Some(Value::Int(0))]);
+        assert_eq!(got.len(), 3); // b ∈ {0, 2, 4}
     }
 }

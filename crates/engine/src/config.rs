@@ -9,8 +9,7 @@ use std::fmt;
 /// with rule and tuple choices) succeeds. The strategy controls the order in
 /// which interleavings are explored and whether scheduling decisions are
 /// backtrackable.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Strategy {
     /// Depth-first over all scheduling choices, leftmost branch first.
     /// Complete for finite search spaces — this matches the Prolog prototype
@@ -39,6 +38,34 @@ impl Strategy {
     }
 }
 
+/// Which search machinery runs the executability search.
+///
+/// This is orthogonal to [`Strategy`]: the strategy fixes the *semantic*
+/// exploration order over interleavings, the backend fixes how the host
+/// machine walks that space. TD's `|` is semantic concurrency — processes
+/// interleave at elementary-step granularity regardless of backend — while
+/// the parallel backend merely searches the interleaving space with several
+/// OS threads at once.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SearchBackend {
+    /// Single-threaded backtracking machine (the default; supports every
+    /// strategy, tracing, and multi-solution enumeration).
+    #[default]
+    Sequential,
+    /// Work-stealing multi-threaded search over the configuration graph.
+    /// Used when the strategy is [`Strategy::Exhaustive`], tracing is off,
+    /// and one solution is requested; the engine silently falls back to
+    /// [`SearchBackend::Sequential`] otherwise (see `docs/PARALLELISM.md`).
+    Parallel {
+        /// Worker thread count (clamped to 1..=64).
+        threads: usize,
+        /// When set, the parallel search reports the *same* witness
+        /// execution (answer, final database, delta) as the sequential
+        /// exhaustive engine, at the cost of exploring past the first
+        /// success to prove it lexicographically minimal.
+        deterministic: bool,
+    },
+}
 
 /// Engine limits and options.
 #[derive(Clone, Debug)]
@@ -63,6 +90,9 @@ pub struct EngineConfig {
     /// deduplicates solutions that arise from re-reaching an already
     /// exhausted configuration.
     pub memo_failures: bool,
+    /// Search machinery: sequential backtracking or the multi-threaded
+    /// work-stealing configuration-graph search.
+    pub backend: SearchBackend,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +103,7 @@ impl Default for EngineConfig {
             max_stack: 1_000_000,
             trace: false,
             memo_failures: true,
+            backend: SearchBackend::Sequential,
         }
     }
 }
@@ -93,6 +124,27 @@ impl EngineConfig {
     /// Config with tracing enabled.
     pub fn with_trace(mut self) -> EngineConfig {
         self.trace = true;
+        self
+    }
+
+    /// Config with a search backend.
+    pub fn with_backend(mut self, b: SearchBackend) -> EngineConfig {
+        self.backend = b;
+        self
+    }
+
+    /// Config with the parallel backend at `threads` workers
+    /// (nondeterministic witness; `threads <= 1` keeps the sequential
+    /// backend).
+    pub fn with_threads(mut self, threads: usize) -> EngineConfig {
+        self.backend = if threads <= 1 {
+            SearchBackend::Sequential
+        } else {
+            SearchBackend::Parallel {
+                threads,
+                deterministic: false,
+            }
+        };
         self
     }
 }
@@ -122,7 +174,10 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Instantiation { context } => {
-                write!(f, "unbound variable where a ground term is required: {context}")
+                write!(
+                    f,
+                    "unbound variable where a ground term is required: {context}"
+                )
             }
             EngineError::Type { context } => write!(f, "type error: {context}"),
             EngineError::Overflow { context } => write!(f, "integer overflow: {context}"),

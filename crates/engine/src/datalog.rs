@@ -17,7 +17,6 @@
 //! relations (extensional data), which no rule can derive into.
 //! [`is_datalog`] checks this.
 
-
 use std::collections::{HashMap, HashSet};
 use td_core::goal::Builtin;
 use td_core::unify::unify_terms;
@@ -236,7 +235,15 @@ fn eval_round(
                     continue;
                 }
                 for &pos in &derived_positions {
-                    eval_rule(rule, program, db, total, Some((pos, d)), &mut out, derivations);
+                    eval_rule(
+                        rule,
+                        program,
+                        db,
+                        total,
+                        Some((pos, d)),
+                        &mut out,
+                        derivations,
+                    );
                 }
             }
         }
@@ -304,8 +311,7 @@ fn join(
         Lit::Atom(atom) => {
             let resolved: Vec<Term> = atom.args.iter().map(|t| bindings.resolve(*t)).collect();
             let candidates: Vec<Tuple> = if program.is_base(atom.pred) {
-                let pattern: Vec<Option<Value>> =
-                    resolved.iter().map(|t| t.as_value()).collect();
+                let pattern: Vec<Option<Value>> = resolved.iter().map(|t| t.as_value()).collect();
                 db.relation(atom.pred)
                     .map(|r| r.select(&pattern))
                     .unwrap_or_default()
@@ -344,11 +350,8 @@ fn join(
             // All args must be bound here (left-to-right safety); an
             // unresolved variable means the rule is not evaluable in this
             // order — treat as no match, like a failing filter.
-            let values: Option<Vec<Value>> = atom
-                .args
-                .iter()
-                .map(|t| bindings.value_of(*t))
-                .collect();
+            let values: Option<Vec<Value>> =
+                atom.args.iter().map(|t| bindings.value_of(*t)).collect();
             if let Some(values) = values {
                 let absent = !db.contains(atom.pred, &Tuple::new(values));
                 if absent {
@@ -417,10 +420,7 @@ mod tests {
         );
         let fix = evaluate(&p, &db).unwrap();
         let path = Pred::new("path", 2);
-        assert!(fix.holds(&Atom::new(
-            "path",
-            vec![Term::sym("a"), Term::sym("d")]
-        )));
+        assert!(fix.holds(&Atom::new("path", vec![Term::sym("a"), Term::sym("d")])));
         assert_eq!(fix.facts_of(path).count(), 6);
     }
 
@@ -432,7 +432,12 @@ mod tests {
              path(X, Y) <- e(X, Y).
              path(X, Z) <- e(X, Y) * path(Y, Z).",
         );
-        let ans = query(&p, &db, &Atom::new("path", vec![Term::sym("a"), Term::var(0)])).unwrap();
+        let ans = query(
+            &p,
+            &db,
+            &Atom::new("path", vec![Term::sym("a"), Term::var(0)]),
+        )
+        .unwrap();
         assert_eq!(ans.len(), 2);
         let base = query(&p, &db, &Atom::new("e", vec![Term::var(0), Term::var(1)])).unwrap();
         assert_eq!(base.len(), 2);

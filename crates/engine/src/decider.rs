@@ -132,8 +132,7 @@ pub fn shortest_execution(
         visited: HashSet::new(),
         truncated: false,
     };
-    let mut frontier: Vec<(Option<Arc<PTree>>, Database)> =
-        vec![(make_node(goal), db.clone())];
+    let mut frontier: Vec<(Option<Arc<PTree>>, Database)> = vec![(make_node(goal), db.clone())];
     let mut depth = 0usize;
     while !frontier.is_empty() {
         let mut next = Vec::new();
@@ -227,11 +226,7 @@ impl<'p> Search<'p> {
 
     /// Every configuration reachable in one elementary step, across all
     /// schedules and all nondeterministic choices.
-    fn successors(
-        &mut self,
-        tree: &Arc<PTree>,
-        db: &Database,
-    ) -> Result<Vec<Config>, EngineError> {
+    fn successors(&mut self, tree: &Arc<PTree>, db: &Database) -> Result<Vec<Config>, EngineError> {
         let mut out = Vec::new();
         for path in frontier(tree) {
             let leaf = leaf_at(tree, &path).clone();
@@ -309,8 +304,7 @@ impl<'p> Search<'p> {
                         out.push((rewrite(tree, &path, None), db.clone()));
                     }
                     BuiltinOut::Binds(v, val) => {
-                        let new_tree =
-                            rewrite(tree, &path, None).map(|t| subst_tree(&t, v, val));
+                        let new_tree = rewrite(tree, &path, None).map(|t| subst_tree(&t, v, val));
                         out.push((new_tree, db.clone()));
                     }
                 },
@@ -374,7 +368,7 @@ pub(crate) fn num_vars_in_tree(tree: &Arc<PTree>) -> u32 {
         .unwrap_or(0)
 }
 
-fn apply_bindings_tree(tree: &Arc<PTree>, b: &Bindings) -> Arc<PTree> {
+pub(crate) fn apply_bindings_tree(tree: &Arc<PTree>, b: &Bindings) -> Arc<PTree> {
     map_tree(tree, &mut |t| b.resolve(t))
 }
 
@@ -382,7 +376,7 @@ pub(crate) fn subst_tree(tree: &Arc<PTree>, v: Var, val: Term) -> Arc<PTree> {
     map_tree(tree, &mut |t| if t == Term::Var(v) { val } else { t })
 }
 
-fn map_tree(tree: &Arc<PTree>, f: &mut impl FnMut(Term) -> Term) -> Arc<PTree> {
+pub(crate) fn map_tree(tree: &Arc<PTree>, f: &mut impl FnMut(Term) -> Term) -> Arc<PTree> {
     match &**tree {
         PTree::Lit(g) => Arc::new(PTree::Lit(g.map_terms(f))),
         PTree::Seq(cs) => Arc::new(PTree::Seq(cs.iter().map(|c| map_tree(c, f)).collect())),
@@ -560,16 +554,18 @@ mod tests {
         let d = run("loop <- loop. ?- loop.");
         assert!(!d.executable);
         assert!(!d.truncated);
-        assert!(d.configs <= 3, "tiny configuration space, got {}", d.configs);
+        assert!(
+            d.configs <= 3,
+            "tiny configuration space, got {}",
+            d.configs
+        );
     }
 
     #[test]
     fn tail_recursive_loop_with_exit_is_executable() {
-        let d = run(
-            "base t/0.
+        let d = run("base t/0.
              loop <- { ins.t or loop }.
-             ?- loop.",
-        );
+             ?- loop.");
         assert!(d.executable);
         assert!(!d.truncated);
     }
@@ -748,11 +744,7 @@ mod state_space_tests {
 
     fn explore(src: &str) -> Decision {
         let parsed = parse_program(src).unwrap();
-        let db = load_init(
-            &Database::with_schema_of(&parsed.program),
-            &parsed.init,
-        )
-        .unwrap();
+        let db = load_init(&Database::with_schema_of(&parsed.program), &parsed.init).unwrap();
         decide(
             &parsed.program,
             &parsed.goals[0].goal,
@@ -773,9 +765,7 @@ mod state_space_tests {
         // state explosion the paper's complexity results quantify, here in
         // closed form.
         let cfg = |n: usize| {
-            let branches: Vec<String> = (0..n)
-                .map(|i| format!("(ins.f{i} * del.f{i})"))
-                .collect();
+            let branches: Vec<String> = (0..n).map(|i| format!("(ins.f{i} * del.f{i})")).collect();
             let decls: Vec<String> = (0..n).map(|i| format!("base f{i}/0.")).collect();
             format!("{}\n?- {}.", decls.join("\n"), branches.join(" | "))
         };

@@ -1,6 +1,6 @@
 //! Public execution API.
 
-use crate::config::{EngineConfig, EngineError, Stats};
+use crate::config::{EngineConfig, EngineError, SearchBackend, Stats, Strategy};
 use crate::machine::{Ctx, Solver};
 use crate::tree::make_node;
 use td_core::{Goal, Program, Term, Var};
@@ -111,13 +111,32 @@ impl Engine {
 
     /// Execute `goal` against `db`, returning the first successful
     /// execution (the committed transaction) or failure.
+    ///
+    /// With [`SearchBackend::Parallel`] the search fans out over worker
+    /// threads, provided the configuration is compatible (exhaustive
+    /// strategy, no tracing); otherwise it silently runs sequentially —
+    /// see `docs/PARALLELISM.md` for the exact rules.
     pub fn solve(&self, goal: &Goal, db: &Database) -> Result<Outcome, EngineError> {
+        if let SearchBackend::Parallel {
+            threads,
+            deterministic,
+        } = self.config.backend
+        {
+            if self.config.strategy == Strategy::Exhaustive && !self.config.trace {
+                return crate::parallel::solve(
+                    &self.program,
+                    &self.config,
+                    goal,
+                    db,
+                    threads,
+                    deterministic,
+                );
+            }
+        }
         let mut found = self.solutions(goal, db, 1)?;
         match found.solutions.pop() {
             Some(s) => Ok(Outcome::Success(Box::new(s))),
-            None => Ok(Outcome::Failure {
-                stats: found.stats,
-            }),
+            None => Ok(Outcome::Failure { stats: found.stats }),
         }
     }
 
@@ -129,7 +148,9 @@ impl Engine {
     /// Up to `limit` distinct successful executions, in search order.
     ///
     /// Distinctness is by search path, not final state: two different
-    /// interleavings reaching the same database count twice.
+    /// interleavings reaching the same database count twice. Always runs
+    /// on the sequential machine: multi-solution enumeration is inherently
+    /// ordered, so the parallel backend does not apply here.
     pub fn solutions(
         &self,
         goal: &Goal,
@@ -152,7 +173,9 @@ impl Engine {
             if !found {
                 break;
             }
-            let answer = (0..nvars).map(|i| ctx.bindings.resolve(Term::var(i))).collect();
+            let answer = (0..nvars)
+                .map(|i| ctx.bindings.resolve(Term::var(i)))
+                .collect();
             let mut delta = Delta::new();
             for op in &ctx.delta {
                 delta.push(op.clone());

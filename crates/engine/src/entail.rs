@@ -18,7 +18,10 @@
 //! it.
 
 use crate::config::EngineError;
-use crate::decider::{apply_unification, apply_unification_n, canonical_goal, eval_ground_builtin, subst_tree, BuiltinOut};
+use crate::decider::{
+    apply_unification, apply_unification_n, canonical_goal, eval_ground_builtin, subst_tree,
+    BuiltinOut,
+};
 use crate::tree::{frontier, leaf_at, make_node, rewrite, to_goal, PTree};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -47,9 +50,7 @@ pub fn entails_via_delta(
     let mut states = vec![d0.clone()];
     let mut cur = d0.clone();
     for op in delta.ops() {
-        cur = op
-            .apply(&cur)
-            .map_err(|e| EngineError::Db(e.to_string()))?;
+        cur = op.apply(&cur).map_err(|e| EngineError::Db(e.to_string()))?;
         states.push(cur.clone());
     }
     entails(program, &states, goal)
@@ -101,8 +102,7 @@ fn successors(
                 let Some(rel) = db.relation(atom.pred) else {
                     continue;
                 };
-                let pattern: Vec<Option<Value>> =
-                    atom.args.iter().map(|t| t.as_value()).collect();
+                let pattern: Vec<Option<Value>> = atom.args.iter().map(|t| t.as_value()).collect();
                 for t in rel.select(&pattern) {
                     if let Some(new_tree) = apply_unification(tree, &path, None, |b| {
                         atom.args
@@ -120,13 +120,11 @@ fn successors(
                     let base = crate::decider::num_vars_in_tree(tree);
                     let (head, body) = rule.rename_apart(base);
                     let replacement = make_node(&body);
-                    if let Some(new_tree) = apply_unification_n(
-                        tree,
-                        &path,
-                        replacement,
-                        base + rule.num_vars(),
-                        |b| unify_args(b, &atom.args, &head.args),
-                    ) {
+                    if let Some(new_tree) =
+                        apply_unification_n(tree, &path, replacement, base + rule.num_vars(), |b| {
+                            unify_args(b, &atom.args, &head.args)
+                        })
+                    {
                         out.push((new_tree, pos));
                     }
                 }
@@ -295,7 +293,13 @@ mod tests {
         let s2 = ins(&s1, "c", unit.clone());
         let s3 = ins(&s2, "b", unit.clone());
         let s4 = ins(&s3, "d", unit.clone());
-        let interleaved = [empty.clone(), s1.clone(), s2.clone(), s3.clone(), s4.clone()];
+        let interleaved = [
+            empty.clone(),
+            s1.clone(),
+            s2.clone(),
+            s3.clone(),
+            s4.clone(),
+        ];
         let free = goal(&p, "(ins.a * ins.b) | (ins.c * ins.d)");
         assert!(entails(&p, &interleaved, &free).unwrap());
         let isolated = goal(&p, "iso { ins.a * ins.b } | (ins.c * ins.d)");

@@ -31,13 +31,14 @@ pub mod datalog;
 pub mod decider;
 pub mod engine;
 pub mod entail;
-pub mod magic;
 mod machine;
+pub mod magic;
+mod parallel;
 pub mod tabling;
 pub mod trace;
 pub mod tree;
 
-pub use config::{EngineConfig, EngineError, Stats, Strategy};
+pub use config::{EngineConfig, EngineError, SearchBackend, Stats, Strategy};
 pub use engine::{goal_num_vars, load_init, Engine, Outcome, Solution, Solutions};
 pub use trace::{Trace, TraceEvent};
 
@@ -103,8 +104,7 @@ mod tests {
     #[test]
     fn serial_order_matters() {
         // t(1) * ins.t(1) fails; ins.t(1) * t(1) succeeds.
-        let (engine, db, goals) =
-            setup("base t/1. ?- t(1) * ins.t(1). ?- ins.t(1) * t(1).");
+        let (engine, db, goals) = setup("base t/1. ?- t(1) * ins.t(1). ?- ins.t(1) * t(1).");
         assert!(!engine.solve(&goals[0], &db).unwrap().is_success());
         assert!(engine.solve(&goals[1], &db).unwrap().is_success());
     }
@@ -354,10 +354,8 @@ mod tests {
         let src = "loop <- loop. ?- loop.";
         let parsed = parse_program(src).unwrap();
         let db = Database::with_schema_of(&parsed.program);
-        let engine = Engine::with_config(
-            parsed.program,
-            EngineConfig::default().with_max_steps(1000),
-        );
+        let engine =
+            Engine::with_config(parsed.program, EngineConfig::default().with_max_steps(1000));
         let err = engine.solve(&parsed.goals[0].goal, &db).unwrap_err();
         assert!(matches!(err, EngineError::StepBudget { .. }));
     }
@@ -423,8 +421,10 @@ mod tests {
             w(W) <- ins.done(W).
             ?- w(a) | w(b) | w(c).
         ";
-        let (engine, db, goals) =
-            setup_cfg(src, EngineConfig::default().with_strategy(Strategy::RoundRobin));
+        let (engine, db, goals) = setup_cfg(
+            src,
+            EngineConfig::default().with_strategy(Strategy::RoundRobin),
+        );
         let sol = engine.solve(&goals[0], &db).unwrap();
         assert_eq!(sol.solution().unwrap().db.total_tuples(), 3);
     }
@@ -462,8 +462,10 @@ mod tests {
             producer <- ins.msg.
             ?- consumer | producer.
         ";
-        let (engine, db, goals) =
-            setup_cfg(src, EngineConfig::default().with_strategy(Strategy::Leftmost));
+        let (engine, db, goals) = setup_cfg(
+            src,
+            EngineConfig::default().with_strategy(Strategy::Leftmost),
+        );
         assert!(!engine.solve(&goals[0], &db).unwrap().is_success());
     }
 
@@ -576,11 +578,7 @@ mod error_path_tests {
 
     #[test]
     fn load_init_rejects_non_ground_atoms() {
-        let err = load_init(
-            &Database::new(),
-            &[Atom::new("p", vec![Term::var(0)])],
-        )
-        .unwrap_err();
+        let err = load_init(&Database::new(), &[Atom::new("p", vec![Term::var(0)])]).unwrap_err();
         assert!(matches!(err, EngineError::Instantiation { .. }));
     }
 
@@ -621,15 +619,14 @@ mod error_path_tests {
         )
         .unwrap();
         let db = Database::with_schema_of(&parsed.program);
-        let mut cfg = EngineConfig::default();
-        cfg.max_stack = 50;
-        cfg.max_steps = 1_000_000;
-        cfg.memo_failures = false; // keep the search growing
+        let cfg = EngineConfig {
+            max_stack: 50,
+            max_steps: 1_000_000,
+            memo_failures: false, // keep the search growing
+            ..EngineConfig::default()
+        };
         let engine = Engine::with_config(parsed.program.clone(), cfg);
         let err = engine.solve(&parsed.goals[0].goal, &db).unwrap_err();
-        assert!(
-            matches!(err, EngineError::StackBudget { .. }),
-            "{err:?}"
-        );
+        assert!(matches!(err, EngineError::StackBudget { .. }), "{err:?}");
     }
 }

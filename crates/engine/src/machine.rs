@@ -17,11 +17,11 @@
 
 use crate::config::{EngineConfig, EngineError, Stats, Strategy};
 use crate::trace::TraceEvent;
-use crate::tree::{frontier, leaf_at, make_node, rewrite, to_goal, Path, PTree};
-use std::collections::HashSet;
+use crate::tree::{frontier, leaf_at, make_node, rewrite, to_goal, PTree, Path};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::collections::HashSet;
 use std::sync::Arc;
 use td_core::goal::Builtin;
 use td_core::subst::TrailMark;
@@ -279,7 +279,10 @@ impl Solver {
                     mark: ctx.bindings.mark(),
                     delta_len: ctx.delta.len(),
                     trace_len: ctx.trace.len(),
-                    alts: Alts::Sched { paths: paths.clone(), next: 1 },
+                    alts: Alts::Sched {
+                        paths: paths.clone(),
+                        next: 1,
+                    },
                 },
             )?;
         }
@@ -326,19 +329,17 @@ impl Solver {
             }
             Goal::Ins(atom) => self.exec_update(ctx, tree, path, atom, true),
             Goal::Del(atom) => self.exec_update(ctx, tree, path, atom, false),
-            Goal::Builtin(op, terms) => {
-                match eval_builtin(&mut ctx.bindings, op, &terms) {
-                    Ok(true) => {
-                        ctx.record(|| TraceEvent::Builtin {
-                            rendered: Goal::Builtin(op, terms.clone()).to_string(),
-                        });
-                        self.state = rewrite(tree, &path, None);
-                        Ok(())
-                    }
-                    Ok(false) => Err(StepErr::Fail),
-                    Err(e) => Err(fatal(e)),
+            Goal::Builtin(op, terms) => match eval_builtin(&mut ctx.bindings, op, &terms) {
+                Ok(true) => {
+                    ctx.record(|| TraceEvent::Builtin {
+                        rendered: Goal::Builtin(op, terms.clone()).to_string(),
+                    });
+                    self.state = rewrite(tree, &path, None);
+                    Ok(())
                 }
-            }
+                Ok(false) => Err(StepErr::Fail),
+                Err(e) => Err(fatal(e)),
+            },
             Goal::Choice(branches) => {
                 if branches.is_empty() {
                     return Err(StepErr::Fail);
@@ -353,7 +354,7 @@ impl Solver {
                             db: self.db.clone(),
                             mark: ctx.bindings.mark(),
                             delta_len: ctx.delta.len(),
-                    trace_len: ctx.trace.len(),
+                            trace_len: ctx.trace.len(),
                             alts: Alts::Branches {
                                 path: path.clone(),
                                 branches: branches.clone(),
@@ -529,9 +530,17 @@ impl Solver {
                 let pred = resolved.pred;
                 ctx.record(|| {
                     if is_ins {
-                        TraceEvent::Ins { pred, tuple: t.clone(), changed }
+                        TraceEvent::Ins {
+                            pred,
+                            tuple: t.clone(),
+                            changed,
+                        }
                     } else {
-                        TraceEvent::Del { pred, tuple: t.clone(), changed }
+                        TraceEvent::Del {
+                            pred,
+                            tuple: t.clone(),
+                            changed,
+                        }
                     }
                 });
                 ctx.delta.push(if is_ins {
@@ -560,7 +569,11 @@ impl Solver {
             // state and pick the next alternative (as data).
             enum Decision {
                 Exhausted,
-                Retry { tree: Arc<PTree>, path: Path, action: Retry },
+                Retry {
+                    tree: Arc<PTree>,
+                    path: Path,
+                    action: Retry,
+                },
             }
             enum Retry {
                 Sched,
@@ -685,7 +698,7 @@ impl Solver {
                             false => {
                                 ctx.bindings.undo_to(cp.mark);
                                 ctx.delta.truncate(cp.delta_len);
-                            ctx.trace.truncate(cp.trace_len);
+                                ctx.trace.truncate(cp.trace_len);
                                 self.db = cp.db.clone();
                                 Decision::Retry {
                                     tree: cp.tree.clone(),
@@ -806,11 +819,7 @@ fn unfold(ctx: &mut Ctx, atom: &Atom, rule_id: RuleId) -> Option<Goal> {
 
 /// Evaluate a builtin. `Ok(true)` = succeeds (possibly binding), `Ok(false)`
 /// = fails, `Err` = fatal (instantiation/type/overflow).
-fn eval_builtin(
-    bindings: &mut Bindings,
-    op: Builtin,
-    terms: &[Term],
-) -> Result<bool, EngineError> {
+fn eval_builtin(bindings: &mut Bindings, op: Builtin, terms: &[Term]) -> Result<bool, EngineError> {
     let resolved: Vec<Term> = terms.iter().map(|t| bindings.resolve(*t)).collect();
     let ground_int = |t: Term| -> Result<i64, EngineError> {
         match t {

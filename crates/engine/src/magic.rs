@@ -118,10 +118,7 @@ pub fn rewrite(program: &Program, query: &Atom) -> Result<MagicProgram, NotDatal
                 .filter_map(|(t, _)| t.as_var())
                 .collect();
 
-            let magic_guard = Goal::Atom(Atom::new(
-                &magic_pred_name,
-                bound_args(&rule.head, &ad),
-            ));
+            let magic_guard = Goal::Atom(Atom::new(&magic_pred_name, bound_args(&rule.head, &ad)));
             let mut new_body: Vec<Goal> = vec![magic_guard.clone()];
             // Prefix of processed literals (for magic rule bodies).
             let mut prefix: Vec<Goal> = vec![magic_guard];
@@ -136,10 +133,7 @@ pub fn rewrite(program: &Program, query: &Atom) -> Result<MagicProgram, NotDatal
                         // Magic rule: m_q^ad(bound args of a) <- prefix.
                         let m_head =
                             Atom::new(&magic_name(a.pred, &sub_ad), bound_args(a, &sub_ad));
-                        builder = builder.rule(Rule::new(
-                            m_head,
-                            Goal::seq(prefix.clone()),
-                        ));
+                        builder = builder.rule(Rule::new(m_head, Goal::seq(prefix.clone())));
                         // Rewritten occurrence: the adorned predicate.
                         let adorned =
                             Goal::Atom(Atom::new(&adorned_name(a.pred, &sub_ad), a.args.clone()));
@@ -224,8 +218,7 @@ pub fn answer(
 ) -> Result<(Vec<Tuple>, MagicStats), NotDatalog> {
     let magic = rewrite(program, query)?;
     let fix = datalog::evaluate(&magic.program, db)?;
-    let pattern: Vec<Option<td_core::Value>> =
-        query.args.iter().map(|t| t.as_value()).collect();
+    let pattern: Vec<Option<td_core::Value>> = query.args.iter().map(|t| t.as_value()).collect();
     let mut out: Vec<Tuple> = fix
         .facts_of(magic.answer_pred)
         .filter(|t| t.matches(&pattern))

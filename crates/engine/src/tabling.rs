@@ -144,8 +144,8 @@ struct Tables<'a> {
 
 impl Tables<'_> {
     fn register(&mut self, key: CallKey) {
-        if !self.tables.contains_key(&key) {
-            self.tables.insert(key, HashSet::new());
+        if let std::collections::hash_map::Entry::Vacant(e) = self.tables.entry(key) {
+            e.insert(HashSet::new());
             self.dirty = true;
         }
     }
@@ -173,15 +173,10 @@ impl Tables<'_> {
             let mut bindings = Bindings::new();
             bindings.alloc(rule.num_vars());
             // Bind head positions to the call pattern's constants.
-            let ok = rule
-                .head
-                .args
-                .iter()
-                .zip(&key.bound)
-                .all(|(h, b)| match b {
-                    Some(v) => unify_terms(&mut bindings, *h, Term::Val(*v)),
-                    None => true,
-                });
+            let ok = rule.head.args.iter().zip(&key.bound).all(|(h, b)| match b {
+                Some(v) => unify_terms(&mut bindings, *h, Term::Val(*v)),
+                None => true,
+            });
             if !ok {
                 continue;
             }
@@ -240,8 +235,7 @@ impl Tables<'_> {
                 // Derived: consume the callee's current table.
                 let sub = CallKey::of(a, bindings);
                 self.register(sub.clone());
-                let answers: Vec<Tuple> =
-                    self.tables[&sub].iter().cloned().collect();
+                let answers: Vec<Tuple> = self.tables[&sub].iter().cloned().collect();
                 for t in answers {
                     let mark = bindings.mark();
                     if a.args
@@ -367,10 +361,8 @@ mod tests {
              even(X) <- odd(Y) * e(Y, X).
              odd(X) <- even(Y) * e(Y, X).",
         );
-        let (evens, _) =
-            query_tabled(&p, &db, &Atom::new("even", vec![Term::var(0)])).unwrap();
-        let (odds, _) =
-            query_tabled(&p, &db, &Atom::new("odd", vec![Term::var(0)])).unwrap();
+        let (evens, _) = query_tabled(&p, &db, &Atom::new("even", vec![Term::var(0)])).unwrap();
+        let (odds, _) = query_tabled(&p, &db, &Atom::new("odd", vec![Term::var(0)])).unwrap();
         assert_eq!(evens, vec![td_db::tuple!("a")]);
         assert_eq!(odds, vec![td_db::tuple!("b")]);
     }
@@ -382,8 +374,7 @@ mod tests {
              init n(1). init n(2). init n(3).
              double(Y) <- n(X) * Y is X + X.",
         );
-        let (ans, _) =
-            query_tabled(&p, &db, &Atom::new("double", vec![Term::var(0)])).unwrap();
+        let (ans, _) = query_tabled(&p, &db, &Atom::new("double", vec![Term::var(0)])).unwrap();
         assert_eq!(ans.len(), 3);
     }
 

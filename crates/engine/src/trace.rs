@@ -22,9 +22,17 @@ pub enum TraceEvent {
     /// An absence test passed.
     Absent { query: Atom },
     /// A tuple was inserted (`changed` = it was previously absent).
-    Ins { pred: Pred, tuple: Tuple, changed: bool },
+    Ins {
+        pred: Pred,
+        tuple: Tuple,
+        changed: bool,
+    },
     /// A tuple was deleted (`changed` = it was previously present).
-    Del { pred: Pred, tuple: Tuple, changed: bool },
+    Del {
+        pred: Pred,
+        tuple: Tuple,
+        changed: bool,
+    },
     /// A builtin test passed.
     Builtin { rendered: String },
     /// A choice committed to branch `index`.
@@ -41,11 +49,29 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Unfold { call, rule } => write!(f, "unfold {call} (rule #{})", rule.0),
             TraceEvent::Match { query, tuple } => write!(f, "match {query} = {tuple}"),
             TraceEvent::Absent { query } => write!(f, "absent {query}"),
-            TraceEvent::Ins { pred, tuple, changed } => {
-                write!(f, "ins.{}{tuple}{}", pred.name, if *changed { "" } else { " (no-op)" })
+            TraceEvent::Ins {
+                pred,
+                tuple,
+                changed,
+            } => {
+                write!(
+                    f,
+                    "ins.{}{tuple}{}",
+                    pred.name,
+                    if *changed { "" } else { " (no-op)" }
+                )
             }
-            TraceEvent::Del { pred, tuple, changed } => {
-                write!(f, "del.{}{tuple}{}", pred.name, if *changed { "" } else { " (no-op)" })
+            TraceEvent::Del {
+                pred,
+                tuple,
+                changed,
+            } => {
+                write!(
+                    f,
+                    "del.{}{tuple}{}",
+                    pred.name,
+                    if *changed { "" } else { " (no-op)" }
+                )
             }
             TraceEvent::Builtin { rendered } => write!(f, "check {rendered}"),
             TraceEvent::Choice { index } => write!(f, "choose branch {index}"),
@@ -109,12 +135,13 @@ mod tests {
         let parsed = parse_program(src).unwrap();
         let db = Database::with_schema_of(&parsed.program);
         let db = crate::load_init(&db, &parsed.init).unwrap();
-        let engine = Engine::with_config(
-            parsed.program.clone(),
-            EngineConfig::default().with_trace(),
-        );
+        let engine =
+            Engine::with_config(parsed.program.clone(), EngineConfig::default().with_trace());
         let out = engine.solve(&parsed.goals[0].goal, &db).unwrap();
-        out.solution().expect("test scenario succeeds").trace.clone()
+        out.solution()
+            .expect("test scenario succeeds")
+            .trace
+            .clone()
     }
 
     #[test]

@@ -65,9 +65,7 @@ fn splice_children(goals: &[Goal], seq: bool) -> Vec<Arc<PTree>> {
 
 fn push_spliced(out: &mut Vec<Arc<PTree>>, node: Arc<PTree>, seq: bool) {
     match (&*node, seq) {
-        (PTree::Seq(inner), true) | (PTree::Par(inner), false) => {
-            out.extend(inner.iter().cloned())
-        }
+        (PTree::Seq(inner), true) | (PTree::Par(inner), false) => out.extend(inner.iter().cloned()),
         _ => out.push(node),
     }
 }
@@ -168,10 +166,7 @@ fn rebuild(
 /// to give `iso { g }` its contiguity semantics: stepping an isolation leaf
 /// commits to running `g`'s block *now*, before anything else — which is
 /// exactly `Seq[g, rest-of-tree]`.
-pub fn sequence(
-    first: Option<Arc<PTree>>,
-    rest: Option<Arc<PTree>>,
-) -> Option<Arc<PTree>> {
+pub fn sequence(first: Option<Arc<PTree>>, rest: Option<Arc<PTree>>) -> Option<Arc<PTree>> {
     let mut children = Vec::new();
     if let Some(f) = first {
         push_spliced(&mut children, f, true);
@@ -224,10 +219,7 @@ mod tests {
 
     #[test]
     fn nested_seq_splices_flat() {
-        let g = Goal::Seq(vec![
-            a("x"),
-            Goal::Seq(vec![a("y"), a("z")]),
-        ]);
+        let g = Goal::Seq(vec![a("x"), Goal::Seq(vec![a("y"), a("z")])]);
         let t = make_node(&g).unwrap();
         let PTree::Seq(cs) = &*t else { panic!() };
         assert_eq!(cs.len(), 3);
@@ -249,11 +241,7 @@ mod tests {
     #[test]
     fn mixed_frontier() {
         // (x * y) | z : frontier = {x, z}
-        let t = make_node(&Goal::par(vec![
-            Goal::seq(vec![a("x"), a("y")]),
-            a("z"),
-        ]))
-        .unwrap();
+        let t = make_node(&Goal::par(vec![Goal::seq(vec![a("x"), a("y")]), a("z")])).unwrap();
         let f = frontier(&t);
         assert_eq!(f.len(), 2);
         assert_eq!(*leaf_at(&t, &f[0]), a("x"));
@@ -314,10 +302,7 @@ mod tests {
 
     #[test]
     fn to_goal_round_trips_structure() {
-        let g = Goal::par(vec![
-            Goal::seq(vec![a("x"), a("y")]),
-            Goal::iso(a("z")),
-        ]);
+        let g = Goal::par(vec![Goal::seq(vec![a("x"), a("y")]), Goal::iso(a("z"))]);
         let t = make_node(&g).unwrap();
         assert_eq!(to_goal(&t), g);
     }

@@ -17,10 +17,10 @@
 
 pub mod minsky;
 pub mod nonrec;
-pub mod stack;
-pub mod turing;
 pub mod qbf;
 pub mod sat;
+pub mod stack;
+pub mod turing;
 
 pub use minsky::{Counter, Instr, MinskyMachine, RunResult};
 pub use qbf::{Qbf, Quant};

@@ -115,9 +115,7 @@ impl MinskyMachine {
     /// to supply input to a counter machine).
     pub fn with_input(&self, counter: Counter, n: u64) -> MinskyMachine {
         let shift = n as usize;
-        let mut instrs: Vec<Instr> = (0..shift)
-            .map(|i| Instr::Inc(counter, i + 1))
-            .collect();
+        let mut instrs: Vec<Instr> = (0..shift).map(|i| Instr::Inc(counter, i + 1)).collect();
         for ins in &self.instrs {
             instrs.push(match *ins {
                 Instr::Inc(c, j) => Instr::Inc(c, j + shift),
@@ -193,20 +191,14 @@ impl MinskyMachine {
             src,
             "czero(C) <- cmd(C, Cmd) * del.cmd(C, Cmd) * handle0(C, Cmd)."
         );
-        let _ = writeln!(
-            src,
-            "handle0(C, inc) <- ins.ack(C) * cpos(C) * czero(C)."
-        );
+        let _ = writeln!(src, "handle0(C, inc) <- ins.ack(C) * cpos(C) * czero(C).");
         let _ = writeln!(src, "handle0(C, zerop) <- ins.yes(C) * czero(C).");
         let _ = writeln!(src, "cpos(C) <- halted.");
         let _ = writeln!(
             src,
             "cpos(C) <- cmd(C, Cmd) * del.cmd(C, Cmd) * handlep(C, Cmd)."
         );
-        let _ = writeln!(
-            src,
-            "handlep(C, inc) <- ins.ack(C) * cpos(C) * cpos(C)."
-        );
+        let _ = writeln!(src, "handlep(C, inc) <- ins.ack(C) * cpos(C) * cpos(C).");
         let _ = writeln!(src, "handlep(C, dec) <- ins.ack(C).");
         let _ = writeln!(src, "handlep(C, zerop) <- ins.no(C) * cpos(C).");
 
@@ -255,7 +247,10 @@ mod tests {
 
     #[test]
     fn direct_simulation_of_samples() {
-        match MinskyMachine::doubling().with_input(Counter::C0, 5).run(0, 0, 1000) {
+        match MinskyMachine::doubling()
+            .with_input(Counter::C0, 5)
+            .run(0, 0, 1000)
+        {
             RunResult::Halted { c0, c1, .. } => {
                 assert_eq!(c0, 0);
                 assert_eq!(c1, 10);
@@ -301,8 +296,7 @@ mod tests {
         for n in 0..5u64 {
             let machine = MinskyMachine::parity().with_input(Counter::C0, n);
             let scenario = machine.to_td();
-            let direct_accepts =
-                matches!(machine.run(0, 0, 10_000), RunResult::Halted { .. });
+            let direct_accepts = matches!(machine.run(0, 0, 10_000), RunResult::Halted { .. });
             if direct_accepts {
                 let out = scenario
                     .run_with(EngineConfig::default().with_max_steps(2_000_000))

@@ -42,7 +42,10 @@ fn random_edges(nodes: usize, edges: usize, seed: u64, src: &mut String) {
 pub fn khop(nodes: usize, edges: usize, k: usize, seed: u64) -> Scenario {
     assert!(k >= 1);
     let mut src = String::new();
-    let _ = writeln!(src, "% nonrecursive k-hop query: k={k}, |V|={nodes}, |E|={edges}");
+    let _ = writeln!(
+        src,
+        "% nonrecursive k-hop query: k={k}, |V|={nodes}, |E|={edges}"
+    );
     let _ = writeln!(src, "base edge/2.");
     let _ = writeln!(src, "base found/2.");
     random_edges(nodes, edges, seed, &mut src);
@@ -149,9 +152,6 @@ mod tests {
     #[test]
     fn generators_are_deterministic_per_seed() {
         assert_eq!(khop(8, 20, 2, 5).source, khop(8, 20, 2, 5).source);
-        assert_eq!(
-            promote_pipeline(4, 9).source,
-            promote_pipeline(4, 9).source
-        );
+        assert_eq!(promote_pipeline(4, 9).source, promote_pipeline(4, 9).source);
     }
 }

@@ -62,11 +62,10 @@ impl Qbf {
 
     fn eval_from(&self, level: usize, assignment: &mut Vec<bool>) -> bool {
         if level == self.quants.len() {
-            return self.clauses.iter().all(|clause| {
-                clause
-                    .iter()
-                    .any(|l| assignment[l.var] == l.positive)
-            });
+            return self
+                .clauses
+                .iter()
+                .all(|clause| clause.iter().any(|l| assignment[l.var] == l.positive));
         }
         match self.quants[level] {
             Quant::Exists => {
@@ -95,7 +94,13 @@ impl Qbf {
     pub fn random(vars: usize, clauses: usize, seed: u64) -> Qbf {
         let mut rng = StdRng::seed_from_u64(seed);
         let quants = (0..vars)
-            .map(|i| if i % 2 == 0 { Quant::Forall } else { Quant::Exists })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Quant::Forall
+                } else {
+                    Quant::Exists
+                }
+            })
             .collect();
         let clauses = (0..clauses)
             .map(|_| {
@@ -123,7 +128,10 @@ impl Qbf {
     /// mechanism the proof isolates.
     pub fn to_td_data(&self) -> Scenario {
         let mut src = String::new();
-        let _ = writeln!(src, "% QBF instance in the DATABASE; fixed sequential-TD evaluator");
+        let _ = writeln!(
+            src,
+            "% QBF instance in the DATABASE; fixed sequential-TD evaluator"
+        );
         let _ = writeln!(src, "base qvar/2.");
         let _ = writeln!(src, "base lit/3.");
         let _ = writeln!(src, "base nv/1.");
@@ -160,7 +168,10 @@ impl Qbf {
             "eval(I) <- qvar(I, a) * J is I + 1 * ins.tru(I) * eval(J) * del.tru(I) * eval(J)."
         );
         let _ = writeln!(src, "chk(C, M) <- C > M.");
-        let _ = writeln!(src, "chk(C, M) <- C <= M * sat(C) * C2 is C + 1 * chk(C2, M).");
+        let _ = writeln!(
+            src,
+            "chk(C, M) <- C <= M * sat(C) * C2 is C + 1 * chk(C2, M)."
+        );
         let _ = writeln!(src, "sat(C) <- lit(C, I, 1) * tru(I).");
         let _ = writeln!(src, "sat(C) <- lit(C, I, 0) * not tru(I).");
         let _ = writeln!(src, "?- eval(1).");
@@ -172,7 +183,11 @@ impl Qbf {
     pub fn to_td(&self) -> Scenario {
         let n = self.num_vars();
         let mut src = String::new();
-        let _ = writeln!(src, "% QBF with {n} vars / {} clauses in sequential TD", self.clauses.len());
+        let _ = writeln!(
+            src,
+            "% QBF with {n} vars / {} clauses in sequential TD",
+            self.clauses.len()
+        );
         let _ = writeln!(src, "base tru/1.");
         for (i, q) in self.quants.iter().enumerate() {
             let next = i + 1;
@@ -194,9 +209,7 @@ impl Qbf {
         if self.clauses.is_empty() {
             let _ = writeln!(src, "q{n} <- ().");
         } else {
-            let checks: Vec<String> = (0..self.clauses.len())
-                .map(|j| format!("cl{j}"))
-                .collect();
+            let checks: Vec<String> = (0..self.clauses.len()).map(|j| format!("cl{j}")).collect();
             let _ = writeln!(src, "q{n} <- {}.", checks.join(" * "));
             for (j, clause) in self.clauses.iter().enumerate() {
                 let lits: Vec<String> = clause

@@ -56,10 +56,7 @@ impl Cnf {
                     .collect()
             })
             .collect();
-        Cnf {
-            num_vars,
-            clauses,
-        }
+        Cnf { num_vars, clauses }
     }
 
     /// DPLL with unit propagation (the baseline solver).

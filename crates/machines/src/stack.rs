@@ -63,8 +63,14 @@ pub enum Instr {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum StackRun {
     /// Accepted; final stack contents (bottom first).
-    Halted { steps: u64, s0: Vec<Sym>, s1: Vec<Sym> },
-    Rejected { steps: u64 },
+    Halted {
+        steps: u64,
+        s0: Vec<Sym>,
+        s1: Vec<Sym>,
+    },
+    Rejected {
+        steps: u64,
+    },
     OutOfFuel,
 }
 
@@ -221,7 +227,10 @@ impl StackMachine {
     /// ```
     pub fn to_td(&self) -> Scenario {
         let mut src = String::new();
-        let _ = writeln!(src, "% 2-stack machine as 3 concurrent TD processes (Cor. 4.6)");
+        let _ = writeln!(
+            src,
+            "% 2-stack machine as 3 concurrent TD processes (Cor. 4.6)"
+        );
         let _ = writeln!(src, "base cmd/3.");
         let _ = writeln!(src, "base ack/1.");
         let _ = writeln!(src, "base popped/2.");
@@ -230,12 +239,24 @@ impl StackMachine {
 
         // Stack processes.
         let _ = writeln!(src, "stk(S) <- halted.");
-        let _ = writeln!(src, "stk(S) <- cmd(S, Op, X) * del.cmd(S, Op, X) * hempty(S, Op, X).");
-        let _ = writeln!(src, "hempty(S, push, X) <- ins.ack(S) * cell(S, X) * stk(S).");
+        let _ = writeln!(
+            src,
+            "stk(S) <- cmd(S, Op, X) * del.cmd(S, Op, X) * hempty(S, Op, X)."
+        );
+        let _ = writeln!(
+            src,
+            "hempty(S, push, X) <- ins.ack(S) * cell(S, X) * stk(S)."
+        );
         let _ = writeln!(src, "hempty(S, pop, X) <- ins.sempty(S) * stk(S).");
         let _ = writeln!(src, "cell(S, V) <- halted.");
-        let _ = writeln!(src, "cell(S, V) <- cmd(S, Op, X) * del.cmd(S, Op, X) * hcell(S, Op, X, V).");
-        let _ = writeln!(src, "hcell(S, push, X, V) <- ins.ack(S) * cell(S, X) * cell(S, V).");
+        let _ = writeln!(
+            src,
+            "cell(S, V) <- cmd(S, Op, X) * del.cmd(S, Op, X) * hcell(S, Op, X, V)."
+        );
+        let _ = writeln!(
+            src,
+            "hcell(S, push, X, V) <- ins.ack(S) * cell(S, X) * cell(S, V)."
+        );
         let _ = writeln!(src, "hcell(S, pop, X, V) <- ins.popped(S, V).");
 
         // Control.
@@ -378,7 +399,10 @@ mod tests {
         for n in 0..4u64 {
             let minsky = MinskyMachine::parity().with_input(Counter::C0, n);
             let stack = StackMachine::from_minsky(&minsky);
-            let direct = matches!(minsky.run(0, 0, 10_000), crate::minsky::RunResult::Halted { .. });
+            let direct = matches!(
+                minsky.run(0, 0, 10_000),
+                crate::minsky::RunResult::Halted { .. }
+            );
             assert_eq!(stack.accepts(10_000), Some(direct), "n={n}");
         }
     }

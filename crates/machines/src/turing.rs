@@ -54,8 +54,13 @@ pub struct TuringMachine {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum TmRun {
     /// Accepted; final tape (blanks trimmed), head position.
-    Accepted { steps: u64, tape: Vec<u8> },
-    Rejected { steps: u64 },
+    Accepted {
+        steps: u64,
+        tape: Vec<u8>,
+    },
+    Rejected {
+        steps: u64,
+    },
     OutOfFuel,
 }
 
@@ -78,8 +83,7 @@ impl TuringMachine {
         let mut steps = 0u64;
         loop {
             if self.accept.contains(&state) {
-                let mut cells: Vec<(i64, u8)> =
-                    tape.into_iter().filter(|(_, s)| *s != 0).collect();
+                let mut cells: Vec<(i64, u8)> = tape.into_iter().filter(|(_, s)| *s != 0).collect();
                 cells.sort_unstable();
                 return TmRun::Accepted {
                     steps,
@@ -154,10 +158,10 @@ impl TuringMachine {
         let placeholder = usize::MAX - 1;
 
         let push_patched = |instrs: &mut Vec<SInstr>,
-                                patches: &mut Vec<(usize, Patch)>,
-                                sid: StackId,
-                                sym: u8,
-                                target_state: usize| {
+                            patches: &mut Vec<(usize, Patch)>,
+                            sid: StackId,
+                            sym: u8,
+                            target_state: usize| {
             instrs.push(SInstr::Push(sid, Sym(sym), placeholder));
             patches.push((instrs.len() - 1, Patch::Entry(target_state)));
         };
@@ -208,22 +212,10 @@ impl TuringMachine {
                             instrs.push(SInstr::PopBranch(StackId::S0, Vec::new(), 0));
                             for &x in &alphabet {
                                 shift_branches.push((Sym(x), instrs.len()));
-                                push_patched(
-                                    &mut instrs,
-                                    &mut patches,
-                                    StackId::S1,
-                                    x,
-                                    rule.next,
-                                );
+                                push_patched(&mut instrs, &mut patches, StackId::S1, x, rule.next);
                             }
                             let blank_push = instrs.len();
-                            push_patched(
-                                &mut instrs,
-                                &mut patches,
-                                StackId::S1,
-                                0,
-                                rule.next,
-                            );
+                            push_patched(&mut instrs, &mut patches, StackId::S1, 0, rule.next);
                             instrs[shift_pop_at] =
                                 SInstr::PopBranch(StackId::S0, shift_branches, blank_push);
                         }
@@ -430,7 +422,11 @@ mod tests {
             next,
         };
         let tm = TuringMachine {
-            rules: vec![r(0, 1, 1, Move::Left, 1), r(1, 0, 0, Move::Left, 2), r(2, 0, 0, Move::Stay, 3)],
+            rules: vec![
+                r(0, 1, 1, Move::Left, 1),
+                r(1, 0, 0, Move::Left, 2),
+                r(2, 0, 0, Move::Stay, 3),
+            ],
             accept: vec![3],
             max_symbol: 1,
         };

@@ -345,7 +345,9 @@ mod tests {
 
     #[test]
     fn int_out_of_range_errors() {
-        let err = Lexer::new("99999999999999999999999").tokenize().unwrap_err();
+        let err = Lexer::new("99999999999999999999999")
+            .tokenize()
+            .unwrap_err();
         assert!(matches!(err.kind, ParseErrorKind::IntOutOfRange(_)));
     }
 }

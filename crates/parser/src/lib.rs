@@ -48,8 +48,8 @@ mod tests {
 
     #[test]
     fn precedence_star_over_pipe() {
-        let p = parse_program("base a/0. base b/0. base c/0. base d/0. r <- a * b | c * d.")
-            .unwrap();
+        let p =
+            parse_program("base a/0. base b/0. base c/0. base d/0. r <- a * b | c * d.").unwrap();
         let body = &p.program.rules()[0].body;
         assert_eq!(
             *body,
@@ -75,10 +75,8 @@ mod tests {
 
     #[test]
     fn variables_scoped_per_rule() {
-        let p = parse_program(
-            "base p/1. base q/1. r(X) <- p(X) * q(Y) * q(X). s(Y) <- p(Y).",
-        )
-        .unwrap();
+        let p =
+            parse_program("base p/1. base q/1. r(X) <- p(X) * q(Y) * q(X). s(Y) <- p(Y).").unwrap();
         let r = &p.program.rules()[0];
         assert_eq!(r.num_vars(), 2);
         assert_eq!(r.head.args, vec![Term::var(0)]);
@@ -91,10 +89,7 @@ mod tests {
     fn anonymous_underscore_is_fresh_each_time() {
         let p = parse_program("base p/2. r <- p(_, _).").unwrap();
         let body = &p.program.rules()[0].body;
-        assert_eq!(
-            *body,
-            Goal::atom("p", vec![Term::var(0), Term::var(1)])
-        );
+        assert_eq!(*body, Goal::atom("p", vec![Term::var(0), Term::var(1)]));
     }
 
     #[test]
@@ -113,19 +108,14 @@ mod tests {
         let body = &p.program.rules()[0].body;
         assert_eq!(
             *body,
-            Goal::seq(vec![
-                Goal::NotAtom(td_core::Atom::prop("a")),
-                Goal::Fail
-            ])
+            Goal::seq(vec![Goal::NotAtom(td_core::Atom::prop("a")), Goal::Fail])
         );
     }
 
     #[test]
     fn builtins_comparisons_and_is() {
-        let p = parse_program(
-            "base bal/1. r(B) <- bal(B) * B >= 10 * C is B - 10 * ins.bal(C).",
-        )
-        .unwrap();
+        let p = parse_program("base bal/1. r(B) <- bal(B) * B >= 10 * C is B - 10 * ins.bal(C).")
+            .unwrap();
         let body = &p.program.rules()[0].body;
         let Goal::Seq(steps) = body else {
             panic!("expected seq")
@@ -166,10 +156,9 @@ mod tests {
 
     #[test]
     fn init_and_goal_statements() {
-        let p = parse_program(
-            "base item/1. init item(w1). init item(w2). ?- item(X) * del.item(X).",
-        )
-        .unwrap();
+        let p =
+            parse_program("base item/1. init item(w1). init item(w2). ?- item(X) * del.item(X).")
+                .unwrap();
         assert_eq!(p.init.len(), 2);
         assert!(p.init[0].is_ground());
         assert_eq!(p.goals.len(), 1);
@@ -336,7 +325,9 @@ mod edge_case_tests {
     #[test]
     fn integer_terms_in_every_position() {
         let p = parse_program("base p/3. r <- p(-1, 0, 99) * ins.p(1, 2, 3).").unwrap();
-        let Goal::Seq(steps) = &p.program.rules()[0].body else { panic!() };
+        let Goal::Seq(steps) = &p.program.rules()[0].body else {
+            panic!()
+        };
         let Goal::Atom(a) = &steps[0] else { panic!() };
         assert_eq!(a.args, vec![Term::int(-1), Term::int(0), Term::int(99)]);
     }

@@ -40,13 +40,15 @@ pub struct ParsedProgram {
 }
 
 /// Names that cannot be used as predicates or constants.
-const RESERVED: &[&str] = &["base", "init", "ins", "del", "iso", "not", "fail", "or", "is"];
+const RESERVED: &[&str] = &[
+    "base", "init", "ins", "del", "iso", "not", "fail", "or", "is",
+];
 
 /// Parse a complete `.td` source file.
 pub fn parse_program(src: &str) -> Result<ParsedProgram, ParseErrors> {
-    let tokens = Lexer::new(src).tokenize().map_err(|e| ParseErrors {
-        errors: vec![e],
-    })?;
+    let tokens = Lexer::new(src)
+        .tokenize()
+        .map_err(|e| ParseErrors { errors: vec![e] })?;
     let mut p = Parser::new(tokens);
     p.program()
 }
@@ -54,13 +56,15 @@ pub fn parse_program(src: &str) -> Result<ParsedProgram, ParseErrors> {
 /// Parse a standalone goal (e.g. CLI input), validating it against
 /// `program`.
 pub fn parse_goal(src: &str, program: &Program) -> Result<ParsedGoal, ParseErrors> {
-    let tokens = Lexer::new(src).tokenize().map_err(|e| ParseErrors {
-        errors: vec![e],
-    })?;
+    let tokens = Lexer::new(src)
+        .tokenize()
+        .map_err(|e| ParseErrors { errors: vec![e] })?;
     let mut p = Parser::new(tokens);
     let mut scope = VarScope::default();
     let start = p.span();
-    let goal = p.goal(&mut scope).map_err(|e| ParseErrors { errors: vec![e] })?;
+    let goal = p
+        .goal(&mut scope)
+        .map_err(|e| ParseErrors { errors: vec![e] })?;
     // Optional trailing `.`
     if p.peek() == &Tok::Dot {
         p.bump();
@@ -71,7 +75,10 @@ pub fn parse_goal(src: &str, program: &Program) -> Result<ParsedGoal, ParseError
         });
     }
     td_core::validate::validate_goal(program, &goal).map_err(|e| ParseErrors {
-        errors: vec![ParseError::new(ParseErrorKind::Invalid(e.to_string()), start)],
+        errors: vec![ParseError::new(
+            ParseErrorKind::Invalid(e.to_string()),
+            start,
+        )],
     })?;
     Ok(ParsedGoal {
         goal,
@@ -440,42 +447,40 @@ impl Parser {
         // A term (or term-like atom) may continue as a builtin.
         match primary {
             Primary::Goal(g) => Ok(g),
-            Primary::Term(t, goal_form) => {
-                match self.peek() {
-                    Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge => {
-                        let op = match self.bump().tok {
-                            Tok::Eq => Builtin::Eq,
-                            Tok::Ne => Builtin::Ne,
-                            Tok::Lt => Builtin::Lt,
-                            Tok::Le => Builtin::Le,
-                            Tok::Gt => Builtin::Gt,
-                            Tok::Ge => Builtin::Ge,
-                            _ => unreachable!(),
-                        };
-                        let rhs = self.term(scope)?;
-                        Ok(Goal::Builtin(op, vec![t, rhs]))
-                    }
-                    Tok::Ident(s) if s == "is" => {
-                        self.bump();
-                        let a = self.term(scope)?;
-                        let op = match self.peek() {
-                            Tok::Plus => Builtin::Add,
-                            Tok::Minus => Builtin::Sub,
-                            Tok::Star => Builtin::Mul,
-                            _ => {
-                                return Err(ParseError::new(
-                                    ParseErrorKind::MalformedArith,
-                                    self.span(),
-                                ))
-                            }
-                        };
-                        self.bump();
-                        let b = self.term(scope)?;
-                        Ok(Goal::Builtin(op, vec![a, b, t]))
-                    }
-                    _ => goal_form.ok_or_else(|| self.unexpected("a goal (found a bare term)")),
+            Primary::Term(t, goal_form) => match self.peek() {
+                Tok::Eq | Tok::Ne | Tok::Lt | Tok::Le | Tok::Gt | Tok::Ge => {
+                    let op = match self.bump().tok {
+                        Tok::Eq => Builtin::Eq,
+                        Tok::Ne => Builtin::Ne,
+                        Tok::Lt => Builtin::Lt,
+                        Tok::Le => Builtin::Le,
+                        Tok::Gt => Builtin::Gt,
+                        Tok::Ge => Builtin::Ge,
+                        _ => unreachable!(),
+                    };
+                    let rhs = self.term(scope)?;
+                    Ok(Goal::Builtin(op, vec![t, rhs]))
                 }
-            }
+                Tok::Ident(s) if s == "is" => {
+                    self.bump();
+                    let a = self.term(scope)?;
+                    let op = match self.peek() {
+                        Tok::Plus => Builtin::Add,
+                        Tok::Minus => Builtin::Sub,
+                        Tok::Star => Builtin::Mul,
+                        _ => {
+                            return Err(ParseError::new(
+                                ParseErrorKind::MalformedArith,
+                                self.span(),
+                            ))
+                        }
+                    };
+                    self.bump();
+                    let b = self.term(scope)?;
+                    Ok(Goal::Builtin(op, vec![a, b, t]))
+                }
+                _ => goal_form.ok_or_else(|| self.unexpected("a goal (found a bare term)")),
+            },
         }
     }
 

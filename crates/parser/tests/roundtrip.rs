@@ -21,8 +21,7 @@ fn arb_goal(depth: u32) -> impl Strategy<Value = Goal> {
             })
             .prop_map(|s| Term::sym(&s)),
     ];
-    let atom2 = proptest::collection::vec(term.clone(), 2)
-        .prop_map(|args| Atom::new("p", args));
+    let atom2 = proptest::collection::vec(term.clone(), 2).prop_map(|args| Atom::new("p", args));
     let atom1 = proptest::collection::vec(term, 1).prop_map(|args| Atom::new("q", args));
     let leaf = prop_oneof![
         atom2.clone().prop_map(Goal::Atom),

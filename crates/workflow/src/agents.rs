@@ -127,11 +127,8 @@ mod tests {
 
     #[test]
     fn single_agent_serializes_but_completes() {
-        let cfg = AgentScenarioConfig::universal_pool(
-            linear_spec(2),
-            vec!["w1".into(), "w2".into()],
-            1,
-        );
+        let cfg =
+            AgentScenarioConfig::universal_pool(linear_spec(2), vec!["w1".into(), "w2".into()], 1);
         let scenario = cfg.compile();
         let out = scenario.run().unwrap();
         let sol = out.solution().expect("completes with one agent");
@@ -161,8 +158,7 @@ mod tests {
 
     #[test]
     fn audit_trail_names_the_agent() {
-        let cfg =
-            AgentScenarioConfig::universal_pool(linear_spec(1), vec!["w1".into()], 1);
+        let cfg = AgentScenarioConfig::universal_pool(linear_spec(1), vec!["w1".into()], 1);
         let out = cfg.compile().run().unwrap();
         let sol = out.solution().unwrap();
         assert!(sol
@@ -172,11 +168,8 @@ mod tests {
 
     #[test]
     fn racy_variant_compiles_and_runs() {
-        let mut cfg = AgentScenarioConfig::universal_pool(
-            linear_spec(1),
-            vec!["w1".into(), "w2".into()],
-            2,
-        );
+        let mut cfg =
+            AgentScenarioConfig::universal_pool(linear_spec(1), vec!["w1".into(), "w2".into()], 2);
         cfg.atomic_claim = false;
         let scenario = cfg.compile();
         assert!(!scenario.source.contains("iso {"));
@@ -185,8 +178,7 @@ mod tests {
 
     #[test]
     fn more_agents_than_items_still_works() {
-        let cfg =
-            AgentScenarioConfig::universal_pool(linear_spec(2), vec!["w1".into()], 5);
+        let cfg = AgentScenarioConfig::universal_pool(linear_spec(2), vec!["w1".into()], 5);
         let out = cfg.compile().run().unwrap();
         assert!(out.is_success());
         assert_eq!(
@@ -203,11 +195,8 @@ mod tests {
     #[test]
     fn round_robin_with_ample_agents() {
         // A fair scheduler with enough agents processes everything.
-        let cfg = AgentScenarioConfig::universal_pool(
-            linear_spec(1),
-            vec!["w1".into(), "w2".into()],
-            2,
-        );
+        let cfg =
+            AgentScenarioConfig::universal_pool(linear_spec(1), vec!["w1".into(), "w2".into()], 2);
         let scenario = cfg.compile();
         let out = scenario
             .run_with(EngineConfig::default().with_strategy(td_engine::Strategy::Exhaustive))

@@ -227,10 +227,7 @@ mod tests {
 
     #[test]
     fn items_are_audited_independently() {
-        let spec = WorkflowSpec::new(
-            "w",
-            Node::Seq(vec![Node::task("a"), Node::task("b")]),
-        );
+        let spec = WorkflowSpec::new("w", Node::Seq(vec![Node::task("a"), Node::task("b")]));
         let d = delta_of(&[
             done_op("w1", "a"),
             done_op("w2", "b"), // w2 out of order...

@@ -40,8 +40,11 @@ impl LabFlowConfig {
     /// concurrently.
     pub fn compile(&self) -> Scenario {
         let mut src = String::new();
-        let _ = writeln!(src, "% LabFlow-style genome pipeline: {} samples x {} stages",
-            self.samples, self.stages);
+        let _ = writeln!(
+            src,
+            "% LabFlow-style genome pipeline: {} samples x {} stages",
+            self.samples, self.stages
+        );
         let _ = writeln!(src, "base at/2.");
         let _ = writeln!(src, "base result/2.");
         for i in 1..=self.samples {
@@ -194,9 +197,21 @@ mod tests {
 
     #[test]
     fn empty_configs_succeed() {
-        assert!(LabFlowConfig::new(0, 3).compile().run().unwrap().is_success());
-        assert!(LabFlowConfig::new(3, 0).compile().run().unwrap().is_success());
-        assert!(RepeatProtocol::new(0, 2).compile().run().unwrap().is_success());
+        assert!(LabFlowConfig::new(0, 3)
+            .compile()
+            .run()
+            .unwrap()
+            .is_success());
+        assert!(LabFlowConfig::new(3, 0)
+            .compile()
+            .run()
+            .unwrap()
+            .is_success());
+        assert!(RepeatProtocol::new(0, 2)
+            .compile()
+            .run()
+            .unwrap()
+            .is_success());
     }
 }
 

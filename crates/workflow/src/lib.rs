@@ -42,5 +42,5 @@ pub use metrics::{double_claims, peak_agents_in_use, WorkflowMetrics};
 pub use network::{Pipeline, Ring, SyncPair};
 pub use scenario::Scenario;
 pub use simulate::{EnvironmentMode, SimulationConfig};
-pub use timeline::{events as timeline_events, render as render_timeline};
 pub use spec::{Node, WorkflowSpec};
+pub use timeline::{events as timeline_events, render as render_timeline};

@@ -92,10 +92,7 @@ impl LoanConfig {
         // Settlement: approve if funds remain (transactional debit under
         // isolation), otherwise reject. The `or` makes the choice angelic:
         // the engine approves when it can.
-        let _ = writeln!(
-            src,
-            "settle(W) <- {{ approve(W) or ins.rejected(W) }}."
-        );
+        let _ = writeln!(src, "settle(W) <- {{ approve(W) or ins.rejected(W) }}.");
         let _ = writeln!(
             src,
             "approve(W) <- application(W, Amt) * iso {{ funds(F) * F >= Amt \
@@ -145,7 +142,10 @@ mod tests {
 
     #[test]
     fn ample_funds_approve_everything() {
-        let out = LoanConfig::new(&[100, 200, 300], 10_000).compile().run().unwrap();
+        let out = LoanConfig::new(&[100, 200, 300], 10_000)
+            .compile()
+            .run()
+            .unwrap();
         assert_eq!(approved(&out).len(), 3);
         assert_eq!(rejected_count(&out), 0);
     }
@@ -153,7 +153,10 @@ mod tests {
     #[test]
     fn funds_limit_forces_rejections() {
         // 3 × 400 requested, 800 available: at most 2 approvals.
-        let out = LoanConfig::new(&[400, 400, 400], 800).compile().run().unwrap();
+        let out = LoanConfig::new(&[400, 400, 400], 800)
+            .compile()
+            .run()
+            .unwrap();
         assert_eq!(approved(&out).len() + rejected_count(&out), 3);
         assert!(approved(&out).len() <= 2);
         // The DFS approves greedily, so it finds the 2-approval settlement.
@@ -219,7 +222,10 @@ mod tests {
         // Even with adversarial amounts, every committed state respects the
         // funds invariant because the debit is guarded and isolated.
         for funds in [0i64, 100, 450, 900] {
-            let out = LoanConfig::new(&[300, 300, 300], funds).compile().run().unwrap();
+            let out = LoanConfig::new(&[300, 300, 300], funds)
+                .compile()
+                .run()
+                .unwrap();
             let ledger = out
                 .solution()
                 .unwrap()
@@ -236,6 +242,10 @@ mod tests {
 
     #[test]
     fn empty_config_succeeds() {
-        assert!(LoanConfig::new(&[], 100).compile().run().unwrap().is_success());
+        assert!(LoanConfig::new(&[], 100)
+            .compile()
+            .run()
+            .unwrap()
+            .is_success());
     }
 }

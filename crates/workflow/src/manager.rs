@@ -122,9 +122,8 @@ impl Manager {
 
     /// Parse and submit a goal written in concrete syntax.
     pub fn submit_text(&mut self, goal_src: &str) -> Result<Submitted, EngineError> {
-        let parsed = td_parser::parse_goal(goal_src, self.engine.program()).map_err(|e| {
-            EngineError::Db(format!("goal does not parse: {e}"))
-        })?;
+        let parsed = td_parser::parse_goal(goal_src, self.engine.program())
+            .map_err(|e| EngineError::Db(format!("goal does not parse: {e}")))?;
         self.submit(&parsed.goal)
     }
 
@@ -248,9 +247,7 @@ mod tests {
         // `workflow` has updates, so the Datalog evaluator refuses and the
         // engine fallback enumerates bindings for which it is executable.
         let m = manager();
-        let ans = m
-            .query(&Atom::new("workflow", vec![Term::var(0)]))
-            .unwrap();
+        let ans = m.query(&Atom::new("workflow", vec![Term::var(0)])).unwrap();
         assert_eq!(ans.len(), 3);
         assert!(ans.contains(&tuple!("w1")));
     }

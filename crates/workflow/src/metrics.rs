@@ -164,10 +164,7 @@ mod tests {
     #[test]
     fn isolated_claims_have_no_anomalies() {
         let cfg = AgentScenarioConfig::universal_pool(
-            WorkflowSpec::new(
-                "wf",
-                Node::Seq(vec![Node::task("t1"), Node::task("t2")]),
-            ),
+            WorkflowSpec::new("wf", Node::Seq(vec![Node::task("t1"), Node::task("t2")])),
             vec!["w1".into(), "w2".into()],
             2,
         );

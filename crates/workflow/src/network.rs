@@ -34,7 +34,11 @@ impl SyncPair {
 
     pub fn compile(&self) -> Scenario {
         let mut src = String::new();
-        let _ = writeln!(src, "% Example 3.4: two workflows, {} sync points", self.sync_points);
+        let _ = writeln!(
+            src,
+            "% Example 3.4: two workflows, {} sync points",
+            self.sync_points
+        );
         let _ = writeln!(src, "base sync/1.");
         let _ = writeln!(src, "base adone/1.");
         let _ = writeln!(src, "base bdone/1.");
@@ -189,7 +193,10 @@ impl Ring {
         assert!(self.members >= 2, "a ring needs at least two members");
         let n = self.members;
         let mut src = String::new();
-        let _ = writeln!(src, "% ring of {n} cooperating workflows (Example 3.4 generalized)");
+        let _ = writeln!(
+            src,
+            "% ring of {n} cooperating workflows (Example 3.4 generalized)"
+        );
         let _ = writeln!(src, "base token/1.");
         let _ = writeln!(src, "base worked/1.");
         let _ = writeln!(src, "init token(1).");
@@ -215,7 +222,9 @@ mod ring_tests {
     fn token_travels_the_whole_ring() {
         for n in [2usize, 3, 6] {
             let out = Ring::new(n).compile().run().unwrap();
-            let sol = out.solution().unwrap_or_else(|| panic!("ring {n} completes"));
+            let sol = out
+                .solution()
+                .unwrap_or_else(|| panic!("ring {n} completes"));
             assert_eq!(
                 sol.db.relation(Pred::new("worked", 1)).unwrap().len(),
                 n,

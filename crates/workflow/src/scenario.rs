@@ -70,9 +70,7 @@ mod tests {
 
     #[test]
     fn from_source_builds_and_runs() {
-        let s = Scenario::from_source(
-            "base t/1. init t(1). ?- t(X) * del.t(X).".to_owned(),
-        );
+        let s = Scenario::from_source("base t/1. init t(1). ?- t(X) * del.t(X).".to_owned());
         let out = s.run().unwrap();
         assert!(out.is_success());
         assert_eq!(out.solution().unwrap().db.total_tuples(), 0);

@@ -186,7 +186,9 @@ mod tests {
         assert!(scenario
             .source
             .contains("workflow(W) <- task1(W) * (task2(W) | subflow(W)) * task5(W)."));
-        assert!(scenario.source.contains("subflow(W) <- task3(W) * task4(W)."));
+        assert!(scenario
+            .source
+            .contains("subflow(W) <- task3(W) * task4(W)."));
         assert!(scenario
             .source
             .contains("task3(W) <- item(W) * ins.done(W, task3)."));

@@ -53,11 +53,9 @@ pub fn events(delta: &Delta) -> Vec<Event> {
                 });
             }
         } else if *p == did {
-            if let (Some(item), Some(task), Some(agent)) = (
-                sym(t.values()[0]),
-                sym(t.values()[1]),
-                sym(t.values()[2]),
-            ) {
+            if let (Some(item), Some(task), Some(agent)) =
+                (sym(t.values()[0]), sym(t.values()[1]), sym(t.values()[2]))
+            {
                 out.push(Event {
                     step,
                     item,
@@ -83,7 +81,10 @@ pub fn render(delta: &Delta) -> String {
     }
     let mut lanes: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for e in &evs {
-        lanes.entry(e.item.clone()).or_default().push(e.task.clone());
+        lanes
+            .entry(e.item.clone())
+            .or_default()
+            .push(e.task.clone());
     }
     if !lanes.is_empty() {
         out.push('\n');

@@ -9,8 +9,8 @@
 //! cargo run --example banking
 //! ```
 
-use transaction_datalog::workflow::{serializable_transfers, transfer_goal, Bank};
 use transaction_datalog::prelude::*;
+use transaction_datalog::workflow::{serializable_transfers, transfer_goal, Bank};
 
 fn main() {
     let bank = Bank::new(&[("alice", 120), ("bob", 30)]);
@@ -54,6 +54,9 @@ fn main() {
     let sol = out.solution().expect("serializable schedule exists");
     let a = Bank::balance_in(&sol.db, "alice").unwrap();
     let b = Bank::balance_in(&sol.db, "bob").unwrap();
-    println!("3 concurrent isolated transfers: alice={a}, bob={b} (total {})", a + b);
+    println!(
+        "3 concurrent isolated transfers: alice={a}, bob={b} (total {})",
+        a + b
+    );
     assert_eq!(a + b, 150, "money is conserved");
 }

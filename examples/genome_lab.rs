@@ -32,7 +32,10 @@ fn main() {
         metrics.per_item.len(),
         metrics.search_steps
     );
-    println!("--- committed timeline ---\n{}", render_timeline(&sol.delta));
+    println!(
+        "--- committed timeline ---\n{}",
+        render_timeline(&sol.delta)
+    );
     let violations = audit(&spec, &sol.delta);
     println!("audit against the spec: {} violations", violations.len());
     assert!(violations.is_empty());

@@ -10,8 +10,8 @@
 //! cargo run --example loan_office
 //! ```
 
-use transaction_datalog::workflow::{LoanConfig, Manager};
 use td_core::{Atom, Pred, Term};
+use transaction_datalog::workflow::{LoanConfig, Manager};
 
 fn main() {
     let cfg = LoanConfig::new(&[300, 800, 450, 900, 120], 1500);
@@ -29,7 +29,11 @@ fn main() {
             .unwrap();
         println!(
             "{app}: {}  (funds now {})",
-            if result.is_committed() { "settled" } else { "ABORTED" },
+            if result.is_committed() {
+                "settled"
+            } else {
+                "ABORTED"
+            },
             funds[0]
         );
     }

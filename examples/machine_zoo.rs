@@ -65,8 +65,7 @@ fn main() {
     // -- The decider on a bounded fragment ----------------------------------
     println!("\n--- decider configuration counts (fully bounded iteration) ---");
     for attempts in [2i64, 4, 8] {
-        let scenario =
-            transaction_datalog::workflow::RepeatProtocol::new(1, attempts).compile();
+        let scenario = transaction_datalog::workflow::RepeatProtocol::new(1, attempts).compile();
         let d = decide(
             &scenario.program,
             &scenario.goal,

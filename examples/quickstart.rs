@@ -41,7 +41,10 @@ fn main() {
     match engine.solve(&goal.goal, &db).unwrap() {
         Outcome::Success(_) => unreachable!("16 > 10"),
         Outcome::Failure { stats } => {
-            println!("aborted as a unit (searched {} steps); db unchanged", stats.steps);
+            println!(
+                "aborted as a unit (searched {} steps); db unchanged",
+                stats.steps
+            );
         }
     }
 

@@ -13,7 +13,10 @@ use transaction_datalog::workflow::{Pipeline, SimulationConfig, SyncPair};
 fn main() {
     // -- Example 3.4: two workflows, three rendezvous points --------------
     let scenario = SyncPair::new(3).compile();
-    println!("--- Example 3.4: synchronized pair ---\n{}", scenario.source);
+    println!(
+        "--- Example 3.4: synchronized pair ---\n{}",
+        scenario.source
+    );
     let out = scenario.run().expect("no fault");
     let sol = out.solution().expect("both workflows complete");
     println!("committed update order:\n  {}\n", sol.delta);
@@ -24,7 +27,10 @@ fn main() {
     let sol = out.solution().expect("pipeline drains");
     println!("--- producer/consumer over 5 items ---");
     println!("final db: {}", sol.db);
-    println!("({} engine steps, {} backtracks)\n", sol.stats.steps, sol.stats.backtracks);
+    println!(
+        "({} engine steps, {} backtracks)\n",
+        sol.stats.steps, sol.stats.backtracks
+    );
 
     // -- Example 3.2: simulation with runtime process creation ------------
     let scenario = SimulationConfig::new(5, 3).compile();

@@ -4,8 +4,8 @@
 //! with choice, recursion-free call graphs, and updates.
 
 use proptest::prelude::*;
-use transaction_datalog::prelude::{Database, Engine, EngineConfig, Goal, Outcome};
 use td_core::{Atom, Program};
+use transaction_datalog::prelude::{Database, Engine, EngineConfig, Goal, Outcome};
 
 /// Strategy for a rule body over base flags f0..f2 and derived preds
 /// d0..dk (callees restricted to *lower* indices, so programs are

@@ -78,9 +78,7 @@ fn committed_runs_are_entailed_by_the_declarative_semantics() {
     let goal = &parsed.goals[0].goal;
     let sol = engine.solve(goal, &db).unwrap();
     let delta = sol.solution().unwrap().delta.clone();
-    assert!(
-        td_engine::entail::entails_via_delta(&parsed.program, &db, &delta, goal).unwrap()
-    );
+    assert!(td_engine::entail::entails_via_delta(&parsed.program, &db, &delta, goal).unwrap());
 }
 
 #[test]
@@ -122,7 +120,9 @@ fn engine_and_decider_agree_across_example_programs() {
 fn workflow_generators_round_trip_through_the_parser() {
     use transaction_datalog::workflow::{LabFlowConfig, SyncPair, WorkflowSpec};
     let sources = [
-        WorkflowSpec::example_3_1().compile(&["w1".to_owned()]).source,
+        WorkflowSpec::example_3_1()
+            .compile(&["w1".to_owned()])
+            .source,
         SyncPair::new(2).compile().source,
         LabFlowConfig::new(2, 3).compile().source,
     ];

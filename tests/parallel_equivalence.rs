@@ -1,0 +1,269 @@
+//! Differential tests: the parallel work-stealing backend must agree with
+//! the sequential engine.
+//!
+//! Three layers of agreement, in increasing strictness:
+//!
+//! 1. **Executability** — on any goal, parallel and sequential report the
+//!    same success/failure (the decision problem has one answer; which
+//!    machinery searches the interleaving space must not matter).
+//! 2. **Final-state membership** — a parallel success must commit a final
+//!    database the explicit-state decider lists among the goal's reachable
+//!    final states (any witness is a *valid* witness).
+//! 3. **Deterministic witness** — with `deterministic: true`, the parallel
+//!    backend reports exactly the sequential engine's first witness:
+//!    same answer substitution, same delta, same final database.
+//!
+//! Plus the step-budget contract: an exhausted budget is reported as
+//! `EngineError::StepBudget`, never misreported as plain failure.
+
+use proptest::prelude::*;
+use transaction_datalog::prelude::parse_program;
+use transaction_datalog::prelude::{
+    Atom, Database, Engine, EngineConfig, Goal, Program, SearchBackend, Term, Value,
+};
+
+fn arb_goal(depth: u32) -> impl Strategy<Value = Goal> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(|i| Goal::ins(&format!("f{i}"), vec![])),
+        (0u8..4).prop_map(|i| Goal::del(&format!("f{i}"), vec![])),
+        (0u8..4).prop_map(|i| Goal::prop(&format!("f{i}"))),
+        (0u8..4).prop_map(|i| Goal::NotAtom(Atom::prop(&format!("f{i}")))),
+        Just(Goal::True),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Goal::seq),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::par),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::choice),
+            inner.prop_map(Goal::iso),
+        ]
+    })
+}
+
+fn flag_program() -> Program {
+    Program::builder()
+        .base_preds(&[("f0", 0), ("f1", 0), ("f2", 0), ("f3", 0)])
+        .build()
+        .unwrap()
+}
+
+fn engine_with(program: &Program, backend: SearchBackend) -> Engine {
+    Engine::with_config(
+        program.clone(),
+        EngineConfig::default()
+            .with_max_steps(200_000)
+            .with_backend(backend),
+    )
+}
+
+fn parallel(threads: usize) -> SearchBackend {
+    SearchBackend::Parallel {
+        threads,
+        deterministic: false,
+    }
+}
+
+fn parallel_det(threads: usize) -> SearchBackend {
+    SearchBackend::Parallel {
+        threads,
+        deterministic: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn parallel_agrees_with_sequential_on_executability(g in arb_goal(3)) {
+        let p = flag_program();
+        let db = Database::with_schema_of(&p);
+        let seq = engine_with(&p, SearchBackend::Sequential)
+            .executable(&g, &db)
+            .expect("ground goals cannot fault within budget");
+        for threads in [2usize, 4] {
+            let par = engine_with(&p, parallel(threads))
+                .executable(&g, &db)
+                .expect("parallel search cannot fault on ground goals");
+            prop_assert_eq!(seq, par, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn parallel_success_commits_a_reachable_final_state(g in arb_goal(3)) {
+        let p = flag_program();
+        let db = Database::with_schema_of(&p);
+        let out = engine_with(&p, parallel(4)).solve(&g, &db).unwrap();
+        if let Some(sol) = out.solution() {
+            let finals = td_engine::decider::final_states(
+                &p,
+                &g,
+                &db,
+                td_engine::decider::DeciderConfig::default(),
+            )
+            .unwrap();
+            prop_assert!(
+                finals.iter().any(|d| d.same_content(&sol.db)),
+                "parallel witness database not among the decider's final states"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_parallel_reports_the_sequential_witness(g in arb_goal(3)) {
+        let p = flag_program();
+        let db = Database::with_schema_of(&p);
+        let seq = engine_with(&p, SearchBackend::Sequential).solve(&g, &db).unwrap();
+        let par = engine_with(&p, parallel_det(4)).solve(&g, &db).unwrap();
+        prop_assert_eq!(seq.is_success(), par.is_success());
+        if let (Some(s), Some(q)) = (seq.solution(), par.solution()) {
+            prop_assert_eq!(&s.answer, &q.answer);
+            prop_assert_eq!(s.delta.ops(), q.delta.ops());
+            prop_assert!(s.db.same_content(&q.db));
+        }
+    }
+}
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus/ exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "td"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Every corpus goal: parallel (2 and 4 threads) agrees with sequential on
+/// success, and the deterministic mode reproduces the sequential witness
+/// exactly. Goals run in file sequence against the sequential engine's
+/// committed state, like `td run`.
+#[test]
+fn corpus_parallel_matches_sequential() {
+    for path in corpus_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse_program(&src)
+            .unwrap_or_else(|e| panic!("{}: {}", path.display(), e.render(&src)));
+        let db = Database::with_schema_of(&parsed.program);
+        let mut db = td_engine::load_init(&db, &parsed.init).unwrap();
+        let seq_engine = engine_with(&parsed.program, SearchBackend::Sequential);
+        let det_engine = engine_with(&parsed.program, parallel_det(4));
+        for (i, g) in parsed.goals.iter().enumerate() {
+            let seq = seq_engine
+                .solve(&g.goal, &db)
+                .unwrap_or_else(|e| panic!("{} goal {i}: {e}", path.display()));
+            for threads in [2usize, 4] {
+                let par = engine_with(&parsed.program, parallel(threads))
+                    .solve(&g.goal, &db)
+                    .unwrap_or_else(|e| panic!("{} goal {i} ({threads}t): {e}", path.display()));
+                assert_eq!(
+                    seq.is_success(),
+                    par.is_success(),
+                    "{} goal {i}: backend disagreement at {threads} threads",
+                    path.display()
+                );
+            }
+            let det = det_engine
+                .solve(&g.goal, &db)
+                .unwrap_or_else(|e| panic!("{} goal {i} (det): {e}", path.display()));
+            assert_eq!(
+                seq.is_success(),
+                det.is_success(),
+                "{} goal {i}",
+                path.display()
+            );
+            if let (Some(s), Some(d)) = (seq.solution(), det.solution()) {
+                assert_eq!(
+                    s.answer,
+                    d.answer,
+                    "{} goal {i}: answers differ",
+                    path.display()
+                );
+                assert_eq!(
+                    s.delta.ops(),
+                    d.delta.ops(),
+                    "{} goal {i}: deltas differ",
+                    path.display()
+                );
+                assert!(
+                    s.db.same_content(&d.db),
+                    "{} goal {i}: final databases differ",
+                    path.display()
+                );
+            }
+            if let Some(sol) = seq.solution() {
+                db = sol.db.clone();
+            }
+        }
+    }
+}
+
+/// Budget exhaustion must surface as `StepBudget`, not as a (wrong)
+/// failure verdict, on both backends.
+#[test]
+fn step_budget_exhaustion_is_an_error_on_both_backends() {
+    let parsed = parse_program(
+        "base n/1.
+         init n(0).
+         spin <- n(X) * del.n(X) * Y is X + 1 * ins.n(Y) * spin.",
+    )
+    .unwrap();
+    let db = Database::with_schema_of(&parsed.program);
+    let db = td_engine::load_init(&db, &parsed.init).unwrap();
+    let goal = Goal::prop("spin");
+    for backend in [SearchBackend::Sequential, parallel(4), parallel_det(4)] {
+        let engine = Engine::with_config(
+            parsed.program.clone(),
+            EngineConfig::default()
+                .with_max_steps(500)
+                .with_backend(backend),
+        );
+        let got = engine.solve(&goal, &db);
+        assert!(
+            matches!(got, Err(td_engine::EngineError::StepBudget { .. })),
+            "backend {backend:?} returned {got:?}"
+        );
+    }
+}
+
+/// The backend is search machinery, not semantics: a goal whose success
+/// depends on finding one specific interleaving still succeeds under the
+/// parallel backend (completeness), and an unsatisfiable goal still fails
+/// (soundness), at every thread count.
+#[test]
+fn needle_interleaving_found_at_every_thread_count() {
+    let parsed = parse_program(
+        "base tok/1.
+         grab(X) <- tok(X) * del.tok(X).
+         put(X) <- ins.tok(X).
+         init tok(a).
+         % Succeeds only on schedules where the producer's put runs before
+         % the consumer's grab.
+         ?- (grab(a) * put(b)) | grab(b).",
+    )
+    .unwrap();
+    let db = Database::with_schema_of(&parsed.program);
+    let db = td_engine::load_init(&db, &parsed.init).unwrap();
+    let goal = parsed.goals[0].goal.clone();
+    for threads in [1usize, 2, 3, 4, 8] {
+        let out = engine_with(&parsed.program, parallel(threads))
+            .solve(&goal, &db)
+            .unwrap();
+        assert!(
+            out.is_success(),
+            "needle schedule missed at {threads} threads"
+        );
+    }
+    let impossible = Goal::seq(vec![
+        goal.clone(),
+        Goal::atom("tok", vec![Term::Val(Value::sym("b"))]),
+    ]);
+    // After the needle goal both tokens are consumed; requiring tok(b) after
+    // it must fail everywhere.
+    for threads in [1usize, 4] {
+        let out = engine_with(&parsed.program, parallel(threads))
+            .solve(&impossible, &db)
+            .unwrap();
+        assert!(!out.is_success(), "unsound success at {threads} threads");
+    }
+}

@@ -7,9 +7,7 @@
 //! and executability is invariant under these rewrites.
 
 use proptest::prelude::*;
-use transaction_datalog::prelude::{
-    Atom, Database, Engine, EngineConfig, Goal, Outcome, Program,
-};
+use transaction_datalog::prelude::{Atom, Database, Engine, EngineConfig, Goal, Outcome, Program};
 
 /// A small random ground goal over flags f0..f3: ins/del/test/not
 /// compositions. Depth-bounded.
@@ -195,9 +193,7 @@ fn arb_node(depth: u32) -> impl Strategy<Value = transaction_datalog::workflow::
                 *counter += 1;
                 Node::Task(format!("t{counter}"))
             }
-            Node::Sub(name, body) => {
-                Node::Sub(name.clone(), Box::new(uniquify(body, counter)))
-            }
+            Node::Sub(name, body) => Node::Sub(name.clone(), Box::new(uniquify(body, counter))),
             Node::Seq(ns) => Node::Seq(ns.iter().map(|c| uniquify(c, counter)).collect()),
             Node::Par(ns) => Node::Par(ns.iter().map(|c| uniquify(c, counter)).collect()),
         }

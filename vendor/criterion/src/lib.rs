@@ -1,0 +1,305 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the bench harness uses — `Criterion`
+//! configuration, `bench_function`, `benchmark_group` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` / `criterion_main!`
+//! macros — measuring wall-clock time with `std::time::Instant` and printing
+//! result lines in criterion's format:
+//!
+//! ```text
+//! e01/transfer_commit     time:   [10.177 µs 10.245 µs 10.313 µs]
+//! ```
+//!
+//! which `td_bench::parse_bench_output` consumes unchanged. No statistical
+//! analysis, no comparison against saved baselines, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            config: self.clone(),
+            id: id.to_string(),
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(p: P) -> BenchmarkId {
+        BenchmarkId {
+            param: p.to_string(),
+        }
+    }
+
+    pub fn new<P: Display>(function: &str, p: P) -> BenchmarkId {
+        BenchmarkId {
+            param: format!("{function}/{p}"),
+        }
+    }
+}
+
+/// Throughput annotation (accepted and ignored — the stand-in reports only
+/// wall-clock time).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            config: self.criterion.clone(),
+            id: format!("{}/{}", self.name, id.param),
+        };
+        f(&mut b, input);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            config: self.criterion.clone(),
+            id: format!("{}/{}", self.name, id),
+        };
+        f(&mut b);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    config: Criterion,
+    id: String,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: run at least once, until the warm-up budget elapses, and
+        // estimate the per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.config.warm_up {
+                break;
+            }
+        }
+        let est_iter = warm_start.elapsed().as_secs_f64() / f64::from(warm_iters);
+
+        // Size samples so the whole measurement fits the budget.
+        let samples = self.config.sample_size;
+        let budget_per_sample = self.config.measurement.as_secs_f64() / samples as f64;
+        let iters_per_sample = if est_iter > 0.0 {
+            ((budget_per_sample / est_iter).floor() as u64).clamp(1, 1_000_000)
+        } else {
+            1_000_000
+        };
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let lo = per_iter[0];
+        let hi = per_iter[per_iter.len() - 1];
+        let mid = per_iter[per_iter.len() / 2];
+
+        println!(
+            "{:<39} time:   [{} {} {}]",
+            self.id,
+            fmt_time(lo),
+            fmt_time(mid),
+            fmt_time(hi),
+        );
+    }
+
+    /// `iter_batched`-style measurement with per-iteration setup excluded
+    /// from timing is approximated by timing setup+routine (accepted for
+    /// compatibility; the workspace benches do not rely on the exclusion).
+    pub fn iter_with_setup<S, O, I, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.iter(|| {
+            let input = setup();
+            routine(input)
+        });
+    }
+}
+
+/// Format seconds as criterion does: scaled value plus unit token.
+fn fmt_time(secs: f64) -> String {
+    let (value, unit) = if secs < 1e-6 {
+        (secs * 1e9, "ns")
+    } else if secs < 1e-3 {
+        (secs * 1e6, "µs")
+    } else if secs < 1.0 {
+        (secs * 1e3, "ms")
+    } else {
+        (secs, "s")
+    };
+    // Five significant digits, like criterion's output.
+    let formatted = if value < 10.0 {
+        format!("{value:.4}")
+    } else if value < 100.0 {
+        format!("{value:.3}")
+    } else {
+        format!("{value:.2}")
+    };
+    format!("{formatted} {unit}")
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_time_picks_sane_units() {
+        assert!(fmt_time(10.245e-6).contains("µs"));
+        assert!(fmt_time(1.57e-3).contains("ms"));
+        assert!(fmt_time(3.2e-9).contains("ns"));
+        assert!(fmt_time(2.5).contains('s'));
+        assert_eq!(fmt_time(10.245e-6), "10.245 µs");
+    }
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("shim/group");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,761 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds with no network access, so the real proptest cannot be
+//! downloaded. This crate re-implements the subset its tests use: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_filter` / `prop_recursive` / `boxed`, range and tuple and `Vec`
+//! strategies, a tiny regex-class string strategy, [`strategy::Union`],
+//! [`collection`] (`vec`, `hash_set`), `any::<T>()`, and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_oneof!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports its inputs (via `Debug`) and
+//!   panics; it does not minimise them.
+//! - **Deterministic seeding.** Each `#[test]` derives its RNG seed from the
+//!   test's module path, so runs are reproducible without a regressions file
+//!   (`.proptest-regressions` files are ignored).
+//! - Generation is depth-bounded by construction (`prop_recursive` unrolls to
+//!   a fixed depth) rather than size-accounted.
+
+pub mod test_runner {
+    /// Configuration for a `proptest!` block (stand-in for
+    /// `proptest::test_runner::Config`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic xoshiro256++ RNG used to drive generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn seed_from_u64(seed: u64) -> TestRng {
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            TestRng { s }
+        }
+
+        /// Seed derived from a test's fully-qualified name (deterministic
+        /// across runs, distinct across tests).
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::seed_from_u64(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, n)`.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::sync::Arc;
+
+    /// A generator of test values (no shrinking in this stand-in).
+    pub trait Strategy: 'static {
+        type Value: Debug + 'static;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: Debug + 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2 + 'static,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
+        /// Depth-bounded recursive strategy: unrolls `f` `depth` times over
+        /// the leaf strategy, choosing at each level between recursing and
+        /// bottoming out. `_size`/`_branch` are accepted for API
+        /// compatibility but unused (depth alone bounds generation).
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            S2: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                // 2:1 in favour of the recursive case keeps trees interesting
+                // while the bottom level guarantees termination.
+                cur = Union::weighted(vec![(2, f(cur).boxed()), (1, leaf.clone())]).boxed();
+            }
+            cur
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// Object-safe erasure of [`Strategy`], used by [`BoxedStrategy`].
+    trait ErasedStrategy<T> {
+        fn erased_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> ErasedStrategy<S::Value> for S {
+        fn erased_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn ErasedStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T: Debug + 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.erased_generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform (or weighted) choice between alternative strategies.
+    #[derive(Clone)]
+    pub struct Union<S> {
+        options: Vec<(u32, S)>,
+        total_weight: u32,
+    }
+
+    impl<S: Strategy> Union<S> {
+        pub fn new(options: Vec<S>) -> Union<S> {
+            Union::weighted(options.into_iter().map(|s| (1, s)).collect())
+        }
+
+        pub fn weighted(options: Vec<(u32, S)>) -> Union<S> {
+            assert!(!options.is_empty(), "Union of zero strategies");
+            let total_weight = options.iter().map(|(w, _)| *w).sum();
+            assert!(total_weight > 0, "Union weights sum to zero");
+            Union {
+                options,
+                total_weight,
+            }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            let mut pick = rng.below(self.total_weight as usize) as u32;
+            for (w, s) in &self.options {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: Debug + 'static,
+        F: Fn(S::Value) -> U + 'static,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2 + 'static,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool + 'static,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 candidates in a row: {}",
+                self.reason
+            );
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + offset) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+
+    /// A `Vec` of strategies generates element-wise (used for per-index
+    /// strategies, e.g. one strategy per rule of a generated program).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    /// String strategies from a small regex subset: literal characters,
+    /// character classes `[a-z0-9_]`, and bounded repetition `{m,n}`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            // One element: a char class or a literal character.
+            let class: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let mut members = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        members.extend((lo..=hi).collect::<Vec<char>>());
+                        j += 3;
+                    } else {
+                        members.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                members
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            assert!(!class.is_empty(), "empty character class in {pattern:?}");
+            // Optional {m,n} repetition suffix.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse::<usize>().expect("repetition min"),
+                        n.parse::<usize>().expect("repetition max"),
+                    ),
+                    None => {
+                        let n = body.parse::<usize>().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = min + rng.below(max - min + 1);
+            for _ in 0..count {
+                out.push(class[rng.below(class.len())]);
+            }
+        }
+        out
+    }
+
+    /// `any::<T>()` support for simple types.
+    pub trait Arbitrary: Debug + Sized + 'static {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod arbitrary {
+    pub use crate::strategy::{any, Any, Arbitrary};
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::fmt::Debug;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Size specification for collection strategies: a `usize` (exact) or a
+    /// half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below(self.max_exclusive - self.min)
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::new();
+            // The element domain may be smaller than the target; accept a
+            // smaller set after bounded attempts (matches proptest, which
+            // treats the size as a goal, not a guarantee).
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 20 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    let values = (
+                        $($crate::strategy::Strategy::generate(&($strat), &mut rng),)+
+                    );
+                    let repr = format!("{:?}", values);
+                    let ($($pat,)+) = values;
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(cause) = outcome {
+                        eprintln!(
+                            "proptest case {}/{} of {} failed; inputs: {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            repr,
+                        );
+                        ::std::panic::resume_unwind(cause);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let strat = (0u8..4, -5i64..5, 0usize..2);
+        for _ in 0..200 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 4);
+            assert!((-5..5).contains(&b));
+            assert!(c < 2);
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_classes() {
+        let mut rng = TestRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let s = "[a-c]".generate(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(matches!(s.as_bytes()[0], b'a'..=b'c'), "{s}");
+            let id = "[a-z][a-z0-9_]{0,6}".generate(&mut rng);
+            assert!(!id.is_empty() && id.len() <= 7, "{id}");
+            assert!(id.as_bytes()[0].is_ascii_lowercase());
+            assert!(id
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'));
+        }
+    }
+
+    #[test]
+    fn union_covers_all_options() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let strat = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = Just(T::Leaf).prop_recursive(3, 12, 3, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(T::Node)
+        });
+        let mut rng = TestRng::seed_from_u64(6);
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            let d = depth(&t);
+            assert!(d <= 3);
+            max_depth = max_depth.max(d);
+        }
+        assert!(max_depth >= 2, "recursion never fired (max {max_depth})");
+    }
+
+    #[test]
+    fn filter_retries_until_predicate_holds() {
+        let mut rng = TestRng::seed_from_u64(7);
+        let strat = (0u32..100).prop_filter("must be even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_the_outer_value() {
+        let mut rng = TestRng::seed_from_u64(8);
+        let strat = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..10, n..n + 1));
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..10, (a, b) in (0u8..3, 0u8..3)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!((a < 3, b < 3), (true, true));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_works_without_config(v in crate::collection::vec(0i64..5, 0..4)) {
+            prop_assert!(v.len() < 4);
+            prop_assert!(v.iter().all(|x| (0..5).contains(x)));
+        }
+    }
+}
