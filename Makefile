@@ -11,7 +11,7 @@ bench:
 	cargo bench --workspace 2>&1 | tee bench_output.txt
 
 summary: bench_output.txt
-	cargo run -p td-bench --bin bench_report < bench_output.txt > BENCH_SUMMARY.md
+	cargo run -p td-bench --bin bench_report -- --json BENCH_PR2.json < bench_output.txt > BENCH_SUMMARY.md
 
 doc:
 	cargo doc --workspace --no-deps

@@ -1,0 +1,161 @@
+//! E15 — incremental state digests + subtransaction answer cache.
+//!
+//! Not a paper experiment: this quantifies PR 2 (docs/CACHING.md).
+//! Measures: (a) that `Database::digest()` is O(1) — maintained
+//! incrementally on every update, so reading it is size-independent;
+//! (b) the wall-clock effect of the subgoal answer cache on iterated
+//! workloads (the repeated-protocol idiom of [26], E1's serializable
+//! transfer blocks, E12's isolated agent claims), with the hit/miss
+//! counters that explain the numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::report_row;
+use td_db::{Database, Tuple};
+use td_engine::{load_init, Engine, EngineConfig};
+use td_parser::parse_program;
+use td_workflow::{serializable_transfers, AgentScenarioConfig, Bank, Node, WorkflowSpec};
+
+/// A database with `n` tuples in one binary relation.
+fn db_of_size(n: i64) -> Database {
+    let mut db = Database::new();
+    let pred = td_core::Pred::new("edge", 2);
+    for i in 0..n {
+        let t = Tuple::new(vec![td_core::Value::Int(i), td_core::Value::Int(i + 1)]);
+        db = db.insert(pred, &t).expect("insert").0;
+    }
+    db
+}
+
+fn load_corpus(name: &str) -> (td_core::Program, Database, td_core::Goal) {
+    let path = format!("{}/../../corpus/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).expect("corpus file readable");
+    let parsed = parse_program(&src).expect("corpus file parses");
+    let db = load_init(&Database::with_schema_of(&parsed.program), &parsed.init)
+        .expect("init facts load");
+    (parsed.program, db, parsed.goals[0].goal.clone())
+}
+
+fn bench_digest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15/digest");
+    for n in [100i64, 1_000, 10_000] {
+        let db = db_of_size(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| db.digest());
+        });
+    }
+    group.finish();
+    report_row(
+        "E15",
+        "digest() read",
+        "cost",
+        1.0,
+        "cached u128 read (independent of db size)",
+    );
+}
+
+/// Benchmark one goal under both configurations and report the cache
+/// counters of the cached run.
+fn bench_cached_vs_uncached(
+    c: &mut Criterion,
+    group_name: &str,
+    program: &td_core::Program,
+    goal: &td_core::Goal,
+    db: &Database,
+    expect_success: bool,
+) {
+    let plain = Engine::new(program.clone());
+    let cached = Engine::with_config(
+        program.clone(),
+        EngineConfig::default().with_subgoal_cache(),
+    );
+    let mut group = c.benchmark_group(group_name);
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            let out = plain.solve(goal, db).unwrap();
+            assert_eq!(out.is_success(), expect_success);
+        });
+    });
+    group.bench_function("cached", |b| {
+        // The engine keeps its cache across iterations, so this measures
+        // the warm (steady-state) replay cost — the intended deployment.
+        b.iter(|| {
+            let out = cached.solve(goal, db).unwrap();
+            assert_eq!(out.is_success(), expect_success);
+        });
+    });
+    group.finish();
+    let stats = cached.solve(goal, db).unwrap().stats();
+    let cache = cached.subgoal_cache().expect("cache enabled");
+    report_row(
+        group_name,
+        "warm run",
+        "cache hits",
+        stats.cache_hits as f64,
+        "replays",
+    );
+    report_row(
+        group_name,
+        "warm run",
+        "cache misses",
+        stats.cache_misses as f64,
+        "enumerations",
+    );
+    report_row(
+        group_name,
+        "lifetime",
+        "hit rate",
+        if cache.hits() + cache.misses() > 0 {
+            100.0 * cache.hits() as f64 / (cache.hits() + cache.misses()) as f64
+        } else {
+            0.0
+        },
+        "%",
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    bench_digest(c);
+
+    let (program, db, goal) = load_corpus("iterated_protocol.td");
+    bench_cached_vs_uncached(c, "e15/iterated_protocol", &program, &goal, &db, true);
+
+    let bank = Bank::new(&[("acct1", 1_000_000), ("acct2", 1_000_000)]);
+    let scenario = bank.scenario();
+    let transfers: Vec<(i64, &str, &str)> = (0..6)
+        .map(|i| {
+            if i % 2 == 0 {
+                (5, "acct1", "acct2")
+            } else {
+                (5, "acct2", "acct1")
+            }
+        })
+        .collect();
+    let goal = serializable_transfers(&transfers);
+    bench_cached_vs_uncached(
+        c,
+        "e15/serializable_transfers",
+        &scenario.program,
+        &goal,
+        &scenario.db,
+        true,
+    );
+
+    let spec = WorkflowSpec::new("wf", Node::Seq(vec![Node::task("t1"), Node::task("t2")]));
+    let items: Vec<String> = (1..=3).map(|i| format!("w{i}")).collect();
+    let agents = AgentScenarioConfig::universal_pool(spec, items, 2).compile();
+    bench_cached_vs_uncached(
+        c,
+        "e15/isolated_claims",
+        &agents.program,
+        &agents.goal,
+        &agents.db,
+        true,
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

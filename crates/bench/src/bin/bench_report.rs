@@ -1,22 +1,53 @@
-//! Summarize `cargo bench` output as markdown.
+//! Summarize `cargo bench` output as markdown (stdout) and, with
+//! `--json PATH`, as a machine-readable JSON file.
 //!
 //! ```sh
 //! cargo bench --workspace 2>&1 | tee bench_output.txt
-//! cargo run -p td-bench --bin bench_report < bench_output.txt > BENCH_SUMMARY.md
+//! cargo run -p td-bench --bin bench_report -- --json BENCH_PR2.json \
+//!     < bench_output.txt > BENCH_SUMMARY.md
 //! ```
 
 use std::io::Read;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("bench_report: --json requires a path");
+                    return ExitCode::from(2);
+                };
+                json_path = Some(p.clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("bench_report: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let mut text = String::new();
     std::io::stdin()
         .read_to_string(&mut text)
         .expect("read stdin");
     let (benches, metrics) = td_bench::parse_bench_output(&text);
     print!("{}", td_bench::render_markdown(&benches, &metrics));
+    if let Some(path) = json_path {
+        let json = td_bench::render_json(&benches, &metrics);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("bench_report: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
     eprintln!(
         "parsed {} benchmarks, {} metric rows",
         benches.len(),
         metrics.len()
     );
+    ExitCode::SUCCESS
 }

@@ -205,6 +205,58 @@ pub fn render_markdown(benches: &[BenchRow], metrics: &[MetricRow]) -> String {
     out
 }
 
+/// Minimal JSON string escaping (the ids and units we emit only need the
+/// standard escapes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the parsed results as a machine-readable JSON document:
+/// `{"benchmarks": [{id, time, time_ns}], "metrics": [{experiment, params,
+/// series, value, unit}]}`. Hand-rolled — the workspace carries no JSON
+/// dependency.
+pub fn render_json(benches: &[BenchRow], metrics: &[MetricRow]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        let ns = parse_time_ns(&b.midpoint)
+            .map(|v| format!("{v}"))
+            .unwrap_or_else(|| "null".into());
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"time\": \"{}\", \"time_ns\": {}}}{}\n",
+            json_escape(&b.id),
+            json_escape(&b.midpoint),
+            ns,
+            if i + 1 < benches.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"experiment\": \"{}\", \"params\": \"{}\", \"series\": \"{}\", \
+             \"value\": {}, \"unit\": \"{}\"}}{}\n",
+            json_escape(&m.experiment),
+            json_escape(&m.params),
+            json_escape(&m.series),
+            m.value,
+            json_escape(&m.unit),
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod parse_tests {
     use super::*;
@@ -254,6 +306,34 @@ e13/backend_machine/t4  time:   [1.0 ms 2.0 ms 3.0 ms]
         assert_eq!(parse_time_ns("3 ms"), Some(3e6));
         assert_eq!(parse_time_ns("1.5 s"), Some(1.5e9));
         assert_eq!(parse_time_ns("oops"), None);
+    }
+
+    #[test]
+    fn renders_machine_readable_json() {
+        let (benches, metrics) = parse_bench_output(SAMPLE);
+        let json = render_json(&benches, &metrics);
+        assert!(json.contains("\"id\": \"e01/transfer_commit\""));
+        assert!(json.contains("\"time_ns\": 10245"));
+        assert!(json.contains("\"experiment\": \"E7\""));
+        assert!(json.contains("\"value\": 597"));
+        // Valid-shape sanity: balanced braces/brackets, no trailing comma.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(!json.contains(",\n  ]"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let benches = vec![BenchRow {
+            id: "weird\"id\\".into(),
+            midpoint: "not a time".into(),
+        }];
+        let json = render_json(&benches, &[]);
+        assert!(json.contains("weird\\\"id\\\\"));
+        assert!(json.contains("\"time_ns\": null"));
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! CI smoke test for the subgoal answer cache (experiment E15).
+//!
+//! Runs the iterated-protocol corpus workload with the cache enabled and
+//! fails if the hit rate is zero — the regression guard for the tabling
+//! machinery: a refactor that silently stops producing cache hits (wrong
+//! keys, over-strict gating, broken digests) fails here without needing a
+//! full benchmark run.
+
+use td_db::Database;
+use td_engine::{load_init, Engine, EngineConfig};
+use td_parser::parse_program;
+
+fn load_corpus(name: &str) -> (td_core::Program, Database, td_core::Goal) {
+    let path = format!("{}/../../corpus/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).expect("corpus file readable");
+    let parsed = parse_program(&src).expect("corpus file parses");
+    let db = load_init(&Database::with_schema_of(&parsed.program), &parsed.init)
+        .expect("init facts load");
+    (parsed.program, db, parsed.goals[0].goal.clone())
+}
+
+#[test]
+fn iterated_protocol_hit_rate_is_nonzero() {
+    let (program, db, goal) = load_corpus("iterated_protocol.td");
+    let cached = Engine::with_config(
+        program.clone(),
+        EngineConfig::default().with_subgoal_cache(),
+    );
+    // Cold run populates the cache; the warm run must replay from it.
+    let cold = cached.solve(&goal, &db).expect("cold run");
+    assert!(cold.is_success());
+    let warm = cached.solve(&goal, &db).expect("warm run");
+    assert!(warm.is_success());
+    let cache = cached.subgoal_cache().expect("cache enabled");
+    assert!(
+        cache.hits() > 0,
+        "zero cache hits on iterated_protocol.td (misses={}, entries={})",
+        cache.misses(),
+        cache.len()
+    );
+
+    // The cached engine must still report the uncached engine's witness.
+    let plain = Engine::new(program);
+    let a = plain.solve(&goal, &db).expect("uncached run");
+    let (sa, sb) = (
+        a.solution().expect("uncached success"),
+        warm.solution().expect("cached success"),
+    );
+    assert_eq!(sa.answer, sb.answer);
+    assert_eq!(sa.delta.ops(), sb.delta.ops());
+    assert!(sa.db.same_content(&sb.db));
+}

@@ -15,6 +15,10 @@
 //!                          strategy only; N<=1 keeps the sequential engine)
 //!   --deterministic        with --threads: report the same witness as the
 //!                          sequential engine
+//!   --subgoal-cache        memoize isolated blocks and sole-frontier ground
+//!                          calls as replayable answer sets (exhaustive
+//!                          strategy, tracing off; see docs/CACHING.md)
+//!   --cache-capacity=N     subgoal-cache entry bound (default 65536)
 //! ```
 
 use std::io::{BufRead, Write};
@@ -45,6 +49,14 @@ fn parse_options(args: &[String]) -> Result<(EngineConfig, Vec<&String>), String
             threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
         } else if a == "--deterministic" {
             deterministic = true;
+        } else if a == "--subgoal-cache" {
+            config.subgoal_cache = true;
+        } else if let Some(v) = a.strip_prefix("--cache-capacity=") {
+            config.cache_capacity = v
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| format!("bad cache capacity `{v}`"))?;
         } else if a.starts_with("--") {
             return Err(format!("unknown option `{a}`"));
         } else {
@@ -86,7 +98,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: td [--strategy=S] [--seed=N] [--max-steps=N] [--threads=N] \
-       [--deterministic] <run|trace|fragment|decide|repl> <file.td>"
+       [--deterministic] [--subgoal-cache] [--cache-capacity=N] \
+       <run|trace|fragment|decide|repl> <file.td>"
             );
             return ExitCode::from(2);
         }
@@ -118,7 +131,7 @@ fn main() -> ExitCode {
         "run" => run(&parsed, db, config),
         "trace" => trace(&parsed, db, config),
         "fragment" => fragment(&parsed, &config),
-        "decide" => decide(&parsed, db),
+        "decide" => decide(&parsed, db, &config),
         "repl" => repl(&parsed, db, config),
         other => {
             eprintln!("td: unknown command `{other}`");
@@ -224,18 +237,23 @@ fn fragment(parsed: &td_parser::ParsedProgram, config: &EngineConfig) -> ExitCod
     ExitCode::SUCCESS
 }
 
-fn decide(parsed: &td_parser::ParsedProgram, db: Database) -> ExitCode {
+fn decide(parsed: &td_parser::ParsedProgram, db: Database, config: &EngineConfig) -> ExitCode {
     if parsed.goals.is_empty() {
         eprintln!("td: no ?- goals in file");
         return ExitCode::FAILURE;
     }
+    // One cache across all the file's goals: repeated subprotocols warm it.
+    let cache = config
+        .subgoal_cache
+        .then(|| std::sync::Arc::new(td_engine::SubgoalCache::new(config.cache_capacity)));
     let mut ok = true;
     for g in &parsed.goals {
-        match decider::decide(
+        match decider::decide_with_cache(
             &parsed.program,
             &g.goal,
             &db,
             decider::DeciderConfig::default(),
+            cache.clone(),
         ) {
             Ok(d) => {
                 println!(
@@ -251,6 +269,15 @@ fn decide(parsed: &td_parser::ParsedProgram, db: Database) -> ExitCode {
                 ok = false;
             }
         }
+    }
+    if let Some(c) = &cache {
+        println!(
+            "subgoal cache: hits={} misses={} evictions={} entries={}",
+            c.hits(),
+            c.misses(),
+            c.evictions(),
+            c.len()
+        );
     }
     if ok {
         ExitCode::SUCCESS

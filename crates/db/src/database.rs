@@ -42,11 +42,50 @@ impl std::error::Error for DbError {}
 
 /// An immutable snapshot of the whole database.
 ///
-/// The relation map is a `BTreeMap` so iteration (and therefore digests and
-/// display) is deterministic.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// The relation map is a `BTreeMap` so iteration (and therefore display) is
+/// deterministic. The content digest is carried alongside and maintained
+/// incrementally: each non-empty relation contributes a 128-bit hash of
+/// `(pred, relation digest, len)`, and the database digest is the XOR of all
+/// contributions. XOR is commutative and self-inverse, so an `insert` or
+/// `delete` updates the digest in O(1) — it strips the touched relation's
+/// old contribution and adds the new one — and the result is
+/// history-independent: content-equal databases always digest equally.
+#[derive(Clone, Debug, Default)]
 pub struct Database {
     rels: BTreeMap<Pred, Relation>,
+    digest: u128,
+}
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Database) -> bool {
+        // The digest is derived data; relations carry content identity.
+        self.rels == other.rels
+    }
+}
+
+impl Eq for Database {}
+
+/// The digest contribution of one relation: 0 when empty (so declared-but-
+/// empty relations don't affect content identity), otherwise a 128-bit hash
+/// of the predicate, the relation's commutative tuple digest, and its size.
+fn contribution(pred: Pred, rel: &Relation) -> u128 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    if rel.is_empty() {
+        return 0;
+    }
+    let d = rel.digest();
+    let mut lo = DefaultHasher::new();
+    pred.hash(&mut lo);
+    d.hash(&mut lo);
+    rel.len().hash(&mut lo);
+    // Independent high lane: same fields under a distinct seed.
+    let mut hi = DefaultHasher::new();
+    0x85eb_ca6b_27d4_eb4fu64.hash(&mut hi);
+    pred.hash(&mut hi);
+    d.hash(&mut hi);
+    rel.len().hash(&mut hi);
+    ((hi.finish() as u128) << 64) | lo.finish() as u128
 }
 
 impl Database {
@@ -72,7 +111,11 @@ impl Database {
         }
         let mut rels = self.rels.clone();
         rels.insert(pred, Relation::new(pred.arity as usize));
-        Database { rels }
+        // An empty relation contributes 0: the digest is unchanged.
+        Database {
+            rels,
+            digest: self.digest,
+        }
     }
 
     /// The relation for `pred`, if declared.
@@ -105,13 +148,15 @@ impl Database {
                 found: t.arity(),
             });
         }
+        let old_contribution = contribution(pred, &rel);
         let (rel, grew) = rel.insert(t);
         if !grew && self.rels.contains_key(&pred) {
             return Ok((self.clone(), false));
         }
+        let digest = self.digest ^ old_contribution ^ contribution(pred, &rel);
         let mut rels = self.rels.clone();
         rels.insert(pred, rel);
-        Ok((Database { rels }, grew))
+        Ok((Database { rels, digest }, grew))
     }
 
     /// Delete a tuple, returning the new database and whether it changed.
@@ -128,13 +173,15 @@ impl Database {
                 found: t.arity(),
             });
         }
+        let old_contribution = contribution(pred, rel);
         let (rel, shrank) = rel.remove(t);
         if !shrank {
             return Ok((self.clone(), false));
         }
+        let digest = self.digest ^ old_contribution ^ contribution(pred, &rel);
         let mut rels = self.rels.clone();
         rels.insert(pred, rel);
-        Ok((Database { rels }, true))
+        Ok((Database { rels, digest }, true))
     }
 
     /// Check whether a *ground* atom holds.
@@ -150,22 +197,21 @@ impl Database {
         self.rels.values().map(Relation::len).sum()
     }
 
-    /// Deterministic digest of the database contents, usable for config-space
-    /// memoization. Combines each relation's commutative digest with its
-    /// predicate.
-    pub fn digest(&self) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        let mut h = DefaultHasher::new();
-        for (p, r) in &self.rels {
-            if r.is_empty() {
-                continue; // empty relations don't affect content identity
-            }
-            p.hash(&mut h);
-            r.digest().hash(&mut h);
-            r.len().hash(&mut h);
-        }
-        h.finish()
+    /// Deterministic 128-bit digest of the database contents, usable for
+    /// config-space memoization and subgoal-cache keys. Maintained
+    /// incrementally on every update, so this is O(1) — no relation walk on
+    /// the memoization hot path.
+    pub fn digest(&self) -> u128 {
+        self.digest
+    }
+
+    /// Recompute the digest by walking every relation. Always equal to
+    /// [`Database::digest`]; exists as the test oracle for the incremental
+    /// maintenance.
+    pub fn digest_from_scratch(&self) -> u128 {
+        self.rels
+            .iter()
+            .fold(0u128, |acc, (p, r)| acc ^ contribution(*p, r))
     }
 
     /// The active domain: every value occurring in some stored tuple.
@@ -182,14 +228,22 @@ impl Database {
     }
 
     /// Content equality ignoring which empty relations are declared.
+    ///
+    /// Compares digests first: the digest is history-independent, so equal
+    /// contents always digest equally — unequal digests prove unequal
+    /// contents with no relation walk. Equal digests are then verified
+    /// structurally (a 2⁻¹²⁸ collision must not forge equality).
     pub fn same_content(&self, other: &Database) -> bool {
-        let nonempty = |db: &Database| -> Vec<(Pred, Relation)> {
+        if self.digest != other.digest {
+            return false;
+        }
+        fn nonempty(db: &Database) -> Vec<(Pred, &Relation)> {
             db.rels
                 .iter()
                 .filter(|(_, r)| !r.is_empty())
-                .map(|(p, r)| (*p, r.clone()))
+                .map(|(p, r)| (*p, r))
                 .collect()
-        };
+        }
         nonempty(self) == nonempty(other)
     }
 }
@@ -292,6 +346,31 @@ mod tests {
         assert_ne!(db1.digest(), d0);
         let (db2, _) = db1.delete(p("q", 1), &tuple!(5)).unwrap();
         assert_eq!(db2.digest(), d0);
+    }
+
+    #[test]
+    fn digest_is_history_independent() {
+        // Same content reached by different op orders (and through a
+        // detour) digests identically — the property the same_content fast
+        // path and the subgoal cache rely on.
+        let (a, _) = Database::new().insert(p("q", 1), &tuple!(1)).unwrap();
+        let (a, _) = a.insert(p("r", 1), &tuple!(2)).unwrap();
+        let (b, _) = Database::new().insert(p("r", 1), &tuple!(2)).unwrap();
+        let (b, _) = b.insert(p("q", 1), &tuple!(9)).unwrap();
+        let (b, _) = b.delete(p("q", 1), &tuple!(9)).unwrap();
+        let (b, _) = b.insert(p("q", 1), &tuple!(1)).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.digest_from_scratch());
+        assert_eq!(b.digest(), b.digest_from_scratch());
+        assert!(a.same_content(&b));
+    }
+
+    #[test]
+    fn same_content_digest_fast_path_rejects_differences() {
+        let (a, _) = Database::new().insert(p("q", 1), &tuple!(1)).unwrap();
+        let (b, _) = Database::new().insert(p("q", 1), &tuple!(2)).unwrap();
+        assert_ne!(a.digest(), b.digest());
+        assert!(!a.same_content(&b));
     }
 
     #[test]

@@ -25,6 +25,21 @@ fn hash_of<T: Hash>(v: &T) -> u64 {
     h.finish()
 }
 
+/// Seed separating the high digest lane from the trie-placement hash.
+const DIGEST_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// 128-bit member hash for the commutative set digest: the trie hash in the
+/// low lane, an independently seeded hash in the high lane. 64 bits is not
+/// enough once digests key long-lived memo tables — a silent collision there
+/// would merge distinct database states.
+fn hash128_of<T: Hash>(v: &T) -> u128 {
+    let lo = hash_of(v);
+    let mut h = DefaultHasher::new();
+    DIGEST_SEED.hash(&mut h);
+    v.hash(&mut h);
+    ((h.finish() as u128) << 64) | lo as u128
+}
+
 #[derive(Clone, Debug)]
 enum Node<T> {
     /// One or more entries whose hashes agree on all consumed bits.
@@ -233,9 +248,9 @@ impl<T: Clone + Eq + Hash> Node<T> {
 pub struct Set<T> {
     root: Option<Arc<Node<T>>>,
     len: usize,
-    /// Commutative (xor) hash of all member hashes; lets two versions be
-    /// compared or hashed in O(1).
-    sethash: u64,
+    /// Commutative (xor) hash of all 128-bit member hashes; lets two
+    /// versions be compared or hashed in O(1).
+    sethash: u128,
 }
 
 impl<T> Default for Set<T> {
@@ -265,8 +280,8 @@ impl<T: Clone + Eq + Hash> Set<T> {
     }
 
     /// The commutative member-hash digest. Equal sets have equal digests;
-    /// unequal sets collide with probability ~2⁻⁶⁴ per comparison.
-    pub fn digest(&self) -> u64 {
+    /// unequal sets collide with probability ~2⁻¹²⁸ per comparison.
+    pub fn digest(&self) -> u128 {
         self.sethash
     }
 
@@ -289,7 +304,7 @@ impl<T: Clone + Eq + Hash> Set<T> {
                         entries: vec![value.clone()],
                     })),
                     len: 1,
-                    sethash: h,
+                    sethash: hash128_of(value),
                 },
                 true,
             ),
@@ -300,7 +315,7 @@ impl<T: Clone + Eq + Hash> Set<T> {
                         Set {
                             root: Some(Arc::new(node)),
                             len: self.len + 1,
-                            sethash: self.sethash ^ h,
+                            sethash: self.sethash ^ hash128_of(value),
                         },
                         true,
                     )
@@ -323,7 +338,7 @@ impl<T: Clone + Eq + Hash> Set<T> {
                         Set {
                             root: node.map(Arc::new),
                             len: self.len - 1,
-                            sethash: self.sethash ^ h,
+                            sethash: self.sethash ^ hash128_of(value),
                         },
                         true,
                     )

@@ -59,7 +59,7 @@ impl Relation {
     }
 
     /// Commutative digest of the tuple set (see [`hamt::Set::digest`]).
-    pub fn digest(&self) -> u64 {
+    pub fn digest(&self) -> u128 {
         self.tuples.digest()
     }
 
@@ -117,10 +117,10 @@ impl Relation {
     /// - a bound contiguous prefix of ≥ 1 column: a sorted-range probe on
     ///   the index, O(log n + candidates), with any bound columns *after*
     ///   the first free one filtered per candidate;
-    /// - otherwise (first column free): a full scan.
+    /// - otherwise (first column free): an in-order walk of the index.
     ///
-    /// Range-probe results come back in sorted (lexicographic) order; scan
-    /// results in unspecified order.
+    /// Every regime returns tuples in sorted (lexicographic) order — the
+    /// engine's canonical expansion order — so callers never re-sort.
     pub fn select(&self, pattern: &[Option<Value>]) -> Vec<Tuple> {
         debug_assert_eq!(pattern.len(), self.arity);
         if pattern.iter().all(Option::is_some) {
@@ -135,9 +135,10 @@ impl Relation {
         if prefix_len > 0 {
             return self.select_by_prefix(pattern, prefix_len);
         }
+        let fully_free = pattern.iter().all(Option::is_none);
         let mut out = Vec::new();
-        self.tuples.for_each(|t| {
-            if t.matches(pattern) {
+        self.index.for_each(|t| {
+            if fully_free || t.matches(pattern) {
                 out.push(t.clone());
             }
         });
@@ -301,6 +302,24 @@ mod tests {
             })
             .collect();
         assert_eq!(keys, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn scan_regime_returns_sorted_tuples() {
+        let mut r = Relation::new(2);
+        for (s, i) in [("c", 2), ("a", 9), ("b", 1), ("a", 3), ("c", 1)] {
+            r = r.insert(&tuple!(s, i)).0;
+        }
+        // First column free → scan regime; must still come back sorted.
+        let all = r.select(&[None, None]);
+        let mut expected = all.clone();
+        expected.sort();
+        assert_eq!(all, expected);
+        let gap = r.select(&[None, Some(Value::Int(1))]);
+        let mut expected = gap.clone();
+        expected.sort();
+        assert_eq!(gap, expected);
+        assert_eq!(gap.len(), 2);
     }
 
     #[test]

@@ -111,7 +111,36 @@ proptest! {
         if a.same_content(&b) {
             prop_assert_eq!(a.digest(), b.digest());
         }
-        // (The converse can fail only with ~2⁻⁶⁴ probability; not asserted.)
+        // (The converse can fail only with ~2⁻¹²⁸ probability; not asserted.)
+    }
+
+    /// The incrementally maintained digest never drifts from the
+    /// from-scratch recomputation, across randomized ins/del sequences and
+    /// rollbacks (here: restoring an earlier snapshot, exactly what the
+    /// engine does when a transaction aborts).
+    #[test]
+    fn incremental_digest_matches_from_scratch(ops in proptest::collection::vec(arb_op(), 0..120)) {
+        let mut db = Database::new();
+        let mut saved: Vec<Database> = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Ins(p, vals) => db = db.insert(pred(p), &tuple(&vals)).unwrap().0,
+                Op::Del(p, vals) => db = db.delete(pred(p), &tuple(&vals)).unwrap().0,
+                Op::Snapshot => {
+                    // Alternate between taking a snapshot and rolling back
+                    // to the most recent one.
+                    if i % 2 == 0 || saved.is_empty() {
+                        saved.push(db.clone());
+                    } else {
+                        db = saved.pop().unwrap();
+                    }
+                }
+            }
+            prop_assert_eq!(db.digest(), db.digest_from_scratch());
+        }
+        for snap in &saved {
+            prop_assert_eq!(snap.digest(), snap.digest_from_scratch());
+        }
     }
 
     #[test]

@@ -93,6 +93,17 @@ pub struct EngineConfig {
     /// Search machinery: sequential backtracking or the multi-threaded
     /// work-stealing configuration-graph search.
     pub backend: SearchBackend,
+    /// Enable the shared subtransaction answer cache (TD tabling): isolated
+    /// blocks and sole-frontier ground calls are memoized as
+    /// `(bindings, state delta)` answer sets keyed by `(canonical subgoal,
+    /// db digest)` and *replayed* on re-reaching the same state, instead of
+    /// re-explored. Active only under [`Strategy::Exhaustive`] with tracing
+    /// off (other strategies reorder the nested exploration; a trace cannot
+    /// be replayed). See `docs/CACHING.md`.
+    pub subgoal_cache: bool,
+    /// Capacity bound (entries) for the subgoal cache; evicted with CLOCK
+    /// second-chance when full.
+    pub cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +115,8 @@ impl Default for EngineConfig {
             trace: false,
             memo_failures: true,
             backend: SearchBackend::Sequential,
+            subgoal_cache: false,
+            cache_capacity: 65_536,
         }
     }
 }
@@ -130,6 +143,19 @@ impl EngineConfig {
     /// Config with a search backend.
     pub fn with_backend(mut self, b: SearchBackend) -> EngineConfig {
         self.backend = b;
+        self
+    }
+
+    /// Config with the subgoal answer cache enabled.
+    pub fn with_subgoal_cache(mut self) -> EngineConfig {
+        self.subgoal_cache = true;
+        self
+    }
+
+    /// Config with a subgoal-cache capacity bound (implies nothing about
+    /// `subgoal_cache` itself — combine with [`Self::with_subgoal_cache`]).
+    pub fn with_cache_capacity(mut self, n: usize) -> EngineConfig {
+        self.cache_capacity = n.max(1);
         self
     }
 
@@ -216,6 +242,10 @@ pub struct Stats {
     /// Peak number of concurrently schedulable actions (the paper's
     /// "number of processes": Example 3.2 grows this at runtime).
     pub peak_processes: usize,
+    /// Subgoal-cache lookups that replayed a stored answer set.
+    pub cache_hits: u64,
+    /// Subgoal-cache lookups that found nothing (and enumerated).
+    pub cache_misses: u64,
 }
 
 impl fmt::Display for Stats {
@@ -232,6 +262,13 @@ impl fmt::Display for Stats {
             self.iso_enters,
             self.memo_hits
         )?;
+        if self.cache_hits > 0 || self.cache_misses > 0 {
+            write!(
+                f,
+                " cache_hits={} cache_misses={}",
+                self.cache_hits, self.cache_misses
+            )?;
+        }
         write!(f, " peak_procs={}", self.peak_processes)
     }
 }

@@ -17,9 +17,17 @@
 //! Configurations are canonicalized up to variable renaming: free variables
 //! are renumbered densely in first-occurrence order, so α-equivalent
 //! process states memoize together. Databases are keyed by content digest
-//! (64-bit; collisions are possible in principle but have probability
-//! ~2⁻⁶⁴ per pair).
+//! (128-bit, maintained incrementally — see `td_db::Database::digest`;
+//! collisions are possible in principle but have probability ~2⁻¹²⁸ per
+//! pair).
+//!
+//! With a [`SubgoalCache`] attached ([`decide_with_cache`] /
+//! [`final_states_with_cache`]), isolated blocks and sole-frontier ground
+//! calls become *macro-steps*: their cached `(bindings, delta)` answer sets
+//! are replayed as direct successors instead of being re-explored, which
+//! collapses the configuration chains inside contiguous subtransactions.
 
+use crate::cache::{canonicalize_with_map, state_key, CacheEntry, StateKey, SubgoalCache};
 use crate::config::EngineError;
 use crate::tree::{frontier, leaf_at, make_node, rewrite, to_goal, PTree};
 use std::collections::HashSet;
@@ -81,11 +89,26 @@ pub fn decide(
     db: &Database,
     config: DeciderConfig,
 ) -> Result<Decision, EngineError> {
+    decide_with_cache(program, goal, db, config, None)
+}
+
+/// [`decide`] with a shared subtransaction answer cache: isolated blocks
+/// and sole-frontier ground calls are resolved by replaying cached
+/// `(bindings, state delta)` answer sets (hit/miss/eviction counts are on
+/// the cache itself). Pass `None` for the plain elementary-step search.
+pub fn decide_with_cache(
+    program: &Program,
+    goal: &Goal,
+    db: &Database,
+    config: DeciderConfig,
+    cache: Option<Arc<SubgoalCache>>,
+) -> Result<Decision, EngineError> {
     let mut search = Search {
         program,
         config,
         visited: HashSet::new(),
         truncated: false,
+        cache,
     };
     let executable = search.explore(make_node(goal), db.clone())?;
     Ok(Decision {
@@ -104,11 +127,25 @@ pub fn final_states(
     db: &Database,
     config: DeciderConfig,
 ) -> Result<Vec<Database>, EngineError> {
+    final_states_with_cache(program, goal, db, config, None)
+}
+
+/// [`final_states`] with a shared subtransaction answer cache (see
+/// [`decide_with_cache`]). The set of final databases is unchanged by
+/// caching — only the number of intermediate configurations explored.
+pub fn final_states_with_cache(
+    program: &Program,
+    goal: &Goal,
+    db: &Database,
+    config: DeciderConfig,
+    cache: Option<Arc<SubgoalCache>>,
+) -> Result<Vec<Database>, EngineError> {
     let mut search = Search {
         program,
         config,
         visited: HashSet::new(),
         truncated: false,
+        cache,
     };
     let mut finals = Vec::new();
     search.collect_finals(make_node(goal), db.clone(), &mut finals)?;
@@ -126,11 +163,14 @@ pub fn shortest_execution(
     db: &Database,
     config: DeciderConfig,
 ) -> Result<Option<usize>, EngineError> {
+    // Uncached on purpose: a cached answer replay is a macro-step, which
+    // would corrupt the BFS elementary-step count this function measures.
     let mut search = Search {
         program,
         config,
         visited: HashSet::new(),
         truncated: false,
+        cache: None,
     };
     let mut frontier: Vec<(Option<Arc<PTree>>, Database)> = vec![(make_node(goal), db.clone())];
     let mut depth = 0usize;
@@ -157,8 +197,9 @@ pub fn shortest_execution(
 struct Search<'p> {
     program: &'p Program,
     config: DeciderConfig,
-    visited: HashSet<(Goal, u64)>,
+    visited: HashSet<StateKey>,
     truncated: bool,
+    cache: Option<Arc<SubgoalCache>>,
 }
 
 /// A configuration: live process tree (None = complete) + database.
@@ -220,15 +261,19 @@ impl<'p> Search<'p> {
     }
 
     fn mark_visited(&mut self, tree: &Arc<PTree>, db: &Database) -> bool {
-        let key = (canonical_goal(&to_goal(tree)), db.digest());
-        self.visited.insert(key)
+        self.visited.insert(state_key(&to_goal(tree), db))
     }
 
     /// Every configuration reachable in one elementary step, across all
     /// schedules and all nondeterministic choices.
     fn successors(&mut self, tree: &Arc<PTree>, db: &Database) -> Result<Vec<Config>, EngineError> {
         let mut out = Vec::new();
-        for path in frontier(tree) {
+        let paths = frontier(tree);
+        // A sole frontier action executes as a contiguous block — the
+        // cacheability condition for derived-atom calls (shared with the
+        // machine and the parallel backend).
+        let sole = paths.len() == 1;
+        for path in paths {
             let leaf = leaf_at(tree, &path).clone();
             match leaf {
                 Goal::Fail => {}
@@ -241,9 +286,9 @@ impl<'p> Search<'p> {
                     };
                     let pattern: Vec<Option<Value>> =
                         atom.args.iter().map(|t| t.as_value()).collect();
-                    let mut tuples = rel.select(&pattern);
-                    tuples.sort();
-                    for t in tuples {
+                    // `select` returns tuples in sorted (lexicographic)
+                    // order in every regime; no re-sort needed.
+                    for t in rel.select(&pattern) {
                         if let Some(new_tree) = apply_unification(tree, &path, None, |b| {
                             atom.args
                                 .iter()
@@ -255,6 +300,15 @@ impl<'p> Search<'p> {
                     }
                 }
                 Goal::Atom(atom) => {
+                    let cached = if sole && atom.is_ground() {
+                        self.cached_successors(&Goal::Atom(atom.clone()), tree, &path, db)?
+                    } else {
+                        None
+                    };
+                    if let Some(succs) = cached {
+                        out.extend(succs);
+                        continue;
+                    }
                     for &rid in self.program.rules_for(atom.pred) {
                         let rule = self.program.rule(rid);
                         let base = num_vars_in_tree(tree);
@@ -321,12 +375,70 @@ impl<'p> Search<'p> {
                     // other frontier actions first.) Variable bindings made
                     // inside the block flow to the continuation because it
                     // is one tree.
-                    let rest = rewrite(tree, &path, None);
-                    out.push((crate::tree::sequence(make_node(&inner), rest), db.clone()));
+                    match self.cached_successors(&inner, tree, &path, db)? {
+                        Some(succs) => out.extend(succs),
+                        None => {
+                            let rest = rewrite(tree, &path, None);
+                            out.push((crate::tree::sequence(make_node(&inner), rest), db.clone()));
+                        }
+                    }
                 }
             }
         }
         Ok(out)
+    }
+
+    /// Probe (and on miss, populate) the subgoal cache for a contiguous
+    /// subgoal, producing the macro-step successor configurations — one per
+    /// cached answer, with the answer's bindings applied to the rest of the
+    /// tree and its delta replayed onto the database. Returns `Ok(None)`
+    /// when the cache is off or the subgoal is unsuitable for caching, in
+    /// which case the caller must fall back to the elementary-step path.
+    fn cached_successors(
+        &mut self,
+        subgoal: &Goal,
+        tree: &Arc<PTree>,
+        path: &[usize],
+        db: &Database,
+    ) -> Result<Option<Vec<Config>>, EngineError> {
+        let Some(cache) = self.cache.clone() else {
+            return Ok(None);
+        };
+        let (canon, vars) = canonicalize_with_map(subgoal);
+        let key = (canon, db.digest());
+        let answers = match cache.lookup(&key) {
+            Some(CacheEntry::Answers(a)) => a,
+            Some(CacheEntry::Unsuitable) => return Ok(None),
+            None => {
+                match crate::machine::enumerate_answers(self.program, &key.0, vars.len() as u32, db)
+                {
+                    Some(list) => {
+                        let arc = Arc::new(list);
+                        cache.insert(key, CacheEntry::Answers(arc.clone()));
+                        arc
+                    }
+                    None => {
+                        cache.insert(key, CacheEntry::Unsuitable);
+                        return Ok(None);
+                    }
+                }
+            }
+        };
+        let mut out = Vec::with_capacity(answers.len());
+        for ans in answers.iter() {
+            if let Some(new_tree) = apply_unification(tree, path, None, |b| {
+                vars.iter()
+                    .zip(&ans.values)
+                    .all(|(v, val)| unify_terms(b, Term::Var(*v), Term::Val(*val)))
+            }) {
+                let next = ans
+                    .delta
+                    .replay(db)
+                    .map_err(|e| EngineError::Db(e.to_string()))?;
+                out.push((new_tree, next));
+            }
+        }
+        Ok(Some(out))
     }
 }
 

@@ -1,8 +1,10 @@
 //! Public execution API.
 
+use crate::cache::SubgoalCache;
 use crate::config::{EngineConfig, EngineError, SearchBackend, Stats, Strategy};
 use crate::machine::{Ctx, Solver};
 use crate::tree::make_node;
+use std::sync::Arc;
 use td_core::{Goal, Program, Term, Var};
 use td_db::{Database, Delta};
 
@@ -83,20 +85,29 @@ impl Outcome {
 pub struct Engine {
     program: Program,
     config: EngineConfig,
+    /// Subgoal answer cache, allocated once per engine when
+    /// `EngineConfig::subgoal_cache` is set. Shared (via `Arc`) across
+    /// every `solve`/`solutions` call on this engine and its clones, so a
+    /// warm engine replays answers across queries too.
+    cache: Option<Arc<SubgoalCache>>,
 }
 
 impl Engine {
     /// Engine with default configuration.
     pub fn new(program: Program) -> Engine {
-        Engine {
-            program,
-            config: EngineConfig::default(),
-        }
+        Engine::with_config(program, EngineConfig::default())
     }
 
     /// Engine with explicit configuration.
     pub fn with_config(program: Program, config: EngineConfig) -> Engine {
-        Engine { program, config }
+        let cache = config
+            .subgoal_cache
+            .then(|| Arc::new(SubgoalCache::new(config.cache_capacity)));
+        Engine {
+            program,
+            config,
+            cache,
+        }
     }
 
     /// The program this engine executes.
@@ -107,6 +118,13 @@ impl Engine {
     /// The configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's subgoal answer cache (None unless
+    /// `EngineConfig::subgoal_cache` is set). Exposes lifetime hit/miss/
+    /// eviction counters for reporting.
+    pub fn subgoal_cache(&self) -> Option<&Arc<SubgoalCache>> {
+        self.cache.as_ref()
     }
 
     /// Execute `goal` against `db`, returning the first successful
@@ -130,6 +148,7 @@ impl Engine {
                     db,
                     threads,
                     deterministic,
+                    self.cache.clone(),
                 );
             }
         }
@@ -158,7 +177,7 @@ impl Engine {
         limit: usize,
     ) -> Result<Solutions, EngineError> {
         let nvars = goal_num_vars(goal);
-        let mut ctx = Ctx::new(&self.program, &self.config);
+        let mut ctx = Ctx::new(&self.program, &self.config, self.cache.clone());
         ctx.bindings.alloc(nvars);
         let mut solver = Solver::new(make_node(goal), db.clone());
         let mut out = Vec::new();

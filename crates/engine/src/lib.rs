@@ -26,6 +26,7 @@
 //!   test suite to pin the semantics of `⊗`, `|`, and `⊙` independently of
 //!   the interpreter's search order.
 
+pub mod cache;
 pub mod config;
 pub mod datalog;
 pub mod decider;
@@ -38,6 +39,7 @@ pub mod tabling;
 pub mod trace;
 pub mod tree;
 
+pub use cache::{CacheEntry, CachedAnswer, StateKey, SubgoalCache};
 pub use config::{EngineConfig, EngineError, SearchBackend, Stats, Strategy};
 pub use engine::{goal_num_vars, load_init, Engine, Outcome, Solution, Solutions};
 pub use trace::{Trace, TraceEvent};
@@ -552,6 +554,77 @@ mod stats_tests {
         // At some point several spawned workflows plus the spawner are
         // simultaneously live.
         assert!(out.stats().peak_processes >= 2, "{}", out.stats());
+    }
+
+    #[test]
+    fn subgoal_cache_hits_on_iterated_protocol() {
+        // Two concurrent instances of the same iterating protocol: the
+        // sole-frontier ground calls and the identical iso-free recursion
+        // recur at identical (goal, digest) states across interleavings, so
+        // a warm second run answers from the cache.
+        let src = "
+            base quality/2. base result/2. base mapped/1.
+            init quality(a, 0). init quality(b, 0).
+            protocol(W) <- quality(W, Q) * Q >= 3 * ins.mapped(W).
+            protocol(W) <- quality(W, Q) * Q < 3 * del.quality(W, Q)
+                           * Q2 is Q + 1 * ins.quality(W, Q2)
+                           * ins.result(W, Q2) * protocol(W).
+            ?- iso { protocol(a) } * iso { protocol(b) }.
+        ";
+        let parsed = parse_program(src).unwrap();
+        let db = load_init(&Database::with_schema_of(&parsed.program), &parsed.init).unwrap();
+        let cfg = EngineConfig::default().with_subgoal_cache();
+        let engine = Engine::with_config(parsed.program.clone(), cfg);
+        let cold = engine.solve(&parsed.goals[0].goal, &db).unwrap();
+        assert!(cold.is_success());
+        let warm = engine.solve(&parsed.goals[0].goal, &db).unwrap();
+        assert!(warm.is_success());
+        assert!(
+            warm.stats().cache_hits > 0,
+            "warm run must replay cached answers: {}",
+            warm.stats()
+        );
+        let cache = engine.subgoal_cache().expect("cache enabled");
+        assert!(cache.hits() > 0);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cached_and_uncached_agree_on_witness() {
+        let src = "
+            base item/1. base log/1.
+            init item(1). init item(2). init item(3).
+            take(X) <- item(X) * del.item(X) * ins.log(X).
+            ?- iso { take(X) } * iso { take(Y) }.
+        ";
+        let parsed = parse_program(src).unwrap();
+        let db = load_init(&Database::with_schema_of(&parsed.program), &parsed.init).unwrap();
+        let plain = Engine::new(parsed.program.clone());
+        let cached = Engine::with_config(
+            parsed.program.clone(),
+            EngineConfig::default().with_subgoal_cache(),
+        );
+        let a = plain.solve(&parsed.goals[0].goal, &db).unwrap();
+        let b = cached.solve(&parsed.goals[0].goal, &db).unwrap();
+        let (sa, sb) = (a.solution().unwrap(), b.solution().unwrap());
+        assert_eq!(sa.answer, sb.answer);
+        assert_eq!(sa.delta.ops(), sb.delta.ops());
+        assert!(sa.db.same_content(&sb.db));
+    }
+
+    #[test]
+    fn subgoal_cache_is_inert_under_tracing() {
+        // Tracing disables the cache (a replayed macro-step has no
+        // elementary trace events), so the counters must stay zero.
+        let src = "base t/1. ?- iso { ins.t(1) }.";
+        let parsed = parse_program(src).unwrap();
+        let db = Database::with_schema_of(&parsed.program);
+        let cfg = EngineConfig::default().with_subgoal_cache().with_trace();
+        let engine = Engine::with_config(parsed.program.clone(), cfg);
+        let out = engine.solve(&parsed.goals[0].goal, &db).unwrap();
+        assert!(out.is_success());
+        assert_eq!(out.stats().cache_hits + out.stats().cache_misses, 0);
+        assert!(!out.solution().unwrap().trace.is_empty());
     }
 
     #[test]

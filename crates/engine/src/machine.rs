@@ -15,6 +15,7 @@
 //! inside the choicepoint, so backtracking can pull further solutions out of
 //! the isolated block.
 
+use crate::cache::{canonicalize_with_map, CacheEntry, CachedAnswer, StateKey, SubgoalCache};
 use crate::config::{EngineConfig, EngineError, Stats, Strategy};
 use crate::trace::TraceEvent;
 use crate::tree::{frontier, leaf_at, make_node, rewrite, to_goal, PTree, Path};
@@ -26,8 +27,8 @@ use std::sync::Arc;
 use td_core::goal::Builtin;
 use td_core::subst::TrailMark;
 use td_core::unify::{unify_args, unify_terms};
-use td_core::{Atom, Bindings, Goal, Program, RuleId, Term, Value};
-use td_db::{Database, DeltaOp, Tuple};
+use td_core::{Atom, Bindings, Goal, Program, RuleId, Term, Value, Var};
+use td_db::{Database, Delta, DeltaOp, Tuple};
 
 /// Shared execution context: program, config, bindings, statistics, logs.
 /// One `Ctx` serves the top-level solver and every nested (isolation)
@@ -43,16 +44,32 @@ pub(crate) struct Ctx<'p> {
     /// Refuted configurations: (canonical resolved process tree, db digest).
     /// Only populated/consulted under complete strategies (see
     /// `EngineConfig::memo_failures`).
-    failed: HashSet<(Goal, u64)>,
+    failed: HashSet<StateKey>,
+    /// Shared subtransaction answer cache; `None` when disabled or the
+    /// configuration is incompatible (see [`Ctx::new`]'s gate).
+    cache: Option<Arc<SubgoalCache>>,
     rng: Option<StdRng>,
     rr_counter: u64,
 }
 
 impl<'p> Ctx<'p> {
-    pub fn new(program: &'p Program, config: &'p EngineConfig) -> Ctx<'p> {
+    pub fn new(
+        program: &'p Program,
+        config: &'p EngineConfig,
+        cache: Option<Arc<SubgoalCache>>,
+    ) -> Ctx<'p> {
         let rng = match config.strategy {
             Strategy::ExhaustiveRandom(seed) => Some(StdRng::seed_from_u64(seed)),
             _ => None,
+        };
+        // The cache replays a subgoal's answers in the canonical exhaustive
+        // depth-first order; under any other strategy the lazy path would
+        // yield a different order, and a trace cannot be reconstructed from
+        // a replay — gate it off rather than produce wrong witnesses.
+        let cache = if config.trace || config.strategy != Strategy::Exhaustive {
+            None
+        } else {
+            cache
         };
         Ctx {
             program,
@@ -62,6 +79,7 @@ impl<'p> Ctx<'p> {
             delta: Vec::new(),
             trace: Vec::new(),
             failed: HashSet::new(),
+            cache,
             rng,
             rr_counter: 0,
         }
@@ -82,9 +100,9 @@ impl<'p> Ctx<'p> {
     }
 
     /// Canonical key of a configuration under the current bindings.
-    fn config_key(&self, tree: &Arc<PTree>, db: &Database) -> (Goal, u64) {
+    fn config_key(&self, tree: &Arc<PTree>, db: &Database) -> StateKey {
         let resolved = to_goal(tree).map_terms(&mut |t| self.bindings.resolve(t));
-        (crate::decider::canonical_goal(&resolved), db.digest())
+        crate::cache::state_key(&resolved, db)
     }
 
     fn order_paths(&mut self, paths: &mut [Path]) {
@@ -153,6 +171,14 @@ enum Alts {
         yield_delta: usize,
         yield_trace: usize,
     },
+    /// Remaining answers of a cached subgoal (replayed, not re-explored).
+    Cached {
+        path: Path,
+        /// Original variables, positionally matching each answer's values.
+        vars: Vec<Var>,
+        answers: Arc<Vec<CachedAnswer>>,
+        next: usize,
+    },
 }
 
 struct Choicepoint {
@@ -162,7 +188,7 @@ struct Choicepoint {
     /// success was yielded through this subtree in the meantime (see
     /// `successes_at_push`), in which case exhaustion only means "no more
     /// solutions".
-    state_key: Option<(Goal, u64)>,
+    state_key: Option<StateKey>,
     /// `Solver::successes` at push time; compared at pop to decide whether
     /// the subtree was success-free (refuted) or merely drained.
     successes_at_push: u64,
@@ -188,7 +214,7 @@ pub(crate) struct Solver {
     stack: Vec<Choicepoint>,
     /// Key of the configuration the in-flight step started from; consumed
     /// by the first choicepoint that step pushes.
-    pending_key: Option<(Goal, u64)>,
+    pending_key: Option<StateKey>,
     /// Number of solutions this solver has yielded. Used to distinguish
     /// refuted choicepoint subtrees from drained ones.
     successes: u64,
@@ -368,6 +394,15 @@ impl Solver {
                 Ok(())
             }
             Goal::Iso(inner) => {
+                // An isolated block runs as a contiguous sub-execution from
+                // the current database — exactly the shape the subgoal cache
+                // stores. Try a replay before paying for a nested search.
+                if ctx.cache.is_some() {
+                    let resolved = inner.map_terms(&mut |t| ctx.bindings.resolve(t));
+                    if let Some(result) = self.try_cached_subgoal(ctx, tree, &path, &resolved) {
+                        return result;
+                    }
+                }
                 ctx.stats.iso_enters += 1;
                 let pre_mark = ctx.bindings.mark();
                 let pre_delta = ctx.delta.len();
@@ -469,6 +504,17 @@ impl Solver {
         path: Path,
         atom: Atom,
     ) -> StepResult {
+        // A ground call that is the *sole* frontier action executes as a
+        // contiguous block (nothing else is schedulable until it finishes),
+        // so its answer set is cacheable exactly like an isolated block.
+        // The same condition is applied in the decider and the parallel
+        // backend, so all three make identical caching decisions.
+        if ctx.cache.is_some() && atom.is_ground() && frontier(tree).len() == 1 {
+            let subgoal = Goal::Atom(atom.clone());
+            if let Some(result) = self.try_cached_subgoal(ctx, tree, &path, &subgoal) {
+                return result;
+            }
+        }
         let rules: Vec<RuleId> = ctx.program.rules_for(atom.pred).to_vec();
         if rules.is_empty() {
             return Err(StepErr::Fail);
@@ -555,6 +601,111 @@ impl Solver {
         }
     }
 
+    /// Try to resolve a contiguous subgoal (isolated block or sole-frontier
+    /// ground call) from the answer cache. `None` = no cache, or the entry
+    /// is unsuitable: the caller must run the lazy path. `Some(r)` = the
+    /// subgoal was handled by replay (including `r = Err(Fail)` when the
+    /// cached answer set is empty, which correctly feeds the failure memo).
+    fn try_cached_subgoal(
+        &mut self,
+        ctx: &mut Ctx,
+        tree: &Arc<PTree>,
+        path: &Path,
+        resolved: &Goal,
+    ) -> Option<StepResult> {
+        let cache = ctx.cache.clone()?;
+        let (canon, vars) = canonicalize_with_map(resolved);
+        let key = (canon, self.db.digest());
+        let answers = match cache.lookup(&key) {
+            Some(CacheEntry::Answers(a)) => {
+                ctx.stats.cache_hits += 1;
+                a
+            }
+            Some(CacheEntry::Unsuitable) => return None,
+            None => {
+                ctx.stats.cache_misses += 1;
+                match enumerate_answers(ctx.program, &key.0, vars.len() as u32, &self.db) {
+                    Some(ans) => {
+                        let arc = Arc::new(ans);
+                        cache.insert(key, CacheEntry::Answers(arc.clone()));
+                        arc
+                    }
+                    None => {
+                        cache.insert(key, CacheEntry::Unsuitable);
+                        return None;
+                    }
+                }
+            }
+        };
+        Some(self.apply_cached_entry(ctx, tree, path, vars, answers))
+    }
+
+    /// Commit the first cached answer; push a choicepoint over the rest.
+    fn apply_cached_entry(
+        &mut self,
+        ctx: &mut Ctx,
+        tree: &Arc<PTree>,
+        path: &Path,
+        vars: Vec<Var>,
+        answers: Arc<Vec<CachedAnswer>>,
+    ) -> StepResult {
+        if answers.is_empty() {
+            return Err(StepErr::Fail);
+        }
+        if answers.len() > 1 {
+            self.push_cp(
+                ctx,
+                Choicepoint {
+                    state_key: None,
+                    successes_at_push: 0,
+                    tree: tree.clone(),
+                    db: self.db.clone(),
+                    mark: ctx.bindings.mark(),
+                    delta_len: ctx.delta.len(),
+                    trace_len: ctx.trace.len(),
+                    alts: Alts::Cached {
+                        path: path.clone(),
+                        vars: vars.clone(),
+                        answers: answers.clone(),
+                        next: 1,
+                    },
+                },
+            )?;
+        }
+        self.apply_answer(ctx, tree, path, &vars, &answers[0])
+    }
+
+    /// Replay one cached answer: bind the subgoal's variables to the
+    /// answer's ground values and re-apply its state delta.
+    fn apply_answer(
+        &mut self,
+        ctx: &mut Ctx,
+        tree: &Arc<PTree>,
+        path: &Path,
+        vars: &[Var],
+        ans: &CachedAnswer,
+    ) -> StepResult {
+        for (v, val) in vars.iter().zip(&ans.values) {
+            if !unify_terms(&mut ctx.bindings, Term::Var(*v), Term::Val(*val)) {
+                return Err(StepErr::Fail);
+            }
+        }
+        let mut db = self.db.clone();
+        for op in ans.delta.ops() {
+            match op.apply(&db) {
+                Ok(next) => {
+                    db = next;
+                    ctx.stats.db_ops += 1;
+                    ctx.delta.push(op.clone());
+                }
+                Err(e) => return Err(fatal(EngineError::Db(e.to_string()))),
+            }
+        }
+        self.db = db;
+        self.state = rewrite(tree, path, None);
+        Ok(())
+    }
+
     /// Pop/advance choicepoints until an alternative applies. `Ok(false)` =
     /// stack exhausted (overall failure).
     fn backtrack(&mut self, ctx: &mut Ctx) -> Result<bool, EngineError> {
@@ -582,6 +733,7 @@ impl Solver {
                 Branch(usize, Goal),
                 IsoYield(Database),
                 IsoDead,
+                Cached(Vec<Var>, CachedAnswer),
             }
 
             let decision = {
@@ -708,6 +860,28 @@ impl Solver {
                             }
                         }
                     }
+                    Alts::Cached {
+                        path,
+                        vars,
+                        answers,
+                        next,
+                    } => {
+                        if *next < answers.len() {
+                            ctx.bindings.undo_to(cp.mark);
+                            ctx.delta.truncate(cp.delta_len);
+                            ctx.trace.truncate(cp.trace_len);
+                            self.db = cp.db.clone();
+                            let ans = answers[*next].clone();
+                            *next += 1;
+                            Decision::Retry {
+                                tree: cp.tree.clone(),
+                                path: path.clone(),
+                                action: Retry::Cached(vars.clone(), ans),
+                            }
+                        } else {
+                            Decision::Exhausted
+                        }
+                    }
                 }
             };
 
@@ -764,6 +938,13 @@ impl Solver {
                         }
                         continue;
                     }
+                    Retry::Cached(vars, ans) => {
+                        match self.apply_answer(ctx, &tree, &path, &vars, &ans) {
+                            Ok(()) => return Ok(true),
+                            Err(StepErr::Fail) => continue,
+                            Err(StepErr::Fatal(e)) => return Err(e),
+                        }
+                    }
                 },
             }
         }
@@ -778,16 +959,82 @@ fn resolve_atom(bindings: &Bindings, atom: &Atom) -> Atom {
     }
 }
 
-/// Tuples of `db` matching the (resolved) query atom's bound positions,
-/// sorted for deterministic exploration order.
+/// Per-miss budget for answer-set enumeration: a subgoal that does not run
+/// to exhaustion within this many elementary steps is marked unsuitable and
+/// left to the lazy path.
+const CACHE_ENUM_MAX_STEPS: u64 = 20_000;
+
+/// A subgoal with more answers than this is not worth caching (the entry
+/// would be large and the replay savings marginal); marked unsuitable.
+const CACHE_ENUM_MAX_ANSWERS: usize = 256;
+
+/// Enumerate the *complete* answer set of a canonical subgoal on `db`,
+/// in the exhaustive machine's yield order, with duplicates preserved —
+/// the replay must be indistinguishable (bindings, delta, order,
+/// multiplicity) from running the subgoal lazily.
+///
+/// `None` = unsuitable for caching: a fault occurred, an answer was
+/// non-ground, or an enumeration bound was exceeded. Callers fall back to
+/// the lazy path, which reproduces the original behaviour (including
+/// surfacing the fault in its proper context).
+pub(crate) fn enumerate_answers(
+    program: &Program,
+    goal: &Goal,
+    nvars: u32,
+    db: &Database,
+) -> Option<Vec<CachedAnswer>> {
+    let config = EngineConfig {
+        max_steps: CACHE_ENUM_MAX_STEPS,
+        ..EngineConfig::default()
+    };
+    let mut ctx = Ctx::new(program, &config, None);
+    ctx.bindings.alloc(nvars);
+    let mut solver = Solver::new(make_node(goal), db.clone());
+    let mut out = Vec::new();
+    let mut first = true;
+    loop {
+        let found = if first {
+            first = false;
+            solver.run(&mut ctx)
+        } else {
+            solver.resume(&mut ctx)
+        };
+        match found {
+            Ok(true) => {
+                if out.len() >= CACHE_ENUM_MAX_ANSWERS {
+                    return None;
+                }
+                let mut values = Vec::with_capacity(nvars as usize);
+                for i in 0..nvars {
+                    match ctx.bindings.resolve(Term::var(i)) {
+                        Term::Val(v) => values.push(v),
+                        // A non-ground answer cannot be replayed by value
+                        // binding; leave this subgoal to the lazy path.
+                        Term::Var(_) => return None,
+                    }
+                }
+                let mut delta = Delta::new();
+                for op in &ctx.delta {
+                    delta.push(op.clone());
+                }
+                out.push(CachedAnswer { values, delta });
+            }
+            Ok(false) => return Some(out),
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Tuples of `db` matching the (resolved) query atom's bound positions.
+/// [`td_db::Relation::select`] returns every regime in sorted
+/// (lexicographic) order — the engine's canonical exploration order — so no
+/// re-sort is needed here.
 fn matching_tuples(db: &Database, atom: &Atom) -> Vec<Tuple> {
     let Some(rel) = db.relation(atom.pred) else {
         return Vec::new();
     };
     let pattern: Vec<Option<Value>> = atom.args.iter().map(|t| t.as_value()).collect();
-    let mut tuples = rel.select(&pattern);
-    tuples.sort();
-    tuples
+    rel.select(&pattern)
 }
 
 /// Unify a query atom's arguments with a tuple. Returns false on clash

@@ -37,10 +37,11 @@
 //! sequential engine's elementary step, so budgets are comparable but not
 //! identical across backends.
 
-use crate::config::{EngineConfig, EngineError, Stats};
-use crate::decider::{
-    apply_bindings_tree, canonical_goal, eval_ground_builtin, subst_tree, BuiltinOut,
+use crate::cache::{
+    canonicalize_with_map, state_key, CacheEntry, CachedAnswer, StateKey, SubgoalCache,
 };
+use crate::config::{EngineConfig, EngineError, Stats};
+use crate::decider::{apply_bindings_tree, eval_ground_builtin, subst_tree, BuiltinOut};
 use crate::engine::{goal_num_vars, Outcome, Solution};
 use crate::tree::{frontier, leaf_at, leaf_count, make_node, rewrite, sequence, to_goal, PTree};
 use std::collections::hash_map::{DefaultHasher, Entry};
@@ -49,7 +50,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use td_core::unify::{unify_args, unify_terms};
-use td_core::{Bindings, Goal, Program, Term, Value};
+use td_core::{Bindings, Goal, Program, Term, Value, Var};
 use td_db::{Database, Delta, DeltaOp, Tuple};
 
 /// A persistent (shared-tail) update log: configurations fork at every
@@ -114,7 +115,7 @@ struct Witness {
     label: Option<Vec<u32>>,
 }
 
-type MemoKey = (Goal, u64);
+type MemoKey = StateKey;
 
 const MEMO_SHARDS: usize = 64;
 
@@ -198,6 +199,9 @@ struct Shared<'p> {
     /// a bound exists.
     bound: Mutex<Option<Vec<u32>>>,
     has_bound: AtomicBool,
+    /// Shared subtransaction answer cache (None when disabled). Workers
+    /// both probe and populate it; the sharded mutexes keep contention low.
+    cache: Option<Arc<SubgoalCache>>,
 }
 
 impl Shared<'_> {
@@ -285,6 +289,7 @@ pub(crate) fn solve(
     db: &Database,
     threads: usize,
     deterministic: bool,
+    cache: Option<Arc<SubgoalCache>>,
 ) -> Result<Outcome, EngineError> {
     let nworkers = threads.clamp(1, 64);
     let nvars = goal_num_vars(goal);
@@ -310,6 +315,7 @@ pub(crate) fn solve(
         error: Mutex::new(None),
         bound: Mutex::new(None),
         has_bound: AtomicBool::new(false),
+        cache,
     };
     shared.queues[0]
         .lock()
@@ -337,6 +343,8 @@ pub(crate) fn solve(
         stats.db_ops += w.db_ops;
         stats.iso_enters += w.iso_enters;
         stats.memo_hits += w.memo_hits;
+        stats.cache_hits += w.cache_hits;
+        stats.cache_misses += w.cache_misses;
         stats.peak_processes = stats.peak_processes.max(w.peak_processes);
     }
 
@@ -431,7 +439,7 @@ fn process(shared: &Shared<'_>, wid: usize, task: Task, stats: &mut Stats) {
     if shared.pruned_by_bound(&task) {
         return;
     }
-    let key = (canonical_goal(&to_goal(&tree)), task.db.digest());
+    let key = state_key(&to_goal(&tree), &task.db);
     let claimed = match &task.label {
         Some(l) => shared.memo.claim_labeled(key, l),
         None => shared.memo.claim(key),
@@ -449,7 +457,7 @@ fn process(shared: &Shared<'_>, wid: usize, task: Task, stats: &mut Stats) {
     stats.steps += 1;
     stats.peak_processes = stats.peak_processes.max(leaf_count(&tree));
 
-    let (succs, err) = expand(shared.program, &task, &tree, stats);
+    let (succs, err) = expand(shared, &task, &tree, stats);
     stats.choicepoints += succs.len() as u64;
     // Reversed: the owner pops from the back, so pushing high-index
     // successors first makes it explore successor 0 next — sequential
@@ -476,9 +484,15 @@ fn process(shared: &Shared<'_>, wid: usize, task: Task, stats: &mut Stats) {
 /// path labels agree with sequential depth-first exploration.
 type Expansion = (Vec<Task>, Option<(Option<Vec<u32>>, EngineError)>);
 
-fn expand(program: &Program, task: &Task, tree: &Arc<PTree>, stats: &mut Stats) -> Expansion {
+fn expand(shared: &Shared<'_>, task: &Task, tree: &Arc<PTree>, stats: &mut Stats) -> Expansion {
+    let program = shared.program;
     let mut out: Vec<Task> = Vec::new();
-    for path in frontier(tree) {
+    let paths = frontier(tree);
+    // A sole frontier action executes as a contiguous block — the
+    // cacheability condition for derived-atom calls (shared with the
+    // machine and the decider).
+    let sole = paths.len() == 1;
+    for path in paths {
         let leaf = leaf_at(tree, &path).clone();
         match leaf {
             Goal::Fail => {}
@@ -490,9 +504,9 @@ fn expand(program: &Program, task: &Task, tree: &Arc<PTree>, stats: &mut Stats) 
                     continue;
                 };
                 let pattern: Vec<Option<Value>> = atom.args.iter().map(|t| t.as_value()).collect();
-                let mut tuples = rel.select(&pattern);
-                tuples.sort();
-                for t in tuples {
+                // `select` returns tuples in sorted (lexicographic) order
+                // in every regime; no re-sort needed.
+                for t in rel.select(&pattern) {
                     if let Some((new_tree, new_answer)) =
                         unify_project(tree, &path, None, task.nvars, &task.answer, |b| {
                             atom.args
@@ -514,6 +528,17 @@ fn expand(program: &Program, task: &Task, tree: &Arc<PTree>, stats: &mut Stats) 
                 }
             }
             Goal::Atom(atom) => {
+                if sole && atom.is_ground() {
+                    if let Some((answers, vars)) =
+                        cached_answers(shared, &task.db, &Goal::Atom(atom.clone()), stats)
+                    {
+                        match push_cached_tasks(task, tree, &path, &vars, &answers, &mut out, stats)
+                        {
+                            Ok(()) => continue,
+                            Err(fail) => return (out, Some(fail)),
+                        }
+                    }
+                }
                 for &rid in program.rules_for(atom.pred) {
                     let rule = program.rule(rid);
                     let base = task.nvars;
@@ -656,6 +681,12 @@ fn expand(program: &Program, task: &Task, tree: &Arc<PTree>, stats: &mut Stats) 
                 }
             }
             Goal::Iso(inner) => {
+                if let Some((answers, vars)) = cached_answers(shared, &task.db, &inner, stats) {
+                    match push_cached_tasks(task, tree, &path, &vars, &answers, &mut out, stats) {
+                        Ok(()) => continue,
+                        Err(fail) => return (out, Some(fail)),
+                    }
+                }
                 // Committing to start an isolated block sequences the whole
                 // remaining tree after it (contiguity); schedules where the
                 // block starts later arise from stepping other frontier
@@ -675,6 +706,94 @@ fn expand(program: &Program, task: &Task, tree: &Arc<PTree>, stats: &mut Stats) 
         }
     }
     (out, None)
+}
+
+/// Probe (and on miss, populate) the shared subgoal cache. Returns the
+/// answer set together with the caller-side variables the canonical values
+/// map to, or `None` when the cache is off or the subgoal is unsuitable —
+/// the caller falls back to the elementary-step expansion.
+fn cached_answers(
+    shared: &Shared<'_>,
+    db: &Database,
+    subgoal: &Goal,
+    stats: &mut Stats,
+) -> Option<(Arc<Vec<CachedAnswer>>, Vec<Var>)> {
+    let cache = shared.cache.as_ref()?;
+    let (canon, vars) = canonicalize_with_map(subgoal);
+    let key = (canon, db.digest());
+    match cache.lookup(&key) {
+        Some(CacheEntry::Answers(a)) => {
+            stats.cache_hits += 1;
+            Some((a, vars))
+        }
+        Some(CacheEntry::Unsuitable) => None,
+        None => {
+            stats.cache_misses += 1;
+            match crate::machine::enumerate_answers(shared.program, &key.0, vars.len() as u32, db) {
+                Some(list) => {
+                    let arc = Arc::new(list);
+                    cache.insert(key, CacheEntry::Answers(arc.clone()));
+                    Some((arc, vars))
+                }
+                None => {
+                    cache.insert(key, CacheEntry::Unsuitable);
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Push one successor task per cached answer: the answer's bindings applied
+/// to the tree and answer terms, its delta replayed onto the task's
+/// database. Labels are assigned in answer (canonical depth-first yield)
+/// order, so the deterministic mode's minimal witness is unchanged. A
+/// storage fault during replay carries the label the failing successor
+/// would have had, mirroring the lazy path.
+fn push_cached_tasks(
+    task: &Task,
+    tree: &Arc<PTree>,
+    path: &[usize],
+    vars: &[Var],
+    answers: &[CachedAnswer],
+    out: &mut Vec<Task>,
+    stats: &mut Stats,
+) -> Result<(), (Option<Vec<u32>>, EngineError)> {
+    for ans in answers {
+        if let Some((new_tree, new_answer)) =
+            unify_project(tree, path, None, task.nvars, &task.answer, |b| {
+                vars.iter()
+                    .zip(&ans.values)
+                    .all(|(v, val)| unify_terms(b, Term::Var(*v), Term::Val(*val)))
+            })
+        {
+            let mut db = task.db.clone();
+            let mut delta = task.delta.clone();
+            for op in ans.delta.ops() {
+                match op.apply(&db) {
+                    Ok(next) => {
+                        stats.db_ops += 1;
+                        db = next;
+                        delta = delta_push(&delta, op.clone());
+                    }
+                    Err(e) => {
+                        let label = next_label(&task.label, out.len());
+                        return Err((label, EngineError::Db(e.to_string())));
+                    }
+                }
+            }
+            let label = next_label(&task.label, out.len());
+            out.push(Task {
+                tree: new_tree,
+                db,
+                answer: new_answer,
+                nvars: task.nvars,
+                delta,
+                label,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Unify under a scratch binding store, then substitute the solution

@@ -7,6 +7,10 @@
 //! execution: the basis for the workflow monitoring the paper calls for in
 //! §3 ("monitoring, tracking and querying the status of workflow
 //! activities").
+//!
+//! Tracing disables the subgoal answer cache (`EngineConfig::subgoal_cache`):
+//! a cached answer is replayed as one macro-step, which has no elementary
+//! events to record.
 
 use std::fmt;
 use td_core::{Atom, Pred, RuleId};

@@ -25,6 +25,10 @@ pub struct WorkflowMetrics {
     pub search_steps: u64,
     /// Backtracks the search performed.
     pub backtracks: u64,
+    /// Subgoal-cache answer replays (0 unless the cache is enabled).
+    pub cache_hits: u64,
+    /// Subgoal-cache misses that enumerated an answer set.
+    pub cache_misses: u64,
 }
 
 impl WorkflowMetrics {
@@ -48,6 +52,8 @@ impl WorkflowMetrics {
             updates: sol.delta.len(),
             search_steps: sol.stats.steps,
             backtracks: sol.stats.backtracks,
+            cache_hits: sol.stats.cache_hits,
+            cache_misses: sol.stats.cache_misses,
         }
     }
 }

@@ -1,0 +1,211 @@
+//! Differential tests: the subgoal answer cache must be invisible in every
+//! result — only the work changes, never the answer.
+//!
+//! Three layers of agreement, mirroring `parallel_equivalence.rs`:
+//!
+//! 1. **Executability** — on any goal, the cached engine (sequential and
+//!    deterministic-parallel) reports the same success/failure as the
+//!    uncached sequential engine.
+//! 2. **Final-state sets** — the explicit-state decider computes the same
+//!    set of reachable final databases with and without the cache (both
+//!    directions, by content).
+//! 3. **Witness identity** — the cached engines report exactly the uncached
+//!    sequential engine's first witness: same answer substitution, same
+//!    delta, same final database. Replayed macro-steps occupy the same
+//!    position in the search order as the lazy expansions they substitute
+//!    for (docs/CACHING.md), so even the committed path is unchanged.
+//!
+//! Layer 3 is exercised twice per goal: with an ample cache and with a
+//! pathologically small one (one slot per shard), so CLOCK eviction churn
+//! is also shown to be invisible.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use transaction_datalog::prelude::parse_program;
+use transaction_datalog::prelude::{
+    Atom, Database, Engine, EngineConfig, Goal, Program, SearchBackend,
+};
+
+fn arb_goal(depth: u32) -> impl Strategy<Value = Goal> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(|i| Goal::ins(&format!("f{i}"), vec![])),
+        (0u8..4).prop_map(|i| Goal::del(&format!("f{i}"), vec![])),
+        (0u8..4).prop_map(|i| Goal::prop(&format!("f{i}"))),
+        (0u8..4).prop_map(|i| Goal::NotAtom(Atom::prop(&format!("f{i}")))),
+        Just(Goal::True),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Goal::seq),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::par),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::choice),
+            inner.prop_map(Goal::iso),
+        ]
+    })
+}
+
+fn flag_program() -> Program {
+    Program::builder()
+        .base_preds(&[("f0", 0), ("f1", 0), ("f2", 0), ("f3", 0)])
+        .build()
+        .unwrap()
+}
+
+fn uncached(program: &Program) -> Engine {
+    Engine::with_config(
+        program.clone(),
+        EngineConfig::default().with_max_steps(200_000),
+    )
+}
+
+fn cached(program: &Program, capacity: usize) -> Engine {
+    Engine::with_config(
+        program.clone(),
+        EngineConfig::default()
+            .with_max_steps(200_000)
+            .with_subgoal_cache()
+            .with_cache_capacity(capacity),
+    )
+}
+
+fn cached_parallel(program: &Program, threads: usize) -> Engine {
+    Engine::with_config(
+        program.clone(),
+        EngineConfig::default()
+            .with_max_steps(200_000)
+            .with_subgoal_cache()
+            .with_backend(SearchBackend::Parallel {
+                threads,
+                deterministic: true,
+            }),
+    )
+}
+
+/// Assert two outcomes carry the identical witness (or identical failure).
+fn assert_same_witness(
+    a: &transaction_datalog::prelude::Outcome,
+    b: &transaction_datalog::prelude::Outcome,
+    context: &str,
+) {
+    assert_eq!(a.is_success(), b.is_success(), "{context}: verdicts differ");
+    if let (Some(s), Some(c)) = (a.solution(), b.solution()) {
+        assert_eq!(s.answer, c.answer, "{context}: answers differ");
+        assert_eq!(s.delta.ops(), c.delta.ops(), "{context}: deltas differ");
+        assert!(
+            s.db.same_content(&c.db),
+            "{context}: final databases differ"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn cached_sequential_reports_the_uncached_witness(g in arb_goal(3)) {
+        let p = flag_program();
+        let db = Database::with_schema_of(&p);
+        let plain = uncached(&p).solve(&g, &db).unwrap();
+        // Ample cache, and a one-slot-per-shard cache that evicts
+        // constantly: both must be invisible.
+        for capacity in [65_536usize, 1] {
+            let engine = cached(&p, capacity);
+            // Twice on one engine: the second run answers from a warm
+            // cache, the strongest replay test.
+            for run in 0..2 {
+                let got = engine.solve(&g, &db).unwrap();
+                assert_same_witness(&plain, &got, &format!("capacity={capacity} run={run}"));
+            }
+        }
+    }
+
+    #[test]
+    fn cached_deterministic_parallel_reports_the_uncached_witness(g in arb_goal(3)) {
+        let p = flag_program();
+        let db = Database::with_schema_of(&p);
+        let plain = uncached(&p).solve(&g, &db).unwrap();
+        let par = cached_parallel(&p, 4).solve(&g, &db).unwrap();
+        assert_same_witness(&plain, &par, "cached 4-thread deterministic");
+    }
+
+    #[test]
+    fn decider_final_state_sets_agree_with_and_without_cache(g in arb_goal(3)) {
+        let p = flag_program();
+        let db = Database::with_schema_of(&p);
+        let cfg = td_engine::decider::DeciderConfig::default();
+        let plain = td_engine::decider::final_states(&p, &g, &db, cfg).unwrap();
+        let cache = Some(Arc::new(td_engine::SubgoalCache::new(1024)));
+        let tabled =
+            td_engine::decider::final_states_with_cache(&p, &g, &db, cfg, cache.clone()).unwrap();
+        for d in &plain {
+            prop_assert!(
+                tabled.iter().any(|t| t.same_content(d)),
+                "final state lost under caching"
+            );
+        }
+        for d in &tabled {
+            prop_assert!(
+                plain.iter().any(|t| t.same_content(d)),
+                "caching invented a final state"
+            );
+        }
+        // Executability must agree too (decide uses the same machinery but
+        // stops early).
+        let pd = td_engine::decider::decide(&p, &g, &db, cfg).unwrap();
+        let cd = td_engine::decider::decide_with_cache(&p, &g, &db, cfg, cache).unwrap();
+        prop_assert_eq!(pd.executable, cd.executable);
+    }
+}
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus/ exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "td"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Every corpus goal: the cached sequential engine and the cached
+/// deterministic-parallel engine reproduce the uncached sequential witness
+/// exactly. Goals run in file sequence against the committed state, like
+/// `td run`; each file keeps one warm cache across its goals.
+#[test]
+fn corpus_cached_matches_uncached() {
+    for path in corpus_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse_program(&src)
+            .unwrap_or_else(|e| panic!("{}: {}", path.display(), e.render(&src)));
+        let db = Database::with_schema_of(&parsed.program);
+        let mut db = td_engine::load_init(&db, &parsed.init).unwrap();
+        let plain_engine = uncached(&parsed.program);
+        let cached_engine = cached(&parsed.program, 65_536);
+        let par_engine = cached_parallel(&parsed.program, 4);
+        for (i, g) in parsed.goals.iter().enumerate() {
+            let plain = plain_engine
+                .solve(&g.goal, &db)
+                .unwrap_or_else(|e| panic!("{} goal {i}: {e}", path.display()));
+            let seq = cached_engine
+                .solve(&g.goal, &db)
+                .unwrap_or_else(|e| panic!("{} goal {i} (cached): {e}", path.display()));
+            assert_same_witness(
+                &plain,
+                &seq,
+                &format!("{} goal {i} (cached seq)", path.display()),
+            );
+            let par = par_engine
+                .solve(&g.goal, &db)
+                .unwrap_or_else(|e| panic!("{} goal {i} (cached par): {e}", path.display()));
+            assert_same_witness(
+                &plain,
+                &par,
+                &format!("{} goal {i} (cached 4t det)", path.display()),
+            );
+            if let Some(sol) = plain.solution() {
+                db = sol.db.clone();
+            }
+        }
+    }
+}
