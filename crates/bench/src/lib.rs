@@ -8,6 +8,8 @@
 use td_engine::{EngineConfig, Outcome};
 use td_workflow::Scenario;
 
+pub mod json;
+
 /// Run a scenario, asserting success, returning the outcome.
 pub fn run_ok(scenario: &Scenario) -> Outcome {
     run_ok_with(scenario, EngineConfig::default())

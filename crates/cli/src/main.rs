@@ -9,7 +9,7 @@
 //!
 //! options (before the file):
 //!   --strategy=exhaustive|random|round-robin|leftmost
-//!   --seed=N               seed for --strategy=random
+//!   --seed=N               seed for --strategy=random (rejected otherwise)
 //!   --max-steps=N          step budget (default 10000000)
 //!   --threads=N            parallel search with N workers (exhaustive
 //!                          strategy only; N<=1 keeps the sequential engine)
@@ -17,23 +17,53 @@
 //!                          sequential engine
 //!   --subgoal-cache        memoize isolated blocks and sole-frontier ground
 //!                          calls as replayable answer sets (exhaustive
-//!                          strategy, tracing off; see docs/CACHING.md)
-//!   --cache-capacity=N     subgoal-cache entry bound (default 65536)
+//!                          strategy, tracing off; see docs/CACHING.md).
+//!                          Incompatible with `td trace` (rejected).
+//!   --cache-capacity=N     subgoal-cache entry bound (default 65536;
+//!                          requires --subgoal-cache)
+//!   --report=PATH          write a JSON run report (outcome, wall time,
+//!                          metrics registry snapshot, requested+effective
+//!                          config, final-state digest) — run/trace/decide
+//!   --log-json=PATH        write the structured event stream as JSON Lines
+//!                          (span enter/exit, cache probes, worker steals) —
+//!                          run/trace/decide
+//!
+//! See docs/OBSERVABILITY.md for the report schema and event vocabulary.
 //! ```
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 use td_core::{FragmentReport, Goal, Program};
 use td_db::Database;
-use td_engine::{decider, load_init, Engine, EngineConfig, Outcome, SearchBackend, Strategy};
+use td_engine::obs::{stats_counters, CacheReport, GoalReport, RunReport};
+use td_engine::{
+    decider, load_init, Engine, EngineConfig, Observer, Outcome, SearchBackend, Strategy,
+    SubgoalCache,
+};
 use td_parser::{parse_goal, parse_program};
 
-fn parse_options(args: &[String]) -> Result<(EngineConfig, Vec<&String>), String> {
+/// Everything the command line resolved to: the engine configuration plus
+/// the CLI-level output options.
+#[derive(Debug)]
+struct CliOptions {
+    config: EngineConfig,
+    /// `--log-json=PATH`: structured event stream destination.
+    log_json: Option<String>,
+    /// `--report=PATH`: JSON run report destination.
+    report: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> {
     let mut config = EngineConfig::default();
-    let mut seed: u64 = 0;
+    let mut seed: Option<u64> = None;
     let mut strategy: Option<&str> = None;
     let mut threads: usize = 1;
     let mut deterministic = false;
+    let mut cache_capacity: Option<usize> = None;
+    let mut log_json = None;
+    let mut report = None;
     let mut rest = Vec::new();
     for a in args {
         if let Some(v) = a.strip_prefix("--strategy=") {
@@ -42,7 +72,7 @@ fn parse_options(args: &[String]) -> Result<(EngineConfig, Vec<&String>), String
                 other => return Err(format!("unknown strategy `{other}`")),
             });
         } else if let Some(v) = a.strip_prefix("--seed=") {
-            seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
         } else if let Some(v) = a.strip_prefix("--max-steps=") {
             config.max_steps = v.parse().map_err(|_| format!("bad step budget `{v}`"))?;
         } else if let Some(v) = a.strip_prefix("--threads=") {
@@ -52,11 +82,16 @@ fn parse_options(args: &[String]) -> Result<(EngineConfig, Vec<&String>), String
         } else if a == "--subgoal-cache" {
             config.subgoal_cache = true;
         } else if let Some(v) = a.strip_prefix("--cache-capacity=") {
-            config.cache_capacity = v
-                .parse::<usize>()
-                .ok()
-                .filter(|n| *n > 0)
-                .ok_or_else(|| format!("bad cache capacity `{v}`"))?;
+            cache_capacity = Some(
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("bad cache capacity `{v}`"))?,
+            );
+        } else if let Some(v) = a.strip_prefix("--log-json=") {
+            log_json = Some(v.to_owned());
+        } else if let Some(v) = a.strip_prefix("--report=") {
+            report = Some(v.to_owned());
         } else if a.starts_with("--") {
             return Err(format!("unknown option `{a}`"));
         } else {
@@ -65,11 +100,22 @@ fn parse_options(args: &[String]) -> Result<(EngineConfig, Vec<&String>), String
     }
     config.strategy = match strategy {
         None | Some("exhaustive") => Strategy::Exhaustive,
-        Some("random") => Strategy::ExhaustiveRandom(seed),
+        Some("random") => Strategy::ExhaustiveRandom(seed.unwrap_or(0)),
         Some("round-robin") => Strategy::RoundRobin,
         Some("leftmost") => Strategy::Leftmost,
         Some(_) => unreachable!("validated above"),
     };
+    // A seed without the random strategy used to be read and then silently
+    // ignored; reject it so the run the user asked for is the run they get.
+    if seed.is_some() && !matches!(config.strategy, Strategy::ExhaustiveRandom(_)) {
+        return Err("--seed only applies with --strategy=random".into());
+    }
+    // Same for a capacity bound without the cache it would bound.
+    match cache_capacity {
+        Some(n) if config.subgoal_cache => config.cache_capacity = n,
+        Some(_) => return Err("--cache-capacity requires --subgoal-cache".into()),
+        None => {}
+    }
     if threads > 1 {
         if config.strategy != Strategy::Exhaustive {
             return Err("--threads requires --strategy=exhaustive".into());
@@ -81,12 +127,19 @@ fn parse_options(args: &[String]) -> Result<(EngineConfig, Vec<&String>), String
     } else if deterministic {
         return Err("--deterministic only applies with --threads=N (N > 1)".into());
     }
-    Ok((config, rest))
+    Ok((
+        CliOptions {
+            config,
+            log_json,
+            report,
+        },
+        rest,
+    ))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (config, positional) = match parse_options(&args) {
+    let (opts, positional) = match parse_options(&args) {
         Ok(x) => x,
         Err(msg) => {
             eprintln!("td: {msg}");
@@ -99,11 +152,29 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: td [--strategy=S] [--seed=N] [--max-steps=N] [--threads=N] \
        [--deterministic] [--subgoal-cache] [--cache-capacity=N] \
+       [--report=PATH] [--log-json=PATH] \
        <run|trace|fragment|decide|repl> <file.td>"
             );
             return ExitCode::from(2);
         }
     };
+    // Tracing and the subgoal cache are semantically incompatible (a
+    // replayed answer set is one macro-step with no elementary events to
+    // record). The engine used to gate the cache off silently; refuse the
+    // combination instead of quietly changing what runs.
+    if cmd == "trace" && opts.config.subgoal_cache {
+        eprintln!(
+            "td: --subgoal-cache cannot be combined with `trace`: tracing \
+             disables the cache (see docs/CACHING.md); drop one of the two"
+        );
+        return ExitCode::from(2);
+    }
+    if (opts.report.is_some() || opts.log_json.is_some())
+        && !matches!(cmd, "run" | "trace" | "decide")
+    {
+        eprintln!("td: --report/--log-json only apply to `run`, `trace` and `decide`");
+        return ExitCode::from(2);
+    }
     let src = match std::fs::read_to_string(file) {
         Ok(s) => s,
         Err(e) => {
@@ -128,11 +199,11 @@ fn main() -> ExitCode {
     };
 
     match cmd {
-        "run" => run(&parsed, db, config),
-        "trace" => trace(&parsed, db, config),
-        "fragment" => fragment(&parsed, &config),
-        "decide" => decide(&parsed, db, &config),
-        "repl" => repl(&parsed, db, config),
+        "run" => run(&parsed, db, &opts, file),
+        "trace" => trace(&parsed, db, &opts, file),
+        "fragment" => fragment(&parsed, &opts.config),
+        "decide" => decide(&parsed, db, &opts, file),
+        "repl" => repl(&parsed, db, opts.config),
         other => {
             eprintln!("td: unknown command `{other}`");
             ExitCode::from(2)
@@ -140,34 +211,132 @@ fn main() -> ExitCode {
     }
 }
 
-fn trace(parsed: &td_parser::ParsedProgram, mut db: Database, config: EngineConfig) -> ExitCode {
+/// The observability sink the output options call for: an event log only
+/// when `--log-json` wants one, nothing at all when neither flag is given.
+fn observer_for(opts: &CliOptions) -> Option<Arc<Observer>> {
+    if opts.log_json.is_some() {
+        Some(Arc::new(Observer::with_event_log()))
+    } else if opts.report.is_some() {
+        Some(Arc::new(Observer::new()))
+    } else {
+        None
+    }
+}
+
+/// Write the `--report` and `--log-json` artifacts (no-op for flags not
+/// given). Returns false if a file could not be written.
+#[allow(clippy::too_many_arguments)]
+fn write_outputs(
+    opts: &CliOptions,
+    obs: Option<&Arc<Observer>>,
+    command: &str,
+    file: &str,
+    requested: &EngineConfig,
+    started: Instant,
+    goals: Vec<GoalReport>,
+    final_db: Option<&Database>,
+    cache: Option<&SubgoalCache>,
+) -> bool {
+    let mut ok = true;
+    if let (Some(path), Some(obs)) = (&opts.log_json, obs) {
+        let lines = obs
+            .event_log()
+            .map(|l| l.to_json_lines())
+            .unwrap_or_default();
+        if let Err(e) = std::fs::write(path, lines) {
+            eprintln!("td: cannot write event log `{path}`: {e}");
+            ok = false;
+        }
+    }
+    if let Some(path) = &opts.report {
+        let report = RunReport {
+            command: command.to_owned(),
+            file: file.to_owned(),
+            requested: requested.clone(),
+            effective: requested.effective(),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            goals,
+            final_digest: final_db.map(|d| d.digest()),
+            final_tuples: final_db.map(|d| d.total_tuples() as u64),
+            cache: cache.map(|c| CacheReport {
+                hits: c.hits(),
+                misses: c.misses(),
+                unsuitable: c.unsuitable(),
+                evictions: c.evictions(),
+                entries: c.len() as u64,
+            }),
+            metrics: obs
+                .map(|o| o.registry.snapshot())
+                .unwrap_or_else(|| td_engine::MetricsRegistry::new().snapshot()),
+        };
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("td: cannot write report `{path}`: {e}");
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn trace(
+    parsed: &td_parser::ParsedProgram,
+    mut db: Database,
+    opts: &CliOptions,
+    file: &str,
+) -> ExitCode {
     if parsed.goals.is_empty() {
         eprintln!("td: no ?- goals in file");
         return ExitCode::FAILURE;
     }
-    let engine = Engine::with_config(parsed.program.clone(), config.with_trace());
+    let started = Instant::now();
+    let requested = opts.config.clone().with_trace();
+    let obs = observer_for(opts);
+    let mut engine = Engine::with_config(parsed.program.clone(), requested.clone());
+    if let Some(o) = &obs {
+        engine = engine.with_observer(o.clone());
+    }
     let mut ok = true;
+    let mut reports = Vec::new();
     for g in &parsed.goals {
-        println!(
-            "?- {}",
-            td_core::rule::render_goal_with_names(&g.goal, &g.var_names)
-        );
+        let rendered = td_core::rule::render_goal_with_names(&g.goal, &g.var_names);
+        println!("?- {rendered}");
+        let mut report = GoalReport {
+            goal: rendered,
+            ok: false,
+            error: None,
+            counters: Vec::new(),
+        };
         match engine.solve(&g.goal, &db) {
             Ok(Outcome::Success(sol)) => {
                 print!("{}", sol.trace);
                 println!("  yes  ({})", sol.stats);
                 db = sol.db.clone();
+                report.ok = true;
+                report.counters = stats_counters(&sol.stats);
             }
             Ok(Outcome::Failure { stats }) => {
                 println!("  no   ({stats})");
+                report.counters = stats_counters(&stats);
                 ok = false;
             }
             Err(e) => {
                 println!("  error: {e}");
+                report.error = Some(e.to_string());
                 ok = false;
             }
         }
+        reports.push(report);
     }
+    ok &= write_outputs(
+        opts,
+        obs.as_ref(),
+        "trace",
+        file,
+        &requested,
+        started,
+        reports,
+        Some(&db),
+        None,
+    );
     if ok {
         ExitCode::SUCCESS
     } else {
@@ -175,18 +344,33 @@ fn trace(parsed: &td_parser::ParsedProgram, mut db: Database, config: EngineConf
     }
 }
 
-fn run(parsed: &td_parser::ParsedProgram, mut db: Database, config: EngineConfig) -> ExitCode {
+fn run(
+    parsed: &td_parser::ParsedProgram,
+    mut db: Database,
+    opts: &CliOptions,
+    file: &str,
+) -> ExitCode {
     if parsed.goals.is_empty() {
         eprintln!("td: no ?- goals in file");
         return ExitCode::FAILURE;
     }
-    let engine = Engine::with_config(parsed.program.clone(), config);
+    let started = Instant::now();
+    let obs = observer_for(opts);
+    let mut engine = Engine::with_config(parsed.program.clone(), opts.config.clone());
+    if let Some(o) = &obs {
+        engine = engine.with_observer(o.clone());
+    }
     let mut ok = true;
+    let mut reports = Vec::new();
     for g in &parsed.goals {
-        println!(
-            "?- {}",
-            td_core::rule::render_goal_with_names(&g.goal, &g.var_names)
-        );
+        let rendered = td_core::rule::render_goal_with_names(&g.goal, &g.var_names);
+        println!("?- {rendered}");
+        let mut report = GoalReport {
+            goal: rendered,
+            ok: false,
+            error: None,
+            counters: Vec::new(),
+        };
         match engine.solve(&g.goal, &db) {
             Ok(Outcome::Success(sol)) => {
                 for (i, name) in g.var_names.iter().enumerate() {
@@ -195,17 +379,37 @@ fn run(parsed: &td_parser::ParsedProgram, mut db: Database, config: EngineConfig
                 println!("  yes  ({})", sol.stats);
                 println!("  db = {}", sol.db);
                 db = sol.db.clone(); // goals run in sequence, like the prototype
+                report.ok = true;
+                report.counters = stats_counters(&sol.stats);
+                report
+                    .counters
+                    .push(("committed_updates".to_owned(), sol.delta.len() as u64));
             }
             Ok(Outcome::Failure { stats }) => {
                 println!("  no   ({stats})");
+                report.counters = stats_counters(&stats);
                 ok = false;
             }
             Err(e) => {
                 println!("  error: {e}");
+                report.error = Some(e.to_string());
                 ok = false;
             }
         }
+        reports.push(report);
     }
+    let cache = engine.subgoal_cache().cloned();
+    ok &= write_outputs(
+        opts,
+        obs.as_ref(),
+        "run",
+        file,
+        &opts.config,
+        started,
+        reports,
+        Some(&db),
+        cache.as_deref(),
+    );
     if ok {
         ExitCode::SUCCESS
     } else {
@@ -237,23 +441,40 @@ fn fragment(parsed: &td_parser::ParsedProgram, config: &EngineConfig) -> ExitCod
     ExitCode::SUCCESS
 }
 
-fn decide(parsed: &td_parser::ParsedProgram, db: Database, config: &EngineConfig) -> ExitCode {
+fn decide(
+    parsed: &td_parser::ParsedProgram,
+    db: Database,
+    opts: &CliOptions,
+    file: &str,
+) -> ExitCode {
     if parsed.goals.is_empty() {
         eprintln!("td: no ?- goals in file");
         return ExitCode::FAILURE;
     }
+    let started = Instant::now();
+    let config = &opts.config;
+    let obs = observer_for(opts);
     // One cache across all the file's goals: repeated subprotocols warm it.
     let cache = config
         .subgoal_cache
-        .then(|| std::sync::Arc::new(td_engine::SubgoalCache::new(config.cache_capacity)));
+        .then(|| Arc::new(SubgoalCache::new(config.cache_capacity)));
     let mut ok = true;
+    let mut reports = Vec::new();
     for g in &parsed.goals {
-        match decider::decide_with_cache(
+        let rendered = td_core::rule::render_goal_with_names(&g.goal, &g.var_names);
+        let mut report = GoalReport {
+            goal: rendered,
+            ok: false,
+            error: None,
+            counters: Vec::new(),
+        };
+        match decider::decide_observed(
             &parsed.program,
             &g.goal,
             &db,
             decider::DeciderConfig::default(),
             cache.clone(),
+            obs.clone(),
         ) {
             Ok(d) => {
                 println!(
@@ -263,22 +484,41 @@ fn decide(parsed: &td_parser::ParsedProgram, db: Database, config: &EngineConfig
                     d.configs
                 );
                 ok &= d.executable;
+                report.ok = d.executable;
+                report.counters = vec![
+                    ("configs".to_owned(), d.configs as u64),
+                    ("truncated".to_owned(), u64::from(d.truncated)),
+                ];
             }
             Err(e) => {
                 println!("error: {e}");
+                report.error = Some(e.to_string());
                 ok = false;
             }
         }
+        reports.push(report);
     }
     if let Some(c) = &cache {
         println!(
-            "subgoal cache: hits={} misses={} evictions={} entries={}",
+            "subgoal cache: hits={} misses={} unsuitable={} evictions={} entries={}",
             c.hits(),
             c.misses(),
+            c.unsuitable(),
             c.evictions(),
             c.len()
         );
     }
+    ok &= write_outputs(
+        opts,
+        obs.as_ref(),
+        "decide",
+        file,
+        config,
+        started,
+        reports,
+        None,
+        cache.as_deref(),
+    );
     if ok {
         ExitCode::SUCCESS
     } else {
@@ -325,5 +565,89 @@ fn repl(parsed: &td_parser::ParsedProgram, mut db: Database, config: EngineConfi
                 Err(e) => println!("  error: {e}"),
             },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_options(&owned).map(|(o, _)| o)
+    }
+
+    #[test]
+    fn seed_with_random_strategy_is_accepted() {
+        let o = parse(&["--strategy=random", "--seed=7"]).unwrap();
+        assert_eq!(o.config.strategy, Strategy::ExhaustiveRandom(7));
+    }
+
+    #[test]
+    fn seed_without_random_strategy_is_rejected() {
+        for args in [
+            &["--seed=7"][..],
+            &["--seed=7", "--strategy=exhaustive"][..],
+            &["--seed=7", "--strategy=round-robin"][..],
+            &["--seed=7", "--strategy=leftmost"][..],
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.contains("--seed"), "{err}");
+            assert!(err.contains("--strategy=random"), "{err}");
+        }
+    }
+
+    #[test]
+    fn cache_capacity_with_cache_is_accepted() {
+        let o = parse(&["--subgoal-cache", "--cache-capacity=128"]).unwrap();
+        assert!(o.config.subgoal_cache);
+        assert_eq!(o.config.cache_capacity, 128);
+    }
+
+    #[test]
+    fn cache_capacity_without_cache_is_rejected() {
+        let err = parse(&["--cache-capacity=128"]).unwrap_err();
+        assert!(err.contains("--subgoal-cache"), "{err}");
+    }
+
+    #[test]
+    fn deterministic_without_threads_is_rejected() {
+        let err = parse(&["--deterministic"]).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn threads_with_nonexhaustive_strategy_is_rejected() {
+        let err = parse(&["--threads=4", "--strategy=leftmost"]).unwrap_err();
+        assert!(err.contains("exhaustive"), "{err}");
+    }
+
+    #[test]
+    fn bad_values_are_rejected() {
+        assert!(parse(&["--strategy=bogus"]).is_err());
+        assert!(parse(&["--seed=x", "--strategy=random"]).is_err());
+        assert!(parse(&["--max-steps=x"]).is_err());
+        assert!(parse(&["--threads=x"]).is_err());
+        assert!(parse(&["--subgoal-cache", "--cache-capacity=0"]).is_err());
+        assert!(parse(&["--no-such-flag"]).is_err());
+    }
+
+    #[test]
+    fn report_and_log_json_paths_are_captured() {
+        let o = parse(&["--report=r.json", "--log-json=e.jsonl"]).unwrap();
+        assert_eq!(o.report.as_deref(), Some("r.json"));
+        assert_eq!(o.log_json.as_deref(), Some("e.jsonl"));
+    }
+
+    #[test]
+    fn threads_config_builds_parallel_backend() {
+        let o = parse(&["--threads=4", "--deterministic"]).unwrap();
+        assert_eq!(
+            o.config.backend,
+            SearchBackend::Parallel {
+                threads: 4,
+                deterministic: true
+            }
+        );
     }
 }

@@ -113,6 +113,7 @@ pub struct SubgoalCache {
     capacity_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    unsuitable: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -125,6 +126,7 @@ impl SubgoalCache {
             capacity_per_shard: (capacity / CACHE_SHARDS).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            unsuitable: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
@@ -147,6 +149,8 @@ impl SubgoalCache {
                 slot.referenced = true;
                 if matches!(slot.entry, CacheEntry::Answers(_)) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.unsuitable.fetch_add(1, Ordering::Relaxed);
                 }
                 Some(slot.entry.clone())
             }
@@ -201,6 +205,12 @@ impl SubgoalCache {
     /// Lookups that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found a negative [`CacheEntry::Unsuitable`] entry (the
+    /// lazy fallback was mandatory — neither a hit nor a miss).
+    pub fn unsuitable(&self) -> u64 {
+        self.unsuitable.load(Ordering::Relaxed)
     }
 
     /// Entries discarded by the CLOCK policy.
@@ -262,6 +272,7 @@ mod tests {
         assert!(matches!(got, Some(CacheEntry::Unsuitable)));
         assert_eq!(c.hits(), 0);
         assert_eq!(c.misses(), 0);
+        assert_eq!(c.unsuitable(), 1);
     }
 
     #[test]

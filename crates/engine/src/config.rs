@@ -173,6 +173,30 @@ impl EngineConfig {
         };
         self
     }
+
+    /// The configuration that will *actually* run, after the engine's
+    /// gating rules are applied to this requested one:
+    ///
+    /// * the parallel backend serves only the exhaustive strategy with
+    ///   tracing off — anything else falls back to sequential;
+    /// * the subgoal cache is inert under tracing (a replayed macro-step
+    ///   has no elementary events to record) and under non-exhaustive
+    ///   strategies (they reorder the nested exploration).
+    ///
+    /// The run report echoes both the requested and this effective config,
+    /// so silent gating is visible instead of a quiet semantics change.
+    pub fn effective(&self) -> EngineConfig {
+        let mut eff = self.clone();
+        let exhaustive = matches!(self.strategy, Strategy::Exhaustive);
+        if !exhaustive || self.trace {
+            eff.backend = SearchBackend::Sequential;
+            eff.subgoal_cache = false;
+        }
+        if matches!(eff.backend, SearchBackend::Parallel { threads, .. } if threads <= 1) {
+            eff.backend = SearchBackend::Sequential;
+        }
+        eff
+    }
 }
 
 /// Fatal execution errors (distinct from *failure*, which is a normal

@@ -29,6 +29,8 @@
 
 use crate::cache::{canonicalize_with_map, state_key, CacheEntry, StateKey, SubgoalCache};
 use crate::config::EngineError;
+use crate::obs::{subgoal_label, LocalMetrics, Observer};
+use crate::trace::{ProbeOutcome, SpanPhase, TraceEvent};
 use crate::tree::{frontier, leaf_at, make_node, rewrite, to_goal, PTree};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -103,19 +105,57 @@ pub fn decide_with_cache(
     config: DeciderConfig,
     cache: Option<Arc<SubgoalCache>>,
 ) -> Result<Decision, EngineError> {
+    decide_observed(program, goal, db, config, cache, None)
+}
+
+/// [`decide_with_cache`] with an observability sink attached: per-rule
+/// expansion counts and per-subgoal cache tallies land in `obs.registry`
+/// (under the `decider_configs` counter for the visited-configuration
+/// count), and — when the observer carries an event log — the decision run
+/// is bracketed by `solve` span events.
+pub fn decide_observed(
+    program: &Program,
+    goal: &Goal,
+    db: &Database,
+    config: DeciderConfig,
+    cache: Option<Arc<SubgoalCache>>,
+    obs: Option<Arc<Observer>>,
+) -> Result<Decision, EngineError> {
+    if let Some(o) = &obs {
+        o.emit(None, || TraceEvent::SpanEnter {
+            phase: SpanPhase::Solve,
+            detail: format!("decide {goal}"),
+        });
+    }
     let mut search = Search {
         program,
         config,
         visited: HashSet::new(),
         truncated: false,
         cache,
+        local: LocalMetrics::new(obs.is_some()),
+        obs: obs.clone(),
     };
     let executable = search.explore(make_node(goal), db.clone())?;
-    Ok(Decision {
+    let decision = Decision {
         executable,
         configs: search.visited.len(),
         truncated: search.truncated,
-    })
+    };
+    if let Some(o) = &obs {
+        o.registry
+            .absorb(program, &crate::config::Stats::default(), &search.local);
+        o.registry
+            .add_counter("decider_configs", decision.configs as u64);
+        o.emit(None, || TraceEvent::SpanExit {
+            phase: SpanPhase::Solve,
+            detail: format!(
+                "decide executable={} configs={}",
+                decision.executable, decision.configs
+            ),
+        });
+    }
+    Ok(decision)
 }
 
 /// All final databases reachable by complete executions of `goal` on `db`
@@ -146,6 +186,8 @@ pub fn final_states_with_cache(
         visited: HashSet::new(),
         truncated: false,
         cache,
+        local: LocalMetrics::new(false),
+        obs: None,
     };
     let mut finals = Vec::new();
     search.collect_finals(make_node(goal), db.clone(), &mut finals)?;
@@ -171,6 +213,8 @@ pub fn shortest_execution(
         visited: HashSet::new(),
         truncated: false,
         cache: None,
+        local: LocalMetrics::new(false),
+        obs: None,
     };
     let mut frontier: Vec<(Option<Arc<PTree>>, Database)> = vec![(make_node(goal), db.clone())];
     let mut depth = 0usize;
@@ -200,6 +244,10 @@ struct Search<'p> {
     visited: HashSet<StateKey>,
     truncated: bool,
     cache: Option<Arc<SubgoalCache>>,
+    /// Per-run metric batch (rule expansions, cache tallies), absorbed by
+    /// [`decide_observed`] when the run ends.
+    local: LocalMetrics,
+    obs: Option<Arc<Observer>>,
 }
 
 /// A configuration: live process tree (None = complete) + database.
@@ -321,6 +369,7 @@ impl<'p> Search<'p> {
                             base + rule.num_vars(),
                             |b| unify_args(b, &atom.args, &head.args),
                         ) {
+                            self.local.observe_unfold(rid);
                             out.push((new_tree, db.clone()));
                         }
                     }
@@ -405,19 +454,37 @@ impl<'p> Search<'p> {
             return Ok(None);
         };
         let (canon, vars) = canonicalize_with_map(subgoal);
+        let label = subgoal_label(subgoal);
+        let probe = |search: &mut Search<'_>, outcome: ProbeOutcome| {
+            search.local.observe_cache(&label, outcome);
+            if let Some(o) = &search.obs {
+                o.emit(None, || TraceEvent::CacheProbe {
+                    subgoal: label.clone(),
+                    outcome,
+                });
+            }
+        };
         let key = (canon, db.digest());
         let answers = match cache.lookup(&key) {
-            Some(CacheEntry::Answers(a)) => a,
-            Some(CacheEntry::Unsuitable) => return Ok(None),
+            Some(CacheEntry::Answers(a)) => {
+                probe(self, ProbeOutcome::Hit);
+                a
+            }
+            Some(CacheEntry::Unsuitable) => {
+                probe(self, ProbeOutcome::Unsuitable);
+                return Ok(None);
+            }
             None => {
                 match crate::machine::enumerate_answers(self.program, &key.0, vars.len() as u32, db)
                 {
                     Some(list) => {
+                        probe(self, ProbeOutcome::Miss);
                         let arc = Arc::new(list);
                         cache.insert(key, CacheEntry::Answers(arc.clone()));
                         arc
                     }
                     None => {
+                        probe(self, ProbeOutcome::Unsuitable);
                         cache.insert(key, CacheEntry::Unsuitable);
                         return Ok(None);
                     }

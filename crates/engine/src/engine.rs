@@ -3,6 +3,8 @@
 use crate::cache::SubgoalCache;
 use crate::config::{EngineConfig, EngineError, SearchBackend, Stats, Strategy};
 use crate::machine::{Ctx, Solver};
+use crate::obs::Observer;
+use crate::trace::{SpanPhase, TraceEvent};
 use crate::tree::make_node;
 use std::sync::Arc;
 use td_core::{Goal, Program, Term, Var};
@@ -90,6 +92,9 @@ pub struct Engine {
     /// every `solve`/`solutions` call on this engine and its clones, so a
     /// warm engine replays answers across queries too.
     cache: Option<Arc<SubgoalCache>>,
+    /// Observability sink (metrics registry + optional event stream),
+    /// attached with [`Engine::with_observer`]. `None` = zero overhead.
+    obs: Option<Arc<Observer>>,
 }
 
 impl Engine {
@@ -107,7 +112,23 @@ impl Engine {
             program,
             config,
             cache,
+            obs: None,
         }
+    }
+
+    /// Attach an observability sink: every subsequent `solve`/`solutions`
+    /// call absorbs its statistics (flat counters, per-rule expansion
+    /// counts, backtrack-depth distribution, per-subgoal cache tallies)
+    /// into `obs.registry`, and — when the observer carries an event log —
+    /// emits structured span events, on every backend.
+    pub fn with_observer(mut self, obs: Arc<Observer>) -> Engine {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observability sink, if any.
+    pub fn observer(&self) -> Option<&Arc<Observer>> {
+        self.obs.as_ref()
     }
 
     /// The program this engine executes.
@@ -135,28 +156,47 @@ impl Engine {
     /// strategy, no tracing); otherwise it silently runs sequentially —
     /// see `docs/PARALLELISM.md` for the exact rules.
     pub fn solve(&self, goal: &Goal, db: &Database) -> Result<Outcome, EngineError> {
-        if let SearchBackend::Parallel {
-            threads,
-            deterministic,
-        } = self.config.backend
-        {
-            if self.config.strategy == Strategy::Exhaustive && !self.config.trace {
-                return crate::parallel::solve(
-                    &self.program,
-                    &self.config,
-                    goal,
-                    db,
-                    threads,
-                    deterministic,
-                    self.cache.clone(),
-                );
+        let outcome = 'search: {
+            if let SearchBackend::Parallel {
+                threads,
+                deterministic,
+            } = self.config.backend
+            {
+                if self.config.strategy == Strategy::Exhaustive && !self.config.trace {
+                    break 'search crate::parallel::solve(
+                        &self.program,
+                        &self.config,
+                        goal,
+                        db,
+                        threads,
+                        deterministic,
+                        self.cache.clone(),
+                        self.obs.clone(),
+                    )?;
+                }
+            }
+            let mut found = self.solutions(goal, db, 1)?;
+            match found.solutions.pop() {
+                Some(s) => Outcome::Success(Box::new(s)),
+                None => Outcome::Failure { stats: found.stats },
+            }
+        };
+        // Outcome-level counters are backend-invariant: in deterministic
+        // mode the parallel search reports the same witness as the
+        // sequential one, so these totals must agree across backends even
+        // though raw step counts do not (configuration expansions are
+        // coarser than elementary steps).
+        if let Some(obs) = &self.obs {
+            match &outcome {
+                Outcome::Success(s) => {
+                    obs.registry.add_counter("solutions", 1);
+                    obs.registry
+                        .add_counter("committed_updates", s.delta.len() as u64);
+                }
+                Outcome::Failure { .. } => obs.registry.add_counter("failures", 1),
             }
         }
-        let mut found = self.solutions(goal, db, 1)?;
-        match found.solutions.pop() {
-            Some(s) => Ok(Outcome::Success(Box::new(s))),
-            None => Ok(Outcome::Failure { stats: found.stats }),
-        }
+        Ok(outcome)
     }
 
     /// Is `goal` executable on `db`? (The paper's decision problem.)
@@ -177,7 +217,18 @@ impl Engine {
         limit: usize,
     ) -> Result<Solutions, EngineError> {
         let nvars = goal_num_vars(goal);
-        let mut ctx = Ctx::new(&self.program, &self.config, self.cache.clone());
+        if let Some(obs) = &self.obs {
+            obs.emit(None, || TraceEvent::SpanEnter {
+                phase: SpanPhase::Solve,
+                detail: goal.to_string(),
+            });
+        }
+        let mut ctx = Ctx::new(
+            &self.program,
+            &self.config,
+            self.cache.clone(),
+            self.obs.clone(),
+        );
         ctx.bindings.alloc(nvars);
         let mut solver = Solver::new(make_node(goal), db.clone());
         let mut out = Vec::new();
@@ -207,6 +258,14 @@ impl Engine {
                 trace: crate::trace::Trace {
                     events: ctx.trace.clone(),
                 },
+            });
+        }
+        if let Some(obs) = &self.obs {
+            obs.registry.absorb(&self.program, &ctx.stats, &ctx.local);
+            let found = out.len();
+            obs.emit(None, || TraceEvent::SpanExit {
+                phase: SpanPhase::Solve,
+                detail: format!("solutions={found}"),
             });
         }
         Ok(Solutions {

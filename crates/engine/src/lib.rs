@@ -34,6 +34,7 @@ pub mod engine;
 pub mod entail;
 mod machine;
 pub mod magic;
+pub mod obs;
 mod parallel;
 pub mod tabling;
 pub mod trace;
@@ -42,7 +43,11 @@ pub mod tree;
 pub use cache::{CacheEntry, CachedAnswer, StateKey, SubgoalCache};
 pub use config::{EngineConfig, EngineError, SearchBackend, Stats, Strategy};
 pub use engine::{goal_num_vars, load_init, Engine, Outcome, Solution, Solutions};
-pub use trace::{Trace, TraceEvent};
+pub use obs::{
+    CacheTally, EventLog, GoalReport, LocalMetrics, MetricsRegistry, MetricsSnapshot, Observer,
+    RunReport,
+};
+pub use trace::{ProbeOutcome, SpanPhase, Trace, TraceEvent};
 
 #[cfg(test)]
 mod tests {

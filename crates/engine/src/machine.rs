@@ -17,7 +17,8 @@
 
 use crate::cache::{canonicalize_with_map, CacheEntry, CachedAnswer, StateKey, SubgoalCache};
 use crate::config::{EngineConfig, EngineError, Stats, Strategy};
-use crate::trace::TraceEvent;
+use crate::obs::{subgoal_label, LocalMetrics, Observer};
+use crate::trace::{ProbeOutcome, SpanPhase, TraceEvent};
 use crate::tree::{frontier, leaf_at, make_node, rewrite, to_goal, PTree, Path};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -48,6 +49,11 @@ pub(crate) struct Ctx<'p> {
     /// Shared subtransaction answer cache; `None` when disabled or the
     /// configuration is incompatible (see [`Ctx::new`]'s gate).
     cache: Option<Arc<SubgoalCache>>,
+    /// Observability sink: metrics registry + optional event stream.
+    pub(crate) obs: Option<Arc<Observer>>,
+    /// Per-run metric accumulator, absorbed into the observer's registry
+    /// when the run ends (no locks on the hot path).
+    pub(crate) local: LocalMetrics,
     rng: Option<StdRng>,
     rr_counter: u64,
 }
@@ -57,6 +63,7 @@ impl<'p> Ctx<'p> {
         program: &'p Program,
         config: &'p EngineConfig,
         cache: Option<Arc<SubgoalCache>>,
+        obs: Option<Arc<Observer>>,
     ) -> Ctx<'p> {
         let rng = match config.strategy {
             Strategy::ExhaustiveRandom(seed) => Some(StdRng::seed_from_u64(seed)),
@@ -71,6 +78,7 @@ impl<'p> Ctx<'p> {
         } else {
             cache
         };
+        let local = LocalMetrics::new(obs.is_some());
         Ctx {
             program,
             config,
@@ -80,6 +88,8 @@ impl<'p> Ctx<'p> {
             trace: Vec::new(),
             failed: HashSet::new(),
             cache,
+            obs,
+            local,
             rng,
             rr_counter: 0,
         }
@@ -90,6 +100,14 @@ impl<'p> Ctx<'p> {
         if self.config.trace {
             let ev = f();
             self.trace.push(ev);
+        }
+    }
+
+    /// Append to the structured event stream (no-op without an observer
+    /// event log; independent of the committed-path trace).
+    fn emit(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(obs) = &self.obs {
+            obs.emit(None, f);
         }
     }
 
@@ -409,10 +427,18 @@ impl Solver {
                 let pre_trace = ctx.trace.len();
                 let pre_db = self.db.clone();
                 ctx.record(|| TraceEvent::IsoEnter);
+                ctx.emit(|| TraceEvent::SpanEnter {
+                    phase: SpanPhase::Isolation,
+                    detail: String::new(),
+                });
                 let mut solver = Box::new(Solver::new(make_node(&inner), self.db.clone()));
                 match solver.run(ctx) {
                     Ok(true) => {
                         ctx.record(|| TraceEvent::IsoExit);
+                        ctx.emit(|| TraceEvent::SpanExit {
+                            phase: SpanPhase::Isolation,
+                            detail: "commit".to_owned(),
+                        });
                         let yield_mark = ctx.bindings.mark();
                         let yield_delta = ctx.delta.len();
                         let yield_trace = ctx.trace.len();
@@ -444,6 +470,10 @@ impl Solver {
                         ctx.bindings.undo_to(pre_mark);
                         ctx.delta.truncate(pre_delta);
                         ctx.trace.truncate(pre_trace);
+                        ctx.emit(|| TraceEvent::SpanExit {
+                            phase: SpanPhase::Isolation,
+                            detail: "fail".to_owned(),
+                        });
                         Err(StepErr::Fail)
                     }
                     Err(e) => Err(fatal(e)),
@@ -615,29 +645,52 @@ impl Solver {
     ) -> Option<StepResult> {
         let cache = ctx.cache.clone()?;
         let (canon, vars) = canonicalize_with_map(resolved);
+        let label = subgoal_label(resolved);
         let key = (canon, self.db.digest());
+        let probe = |ctx: &mut Ctx, outcome: ProbeOutcome| {
+            ctx.local.observe_cache(&label, outcome);
+            ctx.emit(|| TraceEvent::CacheProbe {
+                subgoal: label.clone(),
+                outcome,
+            });
+        };
         let answers = match cache.lookup(&key) {
             Some(CacheEntry::Answers(a)) => {
                 ctx.stats.cache_hits += 1;
+                probe(ctx, ProbeOutcome::Hit);
                 a
             }
-            Some(CacheEntry::Unsuitable) => return None,
+            Some(CacheEntry::Unsuitable) => {
+                probe(ctx, ProbeOutcome::Unsuitable);
+                return None;
+            }
             None => {
                 ctx.stats.cache_misses += 1;
                 match enumerate_answers(ctx.program, &key.0, vars.len() as u32, &self.db) {
                     Some(ans) => {
+                        probe(ctx, ProbeOutcome::Miss);
                         let arc = Arc::new(ans);
                         cache.insert(key, CacheEntry::Answers(arc.clone()));
                         arc
                     }
                     None => {
+                        probe(ctx, ProbeOutcome::Unsuitable);
                         cache.insert(key, CacheEntry::Unsuitable);
                         return None;
                     }
                 }
             }
         };
-        Some(self.apply_cached_entry(ctx, tree, path, vars, answers))
+        ctx.emit(|| TraceEvent::SpanEnter {
+            phase: SpanPhase::CacheReplay,
+            detail: label.clone(),
+        });
+        let result = self.apply_cached_entry(ctx, tree, path, vars, answers);
+        ctx.emit(|| TraceEvent::SpanExit {
+            phase: SpanPhase::CacheReplay,
+            detail: label,
+        });
+        Some(result)
     }
 
     /// Commit the first cached answer; push a choicepoint over the rest.
@@ -714,6 +767,7 @@ impl Solver {
                 return Ok(false);
             }
             ctx.stats.backtracks += 1;
+            ctx.local.observe_backtrack(self.stack.len());
             let idx = self.stack.len() - 1;
 
             // Phase 1: under a mutable borrow of the CP, restore shared
@@ -987,7 +1041,7 @@ pub(crate) fn enumerate_answers(
         max_steps: CACHE_ENUM_MAX_STEPS,
         ..EngineConfig::default()
     };
-    let mut ctx = Ctx::new(program, &config, None);
+    let mut ctx = Ctx::new(program, &config, None, None);
     ctx.bindings.alloc(nvars);
     let mut solver = Solver::new(make_node(goal), db.clone());
     let mut out = Vec::new();
@@ -1057,6 +1111,7 @@ fn unfold(ctx: &mut Ctx, atom: &Atom, rule_id: RuleId) -> Option<Goal> {
         return None;
     }
     ctx.stats.unfolds += 1;
+    ctx.local.observe_unfold(rule_id);
     ctx.record(|| TraceEvent::Unfold {
         call: atom.clone(),
         rule: rule_id,

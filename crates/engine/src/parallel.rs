@@ -43,6 +43,8 @@ use crate::cache::{
 use crate::config::{EngineConfig, EngineError, Stats};
 use crate::decider::{apply_bindings_tree, eval_ground_builtin, subst_tree, BuiltinOut};
 use crate::engine::{goal_num_vars, Outcome, Solution};
+use crate::obs::{subgoal_label, LocalMetrics, Observer};
+use crate::trace::{ProbeOutcome, SpanPhase, TraceEvent};
 use crate::tree::{frontier, leaf_at, leaf_count, make_node, rewrite, sequence, to_goal, PTree};
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -202,6 +204,34 @@ struct Shared<'p> {
     /// Shared subtransaction answer cache (None when disabled). Workers
     /// both probe and populate it; the sharded mutexes keep contention low.
     cache: Option<Arc<SubgoalCache>>,
+    /// Observability sink. The hot path never touches it directly: workers
+    /// accumulate into their private [`WorkerOut`] and the registry absorbs
+    /// the merged batch once, after the scope joins. Only the aggregate
+    /// worker-lifetime spans and steal events go through it live.
+    obs: Option<Arc<Observer>>,
+}
+
+/// Everything one worker accumulates privately: flat [`Stats`], the
+/// observability batch, and the claim/steal tallies the worker-exit span
+/// reports.
+struct WorkerOut {
+    stats: Stats,
+    local: LocalMetrics,
+    /// Configurations this worker claimed in the shared memo.
+    claimed: u64,
+    /// Tasks this worker stole from other workers' queues.
+    stolen: u64,
+}
+
+impl WorkerOut {
+    fn new(observed: bool) -> WorkerOut {
+        WorkerOut {
+            stats: Stats::default(),
+            local: LocalMetrics::new(observed),
+            claimed: 0,
+            stolen: 0,
+        }
+    }
 }
 
 impl Shared<'_> {
@@ -282,6 +312,7 @@ impl Shared<'_> {
 
 /// Run the parallel search: the counterpart of `Engine::solve` for
 /// `SearchBackend::Parallel`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve(
     program: &Program,
     config: &EngineConfig,
@@ -290,6 +321,7 @@ pub(crate) fn solve(
     threads: usize,
     deterministic: bool,
     cache: Option<Arc<SubgoalCache>>,
+    obs: Option<Arc<Observer>>,
 ) -> Result<Outcome, EngineError> {
     let nworkers = threads.clamp(1, 64);
     let nvars = goal_num_vars(goal);
@@ -316,13 +348,20 @@ pub(crate) fn solve(
         bound: Mutex::new(None),
         has_bound: AtomicBool::new(false),
         cache,
+        obs,
     };
     shared.queues[0]
         .lock()
         .expect("queue poisoned")
         .push_back(root);
 
-    let mut worker_stats = Vec::with_capacity(nworkers);
+    if let Some(o) = &shared.obs {
+        o.emit(None, || TraceEvent::SpanEnter {
+            phase: SpanPhase::Solve,
+            detail: goal.to_string(),
+        });
+    }
+    let mut worker_outs = Vec::with_capacity(nworkers);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..nworkers)
             .map(|wid| {
@@ -331,21 +370,35 @@ pub(crate) fn solve(
             })
             .collect();
         for h in handles {
-            worker_stats.push(h.join().expect("search worker panicked"));
+            worker_outs.push(h.join().expect("search worker panicked"));
         }
     });
 
     let mut stats = Stats::default();
-    for w in worker_stats {
-        stats.steps += w.steps;
-        stats.choicepoints += w.choicepoints;
-        stats.unfolds += w.unfolds;
-        stats.db_ops += w.db_ops;
-        stats.iso_enters += w.iso_enters;
-        stats.memo_hits += w.memo_hits;
-        stats.cache_hits += w.cache_hits;
-        stats.cache_misses += w.cache_misses;
-        stats.peak_processes = stats.peak_processes.max(w.peak_processes);
+    let mut merged = LocalMetrics::new(shared.obs.is_some());
+    let (mut claimed, mut stolen) = (0u64, 0u64);
+    for w in &worker_outs {
+        stats.steps += w.stats.steps;
+        stats.choicepoints += w.stats.choicepoints;
+        stats.unfolds += w.stats.unfolds;
+        stats.db_ops += w.stats.db_ops;
+        stats.iso_enters += w.stats.iso_enters;
+        stats.memo_hits += w.stats.memo_hits;
+        stats.cache_hits += w.stats.cache_hits;
+        stats.cache_misses += w.stats.cache_misses;
+        stats.peak_processes = stats.peak_processes.max(w.stats.peak_processes);
+        merged.merge(&w.local);
+        claimed += w.claimed;
+        stolen += w.stolen;
+    }
+    if let Some(o) = &shared.obs {
+        o.registry.absorb(program, &stats, &merged);
+        o.registry.add_counter("worker_claims", claimed);
+        o.registry.add_counter("worker_steals", stolen);
+        o.emit(None, || TraceEvent::SpanExit {
+            phase: SpanPhase::Solve,
+            detail: format!("workers={nworkers} steps={}", stats.steps),
+        });
     }
 
     let best = shared.best.into_inner().expect("witness lock poisoned");
@@ -382,14 +435,20 @@ pub(crate) fn solve(
     }
 }
 
-fn worker(shared: &Shared<'_>, wid: usize, nworkers: usize) -> Stats {
-    let mut stats = Stats::default();
+fn worker(shared: &Shared<'_>, wid: usize, nworkers: usize) -> WorkerOut {
+    let mut w = WorkerOut::new(shared.obs.is_some());
+    if let Some(o) = &shared.obs {
+        o.emit(Some(wid as u32), || TraceEvent::SpanEnter {
+            phase: SpanPhase::Worker,
+            detail: format!("w{wid}"),
+        });
+    }
     let mut idle_spins = 0u32;
     loop {
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
-        let Some(task) = pop_or_steal(shared, wid, nworkers) else {
+        let Some(task) = pop_or_steal(shared, wid, nworkers, &mut w) else {
             if shared.pending.load(Ordering::Acquire) == 0 {
                 break;
             }
@@ -402,15 +461,29 @@ fn worker(shared: &Shared<'_>, wid: usize, nworkers: usize) -> Stats {
             continue;
         };
         idle_spins = 0;
-        process(shared, wid, task, &mut stats);
+        process(shared, wid, task, &mut w);
         // Decremented only after the task's successors are enqueued, so
         // `pending == 0` proves global exhaustion.
         shared.pending.fetch_sub(1, Ordering::AcqRel);
     }
-    stats
+    // The aggregate span for this worker's whole lifetime: what the event
+    // stream reports where per-step tracing is impossible.
+    if let Some(o) = &shared.obs {
+        let (steps, claimed, stolen) = (w.stats.steps, w.claimed, w.stolen);
+        o.emit(Some(wid as u32), || TraceEvent::SpanExit {
+            phase: SpanPhase::Worker,
+            detail: format!("w{wid} steps={steps} claimed={claimed} stolen={stolen}"),
+        });
+    }
+    w
 }
 
-fn pop_or_steal(shared: &Shared<'_>, wid: usize, nworkers: usize) -> Option<Task> {
+fn pop_or_steal(
+    shared: &Shared<'_>,
+    wid: usize,
+    nworkers: usize,
+    w: &mut WorkerOut,
+) -> Option<Task> {
     if let Some(t) = shared.queues[wid]
         .lock()
         .expect("queue poisoned")
@@ -425,13 +498,20 @@ fn pop_or_steal(shared: &Shared<'_>, wid: usize, nworkers: usize) -> Option<Task
             .expect("queue poisoned")
             .pop_front()
         {
+            w.stolen += 1;
+            if let Some(o) = &shared.obs {
+                o.emit(Some(wid as u32), || TraceEvent::WorkerSteal {
+                    thief: wid as u32,
+                    victim: victim as u32,
+                });
+            }
             return Some(t);
         }
     }
     None
 }
 
-fn process(shared: &Shared<'_>, wid: usize, task: Task, stats: &mut Stats) {
+fn process(shared: &Shared<'_>, wid: usize, task: Task, w: &mut WorkerOut) {
     let Some(tree) = task.tree.clone() else {
         shared.record_success(task);
         return;
@@ -445,20 +525,21 @@ fn process(shared: &Shared<'_>, wid: usize, task: Task, stats: &mut Stats) {
         None => shared.memo.claim(key),
     };
     if !claimed {
-        stats.memo_hits += 1;
+        w.stats.memo_hits += 1;
         return;
     }
+    w.claimed += 1;
     let step = shared.steps.fetch_add(1, Ordering::Relaxed) + 1;
     if step > shared.max_steps {
         shared.budget_hit.store(true, Ordering::Release);
         shared.stop.store(true, Ordering::Release);
         return;
     }
-    stats.steps += 1;
-    stats.peak_processes = stats.peak_processes.max(leaf_count(&tree));
+    w.stats.steps += 1;
+    w.stats.peak_processes = w.stats.peak_processes.max(leaf_count(&tree));
 
-    let (succs, err) = expand(shared, &task, &tree, stats);
-    stats.choicepoints += succs.len() as u64;
+    let (succs, err) = expand(shared, &task, &tree, w);
+    w.stats.choicepoints += succs.len() as u64;
     // Reversed: the owner pops from the back, so pushing high-index
     // successors first makes it explore successor 0 next — sequential
     // depth-first order. In deterministic mode this is what makes
@@ -484,7 +565,7 @@ fn process(shared: &Shared<'_>, wid: usize, task: Task, stats: &mut Stats) {
 /// path labels agree with sequential depth-first exploration.
 type Expansion = (Vec<Task>, Option<(Option<Vec<u32>>, EngineError)>);
 
-fn expand(shared: &Shared<'_>, task: &Task, tree: &Arc<PTree>, stats: &mut Stats) -> Expansion {
+fn expand(shared: &Shared<'_>, task: &Task, tree: &Arc<PTree>, w: &mut WorkerOut) -> Expansion {
     let program = shared.program;
     let mut out: Vec<Task> = Vec::new();
     let paths = frontier(tree);
@@ -530,10 +611,9 @@ fn expand(shared: &Shared<'_>, task: &Task, tree: &Arc<PTree>, stats: &mut Stats
             Goal::Atom(atom) => {
                 if sole && atom.is_ground() {
                     if let Some((answers, vars)) =
-                        cached_answers(shared, &task.db, &Goal::Atom(atom.clone()), stats)
+                        cached_answers(shared, &task.db, &Goal::Atom(atom.clone()), w)
                     {
-                        match push_cached_tasks(task, tree, &path, &vars, &answers, &mut out, stats)
-                        {
+                        match push_cached_tasks(task, tree, &path, &vars, &answers, &mut out, w) {
                             Ok(()) => continue,
                             Err(fail) => return (out, Some(fail)),
                         }
@@ -550,7 +630,8 @@ fn expand(shared: &Shared<'_>, task: &Task, tree: &Arc<PTree>, stats: &mut Stats
                             unify_args(b, &atom.args, &head.args)
                         })
                     {
-                        stats.unfolds += 1;
+                        w.stats.unfolds += 1;
+                        w.local.observe_unfold(rid);
                         let label = next_label(&task.label, out.len());
                         out.push(Task {
                             tree: new_tree,
@@ -610,7 +691,7 @@ fn expand(shared: &Shared<'_>, task: &Task, tree: &Arc<PTree>, stats: &mut Stats
                 };
                 match result {
                     Ok((db, _changed)) => {
-                        stats.db_ops += 1;
+                        w.stats.db_ops += 1;
                         let op = if is_ins {
                             DeltaOp::Ins(atom.pred, t)
                         } else {
@@ -681,8 +762,8 @@ fn expand(shared: &Shared<'_>, task: &Task, tree: &Arc<PTree>, stats: &mut Stats
                 }
             }
             Goal::Iso(inner) => {
-                if let Some((answers, vars)) = cached_answers(shared, &task.db, &inner, stats) {
-                    match push_cached_tasks(task, tree, &path, &vars, &answers, &mut out, stats) {
+                if let Some((answers, vars)) = cached_answers(shared, &task.db, &inner, w) {
+                    match push_cached_tasks(task, tree, &path, &vars, &answers, &mut out, w) {
                         Ok(()) => continue,
                         Err(fail) => return (out, Some(fail)),
                     }
@@ -691,7 +772,7 @@ fn expand(shared: &Shared<'_>, task: &Task, tree: &Arc<PTree>, stats: &mut Stats
                 // remaining tree after it (contiguity); schedules where the
                 // block starts later arise from stepping other frontier
                 // actions first. Same transform as the decider.
-                stats.iso_enters += 1;
+                w.stats.iso_enters += 1;
                 let rest = rewrite(tree, &path, None);
                 let label = next_label(&task.label, out.len());
                 out.push(Task {
@@ -716,26 +797,45 @@ fn cached_answers(
     shared: &Shared<'_>,
     db: &Database,
     subgoal: &Goal,
-    stats: &mut Stats,
+    w: &mut WorkerOut,
 ) -> Option<(Arc<Vec<CachedAnswer>>, Vec<Var>)> {
     let cache = shared.cache.as_ref()?;
     let (canon, vars) = canonicalize_with_map(subgoal);
+    // Per-subgoal tallies accumulate in the worker-local batch; the
+    // parallel hot path deliberately emits no per-probe events (the
+    // aggregate worker spans carry the story instead).
+    let label = if w.local.is_enabled() {
+        Some(subgoal_label(subgoal))
+    } else {
+        None
+    };
+    let probe = |w: &mut WorkerOut, outcome: ProbeOutcome| {
+        if let Some(l) = &label {
+            w.local.observe_cache(l, outcome);
+        }
+    };
     let key = (canon, db.digest());
     match cache.lookup(&key) {
         Some(CacheEntry::Answers(a)) => {
-            stats.cache_hits += 1;
+            w.stats.cache_hits += 1;
+            probe(w, ProbeOutcome::Hit);
             Some((a, vars))
         }
-        Some(CacheEntry::Unsuitable) => None,
+        Some(CacheEntry::Unsuitable) => {
+            probe(w, ProbeOutcome::Unsuitable);
+            None
+        }
         None => {
-            stats.cache_misses += 1;
+            w.stats.cache_misses += 1;
             match crate::machine::enumerate_answers(shared.program, &key.0, vars.len() as u32, db) {
                 Some(list) => {
+                    probe(w, ProbeOutcome::Miss);
                     let arc = Arc::new(list);
                     cache.insert(key, CacheEntry::Answers(arc.clone()));
                     Some((arc, vars))
                 }
                 None => {
+                    probe(w, ProbeOutcome::Unsuitable);
                     cache.insert(key, CacheEntry::Unsuitable);
                     None
                 }
@@ -757,7 +857,7 @@ fn push_cached_tasks(
     vars: &[Var],
     answers: &[CachedAnswer],
     out: &mut Vec<Task>,
-    stats: &mut Stats,
+    w: &mut WorkerOut,
 ) -> Result<(), (Option<Vec<u32>>, EngineError)> {
     for ans in answers {
         if let Some((new_tree, new_answer)) =
@@ -772,7 +872,7 @@ fn push_cached_tasks(
             for op in ans.delta.ops() {
                 match op.apply(&db) {
                     Ok(next) => {
-                        stats.db_ops += 1;
+                        w.stats.db_ops += 1;
                         db = next;
                         delta = delta_push(&delta, op.clone());
                     }

@@ -16,6 +16,64 @@ use std::fmt;
 use td_core::{Atom, Pred, RuleId};
 use td_db::Tuple;
 
+/// A search phase bracketed by [`TraceEvent::SpanEnter`] /
+/// [`TraceEvent::SpanExit`] events in the structured event stream
+/// (`crate::obs::EventLog`). Unlike the committed-path events above the
+/// span events are emitted by *every* backend, including the parallel and
+/// cached configurations where the committed trace is unavailable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanPhase {
+    /// A whole top-level search (one `?-` goal or one `solve` call).
+    Solve,
+    /// Configuration expansion (the decider/parallel frontier loop).
+    Expansion,
+    /// An isolated block `iso { … }` executing under the ⊙ semantics.
+    Isolation,
+    /// A subgoal-cache probe (lookup + possible enumeration).
+    CacheProbe,
+    /// Replay of a cached answer set as macro-steps.
+    CacheReplay,
+    /// One parallel worker's lifetime (aggregate span: the exit detail
+    /// carries its claim/steal totals).
+    Worker,
+}
+
+impl SpanPhase {
+    /// Stable lowercase name used in logs and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanPhase::Solve => "solve",
+            SpanPhase::Expansion => "expansion",
+            SpanPhase::Isolation => "isolation",
+            SpanPhase::CacheProbe => "cache_probe",
+            SpanPhase::CacheReplay => "cache_replay",
+            SpanPhase::Worker => "worker",
+        }
+    }
+}
+
+/// What a subgoal-cache probe found.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProbeOutcome {
+    /// A stored answer set was replayed.
+    Hit,
+    /// Nothing stored; the subgoal was (or will be) enumerated.
+    Miss,
+    /// A negative `Unsuitable` entry: the lazy path is mandatory.
+    Unsuitable,
+}
+
+impl ProbeOutcome {
+    /// Stable lowercase name used in logs and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProbeOutcome::Hit => "hit",
+            ProbeOutcome::Miss => "miss",
+            ProbeOutcome::Unsuitable => "unsuitable",
+        }
+    }
+}
+
 /// One event of a committed execution.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum TraceEvent {
@@ -45,6 +103,18 @@ pub enum TraceEvent {
     IsoEnter,
     /// The isolated block committed.
     IsoExit,
+    /// A search phase began (structured event stream only).
+    SpanEnter { phase: SpanPhase, detail: String },
+    /// A search phase ended (structured event stream only).
+    SpanExit { phase: SpanPhase, detail: String },
+    /// A subgoal-cache probe resolved (structured event stream only).
+    CacheProbe {
+        subgoal: String,
+        outcome: ProbeOutcome,
+    },
+    /// A parallel worker stole a task from another's queue (structured
+    /// event stream only).
+    WorkerSteal { thief: u32, victim: u32 },
 }
 
 impl fmt::Display for TraceEvent {
@@ -81,6 +151,18 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Choice { index } => write!(f, "choose branch {index}"),
             TraceEvent::IsoEnter => write!(f, "iso {{"),
             TraceEvent::IsoExit => write!(f, "}}"),
+            TraceEvent::SpanEnter { phase, detail } => {
+                write!(f, "[{} enter] {detail}", phase.as_str())
+            }
+            TraceEvent::SpanExit { phase, detail } => {
+                write!(f, "[{} exit] {detail}", phase.as_str())
+            }
+            TraceEvent::CacheProbe { subgoal, outcome } => {
+                write!(f, "cache probe {subgoal}: {}", outcome.as_str())
+            }
+            TraceEvent::WorkerSteal { thief, victim } => {
+                write!(f, "worker {thief} stole from worker {victim}")
+            }
         }
     }
 }

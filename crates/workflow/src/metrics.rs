@@ -10,7 +10,7 @@
 use std::collections::{BTreeMap, HashSet};
 use td_core::{Pred, Value};
 use td_db::{Delta, DeltaOp};
-use td_engine::Solution;
+use td_engine::{MetricsRegistry, Solution};
 
 /// Summary of a committed workflow execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,6 +54,22 @@ impl WorkflowMetrics {
             backtracks: sol.stats.backtracks,
             cache_hits: sol.stats.cache_hits,
             cache_misses: sol.stats.cache_misses,
+        }
+    }
+
+    /// Publish into a shared [`MetricsRegistry`] under `workflow_`-prefixed
+    /// counter names, so workflow-level progress aggregates alongside the
+    /// engine's own search counters in one registry (and one run report)
+    /// instead of through a separate hand-grown counter struct.
+    pub fn publish(&self, registry: &MetricsRegistry) {
+        registry.add_counter("workflow_tasks_completed", self.tasks_completed as u64);
+        registry.add_counter("workflow_updates", self.updates as u64);
+        registry.add_counter("workflow_search_steps", self.search_steps);
+        registry.add_counter("workflow_backtracks", self.backtracks);
+        registry.add_counter("workflow_cache_hits", self.cache_hits);
+        registry.add_counter("workflow_cache_misses", self.cache_misses);
+        for (item, n) in &self.per_item {
+            registry.add_counter(&format!("workflow_done_{item}"), *n as u64);
         }
     }
 }
@@ -131,6 +147,23 @@ mod tests {
         assert_eq!(m.per_item.get("w2"), Some(&5));
         assert_eq!(m.updates, 10);
         assert!(m.search_steps > 0);
+    }
+
+    #[test]
+    fn publish_lands_in_a_shared_registry() {
+        let spec = WorkflowSpec::example_3_1();
+        let scenario = spec.compile(&["w1".to_owned()]);
+        let out = scenario.run().unwrap();
+        let m = WorkflowMetrics::from_solution(out.solution().unwrap());
+        let registry = MetricsRegistry::new();
+        m.publish(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("workflow_tasks_completed"),
+            m.tasks_completed as u64
+        );
+        assert_eq!(snap.counter("workflow_search_steps"), m.search_steps);
+        assert_eq!(snap.counter("workflow_done_w1"), 5);
     }
 
     #[test]
