@@ -1,0 +1,171 @@
+//! E16 — durable store costs: snapshot write/load, WAL append/replay.
+//!
+//! Not a paper experiment: this quantifies PR 4 (docs/PERSISTENCE.md).
+//! Measures, at 100 / 1 000 / 10 000 tuples:
+//!
+//! * snapshot write (encode + checksum + temp/fsync/rename) and load
+//!   (checksum + decode + digest re-verification);
+//! * WAL append of one committed transaction (encode + checksum + fsync)
+//!   and full-log replay (the recovery path);
+//! * warm reopen — `Store::open` on a cleanly closed store (snapshot load
+//!   plus replay of the accumulated log), the cost a `td --db` run pays
+//!   before its first goal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::path::PathBuf;
+use td_bench::report_row;
+use td_core::{Pred, Value};
+use td_db::{Database, Delta, DeltaOp, Tuple};
+use td_store::{load_snapshot, write_snapshot, Store};
+
+/// A database with `n` tuples in one binary relation.
+fn db_of_size(n: i64) -> Database {
+    let mut db = Database::new();
+    let pred = Pred::new("edge", 2);
+    for i in 0..n {
+        let t = Tuple::new(vec![Value::Int(i), Value::Int(i + 1)]);
+        db = db.insert(pred, &t).expect("insert").0;
+    }
+    db
+}
+
+/// A transaction delta touching `ops` tuples (half inserts, half deletes of
+/// just-inserted ones — the churn shape the workflow manager produces).
+fn delta_of_size(ops: i64, offset: i64) -> Delta {
+    let pred = Pred::new("edge", 2);
+    let mut d = Delta::new();
+    for i in 0..ops {
+        let t = Tuple::new(vec![Value::Int(offset + i), Value::Int(offset + i + 1)]);
+        d.push(DeltaOp::Ins(pred, t));
+    }
+    d
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("td-bench-e16").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16/snapshot_write");
+    for n in [100i64, 1_000, 10_000] {
+        let db = db_of_size(n);
+        let dir = bench_dir(&format!("snap-write-{n}"));
+        let path = dir.join("snapshot.tds");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| write_snapshot(&path, db).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e16/snapshot_load");
+    for n in [100i64, 1_000, 10_000] {
+        let db = db_of_size(n);
+        let dir = bench_dir(&format!("snap-load-{n}"));
+        let path = dir.join("snapshot.tds");
+        write_snapshot(&path, &db).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &path, |b, path| {
+            b.iter(|| {
+                let (loaded, digest) = load_snapshot(path).unwrap();
+                assert_eq!(loaded.digest(), digest);
+            });
+        });
+    }
+    group.finish();
+    report_row(
+        "E16",
+        "snapshot",
+        "round-trip",
+        1.0,
+        "checksummed + digest-verified on load",
+    );
+}
+
+fn bench_wal(c: &mut Criterion) {
+    // Append: one fsync'd transaction record on a store of `n` tuples.
+    let mut group = c.benchmark_group("e16/wal_append");
+    for n in [100i64, 1_000, 10_000] {
+        let dir = bench_dir(&format!("wal-append-{n}"));
+        let mut store = Store::init(&dir, &db_of_size(n)).unwrap();
+        let mut next = n;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| {
+                store.commit(&delta_of_size(8, next)).unwrap();
+                next += 8;
+            });
+        });
+    }
+    group.finish();
+
+    // Replay: recover a store whose whole state lives in the WAL (empty
+    // snapshot + n/8 committed transactions).
+    let mut group = c.benchmark_group("e16/wal_replay");
+    for n in [100i64, 1_000, 10_000] {
+        let dir = bench_dir(&format!("wal-replay-{n}"));
+        let mut store = Store::init(&dir, &Database::new()).unwrap();
+        let mut offset = 0;
+        while offset < n {
+            store.commit(&delta_of_size(8, offset)).unwrap();
+            offset += 8;
+        }
+        drop(store);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dir, |b, dir| {
+            b.iter(|| {
+                let store = Store::open(dir).unwrap();
+                assert!(store.recovery().replayed > 0);
+            });
+        });
+    }
+    group.finish();
+    report_row(
+        "E16",
+        "wal",
+        "fsync per commit",
+        1.0,
+        "one durable record per committed transaction",
+    );
+}
+
+fn bench_warm_reopen(c: &mut Criterion) {
+    // The `td --db` steady state: a rotated snapshot carrying most tuples
+    // plus a short tail of committed transactions.
+    let mut group = c.benchmark_group("e16/warm_reopen");
+    for n in [100i64, 1_000, 10_000] {
+        let dir = bench_dir(&format!("reopen-{n}"));
+        let mut store = Store::init(&dir, &db_of_size(n)).unwrap();
+        for k in 0..4 {
+            store.commit(&delta_of_size(8, n + 8 * k)).unwrap();
+        }
+        drop(store);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dir, |b, dir| {
+            b.iter(|| {
+                let store = Store::open(dir).unwrap();
+                assert_eq!(store.recovery().replayed, 4);
+            });
+        });
+    }
+    group.finish();
+    report_row(
+        "E16",
+        "warm reopen",
+        "recovery",
+        1.0,
+        "snapshot load + short WAL tail replay",
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    bench_snapshot(c);
+    bench_wal(c);
+    bench_warm_reopen(c);
+    let _ = std::fs::remove_dir_all(std::env::temp_dir().join("td-bench-e16"));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

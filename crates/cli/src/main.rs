@@ -7,6 +7,12 @@
 //! td decide <file.td>     decide executability with the memoizing decider
 //! td repl <file.td>       load the file, read goals interactively
 //!
+//! td db init <DIR> [file.td]   create a durable store (schema + init facts
+//!                              from the program file, when given)
+//! td db snapshot <DIR>         compact: fold the WAL into a fresh snapshot
+//! td db verify <DIR>           cold integrity pass (checksums + digests)
+//! td db log <DIR>              list the committed WAL records
+//!
 //! options (before the file):
 //!   --strategy=exhaustive|random|round-robin|leftmost
 //!   --seed=N               seed for --strategy=random (rejected otherwise)
@@ -27,22 +33,32 @@
 //!   --log-json=PATH        write the structured event stream as JSON Lines
 //!                          (span enter/exit, cache probes, worker steals) —
 //!                          run/trace/decide
+//!   --db=DIR               back the run with a durable store: open (crash-
+//!                          recovering) or create DIR, run goals from the
+//!                          recovered state, commit each successful goal
+//!                          through the WAL with fsync — run/repl; `decide`
+//!                          reads the store without committing. Incompatible
+//!                          with `td trace` (rejected: the committed-path
+//!                          trace replays from a fixed initial state).
 //!
-//! See docs/OBSERVABILITY.md for the report schema and event vocabulary.
+//! See docs/OBSERVABILITY.md for the report schema and event vocabulary,
+//! docs/PERSISTENCE.md for the on-disk store format and recovery rules.
 //! ```
 
 use std::io::{BufRead, Write};
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 use td_core::{FragmentReport, Goal, Program};
-use td_db::Database;
-use td_engine::obs::{stats_counters, CacheReport, GoalReport, RunReport};
+use td_db::{Database, Delta, DeltaOp};
+use td_engine::obs::{stats_counters, CacheReport, GoalReport, RunReport, StoreReport};
 use td_engine::{
     decider, load_init, Engine, EngineConfig, Observer, Outcome, SearchBackend, Strategy,
     SubgoalCache,
 };
 use td_parser::{parse_goal, parse_program};
+use td_store::{Store, WalTail};
 
 /// Everything the command line resolved to: the engine configuration plus
 /// the CLI-level output options.
@@ -53,6 +69,8 @@ struct CliOptions {
     log_json: Option<String>,
     /// `--report=PATH`: JSON run report destination.
     report: Option<String>,
+    /// `--db=DIR`: durable store backing the run.
+    db: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> {
@@ -64,6 +82,7 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> 
     let mut cache_capacity: Option<usize> = None;
     let mut log_json = None;
     let mut report = None;
+    let mut db = None;
     let mut rest = Vec::new();
     for a in args {
         if let Some(v) = a.strip_prefix("--strategy=") {
@@ -92,6 +111,8 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> 
             log_json = Some(v.to_owned());
         } else if let Some(v) = a.strip_prefix("--report=") {
             report = Some(v.to_owned());
+        } else if let Some(v) = a.strip_prefix("--db=") {
+            db = Some(validate_db_path(v)?);
         } else if a.starts_with("--") {
             return Err(format!("unknown option `{a}`"));
         } else {
@@ -132,9 +153,38 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> 
             config,
             log_json,
             report,
+            db,
         },
         rest,
     ))
+}
+
+/// Fail-fast validation of a `--db=DIR` / `td db … DIR` store path: a typo'd
+/// path should exit 2 before any search runs, not strand a WAL nowhere. The
+/// directory itself may not exist yet (first run creates it), but its parent
+/// must, and an existing path must be a directory.
+fn validate_db_path(v: &str) -> Result<String, String> {
+    if v.is_empty() {
+        return Err("--db needs a directory path".into());
+    }
+    let p = Path::new(v);
+    if p.exists() {
+        if !p.is_dir() {
+            return Err(format!("store path `{v}` exists and is not a directory"));
+        }
+    } else {
+        let parent = match p.parent() {
+            Some(q) if !q.as_os_str().is_empty() => q,
+            _ => Path::new("."),
+        };
+        if !parent.is_dir() {
+            return Err(format!(
+                "store path `{v}`: parent directory `{}` does not exist",
+                parent.display()
+            ));
+        }
+    }
+    Ok(v.to_owned())
 }
 
 fn main() -> ExitCode {
@@ -146,14 +196,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if positional.first().map(|s| s.as_str()) == Some("db") {
+        return db_command(&positional[1..]);
+    }
     let (cmd, file) = match positional.as_slice() {
         [cmd, file] => (cmd.as_str(), file.as_str()),
         _ => {
             eprintln!(
                 "usage: td [--strategy=S] [--seed=N] [--max-steps=N] [--threads=N] \
        [--deterministic] [--subgoal-cache] [--cache-capacity=N] \
-       [--report=PATH] [--log-json=PATH] \
-       <run|trace|fragment|decide|repl> <file.td>"
+       [--report=PATH] [--log-json=PATH] [--db=DIR] \
+       <run|trace|fragment|decide|repl> <file.td>\n\
+       td db <init|snapshot|verify|log> <DIR> [file.td]"
             );
             return ExitCode::from(2);
         }
@@ -175,6 +229,21 @@ fn main() -> ExitCode {
         eprintln!("td: --report/--log-json only apply to `run`, `trace` and `decide`");
         return ExitCode::from(2);
     }
+    // The committed-path trace replays a goal's elementary operations from a
+    // fixed initial state; a store that was recovered mid-history has no
+    // such state to anchor the rendering. Refuse rather than mislead.
+    if cmd == "trace" && opts.db.is_some() {
+        eprintln!(
+            "td: --db cannot be combined with `trace`: trace replays from the \
+             program's init state, not a recovered store; use `td run --db` \
+             or `td db log`"
+        );
+        return ExitCode::from(2);
+    }
+    if opts.db.is_some() && !matches!(cmd, "run" | "decide" | "repl") {
+        eprintln!("td: --db only applies to `run`, `decide` and `repl`");
+        return ExitCode::from(2);
+    }
     let src = match std::fs::read_to_string(file) {
         Ok(s) => s,
         Err(e) => {
@@ -189,25 +258,237 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let db = Database::with_schema_of(&parsed.program);
-    let db = match load_init(&db, &parsed.init) {
-        Ok(db) => db,
-        Err(e) => {
-            eprintln!("td: loading init facts: {e}");
-            return ExitCode::FAILURE;
+    // With `--db` the store is the source of truth: a fresh store is seeded
+    // with the program's schema and init facts (committed as the genesis WAL
+    // record); a recovered store keeps its accumulated state and the
+    // program's init facts are *not* re-applied.
+    let mut store = match &opts.db {
+        Some(dir) => match open_or_init_store(Path::new(dir), &parsed) {
+            Ok(s) => {
+                let r = s.recovery();
+                println!(
+                    "store: {} ({} records replayed, {} tuples{})",
+                    r.outcome.as_str(),
+                    r.replayed,
+                    s.db().total_tuples(),
+                    if r.torn_bytes > 0 {
+                        format!(", {} torn bytes cut", r.torn_bytes)
+                    } else {
+                        String::new()
+                    }
+                );
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("td: opening store `{dir}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let db = match &store {
+        Some(s) => s.db().clone(),
+        None => {
+            let db = Database::with_schema_of(&parsed.program);
+            match load_init(&db, &parsed.init) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("td: loading init facts: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     };
 
     match cmd {
-        "run" => run(&parsed, db, &opts, file),
+        "run" => run(&parsed, db, &opts, file, store.as_mut()),
         "trace" => trace(&parsed, db, &opts, file),
         "fragment" => fragment(&parsed, &opts.config),
-        "decide" => decide(&parsed, db, &opts, file),
-        "repl" => repl(&parsed, db, opts.config),
+        "decide" => decide(&parsed, db, &opts, file, store.as_ref()),
+        "repl" => repl(&parsed, db, opts.config, store.as_mut()),
         other => {
             eprintln!("td: unknown command `{other}`");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Open `dir` with crash recovery, or initialize it: schema snapshot, then
+/// the program's init facts committed as the genesis WAL record (so even a
+/// crash before the first goal leaves a replayable, digest-verified state).
+fn open_or_init_store(dir: &Path, parsed: &td_parser::ParsedProgram) -> td_store::Result<Store> {
+    if Store::is_initialized(dir) {
+        return Store::open(dir);
+    }
+    let schema = Database::with_schema_of(&parsed.program);
+    let mut store = Store::init(dir, &schema)?;
+    let genesis = init_delta(&schema, parsed)?;
+    if !genesis.is_empty() {
+        store.commit(&genesis)?;
+    }
+    Ok(store)
+}
+
+/// The program's init facts as one insertion delta against `schema`.
+fn init_delta(schema: &Database, parsed: &td_parser::ParsedProgram) -> td_store::Result<Delta> {
+    let with_init =
+        load_init(schema, &parsed.init).map_err(|e| td_store::StoreError::Db(e.to_string()))?;
+    let mut delta = Delta::new();
+    for p in with_init.preds() {
+        if let Some(rel) = with_init.relation(p) {
+            for t in rel.to_sorted_vec() {
+                delta.push(DeltaOp::Ins(p, t));
+            }
+        }
+    }
+    Ok(delta)
+}
+
+/// `td db <init|snapshot|verify|log> <DIR> [file.td]` — store maintenance
+/// commands. Usage and validation errors exit 2, integrity failures exit 1.
+fn db_command(args: &[&String]) -> ExitCode {
+    let usage = || {
+        eprintln!("usage: td db <init|snapshot|verify|log> <DIR> [file.td]");
+        ExitCode::from(2)
+    };
+    let (&sub, &dir, rest) = match args {
+        [sub, dir, rest @ ..] => (sub, dir, rest),
+        _ => return usage(),
+    };
+    let dir_path = match validate_db_path(dir) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("td: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let dir_path = Path::new(&dir_path);
+    match (sub.as_str(), rest) {
+        ("init", rest) if rest.len() <= 1 => {
+            if Store::is_initialized(dir_path) {
+                eprintln!("td: `{dir}` already holds a store");
+                return ExitCode::from(2);
+            }
+            let result = match rest.first() {
+                Some(file) => {
+                    let src = match std::fs::read_to_string(file.as_str()) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            eprintln!("td: cannot read `{file}`: {e}");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    match parse_program(&src) {
+                        Ok(parsed) => open_or_init_store(dir_path, &parsed),
+                        Err(errs) => {
+                            eprintln!("{}", errs.render(&src));
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => Store::init(dir_path, &Database::new()),
+            };
+            match result {
+                Ok(store) => {
+                    println!(
+                        "initialized `{dir}`: {} tuples, digest 0x{:032x}",
+                        store.db().total_tuples(),
+                        store.db().digest()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("td: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("snapshot", []) => {
+            if !Store::is_initialized(dir_path) {
+                eprintln!("td: `{dir}` is not an initialized store (run `td db init`)");
+                return ExitCode::from(2);
+            }
+            match Store::open(dir_path) {
+                Ok(mut store) => {
+                    let folded = store.recovery().replayed;
+                    match store.rotate_snapshot() {
+                        Ok(()) => {
+                            println!(
+                                "snapshot rotated: {folded} wal records folded in, \
+                                 {} tuples, digest 0x{:032x}",
+                                store.db().total_tuples(),
+                                store.db().digest()
+                            );
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("td: rotating `{dir}`: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("td: opening store `{dir}`: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("verify", []) => {
+            if !Store::is_initialized(dir_path) {
+                eprintln!("td: `{dir}` is not an initialized store (run `td db init`)");
+                return ExitCode::from(2);
+            }
+            match Store::verify(dir_path) {
+                Ok(r) => {
+                    println!(
+                        "ok: snapshot {} tuples (digest 0x{:032x}), {} wal records, \
+                         final {} tuples (digest 0x{:032x})",
+                        r.snapshot_tuples,
+                        r.snapshot_digest,
+                        r.wal_records,
+                        r.final_tuples,
+                        r.final_digest
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("td: verify `{dir}`: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ("log", []) => {
+            if !Store::is_initialized(dir_path) {
+                eprintln!("td: `{dir}` is not an initialized store (run `td db init`)");
+                return ExitCode::from(2);
+            }
+            match Store::log(dir_path) {
+                Ok((records, tail)) => {
+                    for rec in &records {
+                        println!(
+                            "#{:<6} {:>5} ops  post-digest 0x{:032x}",
+                            rec.seq,
+                            rec.delta.len(),
+                            rec.post_digest
+                        );
+                    }
+                    match tail {
+                        WalTail::Clean => println!("{} records, tail clean", records.len()),
+                        WalTail::Torn { at, dropped } => println!(
+                            "{} records, torn tail at byte {at} ({dropped} bytes \
+                             pending repair on next open)",
+                            records.len()
+                        ),
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("td: reading log `{dir}`: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
     }
 }
 
@@ -236,6 +517,7 @@ fn write_outputs(
     goals: Vec<GoalReport>,
     final_db: Option<&Database>,
     cache: Option<&SubgoalCache>,
+    store: Option<StoreReport>,
 ) -> bool {
     let mut ok = true;
     if let (Some(path), Some(obs)) = (&opts.log_json, obs) {
@@ -265,6 +547,7 @@ fn write_outputs(
                 evictions: c.evictions(),
                 entries: c.len() as u64,
             }),
+            store,
             metrics: obs
                 .map(|o| o.registry.snapshot())
                 .unwrap_or_else(|| td_engine::MetricsRegistry::new().snapshot()),
@@ -275,6 +558,18 @@ fn write_outputs(
         }
     }
     ok
+}
+
+/// The `"store"` section of a run report, read off an open store handle.
+fn store_report(store: &Store) -> StoreReport {
+    StoreReport {
+        path: store.dir().display().to_string(),
+        recovery: store.recovery().outcome.as_str().to_owned(),
+        replayed: store.recovery().replayed,
+        torn_bytes: store.recovery().torn_bytes,
+        committed: store.committed_this_session(),
+        snapshot_age: store.wal_records(),
+    }
 }
 
 fn trace(
@@ -336,6 +631,7 @@ fn trace(
         reports,
         Some(&db),
         None,
+        None,
     );
     if ok {
         ExitCode::SUCCESS
@@ -349,6 +645,7 @@ fn run(
     mut db: Database,
     opts: &CliOptions,
     file: &str,
+    mut store: Option<&mut Store>,
 ) -> ExitCode {
     if parsed.goals.is_empty() {
         eprintln!("td: no ?- goals in file");
@@ -384,6 +681,29 @@ fn run(
                 report
                     .counters
                     .push(("committed_updates".to_owned(), sol.delta.len() as u64));
+                // Durable commit: one fsync'd WAL record per successful
+                // goal with a state change (read-only goals leave no
+                // record — there is nothing to recover).
+                if let Some(s) = store.as_deref_mut() {
+                    if !sol.delta.is_empty() {
+                        match s.commit(&sol.delta) {
+                            Ok(seq) => {
+                                debug_assert_eq!(s.db().digest(), sol.db.digest());
+                                println!("  committed wal record #{seq}");
+                            }
+                            Err(e) => {
+                                // The in-memory run and the store have
+                                // diverged; committing further goals would
+                                // persist a state recovery can't verify.
+                                eprintln!("td: wal commit failed: {e}");
+                                report.error = Some(format!("wal commit failed: {e}"));
+                                ok = false;
+                                reports.push(report);
+                                break;
+                            }
+                        }
+                    }
+                }
             }
             Ok(Outcome::Failure { stats }) => {
                 println!("  no   ({stats})");
@@ -399,6 +719,13 @@ fn run(
         reports.push(report);
     }
     let cache = engine.subgoal_cache().cloned();
+    if let Some(s) = store.as_deref() {
+        println!(
+            "store: {} transactions committed ({} wal records since snapshot)",
+            s.committed_this_session(),
+            s.wal_records()
+        );
+    }
     ok &= write_outputs(
         opts,
         obs.as_ref(),
@@ -409,6 +736,7 @@ fn run(
         reports,
         Some(&db),
         cache.as_deref(),
+        store.as_deref().map(store_report),
     );
     if ok {
         ExitCode::SUCCESS
@@ -446,6 +774,7 @@ fn decide(
     db: Database,
     opts: &CliOptions,
     file: &str,
+    store: Option<&Store>,
 ) -> ExitCode {
     if parsed.goals.is_empty() {
         eprintln!("td: no ?- goals in file");
@@ -518,6 +847,7 @@ fn decide(
         reports,
         None,
         cache.as_deref(),
+        store.map(store_report),
     );
     if ok {
         ExitCode::SUCCESS
@@ -526,7 +856,12 @@ fn decide(
     }
 }
 
-fn repl(parsed: &td_parser::ParsedProgram, mut db: Database, config: EngineConfig) -> ExitCode {
+fn repl(
+    parsed: &td_parser::ParsedProgram,
+    mut db: Database,
+    config: EngineConfig,
+    mut store: Option<&mut Store>,
+) -> ExitCode {
     let program: Program = parsed.program.clone();
     let engine = Engine::with_config(program.clone(), config);
     let stdin = std::io::stdin();
@@ -557,6 +892,14 @@ fn repl(parsed: &td_parser::ParsedProgram, mut db: Database, config: EngineConfi
                 Ok(Outcome::Success(sol)) => {
                     for (i, name) in g.var_names.iter().enumerate() {
                         println!("  {name} = {}", sol.answer[i]);
+                    }
+                    if let Some(s) = store.as_deref_mut() {
+                        if !sol.delta.is_empty() {
+                            if let Err(e) = s.commit(&sol.delta) {
+                                println!("  error: wal commit failed: {e}");
+                                continue;
+                            }
+                        }
                     }
                     println!("  yes");
                     db = sol.db.clone();
@@ -637,6 +980,48 @@ mod tests {
         let o = parse(&["--report=r.json", "--log-json=e.jsonl"]).unwrap();
         assert_eq!(o.report.as_deref(), Some("r.json"));
         assert_eq!(o.log_json.as_deref(), Some("e.jsonl"));
+    }
+
+    #[test]
+    fn db_with_existing_dir_or_creatable_child_is_accepted() {
+        let dir = std::env::temp_dir().join("td-cli-db-opts");
+        std::fs::create_dir_all(&dir).unwrap();
+        let arg = format!("--db={}", dir.display());
+        let o = parse(&[&arg]).unwrap();
+        assert_eq!(o.db.as_deref(), dir.to_str());
+        // A store that does not exist yet, inside an existing parent: the
+        // first run is allowed to create it.
+        let child = dir.join("new-store");
+        let _ = std::fs::remove_dir_all(&child);
+        let arg = format!("--db={}", child.display());
+        assert!(parse(&[&arg]).is_ok());
+    }
+
+    #[test]
+    fn db_with_missing_parent_dir_is_rejected() {
+        let bogus = std::env::temp_dir()
+            .join("td-cli-no-such-parent")
+            .join("store");
+        let _ = std::fs::remove_dir_all(bogus.parent().unwrap());
+        let arg = format!("--db={}", bogus.display());
+        let err = parse(&[&arg]).unwrap_err();
+        assert!(err.contains("parent directory"), "{err}");
+        assert!(err.contains("does not exist"), "{err}");
+    }
+
+    #[test]
+    fn db_pointing_at_a_file_is_rejected() {
+        let f = std::env::temp_dir().join("td-cli-db-not-a-dir.bin");
+        std::fs::write(&f, b"x").unwrap();
+        let arg = format!("--db={}", f.display());
+        let err = parse(&[&arg]).unwrap_err();
+        assert!(err.contains("not a directory"), "{err}");
+        let _ = std::fs::remove_file(&f);
+    }
+
+    #[test]
+    fn empty_db_path_is_rejected() {
+        assert!(parse(&["--db="]).is_err());
     }
 
     #[test]

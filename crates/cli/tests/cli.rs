@@ -120,6 +120,123 @@ fn missing_file_and_bad_usage_exit_2() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+/// Fresh temp directory for one store test.
+fn store_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("td-cli-store-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.parent().unwrap()).unwrap();
+    dir
+}
+
+#[test]
+fn db_backed_runs_accumulate_state_and_verify() {
+    let f = write_temp("durable.td", "base t/1. init t(1).\n?- ins.t(2).\n");
+    let dir = store_dir("accumulate");
+    let db_flag = format!("--db={}", dir.display());
+
+    // First run: fresh store, init facts + goal committed.
+    let out = td().args([&db_flag, "run"]).arg(&f).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("store: fresh"), "{stdout}");
+    assert!(stdout.contains("committed wal record"), "{stdout}");
+
+    // Second run with a goal that *requires* the first run's state; its
+    // own init facts must not be re-applied.
+    let g = write_temp("durable2.td", "base t/1. init t(9).\n?- t(2) * ins.t(3).\n");
+    let out = td().args([&db_flag, "run"]).arg(&g).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("store: recovered"), "{stdout}");
+    assert!(stdout.contains("db = {t(1), t(2), t(3)}"), "{stdout}");
+
+    // The store passes a cold integrity check and lists its records.
+    let out = td().args(["db", "verify"]).arg(&dir).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = td().args(["db", "log"]).arg(&dir).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("tail clean"), "{stdout}");
+
+    // Rotation folds the WAL into the snapshot; still verifies.
+    let out = td().args(["db", "snapshot"]).arg(&dir).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = td().args(["db", "verify"]).arg(&dir).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn db_init_seeds_schema_and_init_facts() {
+    let f = write_temp("init_seed.td", "base t/1. init t(5).\n?- t(5).\n");
+    let dir = store_dir("init-seed");
+    let out = td()
+        .args(["db", "init"])
+        .arg(&dir)
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("initialized"), "{stdout}");
+    // Re-init is refused.
+    let out = td().args(["db", "init"]).arg(&dir).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // A run against the initialized store finds the seeded fact.
+    let db_flag = format!("--db={}", dir.display());
+    let out = td().args([&db_flag, "run"]).arg(&f).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("store: recovered"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn decide_with_db_is_read_only() {
+    let f = write_temp("decide_db.td", "base t/1. init t(1).\n?- { ins.t(2) }.\n");
+    let dir = store_dir("decide-ro");
+    let db_flag = format!("--db={}", dir.display());
+    let out = td().args([&db_flag, "run"]).arg(&f).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let before = std::fs::metadata(dir.join("wal.tdl")).unwrap().len();
+    let out = td().args([&db_flag, "decide"]).arg(&f).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let after = std::fs::metadata(dir.join("wal.tdl")).unwrap().len();
+    assert_eq!(before, after, "decide must not append WAL records");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_misuse_exits_2() {
+    let f = write_temp("misuse.td", "base t/1.\n?- ins.t(1).\n");
+    // trace cannot be db-backed.
+    let dir = store_dir("misuse");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db_flag = format!("--db={}", dir.display());
+    let out = td().args([&db_flag, "trace"]).arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // Maintenance on an uninitialized store fails fast.
+    let out = td().args(["db", "snapshot"]).arg(&dir).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = td().args(["db", "verify"]).arg(&dir).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // A store path under a nonexistent parent fails fast.
+    let bogus = dir.join("no").join("such").join("store");
+    let out = td()
+        .arg(format!("--db={}", bogus.display()))
+        .args(["run"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // Unknown db subcommand / missing dir.
+    let out = td().args(["db", "frobnicate"]).arg(&dir).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = td().args(["db"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn trace_prints_the_committed_story() {
     let f = write_temp(

@@ -23,10 +23,13 @@ use std::sync::{OnceLock, RwLock};
 
 /// An interned string. Cheap to copy, compare and hash.
 ///
-/// Equality and hashing use the unique id; ordering is *textual* (not
-/// interning order), so sorted containers and displays are deterministic
-/// across runs regardless of interning sequence — which matters doubly now
-/// that concurrent threads may intern in nondeterministic order.
+/// Equality uses the unique id (one lookup-free integer compare); ordering
+/// and *hashing* are textual, so sorted containers, displays and — crucially
+/// — the 128-bit content digests built on `Hash` are deterministic across
+/// runs and across *processes*, regardless of interning sequence. Interner
+/// ids depend on what was interned first (program text vs a recovered
+/// snapshot, worker-thread races); the persisted digests in `td-store`
+/// would be unverifiable in any later process if hashes leaked them.
 #[derive(Clone, Copy)]
 pub struct Symbol {
     id: u32,
@@ -43,7 +46,13 @@ impl Eq for Symbol {}
 
 impl Hash for Symbol {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.id.hash(state);
+        // Text, not id: ids are assigned in interning order, which differs
+        // between processes (and between threads racing to intern). Interning
+        // dedups, so id equality and text equality coincide — hashing the
+        // text keeps `Hash`/`Eq` consistent while making every derived hash
+        // (HAMT placement, relation digests, the persisted store digests)
+        // a pure function of content.
+        self.text.hash(state);
     }
 }
 

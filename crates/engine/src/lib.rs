@@ -45,7 +45,7 @@ pub use config::{EngineConfig, EngineError, SearchBackend, Stats, Strategy};
 pub use engine::{goal_num_vars, load_init, Engine, Outcome, Solution, Solutions};
 pub use obs::{
     CacheTally, EventLog, GoalReport, LocalMetrics, MetricsRegistry, MetricsSnapshot, Observer,
-    RunReport,
+    RunReport, StoreReport,
 };
 pub use trace::{ProbeOutcome, SpanPhase, Trace, TraceEvent};
 

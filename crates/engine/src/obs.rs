@@ -508,6 +508,27 @@ pub struct CacheReport {
     pub entries: u64,
 }
 
+/// Durable-store section of a [`RunReport`] (present when the run was
+/// backed by `--db=PATH`). Plain data — the engine does not depend on the
+/// store crate; the CLI fills this in from the store's recovery info.
+#[derive(Clone, Debug)]
+pub struct StoreReport {
+    /// Store directory backing the run.
+    pub path: String,
+    /// How opening went: `fresh`, `recovered`, `recovered-torn-tail` or
+    /// `recovered-stale-wal`.
+    pub recovery: String,
+    /// WAL records replayed during recovery at open time.
+    pub replayed: u64,
+    /// Bytes cut from a torn WAL tail (0 on clean recovery).
+    pub torn_bytes: u64,
+    /// Transactions committed through the WAL by this run.
+    pub committed: u64,
+    /// Snapshot age in committed transactions (WAL records on disk at the
+    /// end of the run).
+    pub snapshot_age: u64,
+}
+
 /// The single JSON document `td run/decide --report=PATH` writes.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -531,6 +552,8 @@ pub struct RunReport {
     pub final_tuples: Option<u64>,
     /// Subgoal-cache lifetime counters (when a cache was attached).
     pub cache: Option<CacheReport>,
+    /// Durable-store recovery and commit summary (when `--db` was given).
+    pub store: Option<StoreReport>,
     /// Registry snapshot at the end of the run.
     pub metrics: MetricsSnapshot,
 }
@@ -599,6 +622,19 @@ impl RunReport {
                 c.hits, c.misses, c.unsuitable, c.evictions, c.entries
             )),
             None => out.push_str("  \"cache\": null,\n"),
+        }
+        match &self.store {
+            Some(s) => out.push_str(&format!(
+                "  \"store\": {{\"path\": \"{}\", \"recovery\": \"{}\", \"replayed\": {}, \
+                 \"torn_bytes\": {}, \"committed\": {}, \"snapshot_age\": {}}},\n",
+                json_escape(&s.path),
+                json_escape(&s.recovery),
+                s.replayed,
+                s.torn_bytes,
+                s.committed,
+                s.snapshot_age
+            )),
+            None => out.push_str("  \"store\": null,\n"),
         }
         out.push_str(&format!("  \"metrics\": {}\n", self.metrics.to_json()));
         out.push_str("}\n");
@@ -800,10 +836,20 @@ mod tests {
                 evictions: 0,
                 entries: 2,
             }),
+            store: Some(StoreReport {
+                path: "state.tdb".into(),
+                recovery: "recovered".into(),
+                replayed: 4,
+                torn_bytes: 0,
+                committed: 2,
+                snapshot_age: 6,
+            }),
             metrics: MetricsRegistry::new().snapshot(),
         };
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"td-run-report/v1\""), "{json}");
+        assert!(json.contains("\"recovery\": \"recovered\""), "{json}");
+        assert!(json.contains("\"snapshot_age\": 6"), "{json}");
         assert!(json.contains("\"effective\""), "{json}");
         assert!(json.contains("\"steps\": 7"), "{json}");
         assert!(

@@ -1,0 +1,110 @@
+//! Deterministic byte-granular fault injection for crash tests.
+//!
+//! Crash recovery is only as trustworthy as the failures it was tested
+//! against. This module provides the three primitives the recovery tests
+//! drive, all deterministic (no randomness, no timing): truncate a file to
+//! an exact byte length (a torn write), flip bits at an exact offset
+//! (media corruption), and snapshot/restore whole directories (so one
+//! committed corpus can be re-damaged many ways).
+//!
+//! These operate on plain paths, not through the store API, precisely so
+//! tests damage files the way a crash would: underneath the abstraction.
+
+use crate::{io_err, Result};
+use std::fs;
+use std::path::Path;
+
+/// Truncate the file at `path` to exactly `len` bytes — the state a torn
+/// write leaves behind.
+pub fn truncate_to(path: &Path, len: u64) -> Result<()> {
+    let f = fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| io_err(path, e))?;
+    f.set_len(len).map_err(|e| io_err(path, e))?;
+    f.sync_all().map_err(|e| io_err(path, e))?;
+    Ok(())
+}
+
+/// XOR the byte at `offset` with `mask` (`mask != 0` guarantees a change).
+pub fn flip_byte(path: &Path, offset: u64, mask: u8) -> Result<()> {
+    assert!(mask != 0, "flipping with mask 0 is a no-op");
+    let mut bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+    let i = offset as usize;
+    assert!(i < bytes.len(), "offset {offset} beyond file length");
+    bytes[i] ^= mask;
+    fs::write(path, bytes).map_err(|e| io_err(path, e))?;
+    Ok(())
+}
+
+/// File length in bytes.
+pub fn file_len(path: &Path) -> Result<u64> {
+    Ok(fs::metadata(path).map_err(|e| io_err(path, e))?.len())
+}
+
+/// Copy every regular file of `src` into `dst` (created if missing,
+/// emptied first) — checkpoint a store directory before damaging it.
+pub fn copy_dir(src: &Path, dst: &Path) -> Result<()> {
+    if dst.exists() {
+        fs::remove_dir_all(dst).map_err(|e| io_err(dst, e))?;
+    }
+    fs::create_dir_all(dst).map_err(|e| io_err(dst, e))?;
+    for entry in fs::read_dir(src).map_err(|e| io_err(src, e))? {
+        let entry = entry.map_err(|e| io_err(src, e))?;
+        let from = entry.path();
+        if from.is_file() {
+            let to = dst.join(entry.file_name());
+            fs::copy(&from, &to).map_err(|e| io_err(&to, e))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("td-store-faultfs-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn truncate_is_exact() {
+        let p = temp("trunc.bin");
+        fs::write(&p, [0u8; 100]).unwrap();
+        truncate_to(&p, 37).unwrap();
+        assert_eq!(file_len(&p).unwrap(), 37);
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn flip_changes_exactly_one_byte() {
+        let p = temp("flip.bin");
+        fs::write(&p, [7u8; 16]).unwrap();
+        flip_byte(&p, 5, 0xff).unwrap();
+        let bytes = fs::read(&p).unwrap();
+        assert_eq!(bytes[5], 7 ^ 0xff);
+        assert!(bytes.iter().enumerate().all(|(i, b)| (i == 5) ^ (*b == 7)));
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn copy_dir_checkpoints_and_restores() {
+        let src = temp("copy-src");
+        let dst = temp("copy-dst");
+        let _ = fs::remove_dir_all(&src);
+        fs::create_dir_all(&src).unwrap();
+        fs::write(src.join("a.bin"), b"alpha").unwrap();
+        fs::write(src.join("b.bin"), b"beta").unwrap();
+        copy_dir(&src, &dst).unwrap();
+        fs::write(src.join("a.bin"), b"damaged").unwrap();
+        copy_dir(&dst, &src).unwrap();
+        assert_eq!(fs::read(src.join("a.bin")).unwrap(), b"alpha");
+        assert_eq!(fs::read(src.join("b.bin")).unwrap(), b"beta");
+        fs::remove_dir_all(&src).unwrap();
+        fs::remove_dir_all(&dst).unwrap();
+    }
+}

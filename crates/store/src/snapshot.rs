@@ -1,0 +1,171 @@
+//! Full-database snapshot images (`snapshot.tds`).
+//!
+//! A snapshot is the file header (`td-store/v1` + `snap`) followed by one
+//! checksummed page whose payload is the encoded database with its content
+//! digest. Writing goes through a temp file + `fsync` + atomic rename, so a
+//! crash mid-write leaves the previous image intact; loading re-derives the
+//! digest from the decoded tuples and refuses the image unless it matches
+//! the persisted one.
+
+use crate::codec::{
+    self, check_header, file_header, frame, read_frame, Dec, Enc, FrameOutcome, KIND_SNAPSHOT,
+};
+use crate::{io_err, Result, StoreError};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+use td_db::Database;
+
+/// File name of the snapshot image inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.tds";
+
+/// Serialize a database into snapshot file bytes.
+pub fn snapshot_bytes(db: &Database) -> Vec<u8> {
+    let mut enc = Enc::new();
+    codec::put_database(&mut enc, db);
+    let mut out = file_header(KIND_SNAPSHOT);
+    out.extend_from_slice(&frame(&enc.into_bytes()));
+    out
+}
+
+/// Write a snapshot atomically: temp file in the same directory, `fsync`,
+/// rename over `path`, `fsync` the directory so the rename is durable.
+pub fn write_snapshot(path: &Path, db: &Database) -> Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let tmp = path.with_extension("tds.tmp");
+    let bytes = snapshot_bytes(db);
+    let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    f.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
+    f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    if let Ok(d) = fs::File::open(dir) {
+        // Directory fsync is advisory on some platforms; ignore failures.
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Decode snapshot bytes, verifying the page checksum and the content
+/// digest. Returns the database and its verified digest.
+pub fn parse_snapshot(bytes: &[u8]) -> Result<(Database, u128)> {
+    let offset = check_header(bytes, KIND_SNAPSHOT, "snapshot")?;
+    let payload = match read_frame(bytes, offset) {
+        FrameOutcome::Ok { payload, next } => {
+            if next != bytes.len() {
+                return Err(StoreError::Corrupt(format!(
+                    "snapshot has {} trailing bytes after its page",
+                    bytes.len() - next
+                )));
+            }
+            payload
+        }
+        FrameOutcome::End => {
+            return Err(StoreError::Corrupt("snapshot has no database page".into()))
+        }
+        FrameOutcome::Torn { at } => {
+            return Err(StoreError::Corrupt(format!(
+                "snapshot page torn or corrupt at byte {at}"
+            )))
+        }
+    };
+    let mut dec = Dec::new(payload);
+    let (db, stored) = codec::get_database(&mut dec)?;
+    dec.finish()?;
+    // The decoder rebuilt the database through `insert`, so `db.digest()` is
+    // the incrementally recomputed content digest — compare, don't trust.
+    if db.digest() != stored {
+        return Err(StoreError::DigestMismatch {
+            context: "snapshot".into(),
+            stored,
+            computed: db.digest(),
+        });
+    }
+    Ok((db, stored))
+}
+
+/// Load and digest-verify the snapshot at `path`.
+pub fn load_snapshot(path: &Path) -> Result<(Database, u128)> {
+    let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+    parse_snapshot(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::Pred;
+    use td_db::tuple;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new().declare(Pred::new("schema_only", 2));
+        for i in 0..50i64 {
+            db = db
+                .insert(Pred::new("edge", 2), &tuple!(i, (i * 7) % 50))
+                .unwrap()
+                .0;
+        }
+        db.insert(Pred::new("label", 1), &tuple!("root")).unwrap().0
+    }
+
+    #[test]
+    fn write_load_round_trip() {
+        let dir = std::env::temp_dir().join("td-store-snap-roundtrip");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let db = sample_db();
+        write_snapshot(&path, &db).unwrap();
+        let (back, digest) = load_snapshot(&path).unwrap();
+        assert_eq!(back, db);
+        assert_eq!(digest, db.digest());
+        assert!(back.relation(Pred::new("schema_only", 2)).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupting_any_payload_byte_is_detected() {
+        let db = sample_db();
+        let bytes = snapshot_bytes(&db);
+        let header = file_header(KIND_SNAPSHOT).len();
+        // Corrupt a byte in the middle of the page payload.
+        let mut bad = bytes.clone();
+        let mid = header + codec::FRAME_HEADER + (bad.len() - header) / 2;
+        bad[mid] ^= 0xff;
+        assert!(matches!(parse_snapshot(&bad), Err(StoreError::Corrupt(_))));
+        // Corrupt the header itself.
+        let mut bad = bytes;
+        bad[0] ^= 0xff;
+        assert!(matches!(parse_snapshot(&bad), Err(StoreError::Codec(_))));
+    }
+
+    #[test]
+    fn forged_digest_is_rejected() {
+        // A snapshot whose page checksum verifies but whose persisted digest
+        // disagrees with the content must be refused: rebuild the page with
+        // a wrong digest.
+        let db = sample_db();
+        let mut enc = Enc::new();
+        codec::put_database(&mut enc, &db);
+        let mut payload = enc.into_bytes();
+        let n = payload.len();
+        payload[n - 1] ^= 0x01; // flip a digest bit, then re-checksum
+        let mut bytes = file_header(KIND_SNAPSHOT);
+        bytes.extend_from_slice(&frame(&payload));
+        assert!(matches!(
+            parse_snapshot(&bytes),
+            Err(StoreError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let dir = std::env::temp_dir().join("td-store-snap-empty");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let db = Database::new();
+        write_snapshot(&path, &db).unwrap();
+        let (back, digest) = load_snapshot(&path).unwrap();
+        assert!(back.same_content(&db));
+        assert_eq!(digest, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

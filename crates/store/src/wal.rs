@@ -1,0 +1,341 @@
+//! The logical write-ahead log (`wal.tdl`).
+//!
+//! One checksummed record per *committed* transaction: the record carries a
+//! sequence number, the ordered `ins`/`del` delta the engine produced, and
+//! the 128-bit content digest of the database *after* the delta. Appends are
+//! `fsync`'d before the commit is acknowledged, so an acknowledged
+//! transaction survives a crash.
+//!
+//! The log is *logical*: it replays elementary updates against the
+//! snapshot, not file pages — the same shape as Wielemaker's transaction
+//! journal for the logical update view, and exactly the delta objects the
+//! engine's committed-path semantics already define.
+//!
+//! ## Torn-tail rule
+//!
+//! A crash can cut the last record anywhere, byte-granular. The reader
+//! walks frames from the front; the first frame that is short, overruns the
+//! file, or fails its checksum marks the **torn tail** — that record and
+//! everything after it never happened. Because a record is only
+//! acknowledged after `fsync`, the torn record is always an unacknowledged
+//! one; dropping it is correct, not lossy.
+
+use crate::codec::{
+    self, check_header, file_header, frame, read_frame, Dec, Enc, FrameOutcome, KIND_WAL,
+};
+use crate::{io_err, Result, StoreError};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use td_db::Delta;
+
+/// File name of the WAL inside a store directory.
+pub const WAL_FILE: &str = "wal.tdl";
+
+/// One committed-transaction record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WalRecord {
+    /// Position in the commit sequence since the snapshot (0-based,
+    /// contiguous).
+    pub seq: u64,
+    /// Content digest of the database after applying [`WalRecord::delta`].
+    pub post_digest: u128,
+    /// The committed elementary updates, in application order.
+    pub delta: Delta,
+}
+
+/// What the reader found at the end of the log.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WalTail {
+    /// The log ends exactly on a record boundary.
+    Clean,
+    /// A torn or corrupt frame begins at this byte offset; `dropped` bytes
+    /// follow it.
+    Torn { at: u64, dropped: u64 },
+}
+
+/// A fully scanned log.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WalContents {
+    /// Digest of the snapshot state this log extends.
+    pub base_digest: u128,
+    /// Checksum-verified records before the tail, in order.
+    pub records: Vec<WalRecord>,
+    /// Tail state.
+    pub tail: WalTail,
+    /// Byte offset just past the last verified record (where an append
+    /// after recovery must resume).
+    pub valid_len: u64,
+}
+
+fn record_payload(seq: u64, post_digest: u128, delta: &Delta) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_varint(seq);
+    enc.put_u128(post_digest);
+    codec::put_delta(&mut enc, delta);
+    enc.into_bytes()
+}
+
+fn parse_record(payload: &[u8]) -> Result<WalRecord> {
+    let mut dec = Dec::new(payload);
+    let seq = dec.varint("record seq")?;
+    let post_digest = dec.u128("record post-digest")?;
+    let delta = codec::get_delta(&mut dec)?;
+    dec.finish()?;
+    Ok(WalRecord {
+        seq,
+        post_digest,
+        delta,
+    })
+}
+
+/// The header + base-digest page a fresh WAL starts with.
+pub fn wal_prefix(base_digest: u128) -> Vec<u8> {
+    let mut out = file_header(KIND_WAL);
+    let mut enc = Enc::new();
+    enc.put_u128(base_digest);
+    out.extend_from_slice(&frame(&enc.into_bytes()));
+    out
+}
+
+/// Parse a WAL byte image. Structural damage to the header or base page is
+/// a hard error (the file does not identify its base state); damage in the
+/// record region is a torn tail, reported, never replayed past.
+pub fn parse_wal(bytes: &[u8]) -> Result<WalContents> {
+    let offset = check_header(bytes, KIND_WAL, "wal")?;
+    let (base_digest, mut at) = match read_frame(bytes, offset) {
+        FrameOutcome::Ok { payload, next } => {
+            let mut dec = Dec::new(payload);
+            let d = dec.u128("wal base digest")?;
+            dec.finish()?;
+            (d, next)
+        }
+        _ => {
+            return Err(StoreError::Corrupt(
+                "wal base-digest page missing or corrupt".into(),
+            ))
+        }
+    };
+    let mut records = Vec::new();
+    loop {
+        match read_frame(bytes, at) {
+            FrameOutcome::End => {
+                return Ok(WalContents {
+                    base_digest,
+                    records,
+                    tail: WalTail::Clean,
+                    valid_len: at as u64,
+                });
+            }
+            FrameOutcome::Torn { at: torn_at } => {
+                return Ok(WalContents {
+                    base_digest,
+                    records,
+                    tail: WalTail::Torn {
+                        at: torn_at as u64,
+                        dropped: (bytes.len() - torn_at) as u64,
+                    },
+                    valid_len: torn_at as u64,
+                });
+            }
+            FrameOutcome::Ok { payload, next } => {
+                let rec = parse_record(payload)?;
+                if rec.seq != records.len() as u64 {
+                    return Err(StoreError::Corrupt(format!(
+                        "wal record at byte {at} carries seq {} (expected {})",
+                        rec.seq,
+                        records.len()
+                    )));
+                }
+                records.push(rec);
+                at = next;
+            }
+        }
+    }
+}
+
+/// Read and parse the WAL at `path`.
+pub fn read_wal(path: &Path) -> Result<WalContents> {
+    let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+    parse_wal(&bytes)
+}
+
+/// An open, append-able WAL handle.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: fs::File,
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Create a fresh WAL for a base state, atomically (temp + rename), and
+    /// open it for appending.
+    pub fn create(path: &Path, base_digest: u128) -> Result<Wal> {
+        let tmp = path.with_extension("tdl.tmp");
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        f.write_all(&wal_prefix(base_digest))
+            .map_err(|e| io_err(&tmp, e))?;
+        f.sync_all().map_err(|e| io_err(&tmp, e))?;
+        drop(f);
+        fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+        Wal::open_at(path, wal_prefix(base_digest).len() as u64, 0)
+    }
+
+    /// Open an existing WAL for appending after recovery scanned it:
+    /// truncate away any torn tail at `valid_len`, resume at `next_seq`.
+    pub fn open_at(path: &Path, valid_len: u64, next_seq: u64) -> Result<Wal> {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        file.set_len(valid_len).map_err(|e| io_err(path, e))?;
+        file.sync_all().map_err(|e| io_err(path, e))?;
+        let mut wal = Wal {
+            path: path.to_owned(),
+            file,
+            next_seq,
+        };
+        use std::io::Seek;
+        wal.file
+            .seek(std::io::SeekFrom::End(0))
+            .map_err(|e| io_err(&wal.path, e))?;
+        Ok(wal)
+    }
+
+    /// Sequence number the next append will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append one committed transaction and `fsync` before returning — the
+    /// fsync-on-commit discipline: when this returns `Ok`, the record
+    /// survives any crash.
+    pub fn append(&mut self, delta: &Delta, post_digest: u128) -> Result<u64> {
+        let seq = self.next_seq;
+        let page = frame(&record_payload(seq, post_digest, delta));
+        self.file
+            .write_all(&page)
+            .map_err(|e| io_err(&self.path, e))?;
+        self.file.sync_all().map_err(|e| io_err(&self.path, e))?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::Pred;
+    use td_db::{tuple, Database, DeltaOp};
+
+    fn temp_wal(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("td-store-wal-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_delta(i: i64) -> Delta {
+        let mut d = Delta::new();
+        d.push(DeltaOp::Ins(Pred::new("t", 1), tuple!(i)));
+        if i % 2 == 0 {
+            d.push(DeltaOp::Del(Pred::new("t", 1), tuple!(i - 1)));
+        }
+        d
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let path = temp_wal("append_read.tdl");
+        let mut wal = Wal::create(&path, 0xbeef).unwrap();
+        let mut db = Database::new();
+        for i in 0..5i64 {
+            let delta = sample_delta(i);
+            db = delta.replay(&db).unwrap();
+            let seq = wal.append(&delta, db.digest()).unwrap();
+            assert_eq!(seq, i as u64);
+        }
+        let contents = read_wal(&path).unwrap();
+        assert_eq!(contents.base_digest, 0xbeef);
+        assert_eq!(contents.records.len(), 5);
+        assert_eq!(contents.tail, WalTail::Clean);
+        assert_eq!(contents.records[3].delta, sample_delta(3));
+        assert_eq!(contents.records[4].post_digest, db.digest());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_cut_at_every_truncation_point() {
+        let path = temp_wal("torn.tdl");
+        let mut wal = Wal::create(&path, 7).unwrap();
+        let mut boundaries = vec![fs::metadata(&path).unwrap().len()];
+        for i in 0..3i64 {
+            wal.append(&sample_delta(i), i as u128).unwrap();
+            boundaries.push(fs::metadata(&path).unwrap().len());
+        }
+        drop(wal);
+        let full = fs::read(&path).unwrap();
+        for cut in boundaries[0]..=*boundaries.last().unwrap() {
+            let contents = parse_wal(&full[..cut as usize]).unwrap();
+            // Number of complete records whose boundary is <= cut.
+            let expect = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+            assert_eq!(contents.records.len(), expect, "cut at {cut}");
+            if boundaries.contains(&cut) {
+                assert_eq!(contents.tail, WalTail::Clean, "cut at {cut}");
+            } else {
+                assert!(
+                    matches!(contents.tail, WalTail::Torn { .. }),
+                    "cut at {cut}"
+                );
+            }
+            assert_eq!(
+                contents.valid_len,
+                *boundaries.iter().filter(|b| **b <= cut).max().unwrap()
+            );
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_resumes_after_torn_tail() {
+        let path = temp_wal("resume.tdl");
+        let mut wal = Wal::create(&path, 1).unwrap();
+        wal.append(&sample_delta(0), 10).unwrap();
+        wal.append(&sample_delta(1), 11).unwrap();
+        drop(wal);
+        // Tear the second record.
+        let len = fs::metadata(&path).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        let mut wal = Wal::open_at(&path, scan.valid_len, scan.records.len() as u64).unwrap();
+        wal.append(&sample_delta(2), 12).unwrap();
+        drop(wal);
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.tail, WalTail::Clean);
+        let seqs: Vec<u64> = scan.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+        assert_eq!(scan.records[1].post_digest, 12);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_seq_is_corruption_not_tail() {
+        let mut bytes = wal_prefix(0);
+        bytes.extend_from_slice(&frame(&record_payload(1, 0, &Delta::new())));
+        match parse_wal(&bytes) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("seq"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn damaged_base_page_is_a_hard_error() {
+        let mut bytes = wal_prefix(42);
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        assert!(matches!(parse_wal(&bytes), Err(StoreError::Corrupt(_))));
+    }
+}

@@ -21,6 +21,7 @@ pub mod agents;
 pub mod audit;
 pub mod banking;
 pub mod dot;
+pub mod durable;
 pub mod labflow;
 pub mod loan;
 pub mod manager;
@@ -35,6 +36,7 @@ pub use agents::{Agent, AgentScenarioConfig};
 pub use audit::{audit, precedence_pairs, Violation};
 pub use banking::{serializable_transfers, transfer_goal, Bank};
 pub use dot::to_dot;
+pub use durable::{run_durable, DurableError, DurableRun};
 pub use labflow::{LabFlowConfig, RepeatProtocol};
 pub use loan::{Application, LoanConfig};
 pub use manager::{Committed, Manager, Submitted};

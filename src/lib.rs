@@ -9,6 +9,8 @@
 //!   fragment classification;
 //! * [`parser`] — concrete `.td` syntax;
 //! * [`db`] — persistent database substrate;
+//! * [`store`] — durability: snapshots, logical WAL, crash
+//!   recovery (`td --db`, docs/PERSISTENCE.md);
 //! * [`engine`] — the interpreter (interleaving search,
 //!   isolation), the bounded-fragment decider, and a classical bottom-up
 //!   Datalog evaluator;
@@ -24,6 +26,7 @@ pub use td_db as db;
 pub use td_engine as engine;
 pub use td_machines as machines;
 pub use td_parser as parser;
+pub use td_store as store;
 pub use td_workflow as workflow;
 
 /// Convenience prelude: the types most programs need.
@@ -35,4 +38,5 @@ pub mod prelude {
     pub use td_db::{Database, Tuple};
     pub use td_engine::{Engine, EngineConfig, Outcome, SearchBackend, Strategy};
     pub use td_parser::{parse_goal, parse_program};
+    pub use td_store::Store;
 }

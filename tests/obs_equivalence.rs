@@ -119,6 +119,76 @@ fn logical_counters_agree_between_sequential_and_deterministic_parallel() {
     }
 }
 
+/// Run every goal of a corpus file against a fresh durable store at `dir`,
+/// committing each successful transaction through the WAL the way
+/// `td --db run` does. Returns the store's final persisted digest, read
+/// back by a cold `Store::verify` pass (checksums + per-record digests).
+fn run_durably(source: &str, dir: &std::path::Path, backend: SearchBackend) -> u128 {
+    use transaction_datalog::db::{Delta, DeltaOp};
+    let parsed = parse_program(source).expect("corpus parses");
+    let config = EngineConfig::default()
+        .with_max_steps(2_000_000)
+        .with_backend(backend);
+    let engine = Engine::with_config(parsed.program.clone(), config);
+    let schema = Database::with_schema_of(&parsed.program);
+    let mut store = Store::init(dir, &schema).expect("store init");
+    let with_init = load_init(&schema, &parsed.init).expect("corpus init loads");
+    let mut genesis = Delta::new();
+    for p in with_init.preds() {
+        if let Some(rel) = with_init.relation(p) {
+            for t in rel.to_sorted_vec() {
+                genesis.push(DeltaOp::Ins(p, t));
+            }
+        }
+    }
+    if !genesis.is_empty() {
+        store.commit(&genesis).expect("genesis commit");
+    }
+    for g in &parsed.goals {
+        let outcome = engine
+            .solve(&g.goal, store.db())
+            .expect("corpus run cannot fault");
+        if let Some(sol) = outcome.solution() {
+            if !sol.delta.is_empty() {
+                store.commit(&sol.delta).expect("commit");
+            }
+            assert_eq!(store.db().digest(), sol.db.digest());
+        }
+    }
+    drop(store);
+    let report = Store::verify(dir).expect("closed store verifies");
+    report.final_digest
+}
+
+#[test]
+fn sequential_and_deterministic_parallel_persist_identical_digests() {
+    // The durability layer must not leak backend choice into the persisted
+    // state: running a corpus file durably under the sequential engine and
+    // under the deterministic-parallel one must leave byte-equivalent
+    // content — equal digests after a cold, checksum-verified re-read.
+    let root = std::env::temp_dir().join("td-obs-store-equivalence");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    for (name, source) in corpus_programs() {
+        let seq_dir = root.join(format!("{name}.seq"));
+        let par_dir = root.join(format!("{name}.par"));
+        let seq_digest = run_durably(&source, &seq_dir, SearchBackend::Sequential);
+        let par_digest = run_durably(
+            &source,
+            &par_dir,
+            SearchBackend::Parallel {
+                threads: 4,
+                deterministic: true,
+            },
+        );
+        assert_eq!(
+            seq_digest, par_digest,
+            "{name}: persisted digests diverged between backends"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn observed_runs_commit_the_same_witness_as_unobserved_runs() {
     for (name, source) in corpus_programs() {
