@@ -1,0 +1,144 @@
+//! E17 — dispatch cost of the shared transition kernel.
+//!
+//! Not a paper experiment: this is the regression guard for the kernel
+//! extraction (docs/ARCHITECTURE.md). The refactor routed every backend's
+//! hot loop through `kernel::actions`/`kernel::apply`, so this bench
+//! re-runs the exact workload shapes whose numbers PR 2 recorded in
+//! `BENCH_PR2.json` — the E13 backend ablation pair (serializable
+//! transfers on sequential vs work-stealing, the deeply serial RE-machine)
+//! and the E15 warm subgoal-cache replay — under `e17/...` group names.
+//! Compare each `e17` group against its `e13`/`e15` twin in BENCH_PR2 (or
+//! a pre-refactor checkout): numbers within noise mean the seam costs
+//! nothing; a systematic regression here is kernel dispatch overhead.
+//!
+//! The step-count report rows are exact (not timing): they must be
+//! *identical* to the pre-refactor counts, because the kernel enumerates
+//! the same actions in the same canonical order.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use td_bench::report_row;
+use td_db::Database;
+use td_engine::{load_init, Engine, EngineConfig, SearchBackend};
+use td_parser::parse_program;
+use td_workflow::{serializable_transfers, Bank, Scenario};
+
+fn par(threads: usize) -> SearchBackend {
+    SearchBackend::Parallel {
+        threads,
+        deterministic: false,
+    }
+}
+
+fn run(scenario: &Scenario, cfg: EngineConfig) -> td_engine::Stats {
+    let out = scenario.run_with(cfg).expect("no fault");
+    assert!(out.is_success());
+    out.stats()
+}
+
+/// The E13(a) shape: iso-wrapped serializable transfers, witness found
+/// fast — measures per-step backend overhead on the happy path.
+fn transfer_scenario() -> Scenario {
+    let bank = Bank::new(&[("acct1", 1_000), ("acct2", 1_000)]);
+    let mut scenario = bank.scenario();
+    let transfers: Vec<(i64, &str, &str)> = (0..4)
+        .map(|i| {
+            if i % 2 == 0 {
+                (5, "acct1", "acct2")
+            } else {
+                (5, "acct2", "acct1")
+            }
+        })
+        .collect();
+    scenario.goal = serializable_transfers(&transfers);
+    scenario
+}
+
+fn bench(c: &mut Criterion) {
+    // --- E13(a) twin: backend overhead on serializable transfers ---------
+    let scenario = transfer_scenario();
+    let mut group = c.benchmark_group("e17/backend_transfers");
+    for (label, backend) in [("seq", SearchBackend::Sequential), ("t4", par(4))] {
+        let cfg = EngineConfig::default().with_backend(backend);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(scenario.clone(), cfg),
+            |b, (s, cfg)| {
+                b.iter(|| run(s, cfg.clone()));
+            },
+        );
+        let stats = run(&scenario, EngineConfig::default().with_backend(backend));
+        report_row(
+            "E17",
+            "transfers n=4 (vs BENCH_PR2 e13/backend_transfers)",
+            &format!("steps {label}"),
+            stats.steps as f64,
+            "steps",
+        );
+    }
+    group.finish();
+
+    // --- E13(b) twin: the deeply serial RE-machine (nothing to steal) ----
+    let machine = td_machines::MinskyMachine::doubling().with_input(td_machines::Counter::C0, 4);
+    let scenario = machine.to_td();
+    let mut group = c.benchmark_group("e17/backend_machine");
+    for (label, backend) in [("seq", SearchBackend::Sequential), ("t4", par(4))] {
+        let cfg = EngineConfig::default()
+            .with_max_steps(10_000_000)
+            .with_backend(backend);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(scenario.clone(), cfg),
+            |b, (s, cfg)| {
+                b.iter(|| run(s, cfg.clone()));
+            },
+        );
+    }
+    group.finish();
+
+    // --- E15 twin: warm subgoal-cache replay on the iterated protocol ----
+    let path = format!(
+        "{}/../../corpus/iterated_protocol.td",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let src = std::fs::read_to_string(&path).expect("corpus file readable");
+    let parsed = parse_program(&src).expect("corpus file parses");
+    let db = load_init(&Database::with_schema_of(&parsed.program), &parsed.init)
+        .expect("init facts load");
+    let goal = parsed.goals[0].goal.clone();
+    let plain = Engine::new(parsed.program.clone());
+    let cached = Engine::with_config(
+        parsed.program.clone(),
+        EngineConfig::default().with_subgoal_cache(),
+    );
+    let mut group = c.benchmark_group("e17/cached_protocol");
+    group.bench_function("uncached", |b| {
+        b.iter(|| assert!(plain.solve(&goal, &db).unwrap().is_success()));
+    });
+    group.bench_function("cached", |b| {
+        // Warm steady-state replay, like e15/iterated_protocol.
+        b.iter(|| assert!(cached.solve(&goal, &db).unwrap().is_success()));
+    });
+    group.finish();
+    let stats = cached.solve(&goal, &db).unwrap().stats();
+    report_row(
+        "E17",
+        "iterated protocol warm (vs BENCH_PR2 e15/iterated_protocol)",
+        "cache hits",
+        stats.cache_hits as f64,
+        "replays",
+    );
+    report_row(
+        "E17",
+        "iterated protocol warm (vs BENCH_PR2 e15/iterated_protocol)",
+        "cache misses",
+        stats.cache_misses as f64,
+        "enumerations",
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

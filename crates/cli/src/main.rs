@@ -18,7 +18,9 @@
 //!   --seed=N               seed for --strategy=random (rejected otherwise)
 //!   --max-steps=N          step budget (default 10000000)
 //!   --threads=N            parallel search with N workers (exhaustive
-//!                          strategy only; N<=1 keeps the sequential engine)
+//!                          strategy only; N<=1 keeps the sequential engine).
+//!                          Incompatible with `td decide` (rejected: the
+//!                          decider is a sequential explicit-state search)
 //!   --deterministic        with --threads: report the same witness as the
 //!                          sequential engine
 //!   --subgoal-cache        memoize isolated blocks and sole-frontier ground
@@ -220,6 +222,18 @@ fn main() -> ExitCode {
         eprintln!(
             "td: --subgoal-cache cannot be combined with `trace`: tracing \
              disables the cache (see docs/CACHING.md); drop one of the two"
+        );
+        return ExitCode::from(2);
+    }
+    // `--threads` selects the parallel *interpreter* backend, which the
+    // memoizing decider never consults — it is a sequential explicit-state
+    // search. The flag used to be silently ignored for `td decide`; refuse
+    // the combination instead of quietly running something else.
+    if cmd == "decide" && matches!(opts.config.backend, SearchBackend::Parallel { .. }) {
+        eprintln!(
+            "td: --threads does not apply to `decide`: the decider is a \
+             sequential explicit-state search (see docs/PARALLELISM.md); \
+             drop --threads or use `td run`"
         );
         return ExitCode::from(2);
     }

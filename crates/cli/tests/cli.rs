@@ -120,6 +120,42 @@ fn missing_file_and_bad_usage_exit_2() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+#[test]
+fn incompatible_flag_combinations_exit_2() {
+    let f = write_temp("flags.td", "base t/0.\n?- ins.t.\n");
+    // The decider never consults the parallel backend; silently ignoring
+    // --threads would misreport what ran.
+    let out = td()
+        .args(["--threads=4", "decide"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--threads"), "{stderr}");
+    assert!(stderr.contains("decide"), "{stderr}");
+    // Tracing gates the subgoal cache off; the combination is refused
+    // rather than silently changing what runs.
+    let out = td()
+        .args(["--subgoal-cache", "trace"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--subgoal-cache"), "{stderr}");
+    // --deterministic without --threads is rejected at option parsing.
+    let out = td()
+        .args(["--deterministic", "run"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    // `td decide` without --threads still works.
+    let out = td().args(["decide"]).arg(&f).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+}
+
 /// Fresh temp directory for one store test.
 fn store_dir(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join("td-cli-store-tests").join(name);

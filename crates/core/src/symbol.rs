@@ -7,7 +7,7 @@
 //! touch the interner at all — ordering in particular sits on the engine's
 //! hot path through the `BTreeMap`-keyed database.
 //!
-//! The table is sharded: each string hashes to one of [`SHARDS`] independent
+//! The table is sharded: each string hashes to one of `SHARDS` independent
 //! `RwLock`-protected maps, and the overwhelmingly common case — interning a
 //! string that already exists — takes only a read lock on one shard. This
 //! keeps the interner off the contention profile of the parallel search

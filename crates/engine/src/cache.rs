@@ -19,7 +19,7 @@
 //! * ground derived-atom calls that are the *sole* frontier action —
 //!   contiguous because nothing else is schedulable until they finish.
 //!
-//! The table is sharded ([`CACHE_SHARDS`] mutexes, the same discipline as
+//! The table is sharded (`CACHE_SHARDS` mutexes, the same discipline as
 //! the parallel backend's claim table), capacity-bounded with CLOCK
 //! (second-chance) eviction, and shared across branches of the sequential
 //! search and across workers of the parallel search.

@@ -374,10 +374,7 @@ fn join(
             // Builtins in the bottom-up setting are filters/functions; an
             // instantiation fault means the rule isn't evaluable in this
             // order — treat as no match (it would be rejected top-down too).
-            let ok = matches!(
-                crate::machine::eval_builtin_pub(bindings, *op, terms),
-                Ok(true)
-            );
+            let ok = matches!(crate::kernel::eval_builtin(bindings, *op, terms), Ok(true));
             if ok {
                 join(
                     rule,

@@ -27,17 +27,16 @@
 //! are replayed as direct successors instead of being re-explored, which
 //! collapses the configuration chains inside contiguous subtransactions.
 
-use crate::cache::{canonicalize_with_map, state_key, CacheEntry, StateKey, SubgoalCache};
-use crate::config::EngineError;
-use crate::obs::{subgoal_label, LocalMetrics, Observer};
-use crate::trace::{ProbeOutcome, SpanPhase, TraceEvent};
-use crate::tree::{frontier, leaf_at, make_node, rewrite, to_goal, PTree};
+use crate::cache::{state_key, StateKey, SubgoalCache};
+use crate::config::{EngineError, Stats};
+use crate::kernel::{Config as StepConfig, Hooks, Kernel};
+use crate::obs::{LocalMetrics, Observer};
+use crate::trace::{SpanPhase, TraceEvent};
+use crate::tree::{make_node, to_goal, PTree};
 use std::collections::HashSet;
 use std::sync::Arc;
-use td_core::goal::Builtin;
-use td_core::unify::{unify_args, unify_terms};
-use td_core::{Bindings, Goal, Program, Term, Value, Var};
-use td_db::{Database, Tuple};
+use td_core::{Goal, Program, Term, Var};
+use td_db::Database;
 
 /// Limits for a decision run.
 #[derive(Clone, Copy, Debug)]
@@ -128,11 +127,10 @@ pub fn decide_observed(
         });
     }
     let mut search = Search {
-        program,
+        kernel: Kernel { program, cache },
         config,
         visited: HashSet::new(),
         truncated: false,
-        cache,
         local: LocalMetrics::new(obs.is_some()),
         obs: obs.clone(),
     };
@@ -181,11 +179,10 @@ pub fn final_states_with_cache(
     cache: Option<Arc<SubgoalCache>>,
 ) -> Result<Vec<Database>, EngineError> {
     let mut search = Search {
-        program,
+        kernel: Kernel { program, cache },
         config,
         visited: HashSet::new(),
         truncated: false,
-        cache,
         local: LocalMetrics::new(false),
         obs: None,
     };
@@ -208,11 +205,13 @@ pub fn shortest_execution(
     // Uncached on purpose: a cached answer replay is a macro-step, which
     // would corrupt the BFS elementary-step count this function measures.
     let mut search = Search {
-        program,
+        kernel: Kernel {
+            program,
+            cache: None,
+        },
         config,
         visited: HashSet::new(),
         truncated: false,
-        cache: None,
         local: LocalMetrics::new(false),
         obs: None,
     };
@@ -239,11 +238,12 @@ pub fn shortest_execution(
 }
 
 struct Search<'p> {
-    program: &'p Program,
+    /// The shared transition kernel (program + optional subgoal cache);
+    /// the decider only schedules which configuration to expand next.
+    kernel: Kernel<'p>,
     config: DeciderConfig,
     visited: HashSet<StateKey>,
     truncated: bool,
-    cache: Option<Arc<SubgoalCache>>,
     /// Per-run metric batch (rule expansions, cache tallies), absorbed by
     /// [`decide_observed`] when the run ends.
     local: LocalMetrics,
@@ -312,343 +312,35 @@ impl<'p> Search<'p> {
         self.visited.insert(state_key(&to_goal(tree), db))
     }
 
-    /// Every configuration reachable in one elementary step, across all
-    /// schedules and all nondeterministic choices.
+    /// Every configuration reachable in one elementary (or cache macro-)
+    /// step, across all schedules and all nondeterministic choices —
+    /// enumerated by the shared transition kernel; the decider contributes
+    /// no semantics of its own.
     fn successors(&mut self, tree: &Arc<PTree>, db: &Database) -> Result<Vec<Config>, EngineError> {
-        let mut out = Vec::new();
-        let paths = frontier(tree);
-        // A sole frontier action executes as a contiguous block — the
-        // cacheability condition for derived-atom calls (shared with the
-        // machine and the parallel backend).
-        let sole = paths.len() == 1;
-        for path in paths {
-            let leaf = leaf_at(tree, &path).clone();
-            match leaf {
-                Goal::Fail => {}
-                Goal::True | Goal::Seq(_) | Goal::Par(_) => {
-                    unreachable!("structural goals expanded by make_node")
-                }
-                Goal::Atom(atom) if self.program.is_base(atom.pred) => {
-                    let Some(rel) = db.relation(atom.pred) else {
-                        continue;
-                    };
-                    let pattern: Vec<Option<Value>> =
-                        atom.args.iter().map(|t| t.as_value()).collect();
-                    // `select` returns tuples in sorted (lexicographic)
-                    // order in every regime; no re-sort needed.
-                    for t in rel.select(&pattern) {
-                        if let Some(new_tree) = apply_unification(tree, &path, None, |b| {
-                            atom.args
-                                .iter()
-                                .zip(t.values())
-                                .all(|(a, v)| unify_terms(b, *a, Term::Val(*v)))
-                        }) {
-                            out.push((new_tree, db.clone()));
-                        }
-                    }
-                }
-                Goal::Atom(atom) => {
-                    let cached = if sole && atom.is_ground() {
-                        self.cached_successors(&Goal::Atom(atom.clone()), tree, &path, db)?
-                    } else {
-                        None
-                    };
-                    if let Some(succs) = cached {
-                        out.extend(succs);
-                        continue;
-                    }
-                    for &rid in self.program.rules_for(atom.pred) {
-                        let rule = self.program.rule(rid);
-                        let base = num_vars_in_tree(tree);
-                        let (head, body) = rule.rename_apart(base);
-                        let replacement = make_node(&body);
-                        if let Some(new_tree) = apply_unification_n(
-                            tree,
-                            &path,
-                            replacement,
-                            base + rule.num_vars(),
-                            |b| unify_args(b, &atom.args, &head.args),
-                        ) {
-                            self.local.observe_unfold(rid);
-                            out.push((new_tree, db.clone()));
-                        }
-                    }
-                }
-                Goal::NotAtom(atom) => {
-                    if !atom.is_ground() {
-                        return Err(EngineError::Instantiation {
-                            context: format!("not {atom}"),
-                        });
-                    }
-                    if !db.holds(&atom) {
-                        out.push((rewrite(tree, &path, None), db.clone()));
-                    }
-                }
-                Goal::Ins(atom) | Goal::Del(atom) => {
-                    let is_ins = matches!(leaf_at(tree, &path), Goal::Ins(_));
-                    let Some(values) = atom.ground_args() else {
-                        return Err(EngineError::Instantiation {
-                            context: format!("update on {atom}"),
-                        });
-                    };
-                    let t = Tuple::new(values);
-                    let next = if is_ins {
-                        db.insert(atom.pred, &t)
-                    } else {
-                        db.delete(atom.pred, &t)
-                    }
-                    .map_err(|e| EngineError::Db(e.to_string()))?
-                    .0;
-                    out.push((rewrite(tree, &path, None), next));
-                }
-                Goal::Builtin(op, terms) => match eval_ground_builtin(op, &terms)? {
-                    BuiltinOut::Fails => {}
-                    BuiltinOut::Succeeds => {
-                        out.push((rewrite(tree, &path, None), db.clone()));
-                    }
-                    BuiltinOut::Binds(v, val) => {
-                        let new_tree = rewrite(tree, &path, None).map(|t| subst_tree(&t, v, val));
-                        out.push((new_tree, db.clone()));
-                    }
-                },
-                Goal::Choice(branches) => {
-                    for b in &branches {
-                        out.push((rewrite(tree, &path, make_node(b)), db.clone()));
-                    }
-                }
-                Goal::Iso(inner) => {
-                    // Isolated block: committing to start it means nothing
-                    // else runs until it completes — i.e. the whole
-                    // remaining tree is sequenced after it. (Schedules
-                    // where the block starts later arise from stepping the
-                    // other frontier actions first.) Variable bindings made
-                    // inside the block flow to the continuation because it
-                    // is one tree.
-                    match self.cached_successors(&inner, tree, &path, db)? {
-                        Some(succs) => out.extend(succs),
-                        None => {
-                            let rest = rewrite(tree, &path, None);
-                            out.push((crate::tree::sequence(make_node(&inner), rest), db.clone()));
-                        }
-                    }
-                }
-            }
+        // The kernel charges flat semantic counters (unfolds, db ops, …)
+        // through its hooks; the decider's result reports configuration
+        // counts only, so those go to a scratch pad. Per-rule and
+        // per-subgoal tallies still accumulate in `local` for
+        // [`decide_observed`].
+        let mut scratch = Stats::default();
+        let (actions, err) = self.kernel.actions(
+            &StepConfig::ground(tree.clone(), db.clone()),
+            &mut Hooks {
+                stats: &mut scratch,
+                local: &mut self.local,
+                events: self.obs.as_deref(),
+            },
+        );
+        if let Some(e) = err {
+            return Err(e);
         }
-        Ok(out)
-    }
-
-    /// Probe (and on miss, populate) the subgoal cache for a contiguous
-    /// subgoal, producing the macro-step successor configurations — one per
-    /// cached answer, with the answer's bindings applied to the rest of the
-    /// tree and its delta replayed onto the database. Returns `Ok(None)`
-    /// when the cache is off or the subgoal is unsuitable for caching, in
-    /// which case the caller must fall back to the elementary-step path.
-    fn cached_successors(
-        &mut self,
-        subgoal: &Goal,
-        tree: &Arc<PTree>,
-        path: &[usize],
-        db: &Database,
-    ) -> Result<Option<Vec<Config>>, EngineError> {
-        let Some(cache) = self.cache.clone() else {
-            return Ok(None);
-        };
-        let (canon, vars) = canonicalize_with_map(subgoal);
-        let label = subgoal_label(subgoal);
-        let probe = |search: &mut Search<'_>, outcome: ProbeOutcome| {
-            search.local.observe_cache(&label, outcome);
-            if let Some(o) = &search.obs {
-                o.emit(None, || TraceEvent::CacheProbe {
-                    subgoal: label.clone(),
-                    outcome,
-                });
-            }
-        };
-        let key = (canon, db.digest());
-        let answers = match cache.lookup(&key) {
-            Some(CacheEntry::Answers(a)) => {
-                probe(self, ProbeOutcome::Hit);
-                a
-            }
-            Some(CacheEntry::Unsuitable) => {
-                probe(self, ProbeOutcome::Unsuitable);
-                return Ok(None);
-            }
-            None => {
-                match crate::machine::enumerate_answers(self.program, &key.0, vars.len() as u32, db)
-                {
-                    Some(list) => {
-                        probe(self, ProbeOutcome::Miss);
-                        let arc = Arc::new(list);
-                        cache.insert(key, CacheEntry::Answers(arc.clone()));
-                        arc
-                    }
-                    None => {
-                        probe(self, ProbeOutcome::Unsuitable);
-                        cache.insert(key, CacheEntry::Unsuitable);
-                        return Ok(None);
-                    }
-                }
-            }
-        };
-        let mut out = Vec::with_capacity(answers.len());
-        for ans in answers.iter() {
-            if let Some(new_tree) = apply_unification(tree, path, None, |b| {
-                vars.iter()
-                    .zip(&ans.values)
-                    .all(|(v, val)| unify_terms(b, Term::Var(*v), Term::Val(*val)))
-            }) {
-                let next = ans
-                    .delta
-                    .replay(db)
-                    .map_err(|e| EngineError::Db(e.to_string()))?;
-                out.push((new_tree, next));
-            }
-        }
-        Ok(Some(out))
-    }
-}
-
-/// Unify under a scratch binding store sized for the tree's variables, then
-/// substitute the solution through the rewritten tree.
-pub(crate) fn apply_unification(
-    tree: &Arc<PTree>,
-    path: &[usize],
-    replacement: Option<Arc<PTree>>,
-    unifier: impl FnOnce(&mut Bindings) -> bool,
-) -> Option<Option<Arc<PTree>>> {
-    let n = num_vars_in_tree(tree);
-    apply_unification_n(tree, path, replacement, n, unifier)
-}
-
-pub(crate) fn apply_unification_n(
-    tree: &Arc<PTree>,
-    path: &[usize],
-    replacement: Option<Arc<PTree>>,
-    nvars: u32,
-    unifier: impl FnOnce(&mut Bindings) -> bool,
-) -> Option<Option<Arc<PTree>>> {
-    let mut b = Bindings::new();
-    b.alloc(nvars);
-    if !unifier(&mut b) {
-        return None;
-    }
-    let rewritten = rewrite(tree, path, replacement);
-    Some(rewritten.map(|t| apply_bindings_tree(&t, &b)))
-}
-
-/// Variables in a tree: max id + 1.
-pub(crate) fn num_vars_in_tree(tree: &Arc<PTree>) -> u32 {
-    to_goal(tree)
-        .vars()
-        .into_iter()
-        .map(|Var(i)| i + 1)
-        .max()
-        .unwrap_or(0)
-}
-
-pub(crate) fn apply_bindings_tree(tree: &Arc<PTree>, b: &Bindings) -> Arc<PTree> {
-    map_tree(tree, &mut |t| b.resolve(t))
-}
-
-pub(crate) fn subst_tree(tree: &Arc<PTree>, v: Var, val: Term) -> Arc<PTree> {
-    map_tree(tree, &mut |t| if t == Term::Var(v) { val } else { t })
-}
-
-pub(crate) fn map_tree(tree: &Arc<PTree>, f: &mut impl FnMut(Term) -> Term) -> Arc<PTree> {
-    match &**tree {
-        PTree::Lit(g) => Arc::new(PTree::Lit(g.map_terms(f))),
-        PTree::Seq(cs) => Arc::new(PTree::Seq(cs.iter().map(|c| map_tree(c, f)).collect())),
-        PTree::Par(cs) => Arc::new(PTree::Par(cs.iter().map(|c| map_tree(c, f)).collect())),
-    }
-}
-
-pub(crate) enum BuiltinOut {
-    Fails,
-    Succeeds,
-    Binds(Var, Term),
-}
-
-/// Builtins in the decider work over (mostly) ground configurations:
-/// comparisons demand ground integers; `=` may bind one free variable;
-/// arithmetic may bind its output.
-pub(crate) fn eval_ground_builtin(op: Builtin, terms: &[Term]) -> Result<BuiltinOut, EngineError> {
-    let ground_int = |t: Term| -> Result<i64, EngineError> {
-        match t {
-            Term::Val(Value::Int(i)) => Ok(i),
-            Term::Val(v) => Err(EngineError::Type {
-                context: format!("`{v}` in `{}`", op.op_str()),
-            }),
-            Term::Var(v) => Err(EngineError::Instantiation {
-                context: format!("`{v}` in `{}`", op.op_str()),
-            }),
-        }
-    };
-    match op {
-        Builtin::Eq => match (terms[0], terms[1]) {
-            (Term::Val(a), Term::Val(b)) => Ok(if a == b {
-                BuiltinOut::Succeeds
-            } else {
-                BuiltinOut::Fails
-            }),
-            (Term::Var(v), t @ Term::Val(_)) | (t @ Term::Val(_), Term::Var(v)) => {
-                Ok(BuiltinOut::Binds(v, t))
-            }
-            (Term::Var(a), Term::Var(b)) => {
-                if a == b {
-                    Ok(BuiltinOut::Succeeds)
-                } else {
-                    Ok(BuiltinOut::Binds(a, Term::Var(b)))
-                }
-            }
-        },
-        Builtin::Ne => match (terms[0], terms[1]) {
-            (Term::Val(a), Term::Val(b)) => Ok(if a != b {
-                BuiltinOut::Succeeds
-            } else {
-                BuiltinOut::Fails
-            }),
-            (a, b) => Err(EngineError::Instantiation {
-                context: format!("`{a} != {b}`"),
-            }),
-        },
-        Builtin::Lt | Builtin::Le | Builtin::Gt | Builtin::Ge => {
-            let a = ground_int(terms[0])?;
-            let b = ground_int(terms[1])?;
-            let ok = match op {
-                Builtin::Lt => a < b,
-                Builtin::Le => a <= b,
-                Builtin::Gt => a > b,
-                Builtin::Ge => a >= b,
-                _ => unreachable!(),
-            };
-            Ok(if ok {
-                BuiltinOut::Succeeds
-            } else {
-                BuiltinOut::Fails
+        Ok(actions
+            .into_iter()
+            .map(|a| {
+                let (cfg, _ops) = self.kernel.apply(a);
+                (cfg.tree, cfg.db)
             })
-        }
-        Builtin::Add | Builtin::Sub | Builtin::Mul => {
-            let a = ground_int(terms[0])?;
-            let b = ground_int(terms[1])?;
-            let r = match op {
-                Builtin::Add => a.checked_add(b),
-                Builtin::Sub => a.checked_sub(b),
-                Builtin::Mul => a.checked_mul(b),
-                _ => unreachable!(),
-            }
-            .ok_or_else(|| EngineError::Overflow {
-                context: format!("{a} {} {b}", op.op_str()),
-            })?;
-            match terms[2] {
-                Term::Var(v) => Ok(BuiltinOut::Binds(v, Term::int(r))),
-                Term::Val(c) => Ok(if c == Value::Int(r) {
-                    BuiltinOut::Succeeds
-                } else {
-                    BuiltinOut::Fails
-                }),
-            }
-        }
+            .collect())
     }
 }
 

@@ -18,16 +18,17 @@
 //! it.
 
 use crate::config::EngineError;
-use crate::decider::{
-    apply_unification, apply_unification_n, canonical_goal, eval_ground_builtin, subst_tree,
-    BuiltinOut,
+use crate::decider::canonical_goal;
+use crate::kernel::{
+    apply_unification, apply_unification_n, apply_update, check_absent, eval_ground_builtin,
+    matching_tuples, subst_tree, BuiltinOut,
 };
 use crate::tree::{frontier, leaf_at, make_node, rewrite, to_goal, PTree};
 use std::collections::HashSet;
 use std::sync::Arc;
 use td_core::unify::{unify_args, unify_terms};
-use td_core::{Goal, Program, Term, Value};
-use td_db::{Database, Delta, Tuple};
+use td_core::{Goal, Program, Term};
+use td_db::{Database, Delta};
 
 /// Does `P, states ⊨ goal` hold? `states` must be non-empty; the execution
 /// must start at `states\[0\]`, end at `states[n]`, and its i-th database
@@ -99,11 +100,7 @@ fn successors(
             }
             Goal::Atom(atom) if program.is_base(atom.pred) => {
                 // Query at the current state; the path does not advance.
-                let Some(rel) = db.relation(atom.pred) else {
-                    continue;
-                };
-                let pattern: Vec<Option<Value>> = atom.args.iter().map(|t| t.as_value()).collect();
-                for t in rel.select(&pattern) {
+                for t in matching_tuples(db, &atom) {
                     if let Some(new_tree) = apply_unification(tree, &path, None, |b| {
                         atom.args
                             .iter()
@@ -117,7 +114,7 @@ fn successors(
             Goal::Atom(atom) => {
                 for &rid in program.rules_for(atom.pred) {
                     let rule = program.rule(rid);
-                    let base = crate::decider::num_vars_in_tree(tree);
+                    let base = crate::kernel::num_vars_in_tree(tree);
                     let (head, body) = rule.rename_apart(base);
                     let replacement = make_node(&body);
                     if let Some(new_tree) =
@@ -130,12 +127,7 @@ fn successors(
                 }
             }
             Goal::NotAtom(atom) => {
-                if !atom.is_ground() {
-                    return Err(EngineError::Instantiation {
-                        context: format!("not {atom}"),
-                    });
-                }
-                if !db.holds(&atom) {
+                if check_absent(db, &atom)? {
                     out.push((rewrite(tree, &path, None), pos));
                 }
             }
@@ -145,19 +137,7 @@ fn successors(
                     continue;
                 }
                 let is_ins = matches!(leaf_at(tree, &path), Goal::Ins(_));
-                let Some(values) = atom.ground_args() else {
-                    return Err(EngineError::Instantiation {
-                        context: format!("update on {atom}"),
-                    });
-                };
-                let t = Tuple::new(values);
-                let next = if is_ins {
-                    db.insert(atom.pred, &t)
-                } else {
-                    db.delete(atom.pred, &t)
-                }
-                .map_err(|e| EngineError::Db(e.to_string()))?
-                .0;
+                let (next, _changed, _op) = apply_update(db, &atom, is_ins)?;
                 if next.same_content(&states[pos + 1]) {
                     out.push((rewrite(tree, &path, None), pos + 1));
                 }

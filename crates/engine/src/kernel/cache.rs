@@ -1,0 +1,180 @@
+//! Subgoal-cache macro-steps: probe (and on miss, populate) the shared
+//! subtransaction answer cache, and replay one cached answer as a single
+//! transition. Cacheability — isolated blocks always, derived-atom calls
+//! only when sole-frontier and ground — is decided by the callers, so all
+//! three backends make identical caching decisions; this module owns what
+//! happens once a contiguous subgoal is in hand.
+
+use super::Hooks;
+use crate::cache::{canonicalize_with_map, CacheEntry, CachedAnswer, SubgoalCache};
+use crate::config::{EngineConfig, EngineError};
+use crate::obs::subgoal_label;
+use crate::trace::{ProbeOutcome, TraceEvent};
+use crate::tree::make_node;
+use std::sync::Arc;
+use td_core::unify::unify_terms;
+use td_core::{Bindings, Goal, Program, Term, Var};
+use td_db::{Database, Delta, DeltaOp};
+
+/// What a cache probe resolved to.
+pub(crate) enum Probe {
+    /// The subgoal's complete answer set, in canonical depth-first yield
+    /// order; `vars` are the caller-side variables each answer's values
+    /// bind, positionally.
+    Replay {
+        answers: Arc<Vec<CachedAnswer>>,
+        vars: Vec<Var>,
+    },
+    /// No usable entry (cache off for this subgoal, or it is unsuitable):
+    /// the caller must run the lazy elementary path.
+    Lazy,
+}
+
+/// Probe the cache for a contiguous subgoal, enumerating and inserting the
+/// answer set on a miss. Hit/miss counters, per-subgoal tallies and (when
+/// `hooks.events` is set) per-probe events are charged to `hooks`; the
+/// subgoal label is only rendered when something would consume it.
+pub(crate) fn probe_subgoal(
+    program: &Program,
+    cache: &SubgoalCache,
+    db: &Database,
+    subgoal: &Goal,
+    hooks: &mut Hooks<'_>,
+) -> Probe {
+    let (canon, vars) = canonicalize_with_map(subgoal);
+    let label =
+        (hooks.local.is_enabled() || hooks.events.is_some()).then(|| subgoal_label(subgoal));
+    let note = |hooks: &mut Hooks<'_>, outcome: ProbeOutcome| {
+        if let Some(l) = &label {
+            hooks.local.observe_cache(l, outcome);
+            if let Some(o) = hooks.events {
+                o.emit(None, || TraceEvent::CacheProbe {
+                    subgoal: l.clone(),
+                    outcome,
+                });
+            }
+        }
+    };
+    let key = (canon, db.digest());
+    match cache.lookup(&key) {
+        Some(CacheEntry::Answers(answers)) => {
+            hooks.stats.cache_hits += 1;
+            note(hooks, ProbeOutcome::Hit);
+            Probe::Replay { answers, vars }
+        }
+        Some(CacheEntry::Unsuitable) => {
+            note(hooks, ProbeOutcome::Unsuitable);
+            Probe::Lazy
+        }
+        None => {
+            hooks.stats.cache_misses += 1;
+            match enumerate_answers(program, &key.0, vars.len() as u32, db) {
+                Some(list) => {
+                    note(hooks, ProbeOutcome::Miss);
+                    let answers = Arc::new(list);
+                    cache.insert(key, CacheEntry::Answers(answers.clone()));
+                    Probe::Replay { answers, vars }
+                }
+                None => {
+                    note(hooks, ProbeOutcome::Unsuitable);
+                    cache.insert(key, CacheEntry::Unsuitable);
+                    Probe::Lazy
+                }
+            }
+        }
+    }
+}
+
+/// Bind a replayed answer's ground values to the subgoal's original
+/// variables on the machine's trail. False on clash; the caller's
+/// choicepoint mark cleans up partial bindings.
+pub(crate) fn bind_answer(bindings: &mut Bindings, vars: &[Var], ans: &CachedAnswer) -> bool {
+    vars.iter()
+        .zip(&ans.values)
+        .all(|(v, val)| unify_terms(bindings, Term::Var(*v), Term::Val(*val)))
+}
+
+/// Re-apply a cached answer's state delta to `db`, invoking `on_op` for
+/// each op as it lands (drivers count and log them). A storage fault is a
+/// fault here too, exactly as on the lazy path.
+pub(crate) fn replay_answer(
+    db: &Database,
+    ans: &CachedAnswer,
+    mut on_op: impl FnMut(&DeltaOp),
+) -> Result<Database, EngineError> {
+    let mut cur = db.clone();
+    for op in ans.delta.ops() {
+        cur = op.apply(&cur).map_err(|e| EngineError::Db(e.to_string()))?;
+        on_op(op);
+    }
+    Ok(cur)
+}
+
+/// Per-miss budget for answer-set enumeration: a subgoal that does not run
+/// to exhaustion within this many elementary steps is marked unsuitable and
+/// left to the lazy path.
+const CACHE_ENUM_MAX_STEPS: u64 = 20_000;
+
+/// A subgoal with more answers than this is not worth caching (the entry
+/// would be large and the replay savings marginal); marked unsuitable.
+const CACHE_ENUM_MAX_ANSWERS: usize = 256;
+
+/// Enumerate the *complete* answer set of a canonical subgoal on `db`,
+/// in the exhaustive machine's yield order, with duplicates preserved —
+/// the replay must be indistinguishable (bindings, delta, order,
+/// multiplicity) from running the subgoal lazily. The canonical answer
+/// order is *defined* by the sequential driver, so this is the one place
+/// the kernel calls back into [`crate::machine`].
+///
+/// `None` = unsuitable for caching: a fault occurred, an answer was
+/// non-ground, or an enumeration bound was exceeded. Callers fall back to
+/// the lazy path, which reproduces the original behaviour (including
+/// surfacing the fault in its proper context).
+pub(crate) fn enumerate_answers(
+    program: &Program,
+    goal: &Goal,
+    nvars: u32,
+    db: &Database,
+) -> Option<Vec<CachedAnswer>> {
+    use crate::machine::{Ctx, Solver};
+    let config = EngineConfig {
+        max_steps: CACHE_ENUM_MAX_STEPS,
+        ..EngineConfig::default()
+    };
+    let mut ctx = Ctx::new(program, &config, None, None);
+    ctx.bindings.alloc(nvars);
+    let mut solver = Solver::new(make_node(goal), db.clone());
+    let mut out = Vec::new();
+    let mut first = true;
+    loop {
+        let found = if first {
+            first = false;
+            solver.run(&mut ctx)
+        } else {
+            solver.resume(&mut ctx)
+        };
+        match found {
+            Ok(true) => {
+                if out.len() >= CACHE_ENUM_MAX_ANSWERS {
+                    return None;
+                }
+                let mut values = Vec::with_capacity(nvars as usize);
+                for i in 0..nvars {
+                    match ctx.bindings.resolve(Term::var(i)) {
+                        Term::Val(v) => values.push(v),
+                        // A non-ground answer cannot be replayed by value
+                        // binding; leave this subgoal to the lazy path.
+                        Term::Var(_) => return None,
+                    }
+                }
+                let mut delta = Delta::new();
+                for op in &ctx.delta {
+                    delta.push(op.clone());
+                }
+                out.push(CachedAnswer { values, delta });
+            }
+            Ok(false) => return Some(out),
+            Err(_) => return None,
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Elementary operations of the transition relation — base-relation
+//! queries, absence tests, `ins`/`del` updates, and builtins. These are
+//! the leaves every backend must execute identically; each helper carries
+//! the semantics (including the exact failure/fault split) once.
+
+use crate::config::EngineError;
+use td_core::goal::Builtin;
+use td_core::unify::unify_terms;
+use td_core::{Atom, Bindings, Term, Value, Var};
+use td_db::{Database, DeltaOp, Tuple};
+
+/// Apply current bindings to an atom's arguments.
+pub(crate) fn resolve_atom(bindings: &Bindings, atom: &Atom) -> Atom {
+    Atom {
+        pred: atom.pred,
+        args: atom.args.iter().map(|t| bindings.resolve(*t)).collect(),
+    }
+}
+
+/// Tuples of `db` matching the (resolved) query atom's bound positions.
+/// [`td_db::Relation::select`] returns every regime in sorted
+/// (lexicographic) order — the engine's canonical exploration order — so no
+/// re-sort is needed here. An undeclared relation has no tuples.
+pub(crate) fn matching_tuples(db: &Database, atom: &Atom) -> Vec<Tuple> {
+    let Some(rel) = db.relation(atom.pred) else {
+        return Vec::new();
+    };
+    let pattern: Vec<Option<Value>> = atom.args.iter().map(|t| t.as_value()).collect();
+    rel.select(&pattern)
+}
+
+/// Unify a query atom's arguments with a tuple. Returns false on clash
+/// (possible with repeated variables, e.g. `p(X, X)`); the caller's
+/// choicepoint mark cleans up partial bindings.
+pub(crate) fn bind_tuple(bindings: &mut Bindings, atom: &Atom, tuple: &Tuple) -> bool {
+    atom.args
+        .iter()
+        .zip(tuple.values())
+        .all(|(arg, val)| unify_terms(bindings, *arg, Term::Val(*val)))
+}
+
+/// The elementary `not p(t̄)` test. `Ok(true)` = the (ground) atom is
+/// absent and the step proceeds; `Ok(false)` = present, the step fails;
+/// `Err` = the atom is non-ground, a fault in every backend.
+pub(crate) fn check_absent(db: &Database, atom: &Atom) -> Result<bool, EngineError> {
+    if !atom.is_ground() {
+        return Err(EngineError::Instantiation {
+            context: format!("not {atom}"),
+        });
+    }
+    Ok(!db.holds(atom))
+}
+
+/// The elementary `ins.p(t̄)` / `del.p(t̄)` step on a (resolved) atom.
+/// Returns the successor database, whether it actually changed, and the
+/// delta op recording the update. Non-ground arguments and storage errors
+/// are faults, not failures.
+pub(crate) fn apply_update(
+    db: &Database,
+    atom: &Atom,
+    is_ins: bool,
+) -> Result<(Database, bool, DeltaOp), EngineError> {
+    let Some(values) = atom.ground_args() else {
+        return Err(EngineError::Instantiation {
+            context: format!("update on {atom}"),
+        });
+    };
+    let t = Tuple::new(values);
+    let result = if is_ins {
+        db.insert(atom.pred, &t)
+    } else {
+        db.delete(atom.pred, &t)
+    };
+    let (next, changed) = result.map_err(|e| EngineError::Db(e.to_string()))?;
+    let op = if is_ins {
+        DeltaOp::Ins(atom.pred, t)
+    } else {
+        DeltaOp::Del(atom.pred, t)
+    };
+    Ok((next, changed, op))
+}
+
+/// Evaluate a builtin on the machine's shared trail. `Ok(true)` = succeeds
+/// (possibly binding), `Ok(false)` = fails, `Err` = fatal
+/// (instantiation/type/overflow). Also serves the bottom-up Datalog and
+/// tabling evaluators, which share the interpreter's builtin semantics.
+pub(crate) fn eval_builtin(
+    bindings: &mut Bindings,
+    op: Builtin,
+    terms: &[Term],
+) -> Result<bool, EngineError> {
+    let resolved: Vec<Term> = terms.iter().map(|t| bindings.resolve(*t)).collect();
+    let ground_int = |t: Term| -> Result<i64, EngineError> {
+        match t {
+            Term::Val(Value::Int(i)) => Ok(i),
+            Term::Val(v) => Err(EngineError::Type {
+                context: format!("`{v}` is not an integer in `{}`", op.op_str()),
+            }),
+            Term::Var(v) => Err(EngineError::Instantiation {
+                context: format!("`{v}` in `{}`", op.op_str()),
+            }),
+        }
+    };
+    match op {
+        Builtin::Eq => Ok(unify_terms(bindings, resolved[0], resolved[1])),
+        Builtin::Ne => {
+            let (a, b) = (resolved[0], resolved[1]);
+            match (a, b) {
+                (Term::Val(x), Term::Val(y)) => Ok(x != y),
+                _ => Err(EngineError::Instantiation {
+                    context: format!("`{a} != {b}`"),
+                }),
+            }
+        }
+        Builtin::Lt | Builtin::Le | Builtin::Gt | Builtin::Ge => {
+            let a = ground_int(resolved[0])?;
+            let b = ground_int(resolved[1])?;
+            Ok(match op {
+                Builtin::Lt => a < b,
+                Builtin::Le => a <= b,
+                Builtin::Gt => a > b,
+                Builtin::Ge => a >= b,
+                _ => unreachable!(),
+            })
+        }
+        Builtin::Add | Builtin::Sub | Builtin::Mul => {
+            let a = ground_int(resolved[0])?;
+            let b = ground_int(resolved[1])?;
+            let r = match op {
+                Builtin::Add => a.checked_add(b),
+                Builtin::Sub => a.checked_sub(b),
+                Builtin::Mul => a.checked_mul(b),
+                _ => unreachable!(),
+            };
+            let Some(r) = r else {
+                return Err(EngineError::Overflow {
+                    context: format!("{a} {} {b}", op.op_str()),
+                });
+            };
+            Ok(unify_terms(bindings, resolved[2], Term::int(r)))
+        }
+    }
+}
+
+/// The outcome of a ground builtin evaluation (structural-substitution
+/// backends; no trail to bind through).
+pub(crate) enum BuiltinOut {
+    Fails,
+    Succeeds,
+    Binds(Var, Term),
+}
+
+/// Builtins over (mostly) ground configurations: comparisons demand ground
+/// integers; `=` may bind one free variable; arithmetic may bind its
+/// output.
+pub(crate) fn eval_ground_builtin(op: Builtin, terms: &[Term]) -> Result<BuiltinOut, EngineError> {
+    let ground_int = |t: Term| -> Result<i64, EngineError> {
+        match t {
+            Term::Val(Value::Int(i)) => Ok(i),
+            Term::Val(v) => Err(EngineError::Type {
+                context: format!("`{v}` in `{}`", op.op_str()),
+            }),
+            Term::Var(v) => Err(EngineError::Instantiation {
+                context: format!("`{v}` in `{}`", op.op_str()),
+            }),
+        }
+    };
+    match op {
+        Builtin::Eq => match (terms[0], terms[1]) {
+            (Term::Val(a), Term::Val(b)) => Ok(if a == b {
+                BuiltinOut::Succeeds
+            } else {
+                BuiltinOut::Fails
+            }),
+            (Term::Var(v), t @ Term::Val(_)) | (t @ Term::Val(_), Term::Var(v)) => {
+                Ok(BuiltinOut::Binds(v, t))
+            }
+            (Term::Var(a), Term::Var(b)) => {
+                if a == b {
+                    Ok(BuiltinOut::Succeeds)
+                } else {
+                    Ok(BuiltinOut::Binds(a, Term::Var(b)))
+                }
+            }
+        },
+        Builtin::Ne => match (terms[0], terms[1]) {
+            (Term::Val(a), Term::Val(b)) => Ok(if a != b {
+                BuiltinOut::Succeeds
+            } else {
+                BuiltinOut::Fails
+            }),
+            (a, b) => Err(EngineError::Instantiation {
+                context: format!("`{a} != {b}`"),
+            }),
+        },
+        Builtin::Lt | Builtin::Le | Builtin::Gt | Builtin::Ge => {
+            let a = ground_int(terms[0])?;
+            let b = ground_int(terms[1])?;
+            let ok = match op {
+                Builtin::Lt => a < b,
+                Builtin::Le => a <= b,
+                Builtin::Gt => a > b,
+                Builtin::Ge => a >= b,
+                _ => unreachable!(),
+            };
+            Ok(if ok {
+                BuiltinOut::Succeeds
+            } else {
+                BuiltinOut::Fails
+            })
+        }
+        Builtin::Add | Builtin::Sub | Builtin::Mul => {
+            let a = ground_int(terms[0])?;
+            let b = ground_int(terms[1])?;
+            let r = match op {
+                Builtin::Add => a.checked_add(b),
+                Builtin::Sub => a.checked_sub(b),
+                Builtin::Mul => a.checked_mul(b),
+                _ => unreachable!(),
+            }
+            .ok_or_else(|| EngineError::Overflow {
+                context: format!("{a} {} {b}", op.op_str()),
+            })?;
+            match terms[2] {
+                Term::Var(v) => Ok(BuiltinOut::Binds(v, Term::int(r))),
+                Term::Val(c) => Ok(if c == Value::Int(r) {
+                    BuiltinOut::Succeeds
+                } else {
+                    BuiltinOut::Fails
+                }),
+            }
+        }
+    }
+}

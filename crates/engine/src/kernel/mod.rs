@@ -1,0 +1,72 @@
+//! The shared small-step transition kernel.
+//!
+//! Bonner's TD semantics is *one* transition relation over configurations
+//! `(process tree, database)`: elementary database operations (`p(t̄)`,
+//! `ins.p`, `del.p`, `not p`), rule unfolding, `or`-choice, and isolation
+//! entry — plus the subgoal-cache macro-step that replays a contiguous
+//! subtransaction's answer set in one move. This module is the single
+//! implementation of that relation; the three search backends are thin
+//! *drivers* that only decide **which** enabled action to take next:
+//!
+//! * [`crate::machine`] — strategy-ordered depth-first search with a
+//!   choicepoint stack and a shared trail (lazy bindings);
+//! * [`crate::decider`] — memoized explicit-state search, one visit per
+//!   digest-keyed configuration (ground bindings, applied structurally);
+//! * [`crate::parallel`] — work-stealing exploration of the same ground
+//!   configuration graph across threads.
+//!
+//! The ground backends go through [`Kernel::actions`], which enumerates
+//! every enabled transition of a [`Config`] — frontier paths left to
+//! right, per-leaf alternatives in canonical order — with effects already
+//! applied (TD states are persistent, so applying is as cheap as
+//! describing). [`Kernel::apply`] is the hand-off where a driver takes
+//! ownership of one [`Action`]'s successor configuration and layers its
+//! own bookkeeping (path labels, delta chains, work queues) on top. The
+//! sequential machine keeps its trail-based representation and instead
+//! composes the kernel's primitives directly ([`elem`], [`unfold_trail`],
+//! [`probe_subgoal`] + [`bind_answer`]/[`replay_answer`]) under its own
+//! choicepoint discipline.
+//!
+//! Accounting is uniform: every kernel entry point takes [`Hooks`], and
+//! charges unfolds, database ops, isolation entries and cache hit/miss
+//! counters there, emitting per-probe observability events only when the
+//! driver supplies an event sink (the parallel hot path passes `None` and
+//! reports aggregate worker spans instead).
+//!
+//! Invariants drivers may rely on are spelled out in
+//! `docs/ARCHITECTURE.md`.
+
+mod cache;
+mod elem;
+mod ground;
+mod subst;
+mod unfold;
+
+pub(crate) use cache::{bind_answer, probe_subgoal, replay_answer, Probe};
+pub(crate) use elem::{
+    apply_update, bind_tuple, check_absent, eval_builtin, eval_ground_builtin, matching_tuples,
+    resolve_atom, BuiltinOut,
+};
+pub(crate) use ground::{Config, Kernel};
+pub(crate) use subst::{
+    apply_unification, apply_unification_n, num_vars_in_tree, subst_tree, unify_project,
+};
+pub(crate) use unfold::unfold_trail;
+
+use crate::config::Stats;
+use crate::obs::{LocalMetrics, Observer};
+
+/// Driver-supplied accounting sinks for one kernel call.
+///
+/// The kernel charges the semantic cost of a transition here — `unfolds`,
+/// `db_ops`, `iso_enters`, `cache_hits`/`cache_misses`, per-rule and
+/// per-subgoal tallies — so every backend counts identically. Search cost
+/// (steps, backtracks, choicepoints, queue depths) is scheduling, and
+/// stays with the driver.
+pub(crate) struct Hooks<'a> {
+    pub stats: &'a mut Stats,
+    pub local: &'a mut LocalMetrics,
+    /// Per-probe event sink. `None` suppresses kernel-level event emission
+    /// (the parallel hot path reports aggregate worker spans instead).
+    pub events: Option<&'a Observer>,
+}

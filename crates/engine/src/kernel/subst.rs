@@ -1,0 +1,89 @@
+//! Structural substitution: unify under a scratch binding store, then
+//! substitute the solution through the process tree (and, for drivers that
+//! track them, the goal's answer terms). This is the ground backends'
+//! counterpart of the sequential machine's shared trail.
+
+use crate::tree::{rewrite, to_goal, PTree};
+use std::sync::Arc;
+use td_core::{Bindings, Term, Var};
+
+/// Unify under a scratch binding store sized for the tree's variables, then
+/// substitute the solution through the rewritten tree.
+pub(crate) fn apply_unification(
+    tree: &Arc<PTree>,
+    path: &[usize],
+    replacement: Option<Arc<PTree>>,
+    unifier: impl FnOnce(&mut Bindings) -> bool,
+) -> Option<Option<Arc<PTree>>> {
+    let n = num_vars_in_tree(tree);
+    apply_unification_n(tree, path, replacement, n, unifier)
+}
+
+/// [`apply_unification`] with an explicit variable high-water mark (needed
+/// when the unifier mentions variables that are not in the tree, e.g. a
+/// freshly renamed rule body).
+pub(crate) fn apply_unification_n(
+    tree: &Arc<PTree>,
+    path: &[usize],
+    replacement: Option<Arc<PTree>>,
+    nvars: u32,
+    unifier: impl FnOnce(&mut Bindings) -> bool,
+) -> Option<Option<Arc<PTree>>> {
+    let mut b = Bindings::new();
+    b.alloc(nvars);
+    if !unifier(&mut b) {
+        return None;
+    }
+    let rewritten = rewrite(tree, path, replacement);
+    Some(rewritten.map(|t| apply_bindings_tree(&t, &b)))
+}
+
+/// Unify under a scratch binding store, then substitute the solution
+/// through both the rewritten tree and the answer terms.
+pub(crate) fn unify_project(
+    tree: &Arc<PTree>,
+    path: &[usize],
+    replacement: Option<Arc<PTree>>,
+    nvars: u32,
+    answer: &[Term],
+    unifier: impl FnOnce(&mut Bindings) -> bool,
+) -> Option<(Option<Arc<PTree>>, Vec<Term>)> {
+    let mut b = Bindings::new();
+    b.alloc(nvars);
+    if !unifier(&mut b) {
+        return None;
+    }
+    let rewritten = rewrite(tree, path, replacement);
+    let new_tree = rewritten.map(|t| apply_bindings_tree(&t, &b));
+    let new_answer = answer.iter().map(|t| b.resolve(*t)).collect();
+    Some((new_tree, new_answer))
+}
+
+/// Variables in a tree: max id + 1.
+pub(crate) fn num_vars_in_tree(tree: &Arc<PTree>) -> u32 {
+    to_goal(tree)
+        .vars()
+        .into_iter()
+        .map(|Var(i)| i + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Resolve every term of a tree against a binding store.
+pub(crate) fn apply_bindings_tree(tree: &Arc<PTree>, b: &Bindings) -> Arc<PTree> {
+    map_tree(tree, &mut |t| b.resolve(t))
+}
+
+/// Substitute one variable by a term throughout a tree.
+pub(crate) fn subst_tree(tree: &Arc<PTree>, v: Var, val: Term) -> Arc<PTree> {
+    map_tree(tree, &mut |t| if t == Term::Var(v) { val } else { t })
+}
+
+/// Map a term transformation over a tree.
+pub(crate) fn map_tree(tree: &Arc<PTree>, f: &mut impl FnMut(Term) -> Term) -> Arc<PTree> {
+    match &**tree {
+        PTree::Lit(g) => Arc::new(PTree::Lit(g.map_terms(f))),
+        PTree::Seq(cs) => Arc::new(PTree::Seq(cs.iter().map(|c| map_tree(c, f)).collect())),
+        PTree::Par(cs) => Arc::new(PTree::Par(cs.iter().map(|c| map_tree(c, f)).collect())),
+    }
+}

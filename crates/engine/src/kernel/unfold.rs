@@ -1,0 +1,29 @@
+//! Rule unfolding on the machine's shared trail. The ground backends'
+//! structural counterpart lives in [`super::ground`] (a renamed rule body
+//! is unified through [`super::unify_project`]).
+
+use super::Hooks;
+use td_core::unify::unify_args;
+use td_core::{Atom, Bindings, Goal, Program, RuleId};
+
+/// Rename `rule_id` apart from the trail's high-water mark and unify its
+/// head with the call. Returns the renamed body on success, charging the
+/// unfold to `hooks`; trail cleanup on failure is the caller's choicepoint
+/// discipline, like every trail-side primitive.
+pub(crate) fn unfold_trail(
+    program: &Program,
+    bindings: &mut Bindings,
+    atom: &Atom,
+    rule_id: RuleId,
+    hooks: &mut Hooks<'_>,
+) -> Option<Goal> {
+    let rule = program.rule(rule_id);
+    let base = bindings.alloc(rule.num_vars());
+    let (head, body) = rule.rename_apart(base);
+    if !unify_args(bindings, &atom.args, &head.args) {
+        return None;
+    }
+    hooks.stats.unfolds += 1;
+    hooks.local.observe_unfold(rule_id);
+    Some(body)
+}

@@ -32,6 +32,7 @@ pub mod datalog;
 pub mod decider;
 pub mod engine;
 pub mod entail;
+mod kernel;
 mod machine;
 pub mod magic;
 pub mod obs;

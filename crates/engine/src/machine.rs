@@ -14,22 +14,27 @@
 //! which is exactly the paper's ⊙ semantics. The nested solver stays alive
 //! inside the choicepoint, so backtracking can pull further solutions out of
 //! the isolated block.
+//!
+//! The transition semantics itself — elementary operations, rule
+//! unfolding, subgoal-cache probe and replay — lives in [`crate::kernel`];
+//! this module composes those primitives under its trail/choicepoint
+//! discipline and owns only the search (strategies, backtracking, budgets,
+//! failure memoization).
 
-use crate::cache::{canonicalize_with_map, CacheEntry, CachedAnswer, StateKey, SubgoalCache};
+use crate::cache::{CachedAnswer, StateKey, SubgoalCache};
 use crate::config::{EngineConfig, EngineError, Stats, Strategy};
+use crate::kernel::{self, Hooks, Probe};
 use crate::obs::{subgoal_label, LocalMetrics, Observer};
-use crate::trace::{ProbeOutcome, SpanPhase, TraceEvent};
+use crate::trace::{SpanPhase, TraceEvent};
 use crate::tree::{frontier, leaf_at, make_node, rewrite, to_goal, PTree, Path};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashSet;
 use std::sync::Arc;
-use td_core::goal::Builtin;
 use td_core::subst::TrailMark;
-use td_core::unify::{unify_args, unify_terms};
-use td_core::{Atom, Bindings, Goal, Program, RuleId, Term, Value, Var};
-use td_db::{Database, Delta, DeltaOp, Tuple};
+use td_core::{Atom, Bindings, Goal, Program, RuleId, Var};
+use td_db::{Database, DeltaOp, Tuple};
 
 /// Shared execution context: program, config, bindings, statistics, logs.
 /// One `Ctx` serves the top-level solver and every nested (isolation)
@@ -121,6 +126,27 @@ impl<'p> Ctx<'p> {
     fn config_key(&self, tree: &Arc<PTree>, db: &Database) -> StateKey {
         let resolved = to_goal(tree).map_terms(&mut |t| self.bindings.resolve(t));
         crate::cache::state_key(&resolved, db)
+    }
+
+    /// Unfold `rule_id` for `atom` on the shared trail (a kernel
+    /// primitive), recording the committed-path trace event on success.
+    fn unfold(&mut self, atom: &Atom, rule_id: RuleId) -> Option<Goal> {
+        let body = kernel::unfold_trail(
+            self.program,
+            &mut self.bindings,
+            atom,
+            rule_id,
+            &mut Hooks {
+                stats: &mut self.stats,
+                local: &mut self.local,
+                events: None,
+            },
+        )?;
+        self.record(|| TraceEvent::Unfold {
+            call: atom.clone(),
+            rule: rule_id,
+        });
+        Some(body)
     }
 
     fn order_paths(&mut self, paths: &mut [Path]) {
@@ -349,7 +375,7 @@ impl Solver {
         match goal {
             Goal::Fail => Err(StepErr::Fail),
             Goal::Atom(atom) => {
-                let resolved = resolve_atom(&ctx.bindings, &atom);
+                let resolved = kernel::resolve_atom(&ctx.bindings, &atom);
                 if ctx.program.is_base(resolved.pred) {
                     self.exec_query(ctx, tree, path, resolved)
                 } else {
@@ -357,23 +383,20 @@ impl Solver {
                 }
             }
             Goal::NotAtom(atom) => {
-                let resolved = resolve_atom(&ctx.bindings, &atom);
-                if !resolved.is_ground() {
-                    return Err(fatal(EngineError::Instantiation {
-                        context: format!("not {resolved}"),
-                    }));
-                }
-                if self.db.holds(&resolved) {
-                    Err(StepErr::Fail)
-                } else {
-                    ctx.record(|| TraceEvent::Absent { query: resolved });
-                    self.state = rewrite(tree, &path, None);
-                    Ok(())
+                let resolved = kernel::resolve_atom(&ctx.bindings, &atom);
+                match kernel::check_absent(&self.db, &resolved) {
+                    Err(e) => Err(fatal(e)),
+                    Ok(false) => Err(StepErr::Fail),
+                    Ok(true) => {
+                        ctx.record(|| TraceEvent::Absent { query: resolved });
+                        self.state = rewrite(tree, &path, None);
+                        Ok(())
+                    }
                 }
             }
             Goal::Ins(atom) => self.exec_update(ctx, tree, path, atom, true),
             Goal::Del(atom) => self.exec_update(ctx, tree, path, atom, false),
-            Goal::Builtin(op, terms) => match eval_builtin(&mut ctx.bindings, op, &terms) {
+            Goal::Builtin(op, terms) => match kernel::eval_builtin(&mut ctx.bindings, op, &terms) {
                 Ok(true) => {
                     ctx.record(|| TraceEvent::Builtin {
                         rendered: Goal::Builtin(op, terms.clone()).to_string(),
@@ -492,7 +515,7 @@ impl Solver {
         path: Path,
         atom: Atom,
     ) -> StepResult {
-        let tuples = matching_tuples(&self.db, &atom);
+        let tuples = kernel::matching_tuples(&self.db, &atom);
         if tuples.is_empty() {
             return Err(StepErr::Fail);
         }
@@ -516,7 +539,7 @@ impl Solver {
                 },
             )?;
         }
-        if !bind_tuple(&mut ctx.bindings, &atom, &tuples[0]) {
+        if !kernel::bind_tuple(&mut ctx.bindings, &atom, &tuples[0]) {
             return Err(StepErr::Fail);
         }
         ctx.record(|| TraceEvent::Match {
@@ -569,7 +592,7 @@ impl Solver {
                 },
             )?;
         }
-        match unfold(ctx, &atom, rules[0]) {
+        match ctx.unfold(&atom, rules[0]) {
             Some(body) => {
                 self.state = rewrite(tree, &path, make_node(&body));
                 Ok(())
@@ -586,48 +609,28 @@ impl Solver {
         atom: Atom,
         is_ins: bool,
     ) -> StepResult {
-        let resolved = resolve_atom(&ctx.bindings, &atom);
-        let Some(values) = resolved.ground_args() else {
-            let op = if is_ins { "ins" } else { "del" };
-            return Err(fatal(EngineError::Instantiation {
-                context: format!("{op}.{resolved}"),
-            }));
-        };
-        let t = Tuple::new(values);
-        let result = if is_ins {
-            self.db.insert(resolved.pred, &t)
-        } else {
-            self.db.delete(resolved.pred, &t)
-        };
-        match result {
-            Ok((db, changed)) => {
+        let resolved = kernel::resolve_atom(&ctx.bindings, &atom);
+        match kernel::apply_update(&self.db, &resolved, is_ins) {
+            Err(e) => Err(fatal(e)),
+            Ok((db, changed, op)) => {
                 self.db = db;
                 ctx.stats.db_ops += 1;
-                let pred = resolved.pred;
-                ctx.record(|| {
-                    if is_ins {
-                        TraceEvent::Ins {
-                            pred,
-                            tuple: t.clone(),
-                            changed,
-                        }
-                    } else {
-                        TraceEvent::Del {
-                            pred,
-                            tuple: t.clone(),
-                            changed,
-                        }
-                    }
+                ctx.record(|| match &op {
+                    DeltaOp::Ins(pred, t) => TraceEvent::Ins {
+                        pred: *pred,
+                        tuple: t.clone(),
+                        changed,
+                    },
+                    DeltaOp::Del(pred, t) => TraceEvent::Del {
+                        pred: *pred,
+                        tuple: t.clone(),
+                        changed,
+                    },
                 });
-                ctx.delta.push(if is_ins {
-                    DeltaOp::Ins(resolved.pred, t)
-                } else {
-                    DeltaOp::Del(resolved.pred, t)
-                });
+                ctx.delta.push(op);
                 self.state = rewrite(tree, &path, None);
                 Ok(())
             }
-            Err(e) => Err(fatal(EngineError::Db(e.to_string()))),
         }
     }
 
@@ -644,53 +647,32 @@ impl Solver {
         resolved: &Goal,
     ) -> Option<StepResult> {
         let cache = ctx.cache.clone()?;
-        let (canon, vars) = canonicalize_with_map(resolved);
-        let label = subgoal_label(resolved);
-        let key = (canon, self.db.digest());
-        let probe = |ctx: &mut Ctx, outcome: ProbeOutcome| {
-            ctx.local.observe_cache(&label, outcome);
-            ctx.emit(|| TraceEvent::CacheProbe {
-                subgoal: label.clone(),
-                outcome,
-            });
-        };
-        let answers = match cache.lookup(&key) {
-            Some(CacheEntry::Answers(a)) => {
-                ctx.stats.cache_hits += 1;
-                probe(ctx, ProbeOutcome::Hit);
-                a
+        let probe = kernel::probe_subgoal(
+            ctx.program,
+            &cache,
+            &self.db,
+            resolved,
+            &mut Hooks {
+                stats: &mut ctx.stats,
+                local: &mut ctx.local,
+                events: ctx.obs.as_deref(),
+            },
+        );
+        match probe {
+            Probe::Lazy => None,
+            Probe::Replay { answers, vars } => {
+                ctx.emit(|| TraceEvent::SpanEnter {
+                    phase: SpanPhase::CacheReplay,
+                    detail: subgoal_label(resolved),
+                });
+                let result = self.apply_cached_entry(ctx, tree, path, vars, answers);
+                ctx.emit(|| TraceEvent::SpanExit {
+                    phase: SpanPhase::CacheReplay,
+                    detail: subgoal_label(resolved),
+                });
+                Some(result)
             }
-            Some(CacheEntry::Unsuitable) => {
-                probe(ctx, ProbeOutcome::Unsuitable);
-                return None;
-            }
-            None => {
-                ctx.stats.cache_misses += 1;
-                match enumerate_answers(ctx.program, &key.0, vars.len() as u32, &self.db) {
-                    Some(ans) => {
-                        probe(ctx, ProbeOutcome::Miss);
-                        let arc = Arc::new(ans);
-                        cache.insert(key, CacheEntry::Answers(arc.clone()));
-                        arc
-                    }
-                    None => {
-                        probe(ctx, ProbeOutcome::Unsuitable);
-                        cache.insert(key, CacheEntry::Unsuitable);
-                        return None;
-                    }
-                }
-            }
-        };
-        ctx.emit(|| TraceEvent::SpanEnter {
-            phase: SpanPhase::CacheReplay,
-            detail: label.clone(),
-        });
-        let result = self.apply_cached_entry(ctx, tree, path, vars, answers);
-        ctx.emit(|| TraceEvent::SpanExit {
-            phase: SpanPhase::CacheReplay,
-            detail: label,
-        });
-        Some(result)
+        }
     }
 
     /// Commit the first cached answer; push a choicepoint over the rest.
@@ -738,22 +720,14 @@ impl Solver {
         vars: &[Var],
         ans: &CachedAnswer,
     ) -> StepResult {
-        for (v, val) in vars.iter().zip(&ans.values) {
-            if !unify_terms(&mut ctx.bindings, Term::Var(*v), Term::Val(*val)) {
-                return Err(StepErr::Fail);
-            }
+        if !kernel::bind_answer(&mut ctx.bindings, vars, ans) {
+            return Err(StepErr::Fail);
         }
-        let mut db = self.db.clone();
-        for op in ans.delta.ops() {
-            match op.apply(&db) {
-                Ok(next) => {
-                    db = next;
-                    ctx.stats.db_ops += 1;
-                    ctx.delta.push(op.clone());
-                }
-                Err(e) => return Err(fatal(EngineError::Db(e.to_string()))),
-            }
-        }
+        let db = kernel::replay_answer(&self.db, ans, |op| {
+            ctx.stats.db_ops += 1;
+            ctx.delta.push(op.clone());
+        })
+        .map_err(fatal)?;
         self.db = db;
         self.state = rewrite(tree, path, None);
         Ok(())
@@ -958,14 +932,14 @@ impl Solver {
                         Err(StepErr::Fatal(e)) => return Err(e),
                     },
                     Retry::Tuple(atom, tuple) => {
-                        if bind_tuple(&mut ctx.bindings, &atom, &tuple) {
+                        if kernel::bind_tuple(&mut ctx.bindings, &atom, &tuple) {
                             ctx.record(|| TraceEvent::Match { query: atom, tuple });
                             self.state = rewrite(&tree, &path, None);
                             return Ok(true);
                         }
                         continue;
                     }
-                    Retry::Rule(atom, rule) => match unfold(ctx, &atom, rule) {
+                    Retry::Rule(atom, rule) => match ctx.unfold(&atom, rule) {
                         Some(body) => {
                             self.state = rewrite(&tree, &path, make_node(&body));
                             return Ok(true);
@@ -1003,184 +977,4 @@ impl Solver {
             }
         }
     }
-}
-
-/// Apply current bindings to an atom's arguments.
-fn resolve_atom(bindings: &Bindings, atom: &Atom) -> Atom {
-    Atom {
-        pred: atom.pred,
-        args: atom.args.iter().map(|t| bindings.resolve(*t)).collect(),
-    }
-}
-
-/// Per-miss budget for answer-set enumeration: a subgoal that does not run
-/// to exhaustion within this many elementary steps is marked unsuitable and
-/// left to the lazy path.
-const CACHE_ENUM_MAX_STEPS: u64 = 20_000;
-
-/// A subgoal with more answers than this is not worth caching (the entry
-/// would be large and the replay savings marginal); marked unsuitable.
-const CACHE_ENUM_MAX_ANSWERS: usize = 256;
-
-/// Enumerate the *complete* answer set of a canonical subgoal on `db`,
-/// in the exhaustive machine's yield order, with duplicates preserved —
-/// the replay must be indistinguishable (bindings, delta, order,
-/// multiplicity) from running the subgoal lazily.
-///
-/// `None` = unsuitable for caching: a fault occurred, an answer was
-/// non-ground, or an enumeration bound was exceeded. Callers fall back to
-/// the lazy path, which reproduces the original behaviour (including
-/// surfacing the fault in its proper context).
-pub(crate) fn enumerate_answers(
-    program: &Program,
-    goal: &Goal,
-    nvars: u32,
-    db: &Database,
-) -> Option<Vec<CachedAnswer>> {
-    let config = EngineConfig {
-        max_steps: CACHE_ENUM_MAX_STEPS,
-        ..EngineConfig::default()
-    };
-    let mut ctx = Ctx::new(program, &config, None, None);
-    ctx.bindings.alloc(nvars);
-    let mut solver = Solver::new(make_node(goal), db.clone());
-    let mut out = Vec::new();
-    let mut first = true;
-    loop {
-        let found = if first {
-            first = false;
-            solver.run(&mut ctx)
-        } else {
-            solver.resume(&mut ctx)
-        };
-        match found {
-            Ok(true) => {
-                if out.len() >= CACHE_ENUM_MAX_ANSWERS {
-                    return None;
-                }
-                let mut values = Vec::with_capacity(nvars as usize);
-                for i in 0..nvars {
-                    match ctx.bindings.resolve(Term::var(i)) {
-                        Term::Val(v) => values.push(v),
-                        // A non-ground answer cannot be replayed by value
-                        // binding; leave this subgoal to the lazy path.
-                        Term::Var(_) => return None,
-                    }
-                }
-                let mut delta = Delta::new();
-                for op in &ctx.delta {
-                    delta.push(op.clone());
-                }
-                out.push(CachedAnswer { values, delta });
-            }
-            Ok(false) => return Some(out),
-            Err(_) => return None,
-        }
-    }
-}
-
-/// Tuples of `db` matching the (resolved) query atom's bound positions.
-/// [`td_db::Relation::select`] returns every regime in sorted
-/// (lexicographic) order — the engine's canonical exploration order — so no
-/// re-sort is needed here.
-fn matching_tuples(db: &Database, atom: &Atom) -> Vec<Tuple> {
-    let Some(rel) = db.relation(atom.pred) else {
-        return Vec::new();
-    };
-    let pattern: Vec<Option<Value>> = atom.args.iter().map(|t| t.as_value()).collect();
-    rel.select(&pattern)
-}
-
-/// Unify a query atom's arguments with a tuple. Returns false on clash
-/// (possible with repeated variables, e.g. `p(X, X)`); the caller's
-/// choicepoint mark cleans up partial bindings.
-fn bind_tuple(bindings: &mut Bindings, atom: &Atom, tuple: &Tuple) -> bool {
-    atom.args
-        .iter()
-        .zip(tuple.values())
-        .all(|(arg, val)| unify_terms(bindings, *arg, Term::Val(*val)))
-}
-
-/// Rename a rule apart and unify its head with the call. Returns the renamed
-/// body on success.
-fn unfold(ctx: &mut Ctx, atom: &Atom, rule_id: RuleId) -> Option<Goal> {
-    let rule = ctx.program.rule(rule_id);
-    let base = ctx.bindings.alloc(rule.num_vars());
-    let (head, body) = rule.rename_apart(base);
-    if !unify_args(&mut ctx.bindings, &atom.args, &head.args) {
-        return None;
-    }
-    ctx.stats.unfolds += 1;
-    ctx.local.observe_unfold(rule_id);
-    ctx.record(|| TraceEvent::Unfold {
-        call: atom.clone(),
-        rule: rule_id,
-    });
-    Some(body)
-}
-
-/// Evaluate a builtin. `Ok(true)` = succeeds (possibly binding), `Ok(false)`
-/// = fails, `Err` = fatal (instantiation/type/overflow).
-fn eval_builtin(bindings: &mut Bindings, op: Builtin, terms: &[Term]) -> Result<bool, EngineError> {
-    let resolved: Vec<Term> = terms.iter().map(|t| bindings.resolve(*t)).collect();
-    let ground_int = |t: Term| -> Result<i64, EngineError> {
-        match t {
-            Term::Val(Value::Int(i)) => Ok(i),
-            Term::Val(v) => Err(EngineError::Type {
-                context: format!("`{v}` is not an integer in `{}`", op.op_str()),
-            }),
-            Term::Var(v) => Err(EngineError::Instantiation {
-                context: format!("`{v}` in `{}`", op.op_str()),
-            }),
-        }
-    };
-    match op {
-        Builtin::Eq => Ok(unify_terms(bindings, resolved[0], resolved[1])),
-        Builtin::Ne => {
-            let (a, b) = (resolved[0], resolved[1]);
-            match (a, b) {
-                (Term::Val(x), Term::Val(y)) => Ok(x != y),
-                _ => Err(EngineError::Instantiation {
-                    context: format!("`{a} != {b}`"),
-                }),
-            }
-        }
-        Builtin::Lt | Builtin::Le | Builtin::Gt | Builtin::Ge => {
-            let a = ground_int(resolved[0])?;
-            let b = ground_int(resolved[1])?;
-            Ok(match op {
-                Builtin::Lt => a < b,
-                Builtin::Le => a <= b,
-                Builtin::Gt => a > b,
-                Builtin::Ge => a >= b,
-                _ => unreachable!(),
-            })
-        }
-        Builtin::Add | Builtin::Sub | Builtin::Mul => {
-            let a = ground_int(resolved[0])?;
-            let b = ground_int(resolved[1])?;
-            let r = match op {
-                Builtin::Add => a.checked_add(b),
-                Builtin::Sub => a.checked_sub(b),
-                Builtin::Mul => a.checked_mul(b),
-                _ => unreachable!(),
-            };
-            let Some(r) = r else {
-                return Err(EngineError::Overflow {
-                    context: format!("{a} {} {b}", op.op_str()),
-                });
-            };
-            Ok(unify_terms(bindings, resolved[2], Term::int(r)))
-        }
-    }
-}
-
-/// Crate-internal re-export of the builtin evaluator for the bottom-up
-/// Datalog module (same semantics as the interpreter's builtins).
-pub(crate) fn eval_builtin_pub(
-    bindings: &mut Bindings,
-    op: Builtin,
-    terms: &[Term],
-) -> Result<bool, EngineError> {
-    eval_builtin(bindings, op, terms)
 }

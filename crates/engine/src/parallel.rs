@@ -37,23 +37,20 @@
 //! sequential engine's elementary step, so budgets are comparable but not
 //! identical across backends.
 
-use crate::cache::{
-    canonicalize_with_map, state_key, CacheEntry, CachedAnswer, StateKey, SubgoalCache,
-};
+use crate::cache::{state_key, StateKey, SubgoalCache};
 use crate::config::{EngineConfig, EngineError, Stats};
-use crate::decider::{apply_bindings_tree, eval_ground_builtin, subst_tree, BuiltinOut};
 use crate::engine::{goal_num_vars, Outcome, Solution};
-use crate::obs::{subgoal_label, LocalMetrics, Observer};
-use crate::trace::{ProbeOutcome, SpanPhase, TraceEvent};
-use crate::tree::{frontier, leaf_at, leaf_count, make_node, rewrite, sequence, to_goal, PTree};
+use crate::kernel::{Config as StepConfig, Hooks, Kernel};
+use crate::obs::{LocalMetrics, Observer};
+use crate::trace::{SpanPhase, TraceEvent};
+use crate::tree::{leaf_count, make_node, to_goal};
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use td_core::unify::{unify_args, unify_terms};
-use td_core::{Bindings, Goal, Program, Term, Value, Var};
-use td_db::{Database, Delta, DeltaOp, Tuple};
+use td_core::{Goal, Program, Term};
+use td_db::{Database, Delta, DeltaOp};
 
 /// A persistent (shared-tail) update log: configurations fork at every
 /// choice, so the delta along each search path is a cons list sharing its
@@ -81,20 +78,11 @@ fn delta_collect(chain: &Arc<DeltaChain>) -> Delta {
     delta
 }
 
-/// One pending configuration.
+/// One pending configuration: the kernel's scheduling-agnostic
+/// [`StepConfig`] plus this backend's bookkeeping (persistent delta chain,
+/// deterministic-mode path label).
 struct Task {
-    /// Live process tree; `None` = complete (successful) execution.
-    tree: Option<Arc<PTree>>,
-    db: Database,
-    /// The goal's answer terms under the substitutions made so far. Tracked
-    /// separately from the tree because an answer variable can be solved
-    /// away (vanish from the tree) long before the execution completes.
-    answer: Vec<Term>,
-    /// High-water mark of allocated variable ids along this path. Renaming
-    /// rules apart from this (rather than from the tree's current maximum)
-    /// prevents a fresh rule variable from capturing an answer variable
-    /// that no longer occurs in the tree.
-    nvars: u32,
+    cfg: StepConfig,
     delta: Arc<DeltaChain>,
     /// Scheduling/choice path label (`Some` only in deterministic mode).
     label: Option<Vec<u32>>,
@@ -177,7 +165,9 @@ impl Memo {
 }
 
 struct Shared<'p> {
-    program: &'p Program,
+    /// The shared transition kernel (program + optional subgoal cache);
+    /// workers only decide which configuration to expand next.
+    kernel: Kernel<'p>,
     deterministic: bool,
     max_steps: u64,
     /// One work deque per worker; owner uses the back, thieves the front.
@@ -201,9 +191,6 @@ struct Shared<'p> {
     /// a bound exists.
     bound: Mutex<Option<Vec<u32>>>,
     has_bound: AtomicBool,
-    /// Shared subtransaction answer cache (None when disabled). Workers
-    /// both probe and populate it; the sharded mutexes keep contention low.
-    cache: Option<Arc<SubgoalCache>>,
     /// Observability sink. The hot path never touches it directly: workers
     /// accumulate into their private [`WorkerOut`] and the registry absorbs
     /// the merged batch once, after the scope joins. Only the aggregate
@@ -238,8 +225,8 @@ impl Shared<'_> {
     fn record_success(&self, task: Task) {
         let label = task.label.clone();
         let w = Witness {
-            db: task.db,
-            answer: task.answer,
+            db: task.cfg.db,
+            answer: task.cfg.answer,
             delta: delta_collect(&task.delta),
             label: label.clone(),
         };
@@ -326,15 +313,17 @@ pub(crate) fn solve(
     let nworkers = threads.clamp(1, 64);
     let nvars = goal_num_vars(goal);
     let root = Task {
-        tree: make_node(goal),
-        db: db.clone(),
-        answer: (0..nvars).map(Term::var).collect(),
-        nvars,
+        cfg: StepConfig {
+            tree: make_node(goal),
+            db: db.clone(),
+            nvars,
+            answer: (0..nvars).map(Term::var).collect(),
+        },
         delta: Arc::new(DeltaChain::Nil),
         label: deterministic.then(Vec::new),
     };
     let shared = Shared {
-        program,
+        kernel: Kernel { program, cache },
         deterministic,
         max_steps: config.max_steps,
         queues: (0..nworkers).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -347,7 +336,6 @@ pub(crate) fn solve(
         error: Mutex::new(None),
         bound: Mutex::new(None),
         has_bound: AtomicBool::new(false),
-        cache,
         obs,
     };
     shared.queues[0]
@@ -512,14 +500,14 @@ fn pop_or_steal(
 }
 
 fn process(shared: &Shared<'_>, wid: usize, task: Task, w: &mut WorkerOut) {
-    let Some(tree) = task.tree.clone() else {
+    let Some(tree) = task.cfg.tree.clone() else {
         shared.record_success(task);
         return;
     };
     if shared.pruned_by_bound(&task) {
         return;
     }
-    let key = state_key(&to_goal(&tree), &task.db);
+    let key = state_key(&to_goal(&tree), &task.cfg.db);
     let claimed = match &task.label {
         Some(l) => shared.memo.claim_labeled(key, l),
         None => shared.memo.claim(key),
@@ -538,7 +526,7 @@ fn process(shared: &Shared<'_>, wid: usize, task: Task, w: &mut WorkerOut) {
     w.stats.steps += 1;
     w.stats.peak_processes = w.stats.peak_processes.max(leaf_count(&tree));
 
-    let (succs, err) = expand(shared, &task, &tree, w);
+    let (succs, err) = expand(shared, &task, w);
     w.stats.choicepoints += succs.len() as u64;
     // Reversed: the owner pops from the back, so pushing high-index
     // successors first makes it explore successor 0 next — sequential
@@ -560,361 +548,40 @@ fn process(shared: &Shared<'_>, wid: usize, task: Task, w: &mut WorkerOut) {
 }
 
 /// Successor tasks generated before a fatal error (if any). Successors keep
-/// the decider's expansion order — frontier paths left to right, then the
+/// the kernel's expansion order — frontier paths left to right, then the
 /// per-action alternatives in their canonical order — which is what makes
 /// path labels agree with sequential depth-first exploration.
 type Expansion = (Vec<Task>, Option<(Option<Vec<u32>>, EngineError)>);
 
-fn expand(shared: &Shared<'_>, task: &Task, tree: &Arc<PTree>, w: &mut WorkerOut) -> Expansion {
-    let program = shared.program;
-    let mut out: Vec<Task> = Vec::new();
-    let paths = frontier(tree);
-    // A sole frontier action executes as a contiguous block — the
-    // cacheability condition for derived-atom calls (shared with the
-    // machine and the decider).
-    let sole = paths.len() == 1;
-    for path in paths {
-        let leaf = leaf_at(tree, &path).clone();
-        match leaf {
-            Goal::Fail => {}
-            Goal::True | Goal::Seq(_) | Goal::Par(_) => {
-                unreachable!("structural goals expanded by make_node")
-            }
-            Goal::Atom(atom) if program.is_base(atom.pred) => {
-                let Some(rel) = task.db.relation(atom.pred) else {
-                    continue;
-                };
-                let pattern: Vec<Option<Value>> = atom.args.iter().map(|t| t.as_value()).collect();
-                // `select` returns tuples in sorted (lexicographic) order
-                // in every regime; no re-sort needed.
-                for t in rel.select(&pattern) {
-                    if let Some((new_tree, new_answer)) =
-                        unify_project(tree, &path, None, task.nvars, &task.answer, |b| {
-                            atom.args
-                                .iter()
-                                .zip(t.values())
-                                .all(|(a, v)| unify_terms(b, *a, Term::Val(*v)))
-                        })
-                    {
-                        let label = next_label(&task.label, out.len());
-                        out.push(Task {
-                            tree: new_tree,
-                            db: task.db.clone(),
-                            answer: new_answer,
-                            nvars: task.nvars,
-                            delta: task.delta.clone(),
-                            label,
-                        });
-                    }
-                }
-            }
-            Goal::Atom(atom) => {
-                if sole && atom.is_ground() {
-                    if let Some((answers, vars)) =
-                        cached_answers(shared, &task.db, &Goal::Atom(atom.clone()), w)
-                    {
-                        match push_cached_tasks(task, tree, &path, &vars, &answers, &mut out, w) {
-                            Ok(()) => continue,
-                            Err(fail) => return (out, Some(fail)),
-                        }
-                    }
-                }
-                for &rid in program.rules_for(atom.pred) {
-                    let rule = program.rule(rid);
-                    let base = task.nvars;
-                    let (head, body) = rule.rename_apart(base);
-                    let replacement = make_node(&body);
-                    let new_nvars = base + rule.num_vars();
-                    if let Some((new_tree, new_answer)) =
-                        unify_project(tree, &path, replacement, new_nvars, &task.answer, |b| {
-                            unify_args(b, &atom.args, &head.args)
-                        })
-                    {
-                        w.stats.unfolds += 1;
-                        w.local.observe_unfold(rid);
-                        let label = next_label(&task.label, out.len());
-                        out.push(Task {
-                            tree: new_tree,
-                            db: task.db.clone(),
-                            answer: new_answer,
-                            nvars: new_nvars,
-                            delta: task.delta.clone(),
-                            label,
-                        });
-                    }
-                }
-            }
-            Goal::NotAtom(atom) => {
-                if !atom.is_ground() {
-                    let label = next_label(&task.label, out.len());
-                    return (
-                        out,
-                        Some((
-                            label,
-                            EngineError::Instantiation {
-                                context: format!("not {atom}"),
-                            },
-                        )),
-                    );
-                }
-                if !task.db.holds(&atom) {
-                    let label = next_label(&task.label, out.len());
-                    out.push(Task {
-                        tree: rewrite(tree, &path, None),
-                        db: task.db.clone(),
-                        answer: task.answer.clone(),
-                        nvars: task.nvars,
-                        delta: task.delta.clone(),
-                        label,
-                    });
-                }
-            }
-            Goal::Ins(atom) | Goal::Del(atom) => {
-                let is_ins = matches!(leaf_at(tree, &path), Goal::Ins(_));
-                let Some(values) = atom.ground_args() else {
-                    let label = next_label(&task.label, out.len());
-                    return (
-                        out,
-                        Some((
-                            label,
-                            EngineError::Instantiation {
-                                context: format!("update on {atom}"),
-                            },
-                        )),
-                    );
-                };
-                let t = Tuple::new(values);
-                let result = if is_ins {
-                    task.db.insert(atom.pred, &t)
-                } else {
-                    task.db.delete(atom.pred, &t)
-                };
-                match result {
-                    Ok((db, _changed)) => {
-                        w.stats.db_ops += 1;
-                        let op = if is_ins {
-                            DeltaOp::Ins(atom.pred, t)
-                        } else {
-                            DeltaOp::Del(atom.pred, t)
-                        };
-                        let label = next_label(&task.label, out.len());
-                        out.push(Task {
-                            tree: rewrite(tree, &path, None),
-                            db,
-                            answer: task.answer.clone(),
-                            nvars: task.nvars,
-                            delta: delta_push(&task.delta, op),
-                            label,
-                        });
-                    }
-                    Err(e) => {
-                        let label = next_label(&task.label, out.len());
-                        return (out, Some((label, EngineError::Db(e.to_string()))));
-                    }
-                }
-            }
-            Goal::Builtin(op, terms) => match eval_ground_builtin(op, &terms) {
-                Err(e) => {
-                    let label = next_label(&task.label, out.len());
-                    return (out, Some((label, e)));
-                }
-                Ok(BuiltinOut::Fails) => {}
-                Ok(BuiltinOut::Succeeds) => {
-                    let label = next_label(&task.label, out.len());
-                    out.push(Task {
-                        tree: rewrite(tree, &path, None),
-                        db: task.db.clone(),
-                        answer: task.answer.clone(),
-                        nvars: task.nvars,
-                        delta: task.delta.clone(),
-                        label,
-                    });
-                }
-                Ok(BuiltinOut::Binds(v, val)) => {
-                    let new_tree = rewrite(tree, &path, None).map(|t| subst_tree(&t, v, val));
-                    let new_answer = task
-                        .answer
-                        .iter()
-                        .map(|t| if *t == Term::Var(v) { val } else { *t })
-                        .collect();
-                    let label = next_label(&task.label, out.len());
-                    out.push(Task {
-                        tree: new_tree,
-                        db: task.db.clone(),
-                        answer: new_answer,
-                        nvars: task.nvars,
-                        delta: task.delta.clone(),
-                        label,
-                    });
-                }
-            },
-            Goal::Choice(branches) => {
-                for b in &branches {
-                    let label = next_label(&task.label, out.len());
-                    out.push(Task {
-                        tree: rewrite(tree, &path, make_node(b)),
-                        db: task.db.clone(),
-                        answer: task.answer.clone(),
-                        nvars: task.nvars,
-                        delta: task.delta.clone(),
-                        label,
-                    });
-                }
-            }
-            Goal::Iso(inner) => {
-                if let Some((answers, vars)) = cached_answers(shared, &task.db, &inner, w) {
-                    match push_cached_tasks(task, tree, &path, &vars, &answers, &mut out, w) {
-                        Ok(()) => continue,
-                        Err(fail) => return (out, Some(fail)),
-                    }
-                }
-                // Committing to start an isolated block sequences the whole
-                // remaining tree after it (contiguity); schedules where the
-                // block starts later arise from stepping other frontier
-                // actions first. Same transform as the decider.
-                w.stats.iso_enters += 1;
-                let rest = rewrite(tree, &path, None);
-                let label = next_label(&task.label, out.len());
-                out.push(Task {
-                    tree: sequence(make_node(&inner), rest),
-                    db: task.db.clone(),
-                    answer: task.answer.clone(),
-                    nvars: task.nvars,
-                    delta: task.delta.clone(),
-                    label,
-                });
-            }
+/// Expand one configuration through the shared transition kernel, wrapping
+/// each successor in this backend's bookkeeping: a path label indexed by
+/// the successor's position (deterministic mode), and the task's persistent
+/// delta chain extended with whatever ops the transition applied. A fatal
+/// error is labeled at the position the failing successor would have had,
+/// mirroring sequential DFS order. Per-probe observability events are
+/// deliberately suppressed on this hot path (`events: None`); the
+/// aggregate worker spans carry the story instead.
+fn expand(shared: &Shared<'_>, task: &Task, w: &mut WorkerOut) -> Expansion {
+    let (actions, err) = shared.kernel.actions(
+        &task.cfg,
+        &mut Hooks {
+            stats: &mut w.stats,
+            local: &mut w.local,
+            events: None,
+        },
+    );
+    let mut out: Vec<Task> = Vec::with_capacity(actions.len());
+    for a in actions {
+        let label = next_label(&task.label, out.len());
+        let (cfg, ops) = shared.kernel.apply(a);
+        let mut delta = task.delta.clone();
+        for op in ops {
+            delta = delta_push(&delta, op);
         }
+        out.push(Task { cfg, delta, label });
     }
-    (out, None)
-}
-
-/// Probe (and on miss, populate) the shared subgoal cache. Returns the
-/// answer set together with the caller-side variables the canonical values
-/// map to, or `None` when the cache is off or the subgoal is unsuitable —
-/// the caller falls back to the elementary-step expansion.
-fn cached_answers(
-    shared: &Shared<'_>,
-    db: &Database,
-    subgoal: &Goal,
-    w: &mut WorkerOut,
-) -> Option<(Arc<Vec<CachedAnswer>>, Vec<Var>)> {
-    let cache = shared.cache.as_ref()?;
-    let (canon, vars) = canonicalize_with_map(subgoal);
-    // Per-subgoal tallies accumulate in the worker-local batch; the
-    // parallel hot path deliberately emits no per-probe events (the
-    // aggregate worker spans carry the story instead).
-    let label = if w.local.is_enabled() {
-        Some(subgoal_label(subgoal))
-    } else {
-        None
-    };
-    let probe = |w: &mut WorkerOut, outcome: ProbeOutcome| {
-        if let Some(l) = &label {
-            w.local.observe_cache(l, outcome);
-        }
-    };
-    let key = (canon, db.digest());
-    match cache.lookup(&key) {
-        Some(CacheEntry::Answers(a)) => {
-            w.stats.cache_hits += 1;
-            probe(w, ProbeOutcome::Hit);
-            Some((a, vars))
-        }
-        Some(CacheEntry::Unsuitable) => {
-            probe(w, ProbeOutcome::Unsuitable);
-            None
-        }
-        None => {
-            w.stats.cache_misses += 1;
-            match crate::machine::enumerate_answers(shared.program, &key.0, vars.len() as u32, db) {
-                Some(list) => {
-                    probe(w, ProbeOutcome::Miss);
-                    let arc = Arc::new(list);
-                    cache.insert(key, CacheEntry::Answers(arc.clone()));
-                    Some((arc, vars))
-                }
-                None => {
-                    probe(w, ProbeOutcome::Unsuitable);
-                    cache.insert(key, CacheEntry::Unsuitable);
-                    None
-                }
-            }
-        }
-    }
-}
-
-/// Push one successor task per cached answer: the answer's bindings applied
-/// to the tree and answer terms, its delta replayed onto the task's
-/// database. Labels are assigned in answer (canonical depth-first yield)
-/// order, so the deterministic mode's minimal witness is unchanged. A
-/// storage fault during replay carries the label the failing successor
-/// would have had, mirroring the lazy path.
-fn push_cached_tasks(
-    task: &Task,
-    tree: &Arc<PTree>,
-    path: &[usize],
-    vars: &[Var],
-    answers: &[CachedAnswer],
-    out: &mut Vec<Task>,
-    w: &mut WorkerOut,
-) -> Result<(), (Option<Vec<u32>>, EngineError)> {
-    for ans in answers {
-        if let Some((new_tree, new_answer)) =
-            unify_project(tree, path, None, task.nvars, &task.answer, |b| {
-                vars.iter()
-                    .zip(&ans.values)
-                    .all(|(v, val)| unify_terms(b, Term::Var(*v), Term::Val(*val)))
-            })
-        {
-            let mut db = task.db.clone();
-            let mut delta = task.delta.clone();
-            for op in ans.delta.ops() {
-                match op.apply(&db) {
-                    Ok(next) => {
-                        w.stats.db_ops += 1;
-                        db = next;
-                        delta = delta_push(&delta, op.clone());
-                    }
-                    Err(e) => {
-                        let label = next_label(&task.label, out.len());
-                        return Err((label, EngineError::Db(e.to_string())));
-                    }
-                }
-            }
-            let label = next_label(&task.label, out.len());
-            out.push(Task {
-                tree: new_tree,
-                db,
-                answer: new_answer,
-                nvars: task.nvars,
-                delta,
-                label,
-            });
-        }
-    }
-    Ok(())
-}
-
-/// Unify under a scratch binding store, then substitute the solution
-/// through both the rewritten tree and the answer terms.
-fn unify_project(
-    tree: &Arc<PTree>,
-    path: &[usize],
-    replacement: Option<Arc<PTree>>,
-    nvars: u32,
-    answer: &[Term],
-    unifier: impl FnOnce(&mut Bindings) -> bool,
-) -> Option<(Option<Arc<PTree>>, Vec<Term>)> {
-    let mut b = Bindings::new();
-    b.alloc(nvars);
-    if !unifier(&mut b) {
-        return None;
-    }
-    let rewritten = rewrite(tree, path, replacement);
-    let new_tree = rewritten.map(|t| apply_bindings_tree(&t, &b));
-    let new_answer = answer.iter().map(|t| b.resolve(*t)).collect();
-    Some((new_tree, new_answer))
+    let err = err.map(|e| (next_label(&task.label, out.len()), e));
+    (out, err)
 }
 
 #[cfg(test)]

@@ -282,7 +282,7 @@ fn flatten(goal: &Goal, out: &mut Vec<Goal>) {
 }
 
 fn eval(bindings: &mut Bindings, op: Builtin, terms: &[Term]) -> Result<bool, ()> {
-    crate::machine::eval_builtin_pub(bindings, op, terms).map_err(|_| ())
+    crate::kernel::eval_builtin(bindings, op, terms).map_err(|_| ())
 }
 
 #[cfg(test)]

@@ -180,7 +180,7 @@ impl Manager {
     }
 
     /// Audit the whole committed history against a workflow specification
-    /// (see [`crate::audit`]): concatenates every transaction's update log
+    /// (see [`crate::audit()`]): concatenates every transaction's update log
     /// and checks task precedence, duplication and completeness per item.
     pub fn audit_against(&self, spec: &crate::WorkflowSpec) -> Vec<crate::Violation> {
         let mut combined = td_db::Delta::new();

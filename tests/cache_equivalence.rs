@@ -19,37 +19,13 @@
 //! pathologically small one (one slot per shard), so CLOCK eviction churn
 //! is also shown to be invisible.
 
+mod common;
+
+use common::{arb_goal, assert_same_witness, corpus_files, flag_program};
 use proptest::prelude::*;
 use std::sync::Arc;
 use transaction_datalog::prelude::parse_program;
-use transaction_datalog::prelude::{
-    Atom, Database, Engine, EngineConfig, Goal, Program, SearchBackend,
-};
-
-fn arb_goal(depth: u32) -> impl Strategy<Value = Goal> {
-    let leaf = prop_oneof![
-        (0u8..4).prop_map(|i| Goal::ins(&format!("f{i}"), vec![])),
-        (0u8..4).prop_map(|i| Goal::del(&format!("f{i}"), vec![])),
-        (0u8..4).prop_map(|i| Goal::prop(&format!("f{i}"))),
-        (0u8..4).prop_map(|i| Goal::NotAtom(Atom::prop(&format!("f{i}")))),
-        Just(Goal::True),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(Goal::seq),
-            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::par),
-            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::choice),
-            inner.prop_map(Goal::iso),
-        ]
-    })
-}
-
-fn flag_program() -> Program {
-    Program::builder()
-        .base_preds(&[("f0", 0), ("f1", 0), ("f2", 0), ("f3", 0)])
-        .build()
-        .unwrap()
-}
+use transaction_datalog::prelude::{Database, Engine, EngineConfig, Program, SearchBackend};
 
 fn uncached(program: &Program) -> Engine {
     Engine::with_config(
@@ -79,23 +55,6 @@ fn cached_parallel(program: &Program, threads: usize) -> Engine {
                 deterministic: true,
             }),
     )
-}
-
-/// Assert two outcomes carry the identical witness (or identical failure).
-fn assert_same_witness(
-    a: &transaction_datalog::prelude::Outcome,
-    b: &transaction_datalog::prelude::Outcome,
-    context: &str,
-) {
-    assert_eq!(a.is_success(), b.is_success(), "{context}: verdicts differ");
-    if let (Some(s), Some(c)) = (a.solution(), b.solution()) {
-        assert_eq!(s.answer, c.answer, "{context}: answers differ");
-        assert_eq!(s.delta.ops(), c.delta.ops(), "{context}: deltas differ");
-        assert!(
-            s.db.same_content(&c.db),
-            "{context}: final databases differ"
-        );
-    }
 }
 
 proptest! {
@@ -155,17 +114,6 @@ proptest! {
         let cd = td_engine::decider::decide_with_cache(&p, &g, &db, cfg, cache).unwrap();
         prop_assert_eq!(pd.executable, cd.executable);
     }
-}
-
-fn corpus_files() -> Vec<std::path::PathBuf> {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
-    let mut files: Vec<_> = std::fs::read_dir(&dir)
-        .expect("corpus/ exists")
-        .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|e| e == "td"))
-        .collect();
-    files.sort();
-    files
 }
 
 /// Every corpus goal: the cached sequential engine and the cached

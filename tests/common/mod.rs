@@ -1,0 +1,142 @@
+//! Shared fixtures for the differential test suites.
+//!
+//! Every equivalence suite (`parallel_equivalence`, `cache_equivalence`,
+//! `obs_equivalence`, `kernel_equivalence`) compares backends over the same
+//! two inputs: the generated flag-program goal space and the `corpus/`
+//! programs. The generators, corpus loaders, engine constructors and
+//! witness assertions live here so the suites differ only in *what* they
+//! compare, never in what they run.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of it.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use transaction_datalog::prelude::{
+    parse_program, Atom, Database, Engine, EngineConfig, Goal, Outcome, Program, SearchBackend,
+};
+
+/// Generated goal space for the differential suites: every TD connective
+/// (sequence, parallel, choice, isolation) over ground flag updates, tests
+/// and absence tests on the four `flag_program` predicates.
+pub fn arb_goal(depth: u32) -> impl Strategy<Value = Goal> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(|i| Goal::ins(&format!("f{i}"), vec![])),
+        (0u8..4).prop_map(|i| Goal::del(&format!("f{i}"), vec![])),
+        (0u8..4).prop_map(|i| Goal::prop(&format!("f{i}"))),
+        (0u8..4).prop_map(|i| Goal::NotAtom(Atom::prop(&format!("f{i}")))),
+        Just(Goal::True),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Goal::seq),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::par),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::choice),
+            inner.prop_map(Goal::iso),
+        ]
+    })
+}
+
+/// Four nullary base flags and no rules — the smallest schema on which
+/// every `arb_goal` connective is exercisable.
+pub fn flag_program() -> Program {
+    Program::builder()
+        .base_preds(&[("f0", 0), ("f1", 0), ("f2", 0), ("f3", 0)])
+        .build()
+        .unwrap()
+}
+
+/// An engine on `backend` with the differential suites' standard step
+/// budget (ample for every generated goal and corpus program).
+pub fn engine_with(program: &Program, backend: SearchBackend) -> Engine {
+    Engine::with_config(
+        program.clone(),
+        EngineConfig::default()
+            .with_max_steps(200_000)
+            .with_backend(backend),
+    )
+}
+
+pub fn parallel(threads: usize) -> SearchBackend {
+    SearchBackend::Parallel {
+        threads,
+        deterministic: false,
+    }
+}
+
+pub fn parallel_det(threads: usize) -> SearchBackend {
+    SearchBackend::Parallel {
+        threads,
+        deterministic: true,
+    }
+}
+
+/// The sorted `.td` files under `corpus/`.
+pub fn corpus_files() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus/ exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "td"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// `(file name, source)` for every corpus program, in sorted file order.
+pub fn corpus_programs() -> Vec<(String, String)> {
+    corpus_files()
+        .into_iter()
+        .map(|p| {
+            (
+                p.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read_to_string(&p).unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// Assert two outcomes carry the identical witness (or identical failure):
+/// same verdict, and on success the same answer substitution, same delta,
+/// same final database content.
+pub fn assert_same_witness(a: &Outcome, b: &Outcome, context: &str) {
+    assert_eq!(a.is_success(), b.is_success(), "{context}: verdicts differ");
+    if let (Some(s), Some(c)) = (a.solution(), b.solution()) {
+        assert_eq!(s.answer, c.answer, "{context}: answers differ");
+        assert_eq!(s.delta.ops(), c.delta.ops(), "{context}: deltas differ");
+        assert!(
+            s.db.same_content(&c.db),
+            "{context}: final databases differ"
+        );
+    }
+}
+
+/// Run every `?-` goal of a corpus source under one engine config with an
+/// observer attached, threading the database between goals as `td run`
+/// does. Returns the per-goal verdicts, the final database digest, and the
+/// observer for counter inspection.
+pub fn run_observed(
+    source: &str,
+    backend: SearchBackend,
+) -> (Vec<bool>, u128, Arc<td_engine::Observer>) {
+    let parsed = parse_program(source).expect("corpus parses");
+    let config = EngineConfig::default()
+        .with_max_steps(2_000_000)
+        .with_backend(backend);
+    let obs = Arc::new(td_engine::Observer::new());
+    let engine = Engine::with_config(parsed.program.clone(), config).with_observer(obs.clone());
+    let mut db = td_engine::load_init(&Database::with_schema_of(&parsed.program), &parsed.init)
+        .expect("corpus init loads");
+    let mut oks = Vec::new();
+    for g in &parsed.goals {
+        let outcome = engine.solve(&g.goal, &db).expect("corpus run cannot fault");
+        if let Some(sol) = outcome.solution() {
+            db = sol.db.clone();
+            oks.push(true);
+        } else {
+            oks.push(false);
+        }
+    }
+    (oks, db.digest(), obs)
+}

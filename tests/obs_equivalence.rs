@@ -16,53 +16,12 @@
 //!    the deterministic-parallel backend promises the sequential witness —
 //!    so those totals must be identical.
 
+mod common;
+
+use common::{corpus_programs, run_observed};
 use std::sync::Arc;
 use td_engine::{load_init, Observer};
 use transaction_datalog::prelude::*;
-
-fn corpus_programs() -> Vec<(String, String)> {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
-    let mut files: Vec<_> = std::fs::read_dir(&dir)
-        .expect("corpus/ exists")
-        .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|e| e == "td"))
-        .collect();
-    files.sort();
-    files
-        .into_iter()
-        .map(|p| {
-            (
-                p.file_name().unwrap().to_string_lossy().into_owned(),
-                std::fs::read_to_string(&p).unwrap(),
-            )
-        })
-        .collect()
-}
-
-/// Run every `?-` goal of a parsed corpus file under one engine config,
-/// threading the database between goals as `td run` does. Returns the final
-/// digest and the observer used.
-fn run_observed(source: &str, backend: SearchBackend) -> (Vec<bool>, u128, Arc<Observer>) {
-    let parsed = parse_program(source).expect("corpus parses");
-    let config = EngineConfig::default()
-        .with_max_steps(2_000_000)
-        .with_backend(backend);
-    let obs = Arc::new(Observer::new());
-    let engine = Engine::with_config(parsed.program.clone(), config).with_observer(obs.clone());
-    let mut db = load_init(&Database::with_schema_of(&parsed.program), &parsed.init)
-        .expect("corpus init loads");
-    let mut oks = Vec::new();
-    for g in &parsed.goals {
-        let outcome = engine.solve(&g.goal, &db).expect("corpus run cannot fault");
-        if let Some(sol) = outcome.solution() {
-            db = sol.db.clone();
-            oks.push(true);
-        } else {
-            oks.push(false);
-        }
-    }
-    (oks, db.digest(), obs)
-}
 
 #[test]
 fn registry_reports_each_backends_own_stats_faithfully() {

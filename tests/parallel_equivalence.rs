@@ -16,59 +16,14 @@
 //! Plus the step-budget contract: an exhausted budget is reported as
 //! `EngineError::StepBudget`, never misreported as plain failure.
 
+mod common;
+
+use common::{arb_goal, corpus_files, engine_with, flag_program, parallel, parallel_det};
 use proptest::prelude::*;
 use transaction_datalog::prelude::parse_program;
 use transaction_datalog::prelude::{
-    Atom, Database, Engine, EngineConfig, Goal, Program, SearchBackend, Term, Value,
+    Database, Engine, EngineConfig, Goal, SearchBackend, Term, Value,
 };
-
-fn arb_goal(depth: u32) -> impl Strategy<Value = Goal> {
-    let leaf = prop_oneof![
-        (0u8..4).prop_map(|i| Goal::ins(&format!("f{i}"), vec![])),
-        (0u8..4).prop_map(|i| Goal::del(&format!("f{i}"), vec![])),
-        (0u8..4).prop_map(|i| Goal::prop(&format!("f{i}"))),
-        (0u8..4).prop_map(|i| Goal::NotAtom(Atom::prop(&format!("f{i}")))),
-        Just(Goal::True),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(Goal::seq),
-            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::par),
-            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::choice),
-            inner.prop_map(Goal::iso),
-        ]
-    })
-}
-
-fn flag_program() -> Program {
-    Program::builder()
-        .base_preds(&[("f0", 0), ("f1", 0), ("f2", 0), ("f3", 0)])
-        .build()
-        .unwrap()
-}
-
-fn engine_with(program: &Program, backend: SearchBackend) -> Engine {
-    Engine::with_config(
-        program.clone(),
-        EngineConfig::default()
-            .with_max_steps(200_000)
-            .with_backend(backend),
-    )
-}
-
-fn parallel(threads: usize) -> SearchBackend {
-    SearchBackend::Parallel {
-        threads,
-        deterministic: false,
-    }
-}
-
-fn parallel_det(threads: usize) -> SearchBackend {
-    SearchBackend::Parallel {
-        threads,
-        deterministic: true,
-    }
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
@@ -121,17 +76,6 @@ proptest! {
             prop_assert!(s.db.same_content(&q.db));
         }
     }
-}
-
-fn corpus_files() -> Vec<std::path::PathBuf> {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
-    let mut files: Vec<_> = std::fs::read_dir(&dir)
-        .expect("corpus/ exists")
-        .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|e| e == "td"))
-        .collect();
-    files.sort();
-    files
 }
 
 /// Every corpus goal: parallel (2 and 4 threads) agrees with sequential on
