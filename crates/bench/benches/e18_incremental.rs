@@ -1,0 +1,302 @@
+//! E18 — incremental view maintenance vs top-down re-query.
+//!
+//! The PR-6 materializer keeps Datalog-evaluable derived predicates as
+//! counting/DRed-maintained views, so a warm ground query is an indexed
+//! probe instead of a rule unfolding. Four measurements:
+//!
+//! 1. **Warm re-query** on chain reachability, three ways: plain top-down,
+//!    top-down with the subgoal cache, and materialized probes. The claim
+//!    under test is the PR's acceptance gate — warm materialized re-query
+//!    beats uncached top-down by a wide margin (see `tests/e18_smoke.rs`
+//!    for the hard ≥5x CI gate).
+//! 2. **Maintenance vs |delta|**: applying k base-edge insertions to a
+//!    seeded materializer scales with the derived tuples the delta
+//!    touches, not with a full recompute.
+//! 3. **Maintenance vs |db|**: a one-tuple delta on a side relation whose
+//!    SCC is independent of the (large) reachability views costs the same
+//!    at every database size — the SCC skip makes maintenance delta-local.
+//! 4. **Warm re-query on a loan-pipeline shape** (the paper's §3
+//!    workflow): eligibility/pending queries between approval churn, the
+//!    business-workflow analogue of the reachability numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::time::Instant;
+use td_bench::report_row;
+use td_core::{Atom, Goal, Pred, Term, Value};
+use td_db::{Database, DeltaOp, Tuple};
+use td_engine::{load_init, Engine, EngineConfig, Materializer};
+use td_parser::parse_program;
+
+/// Acyclic chain (plus random forward edges) with transitive closure —
+/// the same shape as E11, so the two experiments' numbers compose.
+fn chain_program(nodes: usize, extra_edges: usize, seed: u64) -> (td_core::Program, Database) {
+    let mut src = String::from("base e/2. base f/1.\n");
+    for i in 0..nodes - 1 {
+        src.push_str(&format!("init e(n{i}, n{}).\n", i + 1));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..extra_edges {
+        let a = rng.random_range(0..nodes - 1);
+        let b = rng.random_range(a + 1..nodes);
+        src.push_str(&format!("init e(n{a}, n{b}).\n"));
+    }
+    src.push_str("path(X, Y) <- e(X, Y).\n");
+    src.push_str("path(X, Z) <- e(X, Y) * path(Y, Z).\n");
+    // A side relation in its own SCC: deltas on `f` must not pay for the
+    // (much larger) `path` views.
+    src.push_str("tag(X) <- f(X).\n");
+    let parsed = parse_program(&src).unwrap();
+    let db = Database::with_schema_of(&parsed.program);
+    let db = load_init(&db, &parsed.init).unwrap();
+    (parsed.program, db)
+}
+
+fn end_to_end_query(nodes: usize) -> Goal {
+    Goal::atom(
+        "path",
+        vec![Term::sym("n0"), Term::sym(&format!("n{}", nodes - 1))],
+    )
+}
+
+/// The churn-and-requery goal: delete and re-insert one middle chain edge
+/// (restoring the digest, so warm engines answer from warm state), then
+/// ask the end-to-end reachability question.
+fn churn_goal(nodes: usize) -> Goal {
+    Goal::seq(vec![
+        Goal::del("e", vec![Term::sym("n1"), Term::sym("n2")]),
+        Goal::ins("e", vec![Term::sym("n1"), Term::sym("n2")]),
+        end_to_end_query(nodes),
+    ])
+}
+
+fn materialized_config() -> EngineConfig {
+    EngineConfig::default().with_materialize()
+}
+
+/// Engine constructor for one comparison column.
+type Variant = (&'static str, fn(&td_core::Program) -> Engine);
+
+fn bench_requery(c: &mut Criterion) {
+    let variants: [Variant; 3] = [
+        ("topdown", |p| Engine::new(p.clone())),
+        ("topdown_cached", |p| {
+            Engine::with_config(p.clone(), EngineConfig::default().with_subgoal_cache())
+        }),
+        ("materialized", |p| {
+            Engine::with_config(p.clone(), materialized_config())
+        }),
+    ];
+    for (name, make) in variants {
+        let mut group = c.benchmark_group(&format!("e18/warm_requery_{name}"));
+        for nodes in [16usize, 32, 64] {
+            let (program, db) = chain_program(nodes, nodes / 2, 9);
+            let engine = make(&program);
+            let goal = churn_goal(nodes);
+            // Warm lap: seeds the cache / the materialized states.
+            assert!(engine.executable(&goal, &db).unwrap());
+            group.bench_with_input(
+                BenchmarkId::from_parameter(nodes),
+                &(engine, db, goal),
+                |b, (engine, db, goal)| {
+                    b.iter(|| assert!(engine.executable(goal, db).unwrap()));
+                },
+            );
+        }
+        group.finish();
+    }
+    // Counter shape for the report: a warm materialized run answers the
+    // derived query by probes, never by unfolding the recursive rules.
+    let (program, db) = chain_program(32, 16, 9);
+    let engine = Engine::with_config(program, materialized_config());
+    let goal = churn_goal(32);
+    for _ in 0..3 {
+        assert!(engine.executable(&goal, &db).unwrap());
+    }
+    let m = engine.materializer().expect("chain program materializes");
+    report_row(
+        "E18",
+        "nodes=32",
+        "materialized probes",
+        m.probes() as f64,
+        "probes",
+    );
+    report_row(
+        "E18",
+        "nodes=32",
+        "state hits",
+        m.state_hits() as f64,
+        "hits",
+    );
+    report_row(
+        "E18",
+        "nodes=32",
+        "rebuilds",
+        m.rebuilds() as f64,
+        "rebuilds",
+    );
+}
+
+/// One forward edge insertion per op, each to a *fresh* sink node: every
+/// op makes the whole chain prefix newly reach its sink, so the derived
+/// delta (and hence maintenance work) genuinely scales with k.
+fn edge_delta(nodes: usize, k: usize) -> Vec<DeltaOp> {
+    (0..k)
+        .map(|i| {
+            DeltaOp::Ins(
+                Pred::new("e", 2),
+                Tuple::new(vec![
+                    Value::sym(&format!("n{}", nodes - 2)),
+                    Value::sym(&format!("x{i}")),
+                ]),
+            )
+        })
+        .collect()
+}
+
+/// Fresh compiled materializer with the pre-state's views seeded (the
+/// store is lazy until a probe lands), plus the post-state the ops reach.
+fn seeded(program: &td_core::Program, db: &Database, ops: &[DeltaOp]) -> (Materializer, Database) {
+    let m = Materializer::compile(program).expect("chain program materializes");
+    let probe = Atom::new("path", vec![Term::sym("n0"), Term::sym("n1")]);
+    assert_eq!(m.holds(db, &probe), Some(true));
+    let mut post = db.clone();
+    for op in ops {
+        post = op.apply(&post).unwrap();
+    }
+    (m, post)
+}
+
+/// Median wall time of one `apply_ops` call over `reps` repetitions, each
+/// on a freshly compiled and seeded materializer (the vendored criterion
+/// cannot exclude per-iteration setup from timing, so these series are
+/// measured by hand and emitted as metric rows).
+fn time_maintenance(
+    program: &td_core::Program,
+    db: &Database,
+    ops: &[DeltaOp],
+    reps: usize,
+) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let (m, post) = seeded(program, db, ops);
+            let start = Instant::now();
+            m.apply_ops(db, ops, &post);
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn bench_maintenance_delta() {
+    let nodes = 64usize;
+    let (program, db) = chain_program(nodes, 0, 9);
+    for k in [1usize, 4, 16] {
+        let ops = edge_delta(nodes, k);
+        let us = time_maintenance(&program, &db, &ops, 30);
+        report_row(
+            "E18",
+            &format!("nodes={nodes} delta={k}"),
+            "maintenance time",
+            us,
+            "us",
+        );
+        let (m, post) = seeded(&program, &db, &ops);
+        m.apply_ops(&db, &ops, &post);
+        report_row(
+            "E18",
+            &format!("nodes={nodes} delta={k}"),
+            "delta tuples maintained",
+            m.delta_tuples() as f64,
+            "tuples",
+        );
+    }
+}
+
+fn bench_maintenance_dbsize() {
+    // One insertion into `f` (SCC `tag`, disjoint from `path`): cost must
+    // stay flat as the reachability database grows.
+    let ops = vec![DeltaOp::Ins(
+        Pred::new("f", 1),
+        Tuple::new(vec![Value::Int(1)]),
+    )];
+    for nodes in [16usize, 64, 256] {
+        let (program, db) = chain_program(nodes, 0, 9);
+        let us = time_maintenance(&program, &db, &ops, 30);
+        report_row(
+            "E18",
+            &format!("nodes={nodes} delta=1 side-scc"),
+            "maintenance time",
+            us,
+            "us",
+        );
+    }
+}
+
+/// Loan-pipeline shape (the paper's §3 workflow corpus): pure eligibility
+/// and pending queries over an application book, between approval churn.
+fn loan_program(apps: usize) -> (td_core::Program, Database) {
+    let mut src = String::from("base application/2. base approved/1.\n");
+    for i in 0..apps {
+        src.push_str(&format!(
+            "init application(app{i}, {}).\n",
+            100 + (i * 97) % 900
+        ));
+    }
+    src.push_str("eligible(W) <- application(W, A) * A <= 500.\n");
+    src.push_str("pending(W) <- application(W, A) * not approved(W).\n");
+    let parsed = parse_program(&src).unwrap();
+    let db = Database::with_schema_of(&parsed.program);
+    let db = load_init(&db, &parsed.init).unwrap();
+    (parsed.program, db)
+}
+
+fn bench_loan_requery(c: &mut Criterion) {
+    let variants: [Variant; 2] = [
+        ("topdown", |p| Engine::new(p.clone())),
+        ("materialized", |p| {
+            Engine::with_config(p.clone(), materialized_config())
+        }),
+    ];
+    for (name, make) in variants {
+        let mut group = c.benchmark_group(&format!("e18/loan_requery_{name}"));
+        for apps in [32usize, 128] {
+            let (program, db) = loan_program(apps);
+            let engine = make(&program);
+            // Approve one application, check another's pending/eligible
+            // status, withdraw the approval (digest restored).
+            let goal = Goal::seq(vec![
+                Goal::ins("approved", vec![Term::sym("app0")]),
+                Goal::atom("eligible", vec![Term::sym("app1")]),
+                Goal::atom("pending", vec![Term::sym("app1")]),
+                Goal::del("approved", vec![Term::sym("app0")]),
+            ]);
+            assert!(engine.executable(&goal, &db).unwrap());
+            group.bench_with_input(
+                BenchmarkId::from_parameter(apps),
+                &(engine, db, goal),
+                |b, (engine, db, goal)| {
+                    b.iter(|| assert!(engine.executable(goal, db).unwrap()));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    bench_requery(c);
+    bench_maintenance_delta();
+    bench_maintenance_dbsize();
+    bench_loan_requery(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(400)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! CI smoke + performance gate for incremental maintenance (experiment
+//! E18).
+//!
+//! The PR-6 acceptance gate: after a small base delta, a warm materialized
+//! re-query of a ground reachability question must be at least 5x faster
+//! than the uncached top-down search. The margin is wide by construction —
+//! a probe is an index lookup while top-down walks the whole chain — so a
+//! failure here means the probe path regressed (wrong gating, cold states
+//! on every query, maintenance falling back to rebuilds), not noise.
+
+use std::time::Instant;
+use td_core::{Goal, Term};
+use td_db::Database;
+use td_engine::{load_init, Engine, EngineConfig};
+use td_parser::parse_program;
+
+const NODES: usize = 256;
+
+fn chain() -> (td_core::Program, Database) {
+    let mut src = String::from("base e/2.\n");
+    for i in 0..NODES - 1 {
+        src.push_str(&format!("init e(n{i}, n{}).\n", i + 1));
+    }
+    src.push_str("path(X, Y) <- e(X, Y).\n");
+    src.push_str("path(X, Z) <- e(X, Y) * path(Y, Z).\n");
+    let parsed = parse_program(&src).unwrap();
+    let db = Database::with_schema_of(&parsed.program);
+    let db = load_init(&db, &parsed.init).unwrap();
+    (parsed.program, db)
+}
+
+/// Total wall time of `k` solves of `goal` on `db`.
+fn time_solves(engine: &Engine, goal: &Goal, db: &Database, k: usize) -> std::time::Duration {
+    let start = Instant::now();
+    for _ in 0..k {
+        assert!(engine.executable(goal, db).unwrap());
+    }
+    start.elapsed()
+}
+
+#[test]
+fn materialized_warm_requery_beats_uncached_topdown() {
+    let (program, db) = chain();
+    let query = Goal::atom(
+        "path",
+        vec![Term::sym("n0"), Term::sym(&format!("n{}", NODES - 1))],
+    );
+    let plain = Engine::new(program.clone());
+    let mat = Engine::with_config(program, EngineConfig::default().with_materialize());
+    let m = mat.materializer().expect("chain program materializes");
+
+    // Seed the views on the initial state, then push a small base delta
+    // *through the engine* so the post state is maintained, not rebuilt.
+    assert!(mat.executable(&query, &db).unwrap());
+    let churn = Goal::seq(vec![
+        Goal::ins("e", vec![Term::sym("n0"), Term::sym("n2")]),
+        query.clone(),
+    ]);
+    let sol = mat.solve(&churn, &db).unwrap();
+    let db = sol.solution().expect("churn goal succeeds").db.clone();
+    assert!(m.maintained_ops() > 0, "the delta must be maintained");
+
+    // Warm lap on the post-delta state for both engines, then measure.
+    assert!(mat.executable(&query, &db).unwrap());
+    assert!(plain.executable(&query, &db).unwrap());
+    let probes_before = m.probes();
+    let hits_before = m.state_hits();
+    let t_mat = time_solves(&mat, &query, &db, 200);
+    assert!(
+        m.probes() > probes_before && m.state_hits() > hits_before,
+        "warm re-queries must be answered by state-hit probes \
+         (probes={}, state_hits={}, rebuilds={})",
+        m.probes(),
+        m.state_hits(),
+        m.rebuilds()
+    );
+    let t_plain = time_solves(&plain, &query, &db, 200);
+    assert!(
+        t_mat * 5 <= t_plain,
+        "materialized warm re-query must be >= 5x faster than uncached \
+         top-down: materialized {t_mat:?}, top-down {t_plain:?}"
+    );
+}

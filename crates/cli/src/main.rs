@@ -29,6 +29,13 @@
 //!                          Incompatible with `td trace` (rejected).
 //!   --cache-capacity=N     subgoal-cache entry bound (default 65536;
 //!                          requires --subgoal-cache)
+//!   --materialize          maintain the program's Datalog-evaluable derived
+//!                          predicates as materialized views updated
+//!                          incrementally from committed deltas; ground
+//!                          sole-frontier calls on them become indexed
+//!                          probes (see docs/INCREMENTAL.md). Incompatible
+//!                          with `td trace` (rejected), and rejected when
+//!                          the program has no materializable predicate
 //!   --report=PATH          write a JSON run report (outcome, wall time,
 //!                          metrics registry snapshot, requested+effective
 //!                          config, final-state digest) — run/trace/decide
@@ -54,10 +61,10 @@ use std::sync::Arc;
 use std::time::Instant;
 use td_core::{FragmentReport, Goal, Program};
 use td_db::{Database, Delta, DeltaOp};
-use td_engine::obs::{stats_counters, CacheReport, GoalReport, RunReport, StoreReport};
+use td_engine::obs::{stats_counters, CacheReport, GoalReport, MatReport, RunReport, StoreReport};
 use td_engine::{
-    decider, load_init, Engine, EngineConfig, Observer, Outcome, SearchBackend, Strategy,
-    SubgoalCache,
+    decider, load_init, Engine, EngineConfig, Materializer, Observer, Outcome, SearchBackend,
+    Strategy, SubgoalCache,
 };
 use td_parser::{parse_goal, parse_program};
 use td_store::{Store, WalTail};
@@ -102,6 +109,8 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> 
             deterministic = true;
         } else if a == "--subgoal-cache" {
             config.subgoal_cache = true;
+        } else if a == "--materialize" {
+            config.materialize = true;
         } else if let Some(v) = a.strip_prefix("--cache-capacity=") {
             cache_capacity = Some(
                 v.parse::<usize>()
@@ -225,6 +234,17 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
+    // Same incompatibility for materialized probes: a probe is one
+    // macro-step with no elementary events for the trace to record, so
+    // tracing turns the flag into a silent no-op. Refuse the combination.
+    if cmd == "trace" && opts.config.materialize {
+        eprintln!(
+            "td: --materialize cannot be combined with `trace`: tracing \
+             disables materialized probes (see docs/INCREMENTAL.md); drop \
+             one of the two"
+        );
+        return ExitCode::from(2);
+    }
     // `--threads` selects the parallel *interpreter* backend, which the
     // memoizing decider never consults — it is a sequential explicit-state
     // search. The flag used to be silently ignored for `td decide`; refuse
@@ -272,6 +292,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--materialize` on a program with nothing to materialize used to be
+    // conceivable as a silent no-op; reject it instead, naming the reason,
+    // so the run the user asked for is the run they get.
+    if opts.config.materialize {
+        if let Err(e) = Materializer::compile(&parsed.program) {
+            eprintln!(
+                "td: --materialize does not apply to `{file}`: {e} \
+                 (see docs/INCREMENTAL.md)"
+            );
+            return ExitCode::from(2);
+        }
+    }
     // With `--db` the store is the source of truth: a fresh store is seeded
     // with the program's schema and init facts (committed as the genesis WAL
     // record); a recovered store keeps its accumulated state and the
@@ -531,6 +563,7 @@ fn write_outputs(
     goals: Vec<GoalReport>,
     final_db: Option<&Database>,
     cache: Option<&SubgoalCache>,
+    mat: Option<&Materializer>,
     store: Option<StoreReport>,
 ) -> bool {
     let mut ok = true;
@@ -560,6 +593,15 @@ fn write_outputs(
                 unsuitable: c.unsuitable(),
                 evictions: c.evictions(),
                 entries: c.len() as u64,
+            }),
+            mat: mat.map(|m| MatReport {
+                probes: m.probes(),
+                state_hits: m.state_hits(),
+                rebuilds: m.rebuilds(),
+                maintained_ops: m.maintained_ops(),
+                delta_tuples: m.delta_tuples(),
+                maintain_us: m.maintain_ns() / 1000,
+                states: m.states() as u64,
             }),
             store,
             metrics: obs
@@ -644,6 +686,7 @@ fn trace(
         started,
         reports,
         Some(&db),
+        None,
         None,
         None,
     );
@@ -733,6 +776,19 @@ fn run(
         reports.push(report);
     }
     let cache = engine.subgoal_cache().cloned();
+    let mat = engine.materializer().cloned();
+    if let Some(m) = &mat {
+        println!(
+            "materializer: probes={} state_hits={} rebuilds={} maintained_ops={} \
+             delta_tuples={} states={}",
+            m.probes(),
+            m.state_hits(),
+            m.rebuilds(),
+            m.maintained_ops(),
+            m.delta_tuples(),
+            m.states()
+        );
+    }
     if let Some(s) = store.as_deref() {
         println!(
             "store: {} transactions committed ({} wal records since snapshot)",
@@ -750,6 +806,7 @@ fn run(
         reports,
         Some(&db),
         cache.as_deref(),
+        mat.as_deref(),
         store.as_deref().map(store_report),
     );
     if ok {
@@ -801,6 +858,12 @@ fn decide(
     let cache = config
         .subgoal_cache
         .then(|| Arc::new(SubgoalCache::new(config.cache_capacity)));
+    // Likewise one materializer: its digest-keyed states stay warm across
+    // goals (main() already rejected the flag if compilation cannot succeed).
+    let mat = config
+        .materialize
+        .then(|| Materializer::compile(&parsed.program).ok().map(Arc::new))
+        .flatten();
     let mut ok = true;
     let mut reports = Vec::new();
     for g in &parsed.goals {
@@ -811,12 +874,13 @@ fn decide(
             error: None,
             counters: Vec::new(),
         };
-        match decider::decide_observed(
+        match decider::decide_materialized(
             &parsed.program,
             &g.goal,
             &db,
             decider::DeciderConfig::default(),
             cache.clone(),
+            mat.clone(),
             obs.clone(),
         ) {
             Ok(d) => {
@@ -861,6 +925,7 @@ fn decide(
         reports,
         None,
         cache.as_deref(),
+        mat.as_deref(),
         store.map(store_report),
     );
     if ok {
@@ -987,6 +1052,21 @@ mod tests {
         assert!(parse(&["--threads=x"]).is_err());
         assert!(parse(&["--subgoal-cache", "--cache-capacity=0"]).is_err());
         assert!(parse(&["--no-such-flag"]).is_err());
+    }
+
+    #[test]
+    fn materialize_flag_is_captured() {
+        let o = parse(&["--materialize"]).unwrap();
+        assert!(o.config.materialize);
+        assert!(!parse(&[]).unwrap().config.materialize);
+    }
+
+    #[test]
+    fn materialize_composes_with_cache_and_threads() {
+        let o = parse(&["--materialize", "--subgoal-cache", "--threads=2"]).unwrap();
+        assert!(o.config.materialize);
+        assert!(o.config.subgoal_cache);
+        assert!(matches!(o.config.backend, SearchBackend::Parallel { .. }));
     }
 
     #[test]

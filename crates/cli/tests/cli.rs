@@ -274,6 +274,65 @@ fn store_misuse_exits_2() {
 }
 
 #[test]
+fn materialize_answers_derived_queries_and_reports_counters() {
+    let f = write_temp(
+        "mat_run.td",
+        "base edge/2. init edge(1,2). init edge(2,3).\n\
+         path(X,Y) <- edge(X,Y).\npath(X,Z) <- edge(X,Y) * path(Y,Z).\n\
+         ?- path(1,3).\n?- ins.edge(3,4) * path(1,4).\n",
+    );
+    let report = std::env::temp_dir().join("td-cli-tests").join("mat.json");
+    let out = td()
+        .args([
+            "--materialize",
+            &format!("--report={}", report.display()),
+            "run",
+        ])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("materializer: probes="), "{stdout}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"materializer\""), "{json}");
+    assert!(json.contains("\"probes\""), "{json}");
+    let _ = std::fs::remove_file(&report);
+}
+
+#[test]
+fn materialize_with_trace_exits_2() {
+    let f = write_temp(
+        "mat_trace.td",
+        "base edge/2.\npath(X,Y) <- edge(X,Y).\n?- path(1,2).\n",
+    );
+    let out = td()
+        .args(["--materialize", "trace"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--materialize"), "{stderr}");
+    assert!(stderr.contains("trace"), "{stderr}");
+}
+
+#[test]
+fn materialize_without_datalog_fragment_exits_2() {
+    // Every derived predicate here performs updates, so nothing is
+    // materializable: the flag must be refused, not silently ignored.
+    let f = write_temp("mat_none.td", "base t/1.\nw(X) <- ins.t(X).\n?- w(1).\n");
+    let out = td()
+        .args(["--materialize", "run"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--materialize"), "{stderr}");
+}
+
+#[test]
 fn trace_prints_the_committed_story() {
     let f = write_temp(
         "trace.td",

@@ -17,6 +17,7 @@
 //! and initial database, so the store never needs schema evolution, and
 //! database size stays polynomial in the input (§4 of the paper).
 
+pub mod counted;
 pub mod database;
 pub mod delta;
 pub mod hamt;
@@ -24,6 +25,7 @@ pub mod ord;
 pub mod relation;
 pub mod tuple;
 
+pub use counted::{CountedRelation, Transition};
 pub use database::{Database, DbError};
 pub use delta::{Delta, DeltaOp};
 pub use relation::Relation;
@@ -37,6 +39,7 @@ fn _assert_storage_is_send_sync() {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Database>();
     assert_send_sync::<Relation>();
+    assert_send_sync::<CountedRelation>();
     assert_send_sync::<Tuple>();
     assert_send_sync::<Delta>();
     assert_send_sync::<hamt::Set<Tuple>>();

@@ -213,6 +213,13 @@ impl SubgoalCache {
         self.unsuitable.load(Ordering::Relaxed)
     }
 
+    /// Record a probe the cache deliberately skipped without a lookup — a
+    /// call on a *materialized* predicate is answered by the incremental
+    /// circuit, and storing it here too would double-store the same answer.
+    pub fn note_unsuitable(&self) {
+        self.unsuitable.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Entries discarded by the CLOCK policy.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)

@@ -104,6 +104,14 @@ pub struct EngineConfig {
     /// Capacity bound (entries) for the subgoal cache; evicted with CLOCK
     /// second-chance when full.
     pub cache_capacity: usize,
+    /// Materialize the Datalog-evaluable derived predicates as incrementally
+    /// maintained counted relations: ground sole-frontier calls on them
+    /// become indexed probes instead of rule unfoldings, and every committed
+    /// base delta maintains the materialization in O(|delta|). Gated like
+    /// the subgoal cache (inert under tracing and non-exhaustive
+    /// strategies); a no-op when the program has no such predicates. See
+    /// `docs/INCREMENTAL.md`.
+    pub materialize: bool,
 }
 
 impl Default for EngineConfig {
@@ -117,6 +125,7 @@ impl Default for EngineConfig {
             backend: SearchBackend::Sequential,
             subgoal_cache: false,
             cache_capacity: 65_536,
+            materialize: false,
         }
     }
 }
@@ -159,6 +168,12 @@ impl EngineConfig {
         self
     }
 
+    /// Config with incremental materialization enabled.
+    pub fn with_materialize(mut self) -> EngineConfig {
+        self.materialize = true;
+        self
+    }
+
     /// Config with the parallel backend at `threads` workers
     /// (nondeterministic witness; `threads <= 1` keeps the sequential
     /// backend).
@@ -191,6 +206,7 @@ impl EngineConfig {
         if !exhaustive || self.trace {
             eff.backend = SearchBackend::Sequential;
             eff.subgoal_cache = false;
+            eff.materialize = false;
         }
         if matches!(eff.backend, SearchBackend::Parallel { threads, .. } if threads <= 1) {
             eff.backend = SearchBackend::Sequential;
@@ -270,6 +286,9 @@ pub struct Stats {
     pub cache_hits: u64,
     /// Subgoal-cache lookups that found nothing (and enumerated).
     pub cache_misses: u64,
+    /// Ground derived-predicate calls answered by a materialized-relation
+    /// probe instead of rule unfolding.
+    pub mat_probes: u64,
 }
 
 impl fmt::Display for Stats {
@@ -292,6 +311,9 @@ impl fmt::Display for Stats {
                 " cache_hits={} cache_misses={}",
                 self.cache_hits, self.cache_misses
             )?;
+        }
+        if self.mat_probes > 0 {
+            write!(f, " mat_probes={}", self.mat_probes)?;
         }
         write!(f, " peak_procs={}", self.peak_processes)
     }

@@ -37,9 +37,11 @@ impl std::fmt::Display for NotDatalog {
 
 impl std::error::Error for NotDatalog {}
 
-/// One body literal of a flattened Datalog rule.
+/// One body literal of a flattened Datalog rule. Shared with the
+/// incremental materialization circuit (`crate::incremental`), which
+/// compiles the same flattened form into delta-join plans.
 #[derive(Clone, Debug)]
-enum Lit {
+pub(crate) enum Lit {
     Atom(Atom),
     /// Absence test on a base relation; all arguments must be bound by the
     /// literals to its left.
@@ -49,10 +51,10 @@ enum Lit {
 
 /// A rule flattened to `head <- lit₁, …, litₙ`.
 #[derive(Clone, Debug)]
-struct FlatRule {
-    head: Atom,
-    body: Vec<Lit>,
-    num_vars: u32,
+pub(crate) struct FlatRule {
+    pub(crate) head: Atom,
+    pub(crate) body: Vec<Lit>,
+    pub(crate) num_vars: u32,
 }
 
 /// Check that every rule of `program` is Datalog-evaluable.
@@ -63,7 +65,7 @@ pub fn is_datalog(program: &Program) -> Result<(), NotDatalog> {
     Ok(())
 }
 
-fn flatten_rule(rule: &Rule) -> Result<FlatRule, NotDatalog> {
+pub(crate) fn flatten_rule(rule: &Rule) -> Result<FlatRule, NotDatalog> {
     let mut body = Vec::new();
     flatten_goal(&rule.body, &mut body)?;
     Ok(FlatRule {

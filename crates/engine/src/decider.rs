@@ -29,6 +29,7 @@
 
 use crate::cache::{state_key, StateKey, SubgoalCache};
 use crate::config::{EngineError, Stats};
+use crate::incremental::Materializer;
 use crate::kernel::{Config as StepConfig, Hooks, Kernel};
 use crate::obs::{LocalMetrics, Observer};
 use crate::trace::{SpanPhase, TraceEvent};
@@ -120,6 +121,22 @@ pub fn decide_observed(
     cache: Option<Arc<SubgoalCache>>,
     obs: Option<Arc<Observer>>,
 ) -> Result<Decision, EngineError> {
+    decide_materialized(program, goal, db, config, cache, None, obs)
+}
+
+/// [`decide_observed`] with an incremental materializer attached: ground
+/// sole-frontier calls on materialized derived predicates are answered by an
+/// indexed probe, and every update action maintains the materialized state
+/// from the committed delta (see `docs/INCREMENTAL.md`).
+pub fn decide_materialized(
+    program: &Program,
+    goal: &Goal,
+    db: &Database,
+    config: DeciderConfig,
+    cache: Option<Arc<SubgoalCache>>,
+    mat: Option<Arc<Materializer>>,
+    obs: Option<Arc<Observer>>,
+) -> Result<Decision, EngineError> {
     if let Some(o) = &obs {
         o.emit(None, || TraceEvent::SpanEnter {
             phase: SpanPhase::Solve,
@@ -127,7 +144,11 @@ pub fn decide_observed(
         });
     }
     let mut search = Search {
-        kernel: Kernel { program, cache },
+        kernel: Kernel {
+            program,
+            cache,
+            mat,
+        },
         config,
         visited: HashSet::new(),
         truncated: false,
@@ -178,8 +199,26 @@ pub fn final_states_with_cache(
     config: DeciderConfig,
     cache: Option<Arc<SubgoalCache>>,
 ) -> Result<Vec<Database>, EngineError> {
+    final_states_materialized(program, goal, db, config, cache, None)
+}
+
+/// [`final_states_with_cache`] with an incremental materializer (see
+/// [`decide_materialized`]). The set of final databases is unchanged —
+/// materialized probes are pure-query macro-steps.
+pub fn final_states_materialized(
+    program: &Program,
+    goal: &Goal,
+    db: &Database,
+    config: DeciderConfig,
+    cache: Option<Arc<SubgoalCache>>,
+    mat: Option<Arc<Materializer>>,
+) -> Result<Vec<Database>, EngineError> {
     let mut search = Search {
-        kernel: Kernel { program, cache },
+        kernel: Kernel {
+            program,
+            cache,
+            mat,
+        },
         config,
         visited: HashSet::new(),
         truncated: false,
@@ -202,12 +241,14 @@ pub fn shortest_execution(
     db: &Database,
     config: DeciderConfig,
 ) -> Result<Option<usize>, EngineError> {
-    // Uncached on purpose: a cached answer replay is a macro-step, which
-    // would corrupt the BFS elementary-step count this function measures.
+    // Uncached and unmaterialized on purpose: a cached answer replay or a
+    // materialized probe is a macro-step, which would corrupt the BFS
+    // elementary-step count this function measures.
     let mut search = Search {
         kernel: Kernel {
             program,
             cache: None,
+            mat: None,
         },
         config,
         visited: HashSet::new(),

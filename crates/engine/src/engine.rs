@@ -2,6 +2,7 @@
 
 use crate::cache::SubgoalCache;
 use crate::config::{EngineConfig, EngineError, SearchBackend, Stats, Strategy};
+use crate::incremental::Materializer;
 use crate::machine::{Ctx, Solver};
 use crate::obs::Observer;
 use crate::trace::{SpanPhase, TraceEvent};
@@ -92,6 +93,12 @@ pub struct Engine {
     /// every `solve`/`solutions` call on this engine and its clones, so a
     /// warm engine replays answers across queries too.
     cache: Option<Arc<SubgoalCache>>,
+    /// Incremental materializer, compiled once per engine when
+    /// `EngineConfig::materialize` is set and the program has a
+    /// Datalog-evaluable fragment (`None` otherwise — the engine then runs
+    /// exactly as without the flag). Shared across calls and clones like
+    /// the cache, so materialized states stay warm between queries.
+    mat: Option<Arc<Materializer>>,
     /// Observability sink (metrics registry + optional event stream),
     /// attached with [`Engine::with_observer`]. `None` = zero overhead.
     obs: Option<Arc<Observer>>,
@@ -108,10 +115,15 @@ impl Engine {
         let cache = config
             .subgoal_cache
             .then(|| Arc::new(SubgoalCache::new(config.cache_capacity)));
+        let mat = config
+            .materialize
+            .then(|| Materializer::compile(&program).ok().map(Arc::new))
+            .flatten();
         Engine {
             program,
             config,
             cache,
+            mat,
             obs: None,
         }
     }
@@ -148,6 +160,14 @@ impl Engine {
         self.cache.as_ref()
     }
 
+    /// The engine's incremental materializer (None unless
+    /// `EngineConfig::materialize` is set *and* the program has a
+    /// Datalog-evaluable fragment). Exposes lifetime probe/rebuild/
+    /// maintenance counters for reporting.
+    pub fn materializer(&self) -> Option<&Arc<Materializer>> {
+        self.mat.as_ref()
+    }
+
     /// Execute `goal` against `db`, returning the first successful
     /// execution (the committed transaction) or failure.
     ///
@@ -171,6 +191,7 @@ impl Engine {
                         threads,
                         deterministic,
                         self.cache.clone(),
+                        self.mat.clone(),
                         self.obs.clone(),
                     )?;
                 }
@@ -227,6 +248,7 @@ impl Engine {
             &self.program,
             &self.config,
             self.cache.clone(),
+            self.mat.clone(),
             self.obs.clone(),
         );
         ctx.bindings.alloc(nvars);

@@ -1,0 +1,1342 @@
+//! Incremental materialization of the Datalog fragment.
+//!
+//! §6 of the paper observes that the update-free core of TD *is* classical
+//! Datalog, so classical optimization applies. The
+//! [`SubgoalCache`](crate::cache::SubgoalCache) already
+//! reuses answers, but any database-digest change invalidates it wholesale:
+//! one `ins` re-derives every derived relation from scratch. This module
+//! turns "digest changed → recompute" into "delta applied → O(|Δ|)
+//! maintenance":
+//!
+//! * [`Materializer::compile`] classifies the Datalog-evaluable derived
+//!   predicates (reusing `datalog::flatten_rule`), partitions their
+//!   dependency graph into strongly-connected components, and fixes a
+//!   topological evaluation order over the SCCs.
+//! * For each database version (keyed by its O(1) content digest), a
+//!   *materialized state* maps every such predicate to a
+//!   [`CountedRelation`]: tuple → number of supporting rule instantiations.
+//! * [`Materializer::apply_ops`] pushes a committed base delta through the
+//!   circuit: per delta-rule semi-naive joins (one per affected body
+//!   position, prefix-new/suffix-old, index-backed via the sorted treap
+//!   probes) adjust the counts, and only 0 ↔ positive transitions cascade
+//!   to downstream components. Non-recursive components use exact counting;
+//!   recursive components use delete-rederive (DRed) over set semantics,
+//!   where counting is unsound.
+//! * [`Materializer::holds`] answers a ground derived-predicate call with
+//!   an indexed probe of the materialized relation — the kernel substitutes
+//!   it for rule unfolding when `EngineConfig::materialize` is on.
+//!
+//! Negation folds in directly: TD restricts `not` to base relations, so no
+//! stratification is needed — a base tuple appearing is a *negative* delta
+//! through a `not` literal and vice versa.
+//!
+//! Backtracking and isolation rollback need no explicit unwind: states are
+//! keyed by content digest, so restoring an earlier database re-keys to the
+//! retained state for that digest (the delta-log inverse is subsumed by
+//! digest keying — see `docs/INCREMENTAL.md`).
+
+use crate::datalog::{flatten_rule, FlatRule, Lit};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use td_core::goal::Builtin;
+use td_core::unify::unify_terms;
+use td_core::{Atom, Bindings, Pred, Program, Term, Value};
+use td_db::{CountedRelation, Database, DeltaOp, Transition, Tuple};
+
+/// Why a program has no materializable fragment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NotMaterializable {
+    pub reason: String,
+}
+
+impl std::fmt::Display for NotMaterializable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "nothing to materialize: {}", self.reason)
+    }
+}
+
+impl std::error::Error for NotMaterializable {}
+
+/// One component of the circuit: a strongly-connected set of derived
+/// predicates plus every rule defining them, evaluated together.
+struct SccPlan {
+    preds: Vec<Pred>,
+    /// Mutual or self recursion: maintained by DRed over set semantics
+    /// instead of exact counting.
+    recursive: bool,
+    rules: Vec<FlatRule>,
+    /// Every predicate (base or derived) read by this component's rules —
+    /// a component is skipped when no delta touches its inputs.
+    deps: HashSet<Pred>,
+}
+
+/// Materialized state for one database version: predicate → counted
+/// relation.
+type MatState = HashMap<Pred, CountedRelation>;
+
+/// Membership events produced while one base delta cascades: per predicate,
+/// `(tuple, +1)` for appeared and `(tuple, -1)` for disappeared.
+type Events = HashMap<Pred, Vec<(Tuple, i64)>>;
+
+#[derive(Default)]
+struct Store {
+    map: HashMap<u128, Arc<MatState>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u128>,
+}
+
+/// Bound on retained per-digest states; old versions evict FIFO (a probe on
+/// an evicted version falls back to a full rebuild).
+const MAX_STATES: usize = 4096;
+
+/// The compiled delta circuit plus its per-digest state store. Cheap to
+/// share across backends and worker threads behind an `Arc`; all counters
+/// are process-wide lifetime totals.
+pub struct Materializer {
+    base: HashSet<Pred>,
+    mat: HashSet<Pred>,
+    /// Base predicates read by some materialized rule; deltas on any other
+    /// base predicate leave every materialized relation unchanged.
+    relevant_base: HashSet<Pred>,
+    /// Components in dependency-first (topological) order.
+    sccs: Vec<SccPlan>,
+    store: Mutex<Store>,
+    probes: AtomicU64,
+    state_hits: AtomicU64,
+    rebuilds: AtomicU64,
+    maintained_ops: AtomicU64,
+    delta_tuples: AtomicU64,
+    maintain_ns: AtomicU64,
+}
+
+impl std::fmt::Debug for Materializer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Materializer")
+            .field("preds", &self.mat.len())
+            .field("sccs", &self.sccs.len())
+            .finish()
+    }
+}
+
+impl Materializer {
+    /// Compile the materializable fragment of `program`: the greatest set
+    /// of derived predicates whose rules all flatten to Datalog, depend
+    /// (positively) only on base predicates and each other, negate only
+    /// base predicates, and are *delta-safe* (every variable a negation or
+    /// a demanding builtin reads is bound by an earlier positive atom, so
+    /// delta-joins that pre-bind a later position agree with left-to-right
+    /// evaluation). Errs when the set is empty.
+    pub fn compile(program: &Program) -> Result<Materializer, NotMaterializable> {
+        let base: HashSet<Pred> = program.base_preds().collect();
+        let mut derived: Vec<Pred> = program.derived_preds().collect();
+        derived.sort();
+        derived.dedup();
+        if derived.is_empty() {
+            return Err(NotMaterializable {
+                reason: "the program has no derived predicates".into(),
+            });
+        }
+        let mut flat: HashMap<Pred, Vec<FlatRule>> = HashMap::new();
+        let mut mat: HashSet<Pred> = HashSet::new();
+        for &p in &derived {
+            let rules: Result<Vec<FlatRule>, _> = program
+                .rules_for(p)
+                .iter()
+                .map(|rid| flatten_rule(program.rule(*rid)))
+                .collect();
+            match rules {
+                Ok(rs) if rs.iter().all(delta_safe) => {
+                    flat.insert(p, rs);
+                    mat.insert(p);
+                }
+                _ => {}
+            }
+        }
+        // Greatest fixpoint: a predicate whose rules read a non-materializable
+        // derived predicate (or negate a derived predicate) drops out too.
+        loop {
+            let drop: Vec<Pred> = mat
+                .iter()
+                .copied()
+                .filter(|p| {
+                    flat[p].iter().any(|r| {
+                        r.body.iter().any(|l| match l {
+                            Lit::Atom(a) => !base.contains(&a.pred) && !mat.contains(&a.pred),
+                            Lit::NegAtom(a) => !base.contains(&a.pred),
+                            Lit::Builtin(..) => false,
+                        })
+                    })
+                })
+                .collect();
+            if drop.is_empty() {
+                break;
+            }
+            for p in drop {
+                mat.remove(&p);
+            }
+        }
+        if mat.is_empty() {
+            return Err(NotMaterializable {
+                reason: "no derived predicate is Datalog-evaluable".into(),
+            });
+        }
+
+        // SCC decomposition of the materialized dependency graph. Tarjan
+        // emits components callees-first, which is exactly the evaluation
+        // order the circuit needs.
+        let mut nodes: Vec<Pred> = mat.iter().copied().collect();
+        nodes.sort();
+        let index: HashMap<Pred, usize> = nodes.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+        let adj: Vec<Vec<usize>> = nodes
+            .iter()
+            .map(|p| {
+                let mut out: Vec<usize> = flat[p]
+                    .iter()
+                    .flat_map(|r| r.body.iter())
+                    .filter_map(|l| match l {
+                        Lit::Atom(a) => index.get(&a.pred).copied(),
+                        _ => None,
+                    })
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        let comps = tarjan(&adj);
+        let sccs: Vec<SccPlan> = comps
+            .into_iter()
+            .map(|mut comp| {
+                comp.sort_unstable();
+                let preds: Vec<Pred> = comp.iter().map(|&i| nodes[i]).collect();
+                let recursive = comp.len() > 1 || adj[comp[0]].contains(&comp[0]);
+                let rules: Vec<FlatRule> =
+                    preds.iter().flat_map(|p| flat[p].iter().cloned()).collect();
+                let deps: HashSet<Pred> = rules
+                    .iter()
+                    .flat_map(|r| r.body.iter())
+                    .filter_map(|l| match l {
+                        Lit::Atom(a) | Lit::NegAtom(a) => Some(a.pred),
+                        Lit::Builtin(..) => None,
+                    })
+                    .collect();
+                SccPlan {
+                    preds,
+                    recursive,
+                    rules,
+                    deps,
+                }
+            })
+            .collect();
+        let relevant_base: HashSet<Pred> = sccs
+            .iter()
+            .flat_map(|s| s.deps.iter())
+            .copied()
+            .filter(|p| base.contains(p))
+            .collect();
+        Ok(Materializer {
+            base,
+            mat,
+            relevant_base,
+            sccs,
+            store: Mutex::new(Store::default()),
+            probes: AtomicU64::new(0),
+            state_hits: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+            maintained_ops: AtomicU64::new(0),
+            delta_tuples: AtomicU64::new(0),
+            maintain_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// Is this predicate maintained by the circuit?
+    pub fn is_materialized(&self, pred: Pred) -> bool {
+        self.mat.contains(&pred)
+    }
+
+    /// The materialized predicates, sorted.
+    pub fn materialized_preds(&self) -> Vec<Pred> {
+        let mut out: Vec<Pred> = self.mat.iter().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// Answer a ground call on a materialized predicate with an indexed
+    /// probe: `None` when the atom is not ground or its predicate is not
+    /// materialized (caller must fall back to rule unfolding), `Some(b)`
+    /// otherwise. A probe on an unseen database version triggers a full
+    /// (re)build for that version; subsequent versions reached by committed
+    /// deltas are maintained incrementally.
+    pub fn holds(&self, db: &Database, atom: &Atom) -> Option<bool> {
+        if !self.mat.contains(&atom.pred) {
+            return None;
+        }
+        let tuple = Tuple::new(atom.ground_args()?);
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        let state = self.state_for(db);
+        Some(state.get(&atom.pred).is_some_and(|r| r.contains(&tuple)))
+    }
+
+    /// All tuples of a materialized predicate at `db`'s version, sorted.
+    /// Builds the version's state if absent; empty for non-materialized
+    /// predicates.
+    pub fn facts(&self, db: &Database, pred: Pred) -> Vec<Tuple> {
+        if !self.mat.contains(&pred) {
+            return Vec::new();
+        }
+        self.state_for(db)
+            .get(&pred)
+            .map(|r| r.to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The materialized state for a database version, building it if this
+    /// digest was never seen (or was evicted).
+    fn state_for(&self, db: &Database) -> Arc<MatState> {
+        let digest = db.digest();
+        if let Some(st) = self
+            .store
+            .lock()
+            .expect("mat store poisoned")
+            .map
+            .get(&digest)
+        {
+            self.state_hits.fetch_add(1, Ordering::Relaxed);
+            return st.clone();
+        }
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        let st = Arc::new(self.build(db));
+        self.store_state(digest, st.clone());
+        st
+    }
+
+    /// Maintain the state across a committed delta: `ops` is the exact op
+    /// sequence taking `pre` to `post` (no-op entries included). O(1) when
+    /// `pre`'s state is not resident (maintenance is lazy until a probe
+    /// seeds a version) or `post`'s already is. Rollback needs no inverse
+    /// pass: earlier digests keep their states.
+    pub fn apply_ops(&self, pre: &Database, ops: &[DeltaOp], post: &Database) {
+        if ops.is_empty() || pre.digest() == post.digest() {
+            return;
+        }
+        let (pre_state, have_post) = {
+            let s = self.store.lock().expect("mat store poisoned");
+            (
+                s.map.get(&pre.digest()).cloned(),
+                s.map.contains_key(&post.digest()),
+            )
+        };
+        let Some(pre_state) = pre_state else { return };
+        if have_post {
+            return;
+        }
+        let t0 = std::time::Instant::now();
+        let mut state: MatState = (*pre_state).clone();
+        let mut touched = false;
+        let mut cur = pre.clone();
+        for op in ops {
+            let (pred, tuple) = match op {
+                DeltaOp::Ins(p, t) | DeltaOp::Del(p, t) => (*p, t),
+            };
+            let Ok(next) = op.apply(&cur) else { return };
+            if self.relevant_base.contains(&pred) {
+                let sign = match (cur.contains(pred, tuple), next.contains(pred, tuple)) {
+                    (false, true) => 1,
+                    (true, false) => -1,
+                    _ => 0,
+                };
+                if sign != 0 {
+                    self.propagate(&cur, &next, pred, tuple.clone(), sign, &mut state);
+                    touched = true;
+                }
+            }
+            cur = next;
+        }
+        debug_assert_eq!(cur.digest(), post.digest(), "ops do not take pre to post");
+        self.maintained_ops
+            .fetch_add(ops.len() as u64, Ordering::Relaxed);
+        self.maintain_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let st = if touched { Arc::new(state) } else { pre_state };
+        self.store_state(post.digest(), st);
+    }
+
+    fn store_state(&self, digest: u128, state: Arc<MatState>) {
+        let mut s = self.store.lock().expect("mat store poisoned");
+        if s.map.contains_key(&digest) {
+            return;
+        }
+        while s.map.len() >= MAX_STATES {
+            let Some(old) = s.order.pop_front() else {
+                break;
+            };
+            s.map.remove(&old);
+        }
+        s.order.push_back(digest);
+        s.map.insert(digest, state);
+    }
+
+    // ------------------------------------------------------------------
+    // Full build (first probe of a database version)
+    // ------------------------------------------------------------------
+
+    fn build(&self, db: &Database) -> MatState {
+        let mut state: MatState = self
+            .mat
+            .iter()
+            .map(|p| (*p, CountedRelation::new(p.arity as usize)))
+            .collect();
+        for scc in &self.sccs {
+            if scc.recursive {
+                self.build_recursive(scc, db, &mut state);
+            } else {
+                self.build_counting(scc, db, &mut state);
+            }
+        }
+        state
+    }
+
+    /// Non-recursive component: one pass, counting every rule
+    /// instantiation.
+    fn build_counting(&self, scc: &SccPlan, db: &Database, state: &mut MatState) {
+        let q = scc.preds[0];
+        let mut counts: HashMap<Tuple, i64> = HashMap::new();
+        {
+            let v = Views { db, state: &*state };
+            for rule in &scc.rules {
+                self.join_rule(rule, None, None, v, v, &mut |t| {
+                    *counts.entry(t).or_insert(0) += 1;
+                });
+            }
+        }
+        let mut rel = state[&q].clone();
+        for (t, c) in counts {
+            rel = rel.add(&t, c).0;
+        }
+        state.insert(q, rel);
+    }
+
+    /// Recursive component: semi-naive set-semantics fixpoint (every member
+    /// carries count 1).
+    fn build_recursive(&self, scc: &SccPlan, db: &Database, state: &mut MatState) {
+        let internal: HashSet<Pred> = scc.preds.iter().copied().collect();
+        let mut delta: Vec<(Pred, Tuple)> = Vec::new();
+        let mut pending: Vec<(Pred, Tuple)> = Vec::new();
+        {
+            let v = Views { db, state: &*state };
+            for rule in &scc.rules {
+                let hp = rule.head.pred;
+                self.join_rule(rule, None, None, v, v, &mut |t| pending.push((hp, t)));
+            }
+        }
+        loop {
+            for (p, t) in pending.drain(..) {
+                if !state[&p].contains(&t) {
+                    let rel = state[&p].add(&t, 1).0;
+                    state.insert(p, rel);
+                    delta.push((p, t));
+                }
+            }
+            if delta.is_empty() {
+                break;
+            }
+            let drained: Vec<(Pred, Tuple)> = std::mem::take(&mut delta);
+            let v = Views { db, state: &*state };
+            for (dp, dt) in &drained {
+                for rule in &scc.rules {
+                    let hp = rule.head.pred;
+                    for (pos, lit) in rule.body.iter().enumerate() {
+                        if let Lit::Atom(a) = lit {
+                            if a.pred == *dp && internal.contains(dp) {
+                                self.join_rule(rule, Some((pos, dt)), None, v, v, &mut |t| {
+                                    pending.push((hp, t));
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental maintenance
+    // ------------------------------------------------------------------
+
+    /// Push one base-relation membership change through the circuit in
+    /// topological order, cascading derived membership events.
+    fn propagate(
+        &self,
+        old_db: &Database,
+        new_db: &Database,
+        pred: Pred,
+        tuple: Tuple,
+        sign: i64,
+        state: &mut MatState,
+    ) {
+        let old_state = state.clone();
+        let mut events: Events = HashMap::new();
+        events.insert(pred, vec![(tuple, sign)]);
+        for scc in &self.sccs {
+            if !scc.deps.iter().any(|p| events.contains_key(p)) {
+                continue;
+            }
+            if scc.recursive {
+                self.maintain_recursive(scc, old_db, new_db, &old_state, state, &mut events);
+            } else {
+                self.maintain_counting(scc, old_db, new_db, &old_state, state, &mut events);
+            }
+        }
+    }
+
+    /// Exact counting maintenance for a non-recursive component: signed
+    /// finite differencing — for each affected body position i,
+    /// `new₁…newᵢ₋₁ × Δᵢ × oldᵢ₊₁…oldₙ` — telescopes to the exact count
+    /// change. A `not` literal flips the delta's sign.
+    fn maintain_counting(
+        &self,
+        scc: &SccPlan,
+        old_db: &Database,
+        new_db: &Database,
+        old_state: &MatState,
+        state: &mut MatState,
+        events: &mut Events,
+    ) {
+        let q = scc.preds[0];
+        let mut net: HashMap<Tuple, i64> = HashMap::new();
+        {
+            let new_v = Views {
+                db: new_db,
+                state: &*state,
+            };
+            let old_v = Views {
+                db: old_db,
+                state: old_state,
+            };
+            for rule in &scc.rules {
+                for (pos, lit) in rule.body.iter().enumerate() {
+                    let (lp, neg) = match lit {
+                        Lit::Atom(a) => (a.pred, false),
+                        Lit::NegAtom(a) => (a.pred, true),
+                        Lit::Builtin(..) => continue,
+                    };
+                    let Some(evts) = events.get(&lp) else {
+                        continue;
+                    };
+                    for (t, s) in evts {
+                        let sign = if neg { -s } else { *s };
+                        self.join_rule(rule, Some((pos, t)), None, new_v, old_v, &mut |h| {
+                            *net.entry(h).or_insert(0) += sign;
+                        });
+                    }
+                }
+            }
+        }
+        let mut rel = state[&q].clone();
+        let mut evs: Vec<(Tuple, i64)> = Vec::new();
+        for (t, d) in net {
+            if d == 0 {
+                continue;
+            }
+            let (next, tr) = rel.add(&t, d);
+            rel = next;
+            match tr {
+                Transition::Appeared => evs.push((t, 1)),
+                Transition::Disappeared => evs.push((t, -1)),
+                Transition::Unchanged => {}
+            }
+        }
+        state.insert(q, rel);
+        if !evs.is_empty() {
+            self.delta_tuples
+                .fetch_add(evs.len() as u64, Ordering::Relaxed);
+            events.insert(q, evs);
+        }
+    }
+
+    /// DRed maintenance for a recursive component: overdelete every tuple
+    /// with a derivation through a negative event (against the old state),
+    /// rederive survivors from the new state, then semi-naive insertion for
+    /// positive events.
+    fn maintain_recursive(
+        &self,
+        scc: &SccPlan,
+        old_db: &Database,
+        new_db: &Database,
+        old_state: &MatState,
+        state: &mut MatState,
+        events: &mut Events,
+    ) {
+        let internal: HashSet<Pred> = scc.preds.iter().copied().collect();
+        let mut deleted: HashSet<(Pred, Tuple)> = HashSet::new();
+        let mut inserted: HashSet<(Pred, Tuple)> = HashSet::new();
+        let mut wl: VecDeque<(Pred, Tuple)> = VecDeque::new();
+        let mut cand: Vec<(Pred, Tuple)> = Vec::new();
+
+        // Phase 1: overdeletion, entirely against the old views.
+        {
+            let old_v = Views {
+                db: old_db,
+                state: old_state,
+            };
+            for rule in &scc.rules {
+                let hp = rule.head.pred;
+                for (pos, lit) in rule.body.iter().enumerate() {
+                    let (lp, neg) = match lit {
+                        Lit::Atom(a) => (a.pred, false),
+                        Lit::NegAtom(a) => (a.pred, true),
+                        Lit::Builtin(..) => continue,
+                    };
+                    if internal.contains(&lp) {
+                        continue;
+                    }
+                    let Some(evts) = events.get(&lp) else {
+                        continue;
+                    };
+                    for (t, s) in evts {
+                        if (if neg { -s } else { *s }) < 0 {
+                            self.join_rule(rule, Some((pos, t)), None, old_v, old_v, &mut |h| {
+                                cand.push((hp, h));
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        loop {
+            for (p, h) in cand.drain(..) {
+                if state[&p].contains(&h) && deleted.insert((p, h.clone())) {
+                    let rel = state[&p].add(&h, -state[&p].count(&h)).0;
+                    state.insert(p, rel);
+                    wl.push_back((p, h));
+                }
+            }
+            let Some((dp, dt)) = wl.pop_front() else {
+                break;
+            };
+            let old_v = Views {
+                db: old_db,
+                state: old_state,
+            };
+            for rule in &scc.rules {
+                let hp = rule.head.pred;
+                for (pos, lit) in rule.body.iter().enumerate() {
+                    if let Lit::Atom(a) = lit {
+                        if a.pred == dp {
+                            self.join_rule(rule, Some((pos, &dt)), None, old_v, old_v, &mut |h| {
+                                cand.push((hp, h));
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: rederivation from the new external state and the reduced
+        // component state. Tuples whose alternative support runs through
+        // other rederived tuples are recovered by the insertion phase.
+        for (p, t) in &deleted {
+            let mut found = false;
+            {
+                let v = Views {
+                    db: new_db,
+                    state: &*state,
+                };
+                for rule in &scc.rules {
+                    if rule.head.pred != *p || found {
+                        continue;
+                    }
+                    self.join_rule(rule, None, Some(t), v, v, &mut |_| {
+                        found = true;
+                    });
+                }
+            }
+            if found {
+                let rel = state[p].add(t, 1).0;
+                state.insert(*p, rel);
+                inserted.insert((*p, t.clone()));
+                wl.push_back((*p, t.clone()));
+            }
+        }
+
+        // Phase 3: semi-naive insertion for positive events, against the
+        // new views and the growing component state.
+        {
+            let v = Views {
+                db: new_db,
+                state: &*state,
+            };
+            for rule in &scc.rules {
+                let hp = rule.head.pred;
+                for (pos, lit) in rule.body.iter().enumerate() {
+                    let (lp, neg) = match lit {
+                        Lit::Atom(a) => (a.pred, false),
+                        Lit::NegAtom(a) => (a.pred, true),
+                        Lit::Builtin(..) => continue,
+                    };
+                    if internal.contains(&lp) {
+                        continue;
+                    }
+                    let Some(evts) = events.get(&lp) else {
+                        continue;
+                    };
+                    for (t, s) in evts {
+                        if (if neg { -s } else { *s }) > 0 {
+                            self.join_rule(rule, Some((pos, t)), None, v, v, &mut |h| {
+                                cand.push((hp, h));
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        loop {
+            for (p, h) in cand.drain(..) {
+                if !state[&p].contains(&h) {
+                    let rel = state[&p].add(&h, 1 - state[&p].count(&h)).0;
+                    state.insert(p, rel);
+                    inserted.insert((p, h.clone()));
+                    wl.push_back((p, h));
+                }
+            }
+            let Some((dp, dt)) = wl.pop_front() else {
+                break;
+            };
+            let v = Views {
+                db: new_db,
+                state: &*state,
+            };
+            for rule in &scc.rules {
+                let hp = rule.head.pred;
+                for (pos, lit) in rule.body.iter().enumerate() {
+                    if let Lit::Atom(a) = lit {
+                        if a.pred == dp {
+                            self.join_rule(rule, Some((pos, &dt)), None, v, v, &mut |h| {
+                                cand.push((hp, h));
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Net membership events for downstream components.
+        let mut per_pred: HashMap<Pred, Vec<(Tuple, i64)>> = HashMap::new();
+        for (p, t) in deleted.iter().chain(inserted.iter()) {
+            let was = old_state[p].contains(t);
+            let is = state[p].contains(t);
+            let ev = match (was, is) {
+                (false, true) => Some(1),
+                (true, false) => Some(-1),
+                _ => None,
+            };
+            if let Some(s) = ev {
+                let entry = per_pred.entry(*p).or_default();
+                if !entry.iter().any(|(et, es)| et == t && *es == s) {
+                    entry.push((t.clone(), s));
+                }
+            }
+        }
+        for (p, evs) in per_pred {
+            self.delta_tuples
+                .fetch_add(evs.len() as u64, Ordering::Relaxed);
+            events.insert(p, evs);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Join plans
+    // ------------------------------------------------------------------
+
+    /// Enumerate rule-body instantiations left to right, mirroring the
+    /// bottom-up evaluator's semantics exactly (unbound `not` arguments and
+    /// builtin faults are silent no-matches). With a `driver`, that
+    /// position is pre-bound to the delta tuple, positions before it read
+    /// `new_v` and positions after it read `old_v` — the semi-naive
+    /// prefix-new/suffix-old split. With `head_bound`, the head is unified
+    /// first (rederivation checks).
+    fn join_rule(
+        &self,
+        rule: &FlatRule,
+        driver: Option<(usize, &Tuple)>,
+        head_bound: Option<&Tuple>,
+        new_v: Views<'_>,
+        old_v: Views<'_>,
+        emit: &mut dyn FnMut(Tuple),
+    ) {
+        let mut b = Bindings::new();
+        b.alloc(rule.num_vars);
+        if let Some(t) = head_bound {
+            if rule.head.args.len() != t.arity() {
+                return;
+            }
+            let ok = rule
+                .head
+                .args
+                .iter()
+                .zip(t.values())
+                .all(|(a, v)| unify_terms(&mut b, *a, Term::Val(*v)));
+            if !ok {
+                return;
+            }
+        }
+        if let Some((pos, t)) = driver {
+            let args = match &rule.body[pos] {
+                Lit::Atom(a) | Lit::NegAtom(a) => &a.args,
+                Lit::Builtin(..) => return,
+            };
+            if args.len() != t.arity() {
+                return;
+            }
+            let ok = args
+                .iter()
+                .zip(t.values())
+                .all(|(a, v)| unify_terms(&mut b, *a, Term::Val(*v)));
+            if !ok {
+                return;
+            }
+        }
+        self.join_from(rule, 0, driver.map(|(p, _)| p), new_v, old_v, &mut b, emit);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_from(
+        &self,
+        rule: &FlatRule,
+        idx: usize,
+        driver_pos: Option<usize>,
+        new_v: Views<'_>,
+        old_v: Views<'_>,
+        b: &mut Bindings,
+        emit: &mut dyn FnMut(Tuple),
+    ) {
+        if idx == rule.body.len() {
+            let values: Option<Vec<Value>> =
+                rule.head.args.iter().map(|t| b.value_of(*t)).collect();
+            if let Some(values) = values {
+                emit(Tuple::new(values));
+            }
+            return;
+        }
+        if driver_pos == Some(idx) {
+            return self.join_from(rule, idx + 1, driver_pos, new_v, old_v, b, emit);
+        }
+        let v = match driver_pos {
+            Some(p) if idx > p => old_v,
+            _ => new_v,
+        };
+        match &rule.body[idx] {
+            Lit::Atom(atom) => {
+                let resolved: Vec<Term> = atom.args.iter().map(|t| b.resolve(*t)).collect();
+                let pattern: Vec<Option<Value>> = resolved.iter().map(|t| t.as_value()).collect();
+                for t in self.view_select(v, atom.pred, &pattern) {
+                    let mark = b.mark();
+                    let ok = resolved
+                        .iter()
+                        .zip(t.values())
+                        .all(|(a, vv)| unify_terms(b, *a, Term::Val(*vv)));
+                    if ok {
+                        self.join_from(rule, idx + 1, driver_pos, new_v, old_v, b, emit);
+                    }
+                    b.undo_to(mark);
+                }
+            }
+            Lit::NegAtom(atom) => {
+                let values: Option<Vec<Value>> = atom.args.iter().map(|t| b.value_of(*t)).collect();
+                if let Some(values) = values {
+                    if !self.view_contains(v, atom.pred, &Tuple::new(values)) {
+                        self.join_from(rule, idx + 1, driver_pos, new_v, old_v, b, emit);
+                    }
+                }
+            }
+            Lit::Builtin(op, terms) => {
+                let mark = b.mark();
+                if matches!(crate::kernel::eval_builtin(b, *op, terms), Ok(true)) {
+                    self.join_from(rule, idx + 1, driver_pos, new_v, old_v, b, emit);
+                }
+                b.undo_to(mark);
+            }
+        }
+    }
+
+    fn view_select(&self, v: Views<'_>, pred: Pred, pattern: &[Option<Value>]) -> Vec<Tuple> {
+        if self.base.contains(&pred) {
+            v.db.relation(pred)
+                .map(|r| r.select(pattern))
+                .unwrap_or_default()
+        } else {
+            v.state
+                .get(&pred)
+                .map(|r| r.select(pattern))
+                .unwrap_or_default()
+        }
+    }
+
+    fn view_contains(&self, v: Views<'_>, pred: Pred, t: &Tuple) -> bool {
+        if self.base.contains(&pred) {
+            v.db.contains(pred, t)
+        } else {
+            v.state.get(&pred).is_some_and(|r| r.contains(t))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lifetime counters
+    // ------------------------------------------------------------------
+
+    /// Ground probes answered from a materialized relation.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Probes (or maintenance passes) that found the version's state
+    /// resident.
+    pub fn state_hits(&self) -> u64 {
+        self.state_hits.load(Ordering::Relaxed)
+    }
+
+    /// Full builds (first probe of a version, or probe after eviction).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Delta ops fed through incremental maintenance.
+    pub fn maintained_ops(&self) -> u64 {
+        self.maintained_ops.load(Ordering::Relaxed)
+    }
+
+    /// Derived membership events produced by maintenance (the circuit's
+    /// total delta volume).
+    pub fn delta_tuples(&self) -> u64 {
+        self.delta_tuples.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds spent in incremental maintenance.
+    pub fn maintain_ns(&self) -> u64 {
+        self.maintain_ns.load(Ordering::Relaxed)
+    }
+
+    /// Database versions currently holding a materialized state.
+    pub fn states(&self) -> usize {
+        self.store.lock().expect("mat store poisoned").map.len()
+    }
+}
+
+/// Read view for one side of a delta-join: base relations from a database
+/// version, derived relations from a materialized state.
+#[derive(Clone, Copy)]
+struct Views<'a> {
+    db: &'a Database,
+    state: &'a MatState,
+}
+
+/// Delta-join safety: every variable read by a `not` literal or a
+/// demanding builtin (`!=`, comparisons, arithmetic inputs) must be bound
+/// by an earlier positive atom (or determined by an earlier `=`/arithmetic
+/// output over such variables). Rules violating this evaluate differently
+/// once a delta pre-binds a later position, so they are excluded from
+/// materialization.
+fn delta_safe(rule: &FlatRule) -> bool {
+    let mut bound: HashSet<td_core::Var> = HashSet::new();
+    let term_vars = |t: &Term| -> Vec<td_core::Var> { t.as_var().into_iter().collect() };
+    let all_bound = |ts: &[Term], bound: &HashSet<td_core::Var>| {
+        ts.iter().flat_map(term_vars).all(|v| bound.contains(&v))
+    };
+    for lit in &rule.body {
+        match lit {
+            Lit::Atom(a) => {
+                bound.extend(a.vars());
+            }
+            Lit::NegAtom(a) => {
+                if !a
+                    .args
+                    .iter()
+                    .flat_map(term_vars)
+                    .all(|v| bound.contains(&v))
+                {
+                    return false;
+                }
+            }
+            Lit::Builtin(op, terms) => match op {
+                Builtin::Eq => {
+                    // `=` determines one side from the other; if either side
+                    // is fully bound, the other becomes so.
+                    if all_bound(&terms[..1], &bound) || all_bound(&terms[1..2], &bound) {
+                        bound.extend(terms.iter().flat_map(term_vars));
+                    }
+                }
+                Builtin::Ne | Builtin::Lt | Builtin::Le | Builtin::Gt | Builtin::Ge => {
+                    if !all_bound(terms, &bound) {
+                        return false;
+                    }
+                }
+                Builtin::Add | Builtin::Sub | Builtin::Mul => {
+                    if !all_bound(&terms[..2], &bound) {
+                        return false;
+                    }
+                    bound.extend(term_vars(&terms[2]));
+                }
+            },
+        }
+    }
+    true
+}
+
+/// Tarjan's SCC algorithm; components are emitted callees-first, i.e. in a
+/// valid bottom-up evaluation order.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    struct T<'a> {
+        adj: &'a [Vec<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: usize,
+        out: Vec<Vec<usize>>,
+    }
+    fn visit(t: &mut T<'_>, v: usize) {
+        t.index[v] = Some(t.next);
+        t.low[v] = t.next;
+        t.next += 1;
+        t.stack.push(v);
+        t.on_stack[v] = true;
+        for i in 0..t.adj[v].len() {
+            let w = t.adj[v][i];
+            match t.index[w] {
+                None => {
+                    visit(t, w);
+                    t.low[v] = t.low[v].min(t.low[w]);
+                }
+                Some(wi) if t.on_stack[w] => {
+                    t.low[v] = t.low[v].min(wi);
+                }
+                _ => {}
+            }
+        }
+        if t.low[v] == t.index[v].expect("visited") {
+            let mut comp = Vec::new();
+            loop {
+                let w = t.stack.pop().expect("stack non-empty");
+                t.on_stack[w] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            t.out.push(comp);
+        }
+    }
+    let n = adj.len();
+    let mut t = T {
+        adj,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if t.index[v].is_none() {
+            visit(&mut t, v);
+        }
+    }
+    t.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::load_init;
+    use td_db::tuple;
+    use td_parser::parse_program;
+
+    fn setup(src: &str) -> (Program, Database) {
+        let parsed = parse_program(src).expect("parses");
+        let db = Database::with_schema_of(&parsed.program);
+        let db = load_init(&db, &parsed.init).expect("init");
+        (parsed.program, db)
+    }
+
+    /// Oracle: the materialized facts of every circuit predicate must equal
+    /// the bottom-up fixpoint restricted to it.
+    fn assert_matches_fixpoint(m: &Materializer, program: &Program, db: &Database) {
+        let fix = crate::datalog::evaluate(program, db).expect("datalog-evaluable");
+        for p in m.materialized_preds() {
+            let mut expect: Vec<Tuple> = fix.facts_of(p).cloned().collect();
+            expect.sort();
+            assert_eq!(m.facts(db, p), expect, "{p} at digest {:x}", db.digest());
+        }
+    }
+
+    /// Apply one op both to the db and through the circuit.
+    fn step(m: &Materializer, db: &Database, op: DeltaOp) -> Database {
+        let next = op.apply(db).expect("op applies");
+        m.apply_ops(db, std::slice::from_ref(&op), &next);
+        next
+    }
+
+    #[test]
+    fn compile_partitions_into_sccs() {
+        let (p, _) = setup(
+            "base e/2. base broken/1.
+             path(X, Y) <- e(X, Y).
+             path(X, Z) <- e(X, Y) * path(Y, Z).
+             healthy(X) <- e(X, X) * not broken(X).
+             top(X) <- path(X, X) * healthy(X).",
+        );
+        let m = Materializer::compile(&p).unwrap();
+        assert_eq!(m.materialized_preds().len(), 3);
+        assert!(m.is_materialized(Pred::new("path", 2)));
+        assert!(m.is_materialized(Pred::new("top", 1)));
+        let path_scc = m
+            .sccs
+            .iter()
+            .find(|s| s.preds.contains(&Pred::new("path", 2)))
+            .unwrap();
+        assert!(path_scc.recursive);
+        let top_scc = m
+            .sccs
+            .iter()
+            .find(|s| s.preds.contains(&Pred::new("top", 1)))
+            .unwrap();
+        assert!(!top_scc.recursive);
+        // `top` depends on both others, so its component must come last.
+        assert_eq!(m.sccs.last().unwrap().preds, vec![Pred::new("top", 1)]);
+    }
+
+    #[test]
+    fn non_datalog_preds_are_excluded_transitively() {
+        let (p, _) = setup(
+            "base t/1. base e/2.
+             act(X) <- e(X, X) * ins.t(X).
+             uses_act(X) <- act(X).
+             pure(X) <- e(X, X).",
+        );
+        let m = Materializer::compile(&p).unwrap();
+        assert_eq!(m.materialized_preds(), vec![Pred::new("pure", 1)]);
+    }
+
+    #[test]
+    fn delta_unsafe_rules_are_excluded() {
+        // `not broken(X)` before any positive binding of X: the bottom-up
+        // evaluator silently derives nothing, but a delta-join driving
+        // e(X, Y) would bind X — so the predicate must not be materialized.
+        let (p, _) = setup(
+            "base e/2. base broken/1.
+             odd(X) <- not broken(X) * e(X, X).
+             fine(X) <- e(X, X) * not broken(X).",
+        );
+        let m = Materializer::compile(&p).unwrap();
+        assert_eq!(m.materialized_preds(), vec![Pred::new("fine", 1)]);
+    }
+
+    #[test]
+    fn no_materializable_predicates_is_an_error() {
+        let (p, _) = setup("base t/0.");
+        assert!(Materializer::compile(&p).is_err());
+        let (p, _) = setup("base t/0. r <- ins.t.");
+        assert!(Materializer::compile(&p).is_err());
+    }
+
+    #[test]
+    fn build_matches_bottom_up_fixpoint() {
+        let (p, db) = setup(
+            "base e/2. base blocked/1. base n/1.
+             init e(a, b). init e(b, c). init e(c, d). init blocked(c).
+             init n(1). init n(2). init n(3).
+             path(X, Y) <- e(X, Y).
+             path(X, Z) <- e(X, Y) * path(Y, Z).
+             reach(X) <- e(a, X) * not blocked(X).
+             reach(Y) <- reach(X) * e(X, Y) * not blocked(Y).
+             big(X) <- n(X) * X > 1.
+             double(Y) <- n(X) * Y is X + X.",
+        );
+        let m = Materializer::compile(&p).unwrap();
+        assert_matches_fixpoint(&m, &p, &db);
+        assert_eq!(m.rebuilds(), 1);
+    }
+
+    #[test]
+    fn counting_tracks_alternative_derivations() {
+        // q(X) has two independent supports; deleting one leaves it derivable.
+        let (p, db) = setup(
+            "base r/1. base s/1.
+             init r(1). init s(1).
+             q(X) <- r(X).
+             q(X) <- s(X).",
+        );
+        let m = Materializer::compile(&p).unwrap();
+        let q = Pred::new("q", 1);
+        assert_eq!(m.facts(&db, q), vec![tuple!(1)]);
+        let db2 = step(&m, &db, DeltaOp::Del(Pred::new("r", 1), tuple!(1)));
+        assert_eq!(m.facts(&db2, q), vec![tuple!(1)], "s(1) still supports");
+        let db3 = step(&m, &db2, DeltaOp::Del(Pred::new("s", 1), tuple!(1)));
+        assert!(m.facts(&db3, q).is_empty(), "last support gone");
+        assert_eq!(m.rebuilds(), 1, "maintenance, not rebuilds");
+        assert_matches_fixpoint(&m, &p, &db3);
+    }
+
+    #[test]
+    fn negation_flips_the_delta_sign() {
+        let (p, db) = setup(
+            "base node/1. base broken/1.
+             init node(a). init node(b).
+             healthy(X) <- node(X) * not broken(X).",
+        );
+        let m = Materializer::compile(&p).unwrap();
+        let healthy = Pred::new("healthy", 1);
+        assert_eq!(m.facts(&db, healthy).len(), 2);
+        let db2 = step(&m, &db, DeltaOp::Ins(Pred::new("broken", 1), tuple!("b")));
+        assert_eq!(m.facts(&db2, healthy), vec![tuple!("a")]);
+        let db3 = step(&m, &db2, DeltaOp::Del(Pred::new("broken", 1), tuple!("b")));
+        assert_eq!(m.facts(&db3, healthy).len(), 2);
+        assert_eq!(m.rebuilds(), 1);
+    }
+
+    #[test]
+    fn dred_deletes_and_rederives_in_cycles() {
+        // A diamond with a cycle: deleting one edge must not delete facts
+        // that remain derivable around the cycle.
+        let (p, db) = setup(
+            "base e/2.
+             init e(a, b). init e(b, c). init e(c, a). init e(a, c).
+             path(X, Y) <- e(X, Y).
+             path(X, Z) <- e(X, Y) * path(Y, Z).",
+        );
+        let m = Materializer::compile(&p).unwrap();
+        assert_matches_fixpoint(&m, &p, &db);
+        let db2 = step(&m, &db, DeltaOp::Del(Pred::new("e", 2), tuple!("a", "c")));
+        assert_matches_fixpoint(&m, &p, &db2);
+        assert!(m
+            .facts(&db2, Pred::new("path", 2))
+            .contains(&tuple!("a", "c")));
+        let db3 = step(&m, &db2, DeltaOp::Del(Pred::new("e", 2), tuple!("c", "a")));
+        assert_matches_fixpoint(&m, &p, &db3);
+        assert_eq!(m.rebuilds(), 1);
+    }
+
+    #[test]
+    fn irrelevant_base_deltas_share_the_state() {
+        let (p, db) = setup(
+            "base e/2. base junk/1.
+             init e(a, b).
+             path(X, Y) <- e(X, Y).
+             path(X, Z) <- e(X, Y) * path(Y, Z).",
+        );
+        let m = Materializer::compile(&p).unwrap();
+        let _ = m.facts(&db, Pred::new("path", 2));
+        let db2 = step(&m, &db, DeltaOp::Ins(Pred::new("junk", 1), tuple!(9)));
+        assert_eq!(m.facts(&db2, Pred::new("path", 2)), vec![tuple!("a", "b")]);
+        assert_eq!(m.rebuilds(), 1);
+        assert_eq!(m.states(), 2, "post state stored by reference");
+    }
+
+    #[test]
+    fn rollback_rekeys_to_the_retained_state() {
+        let (p, db) = setup(
+            "base e/2.
+             init e(a, b).
+             path(X, Y) <- e(X, Y).
+             path(X, Z) <- e(X, Y) * path(Y, Z).",
+        );
+        let m = Materializer::compile(&p).unwrap();
+        let path = Pred::new("path", 2);
+        let before = m.facts(&db, path);
+        let op = DeltaOp::Ins(Pred::new("e", 2), tuple!("b", "c"));
+        let db2 = step(&m, &db, op);
+        assert_eq!(m.facts(&db2, path).len(), 3);
+        // "Rollback": the engine simply resumes from the old snapshot.
+        assert_eq!(m.facts(&db, path), before);
+        assert_eq!(m.rebuilds(), 1, "old digest still resident");
+    }
+
+    #[test]
+    fn maintenance_matches_rebuild_under_random_churn() {
+        let (p, db0) = setup(
+            "base e/2. base blocked/1.
+             path(X, Y) <- e(X, Y).
+             path(X, Z) <- e(X, Y) * path(Y, Z).
+             reach(X) <- e(n0, X) * not blocked(X).
+             reach(Y) <- reach(X) * e(X, Y) * not blocked(Y).",
+        );
+        let m = Materializer::compile(&p).unwrap();
+        let names = ["n0", "n1", "n2", "n3", "n4"];
+        let mut db = db0;
+        let mut x: u64 = 0x2545F4914F6CDD1D;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let _ = m.facts(&db, Pred::new("path", 2)); // seed the version
+        for _ in 0..60 {
+            let r = rng();
+            let op = if r % 3 == 0 {
+                let n = names[(rng() % 5) as usize];
+                if r % 2 == 0 {
+                    DeltaOp::Ins(Pred::new("blocked", 1), Tuple::new(vec![Value::sym(n)]))
+                } else {
+                    DeltaOp::Del(Pred::new("blocked", 1), Tuple::new(vec![Value::sym(n)]))
+                }
+            } else {
+                let a = names[(rng() % 5) as usize];
+                let b = names[(rng() % 5) as usize];
+                let t = Tuple::new(vec![Value::sym(a), Value::sym(b)]);
+                if r % 2 == 0 {
+                    DeltaOp::Ins(Pred::new("e", 2), t)
+                } else {
+                    DeltaOp::Del(Pred::new("e", 2), t)
+                }
+            };
+            db = step(&m, &db, op);
+            assert_matches_fixpoint(&m, &p, &db);
+        }
+        assert_eq!(m.rebuilds(), 1, "churn maintained incrementally");
+    }
+
+    #[test]
+    fn holds_probes_only_ground_materialized_atoms() {
+        let (p, db) = setup(
+            "base e/2. init e(a, b).
+             path(X, Y) <- e(X, Y).
+             path(X, Z) <- e(X, Y) * path(Y, Z).",
+        );
+        let m = Materializer::compile(&p).unwrap();
+        let ground = Atom::new("path", vec![Term::sym("a"), Term::sym("b")]);
+        assert_eq!(m.holds(&db, &ground), Some(true));
+        let missing = Atom::new("path", vec![Term::sym("b"), Term::sym("a")]);
+        assert_eq!(m.holds(&db, &missing), Some(false));
+        let open = Atom::new("path", vec![Term::var(0), Term::sym("b")]);
+        assert_eq!(m.holds(&db, &open), None);
+        let base = Atom::new("e", vec![Term::sym("a"), Term::sym("b")]);
+        assert_eq!(m.holds(&db, &base), None);
+        assert_eq!(m.probes(), 2);
+    }
+
+    #[test]
+    fn multi_op_deltas_maintain_in_one_pass() {
+        let (p, db) = setup(
+            "base e/2. init e(a, b).
+             path(X, Y) <- e(X, Y).
+             path(X, Z) <- e(X, Y) * path(Y, Z).",
+        );
+        let m = Materializer::compile(&p).unwrap();
+        let _ = m.facts(&db, Pred::new("path", 2));
+        let e = Pred::new("e", 2);
+        let ops = vec![
+            DeltaOp::Ins(e, tuple!("b", "c")),
+            DeltaOp::Del(e, tuple!("a", "b")),
+            DeltaOp::Ins(e, tuple!("c", "d")),
+        ];
+        let mut post = db.clone();
+        for op in &ops {
+            post = op.apply(&post).unwrap();
+        }
+        m.apply_ops(&db, &ops, &post);
+        assert_matches_fixpoint(&m, &p, &post);
+        assert_eq!(m.maintained_ops(), 3);
+    }
+}

@@ -141,7 +141,7 @@ pub(crate) fn enumerate_answers(
         max_steps: CACHE_ENUM_MAX_STEPS,
         ..EngineConfig::default()
     };
-    let mut ctx = Ctx::new(program, &config, None, None);
+    let mut ctx = Ctx::new(program, &config, None, None, None);
     ctx.bindings.alloc(nvars);
     let mut solver = Solver::new(make_node(goal), db.clone());
     let mut out = Vec::new();

@@ -11,6 +11,7 @@ use super::{
 };
 use crate::cache::{CachedAnswer, SubgoalCache};
 use crate::config::EngineError;
+use crate::incremental::Materializer;
 use crate::tree::{frontier, leaf_at, make_node, rewrite, sequence, PTree};
 use std::sync::Arc;
 use td_core::unify::{unify_args, unify_terms};
@@ -67,10 +68,13 @@ pub(crate) struct Action {
 }
 
 /// The transition kernel: the program plus the (optional) shared subgoal
-/// answer cache that turns contiguous subtransactions into macro-steps.
+/// answer cache that turns contiguous subtransactions into macro-steps, and
+/// the (optional) incremental materializer that answers ground calls on
+/// materialized derived predicates with an indexed probe.
 pub(crate) struct Kernel<'p> {
     pub program: &'p Program,
     pub cache: Option<Arc<SubgoalCache>>,
+    pub mat: Option<Arc<Materializer>>,
 }
 
 impl Kernel<'_> {
@@ -132,6 +136,30 @@ impl Kernel<'_> {
                 }
                 Goal::Atom(atom) => {
                     if sole && atom.is_ground() {
+                        // A materialized probe beats both the cache and rule
+                        // unfolding: the call is a pure query, so it succeeds
+                        // (erasing the leaf, no bindings, no delta) or fails
+                        // (no successor) as a single macro-step.
+                        if let Some(mat) = &self.mat {
+                            if let Some(holds) = mat.holds(&cfg.db, &atom) {
+                                hooks.stats.mat_probes += 1;
+                                if let Some(cache) = &self.cache {
+                                    // Materialization supersedes the cache
+                                    // for this predicate; never double-store.
+                                    cache.note_unsuitable();
+                                }
+                                if holds {
+                                    out.push(Action {
+                                        tree: rewrite(tree, &path, None),
+                                        db: cfg.db.clone(),
+                                        nvars: cfg.nvars,
+                                        answer: cfg.answer.clone(),
+                                        ops: Vec::new(),
+                                    });
+                                }
+                                continue;
+                            }
+                        }
                         if let Some(cache) = self.cache.clone() {
                             let subgoal = Goal::Atom(atom.clone());
                             match probe_subgoal(self.program, &cache, &cfg.db, &subgoal, hooks) {
@@ -187,6 +215,9 @@ impl Kernel<'_> {
                         Err(e) => return (out, Some(e)),
                         Ok((next, _changed, op)) => {
                             hooks.stats.db_ops += 1;
+                            if let Some(mat) = &self.mat {
+                                mat.apply_ops(&cfg.db, std::slice::from_ref(&op), &next);
+                            }
                             out.push(Action {
                                 tree: rewrite(tree, &path, None),
                                 db: next,
@@ -315,6 +346,9 @@ impl Kernel<'_> {
                     hooks.stats.db_ops += 1;
                     ops.push(op.clone());
                 })?;
+                if let Some(mat) = &self.mat {
+                    mat.apply_ops(&cfg.db, &ops, &db);
+                }
                 out.push(Action {
                     tree: new_tree,
                     db,

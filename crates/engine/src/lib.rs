@@ -32,6 +32,7 @@ pub mod datalog;
 pub mod decider;
 pub mod engine;
 pub mod entail;
+pub mod incremental;
 mod kernel;
 mod machine;
 pub mod magic;
@@ -44,6 +45,7 @@ pub mod tree;
 pub use cache::{CacheEntry, CachedAnswer, StateKey, SubgoalCache};
 pub use config::{EngineConfig, EngineError, SearchBackend, Stats, Strategy};
 pub use engine::{goal_num_vars, load_init, Engine, Outcome, Solution, Solutions};
+pub use incremental::{Materializer, NotMaterializable};
 pub use obs::{
     CacheTally, EventLog, GoalReport, LocalMetrics, MetricsRegistry, MetricsSnapshot, Observer,
     RunReport, StoreReport,

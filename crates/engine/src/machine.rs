@@ -23,6 +23,7 @@
 
 use crate::cache::{CachedAnswer, StateKey, SubgoalCache};
 use crate::config::{EngineConfig, EngineError, Stats, Strategy};
+use crate::incremental::Materializer;
 use crate::kernel::{self, Hooks, Probe};
 use crate::obs::{subgoal_label, LocalMetrics, Observer};
 use crate::trace::{SpanPhase, TraceEvent};
@@ -54,6 +55,8 @@ pub(crate) struct Ctx<'p> {
     /// Shared subtransaction answer cache; `None` when disabled or the
     /// configuration is incompatible (see [`Ctx::new`]'s gate).
     cache: Option<Arc<SubgoalCache>>,
+    /// Shared incremental materializer; gated exactly like the cache.
+    mat: Option<Arc<Materializer>>,
     /// Observability sink: metrics registry + optional event stream.
     pub(crate) obs: Option<Arc<Observer>>,
     /// Per-run metric accumulator, absorbed into the observer's registry
@@ -68,6 +71,7 @@ impl<'p> Ctx<'p> {
         program: &'p Program,
         config: &'p EngineConfig,
         cache: Option<Arc<SubgoalCache>>,
+        mat: Option<Arc<Materializer>>,
         obs: Option<Arc<Observer>>,
     ) -> Ctx<'p> {
         let rng = match config.strategy {
@@ -77,11 +81,13 @@ impl<'p> Ctx<'p> {
         // The cache replays a subgoal's answers in the canonical exhaustive
         // depth-first order; under any other strategy the lazy path would
         // yield a different order, and a trace cannot be reconstructed from
-        // a replay — gate it off rather than produce wrong witnesses.
-        let cache = if config.trace || config.strategy != Strategy::Exhaustive {
-            None
+        // a replay — gate it off rather than produce wrong witnesses. The
+        // materializer answers with macro-steps that leave no elementary
+        // trace either, so it shares the gate.
+        let (cache, mat) = if config.trace || config.strategy != Strategy::Exhaustive {
+            (None, None)
         } else {
-            cache
+            (cache, mat)
         };
         let local = LocalMetrics::new(obs.is_some());
         Ctx {
@@ -93,6 +99,7 @@ impl<'p> Ctx<'p> {
             trace: Vec::new(),
             failed: HashSet::new(),
             cache,
+            mat,
             obs,
             local,
             rng,
@@ -562,6 +569,26 @@ impl Solver {
         // so its answer set is cacheable exactly like an isolated block.
         // The same condition is applied in the decider and the parallel
         // backend, so all three make identical caching decisions.
+        if ctx.mat.is_some() && atom.is_ground() && frontier(tree).len() == 1 {
+            // A materialized probe is a pure-query macro-step: it beats both
+            // the cache and rule unfolding, succeeding (leaf erased, no
+            // bindings, no delta) or failing outright.
+            let mat = ctx.mat.clone().expect("checked");
+            if let Some(holds) = mat.holds(&self.db, &atom) {
+                ctx.stats.mat_probes += 1;
+                if let Some(cache) = &ctx.cache {
+                    // Materialization supersedes the cache for this
+                    // predicate; never double-store.
+                    cache.note_unsuitable();
+                }
+                return if holds {
+                    self.state = rewrite(tree, &path, None);
+                    Ok(())
+                } else {
+                    Err(StepErr::Fail)
+                };
+            }
+        }
         if ctx.cache.is_some() && atom.is_ground() && frontier(tree).len() == 1 {
             let subgoal = Goal::Atom(atom.clone());
             if let Some(result) = self.try_cached_subgoal(ctx, tree, &path, &subgoal) {
@@ -613,6 +640,9 @@ impl Solver {
         match kernel::apply_update(&self.db, &resolved, is_ins) {
             Err(e) => Err(fatal(e)),
             Ok((db, changed, op)) => {
+                if let Some(mat) = &ctx.mat {
+                    mat.apply_ops(&self.db, std::slice::from_ref(&op), &db);
+                }
                 self.db = db;
                 ctx.stats.db_ops += 1;
                 ctx.record(|| match &op {
@@ -723,11 +753,16 @@ impl Solver {
         if !kernel::bind_answer(&mut ctx.bindings, vars, ans) {
             return Err(StepErr::Fail);
         }
+        let mut ops = Vec::new();
         let db = kernel::replay_answer(&self.db, ans, |op| {
             ctx.stats.db_ops += 1;
             ctx.delta.push(op.clone());
+            ops.push(op.clone());
         })
         .map_err(fatal)?;
+        if let Some(mat) = &ctx.mat {
+            mat.apply_ops(&self.db, &ops, &db);
+        }
         self.db = db;
         self.state = rewrite(tree, path, None);
         Ok(())

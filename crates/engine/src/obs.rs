@@ -190,6 +190,7 @@ impl MetricsRegistry {
             ("memo_hits", stats.memo_hits),
             ("cache_hits", stats.cache_hits),
             ("cache_misses", stats.cache_misses),
+            ("mat_probes", stats.mat_probes),
         ] {
             *g.counters.entry(name.to_owned()).or_default() += v;
         }
@@ -508,6 +509,30 @@ pub struct CacheReport {
     pub entries: u64,
 }
 
+/// Lifetime counters of an incremental materializer, echoed into the
+/// report: the `probes`-vs-`unfolds` ratio shows how many derived calls the
+/// circuit absorbed, `maintain_us`/`maintained_ops` how much time the O(|Δ|)
+/// maintenance cost, and `delta_tuples` the circuit's total delta volume.
+#[derive(Clone, Copy, Debug)]
+pub struct MatReport {
+    /// Ground derived-predicate calls answered from a materialized relation.
+    pub probes: u64,
+    /// Probes (or maintenance passes) that found the version's state
+    /// resident.
+    pub state_hits: u64,
+    /// Full from-scratch builds (first probe of a version, or after
+    /// eviction).
+    pub rebuilds: u64,
+    /// Delta ops fed through incremental maintenance.
+    pub maintained_ops: u64,
+    /// Derived membership events produced by maintenance.
+    pub delta_tuples: u64,
+    /// Microseconds spent in incremental maintenance.
+    pub maintain_us: u64,
+    /// Database versions currently holding a materialized state.
+    pub states: u64,
+}
+
 /// Durable-store section of a [`RunReport`] (present when the run was
 /// backed by `--db=PATH`). Plain data — the engine does not depend on the
 /// store crate; the CLI fills this in from the store's recovery info.
@@ -552,6 +577,9 @@ pub struct RunReport {
     pub final_tuples: Option<u64>,
     /// Subgoal-cache lifetime counters (when a cache was attached).
     pub cache: Option<CacheReport>,
+    /// Incremental-materialization lifetime counters (when `--materialize`
+    /// compiled a circuit).
+    pub mat: Option<MatReport>,
     /// Durable-store recovery and commit summary (when `--db` was given).
     pub store: Option<StoreReport>,
     /// Registry snapshot at the end of the run.
@@ -623,6 +651,21 @@ impl RunReport {
             )),
             None => out.push_str("  \"cache\": null,\n"),
         }
+        match &self.mat {
+            Some(m) => out.push_str(&format!(
+                "  \"materializer\": {{\"probes\": {}, \"state_hits\": {}, \"rebuilds\": {}, \
+                 \"maintained_ops\": {}, \"delta_tuples\": {}, \"maintain_us\": {}, \
+                 \"states\": {}}},\n",
+                m.probes,
+                m.state_hits,
+                m.rebuilds,
+                m.maintained_ops,
+                m.delta_tuples,
+                m.maintain_us,
+                m.states
+            )),
+            None => out.push_str("  \"materializer\": null,\n"),
+        }
         match &self.store {
             Some(s) => out.push_str(&format!(
                 "  \"store\": {{\"path\": \"{}\", \"recovery\": \"{}\", \"replayed\": {}, \
@@ -656,6 +699,7 @@ pub fn stats_counters(stats: &Stats) -> Vec<(String, u64)> {
         ("peak_processes".to_owned(), stats.peak_processes as u64),
         ("cache_hits".to_owned(), stats.cache_hits),
         ("cache_misses".to_owned(), stats.cache_misses),
+        ("mat_probes".to_owned(), stats.mat_probes),
     ]
 }
 
@@ -680,14 +724,15 @@ pub fn config_json(c: &EngineConfig) -> String {
     format!(
         "{{\"strategy\": \"{strategy}\", \"seed\": {}, \"max_steps\": {}, \"max_stack\": {}, \
          \"trace\": {}, \"memo_failures\": {}, \"backend\": {backend}, \
-         \"subgoal_cache\": {}, \"cache_capacity\": {}}}",
+         \"subgoal_cache\": {}, \"cache_capacity\": {}, \"materialize\": {}}}",
         seed.map(|s| s.to_string()).unwrap_or_else(|| "null".into()),
         c.max_steps,
         c.max_stack,
         c.trace,
         c.memo_failures,
         c.subgoal_cache,
-        c.cache_capacity
+        c.cache_capacity,
+        c.materialize
     )
 }
 
@@ -835,6 +880,15 @@ mod tests {
                 unsuitable: 0,
                 evictions: 0,
                 entries: 2,
+            }),
+            mat: Some(MatReport {
+                probes: 5,
+                state_hits: 4,
+                rebuilds: 1,
+                maintained_ops: 3,
+                delta_tuples: 2,
+                maintain_us: 10,
+                states: 2,
             }),
             store: Some(StoreReport {
                 path: "state.tdb".into(),

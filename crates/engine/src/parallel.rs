@@ -40,6 +40,7 @@
 use crate::cache::{state_key, StateKey, SubgoalCache};
 use crate::config::{EngineConfig, EngineError, Stats};
 use crate::engine::{goal_num_vars, Outcome, Solution};
+use crate::incremental::Materializer;
 use crate::kernel::{Config as StepConfig, Hooks, Kernel};
 use crate::obs::{LocalMetrics, Observer};
 use crate::trace::{SpanPhase, TraceEvent};
@@ -308,6 +309,7 @@ pub(crate) fn solve(
     threads: usize,
     deterministic: bool,
     cache: Option<Arc<SubgoalCache>>,
+    mat: Option<Arc<Materializer>>,
     obs: Option<Arc<Observer>>,
 ) -> Result<Outcome, EngineError> {
     let nworkers = threads.clamp(1, 64);
@@ -323,7 +325,11 @@ pub(crate) fn solve(
         label: deterministic.then(Vec::new),
     };
     let shared = Shared {
-        kernel: Kernel { program, cache },
+        kernel: Kernel {
+            program,
+            cache,
+            mat,
+        },
         deterministic,
         max_steps: config.max_steps,
         queues: (0..nworkers).map(|_| Mutex::new(VecDeque::new())).collect(),

@@ -25,7 +25,9 @@ use common::{arb_goal, assert_same_witness, corpus_files, flag_program};
 use proptest::prelude::*;
 use std::sync::Arc;
 use transaction_datalog::prelude::parse_program;
-use transaction_datalog::prelude::{Database, Engine, EngineConfig, Program, SearchBackend};
+use transaction_datalog::prelude::{
+    Database, Engine, EngineConfig, Goal, Program, SearchBackend, Term,
+};
 
 fn uncached(program: &Program) -> Engine {
     Engine::with_config(
@@ -114,6 +116,42 @@ proptest! {
         let cd = td_engine::decider::decide_with_cache(&p, &g, &db, cfg, cache).unwrap();
         prop_assert_eq!(pd.executable, cd.executable);
     }
+}
+
+/// With the cache and the materializer both on, a probe on a materialized
+/// predicate is answered by the views and *skipped* by the cache (counted
+/// `unsuitable`): the answer would otherwise be stored twice, and the
+/// cached copy would go stale-by-digest for no benefit. The cache must see
+/// no hit, no miss, and no entry for such a probe.
+#[test]
+fn cache_skips_probes_on_materialized_predicates() {
+    let parsed = parse_program(
+        "base edge/2. init edge(1, 2). init edge(2, 3).
+         path(X, Y) <- edge(X, Y).
+         path(X, Z) <- edge(X, Y) * path(Y, Z).",
+    )
+    .unwrap();
+    let db = Database::with_schema_of(&parsed.program);
+    let db = td_engine::load_init(&db, &parsed.init).unwrap();
+    let engine = Engine::with_config(
+        parsed.program.clone(),
+        EngineConfig::default()
+            .with_subgoal_cache()
+            .with_materialize(),
+    );
+    let mat = engine.materializer().expect("program must materialize");
+    let goal = Goal::atom("path", vec![Term::int(1), Term::int(3)]);
+    let out = engine.solve(&goal, &db).unwrap();
+    assert!(out.is_success());
+    assert!(mat.probes() > 0, "the query must be answered by a probe");
+    let cache = engine.subgoal_cache().expect("cache is on");
+    assert_eq!(
+        cache.hits() + cache.misses(),
+        0,
+        "the cache must never see a materialized-predicate probe"
+    );
+    assert!(cache.unsuitable() > 0, "skips are tallied as unsuitable");
+    assert_eq!(cache.len(), 0, "nothing may be double-stored");
 }
 
 /// Every corpus goal: the cached sequential engine and the cached

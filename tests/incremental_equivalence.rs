@@ -1,0 +1,283 @@
+//! Differential tests: the incremental materializer must be invisible in
+//! every result — a materialized probe answers exactly what the lazy
+//! unfolding would have, and delta-driven maintenance keeps the views in
+//! lockstep with the database the search actually holds.
+//!
+//! Three layers of agreement, mirroring `cache_equivalence.rs`:
+//!
+//! 1. **Executability** — on any goal, the materialized engine (sequential
+//!    and deterministic-parallel) reports the same success/failure as the
+//!    plain sequential engine.
+//! 2. **Final-state sets** — the explicit-state decider computes the same
+//!    set of reachable final databases with and without the materializer
+//!    (both directions, by content).
+//! 3. **Witness identity** — the materialized engines report exactly the
+//!    plain sequential engine's first witness: same answer substitution,
+//!    same delta, same final database. A probe is a pure-query macro-step
+//!    (no bindings, no delta), so even the committed path is unchanged.
+//!
+//! The generated goal space churns base relations with ins/del (kept
+//! acyclic so plain top-down recursion terminates), interleaves ground
+//! derived queries and absence tests, and wraps subgoals in iso blocks so
+//! rollback re-keying is exercised alongside forward maintenance.
+
+mod common;
+
+use common::{assert_same_witness, corpus_files};
+use proptest::prelude::*;
+use std::sync::Arc;
+use transaction_datalog::prelude::{
+    parse_program, Atom, Database, Engine, EngineConfig, Goal, Program, SearchBackend, Term,
+};
+
+/// Reachability over an integer DAG: the canonical materializable shape
+/// (one non-recursive rule, one recursive SCC) plus a negation-consuming
+/// predicate, on a schema the churn generator can mutate.
+const FIXTURE: &str = "base edge/2. base blocked/1.
+    init edge(1, 2). init edge(2, 3). init edge(3, 4).
+    path(X, Y) <- edge(X, Y).
+    path(X, Z) <- edge(X, Y) * path(Y, Z).
+    open(X, Y) <- path(X, Y) * not blocked(Y).";
+
+fn fixture() -> (Program, Database) {
+    let parsed = parse_program(FIXTURE).expect("fixture parses");
+    let db = Database::with_schema_of(&parsed.program);
+    let db = td_engine::load_init(&db, &parsed.init).expect("init loads");
+    (parsed.program, db)
+}
+
+fn plain(program: &Program) -> Engine {
+    Engine::with_config(
+        program.clone(),
+        EngineConfig::default().with_max_steps(200_000),
+    )
+}
+
+fn materialized(program: &Program) -> Engine {
+    Engine::with_config(
+        program.clone(),
+        EngineConfig::default()
+            .with_max_steps(200_000)
+            .with_materialize(),
+    )
+}
+
+fn materialized_parallel(program: &Program, threads: usize) -> Engine {
+    Engine::with_config(
+        program.clone(),
+        EngineConfig::default()
+            .with_max_steps(200_000)
+            .with_materialize()
+            .with_backend(SearchBackend::Parallel {
+                threads,
+                deterministic: true,
+            }),
+    )
+}
+
+/// Generated goal space: base churn (insertions only ever add forward
+/// edges `i < j`, keeping the graph acyclic so plain top-down terminates),
+/// ground derived queries and absence tests, all under every TD connective
+/// including isolation (whose internal rollbacks exercise re-keying).
+fn arb_churn_goal(depth: u32) -> impl Strategy<Value = Goal> {
+    let pair = || (1i64..6, 1i64..6);
+    let leaf = prop_oneof![
+        (1i64..5).prop_flat_map(|i| {
+            ((i + 1)..6).prop_map(move |j| Goal::ins("edge", vec![Term::int(i), Term::int(j)]))
+        }),
+        pair().prop_map(|(i, j)| Goal::del("edge", vec![Term::int(i), Term::int(j)])),
+        (1i64..6).prop_map(|i| Goal::ins("blocked", vec![Term::int(i)])),
+        (1i64..6).prop_map(|i| Goal::del("blocked", vec![Term::int(i)])),
+        pair().prop_map(|(i, j)| Goal::atom("path", vec![Term::int(i), Term::int(j)])),
+        pair().prop_map(|(i, j)| Goal::atom("open", vec![Term::int(i), Term::int(j)])),
+        pair()
+            .prop_map(|(i, j)| Goal::NotAtom(Atom::new("path", vec![Term::int(i), Term::int(j)]))),
+        pair().prop_map(|(i, j)| Goal::atom("edge", vec![Term::int(i), Term::int(j)])),
+        Just(Goal::True),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Goal::seq),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::par),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Goal::choice),
+            inner.prop_map(Goal::iso),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn materialized_sequential_reports_the_plain_witness(g in arb_churn_goal(3)) {
+        let (p, db) = fixture();
+        let baseline = plain(&p).solve(&g, &db).unwrap();
+        let engine = materialized(&p);
+        prop_assert!(engine.materializer().is_some(), "fixture must compile");
+        // Twice on one engine: the second run probes warm digest-keyed
+        // states, the strongest maintenance test.
+        for run in 0..2 {
+            let got = engine.solve(&g, &db).unwrap();
+            assert_same_witness(&baseline, &got, &format!("materialized seq run={run}"));
+        }
+    }
+
+    #[test]
+    fn materialized_deterministic_parallel_reports_the_plain_witness(g in arb_churn_goal(3)) {
+        let (p, db) = fixture();
+        let baseline = plain(&p).solve(&g, &db).unwrap();
+        let par = materialized_parallel(&p, 4).solve(&g, &db).unwrap();
+        assert_same_witness(&baseline, &par, "materialized 4-thread deterministic");
+    }
+
+    #[test]
+    fn decider_final_state_sets_agree_with_and_without_materializer(g in arb_churn_goal(2)) {
+        let (p, db) = fixture();
+        let cfg = td_engine::decider::DeciderConfig::default();
+        let bare = td_engine::decider::final_states(&p, &g, &db, cfg).unwrap();
+        let mat = Some(Arc::new(
+            td_engine::Materializer::compile(&p).expect("fixture must compile"),
+        ));
+        let viewed = td_engine::decider::final_states_materialized(
+            &p, &g, &db, cfg, None, mat.clone(),
+        )
+        .unwrap();
+        for d in &bare {
+            prop_assert!(
+                viewed.iter().any(|t| t.same_content(d)),
+                "final state lost under materialization"
+            );
+        }
+        for d in &viewed {
+            prop_assert!(
+                bare.iter().any(|t| t.same_content(d)),
+                "materialization invented a final state"
+            );
+        }
+        let pd = td_engine::decider::decide(&p, &g, &db, cfg).unwrap();
+        let md = td_engine::decider::decide_materialized(&p, &g, &db, cfg, None, mat, None)
+            .unwrap();
+        prop_assert_eq!(pd.executable, md.executable);
+    }
+}
+
+/// Deterministic regression: an isolated block whose branch mutates the
+/// graph and then fails must leave no trace in the materialized views —
+/// the follow-up absence test probes the rolled-back state, and the
+/// re-applied insertion then flips the same query to true.
+#[test]
+fn isolation_rollback_probes_the_rolled_back_state() {
+    let (p, db) = fixture();
+    let ins45 = Goal::ins("edge", vec![Term::int(4), Term::int(5)]);
+    let path15 = Goal::atom("path", vec![Term::int(1), Term::int(5)]);
+    let fail = Goal::choice(vec![]);
+    let g = Goal::seq(vec![
+        // Seed the initial state's views first (the store is lazy until a
+        // probe lands), so the updates below maintain rather than rebuild.
+        Goal::atom("path", vec![Term::int(1), Term::int(4)]),
+        Goal::iso(Goal::choice(vec![
+            Goal::seq(vec![ins45.clone(), path15.clone(), fail]),
+            Goal::True,
+        ])),
+        Goal::NotAtom(Atom::new("path", vec![Term::int(1), Term::int(5)])),
+        ins45,
+        path15,
+    ]);
+    let baseline = plain(&p).solve(&g, &db).unwrap();
+    assert!(baseline.is_success(), "fixture goal must be executable");
+    let engine = materialized(&p);
+    let got = engine.solve(&g, &db).unwrap();
+    assert_same_witness(&baseline, &got, "rollback churn");
+    let m = engine.materializer().expect("fixture must compile");
+    assert!(m.probes() > 0, "derived queries must hit the views");
+    assert!(
+        m.maintained_ops() > 0,
+        "committed deltas must be maintained"
+    );
+}
+
+/// Ins/del-heavy churn threaded across goals like `td run`: one warm
+/// materializer maintains its states through a long transaction sequence,
+/// and every witness stays identical to the plain engine's.
+#[test]
+fn churn_sequence_threads_identical_state() {
+    let (p, db) = fixture();
+    let plain_engine = plain(&p);
+    let mat_engine = materialized(&p);
+    let goals = [
+        Goal::seq(vec![
+            Goal::ins("edge", vec![Term::int(4), Term::int(5)]),
+            Goal::atom("path", vec![Term::int(1), Term::int(5)]),
+        ]),
+        Goal::seq(vec![
+            Goal::del("edge", vec![Term::int(2), Term::int(3)]),
+            Goal::NotAtom(Atom::new("path", vec![Term::int(1), Term::int(5)])),
+        ]),
+        Goal::seq(vec![
+            Goal::ins("blocked", vec![Term::int(5)]),
+            Goal::ins("edge", vec![Term::int(2), Term::int(3)]),
+            Goal::atom("path", vec![Term::int(1), Term::int(5)]),
+            Goal::NotAtom(Atom::new("open", vec![Term::int(1), Term::int(5)])),
+        ]),
+        Goal::seq(vec![
+            Goal::del("blocked", vec![Term::int(5)]),
+            Goal::atom("open", vec![Term::int(1), Term::int(5)]),
+        ]),
+    ];
+    let mut plain_db = db.clone();
+    let mut mat_db = db;
+    for (i, g) in goals.iter().enumerate() {
+        let a = plain_engine.solve(g, &plain_db).unwrap();
+        let b = mat_engine.solve(g, &mat_db).unwrap();
+        assert_same_witness(&a, &b, &format!("churn goal {i}"));
+        assert!(a.is_success(), "churn goal {i} must be executable");
+        plain_db = a.solution().unwrap().db.clone();
+        mat_db = b.solution().unwrap().db.clone();
+    }
+    let m = mat_engine.materializer().expect("fixture must compile");
+    assert!(m.probes() > 0);
+    assert!(m.maintained_ops() > 0);
+}
+
+/// Every corpus goal: the materialized sequential engine and the
+/// materialized deterministic-parallel engine reproduce the plain
+/// sequential witness exactly. Programs without a materializable fragment
+/// simply run with `materializer() == None` — the flag must be a no-op
+/// there, which this sweep also checks.
+#[test]
+fn corpus_materialized_matches_plain() {
+    for path in corpus_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse_program(&src)
+            .unwrap_or_else(|e| panic!("{}: {}", path.display(), e.render(&src)));
+        let db = Database::with_schema_of(&parsed.program);
+        let mut db = td_engine::load_init(&db, &parsed.init).unwrap();
+        let plain_engine = plain(&parsed.program);
+        let mat_engine = materialized(&parsed.program);
+        let par_engine = materialized_parallel(&parsed.program, 4);
+        for (i, g) in parsed.goals.iter().enumerate() {
+            let baseline = plain_engine
+                .solve(&g.goal, &db)
+                .unwrap_or_else(|e| panic!("{} goal {i}: {e}", path.display()));
+            let seq = mat_engine
+                .solve(&g.goal, &db)
+                .unwrap_or_else(|e| panic!("{} goal {i} (mat): {e}", path.display()));
+            assert_same_witness(
+                &baseline,
+                &seq,
+                &format!("{} goal {i} (materialized seq)", path.display()),
+            );
+            let par = par_engine
+                .solve(&g.goal, &db)
+                .unwrap_or_else(|e| panic!("{} goal {i} (mat par): {e}", path.display()));
+            assert_same_witness(
+                &baseline,
+                &par,
+                &format!("{} goal {i} (materialized 4t det)", path.display()),
+            );
+            if let Some(sol) = baseline.solution() {
+                db = sol.db.clone();
+            }
+        }
+    }
+}
