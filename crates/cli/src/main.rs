@@ -7,6 +7,15 @@
 //! td decide <file.td>     decide executability with the memoizing decider
 //! td repl <file.td>       load the file, read goals interactively
 //!
+//! td serve <file.td> --db=DIR [--socket=PATH]
+//!                         long-running multi-client transaction server:
+//!                         the file's rules define the transactions, state
+//!                         lives in the store, clients connect over a Unix
+//!                         socket (see docs/SERVE.md)
+//! td client <request...> --socket=PATH
+//!                         send one protocol request (`run <goal>`, `stats`,
+//!                         `ping`, `stop`) to a running server
+//!
 //! td db init <DIR> [file.td]   create a durable store (schema + init facts
 //!                              from the program file, when given)
 //! td db snapshot <DIR>         compact: fold the WAL into a fresh snapshot
@@ -61,7 +70,9 @@ use std::sync::Arc;
 use std::time::Instant;
 use td_core::{FragmentReport, Goal, Program};
 use td_db::{Database, Delta, DeltaOp};
-use td_engine::obs::{stats_counters, CacheReport, GoalReport, MatReport, RunReport, StoreReport};
+use td_engine::obs::{
+    stats_counters, CacheReport, GoalReport, MatReport, RunReport, ServeReport, StoreReport,
+};
 use td_engine::{
     decider, load_init, Engine, EngineConfig, Materializer, Observer, Outcome, SearchBackend,
     Strategy, SubgoalCache,
@@ -80,6 +91,12 @@ struct CliOptions {
     report: Option<String>,
     /// `--db=DIR`: durable store backing the run.
     db: Option<String>,
+    /// `--socket=PATH`: Unix socket for `serve`/`client`.
+    socket: Option<String>,
+    /// Names of the options present on the command line, for per-command
+    /// incompatibility checks (`serve`/`client` reject most engine flags
+    /// loudly instead of ignoring them — the PR-3/PR-5 fail-fast rule).
+    seen: Vec<&'static str>,
 }
 
 fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> {
@@ -92,26 +109,36 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> 
     let mut log_json = None;
     let mut report = None;
     let mut db = None;
+    let mut socket = None;
+    let mut seen = Vec::new();
     let mut rest = Vec::new();
     for a in args {
         if let Some(v) = a.strip_prefix("--strategy=") {
+            seen.push("--strategy");
             strategy = Some(match v {
                 "exhaustive" | "random" | "round-robin" | "leftmost" => v,
                 other => return Err(format!("unknown strategy `{other}`")),
             });
         } else if let Some(v) = a.strip_prefix("--seed=") {
+            seen.push("--seed");
             seed = Some(v.parse().map_err(|_| format!("bad seed `{v}`"))?);
         } else if let Some(v) = a.strip_prefix("--max-steps=") {
+            seen.push("--max-steps");
             config.max_steps = v.parse().map_err(|_| format!("bad step budget `{v}`"))?;
         } else if let Some(v) = a.strip_prefix("--threads=") {
+            seen.push("--threads");
             threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
         } else if a == "--deterministic" {
+            seen.push("--deterministic");
             deterministic = true;
         } else if a == "--subgoal-cache" {
+            seen.push("--subgoal-cache");
             config.subgoal_cache = true;
         } else if a == "--materialize" {
+            seen.push("--materialize");
             config.materialize = true;
         } else if let Some(v) = a.strip_prefix("--cache-capacity=") {
+            seen.push("--cache-capacity");
             cache_capacity = Some(
                 v.parse::<usize>()
                     .ok()
@@ -119,11 +146,20 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> 
                     .ok_or_else(|| format!("bad cache capacity `{v}`"))?,
             );
         } else if let Some(v) = a.strip_prefix("--log-json=") {
+            seen.push("--log-json");
             log_json = Some(v.to_owned());
         } else if let Some(v) = a.strip_prefix("--report=") {
+            seen.push("--report");
             report = Some(v.to_owned());
         } else if let Some(v) = a.strip_prefix("--db=") {
+            seen.push("--db");
             db = Some(validate_db_path(v)?);
+        } else if let Some(v) = a.strip_prefix("--socket=") {
+            seen.push("--socket");
+            if v.is_empty() {
+                return Err("--socket needs a path".into());
+            }
+            socket = Some(v.to_owned());
         } else if a.starts_with("--") {
             return Err(format!("unknown option `{a}`"));
         } else {
@@ -165,6 +201,8 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> 
             log_json,
             report,
             db,
+            socket,
+            seen,
         },
         rest,
     ))
@@ -210,6 +248,9 @@ fn main() -> ExitCode {
     if positional.first().map(|s| s.as_str()) == Some("db") {
         return db_command(&positional[1..]);
     }
+    if positional.first().map(|s| s.as_str()) == Some("client") {
+        return client_command(&positional[1..], &opts);
+    }
     let (cmd, file) = match positional.as_slice() {
         [cmd, file] => (cmd.as_str(), file.as_str()),
         _ => {
@@ -218,11 +259,63 @@ fn main() -> ExitCode {
        [--deterministic] [--subgoal-cache] [--cache-capacity=N] \
        [--report=PATH] [--log-json=PATH] [--db=DIR] \
        <run|trace|fragment|decide|repl> <file.td>\n\
+       td serve <file.td> --db=DIR [--socket=PATH] [--report=PATH]\n\
+       td client <request...> --socket=PATH\n\
        td db <init|snapshot|verify|log> <DIR> [file.td]"
             );
             return ExitCode::from(2);
         }
     };
+    // `serve` admits concurrent clients over one store; most per-run flags
+    // are meaningless or misleading there, and the PR-3/PR-5 precedent is
+    // to refuse loudly rather than silently ignore. The full matrix:
+    //   --db        required (the server exists to share the durable store)
+    //   --socket    optional (defaults to <db-dir>/td.sock)
+    //   --report    allowed (written at shutdown, `serve` section filled)
+    //   --strategy=random / --seed   rejected: retries under OCC re-run a
+    //               goal at unpredictable times; a seed cannot make the
+    //               server reproducible, so accepting one would lie
+    //   --log-json  rejected: the event stream is a per-run artifact with
+    //               one timeline; concurrent connections interleave
+    //   --materialize  rejected: view maintenance assumes the run's own
+    //               commits are the only writers; other connections'
+    //               deltas would silently go unmaintained
+    // (everything engine-local — --max-steps, --subgoal-cache,
+    // --cache-capacity, --threads, --deterministic — applies per
+    // connection and stays accepted.)
+    if cmd == "serve" {
+        if opts.db.is_none() {
+            eprintln!("td: serve requires --db=DIR (the store the server shares)");
+            return ExitCode::from(2);
+        }
+        if matches!(opts.config.strategy, Strategy::ExhaustiveRandom(_)) {
+            eprintln!(
+                "td: --strategy=random cannot be combined with `serve`: OCC \
+                 retries re-run goals at unpredictable times, so a seed \
+                 cannot make the server reproducible; drop the flag"
+            );
+            return ExitCode::from(2);
+        }
+        if opts.log_json.is_some() {
+            eprintln!(
+                "td: --log-json cannot be combined with `serve`: the event \
+                 stream is a single-run timeline and concurrent connections \
+                 interleave; use --report for aggregate counters"
+            );
+            return ExitCode::from(2);
+        }
+        if opts.config.materialize {
+            eprintln!(
+                "td: --materialize cannot be combined with `serve`: view \
+                 maintenance assumes one writer, but a server's connections \
+                 commit concurrently (see docs/INCREMENTAL.md); drop the flag"
+            );
+            return ExitCode::from(2);
+        }
+    } else if opts.socket.is_some() {
+        eprintln!("td: --socket only applies to `serve` and `client`");
+        return ExitCode::from(2);
+    }
     // Tracing and the subgoal cache are semantically incompatible (a
     // replayed answer set is one macro-step with no elementary events to
     // record). The engine used to gate the cache off silently; refuse the
@@ -258,9 +351,9 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     if (opts.report.is_some() || opts.log_json.is_some())
-        && !matches!(cmd, "run" | "trace" | "decide")
+        && !matches!(cmd, "run" | "trace" | "decide" | "serve")
     {
-        eprintln!("td: --report/--log-json only apply to `run`, `trace` and `decide`");
+        eprintln!("td: --report/--log-json only apply to `run`, `trace`, `decide` and `serve`");
         return ExitCode::from(2);
     }
     // The committed-path trace replays a goal's elementary operations from a
@@ -274,8 +367,8 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    if opts.db.is_some() && !matches!(cmd, "run" | "decide" | "repl") {
-        eprintln!("td: --db only applies to `run`, `decide` and `repl`");
+    if opts.db.is_some() && !matches!(cmd, "run" | "decide" | "repl" | "serve") {
+        eprintln!("td: --db only applies to `run`, `decide`, `repl` and `serve`");
         return ExitCode::from(2);
     }
     let src = match std::fs::read_to_string(file) {
@@ -303,6 +396,11 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(2);
         }
+    }
+    // `serve` opens the store itself (the server holds the advisory lock
+    // for its whole lifetime), so it dispatches before the generic open.
+    if cmd == "serve" {
+        return serve_command(parsed, &opts, file);
     }
     // With `--db` the store is the source of truth: a fresh store is seeded
     // with the program's schema and init facts (committed as the genesis WAL
@@ -355,6 +453,175 @@ fn main() -> ExitCode {
         other => {
             eprintln!("td: unknown command `{other}`");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// `td serve <file.td> --db=DIR [--socket=PATH] [--report=PATH]` — run the
+/// multi-client transaction server until a client sends `stop`. The file's
+/// rules define the available transactions; state lives in the store (a
+/// fresh store is seeded with the file's `init` facts, like `td run --db`).
+fn serve_command(parsed: td_parser::ParsedProgram, opts: &CliOptions, file: &str) -> ExitCode {
+    let dir = opts.db.as_deref().expect("checked by the caller");
+    let socket = opts
+        .socket
+        .clone()
+        .unwrap_or_else(|| format!("{}/td.sock", dir.trim_end_matches('/')));
+    let started = Instant::now();
+    let server = match td_serve::Server::open(
+        parsed,
+        opts.config.clone(),
+        Path::new(dir),
+        td_store::TxOptions::default(),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("td: opening store `{dir}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serve: store `{dir}`, socket `{socket}` \
+         (stop with `td client stop --socket={socket}`)"
+    );
+    let summary = match server.serve(Path::new(&socket)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("td: serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = summary.stats;
+    println!(
+        "serve: {} connections, {} requests; {} commits in {} groups \
+         (mean group {:.2}, max {}), {} conflicts, {} read-only, {} aborts",
+        summary.counters.connections,
+        summary.counters.requests,
+        stats.commits,
+        stats.groups,
+        stats.mean_group(),
+        stats.max_group,
+        stats.conflicts,
+        stats.read_only,
+        stats.aborts,
+    );
+    let mut ok = true;
+    if let Some(path) = &opts.report {
+        let registry = td_engine::MetricsRegistry::new();
+        for (name, v) in [
+            ("serve.connections", summary.counters.connections),
+            ("serve.requests", summary.counters.requests),
+            ("serve.errors", summary.counters.errors),
+            ("serve.commits", stats.commits),
+            ("serve.read_only", stats.read_only),
+            ("serve.aborts", stats.aborts),
+            ("serve.conflicts", stats.conflicts),
+            ("serve.groups", stats.groups),
+            ("serve.grouped_records", stats.grouped_records),
+            ("serve.interned_symbols", summary.interned_symbols),
+            ("serve.interned_bytes", summary.interned_bytes),
+        ] {
+            registry.add_counter(name, v);
+        }
+        let report = RunReport {
+            command: "serve".to_owned(),
+            file: file.to_owned(),
+            requested: opts.config.clone(),
+            effective: opts.config.effective(),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            goals: Vec::new(),
+            final_digest: Some(summary.store.db().digest()),
+            final_tuples: Some(summary.store.db().total_tuples() as u64),
+            cache: None,
+            mat: None,
+            store: Some(store_report(&summary.store)),
+            serve: Some(ServeReport {
+                socket: socket.clone(),
+                connections: summary.counters.connections,
+                requests: summary.counters.requests,
+                errors: summary.counters.errors,
+                commits: stats.commits,
+                read_only: stats.read_only,
+                aborts: stats.aborts,
+                conflicts: stats.conflicts,
+                groups: stats.groups,
+                grouped_records: stats.grouped_records,
+                max_group: stats.max_group,
+                interned_symbols: summary.interned_symbols,
+                interned_bytes: summary.interned_bytes,
+            }),
+            metrics: registry.snapshot(),
+        };
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("td: cannot write report `{path}`: {e}");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `td client <request...> --socket=PATH` — send one protocol request to a
+/// running server and print its response line. Exits 0 on an `ok` reply, 1
+/// on `no`/`err` (like a failing goal under `td run`).
+fn client_command(args: &[&String], opts: &CliOptions) -> ExitCode {
+    // Requests execute under the *server's* engine configuration; every
+    // per-run flag here would be silently ignored, so refuse them all.
+    const INCOMPATIBLE: &[&str] = &[
+        "--strategy",
+        "--seed",
+        "--max-steps",
+        "--threads",
+        "--deterministic",
+        "--subgoal-cache",
+        "--cache-capacity",
+        "--materialize",
+        "--report",
+        "--log-json",
+        "--db",
+    ];
+    if let Some(flag) = opts.seen.iter().find(|f| INCOMPATIBLE.contains(f)) {
+        eprintln!(
+            "td: {flag} does not apply to `client`: requests run under the \
+             server's configuration (see docs/SERVE.md); drop the flag"
+        );
+        return ExitCode::from(2);
+    }
+    let Some(socket) = &opts.socket else {
+        eprintln!("td: client requires --socket=PATH (the server's socket)");
+        return ExitCode::from(2);
+    };
+    if args.is_empty() {
+        eprintln!("usage: td client <run <goal> | stats | ping | stop> --socket=PATH");
+        return ExitCode::from(2);
+    }
+    let request = args
+        .iter()
+        .map(|s| s.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let mut client = match td_serve::Client::connect(Path::new(socket)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("td: connecting `{socket}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.request(&request) {
+        Ok(reply) => {
+            println!("{reply}");
+            if reply.starts_with("ok") {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("td: request failed: {e}");
+            ExitCode::FAILURE
         }
     }
 }
@@ -604,6 +871,7 @@ fn write_outputs(
                 states: m.states() as u64,
             }),
             store,
+            serve: None,
             metrics: obs
                 .map(|o| o.registry.snapshot())
                 .unwrap_or_else(|| td_engine::MetricsRegistry::new().snapshot()),

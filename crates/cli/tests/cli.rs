@@ -374,3 +374,168 @@ fn strategy_and_budget_flags() {
     let out = td().args(["--bogus", "run"]).arg(&f).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
+
+// --- td serve / td client ---------------------------------------------
+
+const SERVE_BANKING: &str = "base balance/2.\n\
+    init balance(acct1, 100).\n\
+    init balance(acct2, 50).\n\
+    withdraw(Amt, Acct) <- balance(Acct, Bal) * Bal >= Amt\n\
+        * del.balance(Acct, Bal)\n\
+        * NB is Bal - Amt * ins.balance(Acct, NB).\n\
+    deposit(Amt, Acct) <- balance(Acct, Bal) * del.balance(Acct, Bal)\n\
+        * NB is Bal + Amt * ins.balance(Acct, NB).\n\
+    transfer(Amt, From, To) <- withdraw(Amt, From) * deposit(Amt, To).\n";
+
+fn serve_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("td-cli-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The serve flag fail-fast matrix: every incompatible combination exits 2
+/// with a diagnostic naming the flag, before any socket is bound.
+#[test]
+fn serve_flag_matrix_rejections_exit_2() {
+    let f = write_temp("serve_flags.td", SERVE_BANKING);
+    let dir = serve_dir("flags_db");
+    let db = format!("--db={}", dir.display());
+    // serve without --db.
+    let out = td().args(["serve"]).arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("requires --db"), "{err}");
+    // serve with a nondeterministic strategy (seed would be a lie).
+    let out = td()
+        .args(["--strategy=random", "--seed=7", &db, "serve"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--strategy=random"), "{err}");
+    // serve with a per-run event stream.
+    let out = td()
+        .args(["--log-json=/tmp/x.jsonl", &db, "serve"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--log-json"), "{err}");
+    // serve with single-writer view maintenance.
+    let out = td()
+        .args(["--materialize", &db, "serve"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--materialize"), "{err}");
+    // --socket outside serve/client.
+    let out = td()
+        .args(["--socket=/tmp/x.sock", "run"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--socket"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The client flag matrix: per-run flags are refused (requests execute
+/// under the server's configuration), and --socket is mandatory.
+#[test]
+fn client_flag_matrix_rejections_exit_2() {
+    for flags in [
+        vec!["--db=/tmp", "client", "ping"],
+        vec!["--threads=2", "client", "ping"],
+        vec!["--subgoal-cache", "client", "ping"],
+        vec!["--report=/tmp/r.json", "client", "ping"],
+    ] {
+        let out = td().args(&flags).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flags:?}: {out:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("does not apply to `client`"), "{err}");
+    }
+    // No socket.
+    let out = td().args(["client", "ping"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("requires --socket"), "{err}");
+}
+
+/// End-to-end over the real binary: start `td serve`, drive it with
+/// `td client` transfers, check conservation and a serve run report.
+#[test]
+fn serve_and_client_round_trip_over_the_binary() {
+    let f = write_temp("serve_e2e.td", SERVE_BANKING);
+    let dir = serve_dir("e2e");
+    let db_dir = dir.join("db");
+    let socket = dir.join("td.sock");
+    let report = dir.join("serve_report.json");
+    let sock_flag = format!("--socket={}", socket.display());
+    let server = td()
+        .arg(format!("--db={}", db_dir.display()))
+        .arg(&sock_flag)
+        .arg(format!("--report={}", report.display()))
+        .args(["serve"])
+        .arg(&f)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Wait for the socket to accept.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        let out = td().args(["client", "ping", &sock_flag]).output().unwrap();
+        if out.status.success() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server did not come up: {:?}",
+            server.wait_with_output()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    // One committed transfer, one read-only query, one refused overdraft.
+    let out = td()
+        .args(["client", "run", "transfer(30, acct1, acct2)", &sock_flag])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let line = String::from_utf8(out.stdout).unwrap();
+    assert!(line.starts_with("ok seq=1 "), "{line}");
+    let out = td()
+        .args(["client", "run", "balance(acct2, B)", &sock_flag])
+        .output()
+        .unwrap();
+    let line = String::from_utf8(out.stdout).unwrap();
+    assert!(line.contains("seq=-") && line.contains("B=80"), "{line}");
+    let out = td()
+        .args(["client", "run", "transfer(999, acct1, acct2)", &sock_flag])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8(out.stdout).unwrap().starts_with("no "));
+    // Counters visible over the wire.
+    let out = td().args(["client", "stats", &sock_flag]).output().unwrap();
+    let line = String::from_utf8(out.stdout).unwrap();
+    assert!(line.contains("commits=1"), "{line}");
+    assert!(line.contains("aborts=1"), "{line}");
+    // Stop and check the shutdown summary + report.
+    let out = td().args(["client", "stop", &sock_flag]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = server.wait_with_output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("1 commits"), "{stdout}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"command\": \"serve\""), "{json}");
+    assert!(json.contains("\"commits\": 1"), "{json}");
+    assert!(json.contains("\"serve.commits\": 1"), "{json}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{OnceLock, RwLock};
 
 /// An interned string. Cheap to copy, compare and hash.
@@ -78,6 +78,11 @@ const SHARDS: usize = 16;
 struct Interner {
     shards: [RwLock<HashMap<&'static str, Symbol>>; SHARDS],
     next_id: AtomicU32,
+    /// Payload bytes leaked so far (string text only, not map overhead).
+    /// The table is append-only, so this is exactly the process-lifetime
+    /// interner footprint — `td serve` reports it so unbounded growth in a
+    /// long-running server is observable, not silent (see docs/SERVE.md).
+    bytes: AtomicU64,
 }
 
 fn interner() -> &'static Interner {
@@ -85,6 +90,7 @@ fn interner() -> &'static Interner {
     INTERNER.get_or_init(|| Interner {
         shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
         next_id: AtomicU32::new(0),
+        bytes: AtomicU64::new(0),
     })
 }
 
@@ -114,9 +120,28 @@ impl Symbol {
         let id = interner().next_id.fetch_add(1, Ordering::Relaxed);
         assert!(id != u32::MAX, "interner overflow");
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        interner()
+            .bytes
+            .fetch_add(leaked.len() as u64, Ordering::Relaxed);
         let sym = Symbol { id, text: leaked };
         map.insert(leaked, sym);
         sym
+    }
+
+    /// Distinct strings interned so far, process-wide. The table is
+    /// append-only (symbols are immortal by design — see the module docs),
+    /// so this only ever grows: long-running servers surface it as a
+    /// metric rather than pretend the leak isn't there.
+    pub fn interned_count() -> u64 {
+        interner().next_id.load(Ordering::Relaxed) as u64
+    }
+
+    /// Total payload bytes held by the interner (excludes per-entry map
+    /// overhead, roughly 48 bytes/entry on 64-bit). Grows linearly in the
+    /// distinct constants a workload mentions; see the leak test below for
+    /// the measured rate.
+    pub fn interned_bytes() -> u64 {
+        interner().bytes.load(Ordering::Relaxed)
     }
 
     /// The interned text (allocation- and lock-free).
@@ -234,6 +259,36 @@ mod tests {
     fn symbol_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Symbol>();
+    }
+
+    #[test]
+    fn interner_growth_is_linear_in_distinct_strings_and_observable() {
+        // The interner is an intentional leak: symbols are immortal so that
+        // `as_str`/ordering stay lock-free on the engine's hot path. This
+        // test pins the growth contract a long-running `td serve` relies
+        // on: each *distinct* string grows the table by one entry and its
+        // payload bytes (linear in distinct constants seen — payload plus
+        // ~48 bytes/entry of map overhead on 64-bit); re-interning an
+        // existing string allocates nothing (dedup ⇒ steady state is
+        // flat); and both quantities are observable, so a server surfaces
+        // the growth instead of hiding it. Counters are process-global and
+        // other tests intern concurrently, so growth assertions are
+        // one-sided (>=) and dedup is proven by id stability.
+        let fresh: Vec<String> = (0..128).map(|i| format!("leak_probe_{i}")).collect();
+        let fresh_bytes: u64 = fresh.iter().map(|s| s.len() as u64).sum();
+        let count0 = Symbol::interned_count();
+        let bytes0 = Symbol::interned_bytes();
+        let first: Vec<Symbol> = fresh.iter().map(|s| Symbol::intern(s)).collect();
+        assert!(Symbol::interned_count() - count0 >= 128);
+        assert!(Symbol::interned_bytes() - bytes0 >= fresh_bytes);
+        // Dedup: re-interning returns the same immortal entries — no new
+        // ids, hence no new allocations on our behalf. (Growth on re-use
+        // would be a fatal leak rate for a long-running server.)
+        for (s, sym) in fresh.iter().zip(&first) {
+            let again = Symbol::intern(s);
+            assert_eq!(again.id(), sym.id());
+            assert!(std::ptr::eq(again.as_str(), sym.as_str()));
+        }
     }
 
     #[test]

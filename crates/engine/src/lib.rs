@@ -48,7 +48,7 @@ pub use engine::{goal_num_vars, load_init, Engine, Outcome, Solution, Solutions}
 pub use incremental::{Materializer, NotMaterializable};
 pub use obs::{
     CacheTally, EventLog, GoalReport, LocalMetrics, MetricsRegistry, MetricsSnapshot, Observer,
-    RunReport, StoreReport,
+    RunReport, ServeReport, StoreReport,
 };
 pub use trace::{ProbeOutcome, SpanPhase, Trace, TraceEvent};
 

@@ -554,6 +554,39 @@ pub struct StoreReport {
     pub snapshot_age: u64,
 }
 
+/// Server section of a [`RunReport`] (present for `td serve` runs). Plain
+/// data, like [`StoreReport`]: the serve layer fills it in at shutdown.
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Socket path the server listened on.
+    pub socket: String,
+    /// Client connections accepted.
+    pub connections: u64,
+    /// Requests served (all verbs).
+    pub requests: u64,
+    /// Requests answered with `err`.
+    pub errors: u64,
+    /// Transactions committed through the WAL.
+    pub commits: u64,
+    /// Transactions that finished read-only.
+    pub read_only: u64,
+    /// Transactions that aborted logically (goal not executable).
+    pub aborts: u64,
+    /// OCC validation conflicts (each caused one retry).
+    pub conflicts: u64,
+    /// Group frames fsync'd on the commit path.
+    pub groups: u64,
+    /// Commit records inside those groups (`/ groups` = the group-commit
+    /// amortization factor).
+    pub grouped_records: u64,
+    /// Largest single commit group.
+    pub max_group: u64,
+    /// Symbol-interner footprint at shutdown — the documented leak of the
+    /// long-running server, surfaced rather than hidden.
+    pub interned_symbols: u64,
+    pub interned_bytes: u64,
+}
+
 /// The single JSON document `td run/decide --report=PATH` writes.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -582,6 +615,8 @@ pub struct RunReport {
     pub mat: Option<MatReport>,
     /// Durable-store recovery and commit summary (when `--db` was given).
     pub store: Option<StoreReport>,
+    /// Server counters (when the command was `serve`).
+    pub serve: Option<ServeReport>,
     /// Registry snapshot at the end of the run.
     pub metrics: MetricsSnapshot,
 }
@@ -678,6 +713,28 @@ impl RunReport {
                 s.snapshot_age
             )),
             None => out.push_str("  \"store\": null,\n"),
+        }
+        match &self.serve {
+            Some(s) => out.push_str(&format!(
+                "  \"serve\": {{\"socket\": \"{}\", \"connections\": {}, \"requests\": {}, \
+                 \"errors\": {}, \"commits\": {}, \"read_only\": {}, \"aborts\": {}, \
+                 \"conflicts\": {}, \"groups\": {}, \"grouped_records\": {}, \
+                 \"max_group\": {}, \"interned_symbols\": {}, \"interned_bytes\": {}}},\n",
+                json_escape(&s.socket),
+                s.connections,
+                s.requests,
+                s.errors,
+                s.commits,
+                s.read_only,
+                s.aborts,
+                s.conflicts,
+                s.groups,
+                s.grouped_records,
+                s.max_group,
+                s.interned_symbols,
+                s.interned_bytes
+            )),
+            None => out.push_str("  \"serve\": null,\n"),
         }
         out.push_str(&format!("  \"metrics\": {}\n", self.metrics.to_json()));
         out.push_str("}\n");
@@ -898,12 +955,24 @@ mod tests {
                 committed: 2,
                 snapshot_age: 6,
             }),
+            serve: Some(ServeReport {
+                socket: "td.sock".into(),
+                connections: 3,
+                requests: 9,
+                commits: 4,
+                groups: 2,
+                grouped_records: 4,
+                max_group: 3,
+                ..ServeReport::default()
+            }),
             metrics: MetricsRegistry::new().snapshot(),
         };
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"td-run-report/v1\""), "{json}");
         assert!(json.contains("\"recovery\": \"recovered\""), "{json}");
         assert!(json.contains("\"snapshot_age\": 6"), "{json}");
+        assert!(json.contains("\"socket\": \"td.sock\""), "{json}");
+        assert!(json.contains("\"grouped_records\": 4"), "{json}");
         assert!(json.contains("\"effective\""), "{json}");
         assert!(json.contains("\"steps\": 7"), "{json}");
         assert!(

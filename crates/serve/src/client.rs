@@ -1,0 +1,182 @@
+//! Client side of the serve protocol: a blocking line-oriented connection
+//! plus a typed view of the response grammar (see the crate docs).
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A parsed server response line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// `ok seq=<n> …` — the goal succeeded and its delta is fsync-durable.
+    Committed {
+        seq: u64,
+        attempts: u32,
+        bindings: Vec<(String, String)>,
+    },
+    /// `ok seq=- …` — the goal succeeded without touching the database.
+    ReadOnly {
+        attempts: u32,
+        bindings: Vec<(String, String)>,
+    },
+    /// `no …` — the goal is not executable against the current state.
+    No { attempts: u32 },
+    /// `err <reason>` — parse error, engine fault, store fault, or a
+    /// transaction that exhausted its conflict-retry budget.
+    Err(String),
+}
+
+impl Reply {
+    /// Parse one response line. Unknown shapes land in [`Reply::Err`] so a
+    /// protocol drift fails loudly instead of silently succeeding.
+    pub fn parse(line: &str) -> Reply {
+        if let Some(rest) = line.strip_prefix("err ") {
+            return Reply::Err(rest.to_owned());
+        }
+        let mut fields = line.split_whitespace();
+        let head = fields.next().unwrap_or("");
+        let mut seq: Option<u64> = None;
+        let mut read_only = false;
+        let mut attempts: u32 = 0;
+        let mut bindings = Vec::new();
+        for field in fields {
+            match field.split_once('=') {
+                Some(("seq", "-")) => read_only = true,
+                Some(("seq", v)) => seq = v.parse().ok(),
+                Some(("attempts", v)) => attempts = v.parse().unwrap_or(0),
+                Some(("steps", _)) => {}
+                Some((name, v)) => bindings.push((name.to_owned(), v.to_owned())),
+                None => {}
+            }
+        }
+        match head {
+            "ok" if read_only => Reply::ReadOnly { attempts, bindings },
+            "ok" => match seq {
+                Some(seq) => Reply::Committed {
+                    seq,
+                    attempts,
+                    bindings,
+                },
+                // `ok pong` / `ok stopping` / stats lines: counters parse
+                // as bindings, no seq field.
+                None => Reply::ReadOnly { attempts, bindings },
+            },
+            "no" => Reply::No { attempts },
+            _ => Reply::Err(format!("unparseable reply: {line}")),
+        }
+    }
+
+    /// Did the request succeed (committed or read-only)?
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Reply::Committed { .. } | Reply::ReadOnly { .. })
+    }
+
+    /// The bound value of variable `name`, if the reply carried one.
+    pub fn binding(&self, name: &str) -> Option<&str> {
+        let bindings = match self {
+            Reply::Committed { bindings, .. } | Reply::ReadOnly { bindings, .. } => bindings,
+            _ => return None,
+        };
+        bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A blocking connection to a running `td serve`.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connect to the server's socket.
+    pub fn connect(socket: &Path) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(socket)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Send one raw request line, return the raw response line.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(reply.trim_end().to_owned())
+    }
+
+    /// Run one goal as a top-level transaction; returns after it is
+    /// durable (or failed).
+    pub fn run(&mut self, goal: &str) -> std::io::Result<Reply> {
+        Ok(Reply::parse(&self.request(&format!("run {goal}"))?))
+    }
+
+    /// The server's counters as the raw `ok …` line.
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        self.request("stats")
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> std::io::Result<bool> {
+        Ok(self.request("ping")? == "ok pong")
+    }
+
+    /// Ask the server to shut down (it drains in-flight requests first).
+    pub fn stop(&mut self) -> std::io::Result<()> {
+        self.request("stop").map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_committed_with_bindings() {
+        let r = Reply::parse("ok seq=7 attempts=2 steps=42 X=3 Y=alice");
+        match &r {
+            Reply::Committed {
+                seq,
+                attempts,
+                bindings,
+            } => {
+                assert_eq!((*seq, *attempts), (7, 2));
+                assert_eq!(bindings.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.binding("Y"), Some("alice"));
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn parse_read_only_no_and_err() {
+        assert_eq!(
+            Reply::parse("ok seq=- attempts=1 steps=9"),
+            Reply::ReadOnly {
+                attempts: 1,
+                bindings: vec![]
+            }
+        );
+        assert_eq!(
+            Reply::parse("no attempts=3 steps=17"),
+            Reply::No { attempts: 3 }
+        );
+        assert_eq!(
+            Reply::parse("err parse: unexpected token"),
+            Reply::Err("parse: unexpected token".to_owned())
+        );
+        assert!(!Reply::parse("gibberish").is_ok());
+    }
+}

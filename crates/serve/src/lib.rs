@@ -1,0 +1,370 @@
+//! # td-serve — the multi-client transaction server
+//!
+//! Bonner's Transaction Datalog is a model of *many interacting
+//! transactions*, but `td run` is one-shot: open the store, run the goals,
+//! exit. This crate is the long-running counterpart: [`Server`] opens the
+//! durable store once (holding its advisory lock) and admits concurrent
+//! top-level transactions from independent client processes over a Unix
+//! domain socket. Each request runs the existing kernel unchanged against
+//! a snapshot of the database; commits go through
+//! [`td_store::ConcurrentStore`] — optimistic concurrency control on the
+//! O(1) content digests, group commit to amortize the fsync. See
+//! `docs/SERVE.md` for the protocol, the OCC rule, and the recovery
+//! argument.
+//!
+//! ## Protocol
+//!
+//! Line-oriented UTF-8 text, one request per line, one response line per
+//! request (newline-terminated; control characters in answers are
+//! replaced with spaces to preserve framing):
+//!
+//! ```text
+//! -> run <goal>          e.g.  run transfer(a, b, 10)
+//! <- ok seq=7 attempts=1 steps=42 X=3        committed at WAL seq 7
+//! <- ok seq=- attempts=1 steps=9 X=3         succeeded read-only
+//! <- no attempts=1 steps=17                  goal not executable
+//! <- err <reason>                            parse/engine/store error
+//!
+//! -> stats               one `ok` line of counters (see [`Server`] docs)
+//! -> ping                `ok pong` liveness probe
+//! -> stop                `ok stopping`; server drains and exits
+//! ```
+//!
+//! A `run` response is sent only after the commit (if any) is
+//! fsync-durable; `seq=-` marks read-only or failed goals, which leave no
+//! WAL record.
+
+pub mod client;
+
+pub use client::{Client, Reply};
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use td_core::Symbol;
+use td_engine::{Engine, EngineConfig, Outcome};
+use td_parser::ParsedProgram;
+use td_store::{ConcurrentStats, ConcurrentStore, Store, TxDecision, TxError, TxOptions};
+
+/// Counters the server accumulates on top of the store's
+/// [`ConcurrentStats`]; everything lands in the `stats` protocol reply and
+/// the run report.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeCounters {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests served (all verbs).
+    pub requests: u64,
+    /// Requests answered with `err`.
+    pub errors: u64,
+}
+
+/// What [`Server::serve`] hands back after a clean shutdown.
+pub struct ServeSummary {
+    /// Server-level counters.
+    pub counters: ServeCounters,
+    /// Store-level OCC/group-commit counters.
+    pub stats: ConcurrentStats,
+    /// Interner footprint at shutdown ([`Symbol::interned_count`],
+    /// [`Symbol::interned_bytes`]) — the documented leak, made observable.
+    pub interned_symbols: u64,
+    pub interned_bytes: u64,
+    /// The underlying store, drained and durable (e.g. for a final
+    /// `rotate` or a closing report).
+    pub store: Store,
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A Unix-socket transaction server over one durable store.
+pub struct Server {
+    program: ParsedProgram,
+    config: EngineConfig,
+    store: ConcurrentStore,
+}
+
+impl Server {
+    /// Build a server from a parsed program (rules define the available
+    /// transactions; its `?-` goals and `init` facts are ignored — state
+    /// comes from the store) and an open concurrent store.
+    pub fn new(program: ParsedProgram, config: EngineConfig, store: ConcurrentStore) -> Server {
+        Server {
+            program,
+            config,
+            store,
+        }
+    }
+
+    /// Convenience: open (or initialize, seeding `init` facts) the store
+    /// directory and build the server.
+    pub fn open(
+        program: ParsedProgram,
+        config: EngineConfig,
+        dir: &Path,
+        tx: TxOptions,
+    ) -> td_store::Result<Server> {
+        let store = open_or_init_store(dir, &program)?;
+        Ok(Server::new(
+            program,
+            config,
+            ConcurrentStore::new(store).with_options(tx),
+        ))
+    }
+
+    /// Bind `socket` and serve until a client sends `stop`. Blocks the
+    /// calling thread; connection handlers run one thread each. Returns
+    /// the drained summary after the last in-flight request finishes.
+    pub fn serve(self, socket: &Path) -> std::io::Result<ServeSummary> {
+        let listener = bind_socket(socket)?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        let mut handlers = Vec::new();
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            shared.connections.fetch_add(1, Ordering::Relaxed);
+            let program = self.program.clone();
+            let config = self.config.clone();
+            let cs = self.store.clone();
+            let shared = shared.clone();
+            let socket = socket.to_path_buf();
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, &program, &config, &cs, &shared, &socket);
+            }));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(socket);
+        let counters = ServeCounters {
+            connections: shared.connections.load(Ordering::Relaxed),
+            requests: shared.requests.load(Ordering::Relaxed),
+            errors: shared.errors.load(Ordering::Relaxed),
+        };
+        let stats = self.store.stats();
+        let store = self
+            .store
+            .close()
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        Ok(ServeSummary {
+            counters,
+            stats,
+            interned_symbols: Symbol::interned_count(),
+            interned_bytes: Symbol::interned_bytes(),
+            store,
+        })
+    }
+}
+
+/// Open-or-init with the same seeding rule as `td run --db`: a fresh store
+/// starts from the program's schema and commits the `init` facts as WAL
+/// record 0.
+pub fn open_or_init_store(dir: &Path, parsed: &ParsedProgram) -> td_store::Result<Store> {
+    if Store::is_initialized(dir) {
+        return Store::open(dir);
+    }
+    let schema = td_db::Database::with_schema_of(&parsed.program);
+    let mut store = Store::init(dir, &schema)?;
+    let with_init = td_engine::load_init(&schema, &parsed.init)
+        .map_err(|e| td_store::StoreError::Db(e.to_string()))?;
+    let mut genesis = td_db::Delta::new();
+    for p in with_init.preds() {
+        if let Some(rel) = with_init.relation(p) {
+            for t in rel.to_sorted_vec() {
+                genesis.push(td_db::DeltaOp::Ins(p, t));
+            }
+        }
+    }
+    if !genesis.is_empty() {
+        store.commit(&genesis)?;
+    }
+    Ok(store)
+}
+
+/// Bind the listener, clearing a stale socket file left by a crashed
+/// server (stale = nothing accepts connections on it; a *live* server also
+/// holds the store lock, so two live servers on one DIR cannot happen).
+fn bind_socket(socket: &Path) -> std::io::Result<UnixListener> {
+    match UnixListener::bind(socket) {
+        Ok(l) => Ok(l),
+        Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(socket).is_ok() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::AddrInUse,
+                    format!("`{}`: another server is accepting here", socket.display()),
+                ));
+            }
+            std::fs::remove_file(socket)?;
+            UnixListener::bind(socket)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn handle_connection(
+    stream: UnixStream,
+    program: &ParsedProgram,
+    config: &EngineConfig,
+    cs: &ConcurrentStore,
+    shared: &Shared,
+    socket: &Path,
+) {
+    // One engine per connection: `Engine` is not shared across threads, and
+    // per-connection caches warm up across a client's requests.
+    let engine = Engine::with_config(program.program.clone(), config.clone());
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (reply, stop) = dispatch(request, &engine, program, cs, shared);
+        if reply.starts_with("err ") {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if writeln!(writer, "{}", sanitize(&reply)).is_err() {
+            break;
+        }
+        if stop {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so it observes the flag.
+            let _ = UnixStream::connect(socket);
+            break;
+        }
+    }
+}
+
+fn dispatch(
+    request: &str,
+    engine: &Engine,
+    program: &ParsedProgram,
+    cs: &ConcurrentStore,
+    shared: &Shared,
+) -> (String, bool) {
+    let (verb, rest) = match request.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (request, ""),
+    };
+    match verb {
+        "ping" => ("ok pong".to_owned(), false),
+        "stop" => ("ok stopping".to_owned(), true),
+        "stats" => (stats_line(cs, shared), false),
+        "run" if !rest.is_empty() => (run_goal(engine, program, cs, rest), false),
+        "run" => ("err run: missing goal".to_owned(), false),
+        other => (
+            format!("err unknown command `{other}` (try: run/stats/ping/stop)"),
+            false,
+        ),
+    }
+}
+
+/// One request = one top-level transaction, end to end: parse, solve
+/// against a snapshot, OCC-validate, group-commit, acknowledge durable.
+fn run_goal(engine: &Engine, program: &ParsedProgram, cs: &ConcurrentStore, src: &str) -> String {
+    let parsed = match td_parser::parse_goal(src, &program.program) {
+        Ok(g) => g,
+        Err(e) => return format!("err parse: {}", first_line(&e.to_string())),
+    };
+    let result = cs.transaction(|db| match engine.solve(&parsed.goal, db) {
+        Ok(Outcome::Success(sol)) => {
+            let mut bindings = String::new();
+            for (i, name) in parsed.var_names.iter().enumerate() {
+                bindings.push_str(&format!(" {name}={}", sol.answer[i]));
+            }
+            let body = format!("steps={}{}", sol.stats.steps, bindings);
+            if sol.delta.is_empty() {
+                Ok(TxDecision::ReadOnly((true, body)))
+            } else {
+                Ok(TxDecision::Commit(sol.delta.clone(), (true, body)))
+            }
+        }
+        Ok(Outcome::Failure { stats }) => {
+            Ok(TxDecision::Abort((false, format!("steps={}", stats.steps))))
+        }
+        Err(e) => Err(e.to_string()),
+    });
+    match result {
+        Ok(receipt) => {
+            let (yes, body) = receipt.value;
+            if yes {
+                let seq = receipt
+                    .seq
+                    .map_or_else(|| "-".to_owned(), |s| s.to_string());
+                format!("ok seq={seq} attempts={} {body}", receipt.attempts)
+            } else {
+                format!("no attempts={} {body}", receipt.attempts)
+            }
+        }
+        Err(TxError::Conflict { attempts }) => {
+            format!("err conflict: gave up after {attempts} attempts")
+        }
+        Err(TxError::Store(e)) => format!("err store: {}", first_line(&e.to_string())),
+        Err(TxError::App(e)) => format!("err engine: {}", first_line(&e)),
+    }
+}
+
+fn stats_line(cs: &ConcurrentStore, shared: &Shared) -> String {
+    let s = cs.stats();
+    format!(
+        "ok commits={} read_only={} aborts={} conflicts={} conflict_failures={} \
+         groups={} grouped_records={} max_group={} mean_group={:.2} durable={} \
+         connections={} requests={} errors={} interned_syms={} interned_bytes={}",
+        s.commits,
+        s.read_only,
+        s.aborts,
+        s.conflicts,
+        s.conflict_failures,
+        s.groups,
+        s.grouped_records,
+        s.max_group,
+        s.mean_group(),
+        cs.durable_records(),
+        shared.connections.load(Ordering::Relaxed),
+        shared.requests.load(Ordering::Relaxed),
+        shared.errors.load(Ordering::Relaxed),
+        Symbol::interned_count(),
+        Symbol::interned_bytes(),
+    )
+}
+
+/// Keep the one-line framing: anything that could smuggle a newline into a
+/// response (engine error text, odd constants) is flattened.
+fn sanitize(reply: &str) -> String {
+    if reply.bytes().any(|b| b.is_ascii_control()) {
+        reply
+            .chars()
+            .map(|c| if c.is_control() { ' ' } else { c })
+            .collect()
+    } else {
+        reply.to_owned()
+    }
+}
+
+fn first_line(s: &str) -> &str {
+    s.lines().next().unwrap_or("")
+}

@@ -1,0 +1,229 @@
+//! End-to-end serve tests: a real server on a real Unix socket, driven by
+//! real client connections — the concurrent-banking scenario of Example
+//! 2.2 (transfers between two accounts must conserve total balance no
+//! matter how clients interleave).
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use td_engine::EngineConfig;
+use td_serve::{Client, Reply, Server};
+use td_store::{Store, TxOptions};
+
+const BANKING: &str = r#"
+base balance/2.
+init balance(acct1, 100).
+init balance(acct2, 50).
+withdraw(Amt, Acct) <- balance(Acct, Bal) * Bal >= Amt
+                       * del.balance(Acct, Bal)
+                       * NB is Bal - Amt * ins.balance(Acct, NB).
+deposit(Amt, Acct)  <- balance(Acct, Bal) * del.balance(Acct, Bal)
+                       * NB is Bal + Amt * ins.balance(Acct, NB).
+transfer(Amt, From, To) <- withdraw(Amt, From) * deposit(Amt, To).
+"#;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("td-serve-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn a server over a fresh store in `dir`; returns the socket path and
+/// the thread handle (joins to the summary).
+fn start_server(
+    dir: &std::path::Path,
+) -> (
+    PathBuf,
+    std::thread::JoinHandle<std::io::Result<td_serve::ServeSummary>>,
+) {
+    let socket = dir.join("td.sock");
+    let parsed = td_parser::parse_program(BANKING).unwrap();
+    let server = Server::open(
+        parsed,
+        EngineConfig::default(),
+        &dir.join("db"),
+        TxOptions {
+            max_attempts: 64,
+            backoff: Duration::from_micros(20),
+        },
+    )
+    .unwrap();
+    let sock = socket.clone();
+    let handle = std::thread::spawn(move || server.serve(&sock));
+    wait_for_socket(&socket);
+    (socket, handle)
+}
+
+fn wait_for_socket(socket: &std::path::Path) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut c) = Client::connect(socket) {
+            if c.ping().is_ok() {
+                return;
+            }
+        }
+        assert!(Instant::now() < deadline, "server did not come up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn counter(stats: &str, name: &str) -> u64 {
+    stats
+        .split_whitespace()
+        .find_map(|f| f.strip_prefix(&format!("{name}=")))
+        .unwrap_or_else(|| panic!("no {name} in {stats}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn ping_run_stats_stop_round_trip() {
+    let dir = temp_dir("round_trip");
+    let (socket, handle) = start_server(&dir);
+    let mut c = Client::connect(&socket).unwrap();
+    assert!(c.ping().unwrap());
+    // A committing transaction.
+    match c.run("transfer(30, acct1, acct2)").unwrap() {
+        Reply::Committed { seq, attempts, .. } => {
+            assert_eq!(seq, 1); // seq 0 is the init-facts commit
+            assert_eq!(attempts, 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // A read-only query with a binding.
+    let r = c.run("balance(acct1, B)").unwrap();
+    assert_eq!(r.binding("B"), Some("70"));
+    assert!(matches!(r, Reply::ReadOnly { .. }));
+    // A logically failing goal (insufficient funds) leaves no record.
+    assert!(matches!(
+        c.run("transfer(1000, acct1, acct2)").unwrap(),
+        Reply::No { .. }
+    ));
+    // A parse error and an unknown verb answer `err`, connection stays up.
+    assert!(matches!(c.run("transfer(").unwrap(), Reply::Err(_)));
+    assert!(c.request("frobnicate now").unwrap().starts_with("err "));
+    let stats = c.stats().unwrap();
+    assert_eq!(counter(&stats, "commits"), 1);
+    assert_eq!(counter(&stats, "read_only"), 1);
+    assert_eq!(counter(&stats, "aborts"), 1);
+    assert!(counter(&stats, "errors") >= 2);
+    assert!(counter(&stats, "interned_syms") > 0);
+    c.stop().unwrap();
+    let summary = handle.join().unwrap().unwrap();
+    assert_eq!(summary.stats.commits, 1);
+    assert_eq!(summary.counters.errors, 2);
+    // The store came back durable: recover it and check the balances.
+    let db = summary.store.db().clone();
+    drop(summary);
+    let reopened = Store::open(&dir.join("db")).unwrap();
+    assert_eq!(reopened.db().digest(), db.digest());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn concurrent_conflicting_transfers_conserve_balance() {
+    let dir = temp_dir("conserve");
+    let (socket, handle) = start_server(&dir);
+    // 4 clients hammer the same two accounts with opposing transfers —
+    // every transaction conflicts with every concurrent one.
+    let clients = 4;
+    let per = 6;
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&socket).unwrap();
+                let mut committed = 0u64;
+                for _ in 0..per {
+                    let goal = if i % 2 == 0 {
+                        "transfer(1, acct1, acct2)"
+                    } else {
+                        "transfer(1, acct2, acct1)"
+                    };
+                    match c.run(goal).unwrap() {
+                        Reply::Committed { .. } => committed += 1,
+                        Reply::No { .. } => {}
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                committed
+            })
+        })
+        .collect();
+    let committed: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert_eq!(
+        committed,
+        (clients * per) as u64,
+        "low amounts never bounce"
+    );
+    let mut c = Client::connect(&socket).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(counter(&stats, "commits"), committed);
+    c.stop().unwrap();
+    let summary = handle.join().unwrap().unwrap();
+    // Conservation: money moved, total unchanged.
+    let db = summary.store.db();
+    let balances: Vec<i64> = ["acct1", "acct2"]
+        .iter()
+        .map(|acct| {
+            let rel = db.relation(td_core::Pred::new("balance", 2)).unwrap();
+            rel.to_sorted_vec()
+                .iter()
+                .find(|t| t.values()[0].to_string() == *acct)
+                .map(|t| t.values()[1].to_string().parse().unwrap())
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(balances.iter().sum::<i64>(), 150, "balance not conserved");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn second_server_on_same_store_is_rejected_by_the_lock() {
+    let dir = temp_dir("lock");
+    let (socket, handle) = start_server(&dir);
+    let parsed = td_parser::parse_program(BANKING).unwrap();
+    let err = Server::open(
+        parsed,
+        EngineConfig::default(),
+        &dir.join("db"),
+        TxOptions::default(),
+    )
+    .err()
+    .expect("second server must not open the same store");
+    assert!(
+        matches!(err, td_store::StoreError::Locked(_)),
+        "unexpected {err:?}"
+    );
+    let mut c = Client::connect(&socket).unwrap();
+    c.stop().unwrap();
+    handle.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stale_socket_file_is_cleared_on_bind() {
+    let dir = temp_dir("stale");
+    let socket = dir.join("td.sock");
+    // A leftover socket file nobody listens on (as after a crash).
+    drop(std::os::unix::net::UnixListener::bind(&socket).unwrap());
+    assert!(socket.exists());
+    let (sock2, handle) = {
+        let parsed = td_parser::parse_program(BANKING).unwrap();
+        let server = Server::open(
+            parsed,
+            EngineConfig::default(),
+            &dir.join("db"),
+            TxOptions::default(),
+        )
+        .unwrap();
+        let s = socket.clone();
+        (socket.clone(), std::thread::spawn(move || server.serve(&s)))
+    };
+    wait_for_socket(&sock2);
+    let mut c = Client::connect(&sock2).unwrap();
+    assert!(c.ping().unwrap());
+    c.stop().unwrap();
+    handle.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

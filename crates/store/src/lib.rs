@@ -33,12 +33,14 @@
 //! never made visible.
 
 pub mod codec;
+pub mod concurrent;
 pub mod faultfs;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use codec::{CodecError, FORMAT_TAG};
+pub use concurrent::{Committed, ConcurrentStats, ConcurrentStore, TxDecision, TxError, TxOptions};
 pub use snapshot::{load_snapshot, write_snapshot};
 pub use store::{RecoveryInfo, RecoveryOutcome, Store, VerifyReport};
 pub use wal::{Wal, WalRecord, WalTail};
@@ -60,6 +62,8 @@ pub enum StoreError {
     },
     /// The directory does not hold an initialized store.
     NotInitialized(String),
+    /// Another process holds the store's advisory lock.
+    Locked(String),
     /// The directory already holds a store (`init` refused).
     AlreadyInitialized(String),
     /// Snapshot/WAL pair is inconsistent beyond repair.
@@ -84,6 +88,12 @@ impl fmt::Display for StoreError {
             StoreError::NotInitialized(p) => {
                 write!(f, "`{p}` is not an initialized store (run `td db init`)")
             }
+            StoreError::Locked(p) => write!(
+                f,
+                "`{p}` is locked by another process (two writers on one \
+                 store would corrupt the commit sequence; use `td serve` \
+                 for concurrent access)"
+            ),
             StoreError::AlreadyInitialized(p) => write!(f, "`{p}` already holds a store"),
             StoreError::Corrupt(msg) => write!(f, "store corrupt: {msg}"),
             StoreError::Db(msg) => write!(f, "replay fault: {msg}"),

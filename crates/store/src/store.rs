@@ -26,6 +26,31 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use td_db::{Database, Delta};
 
+/// File name of the advisory lock inside a store directory.
+pub const LOCK_FILE: &str = "lock";
+
+/// Take the store's advisory lock (flock-style, via the std file-locking
+/// API). A second `Store::open`/`init` on the same directory — from another
+/// process or this one — fails with [`StoreError::Locked`] instead of
+/// silently double-appending to `wal.tdl` and corrupting the commit
+/// sequence. Released automatically when the returned handle (held inside
+/// [`Store`]) drops — including on crash, since the OS releases it with the
+/// process; a stale lockfile left on disk is harmless.
+fn acquire_lock(dir: &Path) -> Result<fs::File> {
+    let path = dir.join(LOCK_FILE);
+    let file = fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(false)
+        .open(&path)
+        .map_err(|e| io_err(&path, e))?;
+    match file.try_lock() {
+        Ok(()) => Ok(file),
+        Err(fs::TryLockError::WouldBlock) => Err(StoreError::Locked(dir.display().to_string())),
+        Err(fs::TryLockError::Error(e)) => Err(io_err(&path, e)),
+    }
+}
+
 /// How `Store::open*` arrived at the recovered state.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RecoveryOutcome {
@@ -93,6 +118,9 @@ pub struct Store {
     wal: Wal,
     recovery: RecoveryInfo,
     committed_this_session: u64,
+    /// Advisory inter-process lock on the directory; held for the life of
+    /// the handle, released by the OS on drop or crash.
+    _lock: fs::File,
 }
 
 impl Store {
@@ -112,6 +140,7 @@ impl Store {
         if !dir.exists() {
             fs::create_dir(dir).map_err(|e| io_err(dir, e))?;
         }
+        let lock = acquire_lock(dir)?;
         write_snapshot(&dir.join(SNAPSHOT_FILE), initial)?;
         let wal = Wal::create(&dir.join(WAL_FILE), initial.digest())?;
         Ok(Store {
@@ -126,6 +155,7 @@ impl Store {
                 snapshot_age: 0,
             },
             committed_this_session: 0,
+            _lock: lock,
         })
     }
 
@@ -136,6 +166,7 @@ impl Store {
         if !Store::is_initialized(dir) {
             return Err(StoreError::NotInitialized(dir.display().to_string()));
         }
+        let lock = acquire_lock(dir)?;
         let (mut db, snap_digest) = load_snapshot(&dir.join(SNAPSHOT_FILE))?;
         let snapshot_tuples = db.total_tuples() as u64;
         let wal_path = dir.join(WAL_FILE);
@@ -188,6 +219,7 @@ impl Store {
                 snapshot_age: replayed,
             },
             committed_this_session: 0,
+            _lock: lock,
         })
     }
 
@@ -241,6 +273,29 @@ impl Store {
         self.db = next;
         self.committed_this_session += 1;
         Ok(seq)
+    }
+
+    /// Commit a whole batch of transactions as one WAL group with **one**
+    /// `fsync` (group commit; see [`Wal::append_group`]). The deltas apply
+    /// in order, each against the state the previous one left — exactly the
+    /// order the OCC validator serialized them in. Returns the seq of the
+    /// first record; the batch occupies contiguous seqs. Like
+    /// [`Store::commit`], every post-state digest is recomputed here, not
+    /// taken on trust, so recovery can verify each record individually.
+    pub fn commit_group(&mut self, deltas: &[Delta]) -> Result<u64> {
+        assert!(!deltas.is_empty(), "empty commit group");
+        let mut cur = self.db.clone();
+        let mut entries = Vec::with_capacity(deltas.len());
+        for delta in deltas {
+            cur = delta
+                .replay(&cur)
+                .map_err(|e| StoreError::Db(e.to_string()))?;
+            entries.push((delta.clone(), cur.digest()));
+        }
+        let first_seq = self.wal.append_group(&entries)?;
+        self.db = cur;
+        self.committed_this_session += deltas.len() as u64;
+        Ok(first_seq)
     }
 
     /// Rotate: write a fresh snapshot of the current state, then reset the
@@ -418,6 +473,42 @@ mod tests {
         assert_eq!(store.db().total_tuples(), 3);
         drop(store);
         assert!(Store::verify(&dir).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_opener_is_rejected_while_lock_held() {
+        let dir = temp_dir("locked");
+        let store = Store::init(&dir, &Database::new()).unwrap();
+        // Same directory, lock still held: both open and re-init refuse.
+        assert!(matches!(Store::open(&dir), Err(StoreError::Locked(_))));
+        drop(store);
+        // Lock released with the handle: reopening succeeds.
+        let store = Store::open(&dir).unwrap();
+        assert!(matches!(Store::open(&dir), Err(StoreError::Locked(_))));
+        drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_group_round_trips_and_recovers() {
+        let dir = temp_dir("group-commit");
+        let mut store = Store::init(&dir, &Database::new()).unwrap();
+        store.commit(&ins(0)).unwrap();
+        let first = store.commit_group(&[ins(1), ins(2), ins(3)]).unwrap();
+        assert_eq!(first, 1);
+        assert_eq!(store.committed_this_session(), 4);
+        assert_eq!(store.wal_records(), 4);
+        let digest = store.db().digest();
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.recovery().replayed, 4);
+        assert_eq!(store.db().digest(), digest);
+        assert_eq!(store.db().total_tuples(), 4);
+        drop(store);
+        let report = Store::verify(&dir).unwrap();
+        assert_eq!(report.wal_records, 4);
+        assert_eq!(report.final_digest, digest);
         fs::remove_dir_all(&dir).unwrap();
     }
 

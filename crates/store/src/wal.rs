@@ -19,6 +19,20 @@
 //! everything after it never happened. Because a record is only
 //! acknowledged after `fsync`, the torn record is always an unacknowledged
 //! one; dropping it is correct, not lossy.
+//!
+//! ## Group records
+//!
+//! [`Wal::append_group`] writes several commit records inside **one**
+//! frame, fsync'd once — the group-commit discipline `td serve` uses to
+//! amortize the fsync bound across concurrently-arriving transactions. A
+//! group payload starts with the sentinel seq [`GROUP_SENTINEL`] (a value
+//! no real record can carry: seqs are contiguous from 0, so reaching it
+//! would take 2^64 − 1 commits), followed by a record count and the
+//! records themselves. Single-record payloads are unchanged, so logs
+//! written before group commit existed still parse. Because the frame
+//! checksum covers the whole group, a crash mid-group tears the *entire*
+//! group — recovery yields a prefix of whole groups, never a torn one,
+//! and every record in the torn group was by construction unacknowledged.
 
 use crate::codec::{
     self, check_header, file_header, frame, read_frame, Dec, Enc, FrameOutcome, KIND_WAL,
@@ -31,6 +45,9 @@ use td_db::Delta;
 
 /// File name of the WAL inside a store directory.
 pub const WAL_FILE: &str = "wal.tdl";
+
+/// Sentinel seq value opening a group-record payload (see module docs).
+pub const GROUP_SENTINEL: u64 = u64::MAX;
 
 /// One committed-transaction record.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -61,6 +78,11 @@ pub struct WalContents {
     pub base_digest: u128,
     /// Checksum-verified records before the tail, in order.
     pub records: Vec<WalRecord>,
+    /// Record count of each verified frame, in file order: `1` for a
+    /// single-record frame, `k >= 1` for a group. `groups.iter().sum()` ==
+    /// `records.len()`. `td db log` and the serve stats read batching off
+    /// this.
+    pub groups: Vec<u64>,
     /// Tail state.
     pub tail: WalTail,
     /// Byte offset just past the last verified record (where an append
@@ -76,17 +98,48 @@ fn record_payload(seq: u64, post_digest: u128, delta: &Delta) -> Vec<u8> {
     enc.into_bytes()
 }
 
-fn parse_record(payload: &[u8]) -> Result<WalRecord> {
-    let mut dec = Dec::new(payload);
-    let seq = dec.varint("record seq")?;
+/// Payload of a group frame: sentinel, count, then `count` records.
+fn group_payload(first_seq: u64, entries: &[(Delta, u128)]) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_varint(GROUP_SENTINEL);
+    enc.put_varint(entries.len() as u64);
+    for (i, (delta, post_digest)) in entries.iter().enumerate() {
+        enc.put_varint(first_seq + i as u64);
+        enc.put_u128(*post_digest);
+        codec::put_delta(&mut enc, delta);
+    }
+    enc.into_bytes()
+}
+
+fn parse_one_record(dec: &mut Dec<'_>, seq: u64) -> Result<WalRecord> {
     let post_digest = dec.u128("record post-digest")?;
-    let delta = codec::get_delta(&mut dec)?;
-    dec.finish()?;
+    let delta = codec::get_delta(dec)?;
     Ok(WalRecord {
         seq,
         post_digest,
         delta,
     })
+}
+
+/// Parse one frame payload: either a single record or a whole group.
+fn parse_frame_records(payload: &[u8]) -> Result<Vec<WalRecord>> {
+    let mut dec = Dec::new(payload);
+    let first = dec.varint("record seq")?;
+    let mut out = Vec::new();
+    if first == GROUP_SENTINEL {
+        let count = dec.varint("group count")?;
+        if count == 0 {
+            return Err(StoreError::Corrupt("empty wal record group".into()));
+        }
+        for _ in 0..count {
+            let seq = dec.varint("group record seq")?;
+            out.push(parse_one_record(&mut dec, seq)?);
+        }
+    } else {
+        out.push(parse_one_record(&mut dec, first)?);
+    }
+    dec.finish()?;
+    Ok(out)
 }
 
 /// The header + base-digest page a fresh WAL starts with.
@@ -116,13 +169,15 @@ pub fn parse_wal(bytes: &[u8]) -> Result<WalContents> {
             ))
         }
     };
-    let mut records = Vec::new();
+    let mut records: Vec<WalRecord> = Vec::new();
+    let mut groups = Vec::new();
     loop {
         match read_frame(bytes, at) {
             FrameOutcome::End => {
                 return Ok(WalContents {
                     base_digest,
                     records,
+                    groups,
                     tail: WalTail::Clean,
                     valid_len: at as u64,
                 });
@@ -131,6 +186,7 @@ pub fn parse_wal(bytes: &[u8]) -> Result<WalContents> {
                 return Ok(WalContents {
                     base_digest,
                     records,
+                    groups,
                     tail: WalTail::Torn {
                         at: torn_at as u64,
                         dropped: (bytes.len() - torn_at) as u64,
@@ -139,15 +195,18 @@ pub fn parse_wal(bytes: &[u8]) -> Result<WalContents> {
                 });
             }
             FrameOutcome::Ok { payload, next } => {
-                let rec = parse_record(payload)?;
-                if rec.seq != records.len() as u64 {
-                    return Err(StoreError::Corrupt(format!(
-                        "wal record at byte {at} carries seq {} (expected {})",
-                        rec.seq,
-                        records.len()
-                    )));
+                let recs = parse_frame_records(payload)?;
+                groups.push(recs.len() as u64);
+                for rec in recs {
+                    if rec.seq != records.len() as u64 {
+                        return Err(StoreError::Corrupt(format!(
+                            "wal record at byte {at} carries seq {} (expected {})",
+                            rec.seq,
+                            records.len()
+                        )));
+                    }
+                    records.push(rec);
                 }
-                records.push(rec);
                 at = next;
             }
         }
@@ -220,6 +279,31 @@ impl Wal {
         self.file.sync_all().map_err(|e| io_err(&self.path, e))?;
         self.next_seq += 1;
         Ok(seq)
+    }
+
+    /// Append a whole batch of committed transactions as **one** group
+    /// frame with **one** `fsync` — group commit. Returns the seq of the
+    /// first record in the group; the batch occupies contiguous seqs after
+    /// it. All records in the group become durable together: a crash
+    /// mid-write tears the single frame, dropping the whole (entirely
+    /// unacknowledged) group.
+    pub fn append_group(&mut self, entries: &[(Delta, u128)]) -> Result<u64> {
+        assert!(!entries.is_empty(), "empty commit group");
+        let first_seq = self.next_seq;
+        // A group of one is written in the plain single-record framing, so
+        // low-concurrency serve traffic produces logs byte-identical to the
+        // per-commit path.
+        let page = if entries.len() == 1 {
+            frame(&record_payload(first_seq, entries[0].1, &entries[0].0))
+        } else {
+            frame(&group_payload(first_seq, entries))
+        };
+        self.file
+            .write_all(&page)
+            .map_err(|e| io_err(&self.path, e))?;
+        self.file.sync_all().map_err(|e| io_err(&self.path, e))?;
+        self.next_seq += entries.len() as u64;
+        Ok(first_seq)
     }
 }
 
@@ -336,6 +420,95 @@ mod tests {
         let mut bytes = wal_prefix(42);
         let n = bytes.len();
         bytes[n - 1] ^= 0xff;
+        assert!(matches!(parse_wal(&bytes), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn group_append_reads_back_as_contiguous_records() {
+        let path = temp_wal("group_read.tdl");
+        let mut wal = Wal::create(&path, 9).unwrap();
+        wal.append(&sample_delta(0), 100).unwrap();
+        let batch: Vec<(Delta, u128)> = (1..4i64)
+            .map(|i| (sample_delta(i), 100 + i as u128))
+            .collect();
+        let first = wal.append_group(&batch).unwrap();
+        assert_eq!(first, 1);
+        assert_eq!(wal.next_seq(), 4);
+        wal.append(&sample_delta(4), 104).unwrap();
+        drop(wal);
+        let contents = read_wal(&path).unwrap();
+        assert_eq!(contents.tail, WalTail::Clean);
+        let seqs: Vec<u64> = contents.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(contents.groups, vec![1, 3, 1]);
+        assert_eq!(contents.records[2].delta, sample_delta(2));
+        assert_eq!(contents.records[3].post_digest, 103);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_of_one_is_byte_identical_to_single_record() {
+        let a = temp_wal("group_one_a.tdl");
+        let b = temp_wal("group_one_b.tdl");
+        let mut wal_a = Wal::create(&a, 5).unwrap();
+        let mut wal_b = Wal::create(&b, 5).unwrap();
+        wal_a.append(&sample_delta(1), 77).unwrap();
+        wal_b.append_group(&[(sample_delta(1), 77)]).unwrap();
+        drop((wal_a, wal_b));
+        assert_eq!(fs::read(&a).unwrap(), fs::read(&b).unwrap());
+        fs::remove_file(&a).unwrap();
+        fs::remove_file(&b).unwrap();
+    }
+
+    #[test]
+    fn torn_group_is_dropped_whole() {
+        let path = temp_wal("group_torn.tdl");
+        let mut wal = Wal::create(&path, 3).unwrap();
+        wal.append(&sample_delta(0), 10).unwrap();
+        let solo_len = fs::metadata(&path).unwrap().len();
+        let batch: Vec<(Delta, u128)> = (1..5i64)
+            .map(|i| (sample_delta(i), 10 + i as u128))
+            .collect();
+        wal.append_group(&batch).unwrap();
+        drop(wal);
+        let full = fs::read(&path).unwrap();
+        // A cut at the group boundary is a clean end; every cut strictly
+        // inside the group frame drops the whole group — never a prefix of
+        // its records.
+        let boundary = parse_wal(&full[..solo_len as usize]).unwrap();
+        assert_eq!(boundary.records.len(), 1);
+        assert!(matches!(boundary.tail, WalTail::Clean));
+        for cut in (solo_len + 1)..(full.len() as u64) {
+            let contents = parse_wal(&full[..cut as usize]).unwrap();
+            assert_eq!(contents.records.len(), 1, "cut at {cut}");
+            assert_eq!(contents.groups, vec![1], "cut at {cut}");
+            assert_eq!(contents.valid_len, solo_len, "cut at {cut}");
+            assert!(
+                matches!(contents.tail, WalTail::Torn { .. }),
+                "cut at {cut}"
+            );
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_with_wrong_inner_seq_is_corruption() {
+        let mut bytes = wal_prefix(0);
+        // First record of the group claims seq 1 on an empty log.
+        bytes.extend_from_slice(&frame(&group_payload(1, &[(Delta::new(), 0)])));
+        match parse_wal(&bytes) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("seq"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_group_payload_is_corruption() {
+        let mut bytes = wal_prefix(0);
+        let mut enc = crate::codec::Enc::new();
+        enc.put_varint(GROUP_SENTINEL);
+        enc.put_varint(0);
+        bytes.extend_from_slice(&frame(&enc.into_bytes()));
         assert!(matches!(parse_wal(&bytes), Err(StoreError::Corrupt(_))));
     }
 }

@@ -1,0 +1,147 @@
+//! Group-commit crash injection: the recovery invariant, extended to
+//! grouped WAL records.
+//!
+//! A WAL holding a mix of single-record frames and multi-commit group
+//! frames (the shape `td serve` writes under load) is cut at **every byte
+//! length** — every point a crash could tear the file. Recovery must yield
+//! a digest-verified *prefix of whole groups*: a group is either wholly
+//! present or wholly gone, never torn into a prefix of its member records.
+//! This is exactly what makes group commit safe: members of a group are
+//! acknowledged to clients only after the group's one fsync, so dropping a
+//! whole unacknowledged group loses nothing a client was promised.
+//!
+//! A second pass flips individual bytes: corruption inside a group frame
+//! must surface as a cut tail or a hard error — never as a different
+//! database.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use td_core::Pred;
+use td_db::{tuple, Delta, DeltaOp};
+use td_store::wal::WAL_FILE;
+use td_store::{faultfs, Store};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("td-store-group-crash").join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ins(i: i64) -> Delta {
+    let mut d = Delta::new();
+    d.push(DeltaOp::Ins(Pred::new("n", 1), tuple!(i)));
+    d
+}
+
+/// One durable state the WAL can legally recover to: how many records, the
+/// database digest, and the WAL byte length at that boundary.
+struct Boundary {
+    records: u64,
+    digest: u128,
+    wal_len: u64,
+}
+
+/// Build a store whose WAL holds groups of sizes [1, 3, 2, 4, 1] (single
+/// records and true groups interleaved) and record every group boundary.
+fn grouped_store(dir: &Path) -> Vec<Boundary> {
+    let schema = td_db::Database::new().declare(Pred::new("n", 1));
+    let mut store = Store::init(dir, &schema).unwrap();
+    let wal = dir.join(WAL_FILE);
+    let mut boundaries = vec![Boundary {
+        records: 0,
+        digest: store.db().digest(),
+        wal_len: faultfs::file_len(&wal).unwrap(),
+    }];
+    let mut next = 0i64;
+    for size in [1usize, 3, 2, 4, 1] {
+        let deltas: Vec<Delta> = (0..size)
+            .map(|_| {
+                next += 1;
+                ins(next)
+            })
+            .collect();
+        store.commit_group(&deltas).unwrap();
+        boundaries.push(Boundary {
+            records: store.wal_records(),
+            digest: store.db().digest(),
+            wal_len: faultfs::file_len(&wal).unwrap(),
+        });
+    }
+    boundaries
+}
+
+#[test]
+fn every_byte_cut_recovers_a_prefix_of_whole_groups() {
+    let base = temp_dir("cut_base");
+    let boundaries = grouped_store(&base);
+    let full_len = boundaries.last().unwrap().wal_len;
+    assert_eq!(boundaries.last().unwrap().records, 11);
+    let scratch = temp_dir("cut_scratch");
+    // Cuts inside the WAL file header are hard structural errors, covered
+    // by the base crash suite; the group sweep starts at the first record
+    // boundary (the freshly-initialized WAL).
+    for cut in boundaries[0].wal_len..=full_len {
+        let _ = fs::remove_dir_all(&scratch);
+        faultfs::copy_dir(&base, &scratch).unwrap();
+        faultfs::truncate_to(&scratch.join(WAL_FILE), cut).unwrap();
+        let store = Store::open(&scratch).unwrap();
+        // The recovered state must be the *largest whole-group prefix*
+        // that fits in `cut` — groups are all-or-nothing, so a cut inside
+        // group k recovers exactly groups 0..k, not a partial k.
+        let expected = boundaries
+            .iter()
+            .rev()
+            .find(|b| b.wal_len <= cut)
+            .expect("boundary 0 is always <= cut");
+        assert_eq!(
+            store.recovery().replayed,
+            expected.records,
+            "cut at {cut}: replayed a non-boundary record count"
+        );
+        assert_eq!(
+            store.db().digest(),
+            expected.digest,
+            "cut at {cut}: recovered state is not a group-boundary state"
+        );
+        let torn = cut - expected.wal_len;
+        assert_eq!(store.recovery().torn_bytes, torn, "cut at {cut}");
+        drop(store);
+        // Recovery is idempotent: a second open is clean, same state.
+        let again = Store::open(&scratch).unwrap();
+        assert_eq!(again.db().digest(), expected.digest, "cut at {cut}");
+        assert_eq!(again.recovery().torn_bytes, 0, "cut at {cut}");
+    }
+    fs::remove_dir_all(&base).unwrap();
+    fs::remove_dir_all(&scratch).unwrap();
+}
+
+#[test]
+fn byte_corruption_inside_groups_never_yields_a_new_state() {
+    let base = temp_dir("flip_base");
+    let boundaries = grouped_store(&base);
+    let full_len = boundaries.last().unwrap().wal_len;
+    let scratch = temp_dir("flip_scratch");
+    for offset in 0..full_len {
+        let _ = fs::remove_dir_all(&scratch);
+        faultfs::copy_dir(&base, &scratch).unwrap();
+        faultfs::flip_byte(&scratch.join(WAL_FILE), offset, 0x40).unwrap();
+        // A flip either surfaces as a hard open error (acceptable, never
+        // silent) or the checksum / group framing caught it and some
+        // boundary prefix survives — nothing else.
+        if let Ok(store) = Store::open(&scratch) {
+            assert!(
+                boundaries
+                    .iter()
+                    .any(|b| b.digest == store.db().digest()
+                        && b.records == store.recovery().replayed),
+                "flip at {offset}: recovered records={} digest={:032x} \
+                 is not a group boundary",
+                store.recovery().replayed,
+                store.db().digest()
+            );
+        }
+    }
+    fs::remove_dir_all(&base).unwrap();
+    fs::remove_dir_all(&scratch).unwrap();
+}

@@ -1,0 +1,194 @@
+//! OCC serializability differential: N concurrent conflicting clients
+//! against one [`ConcurrentStore`] must produce a final state reachable by
+//! *some* sequential order of the committed transactions.
+//!
+//! The differential is direct: every commit's WAL seq is its claimed
+//! serialization position, so we replay the committed operations in seq
+//! order through a sequential model (a plain map of balances, no store, no
+//! threads) and require (1) every committed transfer was valid *at its
+//! position in that order* — the funds it withdrew were really there —
+//! and (2) the model's final state equals the store's, digest included,
+//! after a cold recovery. Under OCC churn (every client hits the same few
+//! accounts) any lost update, write skew, or torn validation shows up as
+//! either an overdraft in the replay or a diverging final state.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use td_core::{Pred, Value};
+use td_db::{Database, Delta, DeltaOp, Tuple};
+use td_store::{ConcurrentStore, Store, TxDecision, TxOptions};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("td-store-occ").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const BALANCE: &str = "balance";
+const OPENING: i64 = 100;
+
+fn pred() -> Pred {
+    Pred::new(BALANCE, 2)
+}
+
+fn acct(i: usize) -> Value {
+    Value::sym(&format!("acct{i}"))
+}
+
+fn row(i: usize, bal: i64) -> Tuple {
+    Tuple::new(vec![acct(i), Value::Int(bal)])
+}
+
+fn genesis(accounts: usize) -> Database {
+    let mut db = Database::new().declare(pred());
+    for i in 0..accounts {
+        db = db.insert(pred(), &row(i, OPENING)).unwrap().0;
+    }
+    db
+}
+
+/// Read one balance out of a snapshot.
+fn balance_of(db: &Database, i: usize) -> i64 {
+    let rel = db.relation(pred()).expect("declared");
+    let name = acct(i);
+    rel.to_sorted_vec()
+        .iter()
+        .find_map(|t| {
+            let v = t.values();
+            if v[0] == name {
+                match v[1] {
+                    Value::Int(b) => Some(b),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        })
+        .expect("every account has exactly one balance row")
+}
+
+/// The transfer delta a banking client produces against its snapshot.
+fn transfer_delta(db: &Database, from: usize, to: usize, amt: i64) -> Option<Delta> {
+    let bf = balance_of(db, from);
+    if bf < amt {
+        return None;
+    }
+    let bt = balance_of(db, to);
+    let mut d = Delta::new();
+    d.push(DeltaOp::Del(pred(), row(from, bf)));
+    d.push(DeltaOp::Ins(pred(), row(from, bf - amt)));
+    d.push(DeltaOp::Del(pred(), row(to, bt)));
+    d.push(DeltaOp::Ins(pred(), row(to, bt + amt)));
+    Some(d)
+}
+
+/// One client's scripted operation.
+#[derive(Clone, Copy, Debug)]
+struct Op {
+    from: usize,
+    to: usize,
+    amt: i64,
+}
+
+fn arb_ops(accounts: usize) -> impl Strategy<Value = Vec<Vec<Op>>> {
+    // 2–4 clients × 1–6 ops over few accounts: heavy deliberate conflict.
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (0..accounts, 0..accounts, 1i64..60).prop_map(|(from, to, amt)| Op { from, to, amt }),
+            1..7,
+        ),
+        2..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn concurrent_clients_serialize_to_their_wal_order(
+        ops in arb_ops(3),
+        case in 0u64..1_000_000,
+    ) {
+        let accounts = 3;
+        let dir = temp_dir(&format!("case_{case}_{}", std::process::id()));
+        let cs = ConcurrentStore::open_or_init(&dir, &genesis(accounts))
+            .unwrap()
+            .with_options(TxOptions {
+                max_attempts: 200,
+                backoff: std::time::Duration::from_micros(10),
+            });
+        // Run every client concurrently; collect (seq, op) for commits.
+        let workers: Vec<_> = ops
+            .iter()
+            .cloned()
+            .map(|script| {
+                let cs = cs.clone();
+                std::thread::spawn(move || {
+                    let mut committed = Vec::new();
+                    for op in script {
+                        let r = cs
+                            .transaction(|db| {
+                                if op.from == op.to {
+                                    return Ok::<_, String>(TxDecision::Abort(()));
+                                }
+                                match transfer_delta(db, op.from, op.to, op.amt) {
+                                    Some(d) => Ok(TxDecision::Commit(d, ())),
+                                    None => Ok(TxDecision::Abort(())),
+                                }
+                            })
+                            .expect("transaction never errors under a 200-retry budget");
+                        if let Some(seq) = r.seq {
+                            committed.push((seq, op));
+                        }
+                    }
+                    committed
+                })
+            })
+            .collect();
+        let mut committed: Vec<(u64, Op)> = Vec::new();
+        for w in workers {
+            committed.extend(w.join().unwrap());
+        }
+        committed.sort_by_key(|(seq, _)| *seq);
+        // Seqs are the claimed serial order: dense and unique from 0 (the
+        // opening balances live in the snapshot, not the WAL).
+        for (i, (seq, _)) in committed.iter().enumerate() {
+            prop_assert_eq!(*seq, i as u64, "commit seqs must be dense");
+        }
+        // Differential replay: the committed ops, in WAL order, through a
+        // sequential model. Every op must be valid at its position.
+        let mut model: BTreeMap<usize, i64> = (0..accounts).map(|i| (i, OPENING)).collect();
+        for (seq, op) in &committed {
+            let bf = model[&op.from];
+            prop_assert!(
+                bf >= op.amt,
+                "seq {seq}: committed transfer of {} from acct{} holding {bf} — \
+                 not serializable in WAL order",
+                op.amt,
+                op.from
+            );
+            *model.get_mut(&op.from).unwrap() -= op.amt;
+            *model.get_mut(&op.to).unwrap() += op.amt;
+        }
+        // Conservation, then exact state equality against a cold recovery.
+        prop_assert_eq!(model.values().sum::<i64>(), accounts as i64 * OPENING);
+        let head_digest = cs.snapshot().digest();
+        let store = cs.close().unwrap();
+        drop(store);
+        let recovered = Store::open(&dir).unwrap();
+        prop_assert_eq!(recovered.db().digest(), head_digest);
+        let mut expected = Database::new().declare(pred());
+        for (i, bal) in &model {
+            expected = expected.insert(pred(), &row(*i, *bal)).unwrap().0;
+        }
+        prop_assert_eq!(
+            recovered.db().digest(),
+            expected.digest(),
+            "recovered state diverges from the sequential replay"
+        );
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
