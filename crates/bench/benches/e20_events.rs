@@ -1,0 +1,174 @@
+//! E20 — reactive ingestion: events/sec vs end-to-end trigger latency.
+//!
+//! Not a paper experiment: this quantifies PR 9 (docs/EVENTS.md). A
+//! closed-loop generator streams `sample(S)` / `result(S, Q)` pairs into a
+//! *real* `td serve` over its Unix socket; a `seq`+`within` trigger records
+//! every completed pair through an OCC transaction. Measured, per cell of a
+//! 1/4/8-client matrix:
+//!
+//! * sustained ingestion throughput (events/sec, socket round trip and
+//!   group-commit fsync included);
+//! * end-to-end trigger latency — event request start to trigger-transaction
+//!   completion — p50/p99, read off the server's log2 histogram;
+//! * the group-commit batching factor the burst achieved (records/fsync);
+//! * a criterion-timed unit: the pure pattern-matching cost of one event
+//!   through the [`Reactor`], no I/O — the ceiling the durable path is
+//!   amortizing toward.
+//!
+//! Triggers execute on the server's scheduler thread; `serve()` drains it
+//! before returning, so the shutdown summary carries complete counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use td_bench::report_row;
+use td_core::{Symbol, Value};
+use td_engine::EngineConfig;
+use td_events::Reactor;
+use td_serve::{Client, ServeSummary, Server};
+use td_store::TxOptions;
+
+const PAIRS_PER_CLIENT: usize = 40;
+
+const LAB: &str = r#"
+base handled/2.
+base fired/1.
+init fired(0).
+event sample/1.
+event result/2.
+handle(S, Q) <- fired(N) * del.fired(N) * M is N + 1 * ins.fired(M)
+              * ins.handled(S, Q).
+on within(seq(sample(S), result(S, Q)), 600000) do handle(S, Q).
+"#;
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("td-bench-e20").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct LoadResult {
+    wall: Duration,
+    events: u64,
+    summary: ServeSummary,
+}
+
+/// Closed loop: `clients` connections each stream their disjoint pairs,
+/// every `event` request acknowledged after its group-commit fsync.
+fn drive(dir: &std::path::Path, clients: usize) -> LoadResult {
+    let socket = dir.join("td.sock");
+    let parsed = td_parser::parse_program(LAB).unwrap();
+    let server = Server::open(
+        parsed,
+        EngineConfig::default(),
+        &dir.join("db"),
+        TxOptions {
+            max_attempts: 1_000,
+            backoff: Duration::from_micros(10),
+        },
+    )
+    .unwrap();
+    let sock = socket.clone();
+    let handle = std::thread::spawn(move || server.serve(&sock));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut c) = Client::connect(&socket) {
+            if c.ping().is_ok() {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "server did not come up");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&socket).unwrap();
+                for j in 0..PAIRS_PER_CLIENT {
+                    let s = i * 1_000 + j;
+                    assert!(c.event(&format!("sample({s})")).unwrap().is_ok());
+                    assert!(c.event(&format!("result({s}, 1)")).unwrap().is_ok());
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let wall = start.elapsed();
+    Client::connect(&socket).unwrap().stop().unwrap();
+    let summary = handle.join().unwrap().unwrap();
+    LoadResult {
+        wall,
+        events: (clients * PAIRS_PER_CLIENT * 2) as u64,
+        summary,
+    }
+}
+
+fn emit(cell: &str, r: &LoadResult) {
+    let ev = &r.summary.events;
+    assert_eq!(ev.ingested, r.events);
+    assert_eq!(
+        ev.fired,
+        (r.events / 2),
+        "one trigger per pair, exactly once"
+    );
+    report_row(
+        "E20",
+        cell,
+        "events_per_s",
+        r.events as f64 / r.wall.as_secs_f64(),
+        "events/s",
+    );
+    report_row("E20", cell, "trigger_p50", ev.p50_us as f64, "us");
+    report_row("E20", cell, "trigger_p99", ev.p99_us as f64, "us");
+    let stats = &r.summary.stats;
+    report_row(
+        "E20",
+        cell,
+        "records_per_fsync",
+        stats.grouped_records as f64 / stats.groups.max(1) as f64,
+        "records",
+    );
+}
+
+fn bench_event_load(c: &mut Criterion) {
+    for clients in [1usize, 4, 8] {
+        let cell = format!("clients={clients}");
+        let dir = bench_dir(&format!("load-{clients}"));
+        let r = drive(&dir, clients);
+        emit(&cell, &r);
+    }
+
+    // The in-memory matching ceiling: one event through the compiled
+    // pattern automaton, no socket, no WAL, no trigger execution. The
+    // tight window matters: unmatched-so-far partials are only discarded
+    // by watermark pruning, so a 100-tick window keeps the partial set
+    // (and the per-event cost being measured) bounded as the iteration
+    // count grows.
+    const MICRO: &str = "event sample/1. event result/2. base handled/2.\n\
+         handle(S, Q) <- ins.handled(S, Q).\n\
+         on within(seq(sample(S), result(S, Q)), 100) do handle(S, Q).\n";
+    let parsed = td_parser::parse_program(MICRO).unwrap();
+    let mut reactor = Reactor::new(&parsed.program, &parsed.triggers);
+    let sample = Symbol::intern("sample");
+    let result = Symbol::intern("result");
+    let mut s = 0i64;
+    let mut group = c.benchmark_group("e20/reactor");
+    group.bench_function("ingest_pair_match_fire", |b| {
+        b.iter(|| {
+            s += 1;
+            let ts = s as u64;
+            let a = reactor.ingest(sample, &[Value::Int(s)], ts);
+            let b2 = reactor.ingest(result, &[Value::Int(s), Value::Int(1)], ts);
+            assert_eq!(a.len() + b2.len(), 1);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_load);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! CI smoke + gate for the reactive event path (experiment E20).
+//!
+//! The PR-9 acceptance gate, all through a real server on a real socket:
+//!
+//! * **Batching**: sustained concurrent ingestion must retire more than one
+//!   WAL record per fsync — event appends ride the same group-commit path
+//!   as client transactions, and that amortization is the whole point of
+//!   acknowledging events only after durability.
+//! * **Exactly-once**: a `seq`+`within` pattern spanning two events fires
+//!   its trigger transaction exactly once per completed match under
+//!   concurrent ingestion. The `fired/1` counter is read-modify-write, so
+//!   a doubled or lost execution skews it — the final count must equal the
+//!   number of pairs exactly.
+//! * **Reporting**: events/sec and end-to-end trigger latency p50/p99 are
+//!   written to `BENCH_PR9.json` at the repo root for the CI artifact.
+//!
+//! The batching ratio is structural (records per fsync), not a wall-clock
+//! threshold, so the gate is stable on slow shared runners; it still runs
+//! `--release` because debug-build CPU keeps clients from ever queueing
+//! behind the leader's fsync, which is the regime being asserted.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use td_engine::EngineConfig;
+use td_serve::{Client, ServeSummary, Server};
+use td_store::TxOptions;
+
+const CLIENTS: usize = 6;
+const PAIRS_PER_CLIENT: usize = 25;
+
+const LAB: &str = r#"
+base handled/2.
+base fired/1.
+init fired(0).
+event sample/1.
+event result/2.
+handle(S, Q) <- fired(N) * del.fired(N) * M is N + 1 * ins.fired(M)
+              * ins.handled(S, Q).
+on within(seq(sample(S), result(S, Q)), 600000) do handle(S, Q).
+"#;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("td-bench-e20-smoke").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn drive() -> (Duration, ServeSummary) {
+    let dir = temp_dir("gate");
+    let socket = dir.join("td.sock");
+    let parsed = td_parser::parse_program(LAB).unwrap();
+    let server = Server::open(
+        parsed,
+        EngineConfig::default(),
+        &dir.join("db"),
+        TxOptions {
+            max_attempts: 1_000,
+            backoff: Duration::from_micros(10),
+        },
+    )
+    .unwrap();
+    let sock = socket.clone();
+    let handle = std::thread::spawn(move || server.serve(&sock));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut c) = Client::connect(&socket) {
+            if c.ping().is_ok() {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "server did not come up");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let start = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&socket).unwrap();
+                for j in 0..PAIRS_PER_CLIENT {
+                    let s = i * 1_000 + j;
+                    assert!(c.event(&format!("sample({s})")).unwrap().is_ok());
+                    let r = c.event(&format!("result({s}, 1)")).unwrap();
+                    // Ordered within this connection, disjoint S across
+                    // clients: the pattern completes here, exactly once.
+                    assert!(
+                        r.binding("matched").map(str::to_owned) == Some("1".into()),
+                        "pair {s}: {r:?}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let wall = start.elapsed();
+    // Read the exactly-once witness over the wire before shutdown.
+    let mut c = Client::connect(&socket).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let total = (CLIENTS * PAIRS_PER_CLIENT) as u64;
+    loop {
+        let r = c.run("fired(N)").unwrap();
+        if r.binding("N") == Some(&total.to_string()) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fired counter stuck at {:?}, want {total}",
+            r.binding("N")
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    c.stop().unwrap();
+    // serve() drains the trigger scheduler before returning: the summary
+    // carries final counts and the complete latency histogram.
+    (wall, handle.join().unwrap().unwrap())
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "load gate: debug-build CPU keeps clients from queueing behind \
+              the fsync; run with --release (CI events_smoke job)"
+)]
+fn burst_ingestion_batches_fsyncs_and_fires_triggers_exactly_once() {
+    let (wall, summary) = drive();
+    let total_pairs = (CLIENTS * PAIRS_PER_CLIENT) as u64;
+    let ev = &summary.events;
+    let stats = &summary.stats;
+
+    assert_eq!(ev.ingested, 2 * total_pairs);
+    assert_eq!(ev.matched, total_pairs, "every pair completes its pattern");
+    assert_eq!(
+        ev.fired, total_pairs,
+        "each match fires its transaction exactly once"
+    );
+    let records_per_fsync = stats.grouped_records as f64 / stats.groups.max(1) as f64;
+    assert!(
+        records_per_fsync > 1.0,
+        "burst ingestion must batch: {} records over {} fsyncs",
+        stats.grouped_records,
+        stats.groups
+    );
+    assert!(ev.p50_us > 0 && ev.p99_us >= ev.p50_us);
+
+    let events_per_s = ev.ingested as f64 / wall.as_secs_f64();
+    let report = format!(
+        "{{\n  \"experiment\": \"e20_events\",\n  \"clients\": {CLIENTS},\n  \
+         \"pairs_per_client\": {PAIRS_PER_CLIENT},\n  \
+         \"events_ingested\": {},\n  \"events_per_s\": {events_per_s:.1},\n  \
+         \"triggers_matched\": {},\n  \"triggers_fired\": {},\n  \
+         \"triggers_conflicted\": {},\n  \"trigger_p50_us\": {},\n  \
+         \"trigger_p99_us\": {},\n  \"records_per_fsync\": \
+         {records_per_fsync:.2}\n}}\n",
+        ev.ingested, ev.matched, ev.fired, ev.conflicted, ev.p50_us, ev.p99_us
+    );
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR9.json");
+    std::fs::write(&out, &report).unwrap();
+    eprintln!("{report}");
+}

@@ -251,6 +251,17 @@ fn main() -> ExitCode {
     if positional.first().map(|s| s.as_str()) == Some("client") {
         return client_command(&positional[1..], &opts);
     }
+    // Events only exist inside a running server: there is no store-side
+    // event queue a standalone command could append to. Point at the one
+    // verb that works instead of inventing a second, subtly different path.
+    if positional.first().map(|s| s.as_str()) == Some("event") {
+        eprintln!(
+            "td: `event` is a server request, not a top-level command; \
+             ingest with `td client event '<atom>' --socket=PATH` against a \
+             running `td serve` (see docs/EVENTS.md)"
+        );
+        return ExitCode::from(2);
+    }
     let (cmd, file) = match positional.as_slice() {
         [cmd, file] => (cmd.as_str(), file.as_str()),
         _ => {
@@ -385,6 +396,30 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Triggers only fire on ingested events, and events only arrive through
+    // a running server. Under run/trace/decide/repl the `on … do …` rules
+    // would parse and then never do anything — a silent no-op that reads as
+    // a working program. Refuse instead. (`fragment` stays accepted: it
+    // classifies the rule set, it does not execute it.)
+    if !parsed.triggers.is_empty() && !matches!(cmd, "serve" | "fragment") {
+        eprintln!(
+            "td: `{file}` declares triggers (`on … do …`), which only fire \
+             on events ingested into a running server; use `td serve` (see \
+             docs/EVENTS.md) or remove the trigger rules"
+        );
+        return ExitCode::from(2);
+    }
+    // Maintained views assume the run's own commits are the only writers;
+    // event appends happen outside goal execution, so a materialized view
+    // over a program with event relations would silently go stale.
+    if opts.config.materialize && parsed.program.has_events() {
+        eprintln!(
+            "td: --materialize cannot be combined with event relations: \
+             event appends bypass view maintenance (see docs/EVENTS.md); \
+             drop the flag or the `event` declarations"
+        );
+        return ExitCode::from(2);
+    }
     // `--materialize` on a program with nothing to materialize used to be
     // conceivable as a silent no-op; reject it instead, naming the reason,
     // so the run the user asked for is the run they get.
@@ -505,6 +540,14 @@ fn serve_command(parsed: td_parser::ParsedProgram, opts: &CliOptions, file: &str
         stats.read_only,
         stats.aborts,
     );
+    let ev = &summary.events;
+    if ev.ingested > 0 || ev.matched > 0 {
+        println!(
+            "serve: {} events ingested, {} matches, {} triggers fired \
+             ({} conflicts retried, latency p50 {}us p99 {}us)",
+            ev.ingested, ev.matched, ev.fired, ev.conflicted, ev.p50_us, ev.p99_us,
+        );
+    }
     let mut ok = true;
     if let Some(path) = &opts.report {
         let registry = td_engine::MetricsRegistry::new();
@@ -520,6 +563,10 @@ fn serve_command(parsed: td_parser::ParsedProgram, opts: &CliOptions, file: &str
             ("serve.grouped_records", stats.grouped_records),
             ("serve.interned_symbols", summary.interned_symbols),
             ("serve.interned_bytes", summary.interned_bytes),
+            ("events.ingested", ev.ingested),
+            ("triggers.matched", ev.matched),
+            ("triggers.fired", ev.fired),
+            ("triggers.conflicted", ev.conflicted),
         ] {
             registry.add_counter(name, v);
         }
@@ -549,6 +596,13 @@ fn serve_command(parsed: td_parser::ParsedProgram, opts: &CliOptions, file: &str
                 max_group: stats.max_group,
                 interned_symbols: summary.interned_symbols,
                 interned_bytes: summary.interned_bytes,
+                events_ingested: ev.ingested,
+                triggers_matched: ev.matched,
+                triggers_fired: ev.fired,
+                triggers_conflicted: ev.conflicted,
+                trigger_latency: ev.latency_buckets.clone(),
+                trigger_p50_us: ev.p50_us,
+                trigger_p99_us: ev.p99_us,
             }),
             metrics: registry.snapshot(),
         };

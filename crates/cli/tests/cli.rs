@@ -539,3 +539,153 @@ fn serve_and_client_round_trip_over_the_binary() {
     assert!(json.contains("\"serve.commits\": 1"), "{json}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+// --- events and triggers ----------------------------------------------
+
+const SERVE_LAB: &str = "base handled/2.\n\
+    base fired/1.\n\
+    init fired(0).\n\
+    event sample/1.\n\
+    event result/2.\n\
+    handle(S, Q) <- fired(N) * del.fired(N) * M is N + 1 * ins.fired(M)\n\
+        * ins.handled(S, Q).\n\
+    on within(seq(sample(S), result(S, Q)), 60000) do handle(S, Q).\n";
+
+/// The event fail-fast matrix: events and triggers only live in a server,
+/// and every combination that would silently do nothing exits 2 instead.
+#[test]
+fn event_misuse_exits_2() {
+    // Top-level `td event` is not a command; the diagnostic points at the
+    // client verb that works.
+    let out = td().args(["event", "sample(1)"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("td client event"), "{err}");
+    // Trigger rules never fire outside a server: refused under every
+    // one-shot command rather than parsing and silently doing nothing.
+    let f = write_temp("event_matrix.td", SERVE_LAB);
+    for cmd in ["run", "trace", "decide", "repl"] {
+        let out = td().args([cmd]).arg(&f).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{cmd}: {out:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("triggers"), "{cmd}: {err}");
+        assert!(err.contains("td serve"), "{cmd}: {err}");
+    }
+    // Event appends bypass view maintenance; --materialize over a program
+    // with event relations is refused even without trigger rules.
+    let g = write_temp(
+        "event_mat.td",
+        "base seen/1.\nevent ping/1.\n\
+         watched(X) <- seen(X).\n?- watched(1).\n",
+    );
+    let out = td()
+        .args(["--materialize", "run"])
+        .arg(&g)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--materialize"), "{err}");
+    assert!(err.contains("event"), "{err}");
+    // Without the offending flag the same program runs fine (event
+    // declarations alone are harmless outside serve — the history is
+    // simply empty).
+    let out = td().args(["run"]).arg(&g).output().unwrap();
+    assert!(!out.status.success(), "{out:?}"); // goal fails: seen is empty
+    let out = td().args(["fragment"]).arg(&f).output().unwrap();
+    assert!(
+        out.status.success(),
+        "fragment classifies, never fires: {out:?}"
+    );
+}
+
+/// End-to-end reactive flow over the real binary: ingest events with
+/// `td client event`, watch the trigger land, and check the report's
+/// events section.
+#[test]
+fn reactive_serve_over_the_binary() {
+    let f = write_temp("reactive_e2e.td", SERVE_LAB);
+    let dir = serve_dir("reactive");
+    let db_dir = dir.join("db");
+    let socket = dir.join("td.sock");
+    let report = dir.join("reactive_report.json");
+    let sock_flag = format!("--socket={}", socket.display());
+    let server = td()
+        .arg(format!("--db={}", db_dir.display()))
+        .arg(&sock_flag)
+        .arg(format!("--report={}", report.display()))
+        .args(["serve"])
+        .arg(&f)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        let out = td().args(["client", "ping", &sock_flag]).output().unwrap();
+        if out.status.success() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server did not come up: {:?}",
+            server.wait_with_output()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    // Ingest the pattern's two halves.
+    let out = td()
+        .args(["client", "event", "sample(7)", &sock_flag])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let line = String::from_utf8(out.stdout).unwrap();
+    assert!(line.contains("matched=0"), "{line}");
+    let out = td()
+        .args(["client", "event", "result(7, 2)", &sock_flag])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let line = String::from_utf8(out.stdout).unwrap();
+    assert!(line.contains("matched=1"), "{line}");
+    // The trigger runs on a background scheduler; poll until it lands.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        let out = td().args(["client", "stats", &sock_flag]).output().unwrap();
+        let line = String::from_utf8(out.stdout).unwrap();
+        if line.contains("triggers_fired=1") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "trigger did not fire: {line}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let out = td()
+        .args(["client", "run", "handled(S, Q)", &sock_flag])
+        .output()
+        .unwrap();
+    let line = String::from_utf8(out.stdout).unwrap();
+    assert!(line.contains("S=7") && line.contains("Q=2"), "{line}");
+    // A malformed event answers err (exit 1) without killing the server.
+    let out = td()
+        .args(["client", "event", "nope(1)", &sock_flag])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    // Stop; the summary and report carry the event counters.
+    let out = td().args(["client", "stop", &sock_flag]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = server.wait_with_output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 events ingested"), "{stdout}");
+    assert!(stdout.contains("1 triggers fired"), "{stdout}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"events\": {\"ingested\": 2"), "{json}");
+    assert!(json.contains("\"fired\": 1"), "{json}");
+    assert!(json.contains("\"events.ingested\": 2"), "{json}");
+    assert!(json.contains("\"triggers.fired\": 1"), "{json}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -23,6 +23,18 @@ pub enum CoreError {
     /// `ins`/`del` applied to a predicate that is not a declared base
     /// predicate (e.g. a derived predicate or an undeclared name).
     UpdateOnNonBase { pred: Pred },
+    /// `ins`/`del` applied to an event relation. Event relations are
+    /// append-only: tuples arrive solely through the server's event
+    /// ingestion surface, never from transaction bodies.
+    UpdateOnEvent { pred: Pred },
+    /// A trigger pattern leaf names a predicate that is not a declared
+    /// event relation (the `pred` carries the *declared* arity as written
+    /// in the pattern, without the timestamp column).
+    NotAnEvent { pred: Pred },
+    /// A trigger pattern has more leaves than the match automaton supports.
+    PatternTooLarge { leaves: usize, max: usize },
+    /// A `within` window bound must be a non-negative integer.
+    NegativeWindow { bound: i64 },
     /// `not` applied to a non-base predicate.
     NegationOnNonBase { pred: Pred },
     /// An atom refers to a predicate that is neither base nor derived.
@@ -56,6 +68,24 @@ impl fmt::Display for CoreError {
             ),
             CoreError::UpdateOnNonBase { pred } => {
                 write!(f, "ins/del applied to non-base predicate `{pred}`")
+            }
+            CoreError::UpdateOnEvent { pred } => write!(
+                f,
+                "ins/del applied to event relation `{pred}`; event relations \
+                 are append-only and change only via event ingestion"
+            ),
+            CoreError::NotAnEvent { pred } => write!(
+                f,
+                "trigger pattern atom `{pred}` does not name a declared event \
+                 relation"
+            ),
+            CoreError::PatternTooLarge { leaves, max } => write!(
+                f,
+                "trigger pattern has {leaves} event atoms; at most {max} are \
+                 supported"
+            ),
+            CoreError::NegativeWindow { bound } => {
+                write!(f, "`within` bound must be non-negative, found {bound}")
             }
             CoreError::NegationOnNonBase { pred } => {
                 write!(f, "`not` applied to non-base predicate `{pred}`")

@@ -37,6 +37,7 @@
 pub mod analysis;
 pub mod atom;
 pub mod error;
+pub mod event;
 pub mod fragment;
 pub mod goal;
 pub mod program;
@@ -50,6 +51,7 @@ pub mod validate;
 
 pub use atom::{Atom, Pred};
 pub use error::{CoreError, CoreResult};
+pub use event::{EventPattern, Trigger, MAX_PATTERN_LEAVES};
 pub use fragment::{Fragment, FragmentReport};
 pub use goal::{Builtin, Goal};
 pub use program::{Program, ProgramBuilder};

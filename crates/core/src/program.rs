@@ -23,6 +23,7 @@ pub struct Program {
     rules: Arc<Vec<Rule>>,
     by_head: Arc<HashMap<Pred, Vec<RuleId>>>,
     base: Arc<BTreeSet<Pred>>,
+    events: Arc<BTreeSet<Pred>>,
 }
 
 impl Program {
@@ -61,6 +62,33 @@ impl Program {
         self.by_head.contains_key(&pred)
     }
 
+    /// The declared event relations, as *stored* predicates: an
+    /// `event e/n.` declaration stores tuples of arity `n + 1`, the extra
+    /// (last) column being the ingestion timestamp. Event predicates are
+    /// also base predicates — rules may read them — but they are
+    /// append-only: `ins`/`del` on them is rejected by validation, and new
+    /// tuples arrive only through the server's event-ingestion surface.
+    pub fn event_preds(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.events.iter().copied()
+    }
+
+    /// Is `pred` (in stored form, timestamp column included) a declared
+    /// event relation?
+    pub fn is_event(&self, pred: Pred) -> bool {
+        self.events.contains(&pred)
+    }
+
+    /// Does the program declare any event relations?
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Look up a declared event relation by name, returning its stored
+    /// predicate (declared arity + 1).
+    pub fn event_by_name(&self, name: crate::symbol::Symbol) -> Option<Pred> {
+        self.events.iter().copied().find(|p| p.name == name)
+    }
+
     /// The derived predicates (those with rules), in arbitrary order.
     pub fn derived_preds(&self) -> impl Iterator<Item = Pred> + '_ {
         self.by_head.keys().copied()
@@ -79,8 +107,13 @@ impl Program {
     /// Render the program in concrete syntax, parseable by `td-parser`.
     pub fn to_source(&self) -> String {
         let mut out = String::new();
+        for p in self.events.iter() {
+            out.push_str(&format!("event {}/{}.\n", p.name, p.arity - 1));
+        }
         for p in self.base.iter() {
-            out.push_str(&format!("base {}/{}.\n", p.name, p.arity));
+            if !self.events.contains(p) {
+                out.push_str(&format!("base {}/{}.\n", p.name, p.arity));
+            }
         }
         if !self.base.is_empty() && !self.rules.is_empty() {
             out.push('\n');
@@ -104,12 +137,23 @@ impl fmt::Display for Program {
 pub struct ProgramBuilder {
     rules: Vec<Rule>,
     base: BTreeSet<Pred>,
+    events: BTreeSet<Pred>,
 }
 
 impl ProgramBuilder {
     /// Declare a base (database) predicate.
     pub fn base_pred(mut self, name: &str, arity: u32) -> Self {
         self.base.insert(Pred::new(name, arity));
+        self
+    }
+
+    /// Declare an event relation with its *declared* arity. The stored
+    /// predicate gains a trailing timestamp column (`arity + 1`) and is
+    /// registered as an append-only base relation.
+    pub fn event_pred(mut self, name: &str, arity: u32) -> Self {
+        let stored = Pred::new(name, arity + 1);
+        self.base.insert(stored);
+        self.events.insert(stored);
         self
     }
 
@@ -150,6 +194,7 @@ impl ProgramBuilder {
             rules: Arc::new(self.rules),
             by_head: Arc::new(by_head),
             base: Arc::new(self.base),
+            events: Arc::new(self.events),
         };
         crate::validate::validate(&program)?;
         Ok(program)
@@ -169,6 +214,7 @@ impl ProgramBuilder {
             rules: Arc::new(self.rules),
             by_head: Arc::new(by_head),
             base: Arc::new(self.base),
+            events: Arc::new(self.events),
         }
     }
 }
@@ -289,6 +335,28 @@ mod tests {
         assert!(consts.contains(&crate::term::Value::Int(3)));
         assert!(consts.contains(&crate::term::Value::Int(5)));
         assert_eq!(consts.len(), 3);
+    }
+
+    #[test]
+    fn event_preds_are_base_with_timestamp_column() {
+        let p = Program::builder()
+            .event_pred("sample", 1)
+            .base_pred("done", 1)
+            .build()
+            .unwrap();
+        let stored = Pred::new("sample", 2);
+        assert!(p.is_event(stored));
+        assert!(p.is_base(stored), "event relations are readable like base");
+        assert!(p.has_events());
+        assert_eq!(
+            p.event_by_name(crate::symbol::Symbol::intern("sample")),
+            Some(stored)
+        );
+        assert_eq!(p.event_preds().collect::<Vec<_>>(), vec![stored]);
+        let src = p.to_source();
+        assert!(src.contains("event sample/1.\n"), "got: {src}");
+        assert!(src.contains("base done/1.\n"));
+        assert!(!src.contains("base sample/2."), "stored form must not leak");
     }
 
     #[test]

@@ -97,6 +97,9 @@ fn check_goal(p: &Program, goal: &Goal) -> CoreResult<()> {
             Goal::NotAtom(a) if !p.is_base(a.pred) => {
                 err = Some(CoreError::NegationOnNonBase { pred: a.pred });
             }
+            Goal::Ins(a) | Goal::Del(a) if p.is_event(a.pred) => {
+                err = Some(CoreError::UpdateOnEvent { pred: a.pred });
+            }
             Goal::Ins(a) | Goal::Del(a) if !p.is_base(a.pred) => {
                 err = Some(CoreError::UpdateOnNonBase { pred: a.pred });
             }
@@ -194,6 +197,35 @@ mod tests {
                 pred: Pred::new("q", 0)
             }
         );
+    }
+
+    #[test]
+    fn update_on_event_relation_rejected() {
+        // Event relations read like base relations but are append-only:
+        // `ins`/`del` from a transaction body is a validation error.
+        let err = Program::builder()
+            .event_pred("sample", 1)
+            .rule_parts(
+                Atom::prop("r"),
+                Goal::ins("sample", vec![Term::var(0), Term::var(1)]),
+            )
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::UpdateOnEvent {
+                pred: Pred::new("sample", 2)
+            }
+        );
+        // Reading the stored form (timestamp column explicit) is fine.
+        let ok = Program::builder()
+            .event_pred("sample", 1)
+            .rule_parts(
+                Atom::prop("r"),
+                Goal::atom("sample", vec![Term::var(0), Term::var(1)]),
+            )
+            .build();
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -585,6 +585,21 @@ pub struct ServeReport {
     /// long-running server, surfaced rather than hidden.
     pub interned_symbols: u64,
     pub interned_bytes: u64,
+    /// Event occurrences ingested over the `event` verb.
+    pub events_ingested: u64,
+    /// Complex-event pattern matches completed.
+    pub triggers_matched: u64,
+    /// Trigger transactions executed to success (commit or read-only).
+    pub triggers_fired: u64,
+    /// OCC conflicts hit while executing trigger transactions.
+    pub triggers_conflicted: u64,
+    /// End-to-end trigger latency (event request start to trigger
+    /// completion), log2-bucketed: `trigger_latency[i]` counts latencies in
+    /// `[2^(i-1), 2^i)` microseconds.
+    pub trigger_latency: Vec<u64>,
+    /// Percentile upper bounds read off the histogram, microseconds.
+    pub trigger_p50_us: u64,
+    pub trigger_p99_us: u64,
 }
 
 /// The single JSON document `td run/decide --report=PATH` writes.
@@ -719,7 +734,10 @@ impl RunReport {
                 "  \"serve\": {{\"socket\": \"{}\", \"connections\": {}, \"requests\": {}, \
                  \"errors\": {}, \"commits\": {}, \"read_only\": {}, \"aborts\": {}, \
                  \"conflicts\": {}, \"groups\": {}, \"grouped_records\": {}, \
-                 \"max_group\": {}, \"interned_symbols\": {}, \"interned_bytes\": {}}},\n",
+                 \"max_group\": {}, \"interned_symbols\": {}, \"interned_bytes\": {}, \
+                 \"events\": {{\"ingested\": {}, \"matched\": {}, \"fired\": {}, \
+                 \"conflicted\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+                 \"latency_buckets\": [{}]}}}},\n",
                 json_escape(&s.socket),
                 s.connections,
                 s.requests,
@@ -732,7 +750,18 @@ impl RunReport {
                 s.grouped_records,
                 s.max_group,
                 s.interned_symbols,
-                s.interned_bytes
+                s.interned_bytes,
+                s.events_ingested,
+                s.triggers_matched,
+                s.triggers_fired,
+                s.triggers_conflicted,
+                s.trigger_p50_us,
+                s.trigger_p99_us,
+                s.trigger_latency
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )),
             None => out.push_str("  \"serve\": null,\n"),
         }

@@ -30,7 +30,7 @@ pub mod parser;
 pub mod token;
 
 pub use error::{ParseError, ParseErrorKind, ParseErrors};
-pub use parser::{parse_goal, parse_program, ParsedGoal, ParsedProgram};
+pub use parser::{parse_event, parse_goal, parse_program, ParsedGoal, ParsedProgram};
 pub use token::{Span, Tok, Token};
 
 #[cfg(test)]
@@ -250,6 +250,84 @@ mod tests {
         let p = parse_program(src).unwrap();
         let rep = FragmentReport::classify(&p.program, &p.goals[0].goal);
         assert_eq!(rep.fragment, Fragment::Nonrecursive);
+    }
+
+    #[test]
+    fn event_declarations_and_triggers_parse() {
+        let src = r#"
+            event sample/1.
+            event result/2.
+            base handled/1.
+            handle(S) <- ins.handled(S).
+            on within(seq(sample(S), result(S, Q)), 1000) do handle(S).
+        "#;
+        let p = parse_program(src).unwrap();
+        let stored = Pred::new("sample", 2);
+        assert!(p.program.is_event(stored));
+        assert!(p.program.is_base(stored));
+        assert_eq!(p.triggers.len(), 1);
+        let t = &p.triggers[0];
+        // Pattern and goal share one variable scope: S is var 0 in both.
+        assert_eq!(t.var_names[0].as_str(), "S");
+        assert_eq!(t.goal, Goal::atom("handle", vec![Term::var(0)]));
+        assert_eq!(
+            t.to_source(),
+            "on within(seq(sample(S), result(S, Q)), 1000) do handle(S)."
+        );
+    }
+
+    #[test]
+    fn trigger_pattern_leaves_must_be_events() {
+        let err = parse_program("base p/1. on p(X) do ().").unwrap_err();
+        assert!(err.to_string().contains("event"), "{err}");
+        // Wrong arity in the pattern is also rejected.
+        let err = parse_program("event e/1. on e(X, Y) do ().").unwrap_err();
+        assert!(err.to_string().contains("event"), "{err}");
+    }
+
+    #[test]
+    fn ins_del_and_init_on_event_relations_rejected() {
+        let err = parse_program("event e/1. r <- ins.e(a, 1).").unwrap_err();
+        assert!(err.to_string().contains("append-only"), "{err}");
+        let err = parse_program("event e/1. init e(a, 1).").unwrap_err();
+        assert!(err.to_string().contains("event ingestion"), "{err}");
+    }
+
+    #[test]
+    fn rules_may_read_event_history_with_timestamp_column() {
+        let src = "event e/1. recent(X) <- e(X, T) * T >= 100.";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.program.len(), 1);
+    }
+
+    #[test]
+    fn within_bound_must_be_nonnegative() {
+        let err = parse_program("event e/1. on within(e(X), -5) do ().").unwrap_err();
+        assert!(err.to_string().contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn event_on_do_are_reserved() {
+        assert!(parse_program("event <- ().").is_err());
+        assert!(parse_program("on <- ().").is_err());
+        assert!(parse_program("do <- ().").is_err());
+    }
+
+    #[test]
+    fn parse_event_requests() {
+        use td_core::Value;
+        let (name, args, ts) = parse_event("sample(s1, -3)").unwrap();
+        assert_eq!(name, "sample");
+        assert_eq!(args, vec![Value::sym("s1"), Value::Int(-3)]);
+        assert_eq!(ts, None);
+        let (name, args, ts) = parse_event("tick at 42").unwrap();
+        assert_eq!(name, "tick");
+        assert!(args.is_empty());
+        assert_eq!(ts, Some(42));
+        assert!(parse_event("sample(X)").is_err(), "variables rejected");
+        assert!(parse_event("sample(a) at -1").is_err(), "negative ts");
+        assert!(parse_event("sample(a) trailing").is_err());
+        assert!(parse_event("").is_err());
     }
 
     #[test]

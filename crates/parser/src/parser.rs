@@ -17,7 +17,8 @@
 use crate::error::{ParseError, ParseErrorKind, ParseErrors};
 use crate::lexer::Lexer;
 use crate::token::{Span, Tok, Token};
-use td_core::{Atom, Builtin, Goal, Program, Rule, Symbol, Term};
+use td_core::event::{validate_trigger, EventPattern, Trigger};
+use td_core::{Atom, Builtin, Goal, Program, Rule, Symbol, Term, Value};
 
 /// A goal together with the names of its free variables (display names for
 /// answer bindings).
@@ -37,11 +38,13 @@ pub struct ParsedProgram {
     pub init: Vec<Atom>,
     /// `?-` statements, in order.
     pub goals: Vec<ParsedGoal>,
+    /// `on <pattern> do <goal>.` triggers, in declaration order.
+    pub triggers: Vec<Trigger>,
 }
 
 /// Names that cannot be used as predicates or constants.
 const RESERVED: &[&str] = &[
-    "base", "init", "ins", "del", "iso", "not", "fail", "or", "is",
+    "base", "init", "ins", "del", "iso", "not", "fail", "or", "is", "event", "on", "do",
 ];
 
 /// Parse a complete `.td` source file.
@@ -85,6 +88,68 @@ pub fn parse_goal(src: &str, program: &Program) -> Result<ParsedGoal, ParseError
         var_names: scope.names,
         span: start,
     })
+}
+
+/// Parse an event-ingestion request body: `name(arg, ...) [at <ts>]`.
+///
+/// This is the payload of the serve protocol's `event` verb and of
+/// `td client event`. Arguments must be ground (symbols or integers); the
+/// optional `at <ts>` clause supplies an explicit non-negative timestamp,
+/// otherwise the server assigns its own clock reading.
+pub fn parse_event(src: &str) -> Result<(String, Vec<Value>, Option<u64>), ParseErrors> {
+    let one = |e: ParseError| ParseErrors { errors: vec![e] };
+    let tokens = Lexer::new(src).tokenize().map_err(one)?;
+    let mut p = Parser::new(tokens);
+    let (name, span) = p.ident("an event name").map_err(one)?;
+    p.check_not_reserved(&name, span).map_err(one)?;
+    let mut scope = VarScope::default();
+    let mut args = Vec::new();
+    if p.peek() == &Tok::LParen {
+        p.bump();
+        loop {
+            let tspan = p.span();
+            let term = p.term(&mut scope).map_err(one)?;
+            match term.as_value() {
+                Some(v) => args.push(v),
+                None => {
+                    return Err(one(ParseError::new(
+                        ParseErrorKind::Invalid(
+                            "event arguments must be ground (no variables)".to_owned(),
+                        ),
+                        tspan,
+                    )))
+                }
+            }
+            match p.peek() {
+                Tok::Comma => {
+                    p.bump();
+                }
+                Tok::RParen => {
+                    p.bump();
+                    break;
+                }
+                _ => return Err(one(p.unexpected("`,` or `)`"))),
+            }
+        }
+    }
+    let ts = match p.peek() {
+        Tok::Ident(s) if s == "at" => {
+            p.bump();
+            match p.peek() {
+                Tok::Int(n) if *n >= 0 => {
+                    let n = *n;
+                    p.bump();
+                    Some(u64::try_from(n).expect("non-negative i64 fits u64"))
+                }
+                _ => return Err(one(p.unexpected("a non-negative timestamp"))),
+            }
+        }
+        _ => None,
+    };
+    if p.peek() != &Tok::Eof {
+        return Err(one(p.unexpected("end of event")));
+    }
+    Ok((name, args, ts))
 }
 
 #[derive(Default)]
@@ -244,13 +309,18 @@ impl Parser {
         let mut builder = Program::builder();
         let mut init: Vec<Atom> = Vec::new();
         let mut goals: Vec<ParsedGoal> = Vec::new();
+        let mut triggers: Vec<Trigger> = Vec::new();
         let mut init_spans: Vec<Span> = Vec::new();
         let mut goal_spans: Vec<Span> = Vec::new();
+        let mut trigger_spans: Vec<Span> = Vec::new();
 
         while self.peek() != &Tok::Eof {
             match self.statement() {
                 Ok(Stmt::Base(name, arity)) => {
                     builder = builder.base_pred(&name, arity);
+                }
+                Ok(Stmt::Event(name, arity)) => {
+                    builder = builder.event_pred(&name, arity);
                 }
                 Ok(Stmt::Init(atom, span)) => {
                     init.push(atom);
@@ -262,6 +332,10 @@ impl Parser {
                 Ok(Stmt::Goal(g)) => {
                     goal_spans.push(g.span);
                     goals.push(g);
+                }
+                Ok(Stmt::Trigger(t, span)) => {
+                    triggers.push(t);
+                    trigger_spans.push(span);
                 }
                 Err(e) => {
                     errors.push(e);
@@ -282,9 +356,19 @@ impl Parser {
             }
         };
 
-        // Validate init atoms: ground, base predicate.
+        // Validate init atoms: ground, base predicate, not an event relation
+        // (event tuples arrive only via the server's ingestion surface).
         for (atom, span) in init.iter().zip(&init_spans) {
-            if !program.is_base(atom.pred) {
+            if program.is_event(atom.pred) {
+                errors.push(ParseError::new(
+                    ParseErrorKind::Invalid(format!(
+                        "init tuple for event relation `{}`; event tuples \
+                         arrive only via event ingestion",
+                        atom.pred
+                    )),
+                    *span,
+                ));
+            } else if !program.is_base(atom.pred) {
                 errors.push(ParseError::new(
                     ParseErrorKind::Invalid(format!(
                         "init tuple for `{}` which is not a base relation",
@@ -310,11 +394,23 @@ impl Parser {
             }
         }
 
+        // Validate triggers: pattern leaves name declared event relations at
+        // the declared arity, and the goal validates like a query.
+        for (t, span) in triggers.iter().zip(&trigger_spans) {
+            if let Err(e) = validate_trigger(&program, t) {
+                errors.push(ParseError::new(
+                    ParseErrorKind::Invalid(e.to_string()),
+                    *span,
+                ));
+            }
+        }
+
         if errors.is_empty() {
             Ok(ParsedProgram {
                 program,
                 init,
                 goals,
+                triggers,
             })
         } else {
             Err(ParseErrors { errors })
@@ -338,6 +434,44 @@ impl Parser {
                 };
                 self.expect(Tok::Dot, "`.`")?;
                 Ok(Stmt::Base(name, arity))
+            }
+            Tok::Ident(s) if s == "event" && matches!(self.peek2(), Tok::Ident(_)) => {
+                self.bump();
+                let (name, span) = self.ident("an event relation name")?;
+                self.check_not_reserved(&name, span)?;
+                self.expect(Tok::Slash, "`/` and an arity")?;
+                let arity = match self.peek() {
+                    Tok::Int(n) if *n >= 0 => {
+                        let n = *n;
+                        self.bump();
+                        u32::try_from(n).map_err(|_| self.unexpected("a small arity"))?
+                    }
+                    _ => return Err(self.unexpected("an arity")),
+                };
+                self.expect(Tok::Dot, "`.`")?;
+                Ok(Stmt::Event(name, arity))
+            }
+            Tok::Ident(s) if s == "on" => {
+                self.bump();
+                let span = self.span();
+                let mut scope = VarScope::default();
+                let pattern = self.pattern(&mut scope)?;
+                match self.peek() {
+                    Tok::Ident(s) if s == "do" => {
+                        self.bump();
+                    }
+                    _ => return Err(self.unexpected("`do` and a trigger goal")),
+                }
+                let goal = self.goal(&mut scope)?;
+                self.expect(Tok::Dot, "`.`")?;
+                Ok(Stmt::Trigger(
+                    Trigger {
+                        pattern,
+                        goal,
+                        var_names: scope.names,
+                    },
+                    span,
+                ))
             }
             Tok::Ident(s) if s == "init" && matches!(self.peek2(), Tok::Ident(_)) => {
                 self.bump();
@@ -554,6 +688,49 @@ impl Parser {
         }
     }
 
+    /// A complex-event pattern:
+    /// `seq(p, q)` | `and(p, q)` | `within(p, Δt)` | event atom.
+    /// `seq`, `and` and `within` are contextual: they act as combinators
+    /// only when followed by `(` inside a pattern.
+    fn pattern(&mut self, scope: &mut VarScope) -> Result<EventPattern, ParseError> {
+        self.enter()?;
+        let result = (|| match self.peek().clone() {
+            Tok::Ident(s) if (s == "seq" || s == "and") && self.peek2() == &Tok::LParen => {
+                self.bump();
+                self.bump();
+                let l = self.pattern(scope)?;
+                self.expect(Tok::Comma, "`,`")?;
+                let r = self.pattern(scope)?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(if s == "seq" {
+                    EventPattern::Seq(Box::new(l), Box::new(r))
+                } else {
+                    EventPattern::And(Box::new(l), Box::new(r))
+                })
+            }
+            Tok::Ident(s) if s == "within" && self.peek2() == &Tok::LParen => {
+                self.bump();
+                self.bump();
+                let p = self.pattern(scope)?;
+                self.expect(Tok::Comma, "`,`")?;
+                let bound = match self.peek() {
+                    Tok::Int(n) if *n >= 0 => {
+                        let n = *n;
+                        self.bump();
+                        u64::try_from(n).expect("non-negative i64 fits u64")
+                    }
+                    _ => return Err(self.unexpected("a non-negative window bound")),
+                };
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(EventPattern::Within(Box::new(p), bound))
+            }
+            Tok::Ident(_) => Ok(EventPattern::Atom(self.atom(scope)?)),
+            _ => Err(self.unexpected("an event pattern")),
+        })();
+        self.leave();
+        result
+    }
+
     /// Inside braces: `goal (or goal)*`.
     fn goal_or_choice(&mut self, scope: &mut VarScope) -> Result<Goal, ParseError> {
         let mut branches = vec![self.goal(scope)?];
@@ -567,7 +744,9 @@ impl Parser {
 
 enum Stmt {
     Base(String, u32),
+    Event(String, u32),
     Init(Atom, Span),
     Rule(Rule),
     Goal(ParsedGoal),
+    Trigger(Trigger, Span),
 }

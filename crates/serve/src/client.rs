@@ -122,6 +122,13 @@ impl Client {
         Ok(Reply::parse(&self.request(&format!("run {goal}"))?))
     }
 
+    /// Ingest one event occurrence, e.g. `sample(7)` or `result(7, 2) at 1500`.
+    /// Returns after the appended fact is durable; `bindings` carries the
+    /// server-assigned timestamp (`ts`) and trigger match count (`matched`).
+    pub fn event(&mut self, event: &str) -> std::io::Result<Reply> {
+        Ok(Reply::parse(&self.request(&format!("event {event}"))?))
+    }
+
     /// The server's counters as the raw `ok …` line.
     pub fn stats(&mut self) -> std::io::Result<String> {
         self.request("stats")

@@ -25,6 +25,9 @@
 //! <- no attempts=1 steps=17                  goal not executable
 //! <- err <reason>                            parse/engine/store error
 //!
+//! -> event <e>(<args>) [at <ts>]   append one event occurrence
+//! <- ok seq=9 attempts=1 ts=1712 matched=1   durable; 1 pattern match
+//!
 //! -> stats               one `ok` line of counters (see [`Server`] docs)
 //! -> ping                `ok pong` liveness probe
 //! -> stop                `ok stopping`; server drains and exits
@@ -33,6 +36,17 @@
 //! A `run` response is sent only after the commit (if any) is
 //! fsync-durable; `seq=-` marks read-only or failed goals, which leave no
 //! WAL record.
+//!
+//! ## Events and triggers
+//!
+//! The `event` verb appends a timestamped ground fact to a declared event
+//! relation through the same OCC + group-commit path as `run` — a burst of
+//! events from many connections batches into few fsyncs. Once the append
+//! is durable the event is fed to the [`td_events::Reactor`], and every
+//! completed complex-event match enqueues its trigger goal to a dedicated
+//! scheduler thread, which executes it as an ordinary OCC transaction.
+//! Matches fire exactly once per match while the server lives; queued
+//! trigger executions are *not* crash-durable (see `docs/EVENTS.md`).
 
 pub mod client;
 
@@ -40,13 +54,71 @@ pub use client::{Client, Reply};
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use td_core::Symbol;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+use td_core::{Symbol, Value};
+use td_db::{Delta, DeltaOp, Tuple};
 use td_engine::{Engine, EngineConfig, Outcome};
+use td_events::Reactor;
 use td_parser::ParsedProgram;
 use td_store::{ConcurrentStats, ConcurrentStore, Store, TxDecision, TxError, TxOptions};
+
+/// Number of log2 latency buckets: bucket `i` counts trigger executions
+/// whose ingest-to-durable latency was in `[2^(i-1), 2^i)` microseconds
+/// (bucket 0: zero). 2^31 µs ≈ 36 minutes, ample headroom.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// A log2-bucketed latency histogram, safely shared across threads.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one latency observation, in microseconds.
+    pub fn record(&self, us: u64) {
+        let b = if us == 0 {
+            0
+        } else {
+            (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+        };
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current bucket counts.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The upper bound (µs) of the bucket holding the `p`-th percentile
+/// observation — a conservative log2-resolution percentile. Returns 0 for
+/// an empty histogram.
+pub fn latency_percentile(buckets: &[u64], p: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * p).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= target {
+            return if i == 0 { 0 } else { 1u64 << i };
+        }
+    }
+    1u64 << (buckets.len() - 1)
+}
 
 /// Counters the server accumulates on top of the store's
 /// [`ConcurrentStats`]; everything lands in the `stats` protocol reply and
@@ -61,12 +133,32 @@ pub struct ServeCounters {
     pub errors: u64,
 }
 
+/// Event/trigger counters and latency as observed at shutdown.
+#[derive(Clone, Debug, Default)]
+pub struct EventsSummary {
+    /// Events ingested durably (the `events.ingested` counter).
+    pub ingested: u64,
+    /// Completed complex-event matches (`triggers.matched`).
+    pub matched: u64,
+    /// Trigger transactions executed successfully (`triggers.fired`).
+    pub fired: u64,
+    /// OCC conflicts hit while executing triggers (`triggers.conflicted`).
+    pub conflicted: u64,
+    /// Ingest-to-trigger-done latency, p50/p99 upper bounds in µs.
+    pub p50_us: u64,
+    pub p99_us: u64,
+    /// The raw log2 histogram buckets (see [`LATENCY_BUCKETS`]).
+    pub latency_buckets: Vec<u64>,
+}
+
 /// What [`Server::serve`] hands back after a clean shutdown.
 pub struct ServeSummary {
     /// Server-level counters.
     pub counters: ServeCounters,
     /// Store-level OCC/group-commit counters.
     pub stats: ConcurrentStats,
+    /// Event-ingestion and trigger-execution counters.
+    pub events: EventsSummary,
     /// Interner footprint at shutdown ([`Symbol::interned_count`],
     /// [`Symbol::interned_bytes`]) — the documented leak, made observable.
     pub interned_symbols: u64,
@@ -81,6 +173,59 @@ struct Shared {
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    events_ingested: AtomicU64,
+    triggers_matched: AtomicU64,
+    triggers_fired: AtomicU64,
+    triggers_conflicted: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            events_ingested: AtomicU64::new(0),
+            triggers_matched: AtomicU64::new(0),
+            triggers_fired: AtomicU64::new(0),
+            triggers_conflicted: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    fn events_summary(&self) -> EventsSummary {
+        let buckets = self.latency.snapshot();
+        EventsSummary {
+            ingested: self.events_ingested.load(Ordering::Relaxed),
+            matched: self.triggers_matched.load(Ordering::Relaxed),
+            fired: self.triggers_fired.load(Ordering::Relaxed),
+            conflicted: self.triggers_conflicted.load(Ordering::Relaxed),
+            p50_us: latency_percentile(&buckets, 0.50),
+            p99_us: latency_percentile(&buckets, 0.99),
+            latency_buckets: buckets,
+        }
+    }
+}
+
+/// Everything a connection handler or the trigger scheduler needs, shared
+/// once behind an `Arc`.
+struct ConnCtx {
+    program: ParsedProgram,
+    config: EngineConfig,
+    cs: ConcurrentStore,
+    shared: Shared,
+    socket: PathBuf,
+    reactor: Mutex<Reactor>,
+}
+
+/// A completed match handed to the trigger scheduler; `started` is taken
+/// when the *event* request arrived, so the recorded latency is true
+/// end-to-end (ingest to trigger durable).
+struct TriggerJob {
+    fired: td_events::Fired,
+    started: Instant,
 }
 
 /// A Unix-socket transaction server over one durable store.
@@ -119,44 +264,56 @@ impl Server {
     }
 
     /// Bind `socket` and serve until a client sends `stop`. Blocks the
-    /// calling thread; connection handlers run one thread each. Returns
-    /// the drained summary after the last in-flight request finishes.
+    /// calling thread; connection handlers run one thread each, and — if
+    /// the program declares triggers — a dedicated scheduler thread
+    /// executes trigger transactions in match order. Returns the drained
+    /// summary after the last in-flight request and trigger finish.
     pub fn serve(self, socket: &Path) -> std::io::Result<ServeSummary> {
         let listener = bind_socket(socket)?;
-        let shared = Arc::new(Shared {
-            shutdown: AtomicBool::new(false),
-            connections: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
+        let reactor = Reactor::new(&self.program.program, &self.program.triggers);
+        let ctx = Arc::new(ConnCtx {
+            program: self.program,
+            config: self.config,
+            cs: self.store.clone(),
+            shared: Shared::new(),
+            socket: socket.to_path_buf(),
+            reactor: Mutex::new(reactor),
         });
+        let (jobs, job_rx) = mpsc::channel::<TriggerJob>();
+        let scheduler = {
+            let ctx = ctx.clone();
+            std::thread::spawn(move || trigger_scheduler(job_rx, &ctx))
+        };
         let mut handlers = Vec::new();
         for stream in listener.incoming() {
-            if shared.shutdown.load(Ordering::SeqCst) {
+            if ctx.shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let stream = match stream {
                 Ok(s) => s,
                 Err(_) => continue,
             };
-            shared.connections.fetch_add(1, Ordering::Relaxed);
-            let program = self.program.clone();
-            let config = self.config.clone();
-            let cs = self.store.clone();
-            let shared = shared.clone();
-            let socket = socket.to_path_buf();
+            ctx.shared.connections.fetch_add(1, Ordering::Relaxed);
+            let ctx = ctx.clone();
+            let jobs = jobs.clone();
             handlers.push(std::thread::spawn(move || {
-                handle_connection(stream, &program, &config, &cs, &shared, &socket);
+                handle_connection(stream, &ctx, &jobs);
             }));
         }
         for h in handlers {
             let _ = h.join();
         }
+        // All connections are done: close the job channel and let the
+        // scheduler drain queued triggers before the store shuts down.
+        drop(jobs);
+        let _ = scheduler.join();
         let _ = std::fs::remove_file(socket);
         let counters = ServeCounters {
-            connections: shared.connections.load(Ordering::Relaxed),
-            requests: shared.requests.load(Ordering::Relaxed),
-            errors: shared.errors.load(Ordering::Relaxed),
+            connections: ctx.shared.connections.load(Ordering::Relaxed),
+            requests: ctx.shared.requests.load(Ordering::Relaxed),
+            errors: ctx.shared.errors.load(Ordering::Relaxed),
         };
+        let events = ctx.shared.events_summary();
         let stats = self.store.stats();
         let store = self
             .store
@@ -165,6 +322,7 @@ impl Server {
         Ok(ServeSummary {
             counters,
             stats,
+            events,
             interned_symbols: Symbol::interned_count(),
             interned_bytes: Symbol::interned_bytes(),
             store,
@@ -217,17 +375,10 @@ fn bind_socket(socket: &Path) -> std::io::Result<UnixListener> {
     }
 }
 
-fn handle_connection(
-    stream: UnixStream,
-    program: &ParsedProgram,
-    config: &EngineConfig,
-    cs: &ConcurrentStore,
-    shared: &Shared,
-    socket: &Path,
-) {
+fn handle_connection(stream: UnixStream, ctx: &ConnCtx, jobs: &mpsc::Sender<TriggerJob>) {
     // One engine per connection: `Engine` is not shared across threads, and
     // per-connection caches warm up across a client's requests.
-    let engine = Engine::with_config(program.program.clone(), config.clone());
+    let engine = Engine::with_config(ctx.program.program.clone(), ctx.config.clone());
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
@@ -242,18 +393,18 @@ fn handle_connection(
         if request.is_empty() {
             continue;
         }
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-        let (reply, stop) = dispatch(request, &engine, program, cs, shared);
+        ctx.shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (reply, stop) = dispatch(request, &engine, ctx, jobs);
         if reply.starts_with("err ") {
-            shared.errors.fetch_add(1, Ordering::Relaxed);
+            ctx.shared.errors.fetch_add(1, Ordering::Relaxed);
         }
         if writeln!(writer, "{}", sanitize(&reply)).is_err() {
             break;
         }
         if stop {
-            shared.shutdown.store(true, Ordering::SeqCst);
+            ctx.shared.shutdown.store(true, Ordering::SeqCst);
             // Unblock the accept loop so it observes the flag.
-            let _ = UnixStream::connect(socket);
+            let _ = UnixStream::connect(&ctx.socket);
             break;
         }
     }
@@ -262,9 +413,8 @@ fn handle_connection(
 fn dispatch(
     request: &str,
     engine: &Engine,
-    program: &ParsedProgram,
-    cs: &ConcurrentStore,
-    shared: &Shared,
+    ctx: &ConnCtx,
+    jobs: &mpsc::Sender<TriggerJob>,
 ) -> (String, bool) {
     let (verb, rest) = match request.split_once(char::is_whitespace) {
         Some((v, r)) => (v, r.trim()),
@@ -273,14 +423,143 @@ fn dispatch(
     match verb {
         "ping" => ("ok pong".to_owned(), false),
         "stop" => ("ok stopping".to_owned(), true),
-        "stats" => (stats_line(cs, shared), false),
-        "run" if !rest.is_empty() => (run_goal(engine, program, cs, rest), false),
+        "stats" => (stats_line(ctx), false),
+        "run" if !rest.is_empty() => (run_goal(engine, &ctx.program, &ctx.cs, rest), false),
         "run" => ("err run: missing goal".to_owned(), false),
+        "event" if !rest.is_empty() => (ingest_event(rest, ctx, jobs), false),
+        "event" => ("err event: missing event atom".to_owned(), false),
         other => (
-            format!("err unknown command `{other}` (try: run/stats/ping/stop)"),
+            format!("err unknown command `{other}` (try: run/event/stats/ping/stop)"),
             false,
         ),
     }
+}
+
+/// Handle one `event` request: parse, append the timestamped fact durably
+/// through OCC + group commit, then feed the reactor and enqueue every
+/// completed match for the trigger scheduler.
+///
+/// The stored relation has set semantics, so a duplicate `(args, ts)`
+/// tuple changes nothing in the database (the append reports `seq=-`), but
+/// each ingestion is still a distinct *occurrence* for pattern matching.
+fn ingest_event(src: &str, ctx: &ConnCtx, jobs: &mpsc::Sender<TriggerJob>) -> String {
+    let started = Instant::now();
+    let (name, args, explicit_ts) = match td_parser::parse_event(src) {
+        Ok(parts) => parts,
+        Err(e) => return format!("err parse: {}", first_line(&e.to_string())),
+    };
+    let Some(stored) = ctx.program.program.event_by_name(Symbol::intern(&name)) else {
+        return format!("err event: `{name}` is not a declared event relation");
+    };
+    if stored.arity as usize != args.len() + 1 {
+        return format!(
+            "err event: `{name}` is declared with arity {}, got {} arguments",
+            stored.arity - 1,
+            args.len()
+        );
+    }
+    let ts = explicit_ts.unwrap_or_else(now_ms);
+    let Ok(ts_int) = i64::try_from(ts) else {
+        return "err event: timestamp too large".to_owned();
+    };
+    let mut values = args.clone();
+    values.push(Value::Int(ts_int));
+    let tuple = Tuple::new(values);
+    let result = ctx.cs.transaction(|db| {
+        if db.contains(stored, &tuple) {
+            Ok::<_, std::convert::Infallible>(TxDecision::ReadOnly(()))
+        } else {
+            let mut delta = Delta::new();
+            delta.push(DeltaOp::Ins(stored, tuple.clone()));
+            Ok(TxDecision::Commit(delta, ()))
+        }
+    });
+    match result {
+        Ok(receipt) => {
+            ctx.shared.events_ingested.fetch_add(1, Ordering::Relaxed);
+            let fires = {
+                let mut reactor = ctx.reactor.lock().expect("reactor poisoned by panic");
+                reactor.ingest(stored.name, &args, ts)
+            };
+            let matched = fires.len();
+            ctx.shared
+                .triggers_matched
+                .fetch_add(matched as u64, Ordering::Relaxed);
+            for fired in fires {
+                // Send can only fail after shutdown joined the scheduler,
+                // which cannot happen while this connection is live.
+                let _ = jobs.send(TriggerJob { fired, started });
+            }
+            let seq = receipt
+                .seq
+                .map_or_else(|| "-".to_owned(), |s| s.to_string());
+            format!(
+                "ok seq={seq} attempts={} ts={ts} matched={matched}",
+                receipt.attempts
+            )
+        }
+        Err(TxError::Conflict { attempts }) => {
+            format!("err conflict: gave up after {attempts} attempts")
+        }
+        Err(TxError::Store(e)) => format!("err store: {}", first_line(&e.to_string())),
+        Err(TxError::App(e)) => match e {},
+    }
+}
+
+/// The trigger scheduler: one thread draining completed matches in order,
+/// executing each trigger goal as an ordinary OCC transaction. A single
+/// thread gives exactly-once execution per match and a deterministic
+/// trigger order (match order); OCC retries handle conflicts with
+/// concurrent client transactions.
+fn trigger_scheduler(rx: mpsc::Receiver<TriggerJob>, ctx: &ConnCtx) {
+    let engine = Engine::with_config(ctx.program.program.clone(), ctx.config.clone());
+    for job in rx {
+        run_trigger(&engine, ctx, &job);
+    }
+}
+
+fn run_trigger(engine: &Engine, ctx: &ConnCtx, job: &TriggerJob) {
+    let result = ctx
+        .cs
+        .transaction(|db| match engine.solve(&job.fired.goal, db) {
+            Ok(Outcome::Success(sol)) => {
+                if sol.delta.is_empty() {
+                    Ok(TxDecision::ReadOnly(true))
+                } else {
+                    Ok(TxDecision::Commit(sol.delta.clone(), true))
+                }
+            }
+            Ok(Outcome::Failure { .. }) => Ok(TxDecision::Abort(false)),
+            Err(e) => Err(e.to_string()),
+        });
+    let shared = &ctx.shared;
+    match result {
+        Ok(receipt) => {
+            if receipt.attempts > 1 {
+                shared
+                    .triggers_conflicted
+                    .fetch_add(u64::from(receipt.attempts - 1), Ordering::Relaxed);
+            }
+            if receipt.value {
+                shared.triggers_fired.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Err(TxError::Conflict { attempts }) => {
+            shared
+                .triggers_conflicted
+                .fetch_add(u64::from(attempts), Ordering::Relaxed);
+        }
+        Err(_) => {}
+    }
+    let us = u64::try_from(job.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    shared.latency.record(us);
+}
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
 }
 
 /// One request = one top-level transaction, end to end: parse, solve
@@ -328,12 +607,16 @@ fn run_goal(engine: &Engine, program: &ParsedProgram, cs: &ConcurrentStore, src:
     }
 }
 
-fn stats_line(cs: &ConcurrentStore, shared: &Shared) -> String {
-    let s = cs.stats();
+fn stats_line(ctx: &ConnCtx) -> String {
+    let s = ctx.cs.stats();
+    let shared = &ctx.shared;
+    let ev = shared.events_summary();
     format!(
         "ok commits={} read_only={} aborts={} conflicts={} conflict_failures={} \
          groups={} grouped_records={} max_group={} mean_group={:.2} durable={} \
-         connections={} requests={} errors={} interned_syms={} interned_bytes={}",
+         connections={} requests={} errors={} interned_syms={} interned_bytes={} \
+         events_ingested={} triggers_matched={} triggers_fired={} \
+         triggers_conflicted={} trigger_p50_us={} trigger_p99_us={}",
         s.commits,
         s.read_only,
         s.aborts,
@@ -343,12 +626,18 @@ fn stats_line(cs: &ConcurrentStore, shared: &Shared) -> String {
         s.grouped_records,
         s.max_group,
         s.mean_group(),
-        cs.durable_records(),
+        ctx.cs.durable_records(),
         shared.connections.load(Ordering::Relaxed),
         shared.requests.load(Ordering::Relaxed),
         shared.errors.load(Ordering::Relaxed),
         Symbol::interned_count(),
         Symbol::interned_bytes(),
+        ev.ingested,
+        ev.matched,
+        ev.fired,
+        ev.conflicted,
+        ev.p50_us,
+        ev.p99_us,
     )
 }
 

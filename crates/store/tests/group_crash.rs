@@ -71,6 +71,59 @@ fn grouped_store(dir: &Path) -> Vec<Boundary> {
     boundaries
 }
 
+/// An event append as the serve layer commits it: one `Ins` on the event's
+/// stored relation, value plus trailing timestamp column.
+fn event_ins(i: i64, ts: i64) -> Delta {
+    let mut d = Delta::new();
+    d.push(DeltaOp::Ins(Pred::new("ev", 2), tuple!(i, ts)));
+    d
+}
+
+/// The WAL shape of a reactive server under load: single-record event
+/// appends interleaved with multi-commit group frames (client transactions
+/// batched by the group committer). Every boundary — after each event
+/// record and after each whole group — is a legal recovery point.
+fn reactive_store(dir: &Path) -> Vec<Boundary> {
+    let schema = td_db::Database::new()
+        .declare(Pred::new("n", 1))
+        .declare(Pred::new("ev", 2));
+    let mut store = Store::init(dir, &schema).unwrap();
+    let wal = dir.join(WAL_FILE);
+    let mut boundaries = vec![Boundary {
+        records: 0,
+        digest: store.db().digest(),
+        wal_len: faultfs::file_len(&wal).unwrap(),
+    }];
+    let push = |store: &Store, boundaries: &mut Vec<Boundary>| {
+        boundaries.push(Boundary {
+            records: store.wal_records(),
+            digest: store.db().digest(),
+            wal_len: faultfs::file_len(&wal).unwrap(),
+        });
+    };
+    let mut next = 0i64;
+    let mut ts = 100i64;
+    for size in [2usize, 1, 3, 2] {
+        // One event append, then a group of client commits, then another
+        // event append — the interleaving a burst of ingestion produces.
+        ts += 7;
+        store.commit(&event_ins(ts, ts)).unwrap();
+        push(&store, &mut boundaries);
+        let deltas: Vec<Delta> = (0..size)
+            .map(|_| {
+                next += 1;
+                ins(next)
+            })
+            .collect();
+        store.commit_group(&deltas).unwrap();
+        push(&store, &mut boundaries);
+        ts += 7;
+        store.commit(&event_ins(ts, ts)).unwrap();
+        push(&store, &mut boundaries);
+    }
+    boundaries
+}
+
 #[test]
 fn every_byte_cut_recovers_a_prefix_of_whole_groups() {
     let base = temp_dir("cut_base");
@@ -137,6 +190,74 @@ fn byte_corruption_inside_groups_never_yields_a_new_state() {
                         && b.records == store.recovery().replayed),
                 "flip at {offset}: recovered records={} digest={:032x} \
                  is not a group boundary",
+                store.recovery().replayed,
+                store.db().digest()
+            );
+        }
+    }
+    fs::remove_dir_all(&base).unwrap();
+    fs::remove_dir_all(&scratch).unwrap();
+}
+
+#[test]
+fn every_byte_cut_over_interleaved_event_appends_recovers_a_boundary() {
+    let base = temp_dir("event_cut_base");
+    let boundaries = reactive_store(&base);
+    let full_len = boundaries.last().unwrap().wal_len;
+    // 4 rounds × (event + group + event) = 8 event records + 8 grouped.
+    assert_eq!(boundaries.last().unwrap().records, 16);
+    let scratch = temp_dir("event_cut_scratch");
+    for cut in boundaries[0].wal_len..=full_len {
+        let _ = fs::remove_dir_all(&scratch);
+        faultfs::copy_dir(&base, &scratch).unwrap();
+        faultfs::truncate_to(&scratch.join(WAL_FILE), cut).unwrap();
+        let store = Store::open(&scratch).unwrap();
+        // All-or-nothing at every grain: a cut inside an event record
+        // drops that whole record, a cut inside a group drops the whole
+        // group — recovery lands exactly on the largest boundary ≤ cut.
+        let expected = boundaries
+            .iter()
+            .rev()
+            .find(|b| b.wal_len <= cut)
+            .expect("boundary 0 is always <= cut");
+        assert_eq!(
+            store.recovery().replayed,
+            expected.records,
+            "cut at {cut}: replayed a non-boundary record count"
+        );
+        assert_eq!(
+            store.db().digest(),
+            expected.digest,
+            "cut at {cut}: recovered state is not a commit-boundary state"
+        );
+        assert_eq!(
+            store.recovery().torn_bytes,
+            cut - expected.wal_len,
+            "cut at {cut}"
+        );
+    }
+    fs::remove_dir_all(&base).unwrap();
+    fs::remove_dir_all(&scratch).unwrap();
+}
+
+#[test]
+fn byte_corruption_over_interleaved_event_appends_never_yields_a_new_state() {
+    let base = temp_dir("event_flip_base");
+    let boundaries = reactive_store(&base);
+    let full_len = boundaries.last().unwrap().wal_len;
+    let scratch = temp_dir("event_flip_scratch");
+    for offset in 0..full_len {
+        let _ = fs::remove_dir_all(&scratch);
+        faultfs::copy_dir(&base, &scratch).unwrap();
+        faultfs::flip_byte(&scratch.join(WAL_FILE), offset, 0x40).unwrap();
+        if let Ok(store) = Store::open(&scratch) {
+            assert!(
+                boundaries
+                    .iter()
+                    .any(|b| b.digest == store.db().digest()
+                        && b.records == store.recovery().replayed),
+                "flip at {offset}: recovered records={} digest={:032x} \
+                 is not a commit boundary",
                 store.recovery().replayed,
                 store.db().digest()
             );
