@@ -111,6 +111,7 @@ fn drive_concurrent(dir: &std::path::Path, clients: usize, accounts: usize) -> L
         .with_options(TxOptions {
             max_attempts: 1_000,
             backoff: Duration::from_micros(10),
+            ..TxOptions::default()
         });
     let start = Instant::now();
     let workers: Vec<_> = (0..clients)
@@ -122,7 +123,10 @@ fn drive_concurrent(dir: &std::path::Path, clients: usize, accounts: usize) -> L
                     let (from, to) = pair(accounts, c, k);
                     let t0 = Instant::now();
                     cs.transaction(|db| {
-                        Ok::<_, String>(TxDecision::Commit(transfer_delta(db, from, to), ()))
+                        Ok::<_, String>(TxDecision::commit_whole_db(
+                            transfer_delta(db, from, to),
+                            (),
+                        ))
                     })
                     .unwrap();
                     lat.push(t0.elapsed().as_micros() as u64);
@@ -248,8 +252,10 @@ fn bench_serve_load(c: &mut Criterion) {
     let mut group = c.benchmark_group("e19/commit");
     group.bench_function("single_client_durable_commit", |b| {
         b.iter(|| {
-            cs.transaction(|db| Ok::<_, String>(TxDecision::Commit(transfer_delta(db, 0, 1), ())))
-                .unwrap()
+            cs.transaction(|db| {
+                Ok::<_, String>(TxDecision::commit_whole_db(transfer_delta(db, 0, 1), ()))
+            })
+            .unwrap()
         });
     });
     group.finish();

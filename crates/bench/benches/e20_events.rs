@@ -66,6 +66,7 @@ fn drive(dir: &std::path::Path, clients: usize) -> LoadResult {
         TxOptions {
             max_attempts: 1_000,
             backoff: Duration::from_micros(10),
+            ..TxOptions::default()
         },
     )
     .unwrap();

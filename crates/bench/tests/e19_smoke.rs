@@ -106,6 +106,7 @@ fn run_group_commit(dir: &std::path::Path) -> Measured {
         .with_options(TxOptions {
             max_attempts: 1_000,
             backoff: Duration::from_micros(10),
+            ..TxOptions::default()
         });
     let start = Instant::now();
     let workers: Vec<_> = (0..CLIENTS)
@@ -117,7 +118,10 @@ fn run_group_commit(dir: &std::path::Path) -> Measured {
                 for _ in 0..OPS_PER_CLIENT {
                     let t0 = Instant::now();
                     cs.transaction(|db| {
-                        Ok::<_, String>(TxDecision::Commit(transfer_delta(db, from, to), ()))
+                        Ok::<_, String>(TxDecision::commit_whole_db(
+                            transfer_delta(db, from, to),
+                            (),
+                        ))
                     })
                     .unwrap();
                     lat.push(t0.elapsed().as_micros() as u64);

@@ -57,6 +57,7 @@ fn drive() -> (Duration, ServeSummary) {
         TxOptions {
             max_attempts: 1_000,
             backoff: Duration::from_micros(10),
+            ..TxOptions::default()
         },
     )
     .unwrap();

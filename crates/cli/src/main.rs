@@ -93,6 +93,8 @@ struct CliOptions {
     db: Option<String>,
     /// `--socket=PATH`: Unix socket for `serve`/`client`.
     socket: Option<String>,
+    /// `--occ=read-set|whole-db`: commit-validation rule for `serve`.
+    occ: Option<td_store::Validation>,
     /// Names of the options present on the command line, for per-command
     /// incompatibility checks (`serve`/`client` reject most engine flags
     /// loudly instead of ignoring them — the PR-3/PR-5 fail-fast rule).
@@ -110,6 +112,7 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> 
     let mut report = None;
     let mut db = None;
     let mut socket = None;
+    let mut occ = None;
     let mut seen = Vec::new();
     let mut rest = Vec::new();
     for a in args {
@@ -160,6 +163,9 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> 
                 return Err("--socket needs a path".into());
             }
             socket = Some(v.to_owned());
+        } else if let Some(v) = a.strip_prefix("--occ=") {
+            seen.push("--occ");
+            occ = Some(v.parse::<td_store::Validation>()?);
         } else if a.starts_with("--") {
             return Err(format!("unknown option `{a}`"));
         } else {
@@ -202,6 +208,7 @@ fn parse_options(args: &[String]) -> Result<(CliOptions, Vec<&String>), String> 
             report,
             db,
             socket,
+            occ,
             seen,
         },
         rest,
@@ -270,7 +277,7 @@ fn main() -> ExitCode {
        [--deterministic] [--subgoal-cache] [--cache-capacity=N] \
        [--report=PATH] [--log-json=PATH] [--db=DIR] \
        <run|trace|fragment|decide|repl> <file.td>\n\
-       td serve <file.td> --db=DIR [--socket=PATH] [--report=PATH]\n\
+       td serve <file.td> --db=DIR [--socket=PATH] [--occ=read-set|whole-db] [--report=PATH]\n\
        td client <request...> --socket=PATH\n\
        td db <init|snapshot|verify|log> <DIR> [file.td]"
             );
@@ -282,6 +289,8 @@ fn main() -> ExitCode {
     // to refuse loudly rather than silently ignore. The full matrix:
     //   --db        required (the server exists to share the durable store)
     //   --socket    optional (defaults to <db-dir>/td.sock)
+    //   --occ       optional (read-set default; whole-db = the fallback
+    //               validation rule, for differential runs)
     //   --report    allowed (written at shutdown, `serve` section filled)
     //   --strategy=random / --seed   rejected: retries under OCC re-run a
     //               goal at unpredictable times; a seed cannot make the
@@ -325,6 +334,15 @@ fn main() -> ExitCode {
         }
     } else if opts.socket.is_some() {
         eprintln!("td: --socket only applies to `serve` and `client`");
+        return ExitCode::from(2);
+    }
+    // The validation rule is a property of the *store's* commit path; only
+    // the server owns one. Everywhere else the flag would be a silent no-op.
+    if opts.occ.is_some() && cmd != "serve" {
+        eprintln!(
+            "td: --occ only applies to `serve` (it selects the server's \
+             commit-validation rule; see docs/SERVE.md)"
+        );
         return ExitCode::from(2);
     }
     // Tracing and the subgoal cache are semantically incompatible (a
@@ -503,12 +521,11 @@ fn serve_command(parsed: td_parser::ParsedProgram, opts: &CliOptions, file: &str
         .clone()
         .unwrap_or_else(|| format!("{}/td.sock", dir.trim_end_matches('/')));
     let started = Instant::now();
-    let server = match td_serve::Server::open(
-        parsed,
-        opts.config.clone(),
-        Path::new(dir),
-        td_store::TxOptions::default(),
-    ) {
+    let tx = td_store::TxOptions {
+        validation: opts.occ.unwrap_or_default(),
+        ..td_store::TxOptions::default()
+    };
+    let server = match td_serve::Server::open(parsed, opts.config.clone(), Path::new(dir), tx) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("td: opening store `{dir}`: {e}");
@@ -529,7 +546,8 @@ fn serve_command(parsed: td_parser::ParsedProgram, opts: &CliOptions, file: &str
     let stats = summary.stats;
     println!(
         "serve: {} connections, {} requests; {} commits in {} groups \
-         (mean group {:.2}, max {}), {} conflicts, {} read-only, {} aborts",
+         (mean group {:.2}, max {}), {} conflicts, {} read-only, {} aborts \
+         [occ={}]",
         summary.counters.connections,
         summary.counters.requests,
         stats.commits,
@@ -539,7 +557,26 @@ fn serve_command(parsed: td_parser::ParsedProgram, opts: &CliOptions, file: &str
         stats.conflicts,
         stats.read_only,
         stats.aborts,
+        summary.occ,
     );
+    if !summary.conflict_relations.is_empty() || summary.counters.retries_exhausted > 0 {
+        let attribution = summary
+            .conflict_relations
+            .iter()
+            .map(|(p, n)| format!("{p}:{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "serve: conflicts by relation: {} ({} transactions exhausted \
+             their retry budget)",
+            if attribution.is_empty() {
+                "-".to_owned()
+            } else {
+                attribution
+            },
+            summary.counters.retries_exhausted,
+        );
+    }
     let ev = &summary.events;
     if ev.ingested > 0 || ev.matched > 0 {
         println!(
@@ -559,6 +596,11 @@ fn serve_command(parsed: td_parser::ParsedProgram, opts: &CliOptions, file: &str
             ("serve.read_only", stats.read_only),
             ("serve.aborts", stats.aborts),
             ("serve.conflicts", stats.conflicts),
+            ("serve.conflict_failures", stats.conflict_failures),
+            (
+                "serve.retries_exhausted",
+                summary.counters.retries_exhausted,
+            ),
             ("serve.groups", stats.groups),
             ("serve.grouped_records", stats.grouped_records),
             ("serve.interned_symbols", summary.interned_symbols),
@@ -591,6 +633,9 @@ fn serve_command(parsed: td_parser::ParsedProgram, opts: &CliOptions, file: &str
                 read_only: stats.read_only,
                 aborts: stats.aborts,
                 conflicts: stats.conflicts,
+                occ: summary.occ.to_string(),
+                retries_exhausted: summary.counters.retries_exhausted,
+                conflict_relations: summary.conflict_relations.clone(),
                 groups: stats.groups,
                 grouped_records: stats.grouped_records,
                 max_group: stats.max_group,
@@ -636,6 +681,7 @@ fn client_command(args: &[&String], opts: &CliOptions) -> ExitCode {
         "--report",
         "--log-json",
         "--db",
+        "--occ",
     ];
     if let Some(flag) = opts.seen.iter().find(|f| INCOMPATIBLE.contains(f)) {
         eprintln!(

@@ -442,6 +442,29 @@ fn serve_flag_matrix_rejections_exit_2() {
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("--socket"), "{err}");
+    // --occ outside serve: the validation rule belongs to the server's
+    // commit path; anywhere else the flag would be a silent no-op.
+    for cmd in ["run", "decide", "trace", "fragment"] {
+        let out = td().args(["--occ=read-set", cmd]).arg(&f).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{cmd}: {out:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("--occ only applies to `serve`"),
+            "{cmd}: {err}"
+        );
+    }
+    // --occ with a value that names no validation rule.
+    let out = td()
+        .args(["--occ=eager", &db, "serve"])
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("read-set") && err.contains("whole-db"),
+        "diagnostic must name the valid modes: {err}"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -454,6 +477,7 @@ fn client_flag_matrix_rejections_exit_2() {
         vec!["--threads=2", "client", "ping"],
         vec!["--subgoal-cache", "client", "ping"],
         vec!["--report=/tmp/r.json", "client", "ping"],
+        vec!["--occ=whole-db", "client", "ping"],
     ] {
         let out = td().args(&flags).output().unwrap();
         assert_eq!(out.status.code(), Some(2), "{flags:?}: {out:?}");
@@ -521,11 +545,15 @@ fn serve_and_client_round_trip_over_the_binary() {
         .unwrap();
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     assert!(String::from_utf8(out.stdout).unwrap().starts_with("no "));
-    // Counters visible over the wire.
+    // Counters visible over the wire, including the OCC mode and the
+    // starvation counter.
     let out = td().args(["client", "stats", &sock_flag]).output().unwrap();
     let line = String::from_utf8(out.stdout).unwrap();
     assert!(line.contains("commits=1"), "{line}");
     assert!(line.contains("aborts=1"), "{line}");
+    assert!(line.contains("occ=read-set"), "{line}");
+    assert!(line.contains("retries_exhausted=0"), "{line}");
+    assert!(line.contains("conflict_preds=-"), "{line}");
     // Stop and check the shutdown summary + report.
     let out = td().args(["client", "stop", &sock_flag]).output().unwrap();
     assert!(out.status.success(), "{out:?}");
@@ -537,6 +565,56 @@ fn serve_and_client_round_trip_over_the_binary() {
     assert!(json.contains("\"command\": \"serve\""), "{json}");
     assert!(json.contains("\"commits\": 1"), "{json}");
     assert!(json.contains("\"serve.commits\": 1"), "{json}");
+    assert!(json.contains("\"occ\": \"read-set\""), "{json}");
+    assert!(json.contains("\"retries_exhausted\": 0"), "{json}");
+    assert!(json.contains("\"conflict_relations\": {}"), "{json}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `--occ=whole-db` selects the fallback validation rule: the server comes
+/// up, reports the mode in `stats`, and still serves transactions.
+#[test]
+fn serve_whole_db_occ_mode_round_trips() {
+    let f = write_temp("serve_wholedb.td", SERVE_BANKING);
+    let dir = serve_dir("wholedb");
+    let socket = dir.join("td.sock");
+    let sock_flag = format!("--socket={}", socket.display());
+    let server = td()
+        .arg(format!("--db={}", dir.join("db").display()))
+        .arg(&sock_flag)
+        .args(["--occ=whole-db", "serve"])
+        .arg(&f)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        let out = td().args(["client", "ping", &sock_flag]).output().unwrap();
+        if out.status.success() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server did not come up: {:?}",
+            server.wait_with_output()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let out = td()
+        .args(["client", "run", "transfer(10, acct1, acct2)", &sock_flag])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = td().args(["client", "stats", &sock_flag]).output().unwrap();
+    let line = String::from_utf8(out.stdout).unwrap();
+    assert!(line.contains("occ=whole-db"), "{line}");
+    let out = td().args(["client", "stop", &sock_flag]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = server.wait_with_output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("occ=whole-db"), "{stdout}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -205,6 +205,22 @@ impl Database {
         self.digest
     }
 
+    /// The stable per-relation digest of `pred`'s relation: exactly this
+    /// relation's contribution to [`Database::digest`]. 0 for an empty or
+    /// undeclared relation (consistently with the whole-db digest, where
+    /// empty relations contribute nothing), so declaring a relation never
+    /// changes its per-relation digest. O(1): the underlying relation
+    /// digest is maintained incrementally.
+    ///
+    /// Two databases agree on `relation_digest(p)` iff `p`'s relation has
+    /// equal content in both (up to a 2⁻¹²⁸ collision) — the comparison
+    /// fine-grained OCC validation makes per read relation.
+    pub fn relation_digest(&self, pred: Pred) -> u128 {
+        self.rels
+            .get(&pred)
+            .map_or(0, |rel| contribution(pred, rel))
+    }
+
     /// Recompute the digest by walking every relation. Always equal to
     /// [`Database::digest`]; exists as the test oracle for the incremental
     /// maintenance.
@@ -401,6 +417,35 @@ mod tests {
         let db = Database::with_schema_of(&prog);
         assert_eq!(db.preds().count(), 2);
         assert!(db.relation(p("item", 1)).is_some());
+    }
+
+    #[test]
+    fn relation_digest_is_the_digest_contribution() {
+        let db = Database::new().declare(p("a", 1));
+        // Empty and undeclared relations both digest to 0.
+        assert_eq!(db.relation_digest(p("a", 1)), 0);
+        assert_eq!(db.relation_digest(p("nope", 1)), 0);
+        let (db1, _) = db.insert(p("a", 1), &tuple!(1)).unwrap();
+        let (db2, _) = db1.insert(p("b", 1), &tuple!(2)).unwrap();
+        // Writing `b` leaves `a`'s per-relation digest alone.
+        assert_eq!(
+            db1.relation_digest(p("a", 1)),
+            db2.relation_digest(p("a", 1))
+        );
+        assert_ne!(db2.relation_digest(p("b", 1)), 0);
+        // The whole-db digest is exactly the XOR of the contributions.
+        assert_eq!(
+            db2.digest(),
+            db2.relation_digest(p("a", 1)) ^ db2.relation_digest(p("b", 1))
+        );
+        // Restoring content restores the per-relation digest (ABA is fine:
+        // digest-equal means content-equal).
+        let (db3, _) = db2.delete(p("a", 1), &tuple!(1)).unwrap();
+        let (db4, _) = db3.insert(p("a", 1), &tuple!(1)).unwrap();
+        assert_eq!(
+            db4.relation_digest(p("a", 1)),
+            db2.relation_digest(p("a", 1))
+        );
     }
 
     #[test]

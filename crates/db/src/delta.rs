@@ -99,6 +99,18 @@ impl Delta {
         Ok(cur)
     }
 
+    /// The write set: every predicate this delta touches, deduplicated and
+    /// sorted. This is the per-relation summary commit validation and
+    /// conflict attribution work from.
+    pub fn write_set(&self) -> std::collections::BTreeSet<Pred> {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                DeltaOp::Ins(p, _) | DeltaOp::Del(p, _) => *p,
+            })
+            .collect()
+    }
+
     /// Counts of insertions and deletions.
     pub fn counts(&self) -> (usize, usize) {
         let ins = self
@@ -160,6 +172,17 @@ mod tests {
         d.push(DeltaOp::Ins(p("a", 0), Tuple::unit()));
         assert_eq!(d.counts(), (2, 1));
         assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn write_set_dedups_touched_preds() {
+        let mut d = Delta::new();
+        d.push(DeltaOp::Ins(p("a", 1), tuple!(1)));
+        d.push(DeltaOp::Del(p("a", 1), tuple!(2)));
+        d.push(DeltaOp::Ins(p("b", 1), tuple!(3)));
+        let ws: Vec<_> = d.write_set().into_iter().collect();
+        assert_eq!(ws, vec![p("a", 1), p("b", 1)]);
+        assert!(Delta::new().write_set().is_empty());
     }
 
     #[test]

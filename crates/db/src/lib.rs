@@ -22,12 +22,14 @@ pub mod database;
 pub mod delta;
 pub mod hamt;
 pub mod ord;
+pub mod read_set;
 pub mod relation;
 pub mod tuple;
 
 pub use counted::{CountedRelation, Transition};
 pub use database::{Database, DbError};
 pub use delta::{Delta, DeltaOp};
+pub use read_set::ReadSet;
 pub use relation::Relation;
 pub use tuple::Tuple;
 
@@ -42,6 +44,7 @@ fn _assert_storage_is_send_sync() {
     assert_send_sync::<CountedRelation>();
     assert_send_sync::<Tuple>();
     assert_send_sync::<Delta>();
+    assert_send_sync::<ReadSet>();
     assert_send_sync::<hamt::Set<Tuple>>();
     assert_send_sync::<ord::OrdSet<Tuple>>();
 }

@@ -80,7 +80,15 @@ pub struct CachedAnswer {
 pub enum CacheEntry {
     /// The complete answer set, in canonical depth-first yield order
     /// (duplicates preserved — the lazy search yields them too).
-    Answers(Arc<Vec<CachedAnswer>>),
+    Answers {
+        answers: Arc<Vec<CachedAnswer>>,
+        /// The relations the enumeration read while producing (and
+        /// exhausting) the answer set — over *all* branches, including
+        /// failed ones. A replay charges this set to the replaying
+        /// transaction's read set: the macro-step depends on exactly the
+        /// relations the lazy execution would have consulted.
+        reads: Arc<td_db::ReadSet>,
+    },
     /// Enumeration was attempted and abandoned (non-ground answer, fault,
     /// or over the answer/step bound): callers must use the lazy path.
     /// Negative-cached so the attempt is not repeated.
@@ -147,7 +155,7 @@ impl SubgoalCache {
         match shard.map.get_mut(key) {
             Some(slot) => {
                 slot.referenced = true;
-                if matches!(slot.entry, CacheEntry::Answers(_)) {
+                if matches!(slot.entry, CacheEntry::Answers { .. }) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                 } else {
                     self.unsuitable.fetch_add(1, Ordering::Relaxed);
@@ -249,10 +257,13 @@ mod tests {
     }
 
     fn answers(v: i64) -> CacheEntry {
-        CacheEntry::Answers(Arc::new(vec![CachedAnswer {
-            values: vec![Value::Int(v)],
-            delta: Delta::new(),
-        }]))
+        CacheEntry::Answers {
+            answers: Arc::new(vec![CachedAnswer {
+                values: vec![Value::Int(v)],
+                delta: Delta::new(),
+            }]),
+            reads: Arc::new(td_db::ReadSet::new()),
+        }
     }
 
     #[test]
@@ -264,7 +275,9 @@ mod tests {
         c.insert(key(1), answers(7));
         let got = c.lookup(&key(1)).expect("present");
         match got {
-            CacheEntry::Answers(a) => assert_eq!(a[0].values, vec![Value::Int(7)]),
+            CacheEntry::Answers { answers: a, .. } => {
+                assert_eq!(a[0].values, vec![Value::Int(7)]);
+            }
             CacheEntry::Unsuitable => panic!("wrong entry kind"),
         }
         assert_eq!(c.hits(), 1);
@@ -318,7 +331,9 @@ mod tests {
         c.insert(key(5), answers(2));
         assert_eq!(c.len(), 1);
         match c.lookup(&key(5)).unwrap() {
-            CacheEntry::Answers(a) => assert_eq!(a[0].values, vec![Value::Int(2)]),
+            CacheEntry::Answers { answers: a, .. } => {
+                assert_eq!(a[0].values, vec![Value::Int(2)]);
+            }
             CacheEntry::Unsuitable => panic!("wrong entry kind"),
         }
     }

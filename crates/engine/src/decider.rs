@@ -153,6 +153,7 @@ pub fn decide_materialized(
         visited: HashSet::new(),
         truncated: false,
         local: LocalMetrics::new(obs.is_some()),
+        reads: td_db::ReadSet::new(),
         obs: obs.clone(),
     };
     let executable = search.explore(make_node(goal), db.clone())?;
@@ -223,6 +224,7 @@ pub fn final_states_materialized(
         visited: HashSet::new(),
         truncated: false,
         local: LocalMetrics::new(false),
+        reads: td_db::ReadSet::new(),
         obs: None,
     };
     let mut finals = Vec::new();
@@ -254,6 +256,7 @@ pub fn shortest_execution(
         visited: HashSet::new(),
         truncated: false,
         local: LocalMetrics::new(false),
+        reads: td_db::ReadSet::new(),
         obs: None,
     };
     let mut frontier: Vec<(Option<Arc<PTree>>, Database)> = vec![(make_node(goal), db.clone())];
@@ -288,6 +291,11 @@ struct Search<'p> {
     /// Per-run metric batch (rule expansions, cache tallies), absorbed by
     /// [`decide_observed`] when the run ends.
     local: LocalMetrics,
+    /// Relations the exploration read, charged uniformly through the
+    /// kernel hooks like every other driver. The decision problem has no
+    /// commit path, so nothing consumes this today — it exists so the
+    /// kernel's read-recording contract holds for all three drivers.
+    reads: td_db::ReadSet,
     obs: Option<Arc<Observer>>,
 }
 
@@ -370,6 +378,7 @@ impl<'p> Search<'p> {
                 stats: &mut scratch,
                 local: &mut self.local,
                 events: self.obs.as_deref(),
+                reads: &mut self.reads,
             },
         );
         if let Some(e) = err {

@@ -22,6 +22,10 @@ pub struct Solution {
     pub answer: Vec<Term>,
     /// The elementary updates the successful execution applied, in order.
     pub delta: Delta,
+    /// Every relation the search read while finding this solution —
+    /// including on failed branches (see [`td_db::ReadSet`]). This is the
+    /// read set a store-level OCC commit validates against.
+    pub reads: td_db::ReadSet,
     /// Search statistics up to (and including) this solution.
     pub stats: Stats,
     /// Committed-path trace (empty unless `EngineConfig::trace`).
@@ -276,6 +280,7 @@ impl Engine {
                 db: solver.db.clone(),
                 answer,
                 delta,
+                reads: ctx.reads.clone(),
                 stats: ctx.stats,
                 trace: crate::trace::Trace {
                     events: ctx.trace.clone(),

@@ -262,6 +262,15 @@ impl Materializer {
         out
     }
 
+    /// The base predicates some materialized rule reads, in unspecified
+    /// order — the read-set support of a view probe. A probe's answer is a
+    /// function of exactly these base relations, so recording them (rather
+    /// than the derived predicate, which is not a stored relation) keeps
+    /// per-relation OCC validation sound under `--materialize`.
+    pub fn base_support(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.relevant_base.iter().copied()
+    }
+
     /// Answer a ground call on a materialized predicate with an indexed
     /// probe: `None` when the atom is not ground or its predicate is not
     /// materialized (caller must fall back to rule unfolding), `Some(b)`

@@ -57,8 +57,11 @@ pub(crate) fn probe_subgoal(
     };
     let key = (canon, db.digest());
     match cache.lookup(&key) {
-        Some(CacheEntry::Answers(answers)) => {
+        Some(CacheEntry::Answers { answers, reads }) => {
             hooks.stats.cache_hits += 1;
+            // The macro-step stands in for the full lazy exploration, so
+            // the replaying transaction inherits everything it read.
+            hooks.reads.merge(&reads);
             note(hooks, ProbeOutcome::Hit);
             Probe::Replay { answers, vars }
         }
@@ -69,10 +72,17 @@ pub(crate) fn probe_subgoal(
         None => {
             hooks.stats.cache_misses += 1;
             match enumerate_answers(program, &key.0, vars.len() as u32, db) {
-                Some(list) => {
+                Some((list, reads)) => {
                     note(hooks, ProbeOutcome::Miss);
+                    hooks.reads.merge(&reads);
                     let answers = Arc::new(list);
-                    cache.insert(key, CacheEntry::Answers(answers.clone()));
+                    cache.insert(
+                        key,
+                        CacheEntry::Answers {
+                            answers: answers.clone(),
+                            reads: Arc::new(reads),
+                        },
+                    );
                     Probe::Replay { answers, vars }
                 }
                 None => {
@@ -130,12 +140,16 @@ const CACHE_ENUM_MAX_ANSWERS: usize = 256;
 /// non-ground, or an enumeration bound was exceeded. Callers fall back to
 /// the lazy path, which reproduces the original behaviour (including
 /// surfacing the fault in its proper context).
+///
+/// On success the returned [`td_db::ReadSet`] is everything the exhaustive
+/// enumeration read — all branches, successful and failed — which is
+/// exactly the read dependency of every future replay of this entry.
 pub(crate) fn enumerate_answers(
     program: &Program,
     goal: &Goal,
     nvars: u32,
     db: &Database,
-) -> Option<Vec<CachedAnswer>> {
+) -> Option<(Vec<CachedAnswer>, td_db::ReadSet)> {
     use crate::machine::{Ctx, Solver};
     let config = EngineConfig {
         max_steps: CACHE_ENUM_MAX_STEPS,
@@ -173,7 +187,7 @@ pub(crate) fn enumerate_answers(
                 }
                 out.push(CachedAnswer { values, delta });
             }
-            Ok(false) => return Some(out),
+            Ok(false) => return Some((out, std::mem::take(&mut ctx.reads))),
             Err(_) => return None,
         }
     }

@@ -115,6 +115,7 @@ impl Kernel<'_> {
                     unreachable!("structural goals expanded by make_node")
                 }
                 Goal::Atom(atom) if self.program.is_base(atom.pred) => {
+                    hooks.reads.record(atom.pred);
                     for t in matching_tuples(&cfg.db, &atom) {
                         if let Some((new_tree, new_answer)) =
                             unify_project(tree, &path, None, cfg.nvars, &cfg.answer, |b| {
@@ -143,6 +144,11 @@ impl Kernel<'_> {
                         if let Some(mat) = &self.mat {
                             if let Some(holds) = mat.holds(&cfg.db, &atom) {
                                 hooks.stats.mat_probes += 1;
+                                // A view probe reads every base relation
+                                // feeding the materialized fragment.
+                                for p in mat.base_support() {
+                                    hooks.reads.record(p);
+                                }
                                 if let Some(cache) = &self.cache {
                                     // Materialization supersedes the cache
                                     // for this predicate; never double-store.
@@ -198,17 +204,20 @@ impl Kernel<'_> {
                         }
                     }
                 }
-                Goal::NotAtom(atom) => match check_absent(&cfg.db, &atom) {
-                    Err(e) => return (out, Some(e)),
-                    Ok(false) => {}
-                    Ok(true) => out.push(Action {
-                        tree: rewrite(tree, &path, None),
-                        db: cfg.db.clone(),
-                        nvars: cfg.nvars,
-                        answer: cfg.answer.clone(),
-                        ops: Vec::new(),
-                    }),
-                },
+                Goal::NotAtom(atom) => {
+                    hooks.reads.record(atom.pred);
+                    match check_absent(&cfg.db, &atom) {
+                        Err(e) => return (out, Some(e)),
+                        Ok(false) => {}
+                        Ok(true) => out.push(Action {
+                            tree: rewrite(tree, &path, None),
+                            db: cfg.db.clone(),
+                            nvars: cfg.nvars,
+                            answer: cfg.answer.clone(),
+                            ops: Vec::new(),
+                        }),
+                    }
+                }
                 Goal::Ins(atom) | Goal::Del(atom) => {
                     let is_ins = matches!(leaf_at(tree, &path), Goal::Ins(_));
                     match apply_update(&cfg.db, &atom, is_ins) {

@@ -55,6 +55,7 @@ pub(crate) use unfold::unfold_trail;
 
 use crate::config::Stats;
 use crate::obs::{LocalMetrics, Observer};
+use td_db::ReadSet;
 
 /// Driver-supplied accounting sinks for one kernel call.
 ///
@@ -69,4 +70,12 @@ pub(crate) struct Hooks<'a> {
     /// Per-probe event sink. `None` suppresses kernel-level event emission
     /// (the parallel hot path reports aggregate worker spans instead).
     pub events: Option<&'a Observer>,
+    /// Transaction read set: every relation this execution consults —
+    /// base-predicate matches, absence tests, materialized probes, cached
+    /// replays — lands here, on every explored branch. Unlike the delta
+    /// chain it is **monotone**: drivers must never truncate it on
+    /// backtracking, because "this branch read `p` and failed" is exactly
+    /// as commit-relevant as a read on the committed path (if `p` changed,
+    /// the failed branch might now succeed and change the witness).
+    pub reads: &'a mut ReadSet,
 }

@@ -46,6 +46,11 @@ pub(crate) struct Ctx<'p> {
     pub bindings: Bindings,
     pub stats: Stats,
     pub delta: Vec<DeltaOp>,
+    /// Relations this execution has read, across *all* explored branches.
+    /// Monotone: backtracking truncates `delta`/`trace` but never this —
+    /// a failed branch's reads are commit-relevant (see
+    /// [`td_db::ReadSet`]'s module docs for the soundness argument).
+    pub reads: td_db::ReadSet,
     /// Committed-path trace events (only populated when `config.trace`).
     pub trace: Vec<TraceEvent>,
     /// Refuted configurations: (canonical resolved process tree, db digest).
@@ -96,6 +101,7 @@ impl<'p> Ctx<'p> {
             bindings: Bindings::new(),
             stats: Stats::default(),
             delta: Vec::new(),
+            reads: td_db::ReadSet::new(),
             trace: Vec::new(),
             failed: HashSet::new(),
             cache,
@@ -147,6 +153,7 @@ impl<'p> Ctx<'p> {
                 stats: &mut self.stats,
                 local: &mut self.local,
                 events: None,
+                reads: &mut self.reads,
             },
         )?;
         self.record(|| TraceEvent::Unfold {
@@ -391,6 +398,7 @@ impl Solver {
             }
             Goal::NotAtom(atom) => {
                 let resolved = kernel::resolve_atom(&ctx.bindings, &atom);
+                ctx.reads.record(resolved.pred);
                 match kernel::check_absent(&self.db, &resolved) {
                     Err(e) => Err(fatal(e)),
                     Ok(false) => Err(StepErr::Fail),
@@ -522,6 +530,7 @@ impl Solver {
         path: Path,
         atom: Atom,
     ) -> StepResult {
+        ctx.reads.record(atom.pred);
         let tuples = kernel::matching_tuples(&self.db, &atom);
         if tuples.is_empty() {
             return Err(StepErr::Fail);
@@ -576,6 +585,11 @@ impl Solver {
             let mat = ctx.mat.clone().expect("checked");
             if let Some(holds) = mat.holds(&self.db, &atom) {
                 ctx.stats.mat_probes += 1;
+                // A view probe reads every base relation feeding the
+                // materialized fragment.
+                for p in mat.base_support() {
+                    ctx.reads.record(p);
+                }
                 if let Some(cache) = &ctx.cache {
                     // Materialization supersedes the cache for this
                     // predicate; never double-store.
@@ -686,6 +700,7 @@ impl Solver {
                 stats: &mut ctx.stats,
                 local: &mut ctx.local,
                 events: ctx.obs.as_deref(),
+                reads: &mut ctx.reads,
             },
         );
         match probe {

@@ -574,6 +574,15 @@ pub struct ServeReport {
     pub aborts: u64,
     /// OCC validation conflicts (each caused one retry).
     pub conflicts: u64,
+    /// The commit-validation rule the store ran under (`read-set` or
+    /// `whole-db`).
+    pub occ: String,
+    /// Transactions (or trigger executions) that exhausted their retry
+    /// budget.
+    pub retries_exhausted: u64,
+    /// Per-relation conflict attribution: `(pred, failures)` sorted by
+    /// predicate.
+    pub conflict_relations: Vec<(String, u64)>,
     /// Group frames fsync'd on the commit path.
     pub groups: u64,
     /// Commit records inside those groups (`/ groups` = the group-commit
@@ -733,7 +742,9 @@ impl RunReport {
             Some(s) => out.push_str(&format!(
                 "  \"serve\": {{\"socket\": \"{}\", \"connections\": {}, \"requests\": {}, \
                  \"errors\": {}, \"commits\": {}, \"read_only\": {}, \"aborts\": {}, \
-                 \"conflicts\": {}, \"groups\": {}, \"grouped_records\": {}, \
+                 \"conflicts\": {}, \"occ\": \"{}\", \"retries_exhausted\": {}, \
+                 \"conflict_relations\": {{{}}}, \
+                 \"groups\": {}, \"grouped_records\": {}, \
                  \"max_group\": {}, \"interned_symbols\": {}, \"interned_bytes\": {}, \
                  \"events\": {{\"ingested\": {}, \"matched\": {}, \"fired\": {}, \
                  \"conflicted\": {}, \"p50_us\": {}, \"p99_us\": {}, \
@@ -746,6 +757,13 @@ impl RunReport {
                 s.read_only,
                 s.aborts,
                 s.conflicts,
+                json_escape(&s.occ),
+                s.retries_exhausted,
+                s.conflict_relations
+                    .iter()
+                    .map(|(p, n)| format!("\"{}\": {n}", json_escape(p)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
                 s.groups,
                 s.grouped_records,
                 s.max_group,

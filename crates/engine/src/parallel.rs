@@ -205,6 +205,11 @@ struct Shared<'p> {
 struct WorkerOut {
     stats: Stats,
     local: LocalMetrics,
+    /// Relations this worker's expansions read. Merged across workers at
+    /// the end: any worker's exploration is part of the one transaction,
+    /// so the union is the transaction's read set (conservative in fast
+    /// mode, exact in deterministic mode — both sound).
+    reads: td_db::ReadSet,
     /// Configurations this worker claimed in the shared memo.
     claimed: u64,
     /// Tasks this worker stole from other workers' queues.
@@ -216,6 +221,7 @@ impl WorkerOut {
         WorkerOut {
             stats: Stats::default(),
             local: LocalMetrics::new(observed),
+            reads: td_db::ReadSet::new(),
             claimed: 0,
             stolen: 0,
         }
@@ -370,8 +376,10 @@ pub(crate) fn solve(
 
     let mut stats = Stats::default();
     let mut merged = LocalMetrics::new(shared.obs.is_some());
+    let mut reads = td_db::ReadSet::new();
     let (mut claimed, mut stolen) = (0u64, 0u64);
     for w in &worker_outs {
+        reads.merge(&w.reads);
         stats.steps += w.stats.steps;
         stats.choicepoints += w.stats.choicepoints;
         stats.unfolds += w.stats.unfolds;
@@ -422,6 +430,7 @@ pub(crate) fn solve(
             db: w.db,
             answer: w.answer,
             delta: w.delta,
+            reads,
             stats,
             trace: crate::trace::Trace { events: Vec::new() },
         }))),
@@ -574,6 +583,7 @@ fn expand(shared: &Shared<'_>, task: &Task, w: &mut WorkerOut) -> Expansion {
             stats: &mut w.stats,
             local: &mut w.local,
             events: None,
+            reads: &mut w.reads,
         },
     );
     let mut out: Vec<Task> = Vec::with_capacity(actions.len());

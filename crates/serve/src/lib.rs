@@ -131,6 +131,10 @@ pub struct ServeCounters {
     pub requests: u64,
     /// Requests answered with `err`.
     pub errors: u64,
+    /// Requests (and trigger executions) that exhausted their OCC retry
+    /// budget and were answered `err conflict` — the starvation signal the
+    /// jittered backoff exists to keep at zero.
+    pub retries_exhausted: u64,
 }
 
 /// Event/trigger counters and latency as observed at shutdown.
@@ -157,6 +161,11 @@ pub struct ServeSummary {
     pub counters: ServeCounters,
     /// Store-level OCC/group-commit counters.
     pub stats: ConcurrentStats,
+    /// The commit-validation rule the store ran under.
+    pub occ: td_store::Validation,
+    /// Per-relation conflict attribution, sorted by predicate: which
+    /// relations caused validation failures, and how often.
+    pub conflict_relations: Vec<(String, u64)>,
     /// Event-ingestion and trigger-execution counters.
     pub events: EventsSummary,
     /// Interner footprint at shutdown ([`Symbol::interned_count`],
@@ -173,6 +182,7 @@ struct Shared {
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
+    retries_exhausted: AtomicU64,
     events_ingested: AtomicU64,
     triggers_matched: AtomicU64,
     triggers_fired: AtomicU64,
@@ -187,6 +197,7 @@ impl Shared {
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            retries_exhausted: AtomicU64::new(0),
             events_ingested: AtomicU64::new(0),
             triggers_matched: AtomicU64::new(0),
             triggers_fired: AtomicU64::new(0),
@@ -312,9 +323,17 @@ impl Server {
             connections: ctx.shared.connections.load(Ordering::Relaxed),
             requests: ctx.shared.requests.load(Ordering::Relaxed),
             errors: ctx.shared.errors.load(Ordering::Relaxed),
+            retries_exhausted: ctx.shared.retries_exhausted.load(Ordering::Relaxed),
         };
         let events = ctx.shared.events_summary();
         let stats = self.store.stats();
+        let occ = self.store.options().validation;
+        let conflict_relations = self
+            .store
+            .conflict_attribution()
+            .into_iter()
+            .map(|(p, n)| (p.to_string(), n))
+            .collect();
         let store = self
             .store
             .close()
@@ -322,6 +341,8 @@ impl Server {
         Ok(ServeSummary {
             counters,
             stats,
+            occ,
+            conflict_relations,
             events,
             interned_symbols: Symbol::interned_count(),
             interned_bytes: Symbol::interned_bytes(),
@@ -424,7 +445,7 @@ fn dispatch(
         "ping" => ("ok pong".to_owned(), false),
         "stop" => ("ok stopping".to_owned(), true),
         "stats" => (stats_line(ctx), false),
-        "run" if !rest.is_empty() => (run_goal(engine, &ctx.program, &ctx.cs, rest), false),
+        "run" if !rest.is_empty() => (run_goal(engine, ctx, rest), false),
         "run" => ("err run: missing goal".to_owned(), false),
         "event" if !rest.is_empty() => (ingest_event(rest, ctx, jobs), false),
         "event" => ("err event: missing event atom".to_owned(), false),
@@ -471,7 +492,11 @@ fn ingest_event(src: &str, ctx: &ConnCtx, jobs: &mpsc::Sender<TriggerJob>) -> St
         } else {
             let mut delta = Delta::new();
             delta.push(DeltaOp::Ins(stored, tuple.clone()));
-            Ok(TxDecision::Commit(delta, ()))
+            // The duplicate check above read the event relation; nothing
+            // else was consulted.
+            let mut reads = td_db::ReadSet::new();
+            reads.record(stored);
+            Ok(TxDecision::commit(delta, reads, ()))
         }
     });
     match result {
@@ -499,6 +524,7 @@ fn ingest_event(src: &str, ctx: &ConnCtx, jobs: &mpsc::Sender<TriggerJob>) -> St
             )
         }
         Err(TxError::Conflict { attempts }) => {
+            ctx.shared.retries_exhausted.fetch_add(1, Ordering::Relaxed);
             format!("err conflict: gave up after {attempts} attempts")
         }
         Err(TxError::Store(e)) => format!("err store: {}", first_line(&e.to_string())),
@@ -526,7 +552,11 @@ fn run_trigger(engine: &Engine, ctx: &ConnCtx, job: &TriggerJob) {
                 if sol.delta.is_empty() {
                     Ok(TxDecision::ReadOnly(true))
                 } else {
-                    Ok(TxDecision::Commit(sol.delta.clone(), true))
+                    Ok(TxDecision::commit(
+                        sol.delta.clone(),
+                        sol.reads.clone(),
+                        true,
+                    ))
                 }
             }
             Ok(Outcome::Failure { .. }) => Ok(TxDecision::Abort(false)),
@@ -548,6 +578,7 @@ fn run_trigger(engine: &Engine, ctx: &ConnCtx, job: &TriggerJob) {
             shared
                 .triggers_conflicted
                 .fetch_add(u64::from(attempts), Ordering::Relaxed);
+            shared.retries_exhausted.fetch_add(1, Ordering::Relaxed);
         }
         Err(_) => {}
     }
@@ -563,30 +594,37 @@ fn now_ms() -> u64 {
 }
 
 /// One request = one top-level transaction, end to end: parse, solve
-/// against a snapshot, OCC-validate, group-commit, acknowledge durable.
-fn run_goal(engine: &Engine, program: &ParsedProgram, cs: &ConcurrentStore, src: &str) -> String {
-    let parsed = match td_parser::parse_goal(src, &program.program) {
+/// against a snapshot, validate the solution's read set at the head,
+/// group-commit, acknowledge durable.
+fn run_goal(engine: &Engine, ctx: &ConnCtx, src: &str) -> String {
+    let parsed = match td_parser::parse_goal(src, &ctx.program.program) {
         Ok(g) => g,
         Err(e) => return format!("err parse: {}", first_line(&e.to_string())),
     };
-    let result = cs.transaction(|db| match engine.solve(&parsed.goal, db) {
-        Ok(Outcome::Success(sol)) => {
-            let mut bindings = String::new();
-            for (i, name) in parsed.var_names.iter().enumerate() {
-                bindings.push_str(&format!(" {name}={}", sol.answer[i]));
+    let result = ctx
+        .cs
+        .transaction(|db| match engine.solve(&parsed.goal, db) {
+            Ok(Outcome::Success(sol)) => {
+                let mut bindings = String::new();
+                for (i, name) in parsed.var_names.iter().enumerate() {
+                    bindings.push_str(&format!(" {name}={}", sol.answer[i]));
+                }
+                let body = format!("steps={}{}", sol.stats.steps, bindings);
+                if sol.delta.is_empty() {
+                    Ok(TxDecision::ReadOnly((true, body)))
+                } else {
+                    Ok(TxDecision::commit(
+                        sol.delta.clone(),
+                        sol.reads.clone(),
+                        (true, body),
+                    ))
+                }
             }
-            let body = format!("steps={}{}", sol.stats.steps, bindings);
-            if sol.delta.is_empty() {
-                Ok(TxDecision::ReadOnly((true, body)))
-            } else {
-                Ok(TxDecision::Commit(sol.delta.clone(), (true, body)))
+            Ok(Outcome::Failure { stats }) => {
+                Ok(TxDecision::Abort((false, format!("steps={}", stats.steps))))
             }
-        }
-        Ok(Outcome::Failure { stats }) => {
-            Ok(TxDecision::Abort((false, format!("steps={}", stats.steps))))
-        }
-        Err(e) => Err(e.to_string()),
-    });
+            Err(e) => Err(e.to_string()),
+        });
     match result {
         Ok(receipt) => {
             let (yes, body) = receipt.value;
@@ -600,6 +638,7 @@ fn run_goal(engine: &Engine, program: &ParsedProgram, cs: &ConcurrentStore, src:
             }
         }
         Err(TxError::Conflict { attempts }) => {
+            ctx.shared.retries_exhausted.fetch_add(1, Ordering::Relaxed);
             format!("err conflict: gave up after {attempts} attempts")
         }
         Err(TxError::Store(e)) => format!("err store: {}", first_line(&e.to_string())),
@@ -612,16 +651,20 @@ fn stats_line(ctx: &ConnCtx) -> String {
     let shared = &ctx.shared;
     let ev = shared.events_summary();
     format!(
-        "ok commits={} read_only={} aborts={} conflicts={} conflict_failures={} \
+        "ok occ={} commits={} read_only={} aborts={} conflicts={} conflict_failures={} \
+         retries_exhausted={} conflict_preds={} \
          groups={} grouped_records={} max_group={} mean_group={:.2} durable={} \
          connections={} requests={} errors={} interned_syms={} interned_bytes={} \
          events_ingested={} triggers_matched={} triggers_fired={} \
          triggers_conflicted={} trigger_p50_us={} trigger_p99_us={}",
+        ctx.cs.options().validation,
         s.commits,
         s.read_only,
         s.aborts,
         s.conflicts,
         s.conflict_failures,
+        shared.retries_exhausted.load(Ordering::Relaxed),
+        conflict_preds_field(&ctx.cs),
         s.groups,
         s.grouped_records,
         s.max_group,
@@ -639,6 +682,19 @@ fn stats_line(ctx: &ConnCtx) -> String {
         ev.p50_us,
         ev.p99_us,
     )
+}
+
+/// Conflict attribution as one protocol field: `rel/2:5,other/1:1` sorted
+/// by predicate, or `-` when no validation has ever failed.
+fn conflict_preds_field(cs: &ConcurrentStore) -> String {
+    let attr = cs.conflict_attribution();
+    if attr.is_empty() {
+        return "-".to_owned();
+    }
+    attr.into_iter()
+        .map(|(p, n)| format!("{p}:{n}"))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Keep the one-line framing: anything that could smuggle a newline into a

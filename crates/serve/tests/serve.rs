@@ -45,6 +45,7 @@ fn start_server(
         TxOptions {
             max_attempts: 64,
             backoff: Duration::from_micros(20),
+            ..TxOptions::default()
         },
     )
     .unwrap();

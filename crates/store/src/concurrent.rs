@@ -4,15 +4,32 @@
 //! [`ConcurrentStore`] admits many top-level transactions at once from
 //! independent threads — the `td serve` workload. Each transaction runs
 //! against an immutable **snapshot** of the database (cheap: the database
-//! is a persistent structure), produces a delta, and validates at commit
-//! with the O(1) 128-bit content digest: the transaction commits only if
-//! the database digest is still the digest it read — first committer wins,
-//! losers retry against a fresh snapshot with bounded exponential backoff.
-//! Every committed transaction therefore saw *exactly* the state left by
-//! its predecessor in commit order, which makes the history trivially
-//! serializable: the concurrent execution is equivalent to running the
-//! committed transactions sequentially in WAL-seq order (the property
-//! `tests/occ_serializability.rs` checks differentially).
+//! is a persistent structure), produces a delta plus the [`ReadSet`] of
+//! relations it consulted, and validates at commit **per relation**: the
+//! transaction commits only if every relation in its read set still has
+//! the per-relation digest it had in the snapshot ([`Database::
+//! relation_digest`]). Writes to relations the transaction never read
+//! cannot invalidate it — disjoint workloads commit without retries.
+//! First committer wins; losers retry against a fresh snapshot with
+//! bounded, jittered exponential backoff.
+//!
+//! This is sound because digest-equal relations are content-equal, and the
+//! engine's read sets are *monotone over the whole search* (failed branches
+//! included — see `td_db::read_set`): if every relation a transaction read
+//! is unchanged at the head, re-running it there would explore the same
+//! branches and produce the same delta, and `ins`/`del` are pure writes
+//! whose delta is independent of the target relation's content. So
+//! serializing the commit at the head equals re-executing it there: the
+//! concurrent history is equivalent to running the committed transactions
+//! sequentially in WAL-seq order (the property
+//! `tests/occ_serializability.rs` checks differentially, in both
+//! validation modes).
+//!
+//! The pre-refactor whole-database rule — commit only if the full 128-bit
+//! database digest is unchanged — remains available as
+//! [`Validation::WholeDb`] (and is what a [`ReadSet::whole_db`] read set
+//! degrades to under [`Validation::ReadSet`]), kept for differential
+//! testing and as a belt-and-braces fallback.
 //!
 //! ## Group commit
 //!
@@ -37,21 +54,92 @@
 //! acknowledged transaction while dropping state it read.
 
 use crate::{Result, Store, StoreError};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
-use td_db::{Database, Delta};
+use td_core::Pred;
+use td_db::{Database, Delta, ReadSet};
 
 /// What a transaction closure decided, after running against its snapshot.
 #[derive(Clone, Debug)]
 pub enum TxDecision<T> {
     /// Commit this delta (produced against the snapshot); acknowledge after
-    /// it is durable.
-    Commit(Delta, T),
+    /// it is durable. `reads` is every relation the closure consulted while
+    /// producing the delta — the set commit validation checks under
+    /// [`Validation::ReadSet`]. An under-reported read set is unsound
+    /// (commits that should have conflicted); when in doubt use
+    /// [`TxDecision::commit_whole_db`], which validates against everything.
+    Commit {
+        /// Elementary updates, produced against the snapshot.
+        delta: Delta,
+        /// Relations read while producing `delta` (failed branches
+        /// included).
+        reads: ReadSet,
+        /// Closure result handed back in the [`Committed`] receipt.
+        value: T,
+    },
     /// Success with nothing to write — no WAL record, no validation needed
     /// (a read's serialization point is its snapshot).
     ReadOnly(T),
     /// Logical failure (e.g. the goal is not executable); nothing to write.
     Abort(T),
+}
+
+impl<T> TxDecision<T> {
+    /// Commit `delta` validated against the given read set.
+    pub fn commit(delta: Delta, reads: ReadSet, value: T) -> TxDecision<T> {
+        TxDecision::Commit {
+            delta,
+            reads,
+            value,
+        }
+    }
+
+    /// Commit `delta` validated against the whole database — the
+    /// pre-read-set behaviour, correct for any closure.
+    pub fn commit_whole_db(delta: Delta, value: T) -> TxDecision<T> {
+        TxDecision::Commit {
+            delta,
+            reads: ReadSet::whole_db(),
+            value,
+        }
+    }
+}
+
+/// Which conflict rule commit validation applies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Validation {
+    /// Per-relation: conflict only if a relation in the transaction's read
+    /// set changed (its [`Database::relation_digest`] differs between the
+    /// snapshot and the head). The default.
+    #[default]
+    ReadSet,
+    /// Whole-database: conflict if *any* relation changed (the full
+    /// database digest differs) — regardless of the declared read set.
+    /// Strictly more conservative; kept for differential testing.
+    WholeDb,
+}
+
+impl std::fmt::Display for Validation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Validation::ReadSet => "read-set",
+            Validation::WholeDb => "whole-db",
+        })
+    }
+}
+
+impl std::str::FromStr for Validation {
+    type Err = String;
+    fn from_str(s: &str) -> std::result::Result<Validation, String> {
+        match s {
+            "read-set" => Ok(Validation::ReadSet),
+            "whole-db" => Ok(Validation::WholeDb),
+            other => Err(format!(
+                "unknown OCC validation mode '{other}' (expected 'read-set' or 'whole-db')"
+            )),
+        }
+    }
 }
 
 /// Retry policy for [`ConcurrentStore::transaction`].
@@ -60,8 +148,12 @@ pub struct TxOptions {
     /// Give up with [`TxError::Conflict`] after this many attempts.
     pub max_attempts: u32,
     /// Base backoff slept after the first conflict; doubles per further
-    /// conflict, capped at 64x.
+    /// conflict, capped at 64x. Each sleep is jittered per thread into
+    /// `[d/2, d]` so colliding clients desynchronize instead of retrying
+    /// in lockstep.
     pub backoff: Duration,
+    /// The conflict rule (default [`Validation::ReadSet`]).
+    pub validation: Validation,
 }
 
 impl Default for TxOptions {
@@ -69,6 +161,7 @@ impl Default for TxOptions {
         TxOptions {
             max_attempts: 16,
             backoff: Duration::from_micros(50),
+            validation: Validation::ReadSet,
         }
     }
 }
@@ -166,6 +259,11 @@ struct State {
     /// Set by [`ConcurrentStore::close`]; new transactions are refused.
     closing: bool,
     stats: ConcurrentStats,
+    /// Per-relation conflict attribution: how many validation failures each
+    /// relation caused (a single failed validation may charge several
+    /// relations). Sums to ≥ `stats.conflicts` entries-wise only loosely —
+    /// it is a *where*, not a second counter.
+    conflict_preds: BTreeMap<Pred, u64>,
 }
 
 struct Inner {
@@ -198,6 +296,7 @@ impl ConcurrentStore {
                     failed: None,
                     closing: false,
                     stats: ConcurrentStats::default(),
+                    conflict_preds: BTreeMap::new(),
                 }),
                 durable: Condvar::new(),
             }),
@@ -232,6 +331,18 @@ impl ConcurrentStore {
         self.lock().stats
     }
 
+    /// Per-relation conflict attribution: for each relation, how many
+    /// commit validations it caused to fail (under whole-db validation,
+    /// every relation that had changed is charged).
+    pub fn conflict_attribution(&self) -> BTreeMap<Pred, u64> {
+        self.lock().conflict_preds.clone()
+    }
+
+    /// The retry/validation policy in force.
+    pub fn options(&self) -> TxOptions {
+        self.opts
+    }
+
     /// WAL records acknowledged as durable so far.
     pub fn durable_records(&self) -> u64 {
         self.lock().durable_seq
@@ -245,8 +356,8 @@ impl ConcurrentStore {
     }
 
     /// Run one top-level transaction: take a snapshot, run `f` on it, and
-    /// — if `f` decides to commit — validate the snapshot's digest against
-    /// the current head and append the delta through group commit. On
+    /// — if `f` decides to commit — validate the read set against the
+    /// current head and append the delta through group commit. On
     /// validation conflict, `f` re-runs against a fresh snapshot (bounded
     /// by [`TxOptions`]). Returns after the commit is fsync-durable.
     ///
@@ -257,7 +368,7 @@ impl ConcurrentStore {
         mut f: impl FnMut(&Database) -> std::result::Result<TxDecision<T>, E>,
     ) -> std::result::Result<Committed<T>, TxError<E>> {
         for attempt in 1..=self.opts.max_attempts {
-            let (snapshot, base_digest) = {
+            let snapshot = {
                 let st = self.lock();
                 if let Some(msg) = &st.failed {
                     return Err(TxError::Store(StoreError::Corrupt(msg.clone())));
@@ -267,10 +378,10 @@ impl ConcurrentStore {
                         "store is shutting down".into(),
                     )));
                 }
-                (st.db.clone(), st.db.digest())
+                st.db.clone()
             };
             let decision = f(&snapshot).map_err(TxError::App)?;
-            let (delta, value) = match decision {
+            let (delta, reads, value) = match decision {
                 TxDecision::ReadOnly(value) => {
                     self.lock().stats.read_only += 1;
                     return Ok(Committed {
@@ -287,15 +398,23 @@ impl ConcurrentStore {
                         attempts: attempt,
                     });
                 }
-                TxDecision::Commit(delta, value) => (delta, value),
+                TxDecision::Commit {
+                    delta,
+                    reads,
+                    value,
+                } => (delta, reads, value),
             };
             let mut st = self.lock();
             if let Some(msg) = &st.failed {
                 return Err(TxError::Store(StoreError::Corrupt(msg.clone())));
             }
-            if st.db.digest() != base_digest {
+            let changed = changed_reads(&snapshot, &st.db, &reads, self.opts.validation);
+            if let Some(changed) = changed {
                 // First committer won; retry from a fresh snapshot.
                 st.stats.conflicts += 1;
+                for p in changed {
+                    *st.conflict_preds.entry(p).or_insert(0) += 1;
+                }
                 drop(st);
                 self.backoff(attempt);
                 continue;
@@ -378,10 +497,14 @@ impl ConcurrentStore {
         }
     }
 
-    /// Exponential backoff after a conflict, capped at 64x the base.
+    /// Jittered exponential backoff after a conflict: the exponential
+    /// envelope doubles per attempt (capped at 64x the base), and the
+    /// actual sleep lands in `[envelope/2, envelope]` at a per-thread,
+    /// per-attempt offset, so clients that conflicted on the same commit
+    /// do not all retry at the same instant and re-collide indefinitely.
     fn backoff(&self, attempt: u32) {
         let factor = 1u32 << attempt.saturating_sub(1).min(6);
-        std::thread::sleep(self.opts.backoff * factor);
+        std::thread::sleep(jittered(self.opts.backoff * factor, attempt));
     }
 
     /// Shut down: refuse new transactions, wait for the pending batch to
@@ -410,10 +533,66 @@ impl ConcurrentStore {
     }
 }
 
+/// Commit-time validation: which relations the transaction depends on
+/// changed between its snapshot and the head? `None` = valid. `Some(v)` =
+/// conflict; `v` lists the changed relations for attribution (it can be
+/// empty only in the astronomically-unlikely case of a whole-digest
+/// mismatch with no per-relation witness).
+///
+/// Under [`Validation::ReadSet`] only the relations in `reads` are
+/// compared (by [`Database::relation_digest`], so a writer that restored
+/// identical content does not conflict). A [`ReadSet::whole_db`] read set,
+/// or [`Validation::WholeDb`] mode, degrades to full-digest equality with
+/// attribution computed by diffing every declared relation.
+fn changed_reads(
+    snapshot: &Database,
+    head: &Database,
+    reads: &ReadSet,
+    mode: Validation,
+) -> Option<Vec<Pred>> {
+    if mode == Validation::WholeDb || reads.is_whole_db() {
+        if head.digest() == snapshot.digest() {
+            return None;
+        }
+        let mut preds: Vec<Pred> = snapshot.preds().chain(head.preds()).collect();
+        preds.sort_unstable();
+        preds.dedup();
+        preds.retain(|p| head.relation_digest(*p) != snapshot.relation_digest(*p));
+        return Some(preds);
+    }
+    let changed: Vec<Pred> = reads
+        .preds()
+        .filter(|p| head.relation_digest(*p) != snapshot.relation_digest(*p))
+        .collect();
+    if changed.is_empty() {
+        None
+    } else {
+        Some(changed)
+    }
+}
+
+/// Deterministic per-thread jitter: map `d` into `[d/2, d]` at an offset
+/// hashed from the calling thread's id and the attempt number. No RNG —
+/// distinct threads (and successive attempts of one thread) land at
+/// distinct points of the envelope, which is all desynchronization needs.
+fn jittered(d: Duration, attempt: u32) -> Duration {
+    use std::hash::{Hash, Hasher};
+    let nanos = d.as_nanos() as u64;
+    let half = nanos / 2;
+    if half == 0 {
+        return d;
+    }
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    attempt.hash(&mut h);
+    Duration::from_nanos(nanos - h.finish() % (half + 1))
+}
+
 impl Store {
     /// Run one transaction through a single-owner store handle — the same
     /// closure surface as [`ConcurrentStore::transaction`] without the OCC
-    /// machinery (one owner means no conflicts: the closure runs once).
+    /// machinery (one owner means no conflicts: the closure runs once and
+    /// its read set is irrelevant).
     pub fn transaction<T, E>(
         &mut self,
         f: impl FnOnce(&Database) -> std::result::Result<TxDecision<T>, E>,
@@ -424,7 +603,7 @@ impl Store {
                 seq: None,
                 attempts: 1,
             }),
-            TxDecision::Commit(delta, value) => {
+            TxDecision::Commit { delta, value, .. } => {
                 let seq = self.commit(&delta).map_err(TxError::Store)?;
                 Ok(Committed {
                     value,
@@ -453,9 +632,19 @@ mod tests {
     }
 
     fn ins(i: i64) -> Delta {
+        ins_into("n", i)
+    }
+
+    fn ins_into(pred: &str, i: i64) -> Delta {
         let mut d = Delta::new();
-        d.push(DeltaOp::Ins(Pred::new("n", 1), tuple!(i)));
+        d.push(DeltaOp::Ins(Pred::new(pred, 1), tuple!(i)));
         d
+    }
+
+    fn reading(pred: &str) -> ReadSet {
+        let mut rs = ReadSet::new();
+        rs.record(Pred::new(pred, 1));
+        rs
     }
 
     #[test]
@@ -464,7 +653,9 @@ mod tests {
         let cs = ConcurrentStore::open_or_init(&dir, &Database::new()).unwrap();
         for i in 0..5i64 {
             let r = cs
-                .transaction(|_db| Ok::<_, std::convert::Infallible>(TxDecision::Commit(ins(i), i)))
+                .transaction(|_db| {
+                    Ok::<_, std::convert::Infallible>(TxDecision::commit(ins(i), ReadSet::new(), i))
+                })
                 .unwrap();
             assert_eq!(r.seq, Some(i as u64));
             assert_eq!(r.attempts, 1);
@@ -519,7 +710,10 @@ mod tests {
                             // Claim the next free integer — conflicts with
                             // every concurrent claimer by construction.
                             let next = db.total_tuples() as i64;
-                            Ok::<_, std::convert::Infallible>(TxDecision::Commit(ins(next), ()))
+                            Ok::<_, std::convert::Infallible>(TxDecision::commit_whole_db(
+                                ins(next),
+                                (),
+                            ))
                         })
                         .expect("transaction eventually commits");
                     }
@@ -549,7 +743,9 @@ mod tests {
         let cs2 = cs.clone();
         let store = cs.close().unwrap();
         let err = cs2
-            .transaction(|_db| Ok::<_, std::convert::Infallible>(TxDecision::Commit(ins(0), ())))
+            .transaction(|_db| {
+                Ok::<_, std::convert::Infallible>(TxDecision::commit_whole_db(ins(0), ()))
+            })
             .unwrap_err();
         assert!(matches!(err, TxError::Store(_)));
         drop(store);
@@ -564,6 +760,7 @@ mod tests {
             .with_options(TxOptions {
                 max_attempts: 3,
                 backoff: Duration::from_micros(1),
+                ..TxOptions::default()
             });
         // Sabotage every attempt by committing between snapshot and commit.
         let saboteur = cs.clone();
@@ -573,10 +770,10 @@ mod tests {
                 i += 1;
                 saboteur
                     .transaction(|_d| {
-                        Ok::<_, std::convert::Infallible>(TxDecision::Commit(ins(i), ()))
+                        Ok::<_, std::convert::Infallible>(TxDecision::commit_whole_db(ins(i), ()))
                     })
                     .unwrap();
-                Ok::<_, std::convert::Infallible>(TxDecision::Commit(ins(0), ()))
+                Ok::<_, std::convert::Infallible>(TxDecision::commit(ins(0), reading("n"), ()))
             })
             .unwrap_err();
         match err {
@@ -585,7 +782,144 @@ mod tests {
         }
         assert_eq!(cs.stats().conflicts, 3);
         assert_eq!(cs.stats().conflict_failures, 1);
+        // Every failed validation was the saboteur changing `n`.
+        let attr = cs.conflict_attribution();
+        assert_eq!(attr.get(&Pred::new("n", 1)), Some(&3));
         drop(cs.close().unwrap());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disjoint_read_set_ignores_unrelated_writes() {
+        // A transaction that read only `n` is not invalidated by a commit
+        // to `m` that lands between its snapshot and its validation.
+        let dir = temp_dir("disjoint");
+        let cs = ConcurrentStore::open_or_init(&dir, &Database::new()).unwrap();
+        let saboteur = cs.clone();
+        let mut i = 0i64;
+        let r = cs
+            .transaction(|_db| {
+                i += 1;
+                saboteur
+                    .transaction(|_d| {
+                        Ok::<_, std::convert::Infallible>(TxDecision::commit_whole_db(
+                            ins_into("m", i),
+                            (),
+                        ))
+                    })
+                    .unwrap();
+                Ok::<_, std::convert::Infallible>(TxDecision::commit(ins(0), reading("n"), ()))
+            })
+            .unwrap();
+        assert_eq!(r.attempts, 1, "unrelated write must not force a retry");
+        assert_eq!(cs.stats().conflicts, 0);
+        assert!(cs.conflict_attribution().is_empty());
+        drop(cs.close().unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn whole_db_mode_conflicts_on_unrelated_writes() {
+        // Same schedule as above, but under the fallback whole-database
+        // rule the unrelated write *does* invalidate the first attempt.
+        let dir = temp_dir("wholedb");
+        let cs = ConcurrentStore::open_or_init(&dir, &Database::new())
+            .unwrap()
+            .with_options(TxOptions {
+                backoff: Duration::from_micros(1),
+                validation: Validation::WholeDb,
+                ..TxOptions::default()
+            });
+        let saboteur = cs.clone();
+        let mut calls = 0i64;
+        let r = cs
+            .transaction(|_db| {
+                calls += 1;
+                if calls == 1 {
+                    saboteur
+                        .transaction(|_d| {
+                            Ok::<_, std::convert::Infallible>(TxDecision::commit_whole_db(
+                                ins_into("m", 7),
+                                (),
+                            ))
+                        })
+                        .unwrap();
+                }
+                Ok::<_, std::convert::Infallible>(TxDecision::commit(ins(0), reading("n"), ()))
+            })
+            .unwrap();
+        assert_eq!(r.attempts, 2, "whole-db validation sees every write");
+        assert_eq!(cs.stats().conflicts, 1);
+        let attr = cs.conflict_attribution();
+        assert_eq!(attr.get(&Pred::new("m", 1)), Some(&1));
+        assert_eq!(attr.get(&Pred::new("n", 1)), None);
+        drop(cs.close().unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn aba_restore_of_read_relation_does_not_conflict() {
+        // An intervening writer that puts the read relation back to exactly
+        // its snapshot content is invisible: relation digests are content
+        // digests, not version counters.
+        let dir = temp_dir("aba");
+        let cs = ConcurrentStore::open_or_init(&dir, &Database::new()).unwrap();
+        let saboteur = cs.clone();
+        let mut first = true;
+        let r = cs
+            .transaction(|_db| {
+                if first {
+                    first = false;
+                    // Insert then delete n(42): net content unchanged.
+                    let mut d = Delta::new();
+                    d.push(DeltaOp::Ins(Pred::new("n", 1), tuple!(42)));
+                    d.push(DeltaOp::Del(Pred::new("n", 1), tuple!(42)));
+                    saboteur
+                        .transaction(move |_d| {
+                            Ok::<_, std::convert::Infallible>(TxDecision::commit_whole_db(
+                                d.clone(),
+                                (),
+                            ))
+                        })
+                        .unwrap();
+                }
+                Ok::<_, std::convert::Infallible>(TxDecision::commit(ins(0), reading("n"), ()))
+            })
+            .unwrap();
+        assert_eq!(r.attempts, 1);
+        assert_eq!(cs.stats().conflicts, 0);
+        drop(cs.close().unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn jitter_stays_inside_the_envelope() {
+        for attempt in 1..=10 {
+            let d = Duration::from_micros(800);
+            let j = jittered(d, attempt);
+            assert!(j <= d, "attempt {attempt}: {j:?} above envelope");
+            assert!(j >= d / 2, "attempt {attempt}: {j:?} below half-envelope");
+        }
+        // Degenerate base: too small to jitter, passed through unchanged.
+        assert_eq!(
+            jittered(Duration::from_nanos(1), 3),
+            Duration::from_nanos(1)
+        );
+    }
+
+    #[test]
+    fn validation_mode_parses_and_displays() {
+        assert_eq!(
+            "read-set".parse::<Validation>().unwrap(),
+            Validation::ReadSet
+        );
+        assert_eq!(
+            "whole-db".parse::<Validation>().unwrap(),
+            Validation::WholeDb
+        );
+        assert!("eager".parse::<Validation>().is_err());
+        assert_eq!(Validation::ReadSet.to_string(), "read-set");
+        assert_eq!(Validation::WholeDb.to_string(), "whole-db");
+        assert_eq!(TxOptions::default().validation, Validation::ReadSet);
     }
 }
